@@ -1,0 +1,234 @@
+// Root benchmark suite: one testing.B benchmark per experiment in
+// DESIGN.md §4 (E1–E8, A1–A3). Each benchmark prints the same
+// paper-shaped table that cmd/benchmed produces, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every result in EXPERIMENTS.md. Benchmarks run the
+// experiment once per iteration with reduced sweep sizes; use
+// cmd/benchmed for the full-size sweeps.
+package medchain_test
+
+import (
+	"testing"
+	"time"
+
+	"medchain/internal/experiments"
+)
+
+func BenchmarkE1Scalability(b *testing.B) {
+	var rows []experiments.E1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E1Scalability(experiments.E1Config{
+			NodeCounts: []int{1, 2, 4, 8},
+			TxPerRun:   6,
+			Latency:    2 * time.Millisecond,
+			Seed:       int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE1(rows))
+}
+
+func BenchmarkE2DuplicatedCompute(b *testing.B) {
+	var rows []experiments.E2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E2DuplicatedCompute(experiments.E2Config{
+			NodeCounts: []int{1, 2, 4, 8},
+			Contracts:  2,
+			LoopIters:  2000,
+			Seed:       int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE2(rows))
+}
+
+func BenchmarkE3ParallelSpeedup(b *testing.B) {
+	var rows []experiments.E3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E3ParallelSpeedup(experiments.E3Config{
+			SiteCounts:    []int{1, 2, 4, 8},
+			TotalPatients: 1600,
+			Repeats:       2,
+			Seed:          int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE3(rows))
+}
+
+func BenchmarkE4DataMovement(b *testing.B) {
+	var rows []experiments.E4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E4DataMovement(experiments.E4Config{
+			PatientsPerSite: []int{50, 100, 200},
+			Sites:           4,
+			Seed:            int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE4(rows))
+}
+
+func BenchmarkE5Integration(b *testing.B) {
+	var rows []experiments.E5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E5Integration(experiments.E5Config{
+			SiteCounts:      []int{1, 2, 4, 8, 16},
+			PatientsPerSite: 100,
+			Seed:            int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE5(rows))
+}
+
+func BenchmarkE6Federated(b *testing.B) {
+	var rows []experiments.E6Row
+	var transfers []experiments.E6TransferRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, transfers, err = experiments.E6Federated(experiments.E6Config{
+			Sites:           6,
+			PatientsPerSite: 150,
+			Rounds:          15,
+			HoldoutPatients: 800,
+			TransferSizes:   []int{30, 60, 120},
+			Seed:            1, // fixed: quality numbers, not timing
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE6(rows))
+	b.Log("\n" + experiments.TableE6Transfer(transfers))
+}
+
+func BenchmarkE7TrialIntegrity(b *testing.B) {
+	var res *experiments.E7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.E7TrialIntegrity(experiments.E7Config{
+			Trials: 67,
+			Seed:   42, // COMPare-shaped corpus
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE7(res))
+}
+
+func BenchmarkE8HIE(b *testing.B) {
+	var rows []experiments.E8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E8HIE(experiments.E8Config{
+			Sites:           3,
+			PatientsPerSite: 30,
+			Exchanges:       20,
+			Seed:            int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE8(rows))
+}
+
+func BenchmarkA1Consensus(b *testing.B) {
+	var rows []experiments.A1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.A1Consensus(experiments.A1Config{
+			Nodes:         4,
+			Txs:           6,
+			PowDifficulty: 10,
+			Seed:          int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableA1(rows))
+}
+
+func BenchmarkA2OracleBatch(b *testing.B) {
+	var rows []experiments.A2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.A2OracleBatch(experiments.A2Config{
+			Events:      100,
+			BatchSize:   20,
+			HandlerCost: 200 * time.Microsecond,
+			Seed:        int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableA2(rows))
+}
+
+func BenchmarkA3SecureAgg(b *testing.B) {
+	var rows []experiments.A3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.A3SecureAgg(experiments.A3Config{
+			Clients: 16,
+			Dim:     64,
+			Rounds:  20,
+			Seed:    int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableA3(rows))
+}
+
+func BenchmarkA4Sharding(b *testing.B) {
+	var rows []experiments.A4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.A4Sharding(experiments.A4Config{
+			TotalNodes:  8,
+			ShardCounts: []int{1, 2, 4},
+			Txs:         8,
+			Latency:     2 * time.Millisecond,
+			Seed:        int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableA4(rows))
+}

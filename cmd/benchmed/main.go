@@ -1,0 +1,171 @@
+// Command benchmed runs the paper-reproduction experiment suite
+// (DESIGN.md §4: E1–E8 core experiments and A1–A3 ablations) and prints
+// the result tables. Use -run to select a subset:
+//
+//	benchmed                # everything (a few minutes)
+//	benchmed -run e1,e2     # just the chain experiments
+//	benchmed -quick         # reduced sweep sizes (~30s)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"medchain/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment ids (e1..e8,a1..a4) or 'all'")
+	quick := flag.Bool("quick", false, "reduced sweep sizes for a fast pass")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(strings.ToLower(*run), ",") {
+		selected[strings.TrimSpace(id)] = true
+	}
+	want := func(id string) bool { return selected["all"] || selected[id] }
+
+	start := time.Now()
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "benchmed: %s: %v\n", id, err)
+		os.Exit(1)
+	}
+
+	if want("e1") {
+		cfg := experiments.E1Config{Seed: *seed}
+		if *quick {
+			cfg.NodeCounts = []int{1, 2, 4, 8}
+			cfg.TxPerRun = 4
+		}
+		rows, err := experiments.E1Scalability(cfg)
+		if err != nil {
+			fail("e1", err)
+		}
+		fmt.Println(experiments.TableE1(rows))
+	}
+	if want("e2") {
+		cfg := experiments.E2Config{Seed: *seed}
+		if *quick {
+			cfg.NodeCounts = []int{1, 2, 4}
+			cfg.Contracts = 2
+		}
+		rows, err := experiments.E2DuplicatedCompute(cfg)
+		if err != nil {
+			fail("e2", err)
+		}
+		fmt.Println(experiments.TableE2(rows))
+	}
+	if want("e3") {
+		cfg := experiments.E3Config{Seed: *seed}
+		if *quick {
+			cfg.SiteCounts = []int{1, 2, 4}
+			cfg.TotalPatients = 1200
+			cfg.Repeats = 2
+		}
+		rows, err := experiments.E3ParallelSpeedup(cfg)
+		if err != nil {
+			fail("e3", err)
+		}
+		fmt.Println(experiments.TableE3(rows))
+	}
+	if want("e4") {
+		cfg := experiments.E4Config{Seed: *seed}
+		if *quick {
+			cfg.PatientsPerSite = []int{50, 100}
+		}
+		rows, err := experiments.E4DataMovement(cfg)
+		if err != nil {
+			fail("e4", err)
+		}
+		fmt.Println(experiments.TableE4(rows))
+	}
+	if want("e5") {
+		cfg := experiments.E5Config{Seed: *seed}
+		if *quick {
+			cfg.SiteCounts = []int{1, 2, 4, 8}
+			cfg.PatientsPerSite = 100
+		}
+		rows, err := experiments.E5Integration(cfg)
+		if err != nil {
+			fail("e5", err)
+		}
+		fmt.Println(experiments.TableE5(rows))
+	}
+	if want("e6") {
+		cfg := experiments.E6Config{Seed: *seed}
+		if *quick {
+			cfg.Sites = 4
+			cfg.PatientsPerSite = 120
+			cfg.Rounds = 12
+			cfg.HoldoutPatients = 600
+			cfg.TransferSizes = []int{40, 80}
+		}
+		rows, transfers, err := experiments.E6Federated(cfg)
+		if err != nil {
+			fail("e6", err)
+		}
+		fmt.Println(experiments.TableE6(rows))
+		fmt.Println(experiments.TableE6Transfer(transfers))
+	}
+	if want("e7") {
+		res, err := experiments.E7TrialIntegrity(experiments.E7Config{Seed: *seed})
+		if err != nil {
+			fail("e7", err)
+		}
+		fmt.Println(experiments.TableE7(res))
+	}
+	if want("e8") {
+		cfg := experiments.E8Config{Seed: *seed}
+		if *quick {
+			cfg.Exchanges = 10
+		}
+		rows, err := experiments.E8HIE(cfg)
+		if err != nil {
+			fail("e8", err)
+		}
+		fmt.Println(experiments.TableE8(rows))
+	}
+	if want("a1") {
+		rows, err := experiments.A1Consensus(experiments.A1Config{Seed: *seed})
+		if err != nil {
+			fail("a1", err)
+		}
+		fmt.Println(experiments.TableA1(rows))
+	}
+	if want("a2") {
+		cfg := experiments.A2Config{Seed: *seed}
+		if *quick {
+			cfg.Events = 80
+		}
+		rows, err := experiments.A2OracleBatch(cfg)
+		if err != nil {
+			fail("a2", err)
+		}
+		fmt.Println(experiments.TableA2(rows))
+	}
+	if want("a3") {
+		rows, err := experiments.A3SecureAgg(experiments.A3Config{Seed: *seed})
+		if err != nil {
+			fail("a3", err)
+		}
+		fmt.Println(experiments.TableA3(rows))
+	}
+	if want("a4") {
+		cfg := experiments.A4Config{Seed: *seed}
+		if *quick {
+			cfg.TotalNodes = 4
+			cfg.ShardCounts = []int{1, 2}
+			cfg.Txs = 4
+		}
+		rows, err := experiments.A4Sharding(cfg)
+		if err != nil {
+			fail("a4", err)
+		}
+		fmt.Println(experiments.TableA4(rows))
+	}
+	fmt.Printf("benchmed: done in %s\n", time.Since(start).Round(time.Millisecond))
+}

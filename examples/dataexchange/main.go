@@ -1,0 +1,88 @@
+// Data exchange example: the standardized, auditable health
+// information exchange of §III.B — consent-gated encrypted record
+// transfer between sites, an FDA-mediated relay, a denied request that
+// still lands on the audit trail, and verification that the trail is
+// tamper-evident.
+//
+//	go run ./examples/dataexchange
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"medchain"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	p, err := medchain.NewPlatform(medchain.Config{
+		Sites:           3,
+		PatientsPerSite: 50,
+		Seed:            5,
+		KeySeed:         "exchange-example",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+	fmt.Println("platform up: 3 hospitals + FDA node")
+
+	// A treating physician gets read access scoped to a purpose.
+	physician, err := p.Acquire("dr-osei")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.GrantAll(physician, []medchain.Action{medchain.ActionRead}, "treatment"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Direct exchange: hospital → physician, end-to-end encrypted,
+	//    authorized by the on-chain data contract, audited.
+	recs, err := p.FetchRecords(physician, "site-0/emr", "treatment", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("direct exchange: received %d records from site-0 (encrypted to dr-osei's key)\n", len(recs))
+
+	// 2. FDA-mediated exchange: the trusted middleman unwraps and
+	//    re-wraps the envelope without the network ever seeing
+	//    plaintext.
+	recs, err = p.FetchRecords(physician, "site-1/emr", "treatment", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FDA-relayed exchange: received %d records from site-1\n", len(recs))
+
+	// 3. An unauthorized request: a marketing analyst with no grant.
+	analyst, err := p.Acquire("marketing-analyst")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.FetchRecords(analyst, "site-0/emr", "ad-targeting", false); err != nil {
+		fmt.Printf("unauthorized request blocked on chain: %v\n", err)
+	} else {
+		log.Fatal("unauthorized access succeeded!")
+	}
+
+	// 4. The audit trail: every exchange (and the relay) is a
+	//    hash-chained entry; the head digest could be anchored on
+	//    chain each day.
+	audit := p.HIE().Audit()
+	fmt.Printf("\naudit trail: %d entries, head %s\n", audit.Len(), audit.Head().Short())
+	for _, e := range audit.Entries() {
+		fmt.Printf("  #%d [%s] %s\n", e.Seq, e.Kind, truncate(string(e.Detail), 96))
+	}
+	if err := audit.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("audit chain verifies ✔ — compare with the legacy e-mail HIE, which records nothing")
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

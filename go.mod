@@ -1,0 +1,3 @@
+module medchain
+
+go 1.22

@@ -1,0 +1,581 @@
+package analytics
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"medchain/internal/emr"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || !almostEq(s.Mean, 5) {
+		t.Fatalf("summary %+v", s)
+	}
+	if !almostEq(s.Std(), 2) {
+		t.Fatalf("std %v, want 2", s.Std())
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max %v/%v", s.Min, s.Max)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestPoolSummariesExact(t *testing.T) {
+	all := []float64{1, 5, 2, 8, 3, 9, 4, 4, 7, 6}
+	whole, err := Summarize(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Summarize(all[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Summarize(all[3:7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Summarize(all[7:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := PoolSummaries([]*Summary{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.N != whole.N || !almostEq(pooled.Mean, whole.Mean) || !almostEq(pooled.M2, whole.M2) {
+		t.Fatalf("pooled %+v != whole %+v", pooled, whole)
+	}
+	if pooled.Min != whole.Min || pooled.Max != whole.Max {
+		t.Fatal("pooled extremes wrong")
+	}
+}
+
+// Property: pooling a random partition reproduces the whole-sample
+// summary — the exactness that makes "compose local results" sound.
+func TestPoolSummariesPartitionProperty(t *testing.T) {
+	f := func(seed int64, cutRaw uint8) bool {
+		vals := make([]float64, 20)
+		s := seed
+		for i := range vals {
+			s = s*6364136223846793005 + 1442695040888963407
+			vals[i] = float64(s%1000) / 10
+		}
+		cut := 1 + int(cutRaw)%18
+		whole, err := Summarize(vals)
+		if err != nil {
+			return false
+		}
+		a, err := Summarize(vals[:cut])
+		if err != nil {
+			return false
+		}
+		b, err := Summarize(vals[cut:])
+		if err != nil {
+			return false
+		}
+		pooled, err := PoolSummaries([]*Summary{a, b})
+		if err != nil {
+			return false
+		}
+		return pooled.N == whole.N &&
+			math.Abs(pooled.Mean-whole.Mean) < 1e-9 &&
+			math.Abs(pooled.M2-whole.M2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolSummariesSkipsEmpty(t *testing.T) {
+	a, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := PoolSummaries([]*Summary{nil, {}, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.N != 3 {
+		t.Fatalf("pooled N %d", pooled.N)
+	}
+	if _, err := PoolSummaries(nil); err == nil {
+		t.Fatal("all-empty accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	for _, tt := range []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {1, 5},
+	} {
+		got, err := Quantile(vals, tt.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(got, tt.want) {
+			t.Fatalf("q%.2f = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Quantile(vals, 1.5); err == nil {
+		t.Fatal("q>1 accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("histogram lost values: %d", total)
+	}
+	other, err := NewHistogram([]float64{0, 9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[0] != 3 { // 0,1 + 0
+		t.Fatalf("merged counts %v", h.Counts)
+	}
+	bad, err := NewHistogram([]float64{0, 5}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Merge(bad); err == nil {
+		t.Fatal("binning mismatch accepted")
+	}
+	if _, err := NewHistogram(nil, 3); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Fatal("0 bins accepted")
+	}
+	constant, err := NewHistogram([]float64{7, 7, 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constant.Counts[0] != 3 {
+		t.Fatal("constant values mishandled")
+	}
+}
+
+func TestKaplanMeierTextbook(t *testing.T) {
+	// Classic example: times 1,2,3 events; 2.5 censored between.
+	obs := []Observation{
+		{Time: 1, Event: true},
+		{Time: 2, Event: true},
+		{Time: 2.5, Event: false},
+		{Time: 3, Event: true},
+	}
+	curve, err := KaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("%d curve points", len(curve))
+	}
+	// S(1)=3/4, S(2)=3/4*2/3=1/2, S(3)=1/2*0=0.
+	if !almostEq(curve[0].Survival, 0.75) {
+		t.Fatalf("S(1)=%v", curve[0].Survival)
+	}
+	if !almostEq(curve[1].Survival, 0.5) {
+		t.Fatalf("S(2)=%v", curve[1].Survival)
+	}
+	if !almostEq(curve[2].Survival, 0) {
+		t.Fatalf("S(3)=%v", curve[2].Survival)
+	}
+	if m, ok := MedianSurvival(curve); !ok || m != 2 {
+		t.Fatalf("median %v/%v", m, ok)
+	}
+}
+
+func TestKaplanMeierTiesAndAllCensored(t *testing.T) {
+	curve, err := KaplanMeier([]Observation{
+		{Time: 5, Event: true}, {Time: 5, Event: true}, {Time: 5, Event: false}, {Time: 9, Event: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 1 || curve[0].Events != 2 || curve[0].AtRisk != 4 {
+		t.Fatalf("tied curve %+v", curve)
+	}
+	if !almostEq(curve[0].Survival, 0.5) {
+		t.Fatalf("S = %v", curve[0].Survival)
+	}
+	censored, err := KaplanMeier([]Observation{{Time: 1}, {Time: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(censored) != 0 {
+		t.Fatal("all-censored produced events")
+	}
+	if _, ok := MedianSurvival(censored); ok {
+		t.Fatal("median on flat curve")
+	}
+	if _, err := KaplanMeier(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestKaplanMeierMonotone(t *testing.T) {
+	recs := emr.NewGenerator(emr.GenConfig{Seed: 4, Patients: 300}).Generate()
+	var obs []Observation
+	for _, r := range recs {
+		if o, ok := observationOf(r); ok {
+			obs = append(obs, o)
+		}
+	}
+	curve, err := KaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.0
+	for _, p := range curve {
+		if p.Survival > prev+1e-12 {
+			t.Fatal("survival curve not monotone")
+		}
+		prev = p.Survival
+	}
+}
+
+func siteRecords(t testing.TB, seed int64, n int) []*emr.Record {
+	t.Helper()
+	return emr.NewGenerator(emr.GenConfig{Seed: seed, Patients: n, StartID: int(seed) * 10000}).Generate()
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	reg := NewRegistry()
+	want := []string{"cohort.count", "lab.summary", "risk.logistic", "survival.km"}
+	got := reg.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs %v, want %v", got, want)
+		}
+	}
+	if _, ok := reg.Get("cohort.count"); !ok {
+		t.Fatal("builtin missing")
+	}
+	if _, ok := reg.Get("nope"); ok {
+		t.Fatal("unknown tool found")
+	}
+	if err := reg.Register(&CohortCountTool{}); err == nil {
+		t.Fatal("duplicate register accepted")
+	}
+	if Digest("a") == Digest("b") {
+		t.Fatal("tool digests collide")
+	}
+}
+
+// runAndCompose runs a tool per-site and composes, plus runs it over the
+// union, returning both result payloads.
+func runAndCompose(t *testing.T, toolID string, params any, sites [][]*emr.Record) (composed, whole []byte) {
+	t.Helper()
+	reg := NewRegistry()
+	tool, ok := reg.Get(toolID)
+	if !ok {
+		t.Fatalf("tool %q missing", toolID)
+	}
+	raw, err := json.Marshal(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []json.RawMessage
+	var union []*emr.Record
+	for _, recs := range sites {
+		res, err := tool.Run(recs, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, res)
+		union = append(union, recs...)
+	}
+	comp, err := tool.Compose(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeRes, err := tool.Run(union, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp, wholeRes
+}
+
+func TestCohortCountComposeEqualsWhole(t *testing.T) {
+	sites := [][]*emr.Record{siteRecords(t, 1, 120), siteRecords(t, 2, 80), siteRecords(t, 3, 100)}
+	comp, whole := runAndCompose(t, "cohort.count", CohortParams{Condition: emr.CondDiabetes, MinAge: 40}, sites)
+	var a, b CohortCountResult
+	if err := json.Unmarshal(comp, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(whole, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("composed %+v != whole %+v", a, b)
+	}
+	if a.Total == 0 || a.Cases == 0 {
+		t.Fatalf("degenerate cohort %+v", a)
+	}
+}
+
+func TestCohortFilters(t *testing.T) {
+	recs := siteRecords(t, 5, 200)
+	reg := NewRegistry()
+	tool, _ := reg.Get("cohort.count")
+	run := func(p CohortParams) CohortCountResult {
+		raw, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tool.Run(recs, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out CohortCountResult
+		if err := json.Unmarshal(res, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	all := run(CohortParams{})
+	if all.Total != 200 {
+		t.Fatalf("unfiltered total %d", all.Total)
+	}
+	female := run(CohortParams{Sex: emr.SexFemale})
+	male := run(CohortParams{Sex: emr.SexMale})
+	if female.Total+male.Total != 200 {
+		t.Fatalf("sex split %d+%d", female.Total, male.Total)
+	}
+	old := run(CohortParams{MinAge: 65})
+	young := run(CohortParams{MaxAge: 64})
+	if old.Total+young.Total != 200 {
+		t.Fatalf("age split %d+%d", old.Total, young.Total)
+	}
+}
+
+func TestLabSummaryComposeEqualsWhole(t *testing.T) {
+	sites := [][]*emr.Record{siteRecords(t, 7, 60), siteRecords(t, 8, 90)}
+	comp, whole := runAndCompose(t, "lab.summary", LabSummaryParams{Code: emr.LabGlucose}, sites)
+	var a, b Summary
+	if err := json.Unmarshal(comp, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(whole, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N != b.N || !almostEq(a.Mean, b.Mean) || math.Abs(a.M2-b.M2) > 1e-6 {
+		t.Fatalf("composed %+v != whole %+v", a, b)
+	}
+	if a.N == 0 {
+		t.Fatal("no glucose labs found")
+	}
+}
+
+func TestLabSummaryRequiresCode(t *testing.T) {
+	reg := NewRegistry()
+	tool, _ := reg.Get("lab.summary")
+	if _, err := tool.Run(nil, []byte(`{}`)); err == nil {
+		t.Fatal("missing code accepted")
+	}
+	if _, err := tool.Run(nil, []byte(`{bad`)); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestSurvivalComposeEqualsWhole(t *testing.T) {
+	sites := [][]*emr.Record{siteRecords(t, 9, 100), siteRecords(t, 10, 100)}
+	comp, whole := runAndCompose(t, "survival.km", SurvivalParams{}, sites)
+	var a SurvivalResult
+	if err := json.Unmarshal(comp, &a); err != nil {
+		t.Fatal(err)
+	}
+	// whole is a site-run (observations); compose it alone to a curve.
+	reg := NewRegistry()
+	tool, _ := reg.Get("survival.km")
+	wholeCurve, err := tool.Compose([]json.RawMessage{whole})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b SurvivalResult
+	if err := json.Unmarshal(wholeCurve, &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Curve) != len(b.Curve) {
+		t.Fatalf("curve lengths %d vs %d", len(a.Curve), len(b.Curve))
+	}
+	for i := range a.Curve {
+		if !almostEq(a.Curve[i].Survival, b.Curve[i].Survival) {
+			t.Fatalf("curve diverges at %d", i)
+		}
+	}
+	if len(a.Curve) == 0 {
+		t.Fatal("empty survival curve")
+	}
+}
+
+func TestRiskModelRunAndCompose(t *testing.T) {
+	sites := [][]*emr.Record{siteRecords(t, 11, 300), siteRecords(t, 12, 300)}
+	reg := NewRegistry()
+	tool, _ := reg.Get("risk.logistic")
+	params, err := json.Marshal(RiskModelParams{Condition: emr.CondDiabetes, Epochs: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []json.RawMessage
+	for _, recs := range sites {
+		res, err := tool.Run(recs, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, res)
+	}
+	comp, err := tool.Compose(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var global RiskModelResult
+	if err := json.Unmarshal(comp, &global); err != nil {
+		t.Fatal(err)
+	}
+	if global.Samples != 600 {
+		t.Fatalf("composed samples %d", global.Samples)
+	}
+	if len(global.Params) != len(emr.FeatureNames)+1 {
+		t.Fatalf("param dim %d", len(global.Params))
+	}
+	// Missing condition / bad params.
+	if _, err := tool.Run(sites[0], []byte(`{}`)); err == nil {
+		t.Fatal("missing condition accepted")
+	}
+	if _, err := tool.Compose(nil); err == nil {
+		t.Fatal("empty compose accepted")
+	}
+}
+
+func TestPipelineDecisionTree(t *testing.T) {
+	recs := siteRecords(t, 13, 150)
+	reg := NewRegistry()
+	countParams, err := json.Marshal(CohortParams{Condition: emr.CondDiabetes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labParams, err := json.Marshal(LabSummaryParams{Code: emr.LabHbA1c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{Steps: []PipelineStep{
+		{Name: "prevalence", ToolID: "cohort.count", Params: countParams},
+		{
+			Name: "a1c", ToolID: "lab.summary", Params: labParams,
+			// Branch: only summarize A1C when diabetes prevalence > 1%.
+			SkipIf: func(prior map[string]json.RawMessage) bool {
+				var c CohortCountResult
+				if err := json.Unmarshal(prior["prevalence"], &c); err != nil {
+					return true
+				}
+				return c.Prevalence <= 0.01
+			},
+		},
+		{
+			Name: "never", ToolID: "lab.summary", Params: labParams,
+			SkipIf: func(map[string]json.RawMessage) bool { return true },
+		},
+	}}
+	out, err := RunPipeline(reg, recs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out["prevalence"]; !ok {
+		t.Fatal("step 1 missing")
+	}
+	if _, ok := out["a1c"]; !ok {
+		t.Fatal("conditional step did not run")
+	}
+	if _, ok := out["never"]; ok {
+		t.Fatal("skipped step ran")
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := RunPipeline(reg, nil, &Pipeline{Steps: []PipelineStep{{ToolID: "cohort.count"}}}); err == nil {
+		t.Fatal("unnamed step accepted")
+	}
+	if _, err := RunPipeline(reg, nil, &Pipeline{Steps: []PipelineStep{{Name: "x", ToolID: "ghost"}}}); err == nil {
+		t.Fatal("unknown tool accepted")
+	}
+	badParams := &Pipeline{Steps: []PipelineStep{{Name: "x", ToolID: "lab.summary", Params: []byte(`{}`)}}}
+	if _, err := RunPipeline(reg, nil, badParams); err == nil {
+		t.Fatal("failing tool not surfaced")
+	}
+}
+
+func TestRecordsToDataset(t *testing.T) {
+	recs := siteRecords(t, 14, 50)
+	ds, err := RecordsToDataset(recs, emr.CondDiabetes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 50 || ds.Dim() != len(emr.FeatureNames) {
+		t.Fatalf("dataset %d×%d", ds.Len(), ds.Dim())
+	}
+	if _, err := RecordsToDataset(nil, "x"); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func BenchmarkCohortCount(b *testing.B) {
+	recs := emr.NewGenerator(emr.GenConfig{Seed: 1, Patients: 1000}).Generate()
+	reg := NewRegistry()
+	tool, _ := reg.Get("cohort.count")
+	params, err := json.Marshal(CohortParams{Condition: emr.CondDiabetes, MinAge: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tool.Run(recs, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKaplanMeier(b *testing.B) {
+	recs := emr.NewGenerator(emr.GenConfig{Seed: 1, Patients: 1000}).Generate()
+	var obs []Observation
+	for _, r := range recs {
+		if o, ok := observationOf(r); ok {
+			obs = append(obs, o)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KaplanMeier(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package analytics provides the off-chain analytics toolkit that the
+// transformed smart contracts dispatch to data sites (paper Fig. 1/6):
+// descriptive statistics, cohort queries, a Kaplan–Meier survival
+// estimator, and local logistic risk models — each registered as a
+// named Tool whose per-site results can be *composed* into a global
+// result without moving records (Fig. 5's data-services composition).
+//
+// Tools are deterministic: the same records and params yield the same
+// result bytes on every run, which lets sites verify each other's
+// outputs against on-chain anchors.
+package analytics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned for empty inputs where a result is undefined.
+var ErrNoData = errors.New("analytics: no data")
+
+// Summary is a one-pass numeric summary that supports exact pooling
+// across sites (mean/variance combine by moments).
+type Summary struct {
+	// N is the sample count.
+	N int `json:"n"`
+	// Mean is the arithmetic mean.
+	Mean float64 `json:"mean"`
+	// M2 is the sum of squared deviations (for pooling).
+	M2 float64 `json:"m2"`
+	// Min and Max are the observed extremes.
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// Summarize computes a Summary of the values.
+func Summarize(values []float64) (*Summary, error) {
+	if len(values) == 0 {
+		return nil, ErrNoData
+	}
+	s := &Summary{N: len(values), Min: values[0], Max: values[0]}
+	for _, v := range values {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		s.Mean += v
+	}
+	s.Mean /= float64(s.N)
+	for _, v := range values {
+		d := v - s.Mean
+		s.M2 += d * d
+	}
+	return s, nil
+}
+
+// Std returns the population standard deviation.
+func (s *Summary) Std() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return math.Sqrt(s.M2 / float64(s.N))
+}
+
+// PoolSummaries combines per-site summaries into the exact summary of
+// the union (Chan et al. parallel-variance formula) — no raw values
+// cross sites.
+func PoolSummaries(parts []*Summary) (*Summary, error) {
+	var out *Summary
+	for _, p := range parts {
+		if p == nil || p.N == 0 {
+			continue
+		}
+		if out == nil {
+			cp := *p
+			out = &cp
+			continue
+		}
+		n1, n2 := float64(out.N), float64(p.N)
+		delta := p.Mean - out.Mean
+		mean := out.Mean + delta*n2/(n1+n2)
+		m2 := out.M2 + p.M2 + delta*delta*n1*n2/(n1+n2)
+		out.N += p.N
+		out.Mean = mean
+		out.M2 = m2
+		if p.Min < out.Min {
+			out.Min = p.Min
+		}
+		if p.Max > out.Max {
+			out.Max = p.Max
+		}
+	}
+	if out == nil {
+		return nil, ErrNoData
+	}
+	return out, nil
+}
+
+// Quantile returns the q-quantile (0≤q≤1) by linear interpolation.
+func Quantile(values []float64, q float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, ErrNoData
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("analytics: quantile %v outside [0,1]", q)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Histogram bins values into nBins equal-width bins over [min,max].
+type Histogram struct {
+	// Min and Max bound the binned range.
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	// Counts holds one count per bin.
+	Counts []int `json:"counts"`
+}
+
+// NewHistogram builds a histogram of the values.
+func NewHistogram(values []float64, nBins int) (*Histogram, error) {
+	if len(values) == 0 {
+		return nil, ErrNoData
+	}
+	if nBins < 1 {
+		return nil, fmt.Errorf("analytics: need at least 1 bin, got %d", nBins)
+	}
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, nBins)}
+	width := (max - min) / float64(nBins)
+	for _, v := range values {
+		var bin int
+		if width == 0 {
+			bin = 0
+		} else {
+			bin = int((v - min) / width)
+			if bin >= nBins {
+				bin = nBins - 1
+			}
+		}
+		h.Counts[bin]++
+	}
+	return h, nil
+}
+
+// Merge adds another histogram with identical binning.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if h.Min != other.Min || h.Max != other.Max || len(h.Counts) != len(other.Counts) {
+		return errors.New("analytics: histogram binning mismatch")
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	return nil
+}
+
+// SurvivalPoint is one step of a Kaplan–Meier curve.
+type SurvivalPoint struct {
+	// Time is the event time.
+	Time float64 `json:"time"`
+	// Survival is S(t) just after Time.
+	Survival float64 `json:"survival"`
+	// AtRisk is the risk-set size just before Time.
+	AtRisk int `json:"at_risk"`
+	// Events is the number of events at Time.
+	Events int `json:"events"`
+}
+
+// Observation is one subject's (time, event) pair; Event false means
+// right-censored at Time.
+type Observation struct {
+	// Time is follow-up duration.
+	Time float64 `json:"time"`
+	// Event reports whether the event occurred (vs censoring).
+	Event bool `json:"event"`
+}
+
+// KaplanMeier computes the product-limit survival estimate.
+func KaplanMeier(obs []Observation) ([]SurvivalPoint, error) {
+	if len(obs) == 0 {
+		return nil, ErrNoData
+	}
+	sorted := append([]Observation(nil), obs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+	var curve []SurvivalPoint
+	s := 1.0
+	atRisk := len(sorted)
+	i := 0
+	for i < len(sorted) {
+		t := sorted[i].Time
+		events, removed := 0, 0
+		for i < len(sorted) && sorted[i].Time == t {
+			if sorted[i].Event {
+				events++
+			}
+			removed++
+			i++
+		}
+		if events > 0 {
+			s *= 1 - float64(events)/float64(atRisk)
+			curve = append(curve, SurvivalPoint{Time: t, Survival: s, AtRisk: atRisk, Events: events})
+		}
+		atRisk -= removed
+	}
+	return curve, nil
+}
+
+// MedianSurvival returns the first time S(t) drops to ≤ 0.5, or
+// (0,false) when the curve never reaches it.
+func MedianSurvival(curve []SurvivalPoint) (float64, bool) {
+	for _, p := range curve {
+		if p.Survival <= 0.5 {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,480 @@
+package analytics
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"medchain/internal/cryptoutil"
+	"medchain/internal/emr"
+	"medchain/internal/ml"
+)
+
+// Tool is a deterministic analytics function over local records. Tools
+// run inside a site's premise; only their (small) result leaves.
+type Tool interface {
+	// ID is the registry key, e.g. "cohort.count".
+	ID() string
+	// Run executes over the site's records with JSON params.
+	Run(records []*emr.Record, params json.RawMessage) (json.RawMessage, error)
+	// Compose merges per-site results into the global result. It must
+	// be associative over the site partition.
+	Compose(parts []json.RawMessage) (json.RawMessage, error)
+}
+
+// Registry resolves tool IDs and anchors code identity digests.
+type Registry struct {
+	tools map[string]Tool
+}
+
+// NewRegistry creates a registry preloaded with the built-in tools.
+func NewRegistry() *Registry {
+	r := &Registry{tools: make(map[string]Tool)}
+	for _, t := range []Tool{
+		&CohortCountTool{},
+		&LabSummaryTool{},
+		&SurvivalTool{},
+		&RiskModelTool{},
+	} {
+		r.tools[t.ID()] = t
+	}
+	return r
+}
+
+// Register adds a custom tool; returns an error on duplicate IDs.
+func (r *Registry) Register(t Tool) error {
+	if _, dup := r.tools[t.ID()]; dup {
+		return fmt.Errorf("analytics: tool %q already registered", t.ID())
+	}
+	r.tools[t.ID()] = t
+	return nil
+}
+
+// Get resolves a tool.
+func (r *Registry) Get(id string) (Tool, bool) {
+	t, ok := r.tools[id]
+	return t, ok
+}
+
+// IDs lists registered tool IDs, sorted.
+func (r *Registry) IDs() []string {
+	out := make([]string, 0, len(r.tools))
+	for id := range r.tools {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Digest returns the code-identity digest anchored on chain for a tool
+// (here the hash of its ID + version; a real deployment hashes the
+// binary).
+func Digest(id string) cryptoutil.Digest {
+	return cryptoutil.Sum([]byte("analytics/tool/" + id + "@1"))
+}
+
+// --- cohort.count ---
+
+// CohortParams filter a cohort.
+type CohortParams struct {
+	// Condition restricts to records carrying the label ("" = all).
+	Condition string `json:"condition,omitempty"`
+	// MinAge/MaxAge bound age at the reference year (0 = unbounded).
+	MinAge int `json:"min_age,omitempty"`
+	MaxAge int `json:"max_age,omitempty"`
+	// Sex restricts by sex code ("" = both).
+	Sex string `json:"sex,omitempty"`
+}
+
+// Matches reports whether a record satisfies the filter, ignoring the
+// Condition field (which selects the outcome, not the cohort).
+func (p *CohortParams) matchesDemographics(r *emr.Record) bool {
+	age := r.Patient.Age(emr.ReferenceYear)
+	if p.MinAge > 0 && age < p.MinAge {
+		return false
+	}
+	if p.MaxAge > 0 && age > p.MaxAge {
+		return false
+	}
+	if p.Sex != "" && r.Patient.Sex != p.Sex {
+		return false
+	}
+	return true
+}
+
+// CohortCountResult is the cohort.count output.
+type CohortCountResult struct {
+	// Total is the cohort size after demographic filters.
+	Total int `json:"total"`
+	// Cases is the number of cohort members with the condition.
+	Cases int `json:"cases"`
+	// Prevalence is Cases/Total (0 for an empty cohort).
+	Prevalence float64 `json:"prevalence"`
+}
+
+// CohortCountTool counts condition prevalence in a demographic cohort.
+type CohortCountTool struct{}
+
+// ID implements Tool.
+func (*CohortCountTool) ID() string { return "cohort.count" }
+
+// Run implements Tool.
+func (*CohortCountTool) Run(records []*emr.Record, params json.RawMessage) (json.RawMessage, error) {
+	var p CohortParams
+	if len(params) > 0 {
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("analytics: cohort.count params: %w", err)
+		}
+	}
+	res := CohortCountResult{}
+	for _, r := range records {
+		if !p.matchesDemographics(r) {
+			continue
+		}
+		res.Total++
+		if p.Condition == "" || r.HasCondition(p.Condition) {
+			if p.Condition != "" {
+				res.Cases++
+			}
+		}
+	}
+	if p.Condition != "" && res.Total > 0 {
+		res.Prevalence = float64(res.Cases) / float64(res.Total)
+	}
+	return json.Marshal(res)
+}
+
+// Compose implements Tool: counts add; prevalence is recomputed.
+func (*CohortCountTool) Compose(parts []json.RawMessage) (json.RawMessage, error) {
+	out := CohortCountResult{}
+	for _, raw := range parts {
+		var p CohortCountResult
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, fmt.Errorf("analytics: cohort.count compose: %w", err)
+		}
+		out.Total += p.Total
+		out.Cases += p.Cases
+	}
+	if out.Total > 0 {
+		out.Prevalence = float64(out.Cases) / float64(out.Total)
+	}
+	return json.Marshal(out)
+}
+
+// --- lab.summary ---
+
+// LabSummaryParams select the analyte.
+type LabSummaryParams struct {
+	// Code is the lab code (required).
+	Code string `json:"code"`
+	// Cohort optionally filters patients first.
+	Cohort CohortParams `json:"cohort,omitempty"`
+}
+
+// LabSummaryTool summarizes one lab analyte over the site's records.
+type LabSummaryTool struct{}
+
+// ID implements Tool.
+func (*LabSummaryTool) ID() string { return "lab.summary" }
+
+// Run implements Tool.
+func (*LabSummaryTool) Run(records []*emr.Record, params json.RawMessage) (json.RawMessage, error) {
+	var p LabSummaryParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("analytics: lab.summary params: %w", err)
+	}
+	if p.Code == "" {
+		return nil, errors.New("analytics: lab.summary needs a code")
+	}
+	var values []float64
+	for _, r := range records {
+		if !p.Cohort.matchesDemographics(r) {
+			continue
+		}
+		for _, l := range r.Labs {
+			if l.Code == p.Code {
+				values = append(values, l.Value)
+			}
+		}
+	}
+	if len(values) == 0 {
+		// An empty summary composes as identity.
+		return json.Marshal(&Summary{})
+	}
+	s, err := Summarize(values)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(s)
+}
+
+// Compose implements Tool: exact moment pooling.
+func (*LabSummaryTool) Compose(parts []json.RawMessage) (json.RawMessage, error) {
+	summaries := make([]*Summary, 0, len(parts))
+	for _, raw := range parts {
+		var s Summary
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, fmt.Errorf("analytics: lab.summary compose: %w", err)
+		}
+		summaries = append(summaries, &s)
+	}
+	pooled, err := PoolSummaries(summaries)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(pooled)
+}
+
+// --- survival.km ---
+
+// SurvivalParams select the cohort for the Kaplan–Meier estimate.
+type SurvivalParams struct {
+	// Cohort filters patients.
+	Cohort CohortParams `json:"cohort,omitempty"`
+}
+
+// SurvivalResult carries either per-site observations (site runs) or
+// the composed global curve.
+type SurvivalResult struct {
+	// Observations are (time,event) pairs extracted at the site. Times
+	// are days from first encounter to first emergency encounter
+	// (event) or last encounter (censored).
+	Observations []Observation `json:"observations,omitempty"`
+	// Curve is the composed Kaplan–Meier estimate.
+	Curve []SurvivalPoint `json:"curve,omitempty"`
+	// MedianTime is the median survival time (0 when not reached).
+	MedianTime float64 `json:"median_time,omitempty"`
+}
+
+// SurvivalTool extracts survival observations per site and composes a
+// global Kaplan–Meier curve. Only (time,event) pairs leave the site —
+// no identities, encounters, or labs.
+type SurvivalTool struct{}
+
+// ID implements Tool.
+func (*SurvivalTool) ID() string { return "survival.km" }
+
+// Run implements Tool.
+func (*SurvivalTool) Run(records []*emr.Record, params json.RawMessage) (json.RawMessage, error) {
+	var p SurvivalParams
+	if len(params) > 0 {
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("analytics: survival.km params: %w", err)
+		}
+	}
+	res := SurvivalResult{}
+	for _, r := range records {
+		if !p.Cohort.matchesDemographics(r) {
+			continue
+		}
+		obs, ok := observationOf(r)
+		if ok {
+			res.Observations = append(res.Observations, obs)
+		}
+	}
+	return json.Marshal(res)
+}
+
+// observationOf derives one subject's (time,event): time runs from the
+// first encounter to the first emergency encounter (event) or to the
+// last encounter (censored). Records with fewer than 2 encounters are
+// skipped.
+func observationOf(r *emr.Record) (Observation, bool) {
+	if len(r.Encounters) < 2 {
+		return Observation{}, false
+	}
+	encs := append([]emr.Encounter(nil), r.Encounters...)
+	sort.Slice(encs, func(i, j int) bool { return encs[i].At < encs[j].At })
+	start := encs[0].At
+	for _, e := range encs[1:] {
+		if e.Type == "emergency" {
+			return Observation{Time: float64(e.At-start) / 86400, Event: true}, true
+		}
+	}
+	return Observation{Time: float64(encs[len(encs)-1].At-start) / 86400, Event: false}, true
+}
+
+// Compose implements Tool: union the observations, fit the global
+// curve.
+func (*SurvivalTool) Compose(parts []json.RawMessage) (json.RawMessage, error) {
+	var all []Observation
+	for _, raw := range parts {
+		var p SurvivalResult
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, fmt.Errorf("analytics: survival.km compose: %w", err)
+		}
+		all = append(all, p.Observations...)
+	}
+	if len(all) == 0 {
+		return json.Marshal(&SurvivalResult{})
+	}
+	curve, err := KaplanMeier(all)
+	if err != nil {
+		return nil, err
+	}
+	res := SurvivalResult{Curve: curve}
+	if m, ok := MedianSurvival(curve); ok {
+		res.MedianTime = m
+	}
+	return json.Marshal(&res)
+}
+
+// --- risk.logistic ---
+
+// RiskModelParams configure the local risk-model fit.
+type RiskModelParams struct {
+	// Condition is the outcome label (required).
+	Condition string `json:"condition"`
+	// Epochs and LearningRate control the local fit.
+	Epochs       int     `json:"epochs,omitempty"`
+	LearningRate float64 `json:"learning_rate,omitempty"`
+	// Seed drives shuffling.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// RiskModelResult is a locally-fit logistic model plus its sample count
+// (the FedAvg weight).
+type RiskModelResult struct {
+	// Params is the flattened [W...,B] parameter vector.
+	Params []float64 `json:"params"`
+	// Samples is the local training-set size.
+	Samples int `json:"samples"`
+	// TrainLogLoss is the final local training loss.
+	TrainLogLoss float64 `json:"train_log_loss"`
+}
+
+// RiskModelTool fits a logistic risk model on local records; composing
+// performs one FedAvg-style weighted parameter average.
+type RiskModelTool struct{}
+
+// ID implements Tool.
+func (*RiskModelTool) ID() string { return "risk.logistic" }
+
+// Run implements Tool.
+func (*RiskModelTool) Run(records []*emr.Record, params json.RawMessage) (json.RawMessage, error) {
+	var p RiskModelParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("analytics: risk.logistic params: %w", err)
+	}
+	if p.Condition == "" {
+		return nil, errors.New("analytics: risk.logistic needs a condition")
+	}
+	if p.Epochs <= 0 {
+		p.Epochs = 30
+	}
+	if p.LearningRate <= 0 {
+		p.LearningRate = 0.1
+	}
+	ds, err := RecordsToDataset(records, p.Condition)
+	if err != nil {
+		return nil, err
+	}
+	m := ml.NewLogisticModel(ds.Dim())
+	loss, err := m.Train(ds, ml.TrainConfig{Epochs: p.Epochs, LearningRate: p.LearningRate, Seed: p.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(&RiskModelResult{Params: m.Params(), Samples: ds.Len(), TrainLogLoss: loss})
+}
+
+// Compose implements Tool: weighted parameter averaging.
+func (*RiskModelTool) Compose(parts []json.RawMessage) (json.RawMessage, error) {
+	var vectors [][]float64
+	var weights []float64
+	samples := 0
+	for _, raw := range parts {
+		var p RiskModelResult
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, fmt.Errorf("analytics: risk.logistic compose: %w", err)
+		}
+		if p.Samples == 0 {
+			continue
+		}
+		vectors = append(vectors, p.Params)
+		weights = append(weights, float64(p.Samples))
+		samples += p.Samples
+	}
+	if len(vectors) == 0 {
+		return nil, ErrNoData
+	}
+	dim := len(vectors[0])
+	avg := make([]float64, dim)
+	var totalW float64
+	for i, v := range vectors {
+		if len(v) != dim {
+			return nil, errors.New("analytics: risk.logistic compose: ragged params")
+		}
+		for j := range v {
+			avg[j] += weights[i] * v[j]
+		}
+		totalW += weights[i]
+	}
+	for j := range avg {
+		avg[j] /= totalW
+	}
+	return json.Marshal(&RiskModelResult{Params: avg, Samples: samples})
+}
+
+// RecordsToDataset builds a standardized-free ml.Dataset from records
+// for a condition label. (Standardization is the caller's choice; the
+// federated path standardizes with pooled moments.)
+func RecordsToDataset(records []*emr.Record, condition string) (*ml.Dataset, error) {
+	if len(records) == 0 {
+		return nil, ErrNoData
+	}
+	x := make([][]float64, len(records))
+	y := make([]float64, len(records))
+	for i, r := range records {
+		x[i] = emr.FeatureVector(r)
+		if r.HasCondition(condition) {
+			y[i] = 1
+		}
+	}
+	return ml.NewDataset(x, y)
+}
+
+// Pipeline is the "analytics decision tree" of §IV: an ordered list of
+// steps where each step may inspect prior results to decide whether to
+// run (the pipeline of tools "dynamically established").
+type Pipeline struct {
+	// Steps run in order.
+	Steps []PipelineStep
+}
+
+// PipelineStep is one tool invocation in a pipeline.
+type PipelineStep struct {
+	// Name labels the step's output.
+	Name string
+	// ToolID selects the registered tool.
+	ToolID string
+	// Params are the tool params.
+	Params json.RawMessage
+	// SkipIf, when non-nil, is evaluated against prior results; true
+	// skips the step (the decision-tree branch).
+	SkipIf func(prior map[string]json.RawMessage) bool
+}
+
+// RunPipeline executes the pipeline over local records, returning the
+// named step results. Skipped steps are absent from the map.
+func RunPipeline(reg *Registry, records []*emr.Record, p *Pipeline) (map[string]json.RawMessage, error) {
+	out := make(map[string]json.RawMessage, len(p.Steps))
+	for i, step := range p.Steps {
+		if step.Name == "" {
+			return nil, fmt.Errorf("analytics: pipeline step %d has no name", i)
+		}
+		if step.SkipIf != nil && step.SkipIf(out) {
+			continue
+		}
+		tool, ok := reg.Get(step.ToolID)
+		if !ok {
+			return nil, fmt.Errorf("analytics: pipeline step %q: unknown tool %q", step.Name, step.ToolID)
+		}
+		res, err := tool.Run(records, step.Params)
+		if err != nil {
+			return nil, fmt.Errorf("analytics: pipeline step %q: %w", step.Name, err)
+		}
+		out[step.Name] = res
+	}
+	return out, nil
+}

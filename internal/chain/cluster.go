@@ -1,0 +1,284 @@
+package chain
+
+import (
+	"fmt"
+	"time"
+
+	"medchain/internal/consensus"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+	"medchain/internal/p2p"
+)
+
+// EngineKind selects the consensus engine of a cluster.
+type EngineKind string
+
+// Engine kinds.
+const (
+	EnginePoW    EngineKind = "pow"
+	EnginePoA    EngineKind = "poa"
+	EngineQuorum EngineKind = "quorum"
+	EnginePoS    EngineKind = "pos"
+)
+
+// ClusterConfig configures a simulated cluster.
+type ClusterConfig struct {
+	// Nodes is the cluster size (≥1).
+	Nodes int
+	// ChainID isolates ledgers; defaults to "medchain".
+	ChainID string
+	// Engine selects consensus; defaults to EngineQuorum.
+	Engine EngineKind
+	// PowDifficulty is the PoW leading-zero-bit target (EnginePoW).
+	PowDifficulty uint8
+	// Stakes assigns per-node stake for EnginePoS (defaults to equal
+	// stakes of 100). Length must match Nodes when set.
+	Stakes []uint64
+	// Network is the link model for the underlying p2p.Network.
+	Network p2p.Config
+	// MaxBlockTxs caps transactions per block (0 = unlimited).
+	MaxBlockTxs int
+	// CommitTimeout bounds one Commit round; defaults to 10s.
+	CommitTimeout time.Duration
+	// KeySeed prefixes the deterministic node key seeds.
+	KeySeed string
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.ChainID == "" {
+		c.ChainID = "medchain"
+	}
+	if c.Engine == "" {
+		c.Engine = EngineQuorum
+	}
+	if c.CommitTimeout <= 0 {
+		c.CommitTimeout = 10 * time.Second
+	}
+	if c.KeySeed == "" {
+		c.KeySeed = "cluster"
+	}
+	return c
+}
+
+// Cluster is a set of nodes sharing a simulated network — the "global
+// medical blockchain" of paper Fig. 2 in miniature.
+type Cluster struct {
+	cfg   ClusterConfig
+	net   *p2p.Network
+	nodes []*Node
+	keys  []*cryptoutil.KeyPair
+	pow   *consensus.PoW // shared work counter when Engine == EnginePoW
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("chain: cluster needs at least 1 node, got %d", cfg.Nodes)
+	}
+	keys := make([]*cryptoutil.KeyPair, cfg.Nodes)
+	for i := range keys {
+		kp, err := cryptoutil.DeriveKeyPair(fmt.Sprintf("%s/node-%d", cfg.KeySeed, i))
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = kp
+	}
+	vals, err := consensus.NewValidatorSet(keys)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{cfg: cfg, net: p2p.NewNetwork(cfg.Network), keys: keys}
+	for i := 0; i < cfg.Nodes; i++ {
+		var engine consensus.Engine
+		switch cfg.Engine {
+		case EnginePoW:
+			if c.pow == nil {
+				c.pow = &consensus.PoW{Difficulty: cfg.PowDifficulty}
+			}
+			engine = c.pow
+		case EnginePoA:
+			engine = consensus.NewPoA(vals)
+		case EngineQuorum:
+			engine = consensus.NewQuorum(vals)
+		case EnginePoS:
+			stakes := cfg.Stakes
+			if stakes == nil {
+				stakes = make([]uint64, cfg.Nodes)
+				for j := range stakes {
+					stakes[j] = 100
+				}
+			}
+			var err error
+			engine, err = consensus.NewPoS(vals, stakes, cfg.ChainID)
+			if err != nil {
+				c.net.Close()
+				return nil, err
+			}
+		default:
+			c.net.Close()
+			return nil, fmt.Errorf("chain: unknown engine %q", cfg.Engine)
+		}
+		id := p2p.NodeID(fmt.Sprintf("node-%d", i))
+		n, err := NewNode(id, keys[i], cfg.ChainID, engine, c.net)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	return c, nil
+}
+
+// Nodes returns the cluster's nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Size returns the node count.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Network exposes the underlying simulated network (stats, partitions).
+func (c *Cluster) Network() *p2p.Network { return c.net }
+
+// PoWWork returns total mining hash attempts (EnginePoW only).
+func (c *Cluster) PoWWork() int64 {
+	if c.pow == nil {
+		return 0
+	}
+	return c.pow.HashAttempts()
+}
+
+// Submit gossips a transaction into every mempool via node 0.
+func (c *Cluster) Submit(tx *ledger.Transaction) error {
+	return c.nodes[0].Gossip(tx)
+}
+
+// maxHeightIndex returns the index of the node with the highest chain.
+func (c *Cluster) maxHeightIndex() int {
+	best := 0
+	for i, n := range c.nodes {
+		if n.Height() > c.nodes[best].Height() {
+			best = i
+		}
+	}
+	return best
+}
+
+// proposerIndex returns the node scheduled to propose the next block,
+// judged from the most advanced node's height (a lagging node 0 must
+// not skew the schedule).
+func (c *Cluster) proposerIndex() int {
+	ref := c.nodes[c.maxHeightIndex()]
+	next := ref.Height() + 1
+	addr, restricted := ref.engine.ProposerAt(next)
+	if !restricted {
+		return int(next) % len(c.nodes) // PoW: rotate for fairness
+	}
+	for i, k := range c.keys {
+		if k.Address() == addr {
+			return i
+		}
+	}
+	return 0
+}
+
+// Commit produces one block from the scheduled proposer and waits until
+// every node has applied it. It returns the committed block.
+func (c *Cluster) Commit() (*ledger.Block, error) {
+	// Bring a lagging proposer (e.g. freshly healed from a partition)
+	// up to date before it builds on a stale head.
+	ref := c.maxHeightIndex()
+	p := c.nodes[c.proposerIndex()]
+	if p.Height() < c.nodes[ref].Height() {
+		p.requestSync(c.nodes[ref].ID())
+		deadline := time.Now().Add(c.cfg.CommitTimeout)
+		for p.Height() < c.nodes[ref].Height() {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("chain: proposer %s stuck behind at height %d", p.ID(), p.Height())
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	votesNeeded := 0
+	blk, err := p.produceBlock(c.cfg.MaxBlockTxs, votesNeeded, c.cfg.CommitTimeout)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(c.cfg.CommitTimeout)
+	for {
+		done := true
+		for _, n := range c.nodes {
+			if n.Height() < blk.Header.Height {
+				done = false
+				break
+			}
+		}
+		if done {
+			return blk, nil
+		}
+		if time.Now().After(deadline) {
+			return blk, fmt.Errorf("chain: %w: block %d not replicated everywhere", ErrNoQuorum, blk.Header.Height)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// CommitAll repeatedly commits blocks until every mempool is empty,
+// returning the number of blocks produced.
+func (c *Cluster) CommitAll() (int, error) {
+	blocks := 0
+	for {
+		pending := 0
+		for _, n := range c.nodes {
+			pending += n.MempoolSize()
+		}
+		if pending == 0 {
+			return blocks, nil
+		}
+		if _, err := c.Commit(); err != nil {
+			return blocks, err
+		}
+		blocks++
+	}
+}
+
+// TotalGasUsed sums executed gas across all nodes — the cluster-wide
+// cost of duplicated computing (E2's numerator).
+func (c *Cluster) TotalGasUsed() int64 {
+	var total int64
+	for _, n := range c.nodes {
+		total += n.GasUsed()
+	}
+	return total
+}
+
+// UsefulGasUsed is the gas one execution of the committed history
+// costs (E2's denominator): node 0's gas.
+func (c *Cluster) UsefulGasUsed() int64 { return c.nodes[0].GasUsed() }
+
+// VerifyConsistency checks all nodes share the same head hash and state
+// root.
+func (c *Cluster) VerifyConsistency() error {
+	head := c.nodes[0].Chain().Head()
+	root := c.nodes[0].State().Root()
+	for i, n := range c.nodes[1:] {
+		if h := n.Chain().Head(); h.Hash() != head.Hash() {
+			return fmt.Errorf("chain: node %d head %s != node 0 head %s", i+1, h.Hash().Short(), head.Hash().Short())
+		}
+		if r := n.State().Root(); r != root {
+			return fmt.Errorf("%w: node %d", ErrRootDiverged, i+1)
+		}
+	}
+	return nil
+}
+
+// Close stops all nodes and the network.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		n.Close()
+	}
+	c.net.Close()
+}

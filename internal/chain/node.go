@@ -1,0 +1,540 @@
+// Package chain assembles the full medical-blockchain node: mempool,
+// consensus-driven block production, broadcast replication, and the
+// replicated contract state machine. A Cluster wires N nodes over a
+// p2p.Network and is the substrate of experiments E1 (scalability) and
+// E2 (duplicated computation): every node validates every transaction
+// and executes every contract, exactly the architecture the paper sets
+// out to transform.
+//
+// Block production is explicitly driven (Cluster.Commit) so experiments
+// are deterministic: the scheduled proposer packages its mempool,
+// reaches consensus (mines, signs, or gathers a 2f+1 vote certificate
+// over the network), broadcasts the block, and every node validates,
+// applies, and checks the state root.
+package chain
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"medchain/internal/consensus"
+	"medchain/internal/contract"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+	"medchain/internal/p2p"
+	"medchain/internal/vm"
+)
+
+// Message topics on the wire.
+const (
+	topicTx       = "chain/tx"
+	topicProposal = "chain/proposal"
+	topicVote     = "chain/vote"
+	topicBlock    = "chain/block"
+	topicSyncReq  = "chain/sync_req"
+)
+
+// Errors.
+var (
+	ErrStopped      = errors.New("chain: node stopped")
+	ErrMempool      = errors.New("chain: mempool rejected transaction")
+	ErrNoQuorum     = errors.New("chain: vote collection failed")
+	ErrRootDiverged = errors.New("chain: state root diverged")
+)
+
+// EventRecord is a contract event annotated with its chain position;
+// oracles (package oracle) consume these.
+type EventRecord struct {
+	// Height is the block the event was committed in.
+	Height uint64 `json:"height"`
+	// TxID is the emitting transaction.
+	TxID cryptoutil.Digest `json:"tx_id"`
+	// Event is the contract event.
+	Event vm.Event `json:"event"`
+}
+
+// Node is one blockchain participant.
+type Node struct {
+	id     p2p.NodeID
+	key    *cryptoutil.KeyPair
+	engine consensus.Engine
+	ep     p2p.Endpoint
+
+	mu        sync.Mutex
+	chain     *ledger.Chain
+	state     *contract.State
+	mempool   []*ledger.Transaction
+	seen      map[cryptoutil.Digest]bool // mempool + committed tx IDs
+	receipts  map[cryptoutil.Digest]*contract.Receipt
+	gasUsed   int64           // cumulative gas this node burned executing contracts
+	appliedBy map[uint64]bool // heights already applied locally (proposer pre-applies)
+
+	subsMu sync.Mutex
+	subs   []chan EventRecord
+
+	votesMu sync.Mutex
+	votes   map[cryptoutil.Digest][]consensus.Vote
+
+	wg      sync.WaitGroup
+	stopped chan struct{}
+}
+
+// NewNode creates a node attached to a simulated network. chainID must
+// match across the cluster.
+func NewNode(id p2p.NodeID, key *cryptoutil.KeyPair, chainID string, engine consensus.Engine, net *p2p.Network) (*Node, error) {
+	ep, err := net.Join(id)
+	if err != nil {
+		return nil, fmt.Errorf("chain: join network: %w", err)
+	}
+	return NewNodeWithEndpoint(id, key, chainID, engine, ep), nil
+}
+
+// NewNodeWithEndpoint creates a node over any transport implementing
+// p2p.Endpoint (e.g. a TCP endpoint for multi-process deployments).
+func NewNodeWithEndpoint(id p2p.NodeID, key *cryptoutil.KeyPair, chainID string, engine consensus.Engine, ep p2p.Endpoint) *Node {
+	n := &Node{
+		id:        id,
+		key:       key,
+		engine:    engine,
+		ep:        ep,
+		chain:     ledger.NewChain(chainID),
+		state:     contract.NewState(),
+		seen:      make(map[cryptoutil.Digest]bool),
+		receipts:  make(map[cryptoutil.Digest]*contract.Receipt),
+		appliedBy: make(map[uint64]bool),
+		votes:     make(map[cryptoutil.Digest][]consensus.Vote),
+		stopped:   make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.loop()
+	return n
+}
+
+// ID returns the node's network identity.
+func (n *Node) ID() p2p.NodeID { return n.id }
+
+// Address returns the node's chain address.
+func (n *Node) Address() cryptoutil.Address { return n.key.Address() }
+
+// Chain exposes the node's ledger (read-only use).
+func (n *Node) Chain() *ledger.Chain { return n.chain }
+
+// State exposes the node's contract state (read-only use).
+func (n *Node) State() *contract.State { return n.state }
+
+// SetHost installs oracle host functions on the node's state machine.
+func (n *Node) SetHost(host map[string]vm.HostFunc) { n.state.SetHost(host) }
+
+// GasUsed returns the cumulative gas this node burned executing
+// transactions (its share of the cluster's duplicated computation).
+func (n *Node) GasUsed() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.gasUsed
+}
+
+// Height returns the node's chain height.
+func (n *Node) Height() uint64 { return n.chain.Height() }
+
+// Receipt returns the receipt of a committed transaction.
+func (n *Node) Receipt(txID cryptoutil.Digest) (*contract.Receipt, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.receipts[txID]
+	return r, ok
+}
+
+// SubscribeEvents returns a channel of committed contract events. The
+// channel is buffered; slow consumers lose events (counted by the
+// oracle's own retry logic). Close the node to release it.
+func (n *Node) SubscribeEvents(buf int) <-chan EventRecord {
+	if buf <= 0 {
+		buf = 1024
+	}
+	ch := make(chan EventRecord, buf)
+	n.subsMu.Lock()
+	n.subs = append(n.subs, ch)
+	n.subsMu.Unlock()
+	return ch
+}
+
+func (n *Node) publish(rec EventRecord) {
+	n.subsMu.Lock()
+	defer n.subsMu.Unlock()
+	for _, ch := range n.subs {
+		select {
+		case ch <- rec:
+		default: // drop for slow consumers
+		}
+	}
+}
+
+// EventsSince reconstructs the committed event stream after a height
+// from stored receipts — the catch-up path for a monitor node that was
+// down (SubscribeEvents only streams events committed while attached).
+func (n *Node) EventsSince(height uint64) []EventRecord {
+	var out []EventRecord
+	n.chain.Walk(func(blk *ledger.Block) bool {
+		if blk.Header.Height <= height {
+			return true
+		}
+		for _, tx := range blk.Txs {
+			r, ok := n.Receipt(tx.ID())
+			if !ok {
+				continue
+			}
+			for _, ev := range r.Events {
+				out = append(out, EventRecord{Height: blk.Header.Height, TxID: tx.ID(), Event: ev})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// SubmitLocal validates a transaction into the local mempool (no
+// gossip).
+func (n *Node) SubmitLocal(tx *ledger.Transaction) error {
+	if err := tx.Verify(); err != nil {
+		return fmt.Errorf("%w: %v", ErrMempool, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	id := tx.ID()
+	if n.seen[id] {
+		return nil // idempotent
+	}
+	n.seen[id] = true
+	n.mempool = append(n.mempool, tx)
+	return nil
+}
+
+// Gossip broadcasts a transaction to every node (including storing it
+// locally) — the paper's broadcast protocol for intent ledger
+// modifications.
+func (n *Node) Gossip(tx *ledger.Transaction) error {
+	if err := n.SubmitLocal(tx); err != nil {
+		return err
+	}
+	body, err := tx.Encode()
+	if err != nil {
+		return err
+	}
+	return n.ep.BroadcastMsg(topicTx, body)
+}
+
+// MempoolSize returns the number of pending transactions.
+func (n *Node) MempoolSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.mempool)
+}
+
+// Close stops the node's loop. The p2p endpoint is closed by the
+// network owner.
+func (n *Node) Close() {
+	select {
+	case <-n.stopped:
+		return
+	default:
+		close(n.stopped)
+	}
+	n.ep.Close()
+	n.wg.Wait()
+}
+
+// loop consumes network messages until the node stops.
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopped:
+			return
+		case msg, ok := <-n.ep.Inbox():
+			if !ok {
+				return
+			}
+			n.handle(msg)
+		}
+	}
+}
+
+func (n *Node) handle(msg p2p.Message) {
+	switch msg.Topic {
+	case topicTx:
+		tx, err := ledger.DecodeTransaction(msg.Payload)
+		if err != nil {
+			return
+		}
+		_ = n.SubmitLocal(tx)
+
+	case topicProposal:
+		blk, err := ledger.DecodeBlock(msg.Payload)
+		if err != nil {
+			return
+		}
+		// Vote only for structurally valid blocks extending our head.
+		if err := n.chain.Validate(blk); err != nil {
+			return
+		}
+		vote, err := consensus.SignVote(blk.Hash(), n.key)
+		if err != nil {
+			return
+		}
+		body, err := json.Marshal(vote)
+		if err != nil {
+			return
+		}
+		_ = n.ep.Send(msg.From, topicVote, body)
+
+	case topicVote:
+		var v consensus.Vote
+		if err := json.Unmarshal(msg.Payload, &v); err != nil {
+			return
+		}
+		n.votesMu.Lock()
+		n.votes[v.Block] = append(n.votes[v.Block], v)
+		n.votesMu.Unlock()
+
+	case topicBlock:
+		blk, err := ledger.DecodeBlock(msg.Payload)
+		if err != nil {
+			return
+		}
+		if blk.Header.Height > n.chain.Height()+1 {
+			// We fell behind (partition, restart): ask the sender for
+			// the gap. The fresh block will be re-delivered by the
+			// sync response.
+			n.requestSync(msg.From)
+			return
+		}
+		_ = n.acceptBlock(blk)
+
+	case topicSyncReq:
+		// Peer tells us its head height; send every block after it, in
+		// order, directly back.
+		var from uint64
+		if err := json.Unmarshal(msg.Payload, &from); err != nil {
+			return
+		}
+		head := n.chain.Height()
+		for h := from + 1; h <= head; h++ {
+			blk, err := n.chain.BlockAt(h)
+			if err != nil {
+				return
+			}
+			body, err := blk.Encode()
+			if err != nil {
+				return
+			}
+			if err := n.ep.Send(msg.From, topicBlock, body); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// requestSync asks a peer for all blocks after our head.
+func (n *Node) requestSync(peer p2p.NodeID) {
+	body, err := json.Marshal(n.chain.Height())
+	if err != nil {
+		return
+	}
+	_ = n.ep.Send(peer, topicSyncReq, body)
+}
+
+// acceptBlock verifies consensus + ledger rules, appends, and executes
+// every transaction (replicated execution). It is idempotent for
+// already-known heights.
+func (n *Node) acceptBlock(blk *ledger.Block) error {
+	if blk.Header.Height <= n.chain.Height() {
+		return nil // already have it
+	}
+	if err := n.engine.VerifySeal(blk); err != nil {
+		return err
+	}
+	if err := n.chain.Validate(blk); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	preApplied := n.appliedBy[blk.Header.Height]
+	n.mu.Unlock()
+	if !preApplied {
+		if err := n.execute(blk); err != nil {
+			return err
+		}
+		// Every honest node must reproduce the proposer's state root —
+		// this is the consistency check of replicated execution.
+		if root := n.state.Root(); root != blk.Header.StateRoot {
+			return fmt.Errorf("%w: computed %s, header %s", ErrRootDiverged, root.Short(), blk.Header.StateRoot.Short())
+		}
+	}
+	if err := n.chain.Append(blk); err != nil {
+		return err
+	}
+	n.pruneMempool(blk)
+	return nil
+}
+
+// execute applies all transactions of a block to the state machine,
+// recording receipts, gas, and events.
+func (n *Node) execute(blk *ledger.Block) error {
+	for _, tx := range blk.Txs {
+		r, err := n.state.Apply(tx, blk.Header.Height, blk.Header.Timestamp)
+		if err != nil {
+			return err
+		}
+		n.mu.Lock()
+		n.receipts[tx.ID()] = r
+		n.gasUsed += r.GasUsed
+		n.mu.Unlock()
+		for _, ev := range r.Events {
+			n.publish(EventRecord{Height: blk.Header.Height, TxID: tx.ID(), Event: ev})
+		}
+	}
+	return nil
+}
+
+func (n *Node) pruneMempool(blk *ledger.Block) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	inBlock := make(map[cryptoutil.Digest]bool, len(blk.Txs))
+	for _, tx := range blk.Txs {
+		inBlock[tx.ID()] = true
+	}
+	kept := n.mempool[:0]
+	for _, tx := range n.mempool {
+		if !inBlock[tx.ID()] {
+			kept = append(kept, tx)
+		}
+	}
+	n.mempool = kept
+}
+
+// takeMempool drains up to max transactions in deterministic order
+// (sender address, then nonce, then ID).
+func (n *Node) takeMempool(max int) []*ledger.Transaction {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	txs := make([]*ledger.Transaction, len(n.mempool))
+	copy(txs, n.mempool)
+	sort.Slice(txs, func(i, j int) bool {
+		if txs[i].From != txs[j].From {
+			return txs[i].From.String() < txs[j].From.String()
+		}
+		if txs[i].Nonce != txs[j].Nonce {
+			return txs[i].Nonce < txs[j].Nonce
+		}
+		return txs[i].ID().String() < txs[j].ID().String()
+	})
+	if max > 0 && len(txs) > max {
+		txs = txs[:max]
+	}
+	return txs
+}
+
+// produceBlock builds, seals, pre-applies, and broadcasts the next
+// block from this node's mempool. Returns the committed block.
+func (n *Node) produceBlock(maxTxs int, votesNeeded int, voteTimeout time.Duration) (*ledger.Block, error) {
+	txs := n.takeMempool(maxTxs)
+	head := n.chain.Head()
+	ts := head.Header.Timestamp + 1
+
+	blk := &ledger.Block{
+		Header: ledger.Header{
+			Height:    head.Header.Height + 1,
+			Parent:    head.Hash(),
+			Timestamp: ts,
+			Proposer:  n.key.Address(),
+		},
+		Txs: txs,
+	}
+	root, err := ledger.ComputeTxRoot(txs)
+	if err != nil {
+		return nil, err
+	}
+	blk.Header.TxRoot = root
+
+	// Execute to obtain the post-state root (proposer pre-applies;
+	// followers re-execute and must agree).
+	if err := n.execute(blk); err != nil {
+		return nil, err
+	}
+	blk.Header.StateRoot = n.state.Root()
+	n.mu.Lock()
+	n.appliedBy[blk.Header.Height] = true
+	n.mu.Unlock()
+
+	switch eng := n.engine.(type) {
+	case *consensus.Quorum:
+		if err := n.gatherQuorum(eng, blk, votesNeeded, voteTimeout); err != nil {
+			return nil, err
+		}
+	default:
+		if err := n.engine.Seal(blk, n.key); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := n.chain.Append(blk); err != nil {
+		return nil, err
+	}
+	n.pruneMempool(blk)
+
+	body, err := blk.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := n.ep.BroadcastMsg(topicBlock, body); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+// gatherQuorum runs one round of the vote protocol: broadcast the
+// proposal, collect 2f+1 votes (own vote included), attach the
+// certificate.
+func (n *Node) gatherQuorum(eng *consensus.Quorum, blk *ledger.Block, votesNeeded int, timeout time.Duration) error {
+	hash := blk.Hash()
+	own, err := consensus.SignVote(hash, n.key)
+	if err != nil {
+		return err
+	}
+	n.votesMu.Lock()
+	n.votes[hash] = append(n.votes[hash], own)
+	n.votesMu.Unlock()
+
+	body, err := blk.Encode()
+	if err != nil {
+		return err
+	}
+	if err := n.ep.BroadcastMsg(topicProposal, body); err != nil {
+		return err
+	}
+
+	if votesNeeded <= 0 {
+		votesNeeded = eng.Validators().QuorumThreshold()
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		n.votesMu.Lock()
+		got := len(n.votes[hash])
+		n.votesMu.Unlock()
+		if got >= votesNeeded {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: %d/%d votes", ErrNoQuorum, got, votesNeeded)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	n.votesMu.Lock()
+	qc := &consensus.QuorumCert{Block: hash, Votes: append([]consensus.Vote(nil), n.votes[hash]...)}
+	delete(n.votes, hash)
+	n.votesMu.Unlock()
+	return eng.AttachCert(blk, qc)
+}

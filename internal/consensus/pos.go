@@ -1,0 +1,128 @@
+package consensus
+
+import (
+	"fmt"
+	"sort"
+
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+)
+
+// PoS is the "virtual mining" engine the paper's introduction discusses
+// as the energy fix that still duplicates computation: the probability
+// of proposing a block is proportional to stake, with no hash puzzle.
+// Selection here is deterministic pseudo-randomness seeded by (height,
+// parent-independent schedule) so all nodes agree on the proposer
+// without communication: the proposer for height h is the validator
+// whose cumulative-stake interval contains H(chainID,h) mod totalStake.
+//
+// The seal is the proposer's signature, like PoA; what differs is the
+// schedule (stake-weighted instead of round-robin).
+type PoS struct {
+	vals    *ValidatorSet
+	stakes  []uint64 // aligned with vals order
+	cum     []uint64 // cumulative stakes, cum[i] = sum(stakes[:i+1])
+	total   uint64
+	chainID string
+}
+
+var _ Engine = (*PoS)(nil)
+
+// NewPoS creates a stake-weighted engine. stakes must align with the
+// validator set's order and be positive.
+func NewPoS(vals *ValidatorSet, stakes []uint64, chainID string) (*PoS, error) {
+	if vals.Len() != len(stakes) {
+		return nil, fmt.Errorf("consensus: %d validators, %d stakes", vals.Len(), len(stakes))
+	}
+	p := &PoS{vals: vals, stakes: append([]uint64(nil), stakes...), chainID: chainID}
+	p.cum = make([]uint64, len(stakes))
+	for i, s := range stakes {
+		if s == 0 {
+			return nil, fmt.Errorf("consensus: validator %d has zero stake", i)
+		}
+		p.total += s
+		p.cum[i] = p.total
+	}
+	return p, nil
+}
+
+// Name implements Engine.
+func (p *PoS) Name() string { return "pos" }
+
+// StakeOf returns a validator's stake (0 if not a validator).
+func (p *PoS) StakeOf(addr cryptoutil.Address) uint64 {
+	for i := 0; i < p.vals.Len(); i++ {
+		if p.vals.At(i).Addr == addr {
+			return p.stakes[i]
+		}
+	}
+	return 0
+}
+
+// TotalStake returns the sum of all stakes.
+func (p *PoS) TotalStake() uint64 { return p.total }
+
+// proposerIndex draws the stake-weighted winner for a height.
+func (p *PoS) proposerIndex(height uint64) int {
+	var hb [8]byte
+	for i := 0; i < 8; i++ {
+		hb[i] = byte(height >> (56 - 8*i))
+	}
+	d := cryptoutil.SumAll([]byte("medchain/pos/"+p.chainID), hb[:])
+	var draw uint64
+	for i := 0; i < 8; i++ {
+		draw = draw<<8 | uint64(d[i])
+	}
+	draw %= p.total
+	// First validator whose cumulative stake exceeds the draw.
+	return sort.Search(len(p.cum), func(i int) bool { return p.cum[i] > draw })
+}
+
+// Seal signs the header hash; the proposer must be the stake-weighted
+// winner for the block height.
+func (p *PoS) Seal(b *ledger.Block, proposer *cryptoutil.KeyPair) error {
+	if b == nil {
+		return ledger.ErrNilBlock
+	}
+	want := p.vals.At(p.proposerIndex(b.Header.Height))
+	if proposer.Address() != want.Addr {
+		return fmt.Errorf("%w: height %d expects %s (stake draw)", ErrWrongProposer, b.Header.Height, want.Addr.Short())
+	}
+	b.Header.Proposer = proposer.Address()
+	sig, err := proposer.Sign(b.Header.Hash())
+	if err != nil {
+		return err
+	}
+	b.Seal = sig[:]
+	return nil
+}
+
+// VerifySeal checks the stake schedule and the signature.
+func (p *PoS) VerifySeal(b *ledger.Block) error {
+	if b == nil {
+		return ledger.ErrNilBlock
+	}
+	want := p.vals.At(p.proposerIndex(b.Header.Height))
+	if b.Header.Proposer != want.Addr {
+		return fmt.Errorf("%w: block proposer %s, stake schedule %s",
+			ErrWrongProposer, b.Header.Proposer.Short(), want.Addr.Short())
+	}
+	if len(b.Seal) != 64 {
+		return fmt.Errorf("%w: seal length %d", ErrBadSeal, len(b.Seal))
+	}
+	pub, err := cryptoutil.DecodePublicKey(want.PubKey)
+	if err != nil {
+		return err
+	}
+	var sig cryptoutil.Signature
+	copy(sig[:], b.Seal)
+	if !cryptoutil.Verify(pub, b.Header.Hash(), sig) {
+		return fmt.Errorf("%w: proposer signature invalid", ErrBadSeal)
+	}
+	return nil
+}
+
+// ProposerAt implements Engine.
+func (p *PoS) ProposerAt(height uint64) (cryptoutil.Address, bool) {
+	return p.vals.At(p.proposerIndex(height)).Addr, true
+}

@@ -1,0 +1,166 @@
+package consensus
+
+import (
+	"testing"
+
+	"medchain/internal/cryptoutil"
+)
+
+func posEngine(t *testing.T, stakes []uint64) (*PoS, []*cryptoutil.KeyPair) {
+	t.Helper()
+	keys := testKeys(t, len(stakes))
+	vs, err := NewValidatorSet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPoS(vs, stakes, "pos-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, keys
+}
+
+func TestPoSValidation(t *testing.T) {
+	keys := testKeys(t, 2)
+	vs, err := NewValidatorSet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPoS(vs, []uint64{1}, "x"); err == nil {
+		t.Fatal("stake count mismatch accepted")
+	}
+	if _, err := NewPoS(vs, []uint64{1, 0}, "x"); err == nil {
+		t.Fatal("zero stake accepted")
+	}
+}
+
+func TestPoSSealVerify(t *testing.T) {
+	p, keys := posEngine(t, []uint64{100, 100, 100})
+	byAddr := map[cryptoutil.Address]*cryptoutil.KeyPair{}
+	for _, k := range keys {
+		byAddr[k.Address()] = k
+	}
+	for h := uint64(1); h <= 10; h++ {
+		addr, restricted := p.ProposerAt(h)
+		if !restricted {
+			t.Fatal("PoS must restrict proposers")
+		}
+		b := testBlock(h)
+		if err := p.Seal(b, byAddr[addr]); err != nil {
+			t.Fatalf("height %d: %v", h, err)
+		}
+		if err := p.VerifySeal(b); err != nil {
+			t.Fatalf("height %d verify: %v", h, err)
+		}
+	}
+}
+
+func TestPoSRejectsWrongProposer(t *testing.T) {
+	p, keys := posEngine(t, []uint64{100, 100, 100})
+	want, _ := p.ProposerAt(1)
+	var wrong *cryptoutil.KeyPair
+	for _, k := range keys {
+		if k.Address() != want {
+			wrong = k
+			break
+		}
+	}
+	b := testBlock(1)
+	if err := p.Seal(b, wrong); err == nil {
+		t.Fatal("out-of-schedule proposer sealed")
+	}
+}
+
+func TestPoSScheduleDeterministicAcrossInstances(t *testing.T) {
+	p1, _ := posEngine(t, []uint64{50, 150, 300})
+	p2, _ := posEngine(t, []uint64{50, 150, 300})
+	for h := uint64(1); h <= 50; h++ {
+		a1, _ := p1.ProposerAt(h)
+		a2, _ := p2.ProposerAt(h)
+		if a1 != a2 {
+			t.Fatalf("height %d: schedules diverge", h)
+		}
+	}
+}
+
+func TestPoSStakeWeightedSelection(t *testing.T) {
+	// A validator with 8x the stake must win roughly 8x as often over
+	// many heights ("winning probability … proportional to the amount
+	// of the virtual currency balance", paper §I).
+	p, keys := posEngine(t, []uint64{800, 100, 100})
+	wins := map[cryptoutil.Address]int{}
+	const heights = 2000
+	for h := uint64(1); h <= heights; h++ {
+		addr, _ := p.ProposerAt(h)
+		wins[addr]++
+	}
+	whale := wins[keys[0].Address()]
+	if whale < heights*6/10 || whale > heights*95/100 {
+		t.Fatalf("800/1000-stake validator won %d/%d", whale, heights)
+	}
+	for i := 1; i < 3; i++ {
+		small := wins[keys[i].Address()]
+		if small == 0 {
+			t.Fatalf("validator %d with stake never proposed", i)
+		}
+		if small >= whale {
+			t.Fatalf("small staker out-proposed the whale: %d vs %d", small, whale)
+		}
+	}
+}
+
+func TestPoSStakeOfAndTotal(t *testing.T) {
+	p, keys := posEngine(t, []uint64{10, 20, 30})
+	if p.TotalStake() != 60 {
+		t.Fatalf("total %d", p.TotalStake())
+	}
+	if p.StakeOf(keys[1].Address()) != 20 {
+		t.Fatal("StakeOf wrong")
+	}
+	if p.StakeOf(cryptoutil.NamedAddress("outsider")) != 0 {
+		t.Fatal("outsider has stake")
+	}
+	if p.Name() != "pos" {
+		t.Fatalf("name %q", p.Name())
+	}
+}
+
+func TestPoSNilBlock(t *testing.T) {
+	p, keys := posEngine(t, []uint64{1, 1})
+	if err := p.Seal(nil, keys[0]); err == nil {
+		t.Fatal("sealed nil block")
+	}
+	if err := p.VerifySeal(nil); err == nil {
+		t.Fatal("verified nil block")
+	}
+}
+
+func TestPoSTamperedSealRejected(t *testing.T) {
+	p, keys := posEngine(t, []uint64{100, 100})
+	byAddr := map[cryptoutil.Address]*cryptoutil.KeyPair{}
+	for _, k := range keys {
+		byAddr[k.Address()] = k
+	}
+	addr, _ := p.ProposerAt(1)
+	b := testBlock(1)
+	if err := p.Seal(b, byAddr[addr]); err != nil {
+		t.Fatal(err)
+	}
+	b.Seal[3] ^= 0xFF
+	if err := p.VerifySeal(b); err == nil {
+		t.Fatal("tampered seal accepted")
+	}
+	// Forged proposer field.
+	b2 := testBlock(1)
+	if err := p.Seal(b2, byAddr[addr]); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if k.Address() != addr {
+			b2.Header.Proposer = k.Address()
+		}
+	}
+	if err := p.VerifySeal(b2); err == nil {
+		t.Fatal("forged proposer accepted")
+	}
+}

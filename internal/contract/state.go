@@ -1,0 +1,976 @@
+package contract
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+	"medchain/internal/vm"
+)
+
+// Gas costs of native contract methods. They exist so experiment E2 can
+// account the computation replicated across nodes in the same unit as
+// VM execution.
+const (
+	gasRegister   = 200
+	gasGrant      = 120
+	gasRevoke     = 80
+	gasRequest    = 100
+	gasAnchor     = 150
+	gasDeployBase = 500
+	gasTrialOp    = 150
+	gasArgByte    = 1
+	// DefaultGasLimit bounds a single VM invocation executed through
+	// the state machine.
+	DefaultGasLimit = 5_000_000
+)
+
+// Receipt is the recorded outcome of applying one transaction.
+type Receipt struct {
+	// TxID identifies the transaction.
+	TxID cryptoutil.Digest `json:"tx_id"`
+	// Height is the block height the tx executed at.
+	Height uint64 `json:"height"`
+	// GasUsed is the metered cost of the execution on ONE node;
+	// replicated execution multiplies this by the node count.
+	GasUsed int64 `json:"gas_used"`
+	// Events are the emitted events (kept on failure too — denials are
+	// part of the audit trail).
+	Events []vm.Event `json:"events,omitempty"`
+	// Err is the failure message ("" on success).
+	Err string `json:"err,omitempty"`
+}
+
+// OK reports whether the transaction succeeded.
+func (r *Receipt) OK() bool { return r.Err == "" }
+
+// Trial is the on-chain clinical-trial record (paper §III.B).
+type Trial struct {
+	// ID is the registry identifier, e.g. "NCT-0042".
+	ID string `json:"id"`
+	// Sponsor is the registering address; only it may report outcomes.
+	Sponsor cryptoutil.Address `json:"sponsor"`
+	// ProtocolDigest anchors the pre-registered protocol document.
+	ProtocolDigest cryptoutil.Digest `json:"protocol_digest"`
+	// PrimaryOutcomes are the pre-registered outcome measures; the
+	// COMPare-style audit compares reports against these.
+	PrimaryOutcomes []string `json:"primary_outcomes"`
+	// Enrollments are recorded participants.
+	Enrollments []Enrollment `json:"enrollments,omitempty"`
+	// Reports are outcome reports in order.
+	Reports []OutcomeReport `json:"reports,omitempty"`
+	// AdverseEvents are RWE surveillance records.
+	AdverseEvents []AdverseEventRecord `json:"adverse_events,omitempty"`
+	// RegisteredAt is the chain timestamp.
+	RegisteredAt int64 `json:"registered_at"`
+}
+
+// Enrollment records one participant joining a trial at a site.
+type Enrollment struct {
+	// Patient is a pseudonymous participant identifier.
+	Patient string `json:"patient"`
+	// Site names the enrolling site.
+	Site string `json:"site"`
+	// By is the enrolling address.
+	By cryptoutil.Address `json:"by"`
+	// At is the chain timestamp.
+	At int64 `json:"at"`
+}
+
+// OutcomeReport is a reported set of outcome measures.
+type OutcomeReport struct {
+	// Outcomes are the outcome measures actually reported.
+	Outcomes []string `json:"outcomes"`
+	// ResultsDigest anchors the off-chain results data.
+	ResultsDigest cryptoutil.Digest `json:"results_digest"`
+	// By is the reporting address.
+	By cryptoutil.Address `json:"by"`
+	// At is the chain timestamp.
+	At int64 `json:"at"`
+}
+
+// AdverseEventRecord is one safety signal from real-world monitoring.
+type AdverseEventRecord struct {
+	// Patient is the pseudonymous participant identifier.
+	Patient string `json:"patient"`
+	// Description summarizes the event.
+	Description string `json:"description"`
+	// Severity is 1 (mild) to 5 (fatal).
+	Severity int `json:"severity"`
+	// Site names the reporting site.
+	Site string `json:"site"`
+	// At is the chain timestamp.
+	At int64 `json:"at"`
+}
+
+// State is the replicated contract state machine. Applying the same
+// transaction sequence yields the same state (and state root) on every
+// node. It is safe for concurrent use.
+type State struct {
+	mu        sync.RWMutex
+	datasets  map[string]*Dataset
+	tools     map[string]*Tool
+	policies  map[string]*Policy // keyed by resource ID ("data:<id>" / "tool:<id>")
+	trials    map[string]*Trial
+	anchors   map[string]*Anchor
+	deployed  map[cryptoutil.Address]*Deployed
+	vmStorage map[cryptoutil.Address]*vm.MemStorage
+	// host provides HOST functions to VM executions; nil disables.
+	host map[string]vm.HostFunc
+	// requestSeq numbers access/run requests for event correlation.
+	requestSeq uint64
+}
+
+// NewState creates an empty state machine.
+func NewState() *State {
+	return &State{
+		datasets:  make(map[string]*Dataset),
+		tools:     make(map[string]*Tool),
+		policies:  make(map[string]*Policy),
+		trials:    make(map[string]*Trial),
+		anchors:   make(map[string]*Anchor),
+		deployed:  make(map[cryptoutil.Address]*Deployed),
+		vmStorage: make(map[cryptoutil.Address]*vm.MemStorage),
+	}
+}
+
+// SetHost installs the HOST function table used by VM invocations (the
+// oracle bridge). Host functions must be deterministic across nodes for
+// replicated execution to agree; the monitor-node design of Fig. 3
+// achieves that by returning canonical standard-format responses.
+func (s *State) SetHost(host map[string]vm.HostFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.host = host
+}
+
+// resource keys.
+func dataKey(id string) string { return "data:" + id }
+func toolKey(id string) string { return "tool:" + id }
+
+// Apply executes one transaction at the given height/timestamp and
+// returns its receipt. The error return is non-nil only for arguments
+// the caller should treat as a programming error (nil tx); domain
+// failures are reported in the receipt.
+func (s *State) Apply(tx *ledger.Transaction, height uint64, now int64) (*Receipt, error) {
+	if tx == nil {
+		return nil, fmt.Errorf("contract: nil transaction")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := &Receipt{TxID: tx.ID(), Height: height}
+	var err error
+	switch tx.Type {
+	case ledger.TxData:
+		err = s.applyData(tx, now, r)
+	case ledger.TxAnalytics:
+		err = s.applyAnalytics(tx, now, r)
+	case ledger.TxTrial:
+		err = s.applyTrial(tx, now, r)
+	case ledger.TxAnchor:
+		err = s.applyAnchor(tx, now, r)
+	case ledger.TxDeploy:
+		err = s.applyDeploy(tx, r)
+	case ledger.TxInvoke:
+		err = s.applyInvoke(tx, r)
+	default:
+		err = fmt.Errorf("%w: tx type %q", ErrUnknownMethod, tx.Type)
+	}
+	if err != nil {
+		r.Err = err.Error()
+	}
+	return r, nil
+}
+
+func (s *State) emit(r *Receipt, self cryptoutil.Address, topic string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		data = []byte(fmt.Sprintf("%v", payload))
+	}
+	r.Events = append(r.Events, vm.Event{Contract: self, Topic: topic, Data: data})
+}
+
+// Native contract addresses (stable, derived from names).
+var (
+	// DataContractAddr is the native data contract.
+	DataContractAddr = cryptoutil.NamedAddress("native/data")
+	// AnalyticsContractAddr is the native analytics contract.
+	AnalyticsContractAddr = cryptoutil.NamedAddress("native/analytics")
+	// TrialContractAddr is the native clinical-trial contract.
+	TrialContractAddr = cryptoutil.NamedAddress("native/trial")
+	// AnchorContractAddr is the native anchoring contract.
+	AnchorContractAddr = cryptoutil.NamedAddress("native/anchor")
+)
+
+// --- data contract ---
+
+// RegisterDatasetArgs are the args of data/"register_dataset".
+type RegisterDatasetArgs struct {
+	ID      string            `json:"id"`
+	Digest  cryptoutil.Digest `json:"digest"`
+	Schema  string            `json:"schema"`
+	Records int               `json:"records"`
+	SiteID  string            `json:"site_id"`
+}
+
+// GrantArgs are the args of data/"grant" (and tool grants).
+type GrantArgs struct {
+	Resource  string             `json:"resource"` // "data:<id>" or "tool:<id>"
+	Grantee   cryptoutil.Address `json:"grantee"`
+	Actions   []Action           `json:"actions"`
+	Purpose   string             `json:"purpose,omitempty"`
+	ExpiresAt int64              `json:"expires_at,omitempty"`
+	MaxUses   int                `json:"max_uses,omitempty"`
+}
+
+// RevokeArgs are the args of data/"revoke".
+type RevokeArgs struct {
+	Resource string             `json:"resource"`
+	Grantee  cryptoutil.Address `json:"grantee"`
+}
+
+// RequestAccessArgs are the args of data/"request_access".
+type RequestAccessArgs struct {
+	Resource string `json:"resource"`
+	Action   Action `json:"action"`
+	Purpose  string `json:"purpose,omitempty"`
+}
+
+// AccessAuthorization is the payload of AccessAuthorized events; the
+// monitor-node oracle (Fig. 3) fulfils these off-chain.
+type AccessAuthorization struct {
+	RequestID uint64             `json:"request_id"`
+	Resource  string             `json:"resource"`
+	Requester cryptoutil.Address `json:"requester"`
+	Action    Action             `json:"action"`
+	Purpose   string             `json:"purpose,omitempty"`
+	SiteID    string             `json:"site_id,omitempty"`
+}
+
+func (s *State) applyData(tx *ledger.Transaction, now int64, r *Receipt) error {
+	switch tx.Method {
+	case "register_dataset":
+		r.GasUsed = gasRegister + int64(len(tx.Args))*gasArgByte
+		var a RegisterDatasetArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		if a.ID == "" {
+			return fmt.Errorf("%w: empty dataset id", ErrBadArgs)
+		}
+		if _, dup := s.datasets[a.ID]; dup {
+			return fmt.Errorf("%w: dataset %q", ErrExists, a.ID)
+		}
+		s.datasets[a.ID] = &Dataset{
+			ID: a.ID, Owner: tx.From, Digest: a.Digest, Schema: a.Schema,
+			Records: a.Records, SiteID: a.SiteID, RegisteredAt: now,
+			Version: 1, UpdatedAt: now,
+		}
+		s.policies[dataKey(a.ID)] = &Policy{Owner: tx.From}
+		s.emit(r, DataContractAddr, "DatasetRegistered", s.datasets[a.ID])
+		return nil
+
+	case "update_dataset":
+		// Live data (wearable feeds, new encounters) changes the
+		// hosted records; the owner re-anchors the new digest so
+		// integrity checks keep working. The old digest stays on chain
+		// in the tx history — updates are auditable, not silent.
+		r.GasUsed = gasRegister + int64(len(tx.Args))*gasArgByte
+		var a RegisterDatasetArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		ds, ok := s.datasets[a.ID]
+		if !ok {
+			return fmt.Errorf("%w: dataset %q", ErrNotFound, a.ID)
+		}
+		if tx.From != ds.Owner {
+			return fmt.Errorf("%w: only the owner updates %q", ErrNotOwner, a.ID)
+		}
+		ds.Digest = a.Digest
+		if a.Records > 0 {
+			ds.Records = a.Records
+		}
+		ds.Version++
+		ds.UpdatedAt = now
+		s.emit(r, DataContractAddr, "DatasetUpdated", ds)
+		return nil
+
+	case "grant":
+		r.GasUsed = gasGrant + int64(len(tx.Args))*gasArgByte
+		var a GrantArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		p, ok := s.policies[a.Resource]
+		if !ok {
+			return fmt.Errorf("%w: resource %q", ErrNotFound, a.Resource)
+		}
+		if d := p.Check(tx.From, ActionAdmin, "", now, false); !d.Allowed {
+			s.emit(r, DataContractAddr, "GrantDenied", map[string]any{"resource": a.Resource, "by": tx.From})
+			return fmt.Errorf("%w: %s cannot administer %q", ErrDenied, tx.From.Short(), a.Resource)
+		}
+		for _, act := range a.Actions {
+			if !ValidAction(act) {
+				return fmt.Errorf("%w: action %q", ErrBadArgs, act)
+			}
+		}
+		p.Grants = append(p.Grants, Grant{
+			Grantee: a.Grantee, Actions: a.Actions, Purpose: a.Purpose,
+			ExpiresAt: a.ExpiresAt, MaxUses: a.MaxUses,
+		})
+		s.emit(r, DataContractAddr, "AccessGranted", a)
+		return nil
+
+	case "revoke":
+		r.GasUsed = gasRevoke + int64(len(tx.Args))*gasArgByte
+		var a RevokeArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		p, ok := s.policies[a.Resource]
+		if !ok {
+			return fmt.Errorf("%w: resource %q", ErrNotFound, a.Resource)
+		}
+		if d := p.Check(tx.From, ActionAdmin, "", now, false); !d.Allowed {
+			return fmt.Errorf("%w: %s cannot administer %q", ErrDenied, tx.From.Short(), a.Resource)
+		}
+		n := p.Revoke(a.Grantee)
+		s.emit(r, DataContractAddr, "AccessRevoked", map[string]any{
+			"resource": a.Resource, "grantee": a.Grantee, "removed": n,
+		})
+		return nil
+
+	case "request_access":
+		r.GasUsed = gasRequest + int64(len(tx.Args))*gasArgByte
+		var a RequestAccessArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		p, ok := s.policies[a.Resource]
+		if !ok {
+			return fmt.Errorf("%w: resource %q", ErrNotFound, a.Resource)
+		}
+		dec := p.Check(tx.From, a.Action, a.Purpose, now, true)
+		s.requestSeq++
+		auth := AccessAuthorization{
+			RequestID: s.requestSeq, Resource: a.Resource, Requester: tx.From,
+			Action: a.Action, Purpose: a.Purpose,
+		}
+		if ds, ok := s.datasets[trimPrefix(a.Resource, "data:")]; ok {
+			auth.SiteID = ds.SiteID
+		}
+		if !dec.Allowed {
+			s.emit(r, DataContractAddr, "AccessDenied", map[string]any{
+				"request": auth, "reason": dec.Reason,
+			})
+			return fmt.Errorf("%w: %s", ErrDenied, dec.Reason)
+		}
+		s.emit(r, DataContractAddr, "AccessAuthorized", auth)
+		return nil
+
+	default:
+		return fmt.Errorf("%w: data/%q", ErrUnknownMethod, tx.Method)
+	}
+}
+
+func trimPrefix(s, prefix string) string {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):]
+	}
+	return s
+}
+
+// --- analytics contract ---
+
+// RegisterToolArgs are the args of analytics/"register_tool".
+type RegisterToolArgs struct {
+	ID          string            `json:"id"`
+	Digest      cryptoutil.Digest `json:"digest"`
+	Description string            `json:"description,omitempty"`
+}
+
+// RequestRunArgs are the args of analytics/"request_run".
+type RequestRunArgs struct {
+	Tool    string          `json:"tool"`
+	Dataset string          `json:"dataset"`
+	Params  json.RawMessage `json:"params,omitempty"`
+	Purpose string          `json:"purpose,omitempty"`
+}
+
+// RunAuthorization is the payload of RunAuthorized events; the off-chain
+// control code (Fig. 1) executes the tool at the data's site.
+type RunAuthorization struct {
+	RequestID  uint64             `json:"request_id"`
+	Tool       string             `json:"tool"`
+	ToolDigest cryptoutil.Digest  `json:"tool_digest"`
+	Dataset    string             `json:"dataset"`
+	DataDigest cryptoutil.Digest  `json:"data_digest"`
+	SiteID     string             `json:"site_id"`
+	Requester  cryptoutil.Address `json:"requester"`
+	Params     json.RawMessage    `json:"params,omitempty"`
+	Purpose    string             `json:"purpose,omitempty"`
+}
+
+func (s *State) applyAnalytics(tx *ledger.Transaction, now int64, r *Receipt) error {
+	switch tx.Method {
+	case "register_tool":
+		r.GasUsed = gasRegister + int64(len(tx.Args))*gasArgByte
+		var a RegisterToolArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		if a.ID == "" {
+			return fmt.Errorf("%w: empty tool id", ErrBadArgs)
+		}
+		if _, dup := s.tools[a.ID]; dup {
+			return fmt.Errorf("%w: tool %q", ErrExists, a.ID)
+		}
+		s.tools[a.ID] = &Tool{
+			ID: a.ID, Owner: tx.From, Digest: a.Digest,
+			Description: a.Description, RegisteredAt: now,
+		}
+		s.policies[toolKey(a.ID)] = &Policy{Owner: tx.From}
+		s.emit(r, AnalyticsContractAddr, "ToolRegistered", s.tools[a.ID])
+		return nil
+
+	case "grant", "revoke":
+		// Tool policies share the data-contract grant/revoke handlers.
+		return s.applyData(&ledger.Transaction{
+			Type: ledger.TxData, From: tx.From, Method: tx.Method, Args: tx.Args,
+		}, now, r)
+
+	case "request_run":
+		r.GasUsed = gasRequest + int64(len(tx.Args))*gasArgByte
+		var a RequestRunArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		tool, ok := s.tools[a.Tool]
+		if !ok {
+			return fmt.Errorf("%w: tool %q", ErrNotFound, a.Tool)
+		}
+		ds, ok := s.datasets[a.Dataset]
+		if !ok {
+			return fmt.Errorf("%w: dataset %q", ErrNotFound, a.Dataset)
+		}
+		// The requester needs execute rights on BOTH the data and the
+		// tool (fine-grained policy of §III).
+		dp := s.policies[dataKey(a.Dataset)]
+		if d := dp.Check(tx.From, ActionExecute, a.Purpose, now, true); !d.Allowed {
+			s.emit(r, AnalyticsContractAddr, "RunDenied", map[string]any{
+				"tool": a.Tool, "dataset": a.Dataset, "reason": d.Reason,
+			})
+			return fmt.Errorf("%w: dataset: %s", ErrDenied, d.Reason)
+		}
+		tp := s.policies[toolKey(a.Tool)]
+		if d := tp.Check(tx.From, ActionExecute, a.Purpose, now, true); !d.Allowed {
+			s.emit(r, AnalyticsContractAddr, "RunDenied", map[string]any{
+				"tool": a.Tool, "dataset": a.Dataset, "reason": d.Reason,
+			})
+			return fmt.Errorf("%w: tool: %s", ErrDenied, d.Reason)
+		}
+		s.requestSeq++
+		auth := RunAuthorization{
+			RequestID: s.requestSeq, Tool: tool.ID, ToolDigest: tool.Digest,
+			Dataset: ds.ID, DataDigest: ds.Digest, SiteID: ds.SiteID,
+			Requester: tx.From, Params: a.Params, Purpose: a.Purpose,
+		}
+		s.emit(r, AnalyticsContractAddr, "RunAuthorized", auth)
+		return nil
+
+	default:
+		return fmt.Errorf("%w: analytics/%q", ErrUnknownMethod, tx.Method)
+	}
+}
+
+// --- clinical-trial contract ---
+
+// RegisterTrialArgs are the args of trial/"register_trial".
+type RegisterTrialArgs struct {
+	ID              string            `json:"id"`
+	ProtocolDigest  cryptoutil.Digest `json:"protocol_digest"`
+	PrimaryOutcomes []string          `json:"primary_outcomes"`
+}
+
+// EnrollArgs are the args of trial/"enroll".
+type EnrollArgs struct {
+	Trial   string `json:"trial"`
+	Patient string `json:"patient"`
+	Site    string `json:"site"`
+}
+
+// ReportOutcomesArgs are the args of trial/"report_outcomes".
+type ReportOutcomesArgs struct {
+	Trial         string            `json:"trial"`
+	Outcomes      []string          `json:"outcomes"`
+	ResultsDigest cryptoutil.Digest `json:"results_digest"`
+}
+
+// AdverseEventArgs are the args of trial/"adverse_event".
+type AdverseEventArgs struct {
+	Trial       string `json:"trial"`
+	Patient     string `json:"patient"`
+	Description string `json:"description"`
+	Severity    int    `json:"severity"`
+	Site        string `json:"site"`
+}
+
+func (s *State) applyTrial(tx *ledger.Transaction, now int64, r *Receipt) error {
+	r.GasUsed = gasTrialOp + int64(len(tx.Args))*gasArgByte
+	switch tx.Method {
+	case "register_trial":
+		var a RegisterTrialArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		if a.ID == "" || len(a.PrimaryOutcomes) == 0 {
+			return fmt.Errorf("%w: trial needs id and pre-registered outcomes", ErrBadArgs)
+		}
+		if _, dup := s.trials[a.ID]; dup {
+			return fmt.Errorf("%w: trial %q", ErrExists, a.ID)
+		}
+		s.trials[a.ID] = &Trial{
+			ID: a.ID, Sponsor: tx.From, ProtocolDigest: a.ProtocolDigest,
+			PrimaryOutcomes: append([]string(nil), a.PrimaryOutcomes...),
+			RegisteredAt:    now,
+		}
+		s.emit(r, TrialContractAddr, "TrialRegistered", s.trials[a.ID])
+		return nil
+
+	case "enroll":
+		var a EnrollArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		tr, ok := s.trials[a.Trial]
+		if !ok {
+			return fmt.Errorf("%w: trial %q", ErrNotFound, a.Trial)
+		}
+		for _, e := range tr.Enrollments {
+			if e.Patient == a.Patient {
+				return fmt.Errorf("%w: patient %q already enrolled", ErrExists, a.Patient)
+			}
+		}
+		tr.Enrollments = append(tr.Enrollments, Enrollment{
+			Patient: a.Patient, Site: a.Site, By: tx.From, At: now,
+		})
+		s.emit(r, TrialContractAddr, "ParticipantEnrolled", a)
+		return nil
+
+	case "report_outcomes":
+		var a ReportOutcomesArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		tr, ok := s.trials[a.Trial]
+		if !ok {
+			return fmt.Errorf("%w: trial %q", ErrNotFound, a.Trial)
+		}
+		if tx.From != tr.Sponsor {
+			return fmt.Errorf("%w: only the sponsor reports outcomes", ErrNotOwner)
+		}
+		tr.Reports = append(tr.Reports, OutcomeReport{
+			Outcomes:      append([]string(nil), a.Outcomes...),
+			ResultsDigest: a.ResultsDigest, By: tx.From, At: now,
+		})
+		s.emit(r, TrialContractAddr, "OutcomesReported", a)
+		return nil
+
+	case "adverse_event":
+		var a AdverseEventArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		tr, ok := s.trials[a.Trial]
+		if !ok {
+			return fmt.Errorf("%w: trial %q", ErrNotFound, a.Trial)
+		}
+		if a.Severity < 1 || a.Severity > 5 {
+			return fmt.Errorf("%w: severity %d outside [1,5]", ErrBadArgs, a.Severity)
+		}
+		tr.AdverseEvents = append(tr.AdverseEvents, AdverseEventRecord{
+			Patient: a.Patient, Description: a.Description,
+			Severity: a.Severity, Site: a.Site, At: now,
+		})
+		s.emit(r, TrialContractAddr, "AdverseEvent", a)
+		return nil
+
+	default:
+		return fmt.Errorf("%w: trial/%q", ErrUnknownMethod, tx.Method)
+	}
+}
+
+// --- anchor contract ---
+
+// AnchorArgs are the args of anchor transactions.
+type AnchorArgs struct {
+	Label  string            `json:"label"`
+	Digest cryptoutil.Digest `json:"digest"`
+}
+
+func (s *State) applyAnchor(tx *ledger.Transaction, now int64, r *Receipt) error {
+	r.GasUsed = gasAnchor + int64(len(tx.Args))*gasArgByte
+	var a AnchorArgs
+	if err := decodeArgs(tx.Args, &a); err != nil {
+		return err
+	}
+	if a.Label == "" {
+		return fmt.Errorf("%w: empty anchor label", ErrBadArgs)
+	}
+	if _, dup := s.anchors[a.Label]; dup {
+		return fmt.Errorf("%w: anchor %q", ErrExists, a.Label)
+	}
+	s.anchors[a.Label] = &Anchor{Label: a.Label, Digest: a.Digest, By: tx.From, At: now}
+	s.emit(r, AnchorContractAddr, "Anchored", s.anchors[a.Label])
+	return nil
+}
+
+// --- VM contracts ---
+
+// DeployArgs are the args of deploy transactions.
+type DeployArgs struct {
+	Name string `json:"name"`
+	// Code is base64-encoded VM byte code.
+	Code string `json:"code"`
+}
+
+// DeployedAddress derives the address of a contract deployed by a
+// sender at a nonce.
+func DeployedAddress(from cryptoutil.Address, nonce uint64) cryptoutil.Address {
+	var nb [8]byte
+	for i := 0; i < 8; i++ {
+		nb[i] = byte(nonce >> (56 - 8*i))
+	}
+	d := cryptoutil.SumAll([]byte("medchain/deploy"), from[:], nb[:])
+	var a cryptoutil.Address
+	copy(a[:], d[:cryptoutil.AddressSize])
+	return a
+}
+
+func (s *State) applyDeploy(tx *ledger.Transaction, r *Receipt) error {
+	var a DeployArgs
+	if err := decodeArgs(tx.Args, &a); err != nil {
+		return err
+	}
+	code, err := base64.StdEncoding.DecodeString(a.Code)
+	if err != nil {
+		return fmt.Errorf("%w: code is not base64: %v", ErrBadArgs, err)
+	}
+	if len(code) == 0 {
+		return fmt.Errorf("%w: empty code", ErrBadArgs)
+	}
+	r.GasUsed = gasDeployBase + int64(len(code))*gasArgByte
+	addr := DeployedAddress(tx.From, tx.Nonce)
+	if _, dup := s.deployed[addr]; dup {
+		return fmt.Errorf("%w: contract %s", ErrExists, addr.Short())
+	}
+	s.deployed[addr] = &Deployed{
+		Address: addr, Owner: tx.From, Name: a.Name, Code: code, Kind: KindVM,
+	}
+	s.vmStorage[addr] = vm.NewMemStorage()
+	s.emit(r, addr, "Deployed", map[string]any{"address": addr, "name": a.Name})
+	return nil
+}
+
+// InvokeArgs are the args of invoke transactions. Method and Input are
+// exposed to the program via the reserved storage keys "__method" and
+// "__input" before execution.
+type InvokeArgs struct {
+	Input []byte `json:"input,omitempty"`
+	// GasLimit overrides DefaultGasLimit when > 0.
+	GasLimit int64 `json:"gas_limit,omitempty"`
+}
+
+func (s *State) applyInvoke(tx *ledger.Transaction, r *Receipt) error {
+	dep, ok := s.deployed[tx.Contract]
+	if !ok {
+		return fmt.Errorf("%w: contract %s", ErrNotFound, tx.Contract.Short())
+	}
+	var a InvokeArgs
+	if len(tx.Args) > 0 {
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+	}
+	limit := int64(DefaultGasLimit)
+	if a.GasLimit > 0 {
+		limit = a.GasLimit
+	}
+	store := s.vmStorage[tx.Contract]
+	buffered := newBufferedStorage(store)
+	buffered.Set([]byte("__method"), []byte(tx.Method))
+	buffered.Set([]byte("__input"), a.Input)
+	res, err := vm.Execute(dep.Code, &vm.Context{
+		Caller:   tx.From,
+		Self:     tx.Contract,
+		Storage:  buffered,
+		Host:     s.host,
+		GasLimit: limit,
+	})
+	if res != nil {
+		r.GasUsed = res.GasUsed
+		r.Events = append(r.Events, res.Events...)
+	}
+	if err != nil {
+		return fmt.Errorf("contract: invoke %s: %w", dep.Name, err)
+	}
+	buffered.commit()
+	return nil
+}
+
+// bufferedStorage overlays writes on a base store and commits them only
+// on success, so failed invocations leave no state behind.
+type bufferedStorage struct {
+	base   vm.Storage
+	writes map[string][]byte
+}
+
+func newBufferedStorage(base vm.Storage) *bufferedStorage {
+	return &bufferedStorage{base: base, writes: make(map[string][]byte)}
+}
+
+func (b *bufferedStorage) Get(key []byte) ([]byte, bool) {
+	if v, ok := b.writes[string(key)]; ok {
+		return v, true
+	}
+	return b.base.Get(key)
+}
+
+func (b *bufferedStorage) Set(key, value []byte) {
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	b.writes[string(key)] = cp
+}
+
+func (b *bufferedStorage) commit() {
+	for k, v := range b.writes {
+		b.base.Set([]byte(k), v)
+	}
+}
+
+// --- read API (used by oracles, query planners, audits) ---
+
+// Dataset returns a registered dataset.
+func (s *State) Dataset(id string) (*Dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.datasets[id]
+	return d, ok
+}
+
+// Datasets returns all dataset IDs, sorted.
+func (s *State) Datasets() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.datasets))
+	for id := range s.datasets {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tool returns a registered tool.
+func (s *State) Tool(id string) (*Tool, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tools[id]
+	return t, ok
+}
+
+// Tools returns all tool IDs, sorted.
+func (s *State) Tools() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tools))
+	for id := range s.tools {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Trial returns a registered trial.
+func (s *State) Trial(id string) (*Trial, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.trials[id]
+	return t, ok
+}
+
+// Trials returns all trial IDs, sorted.
+func (s *State) Trials() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.trials))
+	for id := range s.trials {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AnchorOf returns the anchor stored under a label.
+func (s *State) AnchorOf(label string) (*Anchor, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.anchors[label]
+	return a, ok
+}
+
+// PolicyOf returns a copy of the policy for a resource key
+// ("data:<id>" or "tool:<id>").
+func (s *State) PolicyOf(resource string) (Policy, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.policies[resource]
+	if !ok {
+		return Policy{}, false
+	}
+	cp := Policy{Owner: p.Owner, Grants: append([]Grant(nil), p.Grants...)}
+	return cp, true
+}
+
+// DeployedAt returns the deployed VM contract at an address.
+func (s *State) DeployedAt(addr cryptoutil.Address) (*Deployed, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.deployed[addr]
+	return d, ok
+}
+
+// StorageValue reads one key of a deployed contract's storage.
+func (s *State) StorageValue(addr cryptoutil.Address, key []byte) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.vmStorage[addr]
+	if !ok {
+		return nil, false
+	}
+	return st.Get(key)
+}
+
+// RegistryHostFuncs returns HOST functions exposing the replicated
+// registry to VM contracts: "registry.datasets" (sorted dataset IDs),
+// "registry.dataset_info" (one dataset's metadata; arg = raw ID bytes),
+// and "registry.tools" (sorted tool IDs). The functions read the state
+// WITHOUT locking: they are only safe installed as this State's own
+// host table, because invocations run inside Apply, which already holds
+// the state lock. Identical replicated state yields byte-identical
+// results, so replicated executions agree.
+func (s *State) RegistryHostFuncs() map[string]vm.HostFunc {
+	return map[string]vm.HostFunc{
+		"registry.datasets": func([]byte) ([]byte, int64, error) {
+			ids := make([]string, 0, len(s.datasets))
+			for id := range s.datasets {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			b, err := json.Marshal(ids)
+			return b, int64(len(b)), err
+		},
+		"registry.dataset_info": func(arg []byte) ([]byte, int64, error) {
+			ds, ok := s.datasets[string(arg)]
+			if !ok {
+				return nil, 0, fmt.Errorf("%w: dataset %q", ErrNotFound, arg)
+			}
+			b, err := json.Marshal(ds)
+			return b, int64(len(b)), err
+		},
+		"registry.tools": func([]byte) ([]byte, int64, error) {
+			ids := make([]string, 0, len(s.tools))
+			for id := range s.tools {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			b, err := json.Marshal(ids)
+			return b, int64(len(b)), err
+		},
+	}
+}
+
+// Root computes the deterministic state root: a digest over the sorted
+// serialization of every table. Two nodes that applied the same
+// transactions produce identical roots.
+func (s *State) Root() cryptoutil.Digest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := make([][]byte, 0, 64)
+	add := func(parts ...string) {
+		for _, p := range parts {
+			h = append(h, []byte(p))
+		}
+	}
+	forSortedKeys(s.datasets, func(id string, d *Dataset) {
+		add("ds", id, d.Owner.String(), d.Digest.String(), d.Schema,
+			fmt.Sprint(d.Records), d.SiteID, fmt.Sprint(d.Version), fmt.Sprint(d.UpdatedAt))
+	})
+	forSortedKeys(s.tools, func(id string, t *Tool) {
+		add("tool", id, t.Owner.String(), t.Digest.String())
+	})
+	forSortedKeys(s.policies, func(id string, p *Policy) {
+		add("pol", id, p.Owner.String())
+		for _, g := range p.Grants {
+			add(g.Grantee.String(), g.Purpose, fmt.Sprint(g.ExpiresAt), fmt.Sprint(g.MaxUses), fmt.Sprint(g.Uses))
+			for _, act := range g.Actions {
+				add(string(act))
+			}
+		}
+	})
+	forSortedKeys(s.trials, func(id string, t *Trial) {
+		add("trial", id, t.Sponsor.String(), t.ProtocolDigest.String())
+		add(t.PrimaryOutcomes...)
+		for _, e := range t.Enrollments {
+			add(e.Patient, e.Site, fmt.Sprint(e.At))
+		}
+		for _, rep := range t.Reports {
+			add(rep.ResultsDigest.String(), fmt.Sprint(rep.At))
+			add(rep.Outcomes...)
+		}
+		for _, ae := range t.AdverseEvents {
+			add(ae.Patient, ae.Description, fmt.Sprint(ae.Severity), ae.Site)
+		}
+	})
+	forSortedKeys(s.anchors, func(id string, a *Anchor) {
+		add("anchor", id, a.Digest.String(), a.By.String())
+	})
+	deployedKeys := make([]string, 0, len(s.deployed))
+	byKey := make(map[string]*Deployed, len(s.deployed))
+	for addr, d := range s.deployed {
+		k := addr.String()
+		deployedKeys = append(deployedKeys, k)
+		byKey[k] = d
+	}
+	sort.Strings(deployedKeys)
+	for _, k := range deployedKeys {
+		d := byKey[k]
+		add("vm", k, d.Name)
+		h = append(h, d.Code)
+		st := s.vmStorage[d.Address]
+		keys := st.Keys()
+		sort.Strings(keys)
+		for _, sk := range keys {
+			v, _ := st.Get([]byte(sk))
+			add(sk)
+			h = append(h, v)
+		}
+	}
+	add(fmt.Sprint(s.requestSeq))
+	return cryptoutil.SumAll(h...)
+}
+
+func forSortedKeys[V any](m map[string]V, fn func(string, V)) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn(k, m[k])
+	}
+}

@@ -1,0 +1,296 @@
+// Package cryptoutil provides the cryptographic primitives used across
+// the medchain system: SHA-256 digests, ECDSA P-256 key pairs and
+// signatures, address derivation, AES-GCM envelope encryption, and an
+// ECDH-based shared-secret agreement used by the health-information
+// exchange to encrypt records for a single recipient.
+//
+// All primitives come from the Go standard library. Digests and
+// addresses are fixed-size value types so they can be used as map keys
+// and compared with ==.
+package cryptoutil
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// DigestSize is the size in bytes of a Digest.
+const DigestSize = sha256.Size
+
+// Digest is a SHA-256 hash value.
+type Digest [DigestSize]byte
+
+// ZeroDigest is the all-zero digest, used as the parent of genesis
+// blocks and as the "no value" marker.
+var ZeroDigest Digest
+
+// Sum computes the SHA-256 digest of data.
+func Sum(data []byte) Digest {
+	return sha256.Sum256(data)
+}
+
+// SumAll computes the digest of the concatenation of the given byte
+// slices. Each part is length-prefixed so that ("ab","c") and
+// ("a","bc") hash differently.
+func SumAll(parts ...[]byte) Digest {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		putUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v >> 56)
+	b[1] = byte(v >> 48)
+	b[2] = byte(v >> 40)
+	b[3] = byte(v >> 32)
+	b[4] = byte(v >> 24)
+	b[5] = byte(v >> 16)
+	b[6] = byte(v >> 8)
+	b[7] = byte(v)
+}
+
+// String returns the hex encoding of the digest.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// Short returns the first 8 hex characters, for logs.
+func (d Digest) Short() string { return hex.EncodeToString(d[:4]) }
+
+// IsZero reports whether the digest is all zero.
+func (d Digest) IsZero() bool { return d == ZeroDigest }
+
+// Bytes returns the digest as a fresh byte slice.
+func (d Digest) Bytes() []byte {
+	out := make([]byte, DigestSize)
+	copy(out, d[:])
+	return out
+}
+
+// MarshalText implements encoding.TextMarshaler (hex).
+func (d Digest) MarshalText() ([]byte, error) {
+	return []byte(d.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler (hex).
+func (d *Digest) UnmarshalText(text []byte) error {
+	b, err := hex.DecodeString(string(text))
+	if err != nil {
+		return fmt.Errorf("cryptoutil: decode digest: %w", err)
+	}
+	if len(b) != DigestSize {
+		return fmt.Errorf("cryptoutil: digest must be %d bytes, got %d", DigestSize, len(b))
+	}
+	copy(d[:], b)
+	return nil
+}
+
+// DigestFromHex parses a hex-encoded digest.
+func DigestFromHex(s string) (Digest, error) {
+	var d Digest
+	err := d.UnmarshalText([]byte(s))
+	return d, err
+}
+
+// AddressSize is the size in bytes of an Address.
+const AddressSize = 20
+
+// Address identifies an account, node, site, patient, or contract on
+// the medical blockchain. It is the truncated hash of a public key (or
+// of a deterministic seed for synthetic identities).
+type Address [AddressSize]byte
+
+// ZeroAddress is the all-zero address.
+var ZeroAddress Address
+
+// String returns the hex encoding of the address.
+func (a Address) String() string { return hex.EncodeToString(a[:]) }
+
+// Short returns the first 8 hex characters, for logs.
+func (a Address) Short() string { return hex.EncodeToString(a[:4]) }
+
+// IsZero reports whether the address is all zero.
+func (a Address) IsZero() bool { return a == ZeroAddress }
+
+// MarshalText implements encoding.TextMarshaler (hex).
+func (a Address) MarshalText() ([]byte, error) {
+	return []byte(a.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler (hex).
+func (a *Address) UnmarshalText(text []byte) error {
+	b, err := hex.DecodeString(string(text))
+	if err != nil {
+		return fmt.Errorf("cryptoutil: decode address: %w", err)
+	}
+	if len(b) != AddressSize {
+		return fmt.Errorf("cryptoutil: address must be %d bytes, got %d", AddressSize, len(b))
+	}
+	copy(a[:], b)
+	return nil
+}
+
+// AddressFromHex parses a hex-encoded address.
+func AddressFromHex(s string) (Address, error) {
+	var a Address
+	err := a.UnmarshalText([]byte(s))
+	return a, err
+}
+
+// NamedAddress derives a deterministic address from a human-readable
+// name. It is used for synthetic identities (sites, patients, tools) in
+// tests and simulations.
+func NamedAddress(name string) Address {
+	d := Sum([]byte("medchain/address/" + name))
+	var a Address
+	copy(a[:], d[:AddressSize])
+	return a
+}
+
+// KeyPair is an ECDSA P-256 key pair with a derived address.
+type KeyPair struct {
+	priv *ecdsa.PrivateKey
+	addr Address
+}
+
+// GenerateKeyPair creates a fresh random key pair.
+func GenerateKeyPair() (*KeyPair, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: generate key: %w", err)
+	}
+	return newKeyPair(priv), nil
+}
+
+// DeriveKeyPair creates a deterministic key pair from a seed string.
+// It is intended for simulations and tests where reproducible
+// identities are required; production identities should use
+// GenerateKeyPair. The private scalar is derived by hashing the seed
+// and reducing into [1, N-1]; ecdsa.GenerateKey cannot be used here
+// because it intentionally randomizes its output even under a
+// deterministic reader.
+func DeriveKeyPair(seed string) (*KeyPair, error) {
+	curve := elliptic.P256()
+	h := Sum([]byte("medchain/keypair/" + seed))
+	nMinus1 := new(big.Int).Sub(curve.Params().N, big.NewInt(1))
+	d := new(big.Int).SetBytes(h[:])
+	d.Mod(d, nMinus1)
+	d.Add(d, big.NewInt(1)) // d in [1, N-1]
+	priv := &ecdsa.PrivateKey{D: d}
+	priv.Curve = curve
+	priv.X, priv.Y = curve.ScalarBaseMult(d.Bytes())
+	return newKeyPair(priv), nil
+}
+
+func newKeyPair(priv *ecdsa.PrivateKey) *KeyPair {
+	return &KeyPair{priv: priv, addr: PublicKeyAddress(&priv.PublicKey)}
+}
+
+// Address returns the address derived from the public key.
+func (k *KeyPair) Address() Address { return k.addr }
+
+// Public returns the public key.
+func (k *KeyPair) Public() *ecdsa.PublicKey { return &k.priv.PublicKey }
+
+// PublicBytes returns the uncompressed-point encoding of the public key.
+func (k *KeyPair) PublicBytes() []byte {
+	return encodePublicKey(&k.priv.PublicKey)
+}
+
+// PublicKeyAddress derives the chain address of a public key: the first
+// 20 bytes of the SHA-256 hash of its uncompressed point encoding.
+func PublicKeyAddress(pub *ecdsa.PublicKey) Address {
+	d := Sum(encodePublicKey(pub))
+	var a Address
+	copy(a[:], d[:AddressSize])
+	return a
+}
+
+func encodePublicKey(pub *ecdsa.PublicKey) []byte {
+	// Fixed-width encoding: 0x04 || X (32 bytes) || Y (32 bytes).
+	out := make([]byte, 1+64)
+	out[0] = 0x04
+	pub.X.FillBytes(out[1:33])
+	pub.Y.FillBytes(out[33:65])
+	return out
+}
+
+// ErrBadPublicKey is returned when a public key encoding is malformed.
+var ErrBadPublicKey = errors.New("cryptoutil: malformed public key")
+
+// DecodePublicKey parses an uncompressed-point P-256 public key.
+func DecodePublicKey(b []byte) (*ecdsa.PublicKey, error) {
+	if len(b) != 65 || b[0] != 0x04 {
+		return nil, ErrBadPublicKey
+	}
+	x := new(big.Int).SetBytes(b[1:33])
+	y := new(big.Int).SetBytes(b[33:65])
+	if !elliptic.P256().IsOnCurve(x, y) {
+		return nil, ErrBadPublicKey
+	}
+	return &ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y}, nil
+}
+
+// Signature is a fixed-width (r || s) ECDSA signature.
+type Signature [64]byte
+
+// IsZero reports whether the signature is all zero (unsigned).
+func (s Signature) IsZero() bool { return s == Signature{} }
+
+// Sign signs the digest with the key pair's private key.
+func (k *KeyPair) Sign(d Digest) (Signature, error) {
+	r, s, err := ecdsa.Sign(rand.Reader, k.priv, d[:])
+	if err != nil {
+		return Signature{}, fmt.Errorf("cryptoutil: sign: %w", err)
+	}
+	var sig Signature
+	r.FillBytes(sig[:32])
+	s.FillBytes(sig[32:])
+	return sig, nil
+}
+
+// Verify checks the signature of digest d against the public key.
+func Verify(pub *ecdsa.PublicKey, d Digest, sig Signature) bool {
+	r := new(big.Int).SetBytes(sig[:32])
+	s := new(big.Int).SetBytes(sig[32:])
+	return ecdsa.Verify(pub, d[:], r, s)
+}
+
+// digestStream is a deterministic byte stream derived from a seed by
+// hash chaining. It implements io.Reader and is used only to derive
+// reproducible test identities.
+type digestStream struct {
+	state Digest
+	buf   []byte
+}
+
+func newDigestStream(seed []byte) io.Reader {
+	return &digestStream{state: Sum(seed)}
+}
+
+func (s *digestStream) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if len(s.buf) == 0 {
+			s.state = Sum(s.state[:])
+			s.buf = s.state.Bytes()
+		}
+		c := copy(p[n:], s.buf)
+		s.buf = s.buf[c:]
+		n += c
+	}
+	return n, nil
+}

@@ -1,0 +1,448 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumDeterministic(t *testing.T) {
+	a := Sum([]byte("hello"))
+	b := Sum([]byte("hello"))
+	if a != b {
+		t.Fatalf("same input hashed differently: %s vs %s", a, b)
+	}
+	if a == Sum([]byte("hellp")) {
+		t.Fatal("different inputs produced identical digests")
+	}
+}
+
+func TestSumAllLengthPrefixing(t *testing.T) {
+	// ("ab","c") must hash differently from ("a","bc") — length
+	// prefixing prevents concatenation ambiguity.
+	a := SumAll([]byte("ab"), []byte("c"))
+	b := SumAll([]byte("a"), []byte("bc"))
+	if a == b {
+		t.Fatal("SumAll is ambiguous under concatenation")
+	}
+}
+
+func TestSumAllEmptyParts(t *testing.T) {
+	a := SumAll()
+	b := SumAll([]byte{})
+	if a == b {
+		t.Fatal("zero parts and one empty part should differ")
+	}
+}
+
+func TestDigestHexRoundTrip(t *testing.T) {
+	d := Sum([]byte("round trip"))
+	parsed, err := DigestFromHex(d.String())
+	if err != nil {
+		t.Fatalf("DigestFromHex: %v", err)
+	}
+	if parsed != d {
+		t.Fatalf("round trip mismatch: %s vs %s", parsed, d)
+	}
+}
+
+func TestDigestFromHexErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"not hex", "zz"},
+		{"too short", "abcd"},
+		{"too long", Sum(nil).String() + "00"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DigestFromHex(tt.in); err == nil {
+				t.Fatalf("DigestFromHex(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestDigestZero(t *testing.T) {
+	if !ZeroDigest.IsZero() {
+		t.Fatal("ZeroDigest.IsZero() = false")
+	}
+	if Sum(nil).IsZero() {
+		t.Fatal("Sum(nil) reported zero")
+	}
+}
+
+func TestDigestMarshalText(t *testing.T) {
+	d := Sum([]byte("x"))
+	txt, err := d.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Digest
+	if err := back.UnmarshalText(txt); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Fatal("text round trip mismatch")
+	}
+}
+
+func TestAddressHexRoundTrip(t *testing.T) {
+	a := NamedAddress("hospital-1")
+	parsed, err := AddressFromHex(a.String())
+	if err != nil {
+		t.Fatalf("AddressFromHex: %v", err)
+	}
+	if parsed != a {
+		t.Fatal("address round trip mismatch")
+	}
+}
+
+func TestAddressFromHexErrors(t *testing.T) {
+	if _, err := AddressFromHex("nothex"); err == nil {
+		t.Fatal("want error for non-hex address")
+	}
+	if _, err := AddressFromHex("abcd"); err == nil {
+		t.Fatal("want error for short address")
+	}
+}
+
+func TestNamedAddressDeterministic(t *testing.T) {
+	if NamedAddress("a") != NamedAddress("a") {
+		t.Fatal("NamedAddress not deterministic")
+	}
+	if NamedAddress("a") == NamedAddress("b") {
+		t.Fatal("distinct names collided")
+	}
+}
+
+func TestGenerateKeyPairSignVerify(t *testing.T) {
+	kp, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Sum([]byte("message"))
+	sig, err := kp.Sign(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(kp.Public(), d, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if Verify(kp.Public(), Sum([]byte("other")), sig) {
+		t.Fatal("signature verified against wrong digest")
+	}
+}
+
+func TestSignatureWrongKeyRejected(t *testing.T) {
+	a, err := DeriveKeyPair("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeriveKeyPair("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Sum([]byte("message"))
+	sig, err := a.Sign(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Verify(b.Public(), d, sig) {
+		t.Fatal("signature verified under wrong key")
+	}
+}
+
+func TestDeriveKeyPairDeterministic(t *testing.T) {
+	a1, err := DeriveKeyPair("site-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := DeriveKeyPair("site-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Address() != a2.Address() {
+		t.Fatal("DeriveKeyPair not deterministic")
+	}
+	b, err := DeriveKeyPair("site-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Address() == b.Address() {
+		t.Fatal("distinct seeds produced the same address")
+	}
+}
+
+func TestPublicKeyEncodeDecode(t *testing.T) {
+	kp, err := DeriveKeyPair("enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := DecodePublicKey(kp.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PublicKeyAddress(pub) != kp.Address() {
+		t.Fatal("decoded public key derives different address")
+	}
+}
+
+func TestDecodePublicKeyErrors(t *testing.T) {
+	if _, err := DecodePublicKey(nil); err == nil {
+		t.Fatal("nil key accepted")
+	}
+	if _, err := DecodePublicKey(make([]byte, 65)); err == nil {
+		t.Fatal("all-zero key accepted")
+	}
+	bad := make([]byte, 65)
+	bad[0] = 0x04
+	bad[10] = 0xFF // point not on curve
+	if _, err := DecodePublicKey(bad); err == nil {
+		t.Fatal("off-curve key accepted")
+	}
+}
+
+func TestSignatureIsZero(t *testing.T) {
+	var s Signature
+	if !s.IsZero() {
+		t.Fatal("zero signature not reported zero")
+	}
+	kp, err := DeriveKeyPair("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := kp.Sign(Sum([]byte("m")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.IsZero() {
+		t.Fatal("real signature reported zero")
+	}
+}
+
+func TestSymmetricSealOpen(t *testing.T) {
+	key := Sum([]byte("key material"))
+	pt := []byte("protected health information")
+	aad := []byte("request-42")
+	ct, err := SealSymmetric(key, pt, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenSymmetric(key, ct, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("round trip mismatch: %q vs %q", got, pt)
+	}
+}
+
+func TestSymmetricOpenFailures(t *testing.T) {
+	key := Sum([]byte("key"))
+	pt := []byte("data")
+	ct, err := SealSymmetric(key, pt, []byte("aad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("wrong key", func(t *testing.T) {
+		if _, err := OpenSymmetric(Sum([]byte("other")), ct, []byte("aad")); err == nil {
+			t.Fatal("decryption succeeded under wrong key")
+		}
+	})
+	t.Run("wrong aad", func(t *testing.T) {
+		if _, err := OpenSymmetric(key, ct, []byte("forged")); err == nil {
+			t.Fatal("decryption succeeded with wrong aad")
+		}
+	})
+	t.Run("tampered ciphertext", func(t *testing.T) {
+		bad := append([]byte(nil), ct...)
+		bad[len(bad)-1] ^= 0x01
+		if _, err := OpenSymmetric(key, bad, []byte("aad")); err == nil {
+			t.Fatal("tampered ciphertext accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := OpenSymmetric(key, ct[:4], []byte("aad")); err == nil {
+			t.Fatal("truncated ciphertext accepted")
+		}
+	})
+}
+
+func TestSealNondeterministic(t *testing.T) {
+	key := Sum([]byte("key"))
+	a, err := SealSymmetric(key, []byte("x"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SealSymmetric(key, []byte("x"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of the same plaintext produced identical ciphertexts (nonce reuse?)")
+	}
+}
+
+func TestSharedKeySymmetric(t *testing.T) {
+	a, err := DeriveKeyPair("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeriveKeyPair("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := SharedKey(a, b.Public())
+	k2 := SharedKey(b, a.Public())
+	if k1 != k2 {
+		t.Fatal("ECDH shared keys disagree")
+	}
+	c, err := DeriveKeyPair("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SharedKey(a, c.Public()) == k1 {
+		t.Fatal("different peers derived the same key")
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	recipient, err := DeriveKeyPair("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte(`{"patient":"P-001","labs":[1,2,3]}`)
+	env, err := SealEnvelope(recipient.Public(), pt, []byte("req-9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenEnvelope(recipient, env, []byte("req-9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatal("envelope round trip mismatch")
+	}
+}
+
+func TestEnvelopeWrongRecipient(t *testing.T) {
+	recipient, err := DeriveKeyPair("intended")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eavesdropper, err := DeriveKeyPair("eve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := SealEnvelope(recipient.Public(), []byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenEnvelope(eavesdropper, env, nil); err == nil {
+		t.Fatal("wrong recipient opened envelope")
+	}
+}
+
+func TestOpenEnvelopeNil(t *testing.T) {
+	kp, err := DeriveKeyPair("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenEnvelope(kp, nil, nil); err == nil {
+		t.Fatal("nil envelope accepted")
+	}
+}
+
+func TestEnvelopeTamperedEphemeralKey(t *testing.T) {
+	recipient, err := DeriveKeyPair("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := SealEnvelope(recipient.Public(), []byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.EphemeralPub[5] ^= 0xFF
+	if _, err := OpenEnvelope(recipient, env, nil); err == nil {
+		t.Fatal("tampered ephemeral key accepted")
+	}
+}
+
+// Property: symmetric seal/open round-trips arbitrary payloads and aad.
+func TestSymmetricRoundTripProperty(t *testing.T) {
+	key := Sum([]byte("prop key"))
+	f := func(pt, aad []byte) bool {
+		ct, err := SealSymmetric(key, pt, aad)
+		if err != nil {
+			return false
+		}
+		got, err := OpenSymmetric(key, ct, aad)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SumAll is injective over part boundaries for random splits.
+func TestSumAllSplitProperty(t *testing.T) {
+	f := func(data []byte, split uint8) bool {
+		if len(data) < 2 {
+			return true
+		}
+		i := 1 + int(split)%(len(data)-1)
+		whole := SumAll(data)
+		parts := SumAll(data[:i], data[i:])
+		return whole != parts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigestStreamDeterministic(t *testing.T) {
+	r1 := newDigestStream([]byte("seed"))
+	r2 := newDigestStream([]byte("seed"))
+	b1 := make([]byte, 100)
+	b2 := make([]byte, 100)
+	if _, err := r1.Read(b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Read(b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("digest stream not deterministic")
+	}
+}
+
+func TestShortStrings(t *testing.T) {
+	d := Sum([]byte("s"))
+	if len(d.Short()) != 8 {
+		t.Fatalf("Digest.Short() length = %d, want 8", len(d.Short()))
+	}
+	a := NamedAddress("s")
+	if len(a.Short()) != 8 {
+		t.Fatalf("Address.Short() length = %d, want 8", len(a.Short()))
+	}
+	if len(d.String()) != 64 {
+		t.Fatalf("Digest.String() length = %d, want 64", len(d.String()))
+	}
+	if len(a.String()) != 40 {
+		t.Fatalf("Address.String() length = %d, want 40", len(a.String()))
+	}
+}
+
+func TestDigestBytesCopy(t *testing.T) {
+	d := Sum([]byte("b"))
+	b := d.Bytes()
+	b[0] ^= 0xFF
+	if d.Bytes()[0] == b[0] {
+		t.Fatal("Bytes() aliased internal array")
+	}
+}

@@ -1,0 +1,109 @@
+package cryptoutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdsa"
+	"crypto/rand"
+	"errors"
+	"fmt"
+)
+
+// ErrDecrypt is returned when a ciphertext fails authentication or is
+// structurally invalid.
+var ErrDecrypt = errors.New("cryptoutil: decryption failed")
+
+// SealSymmetric encrypts plaintext with AES-256-GCM under key. The
+// nonce is prepended to the returned ciphertext. The additional data
+// aad is authenticated but not encrypted.
+func SealSymmetric(key Digest, plaintext, aad []byte) ([]byte, error) {
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("cryptoutil: nonce: %w", err)
+	}
+	return gcm.Seal(nonce, nonce, plaintext, aad), nil
+}
+
+// OpenSymmetric decrypts a ciphertext produced by SealSymmetric.
+func OpenSymmetric(key Digest, ciphertext, aad []byte) ([]byte, error) {
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < gcm.NonceSize() {
+		return nil, ErrDecrypt
+	}
+	nonce, body := ciphertext[:gcm.NonceSize()], ciphertext[gcm.NonceSize():]
+	pt, err := gcm.Open(nil, nonce, body, aad)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+func newGCM(key Digest) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: gcm: %w", err)
+	}
+	return gcm, nil
+}
+
+// SharedKey derives a symmetric key from an ECDH agreement between a
+// private key and a peer's public key. Both directions derive the same
+// key: SharedKey(a, B) == SharedKey(b, A).
+func SharedKey(k *KeyPair, peer *ecdsa.PublicKey) Digest {
+	x, _ := peer.Curve.ScalarMult(peer.X, peer.Y, k.priv.D.Bytes())
+	var xb [32]byte
+	x.FillBytes(xb[:])
+	return SumAll([]byte("medchain/ecdh"), xb[:])
+}
+
+// Envelope is an asymmetric encrypted payload: the sender generates an
+// ephemeral key pair, agrees a shared key with the recipient's public
+// key, and AES-GCM encrypts the payload. Only the recipient's private
+// key can re-derive the shared key and decrypt.
+type Envelope struct {
+	// EphemeralPub is the uncompressed encoding of the sender's
+	// ephemeral public key.
+	EphemeralPub []byte `json:"ephemeral_pub"`
+	// Ciphertext is the AES-GCM sealed payload (nonce-prefixed).
+	Ciphertext []byte `json:"ciphertext"`
+}
+
+// SealEnvelope encrypts plaintext so only the holder of the private key
+// matching recipient can open it. aad is authenticated but not
+// encrypted (typically the on-chain request ID).
+func SealEnvelope(recipient *ecdsa.PublicKey, plaintext, aad []byte) (*Envelope, error) {
+	eph, err := GenerateKeyPair()
+	if err != nil {
+		return nil, err
+	}
+	key := SharedKey(eph, recipient)
+	ct, err := SealSymmetric(key, plaintext, aad)
+	if err != nil {
+		return nil, err
+	}
+	return &Envelope{EphemeralPub: eph.PublicBytes(), Ciphertext: ct}, nil
+}
+
+// OpenEnvelope decrypts an envelope with the recipient's key pair.
+func OpenEnvelope(recipient *KeyPair, env *Envelope, aad []byte) ([]byte, error) {
+	if env == nil {
+		return nil, ErrDecrypt
+	}
+	pub, err := DecodePublicKey(env.EphemeralPub)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: envelope: %w", err)
+	}
+	key := SharedKey(recipient, pub)
+	return OpenSymmetric(key, env.Ciphertext, aad)
+}

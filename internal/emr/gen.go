@@ -1,0 +1,245 @@
+package emr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ReferenceYear is the "current" year of the synthetic universe; ages
+// and timestamps are computed against it so generation is fully
+// deterministic (no wall-clock reads).
+const ReferenceYear = 2018
+
+// referenceUnix is Jan 1 of ReferenceYear, in Unix seconds.
+const referenceUnix = 1514764800
+
+// GenConfig controls the synthetic cohort generator.
+type GenConfig struct {
+	// Seed drives all randomness; identical configs generate identical
+	// cohorts.
+	Seed int64
+	// Patients is the cohort size.
+	Patients int
+	// StartID offsets patient numbering so different sites generate
+	// disjoint populations (pass a running global counter).
+	StartID int
+	// EncountersMean is the mean number of encounters per patient.
+	EncountersMean float64
+	// LabsPerEncounter is the mean labs recorded per encounter.
+	LabsPerEncounter float64
+	// VitalsDays is how many days of wearable samples to generate.
+	VitalsDays int
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Patients <= 0 {
+		c.Patients = 100
+	}
+	if c.EncountersMean <= 0 {
+		c.EncountersMean = 3
+	}
+	if c.LabsPerEncounter <= 0 {
+		c.LabsPerEncounter = 2
+	}
+	if c.VitalsDays <= 0 {
+		c.VitalsDays = 14
+	}
+	return c
+}
+
+var ethnicities = []string{"group-A", "group-B", "group-C", "group-D"}
+
+// Generator produces deterministic synthetic patient records with a
+// known ground-truth disease model:
+//
+//	logit(diabetes) = -3.2 + 0.045·(age-50) + 1.1·TCF7L2
+//	                  + 0.035·(glucose-100) + 0.16·(bmi-25) − 0.35·activityZ
+//	logit(stroke)   = -3.8 + 0.06·(age-55) + 1.0·NOTCH3
+//	                  + 0.03·(sbp-120) + 0.012·(ldl-110)
+//
+// Conditions are sampled from these probabilities, so a well-fit
+// logistic model on the generated features recovers the coefficients —
+// the signal experiment E6 learns federatedly.
+type Generator struct {
+	cfg GenConfig
+	rng *rand.Rand
+}
+
+// NewGenerator creates a generator for the given config.
+func NewGenerator(cfg GenConfig) *Generator {
+	cfg = cfg.withDefaults()
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Generate produces the cohort.
+func (g *Generator) Generate() []*Record {
+	out := make([]*Record, 0, g.cfg.Patients)
+	for i := 0; i < g.cfg.Patients; i++ {
+		out = append(out, g.patient(g.cfg.StartID+i))
+	}
+	return out
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func (g *Generator) patient(n int) *Record {
+	rng := g.rng
+	age := clampInt(int(rng.NormFloat64()*14+55), 18, 95)
+	sex := SexFemale
+	if rng.Float64() < 0.5 {
+		sex = SexMale
+	}
+	rec := &Record{
+		Patient: Patient{
+			ID:        fmt.Sprintf("P-%06d", n),
+			BirthYear: ReferenceYear - age,
+			Sex:       sex,
+			Ethnicity: ethnicities[rng.Intn(len(ethnicities))],
+		},
+	}
+
+	// Latent clinical features.
+	glucose := clamp(rng.NormFloat64()*18+102, 60, 260)
+	bmi := clamp(rng.NormFloat64()*4.5+26.5, 15, 55)
+	sbp := clamp(rng.NormFloat64()*16+124, 85, 230)
+	ldl := clamp(rng.NormFloat64()*30+112, 40, 280)
+	a1c := clamp(4.8+(glucose-90)*0.02+rng.NormFloat64()*0.35, 4, 14)
+	steps := clamp(rng.NormFloat64()*2800+6800, 300, 25000)
+	activityZ := (steps - 6800) / 2800
+
+	markerDia := rng.Float64() < 0.28
+	markerStr := rng.Float64() < 0.18
+	rec.Genomics = []GenomicMarker{
+		{Gene: GeneDiabetes, Variant: "rs7903146", Present: markerDia},
+		{Gene: GeneStroke, Variant: "rs1043994", Present: markerStr},
+	}
+
+	// Ground-truth disease model.
+	logitDia := -3.2 + 0.045*float64(age-50) + 1.1*b2f(markerDia) +
+		0.035*(glucose-100) + 0.16*(bmi-25) - 0.35*activityZ
+	logitStr := -3.8 + 0.06*float64(age-55) + 1.0*b2f(markerStr) +
+		0.03*(sbp-120) + 0.012*(ldl-110)
+	if rng.Float64() < sigmoid(logitDia) {
+		rec.Conditions = append(rec.Conditions, CondDiabetes)
+	}
+	if rng.Float64() < sigmoid(logitStr) {
+		rec.Conditions = append(rec.Conditions, CondStroke)
+	}
+
+	// Encounters with labs.
+	nEnc := 1 + rng.Intn(int(g.cfg.EncountersMean*2))
+	encTypes := []string{"outpatient", "inpatient", "emergency"}
+	diagCodes := []string{"E11.9", "I63.9", "I10", "Z00.0", "E78.5"}
+	for e := 0; e < nEnc; e++ {
+		at := referenceUnix - int64(rng.Intn(3*365*24*3600))
+		enc := Encounter{
+			ID:            fmt.Sprintf("%s-E%02d", rec.Patient.ID, e),
+			Type:          encTypes[rng.Intn(len(encTypes))],
+			DiagnosisCode: diagCodes[rng.Intn(len(diagCodes))],
+			At:            at,
+		}
+		rec.Encounters = append(rec.Encounters, enc)
+		nLabs := 1 + rng.Intn(int(g.cfg.LabsPerEncounter*2))
+		for l := 0; l < nLabs; l++ {
+			rec.Labs = append(rec.Labs, g.lab(at+int64(l+1)*60, glucose, bmi, sbp, ldl, a1c))
+		}
+	}
+
+	// Wearable vitals.
+	for d := 0; d < g.cfg.VitalsDays; d++ {
+		at := referenceUnix - int64(d*24*3600)
+		rec.Vitals = append(rec.Vitals,
+			VitalSample{Kind: VitalSteps, Value: clamp(steps+rng.NormFloat64()*900, 0, 40000), At: at},
+			VitalSample{Kind: VitalHR, Value: clamp(rng.NormFloat64()*9+72, 38, 180), At: at},
+			VitalSample{Kind: VitalSleep, Value: clamp(rng.NormFloat64()*1.1+7, 2, 13), At: at},
+		)
+	}
+	return rec
+}
+
+// lab samples one lab observation around the patient's latent values.
+func (g *Generator) lab(at int64, glucose, bmi, sbp, ldl, a1c float64) LabResult {
+	rng := g.rng
+	switch rng.Intn(5) {
+	case 0:
+		return LabResult{Code: LabGlucose, Value: round1(glucose + rng.NormFloat64()*6), Unit: "mg/dL", At: at}
+	case 1:
+		return LabResult{Code: LabBMI, Value: round1(bmi + rng.NormFloat64()*0.4), Unit: "kg/m2", At: at}
+	case 2:
+		return LabResult{Code: LabSysBP, Value: round1(sbp + rng.NormFloat64()*5), Unit: "mmHg", At: at}
+	case 3:
+		return LabResult{Code: LabLDL, Value: round1(ldl + rng.NormFloat64()*8), Unit: "mg/dL", At: at}
+	default:
+		return LabResult{Code: LabHbA1c, Value: round1(a1c + rng.NormFloat64()*0.15), Unit: "%", At: at}
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func round1(v float64) float64 { return math.Round(v*10) / 10 }
+
+// FeatureNames are the model features extracted by FeatureVector, in
+// order.
+var FeatureNames = []string{"age", "glucose", "bmi", "sbp", "ldl", "steps", "marker_tcf7l2", "marker_notch3"}
+
+// FeatureVector extracts the standard model features from a record.
+// Missing labs fall back to population means so partially-observed
+// records remain usable.
+func FeatureVector(r *Record) []float64 {
+	glucose, ok := r.MeanLab(LabGlucose)
+	if !ok {
+		glucose = 102
+	}
+	bmi, ok := r.MeanLab(LabBMI)
+	if !ok {
+		bmi = 26.5
+	}
+	sbp, ok := r.MeanLab(LabSysBP)
+	if !ok {
+		sbp = 124
+	}
+	ldl, ok := r.MeanLab(LabLDL)
+	if !ok {
+		ldl = 112
+	}
+	steps, ok := r.MeanVital(VitalSteps)
+	if !ok {
+		steps = 6800
+	}
+	return []float64{
+		float64(r.Patient.Age(ReferenceYear)),
+		glucose,
+		bmi,
+		sbp,
+		ldl,
+		steps,
+		b2f(r.HasMarker(GeneDiabetes)),
+		b2f(r.HasMarker(GeneStroke)),
+	}
+}

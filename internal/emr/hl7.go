@@ -1,0 +1,127 @@
+package emr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FormatHL7 is the legacy-format label for HL7v2-lite messages.
+const FormatHL7 = "hl7v2-lite"
+
+// EncodeHL7 renders a record as an HL7v2-lite pipe-delimited message.
+// Segments:
+//
+//	MSH|^~\&|MEDCHAIN|<siteID>
+//	PID|1|<id>|<birthYear>|<sex>|<ethnicity>|<cond1~cond2>
+//	PV1|<encID>|<type>|<diagCode>|<at>
+//	OBX|<labCode>|<value>|<unit>|<at>
+//	GEN|<gene>|<variant>|<0|1>
+//	WEA|<kind>|<value>|<at>
+func EncodeHL7(r *Record, siteID string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "MSH|^~\\&|MEDCHAIN|%s\r", siteID)
+	fmt.Fprintf(&sb, "PID|1|%s|%d|%s|%s|%s\r",
+		r.Patient.ID, r.Patient.BirthYear, r.Patient.Sex, r.Patient.Ethnicity,
+		strings.Join(r.Conditions, "~"))
+	for _, e := range r.Encounters {
+		fmt.Fprintf(&sb, "PV1|%s|%s|%s|%d\r", e.ID, e.Type, e.DiagnosisCode, e.At)
+	}
+	for _, l := range r.Labs {
+		fmt.Fprintf(&sb, "OBX|%s|%s|%s|%d\r", l.Code, formatFloat(l.Value), l.Unit, l.At)
+	}
+	for _, g := range r.Genomics {
+		present := "0"
+		if g.Present {
+			present = "1"
+		}
+		fmt.Fprintf(&sb, "GEN|%s|%s|%s\r", g.Gene, g.Variant, present)
+	}
+	for _, v := range r.Vitals {
+		fmt.Fprintf(&sb, "WEA|%s|%s|%d\r", v.Kind, formatFloat(v.Value), v.At)
+	}
+	return sb.String()
+}
+
+// ParseHL7 parses an HL7v2-lite message back into a CDF record.
+func ParseHL7(msg string) (*Record, error) {
+	rec := &Record{}
+	sawPID := false
+	for _, seg := range strings.Split(msg, "\r") {
+		if seg == "" {
+			continue
+		}
+		fields := strings.Split(seg, "|")
+		switch fields[0] {
+		case "MSH":
+			// Header; nothing retained.
+		case "PID":
+			if len(fields) < 6 {
+				return nil, fmt.Errorf("emr: hl7: PID needs 6+ fields, got %d", len(fields))
+			}
+			by, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("emr: hl7: PID birth year: %w", err)
+			}
+			rec.Patient = Patient{ID: fields[2], BirthYear: by, Sex: fields[4], Ethnicity: fields[5]}
+			if len(fields) > 6 && fields[6] != "" {
+				rec.Conditions = strings.Split(fields[6], "~")
+			}
+			sawPID = true
+		case "PV1":
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("emr: hl7: PV1 needs 5 fields, got %d", len(fields))
+			}
+			at, err := strconv.ParseInt(fields[4], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("emr: hl7: PV1 time: %w", err)
+			}
+			rec.Encounters = append(rec.Encounters, Encounter{
+				ID: fields[1], Type: fields[2], DiagnosisCode: fields[3], At: at,
+			})
+		case "OBX":
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("emr: hl7: OBX needs 5 fields, got %d", len(fields))
+			}
+			val, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("emr: hl7: OBX value: %w", err)
+			}
+			at, err := strconv.ParseInt(fields[4], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("emr: hl7: OBX time: %w", err)
+			}
+			rec.Labs = append(rec.Labs, LabResult{Code: fields[1], Value: val, Unit: fields[3], At: at})
+		case "GEN":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("emr: hl7: GEN needs 4 fields, got %d", len(fields))
+			}
+			rec.Genomics = append(rec.Genomics, GenomicMarker{
+				Gene: fields[1], Variant: fields[2], Present: fields[3] == "1",
+			})
+		case "WEA":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("emr: hl7: WEA needs 4 fields, got %d", len(fields))
+			}
+			val, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("emr: hl7: WEA value: %w", err)
+			}
+			at, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("emr: hl7: WEA time: %w", err)
+			}
+			rec.Vitals = append(rec.Vitals, VitalSample{Kind: fields[1], Value: val, At: at})
+		default:
+			return nil, fmt.Errorf("emr: hl7: unknown segment %q", fields[0])
+		}
+	}
+	if !sawPID {
+		return nil, fmt.Errorf("emr: hl7: message has no PID segment")
+	}
+	return rec, nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

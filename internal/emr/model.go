@@ -1,0 +1,256 @@
+// Package emr models the medical data substrate of the paper: patient
+// records in a common data format (CDF), a seeded synthetic generator
+// (the stand-in for hospital EMR silos, TCGA, and wearable feeds), and
+// three heterogeneous legacy encodings — HL7v2-lite pipe-delimited
+// messages, flat CSV extracts, and FHIR-lite JSON bundles — with
+// lossless mappers into the CDF.
+//
+// The paper's integration experiment (E5, Fig. 3) needs exactly this:
+// distributed, differently-formatted, separately-owned data sets that
+// the blockchain layer virtually unifies without moving raw data. The
+// generator embeds a known ground-truth disease model so the federated
+// learning experiment (E6) has a learnable signal.
+package emr
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"medchain/internal/cryptoutil"
+)
+
+// SchemaCDF names the common data format version carried in dataset
+// registrations.
+const SchemaCDF = "cdf/v1"
+
+// Sex codes.
+const (
+	SexFemale = "F"
+	SexMale   = "M"
+)
+
+// Patient is the demographic core of a record.
+type Patient struct {
+	// ID is a pseudonymous identifier, unique within the generator
+	// universe (so cross-site linkage is testable), e.g. "P-000123".
+	ID string `json:"id"`
+	// BirthYear is the year of birth.
+	BirthYear int `json:"birth_year"`
+	// Sex is SexFemale or SexMale.
+	Sex string `json:"sex"`
+	// Ethnicity is a coarse group label (the paper's Nature citation
+	// concerns ethnicity bias in trials).
+	Ethnicity string `json:"ethnicity"`
+}
+
+// Age returns the patient's age in the given year.
+func (p Patient) Age(year int) int { return year - p.BirthYear }
+
+// Encounter is one clinical visit.
+type Encounter struct {
+	// ID is unique within the record.
+	ID string `json:"id"`
+	// Type is "outpatient", "inpatient", or "emergency".
+	Type string `json:"type"`
+	// DiagnosisCode is an ICD-10-like code.
+	DiagnosisCode string `json:"diagnosis_code"`
+	// At is the encounter time (Unix seconds).
+	At int64 `json:"at"`
+}
+
+// LabResult is one laboratory observation.
+type LabResult struct {
+	// Code is a LOINC-like analyte code, e.g. "GLU" (glucose).
+	Code string `json:"code"`
+	// Value is the numeric result.
+	Value float64 `json:"value"`
+	// Unit is the unit of measure.
+	Unit string `json:"unit"`
+	// At is the observation time (Unix seconds).
+	At int64 `json:"at"`
+}
+
+// GenomicMarker is one germline variant call (NGS-derived, paper §II).
+type GenomicMarker struct {
+	// Gene is the gene symbol, e.g. "TCF7L2".
+	Gene string `json:"gene"`
+	// Variant is the variant label, e.g. "rs7903146".
+	Variant string `json:"variant"`
+	// Present reports whether the risk allele was observed.
+	Present bool `json:"present"`
+}
+
+// VitalSample is a wearable-device measurement (activity, heart rate).
+type VitalSample struct {
+	// Kind is "steps", "hr", or "sleep_hours".
+	Kind string `json:"kind"`
+	// Value is the measurement.
+	Value float64 `json:"value"`
+	// At is the sample time (Unix seconds).
+	At int64 `json:"at"`
+}
+
+// Record is one patient's integrated health record in the common data
+// format.
+type Record struct {
+	Patient    Patient         `json:"patient"`
+	Encounters []Encounter     `json:"encounters,omitempty"`
+	Labs       []LabResult     `json:"labs,omitempty"`
+	Genomics   []GenomicMarker `json:"genomics,omitempty"`
+	Vitals     []VitalSample   `json:"vitals,omitempty"`
+	// Conditions are diagnosed condition labels ("diabetes","stroke").
+	Conditions []string `json:"conditions,omitempty"`
+}
+
+// HasCondition reports whether the record carries a condition label.
+func (r *Record) HasCondition(name string) bool {
+	for _, c := range r.Conditions {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// HasMarker reports whether a gene's risk allele is present.
+func (r *Record) HasMarker(gene string) bool {
+	for _, g := range r.Genomics {
+		if g.Gene == gene && g.Present {
+			return true
+		}
+	}
+	return false
+}
+
+// MeanLab returns the mean value of a lab code and whether any were
+// found.
+func (r *Record) MeanLab(code string) (float64, bool) {
+	var sum float64
+	n := 0
+	for _, l := range r.Labs {
+		if l.Code == code {
+			sum += l.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// MeanVital returns the mean value of a vital kind and whether any were
+// found.
+func (r *Record) MeanVital(kind string) (float64, bool) {
+	var sum float64
+	n := 0
+	for _, v := range r.Vitals {
+		if v.Kind == kind {
+			sum += v.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// Canonical returns the canonical JSON encoding of the record (sorted
+// inner slices), suitable for hashing.
+func (r *Record) Canonical() ([]byte, error) {
+	cp := *r
+	cp.Encounters = append([]Encounter(nil), r.Encounters...)
+	sort.Slice(cp.Encounters, func(i, j int) bool { return cp.Encounters[i].ID < cp.Encounters[j].ID })
+	cp.Labs = append([]LabResult(nil), r.Labs...)
+	sort.Slice(cp.Labs, func(i, j int) bool {
+		if cp.Labs[i].At != cp.Labs[j].At {
+			return cp.Labs[i].At < cp.Labs[j].At
+		}
+		return cp.Labs[i].Code < cp.Labs[j].Code
+	})
+	cp.Genomics = append([]GenomicMarker(nil), r.Genomics...)
+	sort.Slice(cp.Genomics, func(i, j int) bool { return cp.Genomics[i].Gene < cp.Genomics[j].Gene })
+	cp.Vitals = append([]VitalSample(nil), r.Vitals...)
+	sort.Slice(cp.Vitals, func(i, j int) bool {
+		if cp.Vitals[i].At != cp.Vitals[j].At {
+			return cp.Vitals[i].At < cp.Vitals[j].At
+		}
+		return cp.Vitals[i].Kind < cp.Vitals[j].Kind
+	})
+	cp.Conditions = append([]string(nil), r.Conditions...)
+	sort.Strings(cp.Conditions)
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		return nil, fmt.Errorf("emr: canonicalize record: %w", err)
+	}
+	return b, nil
+}
+
+// Digest returns the hash of the canonical encoding.
+func (r *Record) Digest() (cryptoutil.Digest, error) {
+	b, err := r.Canonical()
+	if err != nil {
+		return cryptoutil.ZeroDigest, err
+	}
+	return cryptoutil.Sum(b), nil
+}
+
+// DatasetDigest computes a deterministic digest over a set of records
+// (sorted by patient ID) — the value anchored on chain when a site
+// registers its data set.
+func DatasetDigest(records []*Record) (cryptoutil.Digest, error) {
+	sorted := append([]*Record(nil), records...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Patient.ID < sorted[j].Patient.ID })
+	parts := make([][]byte, 0, len(sorted))
+	for _, r := range sorted {
+		d, err := r.Digest()
+		if err != nil {
+			return cryptoutil.ZeroDigest, err
+		}
+		parts = append(parts, d.Bytes())
+	}
+	return cryptoutil.SumAll(parts...), nil
+}
+
+// Equal reports deep equality via canonical encodings.
+func (r *Record) Equal(other *Record) bool {
+	if r == nil || other == nil {
+		return r == other
+	}
+	a, err1 := r.Canonical()
+	b, err2 := other.Canonical()
+	if err1 != nil || err2 != nil {
+		return false
+	}
+	return string(a) == string(b)
+}
+
+// Lab codes used by the generator and the disease model.
+const (
+	LabGlucose = "GLU" // mg/dL
+	LabBMI     = "BMI" // kg/m^2
+	LabSysBP   = "SBP" // mmHg
+	LabHbA1c   = "A1C" // %
+	LabLDL     = "LDL" // mg/dL
+)
+
+// Vital kinds.
+const (
+	VitalSteps = "steps"
+	VitalHR    = "hr"
+	VitalSleep = "sleep_hours"
+)
+
+// Condition labels produced by the generator's ground-truth model.
+const (
+	CondDiabetes = "diabetes"
+	CondStroke   = "stroke"
+)
+
+// Risk genes of the synthetic disease model.
+const (
+	GeneDiabetes = "TCF7L2"
+	GeneStroke   = "NOTCH3"
+)

@@ -1,0 +1,165 @@
+package emr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Data quality is the paper's §IV "Data Services" concern: "the good
+// analytics results of AI algorithms are from the quality of the data,
+// not the amount of data". This file implements the quality gate a site
+// runs before registering (or re-anchoring) a data set: structural and
+// plausibility checks over CDF records, producing a machine-readable
+// issue list and a summary score.
+
+// IssueKind classifies a quality finding.
+type IssueKind string
+
+// Issue kinds.
+const (
+	IssueMissingID        IssueKind = "missing-id"
+	IssueDuplicateID      IssueKind = "duplicate-id"
+	IssueBadBirthYear     IssueKind = "bad-birth-year"
+	IssueBadSex           IssueKind = "bad-sex"
+	IssueLabOutOfRange    IssueKind = "lab-out-of-range"
+	IssueBadLabTime       IssueKind = "bad-lab-time"
+	IssueDupEncounterID   IssueKind = "duplicate-encounter-id"
+	IssueNoEncounters     IssueKind = "no-encounters"
+	IssueVitalOutOfRange  IssueKind = "vital-out-of-range"
+	IssueUnknownCondition IssueKind = "unknown-condition"
+)
+
+// Issue is one quality finding.
+type Issue struct {
+	// Kind classifies the issue.
+	Kind IssueKind `json:"kind"`
+	// PatientID locates the record ("" for dataset-level issues).
+	PatientID string `json:"patient_id,omitempty"`
+	// Detail explains the finding.
+	Detail string `json:"detail"`
+}
+
+// QualityReport summarizes a dataset validation.
+type QualityReport struct {
+	// Records is the number validated.
+	Records int `json:"records"`
+	// Issues are all findings.
+	Issues []Issue `json:"issues,omitempty"`
+	// CleanRecords is the number of records with no issues.
+	CleanRecords int `json:"clean_records"`
+	// Score is CleanRecords/Records (1.0 = perfectly clean).
+	Score float64 `json:"score"`
+}
+
+// Clean reports whether no issues were found.
+func (r *QualityReport) Clean() bool { return len(r.Issues) == 0 }
+
+// CountByKind tallies issues per kind.
+func (r *QualityReport) CountByKind() map[IssueKind]int {
+	out := make(map[IssueKind]int)
+	for _, is := range r.Issues {
+		out[is.Kind]++
+	}
+	return out
+}
+
+// labRanges are plausibility bounds per analyte (loose clinical
+// plausibility, not reference ranges).
+var labRanges = map[string][2]float64{
+	LabGlucose: {20, 1000},
+	LabBMI:     {8, 100},
+	LabSysBP:   {50, 300},
+	LabLDL:     {10, 500},
+	LabHbA1c:   {2, 20},
+}
+
+// vitalRanges are plausibility bounds per vital kind.
+var vitalRanges = map[string][2]float64{
+	VitalSteps: {0, 100000},
+	VitalHR:    {20, 250},
+	VitalSleep: {0, 24},
+}
+
+var knownConditions = map[string]bool{CondDiabetes: true, CondStroke: true}
+
+// ValidateRecords runs the quality gate over a dataset.
+func ValidateRecords(records []*Record) *QualityReport {
+	rep := &QualityReport{Records: len(records)}
+	seenIDs := make(map[string]bool, len(records))
+	for _, r := range records {
+		issues := validateOne(r)
+		if r.Patient.ID != "" {
+			if seenIDs[r.Patient.ID] {
+				issues = append(issues, Issue{
+					Kind: IssueDuplicateID, PatientID: r.Patient.ID,
+					Detail: "patient ID appears more than once in the dataset",
+				})
+			}
+			seenIDs[r.Patient.ID] = true
+		}
+		if len(issues) == 0 {
+			rep.CleanRecords++
+		}
+		rep.Issues = append(rep.Issues, issues...)
+	}
+	if rep.Records > 0 {
+		rep.Score = float64(rep.CleanRecords) / float64(rep.Records)
+	}
+	sort.SliceStable(rep.Issues, func(i, j int) bool {
+		if rep.Issues[i].PatientID != rep.Issues[j].PatientID {
+			return rep.Issues[i].PatientID < rep.Issues[j].PatientID
+		}
+		return rep.Issues[i].Kind < rep.Issues[j].Kind
+	})
+	return rep
+}
+
+func validateOne(r *Record) []Issue {
+	var issues []Issue
+	id := r.Patient.ID
+	add := func(kind IssueKind, format string, args ...any) {
+		issues = append(issues, Issue{Kind: kind, PatientID: id, Detail: fmt.Sprintf(format, args...)})
+	}
+	if id == "" {
+		add(IssueMissingID, "record has no patient ID")
+	}
+	if r.Patient.BirthYear < 1900 || r.Patient.BirthYear > ReferenceYear {
+		add(IssueBadBirthYear, "birth year %d outside [1900,%d]", r.Patient.BirthYear, ReferenceYear)
+	}
+	if r.Patient.Sex != SexFemale && r.Patient.Sex != SexMale {
+		add(IssueBadSex, "sex %q is not %q or %q", r.Patient.Sex, SexFemale, SexMale)
+	}
+	if len(r.Encounters) == 0 {
+		add(IssueNoEncounters, "record has no encounters")
+	}
+	encIDs := make(map[string]bool, len(r.Encounters))
+	for _, e := range r.Encounters {
+		if encIDs[e.ID] {
+			add(IssueDupEncounterID, "encounter ID %q repeated", e.ID)
+		}
+		encIDs[e.ID] = true
+	}
+	for _, l := range r.Labs {
+		if bounds, ok := labRanges[l.Code]; ok {
+			if l.Value < bounds[0] || l.Value > bounds[1] {
+				add(IssueLabOutOfRange, "%s=%.1f outside [%g,%g]", l.Code, l.Value, bounds[0], bounds[1])
+			}
+		}
+		if l.At <= 0 {
+			add(IssueBadLabTime, "%s has non-positive timestamp %d", l.Code, l.At)
+		}
+	}
+	for _, v := range r.Vitals {
+		if bounds, ok := vitalRanges[v.Kind]; ok {
+			if v.Value < bounds[0] || v.Value > bounds[1] {
+				add(IssueVitalOutOfRange, "%s=%.1f outside [%g,%g]", v.Kind, v.Value, bounds[0], bounds[1])
+			}
+		}
+	}
+	for _, c := range r.Conditions {
+		if !knownConditions[c] {
+			add(IssueUnknownCondition, "condition %q not in the CDF vocabulary", c)
+		}
+	}
+	return issues
+}

@@ -1,0 +1,119 @@
+package emr
+
+import (
+	"testing"
+)
+
+func TestValidateGeneratedRecordsAreClean(t *testing.T) {
+	recs := NewGenerator(GenConfig{Seed: 1, Patients: 200}).Generate()
+	rep := ValidateRecords(recs)
+	if !rep.Clean() {
+		t.Fatalf("generator produced %d quality issues: %+v", len(rep.Issues), rep.Issues[:min(3, len(rep.Issues))])
+	}
+	if rep.Score != 1.0 || rep.CleanRecords != 200 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestValidateFlagsEachIssueKind(t *testing.T) {
+	tests := []struct {
+		name string
+		rec  *Record
+		want IssueKind
+	}{
+		{"missing id", &Record{Patient: Patient{BirthYear: 1970, Sex: SexMale},
+			Encounters: []Encounter{{ID: "e"}}}, IssueMissingID},
+		{"bad birth year", &Record{Patient: Patient{ID: "P", BirthYear: 1850, Sex: SexMale},
+			Encounters: []Encounter{{ID: "e"}}}, IssueBadBirthYear},
+		{"future birth year", &Record{Patient: Patient{ID: "P", BirthYear: ReferenceYear + 5, Sex: SexMale},
+			Encounters: []Encounter{{ID: "e"}}}, IssueBadBirthYear},
+		{"bad sex", &Record{Patient: Patient{ID: "P", BirthYear: 1970, Sex: "X"},
+			Encounters: []Encounter{{ID: "e"}}}, IssueBadSex},
+		{"no encounters", &Record{Patient: Patient{ID: "P", BirthYear: 1970, Sex: SexMale}}, IssueNoEncounters},
+		{"dup encounter", &Record{Patient: Patient{ID: "P", BirthYear: 1970, Sex: SexMale},
+			Encounters: []Encounter{{ID: "e"}, {ID: "e"}}}, IssueDupEncounterID},
+		{"lab out of range", &Record{Patient: Patient{ID: "P", BirthYear: 1970, Sex: SexMale},
+			Encounters: []Encounter{{ID: "e"}},
+			Labs:       []LabResult{{Code: LabGlucose, Value: 5000, At: 1}}}, IssueLabOutOfRange},
+		{"bad lab time", &Record{Patient: Patient{ID: "P", BirthYear: 1970, Sex: SexMale},
+			Encounters: []Encounter{{ID: "e"}},
+			Labs:       []LabResult{{Code: LabGlucose, Value: 100, At: 0}}}, IssueBadLabTime},
+		{"vital out of range", &Record{Patient: Patient{ID: "P", BirthYear: 1970, Sex: SexMale},
+			Encounters: []Encounter{{ID: "e"}},
+			Vitals:     []VitalSample{{Kind: VitalHR, Value: 500, At: 1}}}, IssueVitalOutOfRange},
+		{"unknown condition", &Record{Patient: Patient{ID: "P", BirthYear: 1970, Sex: SexMale},
+			Encounters: []Encounter{{ID: "e"}},
+			Conditions: []string{"vampirism"}}, IssueUnknownCondition},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rep := ValidateRecords([]*Record{tt.rec})
+			found := false
+			for _, is := range rep.Issues {
+				if is.Kind == tt.want {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("issue %s not flagged; got %+v", tt.want, rep.Issues)
+			}
+			if rep.Clean() || rep.Score != 0 {
+				t.Fatalf("dirty record scored clean: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestValidateDuplicatePatientIDs(t *testing.T) {
+	good := func() *Record {
+		return &Record{
+			Patient:    Patient{ID: "P-1", BirthYear: 1970, Sex: SexMale},
+			Encounters: []Encounter{{ID: "e"}},
+		}
+	}
+	rep := ValidateRecords([]*Record{good(), good()})
+	if rep.CountByKind()[IssueDuplicateID] != 1 {
+		t.Fatalf("duplicate ID not flagged exactly once: %+v", rep.Issues)
+	}
+	// First record is clean; the duplicate is not.
+	if rep.CleanRecords != 1 {
+		t.Fatalf("clean records %d", rep.CleanRecords)
+	}
+}
+
+func TestValidateEmptyDataset(t *testing.T) {
+	rep := ValidateRecords(nil)
+	if !rep.Clean() || rep.Score != 0 || rep.Records != 0 {
+		t.Fatalf("empty report %+v", rep)
+	}
+}
+
+func TestValidateScorePartial(t *testing.T) {
+	recs := NewGenerator(GenConfig{Seed: 2, Patients: 10}).Generate()
+	// Corrupt 2 of 10.
+	recs[3].Labs[0].Value = 99999
+	recs[7].Patient.Sex = "?"
+	rep := ValidateRecords(recs)
+	if rep.CleanRecords != 8 {
+		t.Fatalf("clean %d, want 8", rep.CleanRecords)
+	}
+	if rep.Score != 0.8 {
+		t.Fatalf("score %v", rep.Score)
+	}
+}
+
+func BenchmarkValidateRecords(b *testing.B) {
+	recs := NewGenerator(GenConfig{Seed: 1, Patients: 500}).Generate()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ValidateRecords(recs)
+	}
+}

@@ -1,0 +1,417 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"medchain/internal/chain"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/fl"
+	"medchain/internal/linalg"
+	"medchain/internal/oracle"
+)
+
+// --- A1: consensus-engine ablation ---
+
+// A1Row is one engine's measurement on the same workload.
+type A1Row struct {
+	// Engine names the consensus engine.
+	Engine chain.EngineKind
+	// Elapsed is the time to commit the workload.
+	Elapsed time.Duration
+	// Throughput is tx/s.
+	Throughput float64
+	// PoWHashes is mining work (PoW only).
+	PoWHashes int64
+}
+
+// A1Config tunes the ablation.
+type A1Config struct {
+	// Nodes is the fixed cluster size.
+	Nodes int
+	// Txs is the workload size.
+	Txs int
+	// PowDifficulty is the PoW target.
+	PowDifficulty uint8
+	// Seed namespaces keys.
+	Seed int64
+}
+
+func (c A1Config) withDefaults() A1Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.Txs <= 0 {
+		c.Txs = 8
+	}
+	if c.PowDifficulty == 0 {
+		c.PowDifficulty = 10
+	}
+	return c
+}
+
+// A1Consensus commits the same workload under PoW, PoA, and quorum
+// consensus on equally-sized clusters.
+func A1Consensus(cfg A1Config) ([]A1Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []A1Row
+	for _, engine := range []chain.EngineKind{chain.EnginePoW, chain.EnginePoA, chain.EnginePoS, chain.EngineQuorum} {
+		c, err := chain.NewCluster(chain.ClusterConfig{
+			Nodes:         cfg.Nodes,
+			Engine:        engine,
+			PowDifficulty: cfg.PowDifficulty,
+			KeySeed:       fmt.Sprintf("a1/%s/%d", engine, cfg.Seed),
+		})
+		if err != nil {
+			return nil, err
+		}
+		user, err := cryptoutil.DeriveKeyPair(fmt.Sprintf("a1-user-%s", engine))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		for i := 0; i < cfg.Txs; i++ {
+			tx, err := registerTx(user, uint64(i), fmt.Sprintf("a1/%s/d-%d", engine, i))
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			if err := c.Submit(tx); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		if err := waitGossip(c, cfg.Txs, timeout10s); err != nil {
+			c.Close()
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := c.CommitAll(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		rows = append(rows, A1Row{
+			Engine:     engine,
+			Elapsed:    elapsed,
+			Throughput: float64(cfg.Txs) / elapsed.Seconds(),
+			PoWHashes:  c.PoWWork(),
+		})
+		c.Close()
+	}
+	return rows, nil
+}
+
+// TableA1 renders the engine comparison.
+func TableA1(rows []A1Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			string(r.Engine),
+			fmtDur(r.Elapsed),
+			fmt.Sprintf("%.1f", r.Throughput),
+			fmt.Sprint(r.PoWHashes),
+		}
+	}
+	return Table(
+		"A1  Consensus ablation (same workload, same cluster size): PoW burns hash work for nothing the medical chain needs",
+		[]string{"engine", "elapsed", "tx/s", "pow hashes"},
+		out,
+	)
+}
+
+// --- A2: oracle dispatch batching ---
+
+// A2Row is one dispatch mode's overhead.
+type A2Row struct {
+	// Mode is "per-event" or "batched".
+	Mode string
+	// Events is the workload.
+	Events int
+	// Elapsed is the end-to-end dispatch time.
+	Elapsed time.Duration
+	// PerEvent is Elapsed/Events.
+	PerEvent time.Duration
+	// Calls is how many handler invocations were made.
+	Calls int64
+}
+
+// A2Config tunes the batching ablation.
+type A2Config struct {
+	// Events is the workload size.
+	Events int
+	// BatchSize for the batched mode.
+	BatchSize int
+	// HandlerCost simulates per-call RPC overhead.
+	HandlerCost time.Duration
+	// Seed namespaces keys.
+	Seed int64
+}
+
+func (c A2Config) withDefaults() A2Config {
+	if c.Events <= 0 {
+		c.Events = 200
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 20
+	}
+	if c.HandlerCost <= 0 {
+		c.HandlerCost = 200 * time.Microsecond
+	}
+	return c
+}
+
+// A2OracleBatch measures monitor-node dispatch with per-event handlers
+// versus batched handlers when each handler call carries fixed RPC
+// overhead — the "standard format via remote procedure calls" path of
+// Fig. 3 at volume.
+func A2OracleBatch(cfg A2Config) ([]A2Row, error) {
+	cfg = cfg.withDefaults()
+
+	run := func(batch bool) (A2Row, error) {
+		c, err := chain.NewCluster(chain.ClusterConfig{
+			Nodes: 1, Engine: chain.EngineQuorum,
+			KeySeed: fmt.Sprintf("a2/%v/%d", batch, cfg.Seed),
+		})
+		if err != nil {
+			return A2Row{}, err
+		}
+		defer c.Close()
+		mcfg := oracle.MonitorConfig{}
+		if batch {
+			mcfg.BatchSize = cfg.BatchSize
+		}
+		mon := oracle.NewMonitor(c.Node(0), mcfg)
+		defer mon.Close()
+
+		var mu sync.Mutex
+		var calls int64
+		handled := 0
+		done := make(chan struct{})
+		mark := func(n int) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			handled += n
+			if handled >= cfg.Events {
+				select {
+				case <-done:
+				default:
+					close(done)
+				}
+			}
+		}
+		if batch {
+			mon.OnBatch("DatasetRegistered", func(recs []chain.EventRecord) error {
+				time.Sleep(cfg.HandlerCost) // one RPC for the whole batch
+				mark(len(recs))
+				return nil
+			})
+		} else {
+			mon.On("DatasetRegistered", func(chain.EventRecord) error {
+				time.Sleep(cfg.HandlerCost) // one RPC per event
+				mark(1)
+				return nil
+			})
+		}
+
+		user, err := cryptoutil.DeriveKeyPair(fmt.Sprintf("a2-user-%v", batch))
+		if err != nil {
+			return A2Row{}, err
+		}
+		for i := 0; i < cfg.Events; i++ {
+			tx, err := registerTx(user, uint64(i), fmt.Sprintf("a2/%v/d-%d", batch, i))
+			if err != nil {
+				return A2Row{}, err
+			}
+			if err := c.Node(0).SubmitLocal(tx); err != nil {
+				return A2Row{}, err
+			}
+		}
+		start := time.Now()
+		if _, err := c.CommitAll(); err != nil {
+			return A2Row{}, err
+		}
+		// Drain pending partial batches until all events are handled.
+		for {
+			select {
+			case <-done:
+				elapsed := time.Since(start)
+				mu.Lock()
+				defer mu.Unlock()
+				mode := "per-event"
+				if batch {
+					mode = fmt.Sprintf("batched (%d)", cfg.BatchSize)
+				}
+				return A2Row{
+					Mode:     mode,
+					Events:   cfg.Events,
+					Elapsed:  elapsed,
+					PerEvent: elapsed / time.Duration(cfg.Events),
+					Calls:    calls,
+				}, nil
+			case <-time.After(5 * time.Millisecond):
+				mon.Flush()
+			}
+		}
+	}
+
+	perEvent, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	batched, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return []A2Row{perEvent, batched}, nil
+}
+
+// TableA2 renders the batching comparison.
+func TableA2(rows []A2Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Mode,
+			fmt.Sprint(r.Events),
+			fmtDur(r.Elapsed),
+			fmtDur(r.PerEvent),
+			fmt.Sprint(r.Calls),
+		}
+	}
+	return Table(
+		"A2  Monitor-node dispatch: batching amortizes per-call RPC overhead",
+		[]string{"mode", "events", "elapsed", "per event", "handler calls"},
+		out,
+	)
+}
+
+// --- A3: secure-aggregation overhead ---
+
+// A3Row is one aggregation mode's cost.
+type A3Row struct {
+	// Mode is "plain" or "masked".
+	Mode string
+	// Clients and Dim size the aggregation.
+	Clients int
+	Dim     int
+	// Elapsed is the total aggregation time over Rounds rounds.
+	Elapsed time.Duration
+	// PerRound is Elapsed/Rounds.
+	PerRound time.Duration
+	// ExactMatch reports whether the two modes produced identical
+	// results (set on the masked row).
+	ExactMatch bool
+}
+
+// A3Config tunes the aggregation ablation.
+type A3Config struct {
+	// Clients and Dim size each round's update set.
+	Clients int
+	Dim     int
+	// Rounds repeats the aggregation for stable timing.
+	Rounds int
+	// Seed drives the synthetic updates.
+	Seed int64
+}
+
+func (c A3Config) withDefaults() A3Config {
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.Dim <= 0 {
+		c.Dim = 64
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 50
+	}
+	return c
+}
+
+// A3SecureAgg measures the cost of pairwise additive masking relative
+// to plain weighted averaging, and verifies exactness.
+func A3SecureAgg(cfg A3Config) ([]A3Row, error) {
+	cfg = cfg.withDefaults()
+	ids := make([]string, cfg.Clients)
+	updates := make([]linalg.Vector, cfg.Clients)
+	weights := make([]float64, cfg.Clients)
+	seed := cfg.Seed
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed%1000) / 100
+	}
+	for i := range ids {
+		ids[i] = fmt.Sprintf("site-%02d", i)
+		v := make(linalg.Vector, cfg.Dim)
+		for j := range v {
+			v[j] = next()
+		}
+		updates[i] = v
+		weights[i] = 10 + float64(i)
+	}
+
+	plainStart := time.Now()
+	var plain linalg.Vector
+	for r := 0; r < cfg.Rounds; r++ {
+		var err error
+		plain, err = linalg.WeightedMean(updates, weights)
+		if err != nil {
+			return nil, err
+		}
+	}
+	plainElapsed := time.Since(plainStart)
+
+	maskedStart := time.Now()
+	var masked linalg.Vector
+	for r := 0; r < cfg.Rounds; r++ {
+		ms, err := fl.MaskUpdates(ids, updates, weights, r)
+		if err != nil {
+			return nil, err
+		}
+		masked, err = fl.AggregateMasked(ms)
+		if err != nil {
+			return nil, err
+		}
+	}
+	maskedElapsed := time.Since(maskedStart)
+
+	exact := true
+	for i := range plain {
+		d := plain[i] - masked[i]
+		if d > 1e-6 || d < -1e-6 {
+			exact = false
+		}
+	}
+	return []A3Row{
+		{
+			Mode: "plain weighted mean", Clients: cfg.Clients, Dim: cfg.Dim,
+			Elapsed: plainElapsed, PerRound: plainElapsed / time.Duration(cfg.Rounds),
+			ExactMatch: true, // the reference result
+		},
+		{
+			Mode: "pairwise masked", Clients: cfg.Clients, Dim: cfg.Dim,
+			Elapsed: maskedElapsed, PerRound: maskedElapsed / time.Duration(cfg.Rounds),
+			ExactMatch: exact,
+		},
+	}, nil
+}
+
+// TableA3 renders the aggregation comparison.
+func TableA3(rows []A3Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Mode,
+			fmt.Sprint(r.Clients),
+			fmt.Sprint(r.Dim),
+			fmtDur(r.PerRound),
+			fmt.Sprint(r.ExactMatch),
+		}
+	}
+	return Table(
+		"A3  Secure aggregation: masking overhead per FedAvg round (result identical to plain averaging)",
+		[]string{"mode", "clients", "dim", "per round", "exact"},
+		out,
+	)
+}

@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"medchain/internal/analytics"
+	"medchain/internal/emr"
+	"medchain/internal/fl"
+	"medchain/internal/ml"
+)
+
+// --- E5: heterogeneous data integration (silo breaking) ---
+
+// E5Row is one federation size's integration measurement.
+type E5Row struct {
+	// Sites is the number of silos integrated.
+	Sites int
+	// VirtualRecords is the size of the integrated virtual data set.
+	VirtualRecords int
+	// LargestSilo is the biggest single silo (what a researcher gets
+	// without integration — the TCGA-is-too-small argument).
+	LargestSilo int
+	// Growth is VirtualRecords/LargestSilo.
+	Growth float64
+	// Lossless reports whether every legacy format round-tripped
+	// exactly through the CDF mappers.
+	Lossless bool
+	// MapThroughput is records mapped to CDF per second.
+	MapThroughput float64
+}
+
+// E5Config tunes the integration sweep.
+type E5Config struct {
+	// SiteCounts are the silo counts to sweep.
+	SiteCounts []int
+	// PatientsPerSite sizes each silo.
+	PatientsPerSite int
+	// Seed drives generation.
+	Seed int64
+}
+
+func (c E5Config) withDefaults() E5Config {
+	if len(c.SiteCounts) == 0 {
+		c.SiteCounts = []int{1, 2, 4, 8, 16}
+	}
+	if c.PatientsPerSite <= 0 {
+		c.PatientsPerSite = 250
+	}
+	return c
+}
+
+// E5Integration builds a virtual data set from silos that each speak a
+// different legacy format (HL7v2-lite, CSV, FHIR-lite round-robin),
+// maps everything losslessly into the common data format, and measures
+// how the reachable training set grows with participating sites —
+// §III.A's "build a large size core training set" mechanism.
+func E5Integration(cfg E5Config) ([]E5Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []E5Row
+	for _, sites := range cfg.SiteCounts {
+		virtual := 0
+		largest := 0
+		lossless := true
+		var mapped int
+		start := time.Now()
+		for s := 0; s < sites; s++ {
+			recs := emr.NewGenerator(emr.GenConfig{
+				Seed:     cfg.Seed + int64(s)*131,
+				Patients: cfg.PatientsPerSite,
+				StartID:  s * cfg.PatientsPerSite,
+			}).Generate()
+			format := emr.Formats[s%len(emr.Formats)]
+			// Encode in the silo's legacy format, then map to CDF the
+			// way the monitor node does (Fig. 3).
+			data, err := emr.EncodeAs(format, recs, fmt.Sprintf("site-%d", s))
+			if err != nil {
+				return nil, err
+			}
+			back, err := emr.DecodeAs(format, data)
+			if err != nil {
+				return nil, err
+			}
+			if len(back) != len(recs) {
+				lossless = false
+			} else {
+				for i := range recs {
+					if !recs[i].Equal(back[i]) {
+						lossless = false
+						break
+					}
+				}
+			}
+			mapped += len(back)
+			virtual += len(back)
+			if len(back) > largest {
+				largest = len(back)
+			}
+		}
+		elapsed := time.Since(start)
+		row := E5Row{
+			Sites:          sites,
+			VirtualRecords: virtual,
+			LargestSilo:    largest,
+			Lossless:       lossless,
+		}
+		if largest > 0 {
+			row.Growth = float64(virtual) / float64(largest)
+		}
+		if elapsed > 0 {
+			row.MapThroughput = float64(mapped) / elapsed.Seconds()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TableE5 renders the E5 rows.
+func TableE5(rows []E5Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			fmt.Sprint(r.Sites),
+			fmt.Sprint(r.VirtualRecords),
+			fmt.Sprint(r.LargestSilo),
+			fmt.Sprintf("%.1fx", r.Growth),
+			fmt.Sprint(r.Lossless),
+			fmt.Sprintf("%.0f", r.MapThroughput),
+		}
+	}
+	return Table(
+		"E5  Heterogeneous integration: virtual dataset grows linearly with silos; HL7/CSV/FHIR map losslessly to CDF",
+		[]string{"sites", "virtual records", "largest silo", "growth", "lossless", "records/s"},
+		out,
+	)
+}
+
+// --- E6: federated & transfer learning ---
+
+// E6Row is one training strategy's quality.
+type E6Row struct {
+	// Strategy names the approach.
+	Strategy string
+	// AUC / Accuracy on the shared holdout.
+	AUC      float64
+	Accuracy float64
+	// Rounds of communication used (0 for local/centralized).
+	Rounds int
+	// UplinkBytes is the parameter traffic (0 when no communication).
+	UplinkBytes int64
+}
+
+// E6TransferRow compares warm vs cold start at one small-site size.
+type E6TransferRow struct {
+	// LocalSamples is the new site's training-set size.
+	LocalSamples int
+	// WarmAUC starts from the federated global model.
+	WarmAUC float64
+	// ColdAUC trains from scratch with the same budget.
+	ColdAUC float64
+}
+
+// E6Config tunes the learning comparison.
+type E6Config struct {
+	// Sites and PatientsPerSite size the federation.
+	Sites           int
+	PatientsPerSite int
+	// Rounds / LocalEpochs / LearningRate follow fl.Config.
+	Rounds       int
+	LocalEpochs  int
+	LearningRate float64
+	// HoldoutPatients sizes the shared test cohort.
+	HoldoutPatients int
+	// TransferSizes are the small-site sample counts to sweep.
+	TransferSizes []int
+	// Seed drives everything.
+	Seed int64
+}
+
+func (c E6Config) withDefaults() E6Config {
+	if c.Sites <= 0 {
+		c.Sites = 8
+	}
+	if c.PatientsPerSite <= 0 {
+		c.PatientsPerSite = 150
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 20
+	}
+	if c.LocalEpochs <= 0 {
+		c.LocalEpochs = 2
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.3
+	}
+	if c.HoldoutPatients <= 0 {
+		c.HoldoutPatients = 1000
+	}
+	if len(c.TransferSizes) == 0 {
+		c.TransferSizes = []int{30, 60, 120}
+	}
+	return c
+}
+
+// siteDataset builds one site's standardized diabetes dataset.
+func e6Dataset(seed int64, patients, startID int, std *ml.Standardizer) (*ml.Dataset, error) {
+	recs := emr.NewGenerator(emr.GenConfig{Seed: seed, Patients: patients, StartID: startID}).Generate()
+	ds, err := analytics.RecordsToDataset(recs, emr.CondDiabetes)
+	if err != nil {
+		return nil, err
+	}
+	if std != nil {
+		ds = std.Apply(ds)
+	}
+	return ds, nil
+}
+
+// E6Federated compares centralized, federated (plain and secure-agg),
+// single-site local, and transfer learning on the synthetic diabetes
+// task — §III.C's distributed learning claims.
+func E6Federated(cfg E6Config) ([]E6Row, []E6TransferRow, error) {
+	cfg = cfg.withDefaults()
+
+	// Fit a global standardizer on a reference cohort (in deployment
+	// this is the pooled-moments protocol; equivalent here).
+	refRecs := emr.NewGenerator(emr.GenConfig{Seed: cfg.Seed, Patients: 2000, StartID: 5_000_000}).Generate()
+	refDS, err := analytics.RecordsToDataset(refRecs, emr.CondDiabetes)
+	if err != nil {
+		return nil, nil, err
+	}
+	std, err := ml.FitStandardizer(refDS)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	clients := make([]*fl.Client, cfg.Sites)
+	for i := range clients {
+		ds, err := e6Dataset(cfg.Seed+int64(i)*977, cfg.PatientsPerSite, i*cfg.PatientsPerSite, std)
+		if err != nil {
+			return nil, nil, err
+		}
+		clients[i] = &fl.Client{ID: fmt.Sprintf("site-%d", i), Data: ds}
+	}
+	holdout, err := e6Dataset(cfg.Seed+424242, cfg.HoldoutPatients, 1_000_000, std)
+	if err != nil {
+		return nil, nil, err
+	}
+	dim := holdout.Dim()
+	flCfg := fl.Config{
+		Rounds: cfg.Rounds, LocalEpochs: cfg.LocalEpochs,
+		LearningRate: cfg.LearningRate, Seed: cfg.Seed,
+	}
+
+	evaluate := func(m *ml.LogisticModel) (float64, float64, error) {
+		met, err := ml.Evaluate(m, holdout)
+		if err != nil {
+			return 0, 0, err
+		}
+		return met.AUC, met.Accuracy, nil
+	}
+
+	var rows []E6Row
+
+	central, err := fl.Centralized(clients, dim, flCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	auc, acc, err := evaluate(central)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows = append(rows, E6Row{Strategy: "centralized (upper bound)", AUC: auc, Accuracy: acc})
+
+	fed, err := fl.FedAvg(clients, dim, flCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	auc, acc, err = evaluate(fed.Model)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows = append(rows, E6Row{
+		Strategy: "federated (FedAvg)", AUC: auc, Accuracy: acc,
+		Rounds: cfg.Rounds, UplinkBytes: fed.BytesUplinked,
+	})
+
+	secCfg := flCfg
+	secCfg.SecureAgg = true
+	sec, err := fl.FedAvg(clients, dim, secCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	auc, acc, err = evaluate(sec.Model)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows = append(rows, E6Row{
+		Strategy: "federated + secure agg", AUC: auc, Accuracy: acc,
+		Rounds: cfg.Rounds, UplinkBytes: sec.BytesUplinked,
+	})
+
+	local, err := fl.LocalOnly(clients[0], dim, flCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	auc, acc, err = evaluate(local)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows = append(rows, E6Row{Strategy: "single-site local (silo)", AUC: auc, Accuracy: acc})
+
+	// Transfer learning: new small sites warm-start from the federated
+	// model.
+	var transfers []E6TransferRow
+	for _, n := range cfg.TransferSizes {
+		tiny, err := e6Dataset(cfg.Seed+777+int64(n), n, 2_000_000+n*1000, std)
+		if err != nil {
+			return nil, nil, err
+		}
+		tCfg := fl.Config{LocalEpochs: 3, LearningRate: 0.1, Seed: cfg.Seed}
+		warm, err := fl.Transfer(fed.Model, tiny, tCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		cold := ml.NewLogisticModel(dim)
+		if _, err := cold.Train(tiny, ml.TrainConfig{
+			Epochs: tCfg.LocalEpochs, LearningRate: tCfg.LearningRate, Seed: tCfg.Seed,
+		}); err != nil {
+			return nil, nil, err
+		}
+		// Evaluate on the shared holdout so the comparison is not
+		// dominated by tiny-test-set noise.
+		warmMet, err := ml.Evaluate(warm, holdout)
+		if err != nil {
+			return nil, nil, err
+		}
+		coldMet, err := ml.Evaluate(cold, holdout)
+		if err != nil {
+			return nil, nil, err
+		}
+		transfers = append(transfers, E6TransferRow{
+			LocalSamples: tiny.Len(), WarmAUC: warmMet.AUC, ColdAUC: coldMet.AUC,
+		})
+	}
+	return rows, transfers, nil
+}
+
+// TableE6 renders the strategy comparison.
+func TableE6(rows []E6Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Strategy,
+			fmt.Sprintf("%.3f", r.AUC),
+			fmt.Sprintf("%.3f", r.Accuracy),
+			fmt.Sprint(r.Rounds),
+			fmtBytes(r.UplinkBytes),
+		}
+	}
+	return Table(
+		"E6a Distributed learning on the diabetes task (shared holdout): federated ~ centralized >> silo",
+		[]string{"strategy", "AUC", "accuracy", "rounds", "uplink"},
+		out,
+	)
+}
+
+// TableE6Transfer renders the transfer-learning comparison.
+func TableE6Transfer(rows []E6TransferRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			fmt.Sprint(r.LocalSamples),
+			fmt.Sprintf("%.3f", r.WarmAUC),
+			fmt.Sprintf("%.3f", r.ColdAUC),
+			fmt.Sprintf("%+.3f", r.WarmAUC-r.ColdAUC),
+		}
+	}
+	return Table(
+		"E6b Transfer learning at a new small site: warm start from the federated model vs from scratch",
+		[]string{"local n", "warm AUC", "cold AUC", "delta"},
+		out,
+	)
+}

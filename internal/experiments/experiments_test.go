@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment tests assert the SHAPES the paper predicts (who wins,
+// what grows, what is detected) on small configurations so the suite
+// stays fast. cmd/benchmed runs the full-size sweeps.
+
+func TestE1ThroughputFallsWithNodes(t *testing.T) {
+	rows, err := E1Scalability(E1Config{
+		NodeCounts: []int{1, 4, 8},
+		TxPerRun:   4,
+		Latency:    2 * time.Millisecond,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Throughput <= rows[2].Throughput {
+		t.Fatalf("throughput did not fall: 1 node %.1f tx/s vs 8 nodes %.1f tx/s",
+			rows[0].Throughput, rows[2].Throughput)
+	}
+	if rows[2].MsgsPerTx <= rows[0].MsgsPerTx {
+		t.Fatalf("message overhead did not grow: %v vs %v", rows[0].MsgsPerTx, rows[2].MsgsPerTx)
+	}
+	table := TableE1(rows)
+	if !strings.Contains(table, "nodes") || !strings.Contains(table, "tx/s") {
+		t.Fatalf("table malformed:\n%s", table)
+	}
+}
+
+func TestE2WasteGrowsLinearly(t *testing.T) {
+	rows, err := E2DuplicatedCompute(E2Config{
+		NodeCounts: []int{1, 2, 4},
+		Contracts:  2,
+		LoopIters:  5000,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Replicated execution wastes exactly N×.
+		if r.WasteRatio < float64(r.Nodes)-0.01 || r.WasteRatio > float64(r.Nodes)+0.01 {
+			t.Fatalf("nodes=%d: waste ratio %.2f, want ≈%d", r.Nodes, r.WasteRatio, r.Nodes)
+		}
+		// The transformed chain work is far below one heavy execution.
+		if r.TransformedRatio > 0.5 {
+			t.Fatalf("nodes=%d: transformed ratio %.3f not ≪ 1", r.Nodes, r.TransformedRatio)
+		}
+	}
+	_ = TableE2(rows)
+}
+
+func TestE3TransformedFasterAtScale(t *testing.T) {
+	rows, err := E3ParallelSpeedup(E3Config{
+		SiteCounts:    []int{1, 4},
+		TotalPatients: 1200,
+		Repeats:       4,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 4 sites the parallel shards must beat the full-data run.
+	last := rows[len(rows)-1]
+	if last.Speedup <= 1.0 {
+		t.Fatalf("4-site speedup %.2f ≤ 1", last.Speedup)
+	}
+	// Speedup grows from 1 site to 4 sites.
+	if last.Speedup <= rows[0].Speedup {
+		t.Fatalf("speedup did not grow: %v", rows)
+	}
+	_ = TableE3(rows)
+}
+
+func TestE4TransformedMovesLessData(t *testing.T) {
+	rows, err := E4DataMovement(E4Config{
+		PatientsPerSite: []int{40, 80},
+		Sites:           3,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.TransformedBytes >= r.CentralizedBytes {
+			t.Fatalf("patients=%d: transformed %d ≥ centralized %d bytes",
+				r.PatientsPerSite, r.TransformedBytes, r.CentralizedBytes)
+		}
+		if r.Ratio < 10 {
+			t.Fatalf("patients=%d: saving only %.0fx", r.PatientsPerSite, r.Ratio)
+		}
+	}
+	// The gap grows with data size; transformed bytes stay ~constant.
+	if rows[1].Ratio <= rows[0].Ratio {
+		t.Fatalf("saving did not grow with data: %v", rows)
+	}
+	_ = TableE4(rows)
+}
+
+func TestE5VirtualDatasetGrowsLinearly(t *testing.T) {
+	rows, err := E5Integration(E5Config{
+		SiteCounts:      []int{1, 2, 4},
+		PatientsPerSite: 40,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Lossless {
+			t.Fatalf("sites=%d: format mapping lossy", r.Sites)
+		}
+		if r.VirtualRecords != r.Sites*40 {
+			t.Fatalf("sites=%d: %d records", r.Sites, r.VirtualRecords)
+		}
+	}
+	if rows[2].Growth != 4 {
+		t.Fatalf("growth %v, want 4x at 4 sites", rows[2].Growth)
+	}
+	_ = TableE5(rows)
+}
+
+func TestE6FederatedShape(t *testing.T) {
+	rows, transfers, err := E6Federated(E6Config{
+		Sites:           4,
+		PatientsPerSite: 120,
+		Rounds:          10,
+		HoldoutPatients: 500,
+		TransferSizes:   []int{40},
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]E6Row{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+	}
+	fed := byName["federated (FedAvg)"]
+	central := byName["centralized (upper bound)"]
+	sec := byName["federated + secure agg"]
+	if fed.AUC < central.AUC-0.06 {
+		t.Fatalf("federated AUC %.3f too far below centralized %.3f", fed.AUC, central.AUC)
+	}
+	if sec.AUC < fed.AUC-1e-6 && fed.AUC-sec.AUC > 1e-6 {
+		t.Fatalf("secure agg changed quality: %.4f vs %.4f", sec.AUC, fed.AUC)
+	}
+	if fed.UplinkBytes == 0 {
+		t.Fatal("no uplink accounted")
+	}
+	if len(transfers) != 1 {
+		t.Fatalf("%d transfer rows", len(transfers))
+	}
+	if transfers[0].WarmAUC <= transfers[0].ColdAUC {
+		t.Fatalf("transfer warm %.3f did not beat cold %.3f",
+			transfers[0].WarmAUC, transfers[0].ColdAUC)
+	}
+	_ = TableE6(rows)
+	_ = TableE6Transfer(transfers)
+}
+
+func TestE7DetectionRates(t *testing.T) {
+	res, err := E7TrialIntegrity(E7Config{Trials: 67, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwitchDetection != 1.0 {
+		t.Fatalf("switch detection %.2f, want 1.0", res.SwitchDetection)
+	}
+	if res.TamperDetection != 1.0 {
+		t.Fatalf("tamper detection %.2f, want 1.0", res.TamperDetection)
+	}
+	// COMPare-shaped corpus: faithful reporting well below half.
+	if res.AuditCorrectRate > 0.35 {
+		t.Fatalf("corpus correct rate %.2f", res.AuditCorrectRate)
+	}
+	table := TableE7(res)
+	if !strings.Contains(table, "blockchain") {
+		t.Fatalf("table malformed:\n%s", table)
+	}
+}
+
+func TestE8AuditCoverage(t *testing.T) {
+	rows, err := E8HIE(E8Config{Sites: 2, PatientsPerSite: 10, Exchanges: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	chainRow, emailRow := rows[0], rows[2]
+	if chainRow.AuditCoverage != 1.0 || !chainRow.PolicyEnforced || !chainRow.AuditVerifies {
+		t.Fatalf("chain HIE row %+v", chainRow)
+	}
+	if emailRow.AuditCoverage != 0 || emailRow.PolicyEnforced {
+		t.Fatalf("email row %+v", emailRow)
+	}
+	_ = TableE8(rows)
+}
+
+func TestA1PoWBurnsWork(t *testing.T) {
+	rows, err := A1Consensus(A1Config{Nodes: 3, Txs: 3, PowDifficulty: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byEngine := map[string]A1Row{}
+	for _, r := range rows {
+		byEngine[string(r.Engine)] = r
+	}
+	if byEngine["pow"].PoWHashes == 0 {
+		t.Fatal("PoW did no work")
+	}
+	if byEngine["poa"].PoWHashes != 0 || byEngine["quorum"].PoWHashes != 0 {
+		t.Fatal("non-PoW engines report hash work")
+	}
+	_ = TableA1(rows)
+}
+
+func TestA2BatchingAmortizes(t *testing.T) {
+	rows, err := A2OracleBatch(A2Config{Events: 60, BatchSize: 15, HandlerCost: 300 * time.Microsecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perEvent, batched := rows[0], rows[1]
+	if batched.Calls >= perEvent.Calls {
+		t.Fatalf("batching made more calls: %d vs %d", batched.Calls, perEvent.Calls)
+	}
+	if batched.Elapsed >= perEvent.Elapsed {
+		t.Fatalf("batching slower: %v vs %v", batched.Elapsed, perEvent.Elapsed)
+	}
+	_ = TableA2(rows)
+}
+
+func TestA3MaskedAggExact(t *testing.T) {
+	rows, err := A3SecureAgg(A3Config{Clients: 6, Dim: 16, Rounds: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[1].ExactMatch {
+		t.Fatal("masked aggregation diverged from plain")
+	}
+	_ = TableA3(rows)
+}
+
+func TestTableFormatting(t *testing.T) {
+	table := Table("Title", []string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("table lines: %q", lines)
+	}
+	if lines[0] != "Title" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Fatalf("separator line %q", lines[2])
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtDur(1500 * time.Millisecond); got != "1.50s" {
+		t.Fatalf("fmtDur %q", got)
+	}
+	if got := fmtDur(2500 * time.Microsecond); got != "2.5ms" {
+		t.Fatalf("fmtDur %q", got)
+	}
+	if got := fmtDur(900 * time.Microsecond); got != "900µs" {
+		t.Fatalf("fmtDur %q", got)
+	}
+	if got := fmtBytes(5 << 20); got != "5.0MB" {
+		t.Fatalf("fmtBytes %q", got)
+	}
+	if got := fmtBytes(2048); got != "2.0KB" {
+		t.Fatalf("fmtBytes %q", got)
+	}
+	if got := fmtBytes(100); got != "100B" {
+		t.Fatalf("fmtBytes %q", got)
+	}
+}
+
+func TestA4ShardingShape(t *testing.T) {
+	rows, err := A4Sharding(A4Config{
+		TotalNodes:  8,
+		ShardCounts: []int{1, 4},
+		Txs:         8,
+		Latency:     2 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, sharded := rows[0], rows[1]
+	// Sharding parallelizes validation: better throughput than the
+	// monolithic chain on the same hardware budget.
+	if sharded.Throughput <= mono.Throughput {
+		t.Fatalf("sharding did not improve throughput: %.1f vs %.1f",
+			sharded.Throughput, mono.Throughput)
+	}
+	// But execution is still replicated within each committee.
+	if sharded.WasteRatio < float64(sharded.NodesPerShard)-0.01 {
+		t.Fatalf("waste ratio %.2f below committee size %d",
+			sharded.WasteRatio, sharded.NodesPerShard)
+	}
+	if !sharded.CrossShardUnsafe || mono.CrossShardUnsafe {
+		t.Fatal("cross-shard risk flags wrong")
+	}
+	_ = TableA4(rows)
+}
+
+func TestA1IncludesPoS(t *testing.T) {
+	rows, err := A1Consensus(A1Config{Nodes: 3, Txs: 2, PowDifficulty: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rows {
+		if string(r.Engine) == "pos" {
+			found = true
+			if r.PoWHashes != 0 {
+				t.Fatal("PoS reported hash work")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("pos engine missing from A1")
+	}
+}

@@ -1,0 +1,367 @@
+// Package fl implements the distributed learning layer of paper §III.C:
+// Google-style federated averaging (McMahan et al. 2017) over the
+// hospital sites of the medical blockchain, an additive-masking secure
+// aggregation so the coordinator never sees an individual site's raw
+// model update, and transfer learning (warm-starting a small site's
+// model from the federated global model).
+//
+// The training data never leaves a client — only parameter vectors
+// move, which is the paper's "move computing to data" strategy applied
+// to learning.
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"medchain/internal/cryptoutil"
+	"medchain/internal/linalg"
+	"medchain/internal/ml"
+)
+
+// Errors.
+var (
+	ErrNoClients = errors.New("fl: no clients")
+	ErrNoData    = errors.New("fl: client has no data")
+)
+
+// Client is one federated participant: a site with local training data
+// that never leaves it.
+type Client struct {
+	// ID names the site.
+	ID string
+	// Data is the local training set.
+	Data *ml.Dataset
+}
+
+// Config controls federated training. Field names follow McMahan et
+// al.: C = client fraction, E = local epochs, B = local batch size.
+type Config struct {
+	// Rounds is the number of federated rounds.
+	Rounds int
+	// ClientFraction C: the fraction of clients sampled each round
+	// (0 → all clients).
+	ClientFraction float64
+	// LocalEpochs E: epochs each selected client trains locally.
+	LocalEpochs int
+	// BatchSize B: local mini-batch size (0 = full batch).
+	BatchSize int
+	// LearningRate is the local SGD step size.
+	LearningRate float64
+	// L2 is the local ridge penalty.
+	L2 float64
+	// SecureAgg enables pairwise additive masking: the coordinator
+	// only ever sees masked updates whose masks cancel in the sum.
+	SecureAgg bool
+	// Seed drives client sampling and local shuffling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds <= 0 {
+		c.Rounds = 10
+	}
+	if c.LocalEpochs <= 0 {
+		c.LocalEpochs = 1
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.ClientFraction <= 0 || c.ClientFraction > 1 {
+		c.ClientFraction = 1
+	}
+	return c
+}
+
+// RoundStats records one federated round for the experiment tables.
+type RoundStats struct {
+	// Round is the 1-based round number.
+	Round int `json:"round"`
+	// Participants is the number of sampled clients.
+	Participants int `json:"participants"`
+	// Samples is the total training samples across participants.
+	Samples int `json:"samples"`
+	// ParamsDelta is the L2 norm of the global parameter change.
+	ParamsDelta float64 `json:"params_delta"`
+}
+
+// Result is the outcome of a federated training run.
+type Result struct {
+	// Model is the final global model.
+	Model *ml.LogisticModel
+	// Rounds are per-round statistics.
+	Rounds []RoundStats
+	// BytesUplinked estimates parameter bytes sent client→server
+	// (8 bytes per float64 per participating client per round).
+	BytesUplinked int64
+}
+
+// FedAvg trains a global logistic model across the clients without
+// moving their data. dim is the feature dimension.
+func FedAvg(clients []*Client, dim int, cfg Config) (*Result, error) {
+	if len(clients) == 0 {
+		return nil, ErrNoClients
+	}
+	for _, c := range clients {
+		if c.Data == nil || c.Data.Len() == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoData, c.ID)
+		}
+		if c.Data.Dim() != dim {
+			return nil, fmt.Errorf("fl: client %s has dim %d, want %d", c.ID, c.Data.Dim(), dim)
+		}
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	global := ml.NewLogisticModel(dim)
+	res := &Result{}
+
+	for round := 1; round <= cfg.Rounds; round++ {
+		selected := sampleClients(clients, cfg.ClientFraction, rng)
+		updates := make([]linalg.Vector, 0, len(selected))
+		weights := make([]float64, 0, len(selected))
+		samples := 0
+		for _, c := range selected {
+			local := global.Clone()
+			if _, err := local.Train(c.Data, ml.TrainConfig{
+				Epochs:       cfg.LocalEpochs,
+				LearningRate: cfg.LearningRate,
+				BatchSize:    cfg.BatchSize,
+				L2:           cfg.L2,
+				Seed:         cfg.Seed + int64(round)*1000 + int64(len(updates)),
+			}); err != nil {
+				return nil, fmt.Errorf("fl: client %s round %d: %w", c.ID, round, err)
+			}
+			updates = append(updates, local.Params())
+			weights = append(weights, float64(c.Data.Len()))
+			samples += c.Data.Len()
+		}
+
+		var agg linalg.Vector
+		var err error
+		if cfg.SecureAgg {
+			agg, err = secureWeightedMean(selected, updates, weights, round)
+		} else {
+			agg, err = linalg.WeightedMean(updates, weights)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fl: round %d aggregate: %w", round, err)
+		}
+
+		prev := global.Params()
+		if err := global.SetParams(agg); err != nil {
+			return nil, err
+		}
+		delta, err := agg.Sub(prev)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds = append(res.Rounds, RoundStats{
+			Round:        round,
+			Participants: len(selected),
+			Samples:      samples,
+			ParamsDelta:  delta.Norm2(),
+		})
+		res.BytesUplinked += int64(len(selected)) * int64(dim+1) * 8
+	}
+	res.Model = global
+	return res, nil
+}
+
+// sampleClients picks max(1, C·n) clients without replacement.
+func sampleClients(clients []*Client, frac float64, rng *rand.Rand) []*Client {
+	n := int(frac*float64(len(clients)) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n >= len(clients) {
+		return clients
+	}
+	idx := rng.Perm(len(clients))[:n]
+	sort.Ints(idx)
+	out := make([]*Client, n)
+	for i, j := range idx {
+		out[i] = clients[j]
+	}
+	return out
+}
+
+// MaskedUpdate is what the coordinator sees from one client under
+// secure aggregation: the weighted parameter vector plus pairwise
+// masks. Individually it is statistically useless; summed over all
+// participants the masks cancel exactly.
+type MaskedUpdate struct {
+	// ClientID names the sender.
+	ClientID string
+	// Masked is weight·params + Σ(+/- pairwise masks).
+	Masked linalg.Vector
+	// Weight is the client's sample count (public in FedAvg).
+	Weight float64
+}
+
+// MaskUpdates applies pairwise additive masking to weighted updates.
+// Clients i<j share the mask derived from (round, i, j); i adds it, j
+// subtracts it. Exposed for tests and the A3 ablation bench.
+func MaskUpdates(ids []string, updates []linalg.Vector, weights []float64, round int) ([]MaskedUpdate, error) {
+	if len(ids) != len(updates) || len(ids) != len(weights) {
+		return nil, fmt.Errorf("fl: mask inputs disagree: %d/%d/%d", len(ids), len(updates), len(weights))
+	}
+	dim := 0
+	if len(updates) > 0 {
+		dim = len(updates[0])
+	}
+	out := make([]MaskedUpdate, len(ids))
+	for i := range ids {
+		if len(updates[i]) != dim {
+			return nil, fmt.Errorf("fl: ragged updates")
+		}
+		masked := updates[i].Clone()
+		masked.Scale(weights[i])
+		for j := range ids {
+			if i == j {
+				continue
+			}
+			m := pairMask(ids[i], ids[j], round, dim)
+			sign := 1.0
+			if ids[i] > ids[j] {
+				sign = -1
+			}
+			if err := masked.AddScaled(sign, m); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = MaskedUpdate{ClientID: ids[i], Masked: masked, Weight: weights[i]}
+	}
+	return out, nil
+}
+
+// AggregateMasked sums masked updates and divides by total weight —
+// the masks cancel, recovering the exact weighted mean.
+func AggregateMasked(updates []MaskedUpdate) (linalg.Vector, error) {
+	if len(updates) == 0 {
+		return nil, ErrNoClients
+	}
+	dim := len(updates[0].Masked)
+	sum := linalg.NewVector(dim)
+	var totalW float64
+	for _, u := range updates {
+		if err := sum.AddScaled(1, u.Masked); err != nil {
+			return nil, err
+		}
+		totalW += u.Weight
+	}
+	if totalW == 0 {
+		return nil, errors.New("fl: zero total weight")
+	}
+	sum.Scale(1 / totalW)
+	return sum, nil
+}
+
+func secureWeightedMean(clients []*Client, updates []linalg.Vector, weights []float64, round int) (linalg.Vector, error) {
+	ids := make([]string, len(clients))
+	for i, c := range clients {
+		ids[i] = c.ID
+	}
+	masked, err := MaskUpdates(ids, updates, weights, round)
+	if err != nil {
+		return nil, err
+	}
+	return AggregateMasked(masked)
+}
+
+// pairMask derives the deterministic mask vector shared by a client
+// pair for a round. Both clients derive the identical vector from the
+// unordered pair key; the lexicographically smaller ID adds it, the
+// larger subtracts it.
+func pairMask(a, b string, round int, dim int) linalg.Vector {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	seed := cryptoutil.SumAll([]byte("fl/mask"), []byte(lo), []byte(hi), []byte(fmt.Sprint(round)))
+	out := make(linalg.Vector, dim)
+	state := seed
+	for i := 0; i < dim; i++ {
+		state = cryptoutil.Sum(state[:])
+		// Map 8 hash bytes to a float in [-1e3, 1e3): large enough to
+		// obscure real parameter values, exact cancellation either way.
+		var v uint64
+		for k := 0; k < 8; k++ {
+			v = v<<8 | uint64(state[k])
+		}
+		out[i] = (float64(v%2_000_000)/1000 - 1000)
+	}
+	return out
+}
+
+// LocalOnly trains one model per client with no communication — the
+// "silo" baseline of experiment E6.
+func LocalOnly(c *Client, dim int, cfg Config) (*ml.LogisticModel, error) {
+	if c.Data == nil || c.Data.Len() == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoData, c.ID)
+	}
+	cfg = cfg.withDefaults()
+	m := ml.NewLogisticModel(dim)
+	_, err := m.Train(c.Data, ml.TrainConfig{
+		Epochs:       cfg.Rounds * cfg.LocalEpochs, // same total local work as FedAvg
+		LearningRate: cfg.LearningRate,
+		BatchSize:    cfg.BatchSize,
+		L2:           cfg.L2,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Centralized merges all client data and trains one model — the
+// upper-bound baseline that the paper's privacy constraints forbid in
+// practice.
+func Centralized(clients []*Client, dim int, cfg Config) (*ml.LogisticModel, error) {
+	if len(clients) == 0 {
+		return nil, ErrNoClients
+	}
+	parts := make([]*ml.Dataset, len(clients))
+	for i, c := range clients {
+		parts[i] = c.Data
+	}
+	merged := ml.Merge(parts...)
+	cfg = cfg.withDefaults()
+	m := ml.NewLogisticModel(dim)
+	_, err := m.Train(merged, ml.TrainConfig{
+		Epochs:       cfg.Rounds * cfg.LocalEpochs,
+		LearningRate: cfg.LearningRate,
+		BatchSize:    cfg.BatchSize,
+		L2:           cfg.L2,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Transfer fine-tunes a copy of the pretrained model on a small local
+// dataset — the distributed transfer learning of §III.C: a new site
+// with little data warm-starts from the federated global model instead
+// of learning from scratch.
+func Transfer(pretrained *ml.LogisticModel, local *ml.Dataset, cfg Config) (*ml.LogisticModel, error) {
+	if local == nil || local.Len() == 0 {
+		return nil, ErrNoData
+	}
+	cfg = cfg.withDefaults()
+	m := pretrained.Clone()
+	_, err := m.Train(local, ml.TrainConfig{
+		Epochs:       cfg.LocalEpochs,
+		LearningRate: cfg.LearningRate,
+		BatchSize:    cfg.BatchSize,
+		L2:           cfg.L2,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,376 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"medchain/internal/emr"
+	"medchain/internal/linalg"
+	"medchain/internal/ml"
+)
+
+// cohortDataset builds a standardized diabetes dataset from the EMR
+// generator, so FL tests run on the same signal as experiment E6.
+func cohortDataset(t testing.TB, seed int64, n int) *ml.Dataset {
+	t.Helper()
+	recs := emr.NewGenerator(emr.GenConfig{Seed: seed, Patients: n}).Generate()
+	x := make([][]float64, len(recs))
+	y := make([]float64, len(recs))
+	for i, r := range recs {
+		x[i] = emr.FeatureVector(r)
+		if r.HasCondition(emr.CondDiabetes) {
+			y[i] = 1
+		}
+	}
+	ds, err := ml.NewDataset(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := ml.FitStandardizer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return std.Apply(ds)
+}
+
+func makeClients(t testing.TB, ds *ml.Dataset, n int) []*Client {
+	t.Helper()
+	shards := ds.Shards(n, 5)
+	clients := make([]*Client, n)
+	for i, s := range shards {
+		clients[i] = &Client{ID: fmt.Sprintf("site-%d", i), Data: s}
+	}
+	return clients
+}
+
+func TestFedAvgLearns(t *testing.T) {
+	full := cohortDataset(t, 100, 2400)
+	train, test := full.Split(0.8, 1)
+	clients := makeClients(t, train, 4)
+	res, err := FedAvg(clients, full.Dim(), Config{
+		Rounds: 15, LocalEpochs: 3, LearningRate: 0.3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := ml.Evaluate(res.Model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.AUC < 0.70 {
+		t.Fatalf("federated AUC %.3f below 0.70", met.AUC)
+	}
+	if len(res.Rounds) != 15 {
+		t.Fatalf("%d round stats", len(res.Rounds))
+	}
+	if res.BytesUplinked == 0 {
+		t.Fatal("no uplink bytes accounted")
+	}
+}
+
+func TestFedAvgBeatsLocalOnlyAndApproachesCentralized(t *testing.T) {
+	// The E6 shape: centralized ≥ federated ≫ single-site local.
+	full := cohortDataset(t, 200, 3200)
+	train, test := full.Split(0.8, 2)
+	clients := makeClients(t, train, 8)
+	cfg := Config{Rounds: 20, LocalEpochs: 2, LearningRate: 0.3, Seed: 3}
+
+	fed, err := FedAvg(clients, full.Dim(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := Centralized(clients, full.Dim(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := LocalOnly(clients[0], full.Dim(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fedM, err := ml.Evaluate(fed.Model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cenM, err := ml.Evaluate(central, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locM, err := ml.Evaluate(local, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("AUC central=%.3f fed=%.3f local=%.3f", cenM.AUC, fedM.AUC, locM.AUC)
+	if fedM.AUC < cenM.AUC-0.05 {
+		t.Fatalf("federated AUC %.3f more than 5 points below centralized %.3f", fedM.AUC, cenM.AUC)
+	}
+	if fedM.AUC < locM.AUC {
+		t.Fatalf("federated AUC %.3f below single-site %.3f", fedM.AUC, locM.AUC)
+	}
+}
+
+func TestFedAvgDeterministic(t *testing.T) {
+	full := cohortDataset(t, 300, 800)
+	clients := makeClients(t, full, 3)
+	cfg := Config{Rounds: 5, LocalEpochs: 2, LearningRate: 0.2, Seed: 9}
+	a, err := FedAvg(clients, full.Dim(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FedAvg(clients, full.Dim(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Model.Params(), b.Model.Params()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("FedAvg not deterministic")
+		}
+	}
+}
+
+func TestSecureAggMatchesPlain(t *testing.T) {
+	full := cohortDataset(t, 400, 800)
+	clients := makeClients(t, full, 4)
+	cfg := Config{Rounds: 6, LocalEpochs: 2, LearningRate: 0.2, Seed: 4}
+	plain, err := FedAvg(clients, full.Dim(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SecureAgg = true
+	secure, err := FedAvg(clients, full.Dim(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, sp := plain.Model.Params(), secure.Model.Params()
+	for i := range pp {
+		if math.Abs(pp[i]-sp[i]) > 1e-6 {
+			t.Fatalf("secure agg diverged at %d: %v vs %v", i, pp[i], sp[i])
+		}
+	}
+}
+
+func TestMaskedUpdatesHideIndividualsButSumExactly(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	updates := []linalg.Vector{{1, 2}, {3, 4}, {5, 6}}
+	weights := []float64{1, 1, 2}
+	masked, err := MaskUpdates(ids, updates, weights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Individual masked vectors differ substantially from raw weighted
+	// updates (privacy).
+	for i, m := range masked {
+		raw := updates[i].Clone()
+		raw.Scale(weights[i])
+		diff, err := m.Masked.Sub(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff.Norm2() < 1 {
+			t.Fatalf("client %d update barely masked (|mask|=%v)", i, diff.Norm2())
+		}
+	}
+	// Aggregate equals the exact weighted mean.
+	got, err := AggregateMasked(masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := linalg.WeightedMean(updates, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("masked aggregate[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMaskDiffersAcrossRounds(t *testing.T) {
+	a := pairMask("x", "y", 1, 4)
+	b := pairMask("x", "y", 2, 4)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("mask reused across rounds")
+	}
+	// Symmetric derivation regardless of argument order.
+	c := pairMask("y", "x", 1, 4)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("pair mask not symmetric")
+		}
+	}
+}
+
+func TestMaskUpdatesErrors(t *testing.T) {
+	if _, err := MaskUpdates([]string{"a"}, nil, nil, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := MaskUpdates([]string{"a", "b"}, []linalg.Vector{{1}, {1, 2}}, []float64{1, 1}, 1); err == nil {
+		t.Fatal("ragged updates accepted")
+	}
+	if _, err := AggregateMasked(nil); err == nil {
+		t.Fatal("empty aggregate accepted")
+	}
+	if _, err := AggregateMasked([]MaskedUpdate{{Masked: linalg.Vector{1}, Weight: 0}}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestClientFractionSampling(t *testing.T) {
+	full := cohortDataset(t, 500, 1000)
+	clients := makeClients(t, full, 10)
+	res, err := FedAvg(clients, full.Dim(), Config{
+		Rounds: 4, ClientFraction: 0.3, LocalEpochs: 1, LearningRate: 0.2, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rounds {
+		if r.Participants != 3 {
+			t.Fatalf("round %d had %d participants, want 3", r.Round, r.Participants)
+		}
+	}
+}
+
+func TestFedAvgValidation(t *testing.T) {
+	if _, err := FedAvg(nil, 3, Config{}); err == nil {
+		t.Fatal("no clients accepted")
+	}
+	if _, err := FedAvg([]*Client{{ID: "empty", Data: &ml.Dataset{}}}, 3, Config{}); err == nil {
+		t.Fatal("empty client accepted")
+	}
+	ds := cohortDataset(t, 1, 50)
+	if _, err := FedAvg([]*Client{{ID: "a", Data: ds}}, ds.Dim()+1, Config{}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := LocalOnly(&Client{ID: "x", Data: nil}, 3, Config{}); err == nil {
+		t.Fatal("nil data accepted by LocalOnly")
+	}
+	if _, err := Centralized(nil, 3, Config{}); err == nil {
+		t.Fatal("no clients accepted by Centralized")
+	}
+}
+
+func TestTransferBeatsColdStartOnSmallSite(t *testing.T) {
+	// Pretrain on a large federated cohort, then adapt to a tiny new
+	// site: warm start must beat from-scratch at equal local budget.
+	big := cohortDataset(t, 600, 3000)
+	clients := makeClients(t, big, 5)
+	pre, err := FedAvg(clients, big.Dim(), Config{Rounds: 20, LocalEpochs: 2, LearningRate: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New small site with its own test split (same universe, later IDs).
+	small := cohortDataset(t, 601, 160)
+	tiny, testSet := small.Split(0.5, 2)
+	cfg := Config{LocalEpochs: 3, LearningRate: 0.1, Seed: 3}
+	warm, err := Transfer(pre.Model, tiny, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := ml.NewLogisticModel(small.Dim())
+	if _, err := cold.Train(tiny, ml.TrainConfig{Epochs: cfg.LocalEpochs, LearningRate: cfg.LearningRate, Seed: cfg.Seed}); err != nil {
+		t.Fatal(err)
+	}
+	warmM, err := ml.Evaluate(warm, testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldM, err := ml.Evaluate(cold, testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("AUC warm=%.3f cold=%.3f", warmM.AUC, coldM.AUC)
+	if warmM.AUC <= coldM.AUC {
+		t.Fatalf("transfer (%.3f) did not beat cold start (%.3f)", warmM.AUC, coldM.AUC)
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	m := ml.NewLogisticModel(3)
+	if _, err := Transfer(m, nil, Config{}); err == nil {
+		t.Fatal("nil local data accepted")
+	}
+	if _, err := Transfer(m, &ml.Dataset{}, Config{}); err == nil {
+		t.Fatal("empty local data accepted")
+	}
+}
+
+func TestTransferDoesNotMutatePretrained(t *testing.T) {
+	ds := cohortDataset(t, 700, 200)
+	pre := ml.NewLogisticModel(ds.Dim())
+	if _, err := pre.Train(ds, ml.TrainConfig{Epochs: 5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	before := pre.Params().Clone()
+	if _, err := Transfer(pre, ds, Config{LocalEpochs: 5, LearningRate: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	after := pre.Params()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("Transfer mutated the pretrained model")
+		}
+	}
+}
+
+func TestRoundStatsDeltaShrinks(t *testing.T) {
+	// FedAvg on a convex problem converges: late-round deltas should be
+	// smaller than the first round's.
+	full := cohortDataset(t, 800, 1600)
+	clients := makeClients(t, full, 4)
+	res, err := FedAvg(clients, full.Dim(), Config{Rounds: 25, LocalEpochs: 2, LearningRate: 0.3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Rounds[0].ParamsDelta
+	last := res.Rounds[len(res.Rounds)-1].ParamsDelta
+	if last >= first {
+		t.Fatalf("no convergence: first delta %v, last %v", first, last)
+	}
+}
+
+func BenchmarkFedAvgRound(b *testing.B) {
+	full := cohortDataset(b, 900, 800)
+	clients := makeClients(b, full, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FedAvg(clients, full.Dim(), Config{
+			Rounds: 1, LocalEpochs: 1, LearningRate: 0.2, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSecureAggOverhead(b *testing.B) {
+	ids := make([]string, 8)
+	updates := make([]linalg.Vector, 8)
+	weights := make([]float64, 8)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("site-%d", i)
+		updates[i] = linalg.NewVector(9)
+		weights[i] = 100
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		masked, err := MaskUpdates(ids, updates, weights, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := AggregateMasked(masked); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"medchain/internal/cryptoutil"
+)
+
+// Chain validation errors.
+var (
+	ErrBadParent    = errors.New("ledger: block parent does not match chain head")
+	ErrBadHeight    = errors.New("ledger: block height is not head+1")
+	ErrBadTxRoot    = errors.New("ledger: tx root mismatch")
+	ErrDuplicateTx  = errors.New("ledger: transaction already on chain")
+	ErrBadNonce     = errors.New("ledger: transaction nonce out of order")
+	ErrNotFound     = errors.New("ledger: not found")
+	ErrNilBlock     = errors.New("ledger: nil block")
+	ErrBadTimestamp = errors.New("ledger: block timestamp before parent")
+)
+
+// Chain is a validating, append-only block store with a transaction
+// index. It is safe for concurrent use.
+type Chain struct {
+	mu      sync.RWMutex
+	blocks  []*Block
+	byHash  map[cryptoutil.Digest]*Block
+	txIndex map[cryptoutil.Digest]uint64 // tx ID -> block height
+	nonces  map[cryptoutil.Address]uint64
+	chainID string
+}
+
+// NewChain creates a chain holding only the genesis block for chainID.
+func NewChain(chainID string) *Chain {
+	g := NewGenesis(chainID)
+	c := &Chain{
+		byHash:  make(map[cryptoutil.Digest]*Block),
+		txIndex: make(map[cryptoutil.Digest]uint64),
+		nonces:  make(map[cryptoutil.Address]uint64),
+		chainID: chainID,
+	}
+	c.blocks = append(c.blocks, g)
+	c.byHash[g.Hash()] = g
+	return c
+}
+
+// ChainID returns the chain identifier.
+func (c *Chain) ChainID() string { return c.chainID }
+
+// Head returns the latest block.
+func (c *Chain) Head() *Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[len(c.blocks)-1]
+}
+
+// Height returns the head height.
+func (c *Chain) Height() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[len(c.blocks)-1].Header.Height
+}
+
+// Genesis returns block 0.
+func (c *Chain) Genesis() *Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[0]
+}
+
+// BlockAt returns the block at the given height.
+func (c *Chain) BlockAt(height uint64) (*Block, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if height >= uint64(len(c.blocks)) {
+		return nil, fmt.Errorf("%w: height %d > head %d", ErrNotFound, height, len(c.blocks)-1)
+	}
+	return c.blocks[height], nil
+}
+
+// BlockByHash returns the block with the given header hash.
+func (c *Chain) BlockByHash(h cryptoutil.Digest) (*Block, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	b, ok := c.byHash[h]
+	if !ok {
+		return nil, fmt.Errorf("%w: block %s", ErrNotFound, h.Short())
+	}
+	return b, nil
+}
+
+// HasTx reports whether a transaction is already on chain.
+func (c *Chain) HasTx(id cryptoutil.Digest) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.txIndex[id]
+	return ok
+}
+
+// FindTx returns the transaction and the height of its block.
+func (c *Chain) FindTx(id cryptoutil.Digest) (*Transaction, uint64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	h, ok := c.txIndex[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: tx %s", ErrNotFound, id.Short())
+	}
+	for _, tx := range c.blocks[h].Txs {
+		if tx.ID() == id {
+			return tx, h, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: tx %s (index stale)", ErrNotFound, id.Short())
+}
+
+// NextNonce returns the nonce the given sender must use next.
+func (c *Chain) NextNonce(addr cryptoutil.Address) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nonces[addr]
+}
+
+// validate checks b against the current head without mutating state.
+// Caller holds c.mu.
+func (c *Chain) validate(b *Block) error {
+	if b == nil {
+		return ErrNilBlock
+	}
+	head := c.blocks[len(c.blocks)-1]
+	if b.Header.Parent != head.Hash() {
+		return fmt.Errorf("%w: parent %s, head %s", ErrBadParent, b.Header.Parent.Short(), head.Hash().Short())
+	}
+	if b.Header.Height != head.Header.Height+1 {
+		return fmt.Errorf("%w: height %d, head %d", ErrBadHeight, b.Header.Height, head.Header.Height)
+	}
+	if b.Header.Timestamp < head.Header.Timestamp {
+		return ErrBadTimestamp
+	}
+	root, err := ComputeTxRoot(b.Txs)
+	if err != nil {
+		return err
+	}
+	if root != b.Header.TxRoot {
+		return fmt.Errorf("%w: computed %s, header %s", ErrBadTxRoot, root.Short(), b.Header.TxRoot.Short())
+	}
+	expected := make(map[cryptoutil.Address]uint64, 4)
+	seen := make(map[cryptoutil.Digest]bool, len(b.Txs))
+	for i, tx := range b.Txs {
+		if err := tx.Verify(); err != nil {
+			return fmt.Errorf("ledger: tx %d: %w", i, err)
+		}
+		id := tx.ID()
+		if seen[id] || c.hasTxLocked(id) {
+			return fmt.Errorf("%w: %s", ErrDuplicateTx, id.Short())
+		}
+		seen[id] = true
+		want, ok := expected[tx.From]
+		if !ok {
+			want = c.nonces[tx.From]
+		}
+		if tx.Nonce != want {
+			return fmt.Errorf("%w: tx %d from %s has nonce %d, want %d",
+				ErrBadNonce, i, tx.From.Short(), tx.Nonce, want)
+		}
+		expected[tx.From] = want + 1
+	}
+	return nil
+}
+
+func (c *Chain) hasTxLocked(id cryptoutil.Digest) bool {
+	_, ok := c.txIndex[id]
+	return ok
+}
+
+// Validate checks whether b could be appended right now.
+func (c *Chain) Validate(b *Block) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.validate(b)
+}
+
+// Append validates and appends a block.
+func (c *Chain) Append(b *Block) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.validate(b); err != nil {
+		return err
+	}
+	c.blocks = append(c.blocks, b)
+	c.byHash[b.Hash()] = b
+	for _, tx := range b.Txs {
+		c.txIndex[tx.ID()] = b.Header.Height
+		c.nonces[tx.From] = tx.Nonce + 1
+	}
+	return nil
+}
+
+// Walk calls fn for every block from genesis to head, stopping early if
+// fn returns false.
+func (c *Chain) Walk(fn func(*Block) bool) {
+	c.mu.RLock()
+	blocks := make([]*Block, len(c.blocks))
+	copy(blocks, c.blocks)
+	c.mu.RUnlock()
+	for _, b := range blocks {
+		if !fn(b) {
+			return
+		}
+	}
+}
+
+// VerifyIntegrity re-validates the full chain linkage and roots,
+// returning the first inconsistency. It is the audit entry point used
+// by the clinical-trial integrity experiment (E7): any post-hoc
+// mutation of a stored block breaks either its own hash linkage or its
+// transaction root.
+func (c *Chain) VerifyIntegrity() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i := 1; i < len(c.blocks); i++ {
+		b, parent := c.blocks[i], c.blocks[i-1]
+		if b.Header.Parent != parent.Hash() {
+			return fmt.Errorf("%w: block %d parent link broken", ErrBadParent, i)
+		}
+		if b.Header.Height != uint64(i) {
+			return fmt.Errorf("%w: block %d has height %d", ErrBadHeight, i, b.Header.Height)
+		}
+		root, err := ComputeTxRoot(b.Txs)
+		if err != nil {
+			return err
+		}
+		if root != b.Header.TxRoot {
+			return fmt.Errorf("%w: block %d", ErrBadTxRoot, i)
+		}
+		for j, tx := range b.Txs {
+			if err := tx.Verify(); err != nil {
+				return fmt.Errorf("ledger: block %d tx %d: %w", i, j, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Len returns the number of blocks including genesis.
+func (c *Chain) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.blocks)
+}

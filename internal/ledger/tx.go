@@ -1,0 +1,145 @@
+// Package ledger implements the append-only distributed ledger under
+// the medical blockchain: signed transactions, Merkle-rooted blocks,
+// and a validating chain store. Consensus (who may append) lives in
+// package consensus; execution (what transactions do) lives in packages
+// vm/contract/chain. The ledger enforces structural integrity only:
+// hashes link, roots match, signatures verify, nonces advance.
+package ledger
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"medchain/internal/cryptoutil"
+)
+
+// TxType classifies a transaction by intent. The three contract
+// categories mirror the paper's Fig. 4 (data / analytics / clinical
+// trial); Deploy installs contract code; Anchor records an off-chain
+// data or code digest (Irving & Holden style integrity timestamping).
+type TxType string
+
+// Transaction types.
+const (
+	TxDeploy    TxType = "deploy"
+	TxInvoke    TxType = "invoke"
+	TxAnchor    TxType = "anchor"
+	TxData      TxType = "data"
+	TxAnalytics TxType = "analytics"
+	TxTrial     TxType = "trial"
+)
+
+// ValidTxType reports whether t is a known transaction type.
+func ValidTxType(t TxType) bool {
+	switch t {
+	case TxDeploy, TxInvoke, TxAnchor, TxData, TxAnalytics, TxTrial:
+		return true
+	}
+	return false
+}
+
+// Transaction is one signed ledger entry.
+type Transaction struct {
+	// Type classifies the transaction.
+	Type TxType `json:"type"`
+	// From is the sender address (must match PubKey).
+	From cryptoutil.Address `json:"from"`
+	// Nonce is the sender's sequence number, starting at 0.
+	Nonce uint64 `json:"nonce"`
+	// Contract is the target contract address (zero for deploys and
+	// anchors).
+	Contract cryptoutil.Address `json:"contract"`
+	// Method is the invoked contract method (or anchor label).
+	Method string `json:"method"`
+	// Args is the method argument payload (typically JSON).
+	Args []byte `json:"args,omitempty"`
+	// Timestamp is the creation time in Unix nanoseconds.
+	Timestamp int64 `json:"timestamp"`
+	// PubKey is the sender's uncompressed public key.
+	PubKey []byte `json:"pub_key,omitempty"`
+	// Sig is the sender's signature over ID().
+	Sig cryptoutil.Signature `json:"sig"`
+}
+
+// signingBytes returns the canonical byte encoding covered by the
+// transaction signature (everything except the signature itself).
+func (tx *Transaction) signingBytes() []byte {
+	var nonceBuf, tsBuf [8]byte
+	for i := 0; i < 8; i++ {
+		nonceBuf[i] = byte(tx.Nonce >> (56 - 8*i))
+		tsBuf[i] = byte(uint64(tx.Timestamp) >> (56 - 8*i))
+	}
+	d := cryptoutil.SumAll(
+		[]byte(tx.Type),
+		tx.From[:],
+		nonceBuf[:],
+		tx.Contract[:],
+		[]byte(tx.Method),
+		tx.Args,
+		tsBuf[:],
+		tx.PubKey,
+	)
+	return d.Bytes()
+}
+
+// ID returns the transaction hash (over all signed fields).
+func (tx *Transaction) ID() cryptoutil.Digest {
+	return cryptoutil.SumAll([]byte("medchain/tx"), tx.signingBytes())
+}
+
+// Sign fills From, PubKey and Sig from the key pair.
+func (tx *Transaction) Sign(kp *cryptoutil.KeyPair) error {
+	tx.From = kp.Address()
+	tx.PubKey = kp.PublicBytes()
+	sig, err := kp.Sign(tx.ID())
+	if err != nil {
+		return fmt.Errorf("ledger: sign tx: %w", err)
+	}
+	tx.Sig = sig
+	return nil
+}
+
+// Validation errors.
+var (
+	ErrBadSignature = errors.New("ledger: bad transaction signature")
+	ErrBadTxType    = errors.New("ledger: unknown transaction type")
+	ErrAddrMismatch = errors.New("ledger: sender address does not match public key")
+)
+
+// Verify checks structural validity: known type, address matches the
+// public key, and the signature verifies over the transaction hash.
+func (tx *Transaction) Verify() error {
+	if !ValidTxType(tx.Type) {
+		return fmt.Errorf("%w: %q", ErrBadTxType, tx.Type)
+	}
+	pub, err := cryptoutil.DecodePublicKey(tx.PubKey)
+	if err != nil {
+		return fmt.Errorf("ledger: tx public key: %w", err)
+	}
+	if cryptoutil.PublicKeyAddress(pub) != tx.From {
+		return ErrAddrMismatch
+	}
+	if !cryptoutil.Verify(pub, tx.ID(), tx.Sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Encode serializes the transaction to JSON.
+func (tx *Transaction) Encode() ([]byte, error) {
+	b, err := json.Marshal(tx)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: encode tx: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeTransaction parses a JSON transaction.
+func DecodeTransaction(b []byte) (*Transaction, error) {
+	var tx Transaction
+	if err := json.Unmarshal(b, &tx); err != nil {
+		return nil, fmt.Errorf("ledger: decode tx: %w", err)
+	}
+	return &tx, nil
+}

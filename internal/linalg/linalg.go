@@ -1,0 +1,159 @@
+// Package linalg provides the small dense linear-algebra kernel used by
+// the machine-learning substrate: vector arithmetic and a minimal
+// row-major matrix. It exists so model code reads as math rather than
+// index loops.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDim is returned when operand dimensions disagree.
+var ErrDim = errors.New("linalg: dimension mismatch")
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dot returns v·w.
+func (v Vector) Dot(w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDim, len(v), len(w))
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s, nil
+}
+
+// AddScaled adds alpha*w to v in place (axpy).
+func (v Vector) AddScaled(alpha float64, w Vector) error {
+	if len(v) != len(w) {
+		return fmt.Errorf("%w: %d vs %d", ErrDim, len(v), len(w))
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+	return nil
+}
+
+// Scale multiplies v by alpha in place.
+func (v Vector) Scale(alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm.
+func (v Vector) Norm2() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Sub returns v - w as a new vector.
+func (v Vector) Sub(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrDim, len(v), len(w))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out, nil
+}
+
+// Mean returns the arithmetic mean (0 for empty).
+func (v Vector) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// WeightedMean computes sum(w_i * v_i) / sum(w_i) element-wise over a
+// set of vectors — the FedAvg aggregation primitive.
+func WeightedMean(vectors []Vector, weights []float64) (Vector, error) {
+	if len(vectors) == 0 {
+		return nil, errors.New("linalg: weighted mean of no vectors")
+	}
+	if len(vectors) != len(weights) {
+		return nil, fmt.Errorf("%w: %d vectors, %d weights", ErrDim, len(vectors), len(weights))
+	}
+	dim := len(vectors[0])
+	var totalW float64
+	out := NewVector(dim)
+	for i, vec := range vectors {
+		if len(vec) != dim {
+			return nil, fmt.Errorf("%w: vector %d has length %d, want %d", ErrDim, i, len(vec), dim)
+		}
+		if weights[i] < 0 {
+			return nil, fmt.Errorf("linalg: negative weight %v", weights[i])
+		}
+		totalW += weights[i]
+		for j := range vec {
+			out[j] += weights[i] * vec[j]
+		}
+	}
+	if totalW == 0 {
+		return nil, errors.New("linalg: zero total weight")
+	}
+	out.Scale(1 / totalW)
+	return out, nil
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	// Rows and Cols are the dimensions.
+	Rows, Cols int
+	// Data is row-major backing storage, len Rows*Cols.
+	Data []float64
+}
+
+// NewMatrix returns a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a Vector view (not a copy).
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// MulVec computes m·v.
+func (m *Matrix) MulVec(v Vector) (Vector, error) {
+	if m.Cols != len(v) {
+		return nil, fmt.Errorf("%w: matrix cols %d, vector %d", ErrDim, m.Cols, len(v))
+	}
+	out := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s, err := m.Row(i).Dot(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}

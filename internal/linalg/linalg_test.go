@@ -1,0 +1,162 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	got, err := v.Dot(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 32 {
+		t.Fatalf("dot = %v, want 32", got)
+	}
+	if _, err := v.Dot(Vector{1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestAddScaledAndScale(t *testing.T) {
+	v := Vector{1, 2}
+	if err := v.AddScaled(2, Vector{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 21 || v[1] != 42 {
+		t.Fatalf("axpy result %v", v)
+	}
+	v.Scale(0.5)
+	if v[0] != 10.5 || v[1] != 21 {
+		t.Fatalf("scale result %v", v)
+	}
+	if err := v.AddScaled(1, Vector{1}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if got := (Vector{3, 4}).Norm2(); !almostEq(got, 5) {
+		t.Fatalf("norm = %v", got)
+	}
+	if got := (Vector{}).Norm2(); got != 0 {
+		t.Fatalf("empty norm = %v", got)
+	}
+}
+
+func TestSubAndMean(t *testing.T) {
+	got, err := Vector{5, 7}.Sub(Vector{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 4 {
+		t.Fatalf("sub = %v", got)
+	}
+	if _, err := (Vector{1}).Sub(Vector{1, 2}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if m := (Vector{1, 2, 3}).Mean(); !almostEq(m, 2) {
+		t.Fatalf("mean = %v", m)
+	}
+	if m := (Vector{}).Mean(); m != 0 {
+		t.Fatalf("empty mean = %v", m)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got, err := WeightedMean([]Vector{{1, 0}, {3, 4}}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got[0], 2) || !almostEq(got[1], 2) {
+		t.Fatalf("weighted mean %v", got)
+	}
+	// Weighting by count: 1 sample of {0,0}, 3 samples of {4,4} → {3,3}.
+	got, err = WeightedMean([]Vector{{0, 0}, {4, 4}}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got[0], 3) {
+		t.Fatalf("count-weighted mean %v", got)
+	}
+}
+
+func TestWeightedMeanErrors(t *testing.T) {
+	if _, err := WeightedMean(nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := WeightedMean([]Vector{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("weight count mismatch accepted")
+	}
+	if _, err := WeightedMean([]Vector{{1}, {1, 2}}, []float64{1, 1}); err == nil {
+		t.Fatal("ragged vectors accepted")
+	}
+	if _, err := WeightedMean([]Vector{{1}}, []float64{0}); err == nil {
+		t.Fatal("zero total weight accepted")
+	}
+	if _, err := WeightedMean([]Vector{{1}, {2}}, []float64{1, -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+// Property: WeightedMean with equal weights equals the arithmetic mean.
+func TestWeightedMeanEqualWeightsProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		// Bound magnitudes so the sum cannot overflow.
+		const lim = 1e150
+		if math.Abs(a) > lim || math.Abs(b) > lim || math.Abs(c) > lim {
+			return true
+		}
+		vs := []Vector{{a}, {b}, {c}}
+		got, err := WeightedMean(vs, []float64{1, 1, 1})
+		if err != nil {
+			return false
+		}
+		want := (a + b + c) / 3
+		return math.Abs(got[0]-want) < 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(0, 2, 2)
+	m.Set(1, 1, 3)
+	if m.At(0, 2) != 2 || m.At(1, 1) != 3 {
+		t.Fatal("At/Set broken")
+	}
+	row := m.Row(1)
+	if row[1] != 3 {
+		t.Fatal("Row view broken")
+	}
+	got, err := m.MulVec(Vector{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 3 {
+		t.Fatalf("MulVec = %v", got)
+	}
+	if _, err := m.MulVec(Vector{1}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}

@@ -1,0 +1,532 @@
+// Package ml is the machine-learning substrate: datasets, train/test
+// splitting, feature standardization, logistic and linear regression
+// trained by (mini-batch) gradient descent, and binary-classification
+// metrics. It stands in for the TensorFlow/Torch/Caffe tools the paper
+// names — a convex model is all the federated-vs-centralized comparison
+// (E6) needs, and it is the model family McMahan et al. evaluate first.
+//
+// All training is deterministic given a seed.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"medchain/internal/linalg"
+)
+
+// Errors.
+var (
+	ErrEmpty = errors.New("ml: empty dataset")
+	ErrDim   = errors.New("ml: dimension mismatch")
+)
+
+// Dataset is a supervised learning set: rows of features with labels.
+type Dataset struct {
+	// X holds one feature vector per row.
+	X []linalg.Vector
+	// Y holds the label per row (0/1 for classification).
+	Y []float64
+}
+
+// NewDataset validates and wraps features and labels.
+func NewDataset(x [][]float64, y []float64) (*Dataset, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d rows, %d labels", ErrDim, len(x), len(y))
+	}
+	dim := len(x[0])
+	ds := &Dataset{X: make([]linalg.Vector, len(x)), Y: append([]float64(nil), y...)}
+	for i, row := range x {
+		if len(row) != dim {
+			return nil, fmt.Errorf("%w: row %d has %d features, want %d", ErrDim, i, len(row), dim)
+		}
+		ds.X[i] = append(linalg.Vector(nil), row...)
+	}
+	return ds, nil
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Dim returns the feature dimension.
+func (d *Dataset) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Positives returns the number of label-1 rows.
+func (d *Dataset) Positives() int {
+	n := 0
+	for _, y := range d.Y {
+		if y > 0.5 {
+			n++
+		}
+	}
+	return n
+}
+
+// Subset returns the dataset restricted to the given row indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{X: make([]linalg.Vector, len(idx)), Y: make([]float64, len(idx))}
+	for i, j := range idx {
+		out.X[i] = d.X[j]
+		out.Y[i] = d.Y[j]
+	}
+	return out
+}
+
+// Split shuffles (seeded) and splits into train/test with the given
+// train fraction.
+func (d *Dataset) Split(trainFrac float64, seed int64) (train, test *Dataset) {
+	idx := rand.New(rand.NewSource(seed)).Perm(d.Len())
+	cut := int(float64(d.Len()) * trainFrac)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= d.Len() {
+		cut = d.Len() - 1
+	}
+	return d.Subset(idx[:cut]), d.Subset(idx[cut:])
+}
+
+// Shards partitions the dataset into n roughly equal shards (seeded
+// shuffle) — the per-site split of the federated experiments.
+func (d *Dataset) Shards(n int, seed int64) []*Dataset {
+	if n < 1 {
+		n = 1
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(d.Len())
+	out := make([]*Dataset, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * d.Len() / n
+		hi := (i + 1) * d.Len() / n
+		if lo == hi {
+			out = append(out, &Dataset{})
+			continue
+		}
+		out = append(out, d.Subset(idx[lo:hi]))
+	}
+	return out
+}
+
+// Merge concatenates datasets (the "centralized" baseline).
+func Merge(parts ...*Dataset) *Dataset {
+	out := &Dataset{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.X = append(out.X, p.X...)
+		out.Y = append(out.Y, p.Y...)
+	}
+	return out
+}
+
+// Standardizer rescales features to zero mean, unit variance. Fit on
+// training data, apply everywhere (the federated variant fits on each
+// site and averages, see package fl).
+type Standardizer struct {
+	// Mean and Std are per-feature statistics.
+	Mean linalg.Vector `json:"mean"`
+	Std  linalg.Vector `json:"std"`
+}
+
+// FitStandardizer computes per-feature mean and standard deviation.
+func FitStandardizer(d *Dataset) (*Standardizer, error) {
+	if d.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	dim := d.Dim()
+	mean := linalg.NewVector(dim)
+	for _, row := range d.X {
+		if err := mean.AddScaled(1, row); err != nil {
+			return nil, err
+		}
+	}
+	mean.Scale(1 / float64(d.Len()))
+	std := linalg.NewVector(dim)
+	for _, row := range d.X {
+		for j := range row {
+			diff := row[j] - mean[j]
+			std[j] += diff * diff
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(d.Len()))
+		if std[j] < 1e-9 {
+			std[j] = 1 // constant feature: leave centered only
+		}
+	}
+	return &Standardizer{Mean: mean, Std: std}, nil
+}
+
+// Apply returns a standardized copy of the dataset.
+func (s *Standardizer) Apply(d *Dataset) *Dataset {
+	out := &Dataset{X: make([]linalg.Vector, d.Len()), Y: append([]float64(nil), d.Y...)}
+	for i, row := range d.X {
+		nr := make(linalg.Vector, len(row))
+		for j := range row {
+			nr[j] = (row[j] - s.Mean[j]) / s.Std[j]
+		}
+		out.X[i] = nr
+	}
+	return out
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(x float64) float64 {
+	// Clamp to avoid overflow in Exp.
+	if x < -30 {
+		return 0
+	}
+	if x > 30 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// LogisticModel is a binary logistic-regression model with bias.
+type LogisticModel struct {
+	// W are the feature weights.
+	W linalg.Vector `json:"w"`
+	// B is the bias term.
+	B float64 `json:"b"`
+}
+
+// NewLogisticModel returns a zero model of the given dimension.
+func NewLogisticModel(dim int) *LogisticModel {
+	return &LogisticModel{W: linalg.NewVector(dim)}
+}
+
+// Clone deep-copies the model.
+func (m *LogisticModel) Clone() *LogisticModel {
+	return &LogisticModel{W: m.W.Clone(), B: m.B}
+}
+
+// PredictProb returns P(y=1|x).
+func (m *LogisticModel) PredictProb(x linalg.Vector) (float64, error) {
+	z, err := m.W.Dot(x)
+	if err != nil {
+		return 0, err
+	}
+	return Sigmoid(z + m.B), nil
+}
+
+// Predict returns the hard 0/1 prediction at threshold 0.5.
+func (m *LogisticModel) Predict(x linalg.Vector) (float64, error) {
+	p, err := m.PredictProb(x)
+	if err != nil {
+		return 0, err
+	}
+	if p >= 0.5 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Params flattens the model to a single vector [W..., B] (for FedAvg).
+func (m *LogisticModel) Params() linalg.Vector {
+	out := make(linalg.Vector, len(m.W)+1)
+	copy(out, m.W)
+	out[len(m.W)] = m.B
+	return out
+}
+
+// SetParams loads a flattened parameter vector.
+func (m *LogisticModel) SetParams(p linalg.Vector) error {
+	if len(p) != len(m.W)+1 {
+		return fmt.Errorf("%w: %d params for dim %d", ErrDim, len(p), len(m.W))
+	}
+	copy(m.W, p[:len(m.W)])
+	m.B = p[len(m.W)]
+	return nil
+}
+
+// TrainConfig controls gradient-descent training.
+type TrainConfig struct {
+	// Epochs is the number of passes over the data.
+	Epochs int
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// BatchSize is the mini-batch size (0 = full batch).
+	BatchSize int
+	// L2 is the ridge penalty coefficient.
+	L2 float64
+	// Seed drives shuffling.
+	Seed int64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 50
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	return c
+}
+
+// Train fits the model on the dataset with mini-batch gradient descent,
+// starting from the model's current parameters (so federated clients
+// can continue from the global model). Returns the final training
+// log-loss.
+func (m *LogisticModel) Train(d *Dataset, cfg TrainConfig) (float64, error) {
+	if d.Len() == 0 {
+		return 0, ErrEmpty
+	}
+	if d.Dim() != len(m.W) {
+		return 0, fmt.Errorf("%w: data dim %d, model dim %d", ErrDim, d.Dim(), len(m.W))
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := d.Len()
+	batch := cfg.BatchSize
+	if batch <= 0 || batch > n {
+		batch = n
+	}
+	grad := linalg.NewVector(d.Dim())
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		idx := rng.Perm(n)
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			for j := range grad {
+				grad[j] = 0
+			}
+			var gradB float64
+			for _, i := range idx[start:end] {
+				p, err := m.PredictProb(d.X[i])
+				if err != nil {
+					return 0, err
+				}
+				diff := p - d.Y[i]
+				if err := grad.AddScaled(diff, d.X[i]); err != nil {
+					return 0, err
+				}
+				gradB += diff
+			}
+			scale := 1 / float64(end-start)
+			if cfg.L2 > 0 {
+				if err := grad.AddScaled(cfg.L2*float64(end-start), m.W); err != nil {
+					return 0, err
+				}
+			}
+			if err := m.W.AddScaled(-cfg.LearningRate*scale, grad); err != nil {
+				return 0, err
+			}
+			m.B -= cfg.LearningRate * scale * gradB
+		}
+	}
+	return m.LogLoss(d)
+}
+
+// LogLoss returns the mean cross-entropy on the dataset.
+func (m *LogisticModel) LogLoss(d *Dataset) (float64, error) {
+	if d.Len() == 0 {
+		return 0, ErrEmpty
+	}
+	var loss float64
+	for i, x := range d.X {
+		p, err := m.PredictProb(x)
+		if err != nil {
+			return 0, err
+		}
+		p = math.Min(math.Max(p, 1e-12), 1-1e-12)
+		if d.Y[i] > 0.5 {
+			loss -= math.Log(p)
+		} else {
+			loss -= math.Log(1 - p)
+		}
+	}
+	return loss / float64(d.Len()), nil
+}
+
+// LinearModel is ordinary least squares fit by gradient descent.
+type LinearModel struct {
+	// W are the feature weights.
+	W linalg.Vector `json:"w"`
+	// B is the intercept.
+	B float64 `json:"b"`
+}
+
+// NewLinearModel returns a zero model of the given dimension.
+func NewLinearModel(dim int) *LinearModel { return &LinearModel{W: linalg.NewVector(dim)} }
+
+// Predict returns the regression output.
+func (m *LinearModel) Predict(x linalg.Vector) (float64, error) {
+	z, err := m.W.Dot(x)
+	if err != nil {
+		return 0, err
+	}
+	return z + m.B, nil
+}
+
+// Train fits by mini-batch gradient descent on squared error, returning
+// final training MSE.
+func (m *LinearModel) Train(d *Dataset, cfg TrainConfig) (float64, error) {
+	if d.Len() == 0 {
+		return 0, ErrEmpty
+	}
+	if d.Dim() != len(m.W) {
+		return 0, fmt.Errorf("%w: data dim %d, model dim %d", ErrDim, d.Dim(), len(m.W))
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := d.Len()
+	batch := cfg.BatchSize
+	if batch <= 0 || batch > n {
+		batch = n
+	}
+	grad := linalg.NewVector(d.Dim())
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		idx := rng.Perm(n)
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			for j := range grad {
+				grad[j] = 0
+			}
+			var gradB float64
+			for _, i := range idx[start:end] {
+				pred, err := m.Predict(d.X[i])
+				if err != nil {
+					return 0, err
+				}
+				diff := pred - d.Y[i]
+				if err := grad.AddScaled(diff, d.X[i]); err != nil {
+					return 0, err
+				}
+				gradB += diff
+			}
+			scale := 1 / float64(end-start)
+			if err := m.W.AddScaled(-cfg.LearningRate*scale, grad); err != nil {
+				return 0, err
+			}
+			m.B -= cfg.LearningRate * scale * gradB
+		}
+	}
+	return m.MSE(d)
+}
+
+// MSE returns the mean squared error on the dataset.
+func (m *LinearModel) MSE(d *Dataset) (float64, error) {
+	if d.Len() == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for i, x := range d.X {
+		p, err := m.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		diff := p - d.Y[i]
+		s += diff * diff
+	}
+	return s / float64(d.Len()), nil
+}
+
+// Metrics summarizes binary-classification performance.
+type Metrics struct {
+	// Accuracy at threshold 0.5.
+	Accuracy float64 `json:"accuracy"`
+	// AUC is the area under the ROC curve.
+	AUC float64 `json:"auc"`
+	// TP, FP, TN, FN are confusion counts at threshold 0.5.
+	TP, FP, TN, FN int
+	// LogLoss is mean cross-entropy.
+	LogLoss float64 `json:"log_loss"`
+}
+
+// Evaluate computes metrics for a logistic model on a dataset.
+func Evaluate(m *LogisticModel, d *Dataset) (*Metrics, error) {
+	if d.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	probs := make([]float64, d.Len())
+	for i, x := range d.X {
+		p, err := m.PredictProb(x)
+		if err != nil {
+			return nil, err
+		}
+		probs[i] = p
+	}
+	met := &Metrics{}
+	for i, p := range probs {
+		pos := d.Y[i] > 0.5
+		predPos := p >= 0.5
+		switch {
+		case pos && predPos:
+			met.TP++
+		case pos && !predPos:
+			met.FN++
+		case !pos && predPos:
+			met.FP++
+		default:
+			met.TN++
+		}
+	}
+	met.Accuracy = float64(met.TP+met.TN) / float64(d.Len())
+	met.AUC = AUC(probs, d.Y)
+	ll, err := m.LogLoss(d)
+	if err != nil {
+		return nil, err
+	}
+	met.LogLoss = ll
+	return met, nil
+}
+
+// AUC computes the area under the ROC curve by the rank statistic
+// (ties get half credit). Returns 0.5 when one class is absent.
+func AUC(scores, labels []float64) float64 {
+	type pair struct {
+		s float64
+		y bool
+	}
+	ps := make([]pair, len(scores))
+	var nPos, nNeg int
+	for i := range scores {
+		y := labels[i] > 0.5
+		ps[i] = pair{s: scores[i], y: y}
+		if y {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].s < ps[j].s })
+	// Assign average ranks, handling ties.
+	ranks := make([]float64, len(ps))
+	for i := 0; i < len(ps); {
+		j := i
+		for j < len(ps) && ps[j].s == ps[i].s {
+			j++
+		}
+		avg := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		i = j
+	}
+	var sumPos float64
+	for i, p := range ps {
+		if p.y {
+			sumPos += ranks[i]
+		}
+	}
+	return (sumPos - float64(nPos)*float64(nPos+1)/2) / (float64(nPos) * float64(nNeg))
+}

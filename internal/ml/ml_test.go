@@ -1,0 +1,410 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"medchain/internal/linalg"
+)
+
+// synth generates a linearly-separable-ish logistic problem with known
+// weights.
+func synth(t testing.TB, n int, seed int64) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	trueW := []float64{1.5, -2.0, 0.8}
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		z := trueW[0]*row[0] + trueW[1]*row[1] + trueW[2]*row[2] + 0.3
+		if rng.Float64() < Sigmoid(z) {
+			y[i] = 1
+		}
+		x[i] = row
+	}
+	ds, err := NewDataset(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	if _, err := NewDataset(nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := NewDataset([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("label count mismatch accepted")
+	}
+	if _, err := NewDataset([][]float64{{1}, {1, 2}}, []float64{0, 1}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestDatasetBasics(t *testing.T) {
+	ds := synth(t, 100, 1)
+	if ds.Len() != 100 || ds.Dim() != 3 {
+		t.Fatalf("len/dim = %d/%d", ds.Len(), ds.Dim())
+	}
+	pos := ds.Positives()
+	if pos == 0 || pos == 100 {
+		t.Fatalf("degenerate labels: %d positives", pos)
+	}
+	empty := &Dataset{}
+	if empty.Dim() != 0 {
+		t.Fatal("empty dim")
+	}
+}
+
+func TestSplitDisjointAndComplete(t *testing.T) {
+	ds := synth(t, 100, 2)
+	train, test := ds.Split(0.8, 7)
+	if train.Len()+test.Len() != 100 {
+		t.Fatalf("split sizes %d+%d != 100", train.Len(), test.Len())
+	}
+	if train.Len() != 80 {
+		t.Fatalf("train size %d, want 80", train.Len())
+	}
+	// Same seed → same split.
+	tr2, _ := ds.Split(0.8, 7)
+	for i := range train.Y {
+		if train.Y[i] != tr2.Y[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestSplitExtremes(t *testing.T) {
+	ds := synth(t, 10, 3)
+	train, test := ds.Split(0.0, 1)
+	if train.Len() < 1 || test.Len() < 1 {
+		t.Fatal("split produced empty side at frac 0")
+	}
+	train, test = ds.Split(1.0, 1)
+	if train.Len() != 9 || test.Len() != 1 {
+		t.Fatalf("frac 1.0 gave %d/%d", train.Len(), test.Len())
+	}
+}
+
+func TestShards(t *testing.T) {
+	ds := synth(t, 103, 4)
+	shards := ds.Shards(4, 9)
+	if len(shards) != 4 {
+		t.Fatalf("%d shards", len(shards))
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
+	if total != 103 {
+		t.Fatalf("shards cover %d rows, want 103", total)
+	}
+	merged := Merge(shards...)
+	if merged.Len() != 103 {
+		t.Fatalf("merge lost rows: %d", merged.Len())
+	}
+	if got := ds.Shards(0, 1); len(got) != 1 {
+		t.Fatal("Shards(0) should clamp to 1")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	ds, err := NewDataset([][]float64{{10, 100}, {20, 100}, {30, 100}}, []float64{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := FitStandardizer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := std.Apply(ds)
+	// First feature standardized.
+	var mean float64
+	for _, row := range out.X {
+		mean += row[0]
+	}
+	if math.Abs(mean/3) > 1e-9 {
+		t.Fatalf("standardized mean %v", mean/3)
+	}
+	// Constant feature: centered but not exploded.
+	for _, row := range out.X {
+		if math.Abs(row[1]) > 1e-9 {
+			t.Fatalf("constant feature mishandled: %v", row[1])
+		}
+	}
+	if _, err := FitStandardizer(&Dataset{}); err == nil {
+		t.Fatal("empty standardizer fit accepted")
+	}
+}
+
+func TestLogisticLearnsSignal(t *testing.T) {
+	ds := synth(t, 2000, 5)
+	train, test := ds.Split(0.8, 1)
+	m := NewLogisticModel(3)
+	loss, err := m.Train(train, TrainConfig{Epochs: 120, LearningRate: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.65 {
+		t.Fatalf("training loss %v did not drop below chance", loss)
+	}
+	met, err := Evaluate(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.AUC < 0.8 {
+		t.Fatalf("AUC %v < 0.8 on learnable problem", met.AUC)
+	}
+	if met.Accuracy < 0.7 {
+		t.Fatalf("accuracy %v < 0.7", met.Accuracy)
+	}
+	// Sign recovery of true weights (1.5, -2.0, 0.8).
+	if m.W[0] <= 0 || m.W[1] >= 0 || m.W[2] <= 0 {
+		t.Fatalf("weight signs wrong: %v", m.W)
+	}
+}
+
+func TestLogisticTrainDeterministic(t *testing.T) {
+	ds := synth(t, 500, 6)
+	cfg := TrainConfig{Epochs: 20, LearningRate: 0.2, BatchSize: 32, Seed: 3}
+	m1 := NewLogisticModel(3)
+	if _, err := m1.Train(ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewLogisticModel(3)
+	if _, err := m2.Train(ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.W {
+		if m1.W[i] != m2.W[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestLogisticContinuesFromCurrentParams(t *testing.T) {
+	ds := synth(t, 500, 8)
+	m := NewLogisticModel(3)
+	if _, err := m.Train(ds, TrainConfig{Epochs: 5, LearningRate: 0.2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Params().Clone()
+	if _, err := m.Train(ds, TrainConfig{Epochs: 5, LearningRate: 0.2, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	diff, err := m.Params().Sub(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Norm2() == 0 {
+		t.Fatal("continued training did not move parameters")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	m := NewLogisticModel(3)
+	if _, err := m.Train(&Dataset{}, TrainConfig{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	ds := synth(t, 10, 1)
+	bad := NewLogisticModel(5)
+	if _, err := bad.Train(ds, TrainConfig{}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := m.LogLoss(&Dataset{}); err == nil {
+		t.Fatal("empty logloss accepted")
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	m := NewLogisticModel(3)
+	m.W[0], m.W[1], m.W[2], m.B = 1, 2, 3, 4
+	p := m.Params()
+	if len(p) != 4 || p[3] != 4 {
+		t.Fatalf("params %v", p)
+	}
+	m2 := NewLogisticModel(3)
+	if err := m2.SetParams(p); err != nil {
+		t.Fatal(err)
+	}
+	if m2.B != 4 || m2.W[2] != 3 {
+		t.Fatal("SetParams lost values")
+	}
+	if err := m2.SetParams(linalg.Vector{1}); err == nil {
+		t.Fatal("wrong param length accepted")
+	}
+	c := m.Clone()
+	c.W[0] = 99
+	if m.W[0] == 99 {
+		t.Fatal("clone aliases weights")
+	}
+}
+
+func TestLinearRegressionRecoversLine(t *testing.T) {
+	// y = 2x + 1 exactly.
+	var xs [][]float64
+	var ys []float64
+	for i := -10; i <= 10; i++ {
+		x := float64(i) / 10
+		xs = append(xs, []float64{x})
+		ys = append(ys, 2*x+1)
+	}
+	ds, err := NewDataset(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewLinearModel(1)
+	mse, err := m.Train(ds, TrainConfig{Epochs: 500, LearningRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 1e-3 {
+		t.Fatalf("MSE %v on exact line", mse)
+	}
+	if math.Abs(m.W[0]-2) > 0.05 || math.Abs(m.B-1) > 0.05 {
+		t.Fatalf("recovered w=%v b=%v, want 2, 1", m.W[0], m.B)
+	}
+}
+
+func TestLinearTrainErrors(t *testing.T) {
+	m := NewLinearModel(2)
+	if _, err := m.Train(&Dataset{}, TrainConfig{}); err == nil {
+		t.Fatal("empty accepted")
+	}
+	ds := synth(t, 5, 1)
+	if _, err := m.Train(ds, TrainConfig{}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := m.MSE(&Dataset{}); err == nil {
+		t.Fatal("empty MSE accepted")
+	}
+}
+
+func TestAUCKnownCases(t *testing.T) {
+	// Perfect ranking.
+	if got := AUC([]float64{0.1, 0.2, 0.8, 0.9}, []float64{0, 0, 1, 1}); got != 1 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+	// Inverted ranking.
+	if got := AUC([]float64{0.9, 0.8, 0.2, 0.1}, []float64{0, 0, 1, 1}); got != 0 {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+	// All ties → 0.5.
+	if got := AUC([]float64{0.5, 0.5, 0.5, 0.5}, []float64{0, 1, 0, 1}); got != 0.5 {
+		t.Fatalf("tied AUC = %v", got)
+	}
+	// Single class → 0.5 by convention.
+	if got := AUC([]float64{0.1, 0.9}, []float64{1, 1}); got != 0.5 {
+		t.Fatalf("single-class AUC = %v", got)
+	}
+}
+
+// Property: AUC is invariant under strictly monotone score transforms.
+func TestAUCMonotoneInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30
+		scores := make([]float64, n)
+		labels := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+			if rng.Float64() < 0.4 {
+				labels[i] = 1
+			}
+		}
+		a := AUC(scores, labels)
+		transformed := make([]float64, n)
+		for i, s := range scores {
+			transformed[i] = math.Exp(3*s) + 7 // strictly increasing
+		}
+		b := AUC(transformed, labels)
+		return math.Abs(a-b) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateConfusionCounts(t *testing.T) {
+	ds, err := NewDataset([][]float64{{-10}, {-10}, {10}, {10}}, []float64{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewLogisticModel(1)
+	m.W[0] = 1 // predicts 0 for x=-10, 1 for x=10
+	met, err := Evaluate(m, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.TP != 1 || met.TN != 1 || met.FP != 1 || met.FN != 1 {
+		t.Fatalf("confusion %+v", met)
+	}
+	if met.Accuracy != 0.5 {
+		t.Fatalf("accuracy %v", met.Accuracy)
+	}
+	if _, err := Evaluate(m, &Dataset{}); err == nil {
+		t.Fatal("empty evaluate accepted")
+	}
+}
+
+func TestSigmoidClamps(t *testing.T) {
+	if Sigmoid(-1000) != 0 || Sigmoid(1000) != 1 {
+		t.Fatal("sigmoid clamp broken")
+	}
+	if math.Abs(Sigmoid(0)-0.5) > 1e-12 {
+		t.Fatal("sigmoid(0) != 0.5")
+	}
+}
+
+func TestMergeNil(t *testing.T) {
+	ds := synth(t, 10, 1)
+	m := Merge(ds, nil, &Dataset{})
+	if m.Len() != 10 {
+		t.Fatalf("merge with nil: %d rows", m.Len())
+	}
+}
+
+func TestL2RegularizationShrinksWeights(t *testing.T) {
+	ds := synth(t, 800, 10)
+	free := NewLogisticModel(3)
+	if _, err := free.Train(ds, TrainConfig{Epochs: 80, LearningRate: 0.3, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewLogisticModel(3)
+	if _, err := reg.Train(ds, TrainConfig{Epochs: 80, LearningRate: 0.3, Seed: 1, L2: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.W.Norm2() >= free.W.Norm2() {
+		t.Fatalf("L2 did not shrink weights: %v vs %v", reg.W.Norm2(), free.W.Norm2())
+	}
+}
+
+func BenchmarkLogisticTrain(b *testing.B) {
+	ds := synth(b, 1000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewLogisticModel(3)
+		if _, err := m.Train(ds, TrainConfig{Epochs: 10, LearningRate: 0.3, BatchSize: 64, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	ds := synth(b, 1000, 1)
+	m := NewLogisticModel(3)
+	if _, err := m.Train(ds, TrainConfig{Epochs: 5, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(m, ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

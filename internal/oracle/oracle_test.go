@@ -1,0 +1,467 @@
+package oracle
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"medchain/internal/chain"
+	"medchain/internal/contract"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+)
+
+// testChain spins up a 2-node cluster and returns it plus a helper that
+// commits a dataset registration (which emits DatasetRegistered).
+func testChain(t *testing.T) (*chain.Cluster, func(id string)) {
+	t.Helper()
+	c, err := chain.NewCluster(chain.ClusterConfig{Nodes: 2, Engine: chain.EngineQuorum, KeySeed: t.Name()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	kp, err := cryptoutil.DeriveKeyPair(t.Name() + "/user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := uint64(0)
+	commit := func(id string) {
+		args, err := json.Marshal(contract.RegisterDatasetArgs{ID: id, SiteID: "site-1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := &ledger.Transaction{
+			Type: ledger.TxData, Nonce: nonce, Method: "register_dataset",
+			Args: args, Timestamp: 1,
+		}
+		nonce++
+		if err := tx.Sign(kp); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Submit(tx); err != nil {
+			t.Fatal(err)
+		}
+		// Wait for gossip so the scheduled proposer has the tx.
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			ready := true
+			for _, n := range c.Nodes() {
+				if n.MempoolSize() == 0 {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("tx did not gossip")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if _, err := c.CommitAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, commit
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMonitorDispatches(t *testing.T) {
+	c, commit := testChain(t)
+	mon := NewMonitor(c.Node(1), MonitorConfig{})
+	defer mon.Close()
+	var mu sync.Mutex
+	var got []string
+	mon.On("DatasetRegistered", func(rec chain.EventRecord) error {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, string(rec.Event.Data))
+		return nil
+	})
+	commit("d1")
+	commit("d2")
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 2
+	})
+	s := mon.Stats()
+	if s.Dispatched != 2 || s.Failed != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestMonitorRetries(t *testing.T) {
+	c, commit := testChain(t)
+	mon := NewMonitor(c.Node(1), MonitorConfig{Retries: 2})
+	defer mon.Close()
+	var mu sync.Mutex
+	attempts := 0
+	mon.On("DatasetRegistered", func(chain.EventRecord) error {
+		mu.Lock()
+		defer mu.Unlock()
+		attempts++
+		if attempts < 3 {
+			return errors.New("flaky")
+		}
+		return nil
+	})
+	commit("d1")
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return attempts == 3
+	})
+	s := mon.Stats()
+	if s.Dispatched != 1 || s.Retried != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestMonitorFailsAfterRetriesExhausted(t *testing.T) {
+	c, commit := testChain(t)
+	mon := NewMonitor(c.Node(1), MonitorConfig{Retries: 1})
+	defer mon.Close()
+	mon.On("DatasetRegistered", func(chain.EventRecord) error {
+		return errors.New("always broken")
+	})
+	commit("d1")
+	waitFor(t, func() bool { return mon.Stats().Failed == 1 })
+	if s := mon.Stats(); s.Dispatched != 0 || s.Retried != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestMonitorBatching(t *testing.T) {
+	c, commit := testChain(t)
+	mon := NewMonitor(c.Node(1), MonitorConfig{BatchSize: 3})
+	defer mon.Close()
+	var mu sync.Mutex
+	var batches [][]chain.EventRecord
+	mon.OnBatch("DatasetRegistered", func(recs []chain.EventRecord) error {
+		mu.Lock()
+		defer mu.Unlock()
+		batches = append(batches, recs)
+		return nil
+	})
+	for i := 0; i < 3; i++ {
+		commit(fmt.Sprintf("d%d", i))
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(batches) == 1
+	})
+	mu.Lock()
+	if len(batches[0]) != 3 {
+		t.Fatalf("batch size %d", len(batches[0]))
+	}
+	mu.Unlock()
+	// One more, under the batch size: delivered only via Flush. The
+	// event lands in the monitor loop asynchronously, so keep flushing
+	// until it drains.
+	commit("d3")
+	waitFor(t, func() bool {
+		mon.Flush()
+		mu.Lock()
+		defer mu.Unlock()
+		return len(batches) == 2 && len(batches[1]) == 1
+	})
+	if b := mon.Stats().Batches; b != 2 {
+		t.Fatalf("batches %d", b)
+	}
+}
+
+func TestMonitorCloseFlushesAndIsIdempotent(t *testing.T) {
+	c, commit := testChain(t)
+	mon := NewMonitor(c.Node(1), MonitorConfig{BatchSize: 100})
+	var mu sync.Mutex
+	total := 0
+	mon.OnBatch("DatasetRegistered", func(recs []chain.EventRecord) error {
+		mu.Lock()
+		defer mu.Unlock()
+		total += len(recs)
+		return nil
+	})
+	commit("d1")
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		// The event must be pending (batch not full).
+		return true
+	})
+	// Give the loop a moment to enqueue, then close.
+	time.Sleep(20 * time.Millisecond)
+	mon.Close()
+	mon.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if total != 1 {
+		t.Fatalf("close did not flush pending batch: %d", total)
+	}
+}
+
+func TestBridgeCallAndCanonical(t *testing.T) {
+	b := NewBridge()
+	err := b.Register("echo", func(args json.RawMessage) (json.RawMessage, error) {
+		return args, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key order and whitespace normalize away.
+	r1, err := b.Call("echo", json.RawMessage(`{"b":1, "a":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := b.Call("echo", json.RawMessage(`{ "a": 2,"b": 1 }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r1) != string(r2) {
+		t.Fatalf("canonicalization failed: %s vs %s", r1, r2)
+	}
+	if string(r1) != `{"a":2,"b":1}` {
+		t.Fatalf("canonical form %s", r1)
+	}
+	if b.Calls() != 2 {
+		t.Fatalf("calls %d", b.Calls())
+	}
+}
+
+func TestBridgeErrors(t *testing.T) {
+	b := NewBridge()
+	if _, err := b.Call("ghost", nil); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+	if err := b.Register("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register("x", nil); err == nil {
+		t.Fatal("duplicate register accepted")
+	}
+	if err := b.Register("fail", func(json.RawMessage) (json.RawMessage, error) {
+		return nil, errors.New("boom")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Call("fail", nil); err == nil {
+		t.Fatal("service error swallowed")
+	}
+}
+
+func TestBridgeHostFuncs(t *testing.T) {
+	b := NewBridge()
+	if err := b.Register("fetch", func(args json.RawMessage) (json.RawMessage, error) {
+		return json.RawMessage(`{"ok":true}`), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hosts := b.HostFuncs()
+	fn, ok := hosts["fetch"]
+	if !ok {
+		t.Fatal("host func missing")
+	}
+	res, gas, err := fn([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != `{"ok":true}` {
+		t.Fatalf("host result %s", res)
+	}
+	if gas != int64(len(res)) {
+		t.Fatalf("gas %d", gas)
+	}
+}
+
+func TestCanonicalizeCases(t *testing.T) {
+	tests := []struct {
+		name, in, want string
+	}{
+		{"nested objects", `{"z":{"b":1,"a":[3,2,{"y":0,"x":1}]},"a":null}`,
+			`{"a":null,"z":{"a":[3,2,{"x":1,"y":0}],"b":1}}`},
+		{"numbers preserved", `{"a":1.50,"b":1e3}`, `{"a":1.50,"b":1e3}`},
+		{"string", `"hi"`, `"hi"`},
+		{"bool", `true`, `true`},
+		{"array", `[ 1 , 2 ]`, `[1,2]`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Canonicalize([]byte(tt.in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != tt.want {
+				t.Fatalf("got %s, want %s", got, tt.want)
+			}
+		})
+	}
+	// Empty → null; non-JSON → quoted string.
+	got, err := Canonicalize(nil)
+	if err != nil || string(got) != "null" {
+		t.Fatalf("empty: %s, %v", got, err)
+	}
+	got, err = Canonicalize([]byte("not json at all"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s string
+	if err := json.Unmarshal(got, &s); err != nil || s != "not json at all" {
+		t.Fatalf("non-json wrapped as %s", got)
+	}
+}
+
+func TestRPCServerClient(t *testing.T) {
+	b := NewBridge()
+	if err := b.Register("sum", func(args json.RawMessage) (json.RawMessage, error) {
+		var xs []int
+		if err := json.Unmarshal(args, &xs); err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, x := range xs {
+			total += x
+		}
+		return json.Marshal(map[string]int{"total": total})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	res, err := cli.Call("sum", json.RawMessage(`[1,2,3]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != `{"total":6}` {
+		t.Fatalf("rpc result %s", res)
+	}
+	// Remote errors propagate.
+	if _, err := cli.Call("ghost", nil); err == nil {
+		t.Fatal("remote error swallowed")
+	}
+	// Multiple sequential calls on one connection.
+	for i := 0; i < 5; i++ {
+		if _, err := cli.Call("sum", json.RawMessage(`[1]`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Close() != nil {
+		t.Fatal("close error")
+	}
+	srv.Close() // idempotent
+}
+
+func TestRPCServerConcurrentClients(t *testing.T) {
+	b := NewBridge()
+	if err := b.Register("ping", func(json.RawMessage) (json.RawMessage, error) {
+		return json.RawMessage(`"pong"`), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cli.Close()
+			for j := 0; j < 10; j++ {
+				if _, err := cli.Call("ping", nil); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+}
+
+func TestMonitorReplayCatchesUpMissedEvents(t *testing.T) {
+	c, commit := testChain(t)
+	// Events commit while NO monitor is attached.
+	commit("missed-1")
+	commit("missed-2")
+
+	// A monitor attaches later and replays from genesis.
+	mon := NewMonitor(c.Node(0), MonitorConfig{})
+	defer mon.Close()
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	mon.On("DatasetRegistered", func(rec chain.EventRecord) error {
+		var ds struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(rec.Event.Data, &ds); err != nil {
+			return err
+		}
+		mu.Lock()
+		seen[ds.ID] = true
+		mu.Unlock()
+		return nil
+	})
+	mon.Replay(c.Node(0), 0)
+	mu.Lock()
+	missed := seen["missed-1"] && seen["missed-2"]
+	mu.Unlock()
+	if !missed {
+		t.Fatalf("replay missed events: %v", seen)
+	}
+	// Live events still flow after the replay.
+	commit("live-3")
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return seen["live-3"]
+	})
+	// Replay from a later height skips older events.
+	mu.Lock()
+	for k := range seen {
+		delete(seen, k)
+	}
+	mu.Unlock()
+	mon.Replay(c.Node(0), c.Node(0).Height())
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 0 {
+		t.Fatalf("replay from head redelivered: %v", seen)
+	}
+}

@@ -1,0 +1,191 @@
+package oracle
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// rpcRequest is one framed call on the wire.
+type rpcRequest struct {
+	// Service names the bridge service.
+	Service string `json:"service"`
+	// Args are the service arguments.
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+// rpcResponse is the framed reply.
+type rpcResponse struct {
+	// Result is the canonicalized service result (null on error).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Err is the error message ("" on success).
+	Err string `json:"err,omitempty"`
+}
+
+const maxRPCFrame = 64 << 20
+
+// Server serves a Bridge over TCP with length-prefixed JSON frames —
+// the concrete "remote procedure call" path of Fig. 3 for cross-machine
+// deployments. In-process callers use Bridge.Call directly.
+type Server struct {
+	bridge *Bridge
+	ln     net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// Serve starts a server on addr ("127.0.0.1:0" for ephemeral).
+func Serve(bridge *Bridge, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: listen: %w", err)
+	}
+	s := &Server{bridge: bridge, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		var req rpcRequest
+		if err := readJSONFrame(r, &req); err != nil {
+			return
+		}
+		var resp rpcResponse
+		res, err := s.bridge.Call(req.Service, req.Args)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Result = res
+		}
+		if err := writeJSONFrame(conn, &resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and its connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a TCP client for a bridge Server. Safe for sequential use;
+// guard with your own mutex for concurrency.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	mu   sync.Mutex
+}
+
+// Dial connects to a bridge server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: dial: %w", err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Call invokes a remote service.
+func (c *Client) Call(service string, args json.RawMessage) (json.RawMessage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeJSONFrame(c.conn, &rpcRequest{Service: service, Args: args}); err != nil {
+		return nil, err
+	}
+	var resp rpcResponse
+	if err := readJSONFrame(c.r, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("oracle: remote: %s", resp.Err)
+	}
+	return resp.Result, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func writeJSONFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("oracle: marshal frame: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+func readJSONFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxRPCFrame {
+		return fmt.Errorf("oracle: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}

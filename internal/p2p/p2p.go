@@ -1,0 +1,345 @@
+// Package p2p provides the message-passing substrate that connects
+// medical blockchain nodes (paper Fig. 2). Two transports implement the
+// same Endpoint interface:
+//
+//   - Network: an in-process simulated network with configurable
+//     latency, jitter, loss, bandwidth, and partitions. It is seeded
+//     and reproducible, and it accounts every byte moved — the E1
+//     (scalability) and E4 (data-movement) experiments are built on
+//     these counters.
+//   - TCPNetwork: a real TCP transport (net package) with the same
+//     message framing, used by integration tests to show the stack
+//     works over actual sockets.
+//
+// Messages are fire-and-forget datagrams with a topic; reliability
+// above loss is the concern of the protocols built on top (consensus
+// retries, oracle retries).
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// NodeID identifies a network participant.
+type NodeID string
+
+// Broadcast is the pseudo-destination meaning "all other nodes".
+const Broadcast NodeID = ""
+
+// Message is one datagram on the wire.
+type Message struct {
+	// From is the sender.
+	From NodeID `json:"from"`
+	// To is the recipient; Broadcast means all nodes except the sender.
+	To NodeID `json:"to"`
+	// Topic routes the message to a protocol handler.
+	Topic string `json:"topic"`
+	// Payload is the opaque protocol body.
+	Payload []byte `json:"payload"`
+}
+
+// size returns the accounted wire size of the message.
+func (m Message) size() int {
+	return len(m.Payload) + len(m.Topic) + len(m.From) + len(m.To) + 16
+}
+
+// Endpoint is one node's attachment to a network.
+type Endpoint interface {
+	// ID returns the node's identity.
+	ID() NodeID
+	// Send delivers a message to one peer.
+	Send(to NodeID, topic string, payload []byte) error
+	// BroadcastMsg delivers a message to every other node.
+	BroadcastMsg(topic string, payload []byte) error
+	// Inbox is the stream of delivered messages. It is closed when the
+	// endpoint closes.
+	Inbox() <-chan Message
+	// Close detaches the endpoint.
+	Close() error
+}
+
+// Errors returned by network operations.
+var (
+	ErrClosed      = errors.New("p2p: network closed")
+	ErrUnknownPeer = errors.New("p2p: unknown peer")
+)
+
+// Config controls the simulated link model.
+type Config struct {
+	// BaseLatency is the one-way delivery delay applied to every
+	// message. Zero means synchronous delivery.
+	BaseLatency time.Duration
+	// Jitter is the maximum extra random delay added per message.
+	Jitter time.Duration
+	// LossRate is the probability in [0,1) that a message is dropped.
+	LossRate float64
+	// BandwidthBps, when > 0, adds size/bandwidth serialization delay.
+	BandwidthBps int64
+	// InboxSize is the per-endpoint buffer; messages beyond it are
+	// dropped and counted. Defaults to 4096.
+	InboxSize int
+	// Seed seeds the loss/jitter RNG for reproducibility.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.InboxSize <= 0 {
+		c.InboxSize = 4096
+	}
+	return c
+}
+
+// Stats are cumulative network counters.
+type Stats struct {
+	// MessagesSent counts send attempts (before loss).
+	MessagesSent int64
+	// MessagesDelivered counts messages placed in an inbox.
+	MessagesDelivered int64
+	// MessagesDropped counts losses (random, partition, or overflow).
+	MessagesDropped int64
+	// BytesSent is the accounted wire bytes of all send attempts,
+	// counting one copy per recipient for broadcasts.
+	BytesSent int64
+	// BytesByTopic breaks BytesSent down per topic.
+	BytesByTopic map[string]int64
+}
+
+// Network is the in-process simulated network.
+type Network struct {
+	mu         sync.Mutex
+	cfg        Config
+	rng        *rand.Rand
+	nodes      map[NodeID]*simEndpoint
+	order      []NodeID // registration order, for deterministic broadcast fan-out
+	partitions map[NodeID]int
+	stats      Stats
+	timers     sync.WaitGroup
+	closed     bool
+}
+
+// NewNetwork creates a simulated network with the given link model.
+func NewNetwork(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		nodes:      make(map[NodeID]*simEndpoint),
+		partitions: make(map[NodeID]int),
+	}
+}
+
+// Join attaches a new endpoint with the given ID. Joining an existing
+// ID returns an error.
+func (n *Network) Join(id NodeID) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.nodes[id]; ok {
+		return nil, fmt.Errorf("p2p: node %q already joined", id)
+	}
+	ep := &simEndpoint{
+		id:    id,
+		net:   n,
+		inbox: make(chan Message, n.cfg.InboxSize),
+	}
+	n.nodes[id] = ep
+	n.order = append(n.order, id)
+	return ep, nil
+}
+
+// SetPartitions assigns nodes to partition groups; messages between
+// different groups are dropped. Nodes absent from the map are in group
+// 0. Passing nil heals all partitions.
+func (n *Network) SetPartitions(groups map[NodeID]int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions = make(map[NodeID]int)
+	for id, g := range groups {
+		n.partitions[id] = g
+	}
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := n.stats
+	out.BytesByTopic = make(map[string]int64, len(n.stats.BytesByTopic))
+	for k, v := range n.stats.BytesByTopic {
+		out.BytesByTopic[k] = v
+	}
+	return out
+}
+
+// ResetStats zeroes the counters (between experiment phases).
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}
+
+// NumNodes returns the number of attached endpoints.
+func (n *Network) NumNodes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.nodes)
+}
+
+// Close shuts the network down, waits for in-flight deliveries, and
+// closes all inboxes.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := make([]*simEndpoint, 0, len(n.nodes))
+	for _, ep := range n.nodes {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+
+	n.timers.Wait()
+	for _, ep := range eps {
+		ep.closeInbox()
+	}
+	return nil
+}
+
+// send routes one message. Called with n.mu NOT held.
+func (n *Network) send(msg Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	var targets []*simEndpoint
+	if msg.To == Broadcast {
+		for _, id := range n.order {
+			if id == msg.From {
+				continue
+			}
+			targets = append(targets, n.nodes[id])
+		}
+	} else {
+		ep, ok := n.nodes[msg.To]
+		if !ok {
+			n.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrUnknownPeer, msg.To)
+		}
+		targets = append(targets, ep)
+	}
+
+	size := int64(msg.size())
+	fromGroup := n.partitions[msg.From]
+	type delivery struct {
+		ep    *simEndpoint
+		delay time.Duration
+	}
+	var deliveries []delivery
+	for _, ep := range targets {
+		n.stats.MessagesSent++
+		n.stats.BytesSent += size
+		if n.stats.BytesByTopic == nil {
+			n.stats.BytesByTopic = make(map[string]int64)
+		}
+		n.stats.BytesByTopic[msg.Topic] += size
+		if n.partitions[ep.id] != fromGroup {
+			n.stats.MessagesDropped++
+			continue
+		}
+		if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+			n.stats.MessagesDropped++
+			continue
+		}
+		delay := n.cfg.BaseLatency
+		if n.cfg.Jitter > 0 {
+			delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+		}
+		if n.cfg.BandwidthBps > 0 {
+			delay += time.Duration(size * int64(time.Second) / n.cfg.BandwidthBps)
+		}
+		deliveries = append(deliveries, delivery{ep: ep, delay: delay})
+	}
+	n.mu.Unlock()
+
+	for _, d := range deliveries {
+		if d.delay <= 0 {
+			n.deliver(d.ep, msg)
+			continue
+		}
+		ep := d.ep
+		n.timers.Add(1)
+		time.AfterFunc(d.delay, func() {
+			defer n.timers.Done()
+			n.deliver(ep, msg)
+		})
+	}
+	return nil
+}
+
+func (n *Network) deliver(ep *simEndpoint, msg Message) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return
+	}
+	select {
+	case ep.inbox <- msg:
+		n.mu.Lock()
+		n.stats.MessagesDelivered++
+		n.mu.Unlock()
+	default:
+		n.mu.Lock()
+		n.stats.MessagesDropped++
+		n.mu.Unlock()
+	}
+}
+
+// simEndpoint is an attachment to a simulated Network.
+type simEndpoint struct {
+	id     NodeID
+	net    *Network
+	mu     sync.Mutex
+	inbox  chan Message
+	closed bool
+}
+
+var _ Endpoint = (*simEndpoint)(nil)
+
+func (e *simEndpoint) ID() NodeID { return e.id }
+
+func (e *simEndpoint) Send(to NodeID, topic string, payload []byte) error {
+	if to == Broadcast {
+		return errors.New("p2p: Send requires a concrete peer; use BroadcastMsg")
+	}
+	return e.net.send(Message{From: e.id, To: to, Topic: topic, Payload: payload})
+}
+
+func (e *simEndpoint) BroadcastMsg(topic string, payload []byte) error {
+	return e.net.send(Message{From: e.id, To: Broadcast, Topic: topic, Payload: payload})
+}
+
+func (e *simEndpoint) Inbox() <-chan Message { return e.inbox }
+
+func (e *simEndpoint) Close() error {
+	e.closeInbox()
+	return nil
+}
+
+func (e *simEndpoint) closeInbox() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.inbox)
+}

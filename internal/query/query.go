@@ -1,0 +1,319 @@
+// Package query implements the query service of paper Fig. 5: it turns
+// a user request into a *query vector* ("various parameters expressing
+// the users' query interest"), maps the vector onto the smart-contract
+// layer (which analytics tool, with which params), decomposes it into
+// per-site sub-requests against the on-chain dataset registry, and
+// composes the per-site results into the global answer.
+//
+// The natural-language front end is deliberately small — the paper
+// itself lists NLP→vector conversion as open research — but it covers
+// the query shapes the paper motivates: cohort counts, lab summaries,
+// survival analysis, federated risk models, and record retrieval.
+package query
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"medchain/internal/analytics"
+	"medchain/internal/emr"
+)
+
+// Intent is what the user wants done.
+type Intent string
+
+// Intents.
+const (
+	IntentCount    Intent = "count"    // cohort prevalence
+	IntentSummary  Intent = "summary"  // lab summary
+	IntentSurvival Intent = "survival" // Kaplan–Meier
+	IntentRisk     Intent = "risk"     // federated risk model
+	IntentFetch    Intent = "fetch"    // retrieve records (HIE path)
+)
+
+// Errors.
+var (
+	ErrUnparseable = errors.New("query: cannot determine intent")
+	ErrIncomplete  = errors.New("query: vector is missing required fields")
+)
+
+// Vector is the paper's query vector.
+type Vector struct {
+	// Intent selects the operation.
+	Intent Intent `json:"intent"`
+	// Condition is the outcome/condition label ("diabetes").
+	Condition string `json:"condition,omitempty"`
+	// LabCode selects the analyte for summaries.
+	LabCode string `json:"lab_code,omitempty"`
+	// MinAge/MaxAge bound the cohort (0 = unbounded).
+	MinAge int `json:"min_age,omitempty"`
+	MaxAge int `json:"max_age,omitempty"`
+	// Sex restricts the cohort ("F"/"M"/"").
+	Sex string `json:"sex,omitempty"`
+	// Purpose is carried into access-policy checks.
+	Purpose string `json:"purpose,omitempty"`
+	// Epochs/Seed tune risk-model training.
+	Epochs int   `json:"epochs,omitempty"`
+	Seed   int64 `json:"seed,omitempty"`
+}
+
+var (
+	agedRange = regexp.MustCompile(`aged?\s+(\d+)\s*(?:-|to)\s*(\d+)`)
+	agedOver  = regexp.MustCompile(`(?:over|above|older than)\s+(\d+)`)
+	agedUnder = regexp.MustCompile(`(?:under|below|younger than)\s+(\d+)`)
+)
+
+var labVocabulary = map[string]string{
+	"glucose":        emr.LabGlucose,
+	"blood sugar":    emr.LabGlucose,
+	"bmi":            emr.LabBMI,
+	"body mass":      emr.LabBMI,
+	"blood pressure": emr.LabSysBP,
+	"systolic":       emr.LabSysBP,
+	"a1c":            emr.LabHbA1c,
+	"hba1c":          emr.LabHbA1c,
+	"ldl":            emr.LabLDL,
+	"cholesterol":    emr.LabLDL,
+}
+
+var conditionVocabulary = []string{emr.CondDiabetes, emr.CondStroke}
+
+// Parse compiles a natural-language query into a query vector. It is a
+// keyword grammar, not a language model: deterministic and auditable.
+//
+// Examples it accepts:
+//
+//	"count patients with diabetes aged 50-70"
+//	"average glucose for women with stroke"
+//	"survival of patients with stroke over 65"
+//	"train a risk model for diabetes"
+//	"fetch records of men with diabetes"
+func Parse(q string) (*Vector, error) {
+	s := strings.ToLower(strings.TrimSpace(q))
+	if s == "" {
+		return nil, ErrUnparseable
+	}
+	v := &Vector{}
+
+	switch {
+	case containsAny(s, "how many", "count", "prevalence"):
+		v.Intent = IntentCount
+	case containsAny(s, "average", "mean", "summarize", "summary", "distribution"):
+		v.Intent = IntentSummary
+	case containsAny(s, "survival", "kaplan", "time to event"):
+		v.Intent = IntentSurvival
+	case containsAny(s, "risk model", "train", "predict", "classifier"):
+		v.Intent = IntentRisk
+	case containsAny(s, "fetch", "retrieve", "export", "download"):
+		v.Intent = IntentFetch
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnparseable, q)
+	}
+
+	for _, cond := range conditionVocabulary {
+		if strings.Contains(s, cond) {
+			v.Condition = cond
+			break
+		}
+	}
+	for phrase, code := range labVocabulary {
+		if strings.Contains(s, phrase) {
+			v.LabCode = code
+			break
+		}
+	}
+	if m := agedRange.FindStringSubmatch(s); m != nil {
+		v.MinAge = mustAtoi(m[1])
+		v.MaxAge = mustAtoi(m[2])
+	} else {
+		if m := agedOver.FindStringSubmatch(s); m != nil {
+			v.MinAge = mustAtoi(m[1])
+		}
+		if m := agedUnder.FindStringSubmatch(s); m != nil {
+			v.MaxAge = mustAtoi(m[1])
+		}
+	}
+	switch {
+	case containsAny(s, "women", "female"):
+		v.Sex = emr.SexFemale
+	case containsAny(s, "men", "male"):
+		v.Sex = emr.SexMale
+	}
+	return v, v.ValidateForIntent()
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func mustAtoi(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// ValidateForIntent checks that the vector carries what its intent
+// requires.
+func (v *Vector) ValidateForIntent() error {
+	switch v.Intent {
+	case IntentCount:
+		if v.Condition == "" {
+			return fmt.Errorf("%w: count needs a condition", ErrIncomplete)
+		}
+	case IntentSummary:
+		if v.LabCode == "" {
+			return fmt.Errorf("%w: summary needs a lab", ErrIncomplete)
+		}
+	case IntentRisk:
+		if v.Condition == "" {
+			return fmt.Errorf("%w: risk model needs a condition", ErrIncomplete)
+		}
+	case IntentSurvival, IntentFetch:
+		// No required fields.
+	default:
+		return fmt.Errorf("%w: unknown intent %q", ErrUnparseable, v.Intent)
+	}
+	return nil
+}
+
+// cohort converts the demographic slice of the vector.
+func (v *Vector) cohort() analytics.CohortParams {
+	return analytics.CohortParams{
+		Condition: v.Condition,
+		MinAge:    v.MinAge,
+		MaxAge:    v.MaxAge,
+		Sex:       v.Sex,
+	}
+}
+
+// Compile maps the vector onto the analytics layer: the tool ID and its
+// params — "map the query vector into smart contracts". IntentFetch
+// compiles to no tool (it is a data-contract access, not an analytics
+// run).
+func (v *Vector) Compile() (toolID string, params json.RawMessage, err error) {
+	if err := v.ValidateForIntent(); err != nil {
+		return "", nil, err
+	}
+	switch v.Intent {
+	case IntentCount:
+		p, err := json.Marshal(v.cohort())
+		return "cohort.count", p, err
+	case IntentSummary:
+		p, err := json.Marshal(analytics.LabSummaryParams{Code: v.LabCode, Cohort: v.cohort()})
+		return "lab.summary", p, err
+	case IntentSurvival:
+		p, err := json.Marshal(analytics.SurvivalParams{Cohort: v.cohort()})
+		return "survival.km", p, err
+	case IntentRisk:
+		epochs := v.Epochs
+		if epochs <= 0 {
+			epochs = 30
+		}
+		p, err := json.Marshal(analytics.RiskModelParams{
+			Condition: v.Condition, Epochs: epochs, Seed: v.Seed,
+		})
+		return "risk.logistic", p, err
+	case IntentFetch:
+		return "", nil, nil
+	}
+	return "", nil, fmt.Errorf("%w: %q", ErrUnparseable, v.Intent)
+}
+
+// DatasetRef is the slice of the on-chain registry the planner needs.
+type DatasetRef struct {
+	// ID is the registered dataset ID.
+	ID string `json:"id"`
+	// SiteID hosts the dataset.
+	SiteID string `json:"site_id"`
+	// Records sizes the dataset (for the plan's cost estimate).
+	Records int `json:"records"`
+}
+
+// SubRequest is one per-site unit of a decomposed query.
+type SubRequest struct {
+	// Dataset is the target dataset ID.
+	Dataset string `json:"dataset"`
+	// SiteID is the hosting site.
+	SiteID string `json:"site_id"`
+	// Tool and Params are the compiled analytics invocation ("" tool
+	// for fetch requests).
+	Tool   string          `json:"tool,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// Plan is a decomposed query: one sub-request per participating
+// dataset, plus composition metadata.
+type Plan struct {
+	// Vector is the compiled query.
+	Vector *Vector `json:"vector"`
+	// Tool is the compiled tool ("" for fetch).
+	Tool string `json:"tool,omitempty"`
+	// Subs are the per-site sub-requests.
+	Subs []SubRequest `json:"subs"`
+	// TotalRecords is the reachable record count.
+	TotalRecords int `json:"total_records"`
+}
+
+// Decompose plans the vector across the registered datasets — the
+// "decompose the data query and analytics request into local systems"
+// step of Fig. 5. Every registered dataset participates; access control
+// is enforced later, on-chain, per sub-request.
+func Decompose(v *Vector, datasets []DatasetRef) (*Plan, error) {
+	if len(datasets) == 0 {
+		return nil, errors.New("query: no datasets registered")
+	}
+	tool, params, err := v.Compile()
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Vector: v, Tool: tool}
+	for _, ds := range datasets {
+		plan.Subs = append(plan.Subs, SubRequest{
+			Dataset: ds.ID, SiteID: ds.SiteID, Tool: tool, Params: params,
+		})
+		plan.TotalRecords += ds.Records
+	}
+	return plan, nil
+}
+
+// Compose merges per-site results using the tool's composer — the
+// "compose the local models and results into completed model and
+// result" step. Results must be in sub-request order; nil entries
+// (denied or failed sites) are skipped and counted.
+func Compose(reg *analytics.Registry, plan *Plan, results []json.RawMessage) (json.RawMessage, int, error) {
+	if plan.Tool == "" {
+		return nil, 0, errors.New("query: fetch plans are composed by the HIE layer, not the analytics composer")
+	}
+	tool, ok := reg.Get(plan.Tool)
+	if !ok {
+		return nil, 0, fmt.Errorf("query: unknown tool %q", plan.Tool)
+	}
+	var present []json.RawMessage
+	skipped := 0
+	for _, r := range results {
+		if len(r) == 0 {
+			skipped++
+			continue
+		}
+		present = append(present, r)
+	}
+	if len(present) == 0 {
+		return nil, skipped, errors.New("query: no site results to compose")
+	}
+	out, err := tool.Compose(present)
+	if err != nil {
+		return nil, skipped, err
+	}
+	return out, skipped, nil
+}

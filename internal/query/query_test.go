@@ -1,0 +1,311 @@
+package query
+
+import (
+	"encoding/json"
+	"testing"
+
+	"medchain/internal/analytics"
+	"medchain/internal/emr"
+)
+
+func TestParseIntents(t *testing.T) {
+	tests := []struct {
+		q    string
+		want Intent
+	}{
+		{"count patients with diabetes", IntentCount},
+		{"how many patients with stroke", IntentCount},
+		{"prevalence of diabetes", IntentCount},
+		{"average glucose for patients with diabetes", IntentSummary},
+		{"summarize bmi", IntentSummary},
+		{"mean blood pressure", IntentSummary},
+		{"survival of patients with stroke", IntentSurvival},
+		{"kaplan meier for diabetes", IntentSurvival},
+		{"train a risk model for diabetes", IntentRisk},
+		{"predict stroke", IntentRisk},
+		{"fetch records of patients with diabetes", IntentFetch},
+		{"retrieve data", IntentFetch},
+	}
+	for _, tt := range tests {
+		t.Run(tt.q, func(t *testing.T) {
+			v, err := Parse(tt.q)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.q, err)
+			}
+			if v.Intent != tt.want {
+				t.Fatalf("intent %q, want %q", v.Intent, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseExtractsFields(t *testing.T) {
+	v, err := Parse("count women with diabetes aged 50-70")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Condition != emr.CondDiabetes || v.Sex != emr.SexFemale || v.MinAge != 50 || v.MaxAge != 70 {
+		t.Fatalf("vector %+v", v)
+	}
+
+	v, err = Parse("survival of men with stroke over 65")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Condition != emr.CondStroke || v.Sex != emr.SexMale || v.MinAge != 65 || v.MaxAge != 0 {
+		t.Fatalf("vector %+v", v)
+	}
+
+	v, err = Parse("average a1c for patients with diabetes under 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.LabCode != emr.LabHbA1c || v.MaxAge != 40 {
+		t.Fatalf("vector %+v", v)
+	}
+
+	v, err = Parse("mean cholesterol aged 30 to 60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.LabCode != emr.LabLDL || v.MinAge != 30 || v.MaxAge != 60 {
+		t.Fatalf("vector %+v", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, q := range []string{
+		"",
+		"do something nice",
+		"count patients",       // count without condition
+		"average for patients", // summary without lab
+		"train a model",        // risk without condition
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Fatalf("Parse(%q) succeeded", q)
+		}
+	}
+}
+
+func TestValidateForIntent(t *testing.T) {
+	if err := (&Vector{Intent: IntentSurvival}).ValidateForIntent(); err != nil {
+		t.Fatalf("survival with no fields: %v", err)
+	}
+	if err := (&Vector{Intent: IntentFetch}).ValidateForIntent(); err != nil {
+		t.Fatalf("fetch with no fields: %v", err)
+	}
+	if err := (&Vector{Intent: "teleport"}).ValidateForIntent(); err == nil {
+		t.Fatal("unknown intent accepted")
+	}
+}
+
+func TestCompile(t *testing.T) {
+	tests := []struct {
+		name     string
+		v        Vector
+		wantTool string
+	}{
+		{"count", Vector{Intent: IntentCount, Condition: emr.CondDiabetes}, "cohort.count"},
+		{"summary", Vector{Intent: IntentSummary, LabCode: emr.LabGlucose}, "lab.summary"},
+		{"survival", Vector{Intent: IntentSurvival}, "survival.km"},
+		{"risk", Vector{Intent: IntentRisk, Condition: emr.CondStroke}, "risk.logistic"},
+	}
+	reg := analytics.NewRegistry()
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tool, params, err := tt.v.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tool != tt.wantTool {
+				t.Fatalf("tool %q, want %q", tool, tt.wantTool)
+			}
+			if _, ok := reg.Get(tool); !ok {
+				t.Fatalf("compiled tool %q not registered", tool)
+			}
+			if len(params) == 0 {
+				t.Fatal("no params")
+			}
+		})
+	}
+	// Fetch compiles to no tool.
+	tool, params, err := (&Vector{Intent: IntentFetch}).Compile()
+	if err != nil || tool != "" || params != nil {
+		t.Fatalf("fetch compile: %q %s %v", tool, params, err)
+	}
+	// Invalid vector refuses to compile.
+	if _, _, err := (&Vector{Intent: IntentCount}).Compile(); err == nil {
+		t.Fatal("incomplete vector compiled")
+	}
+}
+
+func TestCompileRiskDefaults(t *testing.T) {
+	_, params, err := (&Vector{Intent: IntentRisk, Condition: emr.CondDiabetes}).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p analytics.RiskModelParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Epochs != 30 {
+		t.Fatalf("default epochs %d", p.Epochs)
+	}
+}
+
+func testDatasets() []DatasetRef {
+	return []DatasetRef{
+		{ID: "hospA/emr", SiteID: "site-A", Records: 120},
+		{ID: "hospB/emr", SiteID: "site-B", Records: 250},
+		{ID: "clinicC/emr", SiteID: "site-C", Records: 60},
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	v, err := Parse("count patients with diabetes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Decompose(v, testDatasets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Subs) != 3 {
+		t.Fatalf("%d subs", len(plan.Subs))
+	}
+	if plan.TotalRecords != 430 {
+		t.Fatalf("total records %d", plan.TotalRecords)
+	}
+	for i, sub := range plan.Subs {
+		if sub.Tool != "cohort.count" || sub.SiteID == "" || sub.Dataset == "" {
+			t.Fatalf("sub %d: %+v", i, sub)
+		}
+	}
+	if _, err := Decompose(v, nil); err == nil {
+		t.Fatal("no datasets accepted")
+	}
+	if _, err := Decompose(&Vector{Intent: IntentCount}, testDatasets()); err == nil {
+		t.Fatal("invalid vector decomposed")
+	}
+}
+
+func TestComposeEndToEnd(t *testing.T) {
+	// Generate three "sites" and run the decomposed count on each,
+	// then compose and compare with the union.
+	reg := analytics.NewRegistry()
+	v, err := Parse("count patients with diabetes aged 40-90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Decompose(v, testDatasets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool, _ := reg.Get(plan.Tool)
+	var results []json.RawMessage
+	var union []*emr.Record
+	for i := range plan.Subs {
+		recs := emr.NewGenerator(emr.GenConfig{Seed: int64(i + 1), Patients: 50, StartID: i * 1000}).Generate()
+		union = append(union, recs...)
+		res, err := tool.Run(recs, plan.Subs[i].Params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	composed, skipped, err := Compose(reg, plan, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped %d", skipped)
+	}
+	whole, err := tool.Run(union, plan.Subs[0].Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b analytics.CohortCountResult
+	if err := json.Unmarshal(composed, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(whole, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("composed %+v != whole %+v", a, b)
+	}
+}
+
+func TestComposeSkipsFailedSites(t *testing.T) {
+	reg := analytics.NewRegistry()
+	v := &Vector{Intent: IntentCount, Condition: emr.CondDiabetes}
+	plan, err := Decompose(v, testDatasets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool, _ := reg.Get(plan.Tool)
+	recs := emr.NewGenerator(emr.GenConfig{Seed: 1, Patients: 30}).Generate()
+	res, err := tool.Run(recs, plan.Subs[0].Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed, skipped, err := Compose(reg, plan, []json.RawMessage{res, nil, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped %d, want 2", skipped)
+	}
+	var c analytics.CohortCountResult
+	if err := json.Unmarshal(composed, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total != 30 {
+		t.Fatalf("composed total %d", c.Total)
+	}
+}
+
+func TestComposeErrors(t *testing.T) {
+	reg := analytics.NewRegistry()
+	if _, _, err := Compose(reg, &Plan{Tool: ""}, nil); err == nil {
+		t.Fatal("fetch plan composed")
+	}
+	if _, _, err := Compose(reg, &Plan{Tool: "ghost"}, nil); err == nil {
+		t.Fatal("unknown tool composed")
+	}
+	if _, _, err := Compose(reg, &Plan{Tool: "cohort.count"}, []json.RawMessage{nil}); err == nil {
+		t.Fatal("all-failed results composed")
+	}
+}
+
+func TestParseDeterministic(t *testing.T) {
+	q := "count women with diabetes aged 50-70"
+	a, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ab) != string(bb) {
+		t.Fatal("parse not deterministic")
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("count women with diabetes aged 50-70"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

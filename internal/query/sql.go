@@ -1,0 +1,621 @@
+package query
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"medchain/internal/emr"
+)
+
+// This file implements the "virtualized SQL" front end the paper's
+// §III.A cites from the authors' prior work (ICDCS 2017): a schema is
+// projected over the distributed records and a SQL-like SELECT runs
+// against the virtual table, federated across sites. Each site
+// evaluates the query over its own records and returns either matching
+// rows (projection queries) or partial aggregates (aggregate queries);
+// the composer merges them exactly.
+//
+// Grammar (case-insensitive keywords):
+//
+//	SELECT col[, col...] FROM records [WHERE cond [AND cond...]] [LIMIT n]
+//	SELECT agg[, agg...] FROM records [WHERE ...]
+//
+//	agg  := COUNT(*) | AVG(col) | SUM(col) | MIN(col) | MAX(col)
+//	cond := col op literal      op := = != < <= > >=
+//
+// The virtual schema flattens one row per patient.
+
+// SQL column names of the virtual "records" table.
+var sqlColumns = []string{
+	"patient_id", "age", "sex", "ethnicity",
+	"has_diabetes", "has_stroke",
+	"glucose", "bmi", "sbp", "ldl", "a1c",
+	"steps", "hr", "sleep_hours",
+	"encounters",
+}
+
+// ErrSQL wraps all SQL front-end errors.
+var ErrSQL = errors.New("query: sql")
+
+func sqlErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSQL, fmt.Sprintf(format, args...))
+}
+
+// sqlValue is a dynamically-typed cell: float64 or string.
+type sqlValue struct {
+	s     string
+	f     float64
+	isStr bool
+}
+
+func numVal(f float64) sqlValue { return sqlValue{f: f} }
+func strVal(s string) sqlValue  { return sqlValue{s: s, isStr: true} }
+func (v sqlValue) String() string {
+	if v.isStr {
+		return v.s
+	}
+	return strconv.FormatFloat(v.f, 'g', -1, 64)
+}
+
+// MarshalJSON renders numbers as numbers, strings as strings.
+func (v sqlValue) MarshalJSON() ([]byte, error) {
+	if v.isStr {
+		return json.Marshal(v.s)
+	}
+	return json.Marshal(v.f)
+}
+
+// rowOf projects a record onto the virtual schema.
+func rowOf(r *emr.Record) map[string]sqlValue {
+	row := map[string]sqlValue{
+		"patient_id":   strVal(r.Patient.ID),
+		"age":          numVal(float64(r.Patient.Age(emr.ReferenceYear))),
+		"sex":          strVal(r.Patient.Sex),
+		"ethnicity":    strVal(r.Patient.Ethnicity),
+		"has_diabetes": numVal(b2f(r.HasCondition(emr.CondDiabetes))),
+		"has_stroke":   numVal(b2f(r.HasCondition(emr.CondStroke))),
+		"encounters":   numVal(float64(len(r.Encounters))),
+	}
+	labs := map[string]string{
+		"glucose": emr.LabGlucose, "bmi": emr.LabBMI, "sbp": emr.LabSysBP,
+		"ldl": emr.LabLDL, "a1c": emr.LabHbA1c,
+	}
+	for col, code := range labs {
+		if v, ok := r.MeanLab(code); ok {
+			row[col] = numVal(v)
+		} else {
+			row[col] = numVal(math.NaN())
+		}
+	}
+	vitals := map[string]string{
+		"steps": emr.VitalSteps, "hr": emr.VitalHR, "sleep_hours": emr.VitalSleep,
+	}
+	for col, kind := range vitals {
+		if v, ok := r.MeanVital(kind); ok {
+			row[col] = numVal(v)
+		} else {
+			row[col] = numVal(math.NaN())
+		}
+	}
+	return row
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// aggKind is an aggregate function.
+type aggKind string
+
+const (
+	aggCount aggKind = "COUNT"
+	aggAvg   aggKind = "AVG"
+	aggSum   aggKind = "SUM"
+	aggMin   aggKind = "MIN"
+	aggMax   aggKind = "MAX"
+)
+
+// selectItem is one projection column or aggregate.
+type selectItem struct {
+	// Col is the column name ("*" only for COUNT).
+	Col string `json:"col"`
+	// Agg is empty for plain projection.
+	Agg aggKind `json:"agg,omitempty"`
+}
+
+func (s selectItem) label() string {
+	if s.Agg == "" {
+		return s.Col
+	}
+	return strings.ToLower(string(s.Agg)) + "(" + s.Col + ")"
+}
+
+// condition is one WHERE conjunct.
+type condition struct {
+	Col string `json:"col"`
+	Op  string `json:"op"`
+	// Lit is the literal; IsStr marks quoted literals.
+	Lit   string `json:"lit"`
+	IsStr bool   `json:"is_str"`
+	f     float64
+}
+
+// SQLQuery is a parsed SELECT statement.
+type SQLQuery struct {
+	// Items are the select-list entries.
+	Items []selectItem `json:"items"`
+	// Where are ANDed conjuncts.
+	Where []condition `json:"where,omitempty"`
+	// Limit caps projection rows (0 = unlimited).
+	Limit int `json:"limit,omitempty"`
+}
+
+// IsAggregate reports whether the query returns a single aggregate row.
+func (q *SQLQuery) IsAggregate() bool {
+	return len(q.Items) > 0 && q.Items[0].Agg != ""
+}
+
+// ParseSQL parses a SELECT statement against the virtual schema.
+func ParseSQL(src string) (*SQLQuery, error) {
+	toks, err := sqlTokens(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	q, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// sqlTokens splits into words, punctuation, and quoted strings.
+func sqlTokens(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, sqlErrf("unterminated string literal")
+			}
+			toks = append(toks, src[i:j+1])
+			i = j + 1
+		case c == ',' || c == '(' || c == ')' || c == '*':
+			toks = append(toks, string(c))
+			i++
+		case c == '=':
+			toks = append(toks, "=")
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, "!=")
+				i += 2
+			} else {
+				return nil, sqlErrf("unexpected '!'")
+			}
+		case c == '<' || c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, string(c)+"=")
+				i += 2
+			} else {
+				toks = append(toks, string(c))
+				i++
+			}
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\n\r,()*=!<>'", rune(src[j])) {
+				j++
+			}
+			if j == i {
+				return nil, sqlErrf("unexpected character %q", c)
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+type sqlParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *sqlParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *sqlParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *sqlParser) expectKeyword(kw string) error {
+	if !strings.EqualFold(p.peek(), kw) {
+		return sqlErrf("expected %s, got %q", kw, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func validColumn(col string) bool {
+	for _, c := range sqlColumns {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *sqlParser) parse() (*SQLQuery, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &SQLQuery{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, item)
+		if p.peek() != "," {
+			break
+		}
+		p.next()
+	}
+	// All items must agree on aggregate-ness.
+	for _, it := range q.Items[1:] {
+		if (it.Agg == "") != (q.Items[0].Agg == "") {
+			return nil, sqlErrf("cannot mix aggregates and plain columns")
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table := strings.ToLower(p.next())
+	if table != "records" {
+		return nil, sqlErrf("unknown table %q (only 'records')", table)
+	}
+	if strings.EqualFold(p.peek(), "WHERE") {
+		p.next()
+		for {
+			cond, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, cond)
+			if !strings.EqualFold(p.peek(), "AND") {
+				break
+			}
+			p.next()
+		}
+	}
+	if strings.EqualFold(p.peek(), "LIMIT") {
+		p.next()
+		n, err := strconv.Atoi(p.next())
+		if err != nil || n < 0 {
+			return nil, sqlErrf("bad LIMIT")
+		}
+		q.Limit = n
+	}
+	if p.pos != len(p.toks) {
+		return nil, sqlErrf("trailing tokens at %q", p.peek())
+	}
+	return q, nil
+}
+
+func (p *sqlParser) parseSelectItem() (selectItem, error) {
+	tok := p.next()
+	upper := strings.ToUpper(tok)
+	switch aggKind(upper) {
+	case aggCount, aggAvg, aggSum, aggMin, aggMax:
+		if p.peek() != "(" {
+			// Not a call: treat as a plain (invalid) column below.
+			break
+		}
+		p.next()
+		col := strings.ToLower(p.next())
+		if upper == string(aggCount) {
+			if col != "*" && !validColumn(col) {
+				return selectItem{}, sqlErrf("COUNT argument %q", col)
+			}
+			col = "*"
+		} else if !validColumn(col) || !numericColumn(col) {
+			return selectItem{}, sqlErrf("%s needs a numeric column, got %q", upper, col)
+		}
+		if p.next() != ")" {
+			return selectItem{}, sqlErrf("missing ')' after %s", upper)
+		}
+		return selectItem{Col: col, Agg: aggKind(upper)}, nil
+	}
+	col := strings.ToLower(tok)
+	if !validColumn(col) {
+		return selectItem{}, sqlErrf("unknown column %q", col)
+	}
+	return selectItem{Col: col}, nil
+}
+
+func numericColumn(col string) bool {
+	switch col {
+	case "patient_id", "sex", "ethnicity":
+		return false
+	}
+	return true
+}
+
+func (p *sqlParser) parseCondition() (condition, error) {
+	col := strings.ToLower(p.next())
+	if !validColumn(col) {
+		return condition{}, sqlErrf("unknown column %q in WHERE", col)
+	}
+	op := p.next()
+	switch op {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return condition{}, sqlErrf("unknown operator %q", op)
+	}
+	lit := p.next()
+	if lit == "" {
+		return condition{}, sqlErrf("missing literal after %s %s", col, op)
+	}
+	cond := condition{Col: col, Op: op}
+	if strings.HasPrefix(lit, "'") {
+		cond.Lit = strings.Trim(lit, "'")
+		cond.IsStr = true
+		if numericColumn(col) {
+			return condition{}, sqlErrf("string literal for numeric column %q", col)
+		}
+		if op != "=" && op != "!=" {
+			return condition{}, sqlErrf("operator %s not valid for strings", op)
+		}
+	} else {
+		f, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			return condition{}, sqlErrf("bad numeric literal %q", lit)
+		}
+		cond.Lit = lit
+		cond.f = f
+		if !numericColumn(col) {
+			return condition{}, sqlErrf("numeric literal for string column %q", col)
+		}
+	}
+	return cond, nil
+}
+
+func (c *condition) matches(row map[string]sqlValue) bool {
+	v, ok := row[c.Col]
+	if !ok {
+		return false
+	}
+	if c.IsStr {
+		switch c.Op {
+		case "=":
+			return v.s == c.Lit
+		case "!=":
+			return v.s != c.Lit
+		}
+		return false
+	}
+	if math.IsNaN(v.f) {
+		return false // missing numeric values never match
+	}
+	switch c.Op {
+	case "=":
+		return v.f == c.f
+	case "!=":
+		return v.f != c.f
+	case "<":
+		return v.f < c.f
+	case "<=":
+		return v.f <= c.f
+	case ">":
+		return v.f > c.f
+	case ">=":
+		return v.f >= c.f
+	}
+	return false
+}
+
+// SQLPartial is one site's result: rows for projections, moment
+// partials for aggregates. Partials compose exactly.
+type SQLPartial struct {
+	// Rows carry projection results (label -> value per row).
+	Rows []map[string]sqlValue `json:"rows,omitempty"`
+	// Aggs carry per-item partial states, aligned with query items.
+	Aggs []aggPartial `json:"aggs,omitempty"`
+}
+
+// aggPartial is a composable partial aggregate.
+type aggPartial struct {
+	Count int     `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	// Seen marks that at least one non-missing value contributed.
+	Seen bool `json:"seen"`
+}
+
+// ExecuteSQL evaluates the query over one site's records.
+func ExecuteSQL(q *SQLQuery, records []*emr.Record) (*SQLPartial, error) {
+	if q == nil || len(q.Items) == 0 {
+		return nil, sqlErrf("empty query")
+	}
+	out := &SQLPartial{}
+	if q.IsAggregate() {
+		out.Aggs = make([]aggPartial, len(q.Items))
+	}
+	for _, rec := range records {
+		row := rowOf(rec)
+		matched := true
+		for i := range q.Where {
+			if !q.Where[i].matches(row) {
+				matched = false
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		if q.IsAggregate() {
+			for i, item := range q.Items {
+				p := &out.Aggs[i]
+				if item.Agg == aggCount {
+					p.Count++
+					p.Seen = true
+					continue
+				}
+				v := row[item.Col]
+				if v.isStr || math.IsNaN(v.f) {
+					continue
+				}
+				if !p.Seen {
+					p.Min, p.Max = v.f, v.f
+				} else {
+					if v.f < p.Min {
+						p.Min = v.f
+					}
+					if v.f > p.Max {
+						p.Max = v.f
+					}
+				}
+				p.Count++
+				p.Sum += v.f
+				p.Seen = true
+			}
+			continue
+		}
+		projected := make(map[string]sqlValue, len(q.Items))
+		for _, item := range q.Items {
+			projected[item.Col] = row[item.Col]
+		}
+		out.Rows = append(out.Rows, projected)
+		if q.Limit > 0 && len(out.Rows) >= q.Limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// SQLResult is the composed global answer.
+type SQLResult struct {
+	// Columns are the output labels in select-list order.
+	Columns []string `json:"columns"`
+	// Rows are the result rows (one for aggregates).
+	Rows [][]sqlValue `json:"rows"`
+}
+
+// ComposeSQL merges per-site partials into the global result.
+func ComposeSQL(q *SQLQuery, parts []*SQLPartial) (*SQLResult, error) {
+	if q == nil || len(q.Items) == 0 {
+		return nil, sqlErrf("empty query")
+	}
+	res := &SQLResult{}
+	for _, item := range q.Items {
+		res.Columns = append(res.Columns, item.label())
+	}
+	if q.IsAggregate() {
+		merged := make([]aggPartial, len(q.Items))
+		for _, part := range parts {
+			if part == nil {
+				continue
+			}
+			if len(part.Aggs) != len(q.Items) {
+				return nil, sqlErrf("partial with %d aggregates, want %d", len(part.Aggs), len(q.Items))
+			}
+			for i, p := range part.Aggs {
+				m := &merged[i]
+				if !p.Seen {
+					continue
+				}
+				if !m.Seen {
+					m.Min, m.Max = p.Min, p.Max
+				} else {
+					if p.Min < m.Min {
+						m.Min = p.Min
+					}
+					if p.Max > m.Max {
+						m.Max = p.Max
+					}
+				}
+				m.Count += p.Count
+				m.Sum += p.Sum
+				m.Seen = true
+			}
+		}
+		row := make([]sqlValue, len(q.Items))
+		for i, item := range q.Items {
+			m := merged[i]
+			switch item.Agg {
+			case aggCount:
+				row[i] = numVal(float64(m.Count))
+			case aggSum:
+				row[i] = numVal(m.Sum)
+			case aggAvg:
+				if m.Count == 0 {
+					row[i] = numVal(math.NaN())
+				} else {
+					row[i] = numVal(m.Sum / float64(m.Count))
+				}
+			case aggMin:
+				if !m.Seen {
+					row[i] = numVal(math.NaN())
+				} else {
+					row[i] = numVal(m.Min)
+				}
+			case aggMax:
+				if !m.Seen {
+					row[i] = numVal(math.NaN())
+				} else {
+					row[i] = numVal(m.Max)
+				}
+			}
+		}
+		res.Rows = [][]sqlValue{row}
+		return res, nil
+	}
+
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		for _, row := range part.Rows {
+			out := make([]sqlValue, len(q.Items))
+			for i, item := range q.Items {
+				out[i] = row[item.Col]
+			}
+			res.Rows = append(res.Rows, out)
+			if q.Limit > 0 && len(res.Rows) >= q.Limit {
+				return res, nil
+			}
+		}
+	}
+	// Deterministic order for projections: sort by first column's
+	// string form (sites may return in any order).
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		return res.Rows[i][0].String() < res.Rows[j][0].String()
+	})
+	return res, nil
+}
+
+// SQLColumns exposes the virtual schema (for docs and tooling).
+func SQLColumns() []string { return append([]string(nil), sqlColumns...) }

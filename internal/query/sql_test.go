@@ -1,0 +1,270 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"medchain/internal/emr"
+)
+
+func sqlRecords(t testing.TB, seed int64, n int) []*emr.Record {
+	t.Helper()
+	return emr.NewGenerator(emr.GenConfig{Seed: seed, Patients: n, StartID: int(seed) * 10000}).Generate()
+}
+
+func mustParseSQL(t testing.TB, src string) *SQLQuery {
+	t.Helper()
+	q, err := ParseSQL(src)
+	if err != nil {
+		t.Fatalf("ParseSQL(%q): %v", src, err)
+	}
+	return q
+}
+
+func runSQL(t testing.TB, src string, sites ...[]*emr.Record) *SQLResult {
+	t.Helper()
+	q := mustParseSQL(t, src)
+	var parts []*SQLPartial
+	for _, recs := range sites {
+		p, err := ExecuteSQL(q, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+	}
+	res, err := ComposeSQL(q, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSQLParseBasics(t *testing.T) {
+	q := mustParseSQL(t, "SELECT patient_id, age FROM records WHERE age >= 50 AND sex = 'F' LIMIT 10")
+	if len(q.Items) != 2 || q.Items[0].Col != "patient_id" || q.Items[1].Col != "age" {
+		t.Fatalf("items %+v", q.Items)
+	}
+	if len(q.Where) != 2 || q.Where[0].Op != ">=" || !q.Where[1].IsStr {
+		t.Fatalf("where %+v", q.Where)
+	}
+	if q.Limit != 10 || q.IsAggregate() {
+		t.Fatalf("query %+v", q)
+	}
+}
+
+func TestSQLParseAggregates(t *testing.T) {
+	q := mustParseSQL(t, "select count(*), avg(glucose), min(age), max(bmi), sum(encounters) from records")
+	if !q.IsAggregate() || len(q.Items) != 5 {
+		t.Fatalf("items %+v", q.Items)
+	}
+	labels := []string{"count(*)", "avg(glucose)", "min(age)", "max(bmi)", "sum(encounters)"}
+	for i, want := range labels {
+		if q.Items[i].label() != want {
+			t.Fatalf("label %d = %q, want %q", i, q.Items[i].label(), want)
+		}
+	}
+}
+
+func TestSQLParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"UPDATE records SET x = 1",
+		"SELECT FROM records",
+		"SELECT bogus FROM records",
+		"SELECT age FROM patients",
+		"SELECT age, count(*) FROM records",     // mixed agg/plain
+		"SELECT avg(sex) FROM records",          // non-numeric agg
+		"SELECT age FROM records WHERE foo = 1", // unknown where column
+		"SELECT age FROM records WHERE age ~ 1",
+		"SELECT age FROM records WHERE age = 'fifty'", // string for numeric
+		"SELECT age FROM records WHERE sex < 'F'",     // ordering on string
+		"SELECT age FROM records WHERE sex = 3",       // numeric for string
+		"SELECT age FROM records LIMIT -1",
+		"SELECT age FROM records LIMIT x",
+		"SELECT age FROM records trailing junk",
+		"SELECT age FROM records WHERE name = 'unterminated",
+		"SELECT avg(glucose FROM records",
+		"SELECT age FROM records WHERE age =",
+	}
+	for _, src := range cases {
+		if _, err := ParseSQL(src); err == nil {
+			t.Fatalf("ParseSQL(%q) succeeded", src)
+		}
+	}
+}
+
+func TestSQLCountMatchesCohortTool(t *testing.T) {
+	recs := sqlRecords(t, 1, 200)
+	res := runSQL(t, "SELECT count(*) FROM records WHERE has_diabetes = 1 AND age >= 50", recs)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// Ground truth by direct scan.
+	want := 0
+	for _, r := range recs {
+		if r.HasCondition(emr.CondDiabetes) && r.Patient.Age(emr.ReferenceYear) >= 50 {
+			want++
+		}
+	}
+	if got := int(res.Rows[0][0].f); got != want {
+		t.Fatalf("count %d, want %d", got, want)
+	}
+}
+
+func TestSQLFederatedAggEqualsWhole(t *testing.T) {
+	a := sqlRecords(t, 2, 80)
+	b := sqlRecords(t, 3, 120)
+	c := sqlRecords(t, 4, 50)
+	src := "SELECT count(*), avg(glucose), min(glucose), max(glucose), sum(encounters) FROM records WHERE sex = 'F'"
+	federated := runSQL(t, src, a, b, c)
+	var union []*emr.Record
+	union = append(union, a...)
+	union = append(union, b...)
+	union = append(union, c...)
+	whole := runSQL(t, src, union)
+	for i := range federated.Rows[0] {
+		fv, wv := federated.Rows[0][i].f, whole.Rows[0][i].f
+		if math.Abs(fv-wv) > 1e-9*(1+math.Abs(wv)) {
+			t.Fatalf("column %s: federated %v != whole %v", federated.Columns[i], fv, wv)
+		}
+	}
+}
+
+func TestSQLProjection(t *testing.T) {
+	recs := sqlRecords(t, 5, 60)
+	res := runSQL(t, "SELECT patient_id, sex, age FROM records WHERE age > 80", recs)
+	if len(res.Columns) != 3 {
+		t.Fatalf("columns %v", res.Columns)
+	}
+	want := 0
+	for _, r := range recs {
+		if r.Patient.Age(emr.ReferenceYear) > 80 {
+			want++
+		}
+	}
+	if len(res.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(res.Rows), want)
+	}
+	for _, row := range res.Rows {
+		if row[2].f <= 80 {
+			t.Fatalf("row violates WHERE: %v", row)
+		}
+		if !row[0].isStr || row[0].s == "" {
+			t.Fatalf("patient_id cell %v", row[0])
+		}
+	}
+}
+
+func TestSQLProjectionDeterministicOrderAcrossSites(t *testing.T) {
+	a := sqlRecords(t, 6, 30)
+	b := sqlRecords(t, 7, 30)
+	r1 := runSQL(t, "SELECT patient_id FROM records", a, b)
+	r2 := runSQL(t, "SELECT patient_id FROM records", b, a)
+	if len(r1.Rows) != 60 || len(r2.Rows) != 60 {
+		t.Fatal("row counts wrong")
+	}
+	for i := range r1.Rows {
+		if r1.Rows[i][0].s != r2.Rows[i][0].s {
+			t.Fatal("composition order depends on site order")
+		}
+	}
+}
+
+func TestSQLLimit(t *testing.T) {
+	recs := sqlRecords(t, 8, 50)
+	res := runSQL(t, "SELECT patient_id FROM records LIMIT 7", recs)
+	if len(res.Rows) != 7 {
+		t.Fatalf("%d rows with LIMIT 7", len(res.Rows))
+	}
+}
+
+func TestSQLStringFilters(t *testing.T) {
+	recs := sqlRecords(t, 9, 100)
+	female := runSQL(t, "SELECT count(*) FROM records WHERE sex = 'F'", recs)
+	male := runSQL(t, "SELECT count(*) FROM records WHERE sex != 'F'", recs)
+	if int(female.Rows[0][0].f)+int(male.Rows[0][0].f) != 100 {
+		t.Fatalf("sex split %v + %v != 100", female.Rows[0][0].f, male.Rows[0][0].f)
+	}
+}
+
+func TestSQLAggregatesOnEmptyMatch(t *testing.T) {
+	recs := sqlRecords(t, 10, 20)
+	res := runSQL(t, "SELECT count(*), avg(glucose) FROM records WHERE age > 200", recs)
+	if res.Rows[0][0].f != 0 {
+		t.Fatalf("count on empty match: %v", res.Rows[0][0])
+	}
+	if !math.IsNaN(res.Rows[0][1].f) {
+		t.Fatalf("avg on empty match should be NaN, got %v", res.Rows[0][1])
+	}
+}
+
+func TestSQLComposePartialValidation(t *testing.T) {
+	q := mustParseSQL(t, "SELECT count(*) FROM records")
+	if _, err := ComposeSQL(q, []*SQLPartial{{Aggs: []aggPartial{{}, {}}}}); err == nil {
+		t.Fatal("mismatched partial accepted")
+	}
+	if _, err := ComposeSQL(nil, nil); err == nil {
+		t.Fatal("nil query accepted")
+	}
+	// Nil partials (failed sites) are skipped.
+	p, err := ExecuteSQL(q, sqlRecords(t, 11, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ComposeSQL(q, []*SQLPartial{nil, p, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].f != 10 {
+		t.Fatalf("count %v", res.Rows[0][0])
+	}
+}
+
+func TestSQLExecuteValidation(t *testing.T) {
+	if _, err := ExecuteSQL(nil, nil); err == nil {
+		t.Fatal("nil query executed")
+	}
+	if _, err := ExecuteSQL(&SQLQuery{}, nil); err == nil {
+		t.Fatal("empty query executed")
+	}
+}
+
+func TestSQLColumnsExposed(t *testing.T) {
+	cols := SQLColumns()
+	if len(cols) != len(sqlColumns) {
+		t.Fatal("schema size")
+	}
+	cols[0] = "mutated"
+	if sqlColumns[0] == "mutated" {
+		t.Fatal("SQLColumns aliases internal slice")
+	}
+}
+
+func TestSQLResultJSONShape(t *testing.T) {
+	recs := sqlRecords(t, 12, 5)
+	res := runSQL(t, "SELECT patient_id, age FROM records LIMIT 1", recs)
+	// sqlValue marshals numbers as numbers, strings as strings.
+	b, err := res.Rows[0][0].MarshalJSON()
+	if err != nil || b[0] != '"' {
+		t.Fatalf("string cell json %s err %v", b, err)
+	}
+	b, err = res.Rows[0][1].MarshalJSON()
+	if err != nil || b[0] == '"' {
+		t.Fatalf("numeric cell json %s err %v", b, err)
+	}
+}
+
+func BenchmarkSQLAggregate(b *testing.B) {
+	recs := emr.NewGenerator(emr.GenConfig{Seed: 1, Patients: 1000}).Generate()
+	q, err := ParseSQL("SELECT count(*), avg(glucose), max(bmi) FROM records WHERE age >= 40 AND sex = 'F'")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecuteSQL(q, recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package trial
+
+import (
+	"strings"
+	"testing"
+
+	"medchain/internal/emr"
+)
+
+func TestRecruitmentBalanceProportional(t *testing.T) {
+	population := []string{"A", "A", "A", "B", "B", "C"}
+	enrolled := []string{"A", "A", "A", "B", "B", "C"}
+	rep, err := RecruitmentBalance(enrolled, population, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Balanced() {
+		t.Fatalf("proportional enrollment flagged: %+v", rep.Flagged)
+	}
+	for _, g := range rep.Groups {
+		if g.Ratio < 0.99 || g.Ratio > 1.01 {
+			t.Fatalf("group %s ratio %v", g.Group, g.Ratio)
+		}
+	}
+}
+
+func TestRecruitmentBalanceFlagsUnderRepresentation(t *testing.T) {
+	// The paper's scenario: a population with a large minority group
+	// but an enrollment that is almost entirely the majority.
+	population := []string{
+		"white-western", "white-western", "white-western", "white-western",
+		"group-B", "group-B", "group-C", "group-C",
+	}
+	enrolled := []string{
+		"white-western", "white-western", "white-western",
+		"white-western", "white-western", "white-western",
+		"white-western", "group-B",
+	}
+	rep, err := RecruitmentBalance(enrolled, population, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Balanced() {
+		t.Fatal("biased enrollment not flagged")
+	}
+	flagged := strings.Join(rep.Flagged, ",")
+	if !strings.Contains(flagged, "group-C") {
+		t.Fatalf("absent group-C not flagged: %v", rep.Flagged)
+	}
+	// group-B is at 12.5% enrolled vs 25% population = ratio 0.5, at
+	// the threshold boundary (>= threshold passes).
+	for _, g := range rep.Groups {
+		if g.Group == "group-C" && g.Ratio != 0 {
+			t.Fatalf("absent group ratio %v", g.Ratio)
+		}
+	}
+	if !strings.Contains(rep.String(), "under-represented") {
+		t.Fatal("report text missing flag marker")
+	}
+}
+
+func TestRecruitmentBalanceUnknownEnrolledGroup(t *testing.T) {
+	rep, err := RecruitmentBalance([]string{"A", "X"}, []string{"A", "A"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X is not in the population: reported with ratio 1, never flagged.
+	for _, g := range rep.Groups {
+		if g.Group == "X" && g.Ratio != 1 {
+			t.Fatalf("unknown group ratio %v", g.Ratio)
+		}
+	}
+	for _, f := range rep.Flagged {
+		if f == "X" {
+			t.Fatal("unknown group flagged")
+		}
+	}
+}
+
+func TestRecruitmentBalanceValidation(t *testing.T) {
+	if _, err := RecruitmentBalance(nil, []string{"A"}, 0.5); err == nil {
+		t.Fatal("empty enrollment accepted")
+	}
+	if _, err := RecruitmentBalance([]string{"A"}, nil, 0.5); err == nil {
+		t.Fatal("empty population accepted")
+	}
+	// Default threshold.
+	rep, err := RecruitmentBalance([]string{"A"}, []string{"A", "B"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Threshold != 0.5 {
+		t.Fatalf("default threshold %v", rep.Threshold)
+	}
+}
+
+func TestRecruitmentBalanceOnGeneratedCohort(t *testing.T) {
+	// End-to-end with the EMR generator: enroll only group-A patients
+	// from a mixed cohort; the audit must flag the other groups.
+	recs := emr.NewGenerator(emr.GenConfig{Seed: 3, Patients: 400}).Generate()
+	var population, enrolled []string
+	for _, r := range recs {
+		population = append(population, r.Patient.Ethnicity)
+		if r.Patient.Ethnicity == "group-A" {
+			enrolled = append(enrolled, r.Patient.Ethnicity)
+		}
+	}
+	rep, err := RecruitmentBalance(enrolled, population, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Balanced() {
+		t.Fatal("single-group enrollment not flagged")
+	}
+	if len(rep.Flagged) != 3 { // groups B, C, D absent
+		t.Fatalf("flagged %v", rep.Flagged)
+	}
+}

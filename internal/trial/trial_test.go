@@ -1,0 +1,322 @@
+package trial
+
+import (
+	"math"
+	"testing"
+
+	"medchain/internal/contract"
+	"medchain/internal/cryptoutil"
+)
+
+func applyTx(t testing.TB, s *contract.State, b *TxBuilder, buildErr error, tx interface {
+	ID() cryptoutil.Digest
+}) {
+	t.Helper()
+	_ = b
+	_ = tx
+	_ = buildErr
+}
+
+func newStateWithTrial(t *testing.T, pre, reported []string) *contract.State {
+	t.Helper()
+	s := contract.NewState()
+	sponsor, err := cryptoutil.DeriveKeyPair("sponsor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewTxBuilder(sponsor, 0)
+	reg, err := b.Register("NCT-1", []byte("protocol"), pre, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Apply(reg, 1, 1)
+	if err != nil || !r.OK() {
+		t.Fatalf("register: %v %s", err, r.Err)
+	}
+	if reported != nil {
+		rep, err := b.Report("NCT-1", reported, []byte("results"), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err = s.Apply(rep, 2, 2)
+		if err != nil || !r.OK() {
+			t.Fatalf("report: %v %s", err, r.Err)
+		}
+	}
+	return s
+}
+
+func TestAuditCorrectReporting(t *testing.T) {
+	s := newStateWithTrial(t, []string{"mortality", "hba1c"}, []string{"hba1c", "mortality"})
+	tr, _ := s.Trial("NCT-1")
+	f := AuditOutcomes(tr)
+	if f.Verdict != VerdictCorrect {
+		t.Fatalf("verdict %s: %+v", f.Verdict, f)
+	}
+}
+
+func TestAuditOutcomeSwitching(t *testing.T) {
+	s := newStateWithTrial(t, []string{"mortality", "hba1c"}, []string{"mortality", "qol-score"})
+	tr, _ := s.Trial("NCT-1")
+	f := AuditOutcomes(tr)
+	if f.Verdict != VerdictSwitched {
+		t.Fatalf("verdict %s", f.Verdict)
+	}
+	if len(f.Missing) != 1 || f.Missing[0] != "hba1c" {
+		t.Fatalf("missing %v", f.Missing)
+	}
+	if len(f.Added) != 1 || f.Added[0] != "qol-score" {
+		t.Fatalf("added %v", f.Added)
+	}
+}
+
+func TestAuditUnreported(t *testing.T) {
+	s := newStateWithTrial(t, []string{"mortality"}, nil)
+	tr, _ := s.Trial("NCT-1")
+	if f := AuditOutcomes(tr); f.Verdict != VerdictUnreported {
+		t.Fatalf("verdict %s", f.Verdict)
+	}
+}
+
+func TestAuditUsesLatestReport(t *testing.T) {
+	s := contract.NewState()
+	sponsor, err := cryptoutil.DeriveKeyPair("sponsor2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewTxBuilder(sponsor, 0)
+	reg, err := b.Register("T", []byte("p"), []string{"o1", "o2"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := s.Apply(reg, 1, 1); err != nil || !r.OK() {
+		t.Fatal("register failed")
+	}
+	// First report is faithful; the final (published) one switches.
+	rep1, err := b.Report("T", []string{"o1", "o2"}, []byte("r1"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := s.Apply(rep1, 2, 2); err != nil || !r.OK() {
+		t.Fatal("report 1 failed")
+	}
+	rep2, err := b.Report("T", []string{"o1"}, []byte("r2"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := s.Apply(rep2, 3, 3); err != nil || !r.OK() {
+		t.Fatal("report 2 failed")
+	}
+	tr, _ := s.Trial("T")
+	if f := AuditOutcomes(tr); f.Verdict != VerdictSwitched {
+		t.Fatalf("latest-report audit verdict %s", f.Verdict)
+	}
+}
+
+func TestAuditAllOverCorpus(t *testing.T) {
+	// A COMPare-shaped corpus: 13% faithful, 15% unreported, the rest
+	// switched. The auditor must recover the injected verdicts exactly.
+	cfg := CorpusConfig{Trials: 67, CorrectRate: 0.13, UnreportedRate: 0.15, Seed: 42}
+	corpus := GenerateCorpus(cfg)
+	s := contract.NewState()
+	sponsor, err := cryptoutil.DeriveKeyPair("corpus-sponsor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewTxBuilder(sponsor, 0)
+	want := map[string]Verdict{}
+	ts := int64(1)
+	for _, ct := range corpus {
+		reg, err := b.Register(ct.ID, []byte("protocol-"+ct.ID), ct.PreRegistered, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r, err := s.Apply(reg, 1, ts); err != nil || !r.OK() {
+			t.Fatalf("register %s: %v %s", ct.ID, err, r.Err)
+		}
+		ts++
+		if ct.Reported != nil {
+			rep, err := b.Report(ct.ID, ct.Reported, []byte("results-"+ct.ID), ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r, err := s.Apply(rep, 1, ts); err != nil || !r.OK() {
+				t.Fatalf("report %s: %v %s", ct.ID, err, r.Err)
+			}
+			ts++
+		}
+		want[ct.ID] = ct.TrueVerdict
+	}
+	rep := AuditAll(s)
+	if rep.Total != 67 {
+		t.Fatalf("audited %d trials", rep.Total)
+	}
+	for _, f := range rep.Findings {
+		if f.Verdict != want[f.TrialID] {
+			t.Fatalf("trial %s: verdict %s, want %s", f.TrialID, f.Verdict, want[f.TrialID])
+		}
+	}
+	if rep.Correct+rep.Switched+rep.Unreported != rep.Total {
+		t.Fatal("verdict counts do not add up")
+	}
+	if math.Abs(rep.CorrectRate-float64(rep.Correct)/67) > 1e-12 {
+		t.Fatal("correct rate wrong")
+	}
+	// The corpus is seeded to be COMPare-shaped: correctness well below
+	// half.
+	if rep.CorrectRate > 0.3 {
+		t.Fatalf("corpus correct rate %.2f not COMPare-shaped", rep.CorrectRate)
+	}
+}
+
+func TestGenerateCorpusDeterministicAndLabeled(t *testing.T) {
+	cfg := CorpusConfig{Trials: 30, CorrectRate: 0.2, UnreportedRate: 0.1, Seed: 7}
+	a := GenerateCorpus(cfg)
+	b := GenerateCorpus(cfg)
+	if len(a) != 30 || len(b) != 30 {
+		t.Fatal("corpus size wrong")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].TrueVerdict != b[i].TrueVerdict {
+			t.Fatal("corpus not deterministic")
+		}
+		switch a[i].TrueVerdict {
+		case VerdictCorrect:
+			if len(a[i].Reported) != len(a[i].PreRegistered) {
+				t.Fatal("correct trial has mismatched report")
+			}
+		case VerdictUnreported:
+			if a[i].Reported != nil {
+				t.Fatal("unreported trial has a report")
+			}
+		case VerdictSwitched:
+			if a[i].Reported == nil {
+				t.Fatal("switched trial has no report")
+			}
+		}
+	}
+}
+
+func TestSurveillanceSignals(t *testing.T) {
+	s := contract.NewState()
+	sponsor, err := cryptoutil.DeriveKeyPair("surv-sponsor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := cryptoutil.DeriveKeyPair("surv-site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := NewTxBuilder(sponsor, 0)
+	reg, err := sb.Register("T", []byte("p"), []string{"o"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := s.Apply(reg, 1, 1); err != nil || !r.OK() {
+		t.Fatal("register failed")
+	}
+	siteB := NewTxBuilder(site, 0)
+	for i, patient := range []string{"P-1", "P-2", "P-3"} {
+		e, err := siteB.Enroll("T", patient, "site-A", int64(i+2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r, err := s.Apply(e, 1, int64(i+2)); err != nil || !r.OK() {
+			t.Fatal("enroll failed")
+		}
+	}
+	// Two mild + one severe event: severe signal plus rate signal
+	// (3 events / 3 enrollees = 1.0 > 0.5).
+	for i, ev := range []struct {
+		patient string
+		sev     int
+	}{{"P-1", 2}, {"P-2", 2}, {"P-3", 5}} {
+		ae, err := siteB.AdverseEvent("T", ev.patient, "event", ev.sev, "site-A", int64(i+10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r, err := s.Apply(ae, 1, int64(i+10)); err != nil || !r.OK() {
+			t.Fatal("adverse event failed")
+		}
+	}
+	tr, _ := s.Trial("T")
+	signals := Surveil(tr, SurveillanceConfig{})
+	var severe, rate int
+	for _, sig := range signals {
+		switch sig.Kind {
+		case "severe-event":
+			severe++
+		case "event-rate":
+			rate++
+		}
+	}
+	if severe != 1 || rate != 1 {
+		t.Fatalf("signals %+v", signals)
+	}
+	// Quiet trial: no signals.
+	quiet := &contract.Trial{ID: "Q", Enrollments: tr.Enrollments}
+	if got := Surveil(quiet, SurveillanceConfig{}); len(got) != 0 {
+		t.Fatalf("quiet trial signaled: %+v", got)
+	}
+}
+
+func TestTxBuilderNonceAdvances(t *testing.T) {
+	kp, err := cryptoutil.DeriveKeyPair("builder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewTxBuilder(kp, 5)
+	if b.Nonce() != 5 || b.Address() != kp.Address() {
+		t.Fatal("builder init wrong")
+	}
+	tx1, err := b.Register("T", []byte("p"), []string{"o"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := b.Enroll("T", "P", "S", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx1.Nonce != 5 || tx2.Nonce != 6 || b.Nonce() != 7 {
+		t.Fatalf("nonces %d %d %d", tx1.Nonce, tx2.Nonce, b.Nonce())
+	}
+	if err := tx1.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAuditAll(b *testing.B) {
+	corpus := GenerateCorpus(CorpusConfig{Trials: 100, CorrectRate: 0.13, UnreportedRate: 0.1, Seed: 1})
+	s := contract.NewState()
+	kp, err := cryptoutil.DeriveKeyPair("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb := NewTxBuilder(kp, 0)
+	for _, ct := range corpus {
+		reg, err := tb.Register(ct.ID, []byte("p"), ct.PreRegistered, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r, err := s.Apply(reg, 1, 1); err != nil || !r.OK() {
+			b.Fatal("setup register failed")
+		}
+		if ct.Reported != nil {
+			rep, err := tb.Report(ct.ID, ct.Reported, []byte("r"), 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r, err := s.Apply(rep, 1, 2); err != nil || !r.OK() {
+				b.Fatal("setup report failed")
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AuditAll(s)
+	}
+}

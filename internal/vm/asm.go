@@ -1,0 +1,228 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates mnemonic source into byte code.
+//
+// Syntax, one instruction per line:
+//
+//	; comment (also // and #)
+//	label:            ; jump target
+//	PUSHI 42          ; push integer
+//	PUSHB "text"      ; push quoted byte string (Go quoting rules)
+//	PUSHB 0xdeadbeef  ; push hex byte string
+//	JMP label / JZ label / JNZ label
+//	ADD SUB ... HALT  ; zero-operand ops
+//
+// Labels may appear before their definition (two-pass assembly).
+func Assemble(src string) ([]byte, error) {
+	type patch struct {
+		pos   int    // byte offset of the u32 operand
+		label string // target label
+		line  int
+	}
+	var (
+		code    []byte
+		labels  = make(map[string]int)
+		patches []patch
+	)
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if name == "" || strings.ContainsAny(name, " \t") {
+				return nil, fmt.Errorf("vm: line %d: bad label %q", ln+1, line)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("vm: line %d: duplicate label %q", ln+1, name)
+			}
+			labels[name] = len(code)
+			continue
+		}
+		mnemonic, operand := splitOnce(line)
+		op, ok := mnemonicOps[strings.ToUpper(mnemonic)]
+		if !ok {
+			return nil, fmt.Errorf("vm: line %d: unknown mnemonic %q", ln+1, mnemonic)
+		}
+		code = append(code, byte(op))
+		switch op {
+		case OpPushI:
+			if operand == "" {
+				return nil, fmt.Errorf("vm: line %d: PUSHI needs an operand", ln+1)
+			}
+			v, err := strconv.ParseInt(operand, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("vm: line %d: PUSHI operand: %w", ln+1, err)
+			}
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], uint64(v))
+			code = append(code, buf[:]...)
+		case OpPushB:
+			b, err := parseBytesOperand(operand)
+			if err != nil {
+				return nil, fmt.Errorf("vm: line %d: PUSHB operand: %w", ln+1, err)
+			}
+			var buf [4]byte
+			binary.BigEndian.PutUint32(buf[:], uint32(len(b)))
+			code = append(code, buf[:]...)
+			code = append(code, b...)
+		case OpJmp, OpJz, OpJnz:
+			if operand == "" {
+				return nil, fmt.Errorf("vm: line %d: %s needs a label", ln+1, op)
+			}
+			patches = append(patches, patch{pos: len(code), label: operand, line: ln + 1})
+			code = append(code, 0, 0, 0, 0)
+		default:
+			if operand != "" {
+				return nil, fmt.Errorf("vm: line %d: %s takes no operand", ln+1, op)
+			}
+		}
+	}
+	for _, p := range patches {
+		target, ok := labels[p.label]
+		if !ok {
+			return nil, fmt.Errorf("vm: line %d: undefined label %q", p.line, p.label)
+		}
+		binary.BigEndian.PutUint32(code[p.pos:], uint32(target))
+	}
+	return code, nil
+}
+
+// MustAssemble panics on assembly errors; for package-level program
+// constants whose source is fixed at compile time.
+func MustAssemble(src string) []byte {
+	code, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return code
+}
+
+var mnemonicOps = func() map[string]Op {
+	m := make(map[string]Op, int(opMax))
+	for op := Op(0); op < opMax; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == '"' {
+			// Track quoted strings so comment markers inside PUSHB
+			// literals survive; Go-quoted escapes keep the quote char.
+			if !inStr {
+				inStr = true
+			} else if i == 0 || line[i-1] != '\\' {
+				inStr = false
+			}
+			continue
+		}
+		if inStr {
+			continue
+		}
+		if c == ';' || c == '#' {
+			return line[:i]
+		}
+		if c == '/' && i+1 < len(line) && line[i+1] == '/' {
+			return line[:i]
+		}
+	}
+	return line
+}
+
+func splitOnce(line string) (string, string) {
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return line, ""
+	}
+	return line[:i], strings.TrimSpace(line[i+1:])
+}
+
+func parseBytesOperand(s string) ([]byte, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing operand")
+	}
+	if strings.HasPrefix(s, `"`) {
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(unq), nil
+	}
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		hexStr := s[2:]
+		if len(hexStr)%2 != 0 {
+			return nil, fmt.Errorf("odd-length hex literal")
+		}
+		out := make([]byte, len(hexStr)/2)
+		for i := 0; i < len(out); i++ {
+			v, err := strconv.ParseUint(hexStr[2*i:2*i+2], 16, 8)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = byte(v)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("operand must be a quoted string or 0x hex literal")
+}
+
+// Disassemble renders byte code as one instruction per line, for
+// debugging and tests.
+func Disassemble(code []byte) string {
+	var sb strings.Builder
+	pc := 0
+	for pc < len(code) {
+		op := Op(code[pc])
+		fmt.Fprintf(&sb, "%04d %s", pc, op)
+		pc++
+		switch op {
+		case OpPushI:
+			if pc+8 <= len(code) {
+				fmt.Fprintf(&sb, " %d", int64(binary.BigEndian.Uint64(code[pc:])))
+				pc += 8
+			} else {
+				sb.WriteString(" <truncated>")
+				pc = len(code)
+			}
+		case OpPushB:
+			if pc+4 <= len(code) {
+				n := int(binary.BigEndian.Uint32(code[pc:]))
+				pc += 4
+				if pc+n <= len(code) {
+					fmt.Fprintf(&sb, " %q", code[pc:pc+n])
+					pc += n
+				} else {
+					sb.WriteString(" <truncated>")
+					pc = len(code)
+				}
+			} else {
+				sb.WriteString(" <truncated>")
+				pc = len(code)
+			}
+		case OpJmp, OpJz, OpJnz:
+			if pc+4 <= len(code) {
+				fmt.Fprintf(&sb, " %d", binary.BigEndian.Uint32(code[pc:]))
+				pc += 4
+			} else {
+				sb.WriteString(" <truncated>")
+				pc = len(code)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

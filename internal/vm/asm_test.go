@@ -1,0 +1,166 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleComments(t *testing.T) {
+	code, err := Assemble(`
+		; full-line comment
+		# hash comment
+		// slash comment
+		PUSHI 1 ; trailing
+		PUSHI 2 # trailing
+		ADD     // trailing
+		HALT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(code, ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.AsInt() != 3 {
+		t.Fatalf("got %v", res.Value)
+	}
+}
+
+func TestAssembleStringWithCommentChars(t *testing.T) {
+	code, err := Assemble(`PUSHB "a;b#c"` + "\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(code, ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Value.AsBytes()) != "a;b#c" {
+		t.Fatalf("comment chars inside string mangled: %v", res.Value)
+	}
+}
+
+func TestAssembleHexLiteral(t *testing.T) {
+	code, err := Assemble("PUSHB 0xdeadbeef\nLEN\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(code, ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.AsInt() != 4 {
+		t.Fatalf("hex literal length %v, want 4", res.Value)
+	}
+}
+
+func TestAssembleForwardAndBackwardLabels(t *testing.T) {
+	code, err := Assemble(`
+		PUSHI 1
+		JMP fwd
+	back:
+		PUSHI 100
+		HALT
+	fwd:
+		JMP back
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(code, ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.AsInt() != 100 {
+		t.Fatalf("got %v", res.Value)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "FROB"},
+		{"pushi missing operand", "PUSHI"},
+		{"pushi bad operand", "PUSHI abc"},
+		{"pushb missing operand", "PUSHB"},
+		{"pushb bad quoting", `PUSHB "unterminated`},
+		{"pushb bare word", "PUSHB hello"},
+		{"pushb odd hex", "PUSHB 0xabc"},
+		{"pushb bad hex", "PUSHB 0xzz"},
+		{"jmp missing label", "JMP"},
+		{"undefined label", "JMP nowhere"},
+		{"duplicate label", "x:\nx:\nHALT"},
+		{"label with space", "bad label:\nHALT"},
+		{"operand on nullary op", "ADD 3"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Assemble(tt.src); err == nil {
+				t.Fatalf("Assemble(%q) succeeded, want error", tt.src)
+			}
+		})
+	}
+}
+
+func TestAssembleCaseInsensitiveMnemonics(t *testing.T) {
+	code, err := Assemble("pushi 7\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(code, ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.AsInt() != 7 {
+		t.Fatalf("got %v", res.Value)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("BOGUS")
+}
+
+func TestDisassembleRoundTripReadable(t *testing.T) {
+	code := MustAssemble(`
+		PUSHI 42
+		PUSHB "key"
+		SLOAD
+		JMP end
+	end:
+		HALT
+	`)
+	dis := Disassemble(code)
+	for _, want := range []string{"PUSHI 42", `PUSHB "key"`, "SLOAD", "JMP", "HALT"} {
+		if !strings.Contains(dis, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestDisassembleTruncated(t *testing.T) {
+	for _, code := range [][]byte{
+		{byte(OpPushI), 0},
+		{byte(OpPushB), 0},
+		{byte(OpPushB), 0, 0, 0, 9},
+		{byte(OpJmp), 0},
+	} {
+		dis := Disassemble(code)
+		if !strings.Contains(dis, "<truncated>") {
+			t.Fatalf("truncated code not flagged: %q", dis)
+		}
+	}
+}
+
+func TestOpStringUnknown(t *testing.T) {
+	if s := Op(200).String(); !strings.Contains(s, "200") {
+		t.Fatalf("unknown op string %q", s)
+	}
+}

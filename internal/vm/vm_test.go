@@ -1,0 +1,576 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"medchain/internal/cryptoutil"
+)
+
+func ctx() *Context {
+	return &Context{
+		Caller:   cryptoutil.NamedAddress("caller"),
+		Self:     cryptoutil.NamedAddress("contract"),
+		Storage:  NewMemStorage(),
+		GasLimit: 1_000_000,
+	}
+}
+
+func run(t *testing.T, src string, c *Context) *Result {
+	t.Helper()
+	code, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	res, err := Execute(code, c)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	return res
+}
+
+func runErr(t *testing.T, src string, c *Context) (*Result, error) {
+	t.Helper()
+	code, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return Execute(code, c)
+}
+
+func TestArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want int64
+	}{
+		{"add", "PUSHI 2\nPUSHI 3\nADD\nHALT", 5},
+		{"sub", "PUSHI 10\nPUSHI 4\nSUB\nHALT", 6},
+		{"mul", "PUSHI 6\nPUSHI 7\nMUL\nHALT", 42},
+		{"div", "PUSHI 20\nPUSHI 6\nDIV\nHALT", 3},
+		{"mod", "PUSHI 20\nPUSHI 6\nMOD\nHALT", 2},
+		{"neg", "PUSHI 9\nNEG\nHALT", -9},
+		{"negative add", "PUSHI -5\nPUSHI 3\nADD\nHALT", -2},
+		{"lt true", "PUSHI 1\nPUSHI 2\nLT\nHALT", 1},
+		{"lt false", "PUSHI 2\nPUSHI 2\nLT\nHALT", 0},
+		{"le true", "PUSHI 2\nPUSHI 2\nLE\nHALT", 1},
+		{"gt true", "PUSHI 3\nPUSHI 2\nGT\nHALT", 1},
+		{"ge false", "PUSHI 1\nPUSHI 2\nGE\nHALT", 0},
+		{"eq ints", "PUSHI 4\nPUSHI 4\nEQ\nHALT", 1},
+		{"neq ints", "PUSHI 4\nPUSHI 5\nNEQ\nHALT", 1},
+		{"not", "PUSHI 0\nNOT\nHALT", 1},
+		{"and", "PUSHI 1\nPUSHI 2\nAND\nHALT", 1},
+		{"and zero", "PUSHI 1\nPUSHI 0\nAND\nHALT", 0},
+		{"or", "PUSHI 0\nPUSHI 2\nOR\nHALT", 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res := run(t, tt.src, ctx())
+			if res.Value.AsInt() != tt.want {
+				t.Fatalf("got %v, want %d", res.Value, tt.want)
+			}
+		})
+	}
+}
+
+func TestDivModByZero(t *testing.T) {
+	for _, src := range []string{"PUSHI 1\nPUSHI 0\nDIV", "PUSHI 1\nPUSHI 0\nMOD"} {
+		if _, err := runErr(t, src, ctx()); !errors.Is(err, ErrDivByZero) {
+			t.Fatalf("err = %v, want ErrDivByZero", err)
+		}
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	res := run(t, "PUSHI 1\nPUSHI 2\nSWAP\nPOP\nHALT", ctx()) // leaves 2
+	if res.Value.AsInt() != 2 {
+		t.Fatalf("swap/pop: got %v", res.Value)
+	}
+	res = run(t, "PUSHI 3\nDUP\nADD\nHALT", ctx())
+	if res.Value.AsInt() != 6 {
+		t.Fatalf("dup/add: got %v", res.Value)
+	}
+}
+
+func TestStackUnderflow(t *testing.T) {
+	for _, src := range []string{"POP", "ADD", "DUP", "SWAP", "PUSHI 1\nADD"} {
+		if _, err := runErr(t, src, ctx()); !errors.Is(err, ErrStackUnderflow) {
+			t.Fatalf("%q: err = %v, want underflow", src, err)
+		}
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("PUSHI 1\n")
+	for i := 0; i < maxStack+2; i++ {
+		sb.WriteString("DUP\n")
+	}
+	if _, err := runErr(t, sb.String(), ctx()); !errors.Is(err, ErrStackOverflow) {
+		t.Fatalf("err = %v, want overflow", err)
+	}
+}
+
+func TestControlFlowLoop(t *testing.T) {
+	// Countdown loop exercising JZ/JNZ/JMP.
+	countdown := `
+		PUSHI 5
+	loop:
+		PUSHI 1
+		SUB
+		DUP
+		JNZ loop
+		HALT
+	`
+	res := run(t, countdown, ctx())
+	if res.Value.AsInt() != 0 {
+		t.Fatalf("countdown ended at %v, want 0", res.Value)
+	}
+
+	// Forward conditional jump: JZ taken.
+	branch := `
+		PUSHI 0
+		JZ taken
+		PUSHI 111
+		HALT
+	taken:
+		PUSHI 222
+		HALT
+	`
+	res = run(t, branch, ctx())
+	if res.Value.AsInt() != 222 {
+		t.Fatalf("JZ branch result %v, want 222", res.Value)
+	}
+}
+
+func TestLoopAccumulateViaStorage(t *testing.T) {
+	// sum(1..n) using storage for acc: SSTORE/SLOAD round trips.
+	src := `
+		PUSHB "acc"
+		PUSHI 0
+		ITOB
+		SSTORE
+		PUSHI 10          ; i = 10
+	loop:
+		DUP
+		JZ done
+		DUP               ; i i
+		PUSHB "acc"
+		SLOAD
+		BTOI              ; i i acc
+		ADD               ; i (i+acc)
+		PUSHB "acc"
+		SWAP              ; i "acc" (i+acc)
+		SSTORE            ; i
+		PUSHI 1
+		SUB
+		JMP loop
+	done:
+		PUSHB "acc"
+		SLOAD
+		BTOI
+		HALT
+	`
+	res := run(t, src, ctx())
+	if res.Value.AsInt() != 55 {
+		t.Fatalf("sum(1..10) = %v, want 55", res.Value)
+	}
+}
+
+func TestBytesOps(t *testing.T) {
+	res := run(t, `PUSHB "abc"`+"\n"+`PUSHB "def"`+"\nCONCAT\nHALT", ctx())
+	if string(res.Value.AsBytes()) != "abcdef" {
+		t.Fatalf("concat: %v", res.Value)
+	}
+	res = run(t, `PUSHB "hello"`+"\nLEN\nHALT", ctx())
+	if res.Value.AsInt() != 5 {
+		t.Fatalf("len: %v", res.Value)
+	}
+	res = run(t, "PUSHI 77\nITOB\nBTOI\nHALT", ctx())
+	if res.Value.AsInt() != 77 {
+		t.Fatalf("itob/btoi: %v", res.Value)
+	}
+	res = run(t, `PUSHB "x"`+"\n"+`PUSHB "x"`+"\nEQ\nHALT", ctx())
+	if res.Value.AsInt() != 1 {
+		t.Fatalf("bytes eq: %v", res.Value)
+	}
+	res = run(t, `PUSHB "x"`+"\nPUSHI 1\nEQ\nHALT", ctx())
+	if res.Value.AsInt() != 0 {
+		t.Fatalf("bytes/int eq must be false: %v", res.Value)
+	}
+}
+
+func TestBtoIWrongWidth(t *testing.T) {
+	if _, err := runErr(t, `PUSHB "abc"`+"\nBTOI", ctx()); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("err = %v, want type mismatch", err)
+	}
+}
+
+func TestTypeMismatch(t *testing.T) {
+	if _, err := runErr(t, `PUSHB "a"`+"\nPUSHI 1\nADD", ctx()); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("err = %v, want type mismatch", err)
+	}
+	if _, err := runErr(t, "PUSHI 1\nSLOAD", ctx()); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("SLOAD with int key: err = %v", err)
+	}
+}
+
+func TestHash(t *testing.T) {
+	res := run(t, `PUSHB "data"`+"\nHASH\nHALT", ctx())
+	want := cryptoutil.Sum([]byte("data"))
+	if string(res.Value.AsBytes()) != string(want.Bytes()) {
+		t.Fatal("HASH does not match cryptoutil.Sum")
+	}
+}
+
+func TestStorePersistsAcrossExecutions(t *testing.T) {
+	c := ctx()
+	run(t, `PUSHB "k"`+"\n"+`PUSHB "v1"`+"\nSSTORE\nHALT", c)
+	res := run(t, `PUSHB "k"`+"\nSLOAD\nHALT", c)
+	if string(res.Value.AsBytes()) != "v1" {
+		t.Fatalf("storage lost value: %v", res.Value)
+	}
+}
+
+func TestSLoadMissingKeyPushesEmpty(t *testing.T) {
+	res := run(t, `PUSHB "missing"`+"\nSLOAD\nLEN\nHALT", ctx())
+	if res.Value.AsInt() != 0 {
+		t.Fatalf("missing key length %v, want 0", res.Value)
+	}
+}
+
+func TestEmitEvents(t *testing.T) {
+	c := ctx()
+	res := run(t, `
+		PUSHB "DataRequested"
+		PUSHB "patient-7"
+		EMIT
+		PUSHB "Done"
+		PUSHI 42
+		EMIT
+		HALT
+	`, c)
+	if len(res.Events) != 2 {
+		t.Fatalf("got %d events, want 2", len(res.Events))
+	}
+	if res.Events[0].Topic != "DataRequested" || string(res.Events[0].Data) != "patient-7" {
+		t.Fatalf("event 0: %+v", res.Events[0])
+	}
+	if res.Events[0].Contract != c.Self {
+		t.Fatal("event contract address wrong")
+	}
+	if res.Events[1].Topic != "Done" {
+		t.Fatalf("event 1: %+v", res.Events[1])
+	}
+}
+
+func TestHostCall(t *testing.T) {
+	c := ctx()
+	var gotArg []byte
+	c.Host = map[string]HostFunc{
+		"fetch": func(arg []byte) ([]byte, int64, error) {
+			gotArg = arg
+			return []byte("record:" + string(arg)), 10, nil
+		},
+	}
+	res := run(t, `PUSHB "fetch"`+"\n"+`PUSHB "P-001"`+"\nHOST\nHALT", c)
+	if string(gotArg) != "P-001" {
+		t.Fatalf("host got arg %q", gotArg)
+	}
+	if string(res.Value.AsBytes()) != "record:P-001" {
+		t.Fatalf("host result: %v", res.Value)
+	}
+}
+
+func TestHostCallMissing(t *testing.T) {
+	if _, err := runErr(t, `PUSHB "nope"`+"\n"+`PUSHB ""`+"\nHOST", ctx()); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("err = %v, want ErrNoHost", err)
+	}
+}
+
+func TestHostCallError(t *testing.T) {
+	c := ctx()
+	c.Host = map[string]HostFunc{
+		"boom": func([]byte) ([]byte, int64, error) { return nil, 0, errors.New("denied") },
+	}
+	if _, err := runErr(t, `PUSHB "boom"`+"\n"+`PUSHB ""`+"\nHOST", c); err == nil {
+		t.Fatal("host error swallowed")
+	}
+}
+
+func TestCallerSelf(t *testing.T) {
+	c := ctx()
+	res := run(t, "CALLER\nHALT", c)
+	if string(res.Value.AsBytes()) != string(c.Caller[:]) {
+		t.Fatal("CALLER mismatch")
+	}
+	res = run(t, "SELF\nHALT", c)
+	if string(res.Value.AsBytes()) != string(c.Self[:]) {
+		t.Fatal("SELF mismatch")
+	}
+}
+
+func TestRevert(t *testing.T) {
+	res, err := runErr(t, `PUSHB "access denied"`+"\nREVERT", ctx())
+	if !errors.Is(err, ErrReverted) {
+		t.Fatalf("err = %v, want ErrReverted", err)
+	}
+	if res.RevertReason != "access denied" {
+		t.Fatalf("revert reason %q", res.RevertReason)
+	}
+}
+
+func TestOutOfGas(t *testing.T) {
+	c := ctx()
+	c.GasLimit = 10
+	_, err := runErr(t, `
+	loop:
+		PUSHI 1
+		POP
+		JMP loop
+	`, c)
+	if !errors.Is(err, ErrOutOfGas) {
+		t.Fatalf("err = %v, want ErrOutOfGas", err)
+	}
+}
+
+func TestGasAccountingDeterministic(t *testing.T) {
+	src := `
+		PUSHI 100
+	loop:
+		PUSHI 1
+		SUB
+		DUP
+		JNZ loop
+		HALT
+	`
+	r1 := run(t, src, ctx())
+	r2 := run(t, src, ctx())
+	if r1.GasUsed != r2.GasUsed {
+		t.Fatalf("gas not deterministic: %d vs %d", r1.GasUsed, r2.GasUsed)
+	}
+	if r1.GasUsed == 0 {
+		t.Fatal("no gas charged")
+	}
+}
+
+func TestGasScalesWithWork(t *testing.T) {
+	loop := func(n int) int64 {
+		src := fmt.Sprintf(`
+			PUSHI %d
+		loop:
+			PUSHI 1
+			SUB
+			DUP
+			JNZ loop
+			HALT
+		`, n)
+		return run(t, src, ctx()).GasUsed
+	}
+	if loop(1000) <= loop(10) {
+		t.Fatal("1000 iterations cost no more than 10")
+	}
+}
+
+func TestGasLimitZero(t *testing.T) {
+	c := ctx()
+	c.GasLimit = 0
+	code := MustAssemble("HALT")
+	if _, err := Execute(code, c); !errors.Is(err, ErrOutOfGas) {
+		t.Fatalf("err = %v, want ErrOutOfGas", err)
+	}
+}
+
+func TestExecuteNilContext(t *testing.T) {
+	if _, err := Execute([]byte{byte(OpHalt)}, nil); err == nil {
+		t.Fatal("nil context accepted")
+	}
+	if _, err := Execute([]byte{byte(OpHalt)}, &Context{GasLimit: 10}); err == nil {
+		t.Fatal("nil storage accepted")
+	}
+}
+
+func TestFallOffEndHalts(t *testing.T) {
+	res := run(t, "PUSHI 9", ctx())
+	if res.Value.AsInt() != 9 {
+		t.Fatalf("fall-off result %v", res.Value)
+	}
+}
+
+func TestBadOpcode(t *testing.T) {
+	c := ctx()
+	if _, err := Execute([]byte{0xEE}, c); !errors.Is(err, ErrBadOpcode) {
+		t.Fatalf("err = %v, want ErrBadOpcode", err)
+	}
+}
+
+func TestTruncatedProgram(t *testing.T) {
+	cases := [][]byte{
+		{byte(OpPushI), 0, 0},            // PUSHI missing bytes
+		{byte(OpPushB), 0, 0, 0, 9, 'a'}, // PUSHB length beyond end
+		{byte(OpJmp), 0, 0},              // JMP missing target
+	}
+	for i, code := range cases {
+		if _, err := Execute(code, ctx()); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("case %d: err = %v, want ErrTruncated", i, err)
+		}
+	}
+}
+
+func TestBadJumpTarget(t *testing.T) {
+	code := []byte{byte(OpJmp), 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := Execute(code, ctx()); !errors.Is(err, ErrBadJump) {
+		t.Fatalf("err = %v, want ErrBadJump", err)
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	// The same program+context must produce identical results — the
+	// prerequisite for replicated execution agreeing across nodes.
+	src := `
+		PUSHB "k"
+		PUSHI 999
+		ITOB
+		SSTORE
+		PUSHB "evt"
+		PUSHB "payload"
+		EMIT
+		PUSHB "k"
+		SLOAD
+		BTOI
+		HALT
+	`
+	run1 := run(t, src, ctx())
+	run2 := run(t, src, ctx())
+	if run1.GasUsed != run2.GasUsed || run1.Value.AsInt() != run2.Value.AsInt() {
+		t.Fatal("execution not deterministic")
+	}
+	if run1.Value.AsInt() != 999 {
+		t.Fatalf("value %v", run1.Value)
+	}
+}
+
+// Property: PUSHI n / PUSHI m / ADD computes n+m for arbitrary inputs.
+func TestAddProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		src := fmt.Sprintf("PUSHI %d\nPUSHI %d\nADD\nHALT", a, b)
+		code, err := Assemble(src)
+		if err != nil {
+			return false
+		}
+		res, err := Execute(code, ctx())
+		if err != nil {
+			return false
+		}
+		return res.Value.AsInt() == a+b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ITOB/BTOI round-trips any int64.
+func TestItoBRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		src := fmt.Sprintf("PUSHI %d\nITOB\nBTOI\nHALT", v)
+		code, err := Assemble(src)
+		if err != nil {
+			return false
+		}
+		res, err := Execute(code, ctx())
+		if err != nil {
+			return false
+		}
+		return res.Value.AsInt() == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gas used never exceeds the limit, success or failure.
+func TestGasNeverExceedsLimitProperty(t *testing.T) {
+	code := MustAssemble(`
+		PUSHI 1000
+	loop:
+		PUSHI 1
+		SUB
+		DUP
+		JNZ loop
+		HALT
+	`)
+	f := func(limitRaw uint16) bool {
+		c := ctx()
+		c.GasLimit = int64(limitRaw) + 1
+		res, _ := Execute(code, c)
+		return res.GasUsed <= c.GasLimit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemStorage(t *testing.T) {
+	s := NewMemStorage()
+	if _, ok := s.Get([]byte("x")); ok {
+		t.Fatal("empty store reported key")
+	}
+	s.Set([]byte("x"), []byte("1"))
+	v, ok := s.Get([]byte("x"))
+	if !ok || string(v) != "1" {
+		t.Fatal("get after set failed")
+	}
+	// Set must copy its input.
+	val := []byte("mut")
+	s.Set([]byte("y"), val)
+	val[0] = 'X'
+	got, _ := s.Get([]byte("y"))
+	if string(got) != "mut" {
+		t.Fatal("storage aliased caller's slice")
+	}
+	if s.Len() != 2 || len(s.Keys()) != 2 {
+		t.Fatalf("Len/Keys wrong: %d/%d", s.Len(), len(s.Keys()))
+	}
+}
+
+func BenchmarkVMLoop1k(b *testing.B) {
+	code := MustAssemble(`
+		PUSHI 1000
+	loop:
+		PUSHI 1
+		SUB
+		DUP
+		JNZ loop
+		HALT
+	`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := &Context{Storage: NewMemStorage(), GasLimit: 1_000_000}
+		if _, err := Execute(code, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVMStorageOps(b *testing.B) {
+	code := MustAssemble(`
+		PUSHB "k"
+		PUSHI 1
+		ITOB
+		SSTORE
+		PUSHB "k"
+		SLOAD
+		HALT
+	`)
+	s := NewMemStorage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := &Context{Storage: s, GasLimit: 10_000}
+		if _, err := Execute(code, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

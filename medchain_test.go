@@ -1,0 +1,135 @@
+package medchain_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"medchain"
+)
+
+// TestPublicAPIQuickstart exercises the README quickstart end to end
+// through the public facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	p, err := medchain.NewPlatform(medchain.Config{
+		Sites:           3,
+		PatientsPerSite: 40,
+		Seed:            1,
+		KeySeed:         "facade-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	researcher, err := p.Acquire("dr-chen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.GrantAll(researcher, []medchain.Action{
+		medchain.ActionRead, medchain.ActionExecute,
+	}, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := p.Query(researcher, "count patients with diabetes aged 50-70")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Total int `json:"total"`
+		Cases int `json:"cases"`
+	}
+	if err := json.Unmarshal(res.Result, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total == 0 {
+		t.Fatal("empty cohort")
+	}
+	if res.SitesSucceeded != 3 {
+		t.Fatalf("sites succeeded %d", res.SitesSucceeded)
+	}
+}
+
+func TestParseQueryFacade(t *testing.T) {
+	v, err := medchain.ParseQuery("average glucose for women")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Intent != medchain.IntentSummary {
+		t.Fatalf("intent %s", v.Intent)
+	}
+}
+
+func TestGenerateRecordsFacade(t *testing.T) {
+	recs := medchain.GenerateRecords(medchain.GenConfig{Seed: 1, Patients: 10})
+	if len(recs) != 10 {
+		t.Fatalf("%d records", len(recs))
+	}
+	hasCond := false
+	for _, r := range recs {
+		if r.HasCondition(medchain.CondDiabetes) || r.HasCondition(medchain.CondStroke) {
+			hasCond = true
+		}
+	}
+	_ = hasCond // prevalence is probabilistic at n=10; just ensure API shape
+}
+
+func TestAuditTrialsFacadeEmpty(t *testing.T) {
+	p, err := medchain.NewPlatform(medchain.Config{
+		Sites: 1, PatientsPerSite: 10, Seed: 2, KeySeed: "facade-audit",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rep := medchain.AuditTrials(p)
+	if rep.Total != 0 {
+		t.Fatalf("unexpected trials: %d", rep.Total)
+	}
+}
+
+func TestFacadeQualityAndBalance(t *testing.T) {
+	recs := medchain.GenerateRecords(medchain.GenConfig{Seed: 9, Patients: 30})
+	rep := medchain.ValidateRecords(recs)
+	if !rep.Clean() {
+		t.Fatalf("generated records dirty: %+v", rep.Issues)
+	}
+	bal, err := medchain.RecruitmentBalance(
+		[]string{"group-A", "group-A"},
+		[]string{"group-A", "group-B", "group-B"},
+		0.5,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal.Balanced() {
+		t.Fatal("biased enrollment passed the facade audit")
+	}
+}
+
+func TestFacadeSQL(t *testing.T) {
+	p, err := medchain.NewPlatform(medchain.Config{
+		Sites: 2, PatientsPerSite: 20, Seed: 3, KeySeed: "facade-sql",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	researcher, err := p.Acquire("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.GrantAll(researcher, []medchain.Action{medchain.ActionExecute}, "sql"); err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := p.RunSQL(researcher, "SELECT count(*) FROM records")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SitesSucceeded != 2 || len(res.Rows) != 1 {
+		t.Fatalf("sql via facade: %+v %+v", stats, res)
+	}
+	if len(medchain.SQLColumns()) == 0 {
+		t.Fatal("no sql schema")
+	}
+}

@@ -160,6 +160,24 @@ func BenchmarkE8HIE(b *testing.B) {
 	b.Log("\n" + experiments.TableE8(rows))
 }
 
+func BenchmarkE9Availability(b *testing.B) {
+	var rows []experiments.E9Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E9Availability(experiments.E9Config{
+			Nodes:         4,
+			Rounds:        5,
+			CommitTimeout: time.Second,
+			Seed:          int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE9(rows))
+}
+
 func BenchmarkA1Consensus(b *testing.B) {
 	var rows []experiments.A1Row
 	for i := 0; i < b.N; i++ {

@@ -1,5 +1,5 @@
 // Command benchmed runs the paper-reproduction experiment suite
-// (DESIGN.md §4: E1–E8 core experiments and A1–A3 ablations) and prints
+// (DESIGN.md §4: E1–E9 core experiments and A1–A4 ablations) and prints
 // the result tables. Use -run to select a subset:
 //
 //	benchmed                # everything (a few minutes)
@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (e1..e8,a1..a4) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1..e9,a1..a4) or 'all'")
 	quick := flag.Bool("quick", false, "reduced sweep sizes for a fast pass")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	flag.Parse()
@@ -128,6 +128,18 @@ func main() {
 			fail("e8", err)
 		}
 		fmt.Println(experiments.TableE8(rows))
+	}
+	if want("e9") {
+		cfg := experiments.E9Config{Seed: *seed}
+		if *quick {
+			cfg.Rounds = 5
+			cfg.CommitTimeout = time.Second
+		}
+		rows, err := experiments.E9Availability(cfg)
+		if err != nil {
+			fail("e9", err)
+		}
+		fmt.Println(experiments.TableE9(rows))
 	}
 	if want("a1") {
 		rows, err := experiments.A1Consensus(experiments.A1Config{Seed: *seed})

@@ -1,6 +1,7 @@
 package chain
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"medchain/internal/cryptoutil"
 	"medchain/internal/ledger"
 	"medchain/internal/p2p"
+	"medchain/internal/resilience"
 )
 
 // EngineKind selects the consensus engine of a cluster.
@@ -151,18 +153,76 @@ func (c *Cluster) PoWWork() int64 {
 	return c.pow.HashAttempts()
 }
 
-// Submit gossips a transaction into every mempool via node 0.
+// Submit gossips a transaction into every mempool via the first
+// running node (node 0 unless it crashed).
 func (c *Cluster) Submit(tx *ledger.Transaction) error {
-	return c.nodes[0].Gossip(tx)
+	for _, n := range c.nodes {
+		if n.Running() {
+			return n.Gossip(tx)
+		}
+	}
+	return ErrStopped
 }
 
-// maxHeightIndex returns the index of the node with the highest chain.
-func (c *Cluster) maxHeightIndex() int {
-	best := 0
+// SubmitVia gossips a transaction through node i — fault experiments
+// use this to inject load on a chosen partition side.
+func (c *Cluster) SubmitVia(i int, tx *ledger.Transaction) error {
+	return c.nodes[i].Gossip(tx)
+}
+
+// StopNode crashes node i (detach + halt loop); a no-op if already
+// stopped.
+func (c *Cluster) StopNode(i int) { c.nodes[i].Stop() }
+
+// RestartNode rejoins node i to the network and triggers a re-sync
+// from the most advanced running node so it replays missed blocks.
+func (c *Cluster) RestartNode(i int) error {
+	if err := c.nodes[i].Restart(); err != nil {
+		return err
+	}
+	if ref := c.maxHeightIndex(); ref != i && c.nodes[ref].Height() > c.nodes[i].Height() {
+		c.nodes[i].requestSync(c.nodes[ref].ID())
+	}
+	return nil
+}
+
+// SyncLagging asks every running node behind the best running head to
+// re-sync from it — the catch-up nudge recovery loops use after faults
+// heal.
+func (c *Cluster) SyncLagging() {
+	ref := c.nodes[c.maxHeightIndex()]
+	for _, n := range c.nodes {
+		if n.Running() && n.Height() < ref.Height() {
+			n.requestSync(ref.ID())
+		}
+	}
+}
+
+// RunningNodes returns the indices of nodes whose loops are alive.
+func (c *Cluster) RunningNodes() []int {
+	var idx []int
 	for i, n := range c.nodes {
-		if n.Height() > c.nodes[best].Height() {
+		if n.Running() {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// maxHeightIndex returns the index of the running node with the
+// highest chain (falling back to node 0 when everything is down).
+func (c *Cluster) maxHeightIndex() int {
+	best := -1
+	for i, n := range c.nodes {
+		if !n.Running() {
+			continue
+		}
+		if best < 0 || n.Height() > c.nodes[best].Height() {
 			best = i
 		}
+	}
+	if best < 0 {
+		return 0
 	}
 	return best
 }
@@ -185,63 +245,177 @@ func (c *Cluster) proposerIndex() int {
 	return 0
 }
 
-// Commit produces one block from the scheduled proposer and waits until
-// every node has applied it. It returns the committed block.
-func (c *Cluster) Commit() (*ledger.Block, error) {
-	// Bring a lagging proposer (e.g. freshly healed from a partition)
-	// up to date before it builds on a stale head.
-	ref := c.maxHeightIndex()
-	p := c.nodes[c.proposerIndex()]
-	if p.Height() < c.nodes[ref].Height() {
-		p.requestSync(c.nodes[ref].ID())
-		deadline := time.Now().Add(c.cfg.CommitTimeout)
-		for p.Height() < c.nodes[ref].Height() {
-			if time.Now().After(deadline) {
-				return nil, fmt.Errorf("chain: proposer %s stuck behind at height %d", p.ID(), p.Height())
-			}
-			time.Sleep(200 * time.Microsecond)
+// proposerCandidates returns proposer indices to try this round:
+// the scheduled node first, then — for engines whose seal check does
+// not pin the schedule (Quorum certifies any validator, PoW anyone) —
+// the remaining running nodes in rotation order as failover targets.
+// PoA and PoS enforce the schedule in VerifySeal, so a substitute's
+// block would be rejected by every honest node: the scheduled proposer
+// is their only candidate.
+func (c *Cluster) proposerCandidates() []int {
+	sched := c.proposerIndex()
+	if c.cfg.Engine == EnginePoA || c.cfg.Engine == EnginePoS {
+		return []int{sched}
+	}
+	cands := make([]int, 0, len(c.nodes))
+	for k := 0; k < len(c.nodes); k++ {
+		i := (sched + k) % len(c.nodes)
+		if c.nodes[i].Running() {
+			cands = append(cands, i)
 		}
 	}
-	votesNeeded := 0
-	blk, err := p.produceBlock(c.cfg.MaxBlockTxs, votesNeeded, c.cfg.CommitTimeout)
+	if len(cands) == 0 {
+		cands = append(cands, sched)
+	}
+	return cands
+}
+
+// commitPoll is the backoff profile for commit-path condition waits
+// (proposer catch-up, block replication).
+func commitPoll() *resilience.Backoff {
+	return &resilience.Backoff{Base: 200 * time.Microsecond, Max: 2 * time.Millisecond}
+}
+
+// commitVia runs one commit attempt through proposer p within timeout:
+// sync p if it lags, produce the block, then wait until every running
+// node applied it, periodically nudging laggards with sync requests
+// (a node that lost the block broadcast to message loss recovers this
+// way). Mirrors Commit's contract: (nil, err) when no block was
+// produced, (blk, wrapped ErrNoQuorum) when produced but not fully
+// replicated.
+func (c *Cluster) commitVia(p *Node, timeout time.Duration) (*ledger.Block, error) {
+	// Bring a lagging proposer (e.g. freshly healed from a partition or
+	// restarted after a crash) up to date before it builds on a stale
+	// head.
+	ref := c.nodes[c.maxHeightIndex()]
+	if p.Height() < ref.Height() {
+		p.requestSync(ref.ID())
+		ok := resilience.Poll(time.Now().Add(timeout), commitPoll(), func() bool {
+			return p.Height() >= ref.Height()
+		})
+		if !ok {
+			return nil, fmt.Errorf("chain: proposer %s stuck behind at height %d", p.ID(), p.Height())
+		}
+	}
+	blk, err := p.produceBlock(c.cfg.MaxBlockTxs, 0, timeout)
 	if err != nil {
 		return nil, err
 	}
-	deadline := time.Now().Add(c.cfg.CommitTimeout)
-	for {
+	nudge := time.Now().Add(timeout / 4)
+	ok := resilience.Poll(time.Now().Add(timeout), commitPoll(), func() bool {
 		done := true
 		for _, n := range c.nodes {
-			if n.Height() < blk.Header.Height {
-				done = false
-				break
+			if !n.Running() || n.Height() >= blk.Header.Height {
+				continue
+			}
+			done = false
+			if time.Now().After(nudge) {
+				n.requestSync(p.ID())
 			}
 		}
-		if done {
-			return blk, nil
+		if time.Now().After(nudge) {
+			nudge = time.Now().Add(timeout / 4)
 		}
-		if time.Now().After(deadline) {
-			return blk, fmt.Errorf("chain: %w: block %d not replicated everywhere", ErrNoQuorum, blk.Header.Height)
-		}
-		time.Sleep(200 * time.Microsecond)
+		return done
+	})
+	if !ok {
+		return blk, fmt.Errorf("chain: %w: block %d not replicated everywhere", ErrNoQuorum, blk.Header.Height)
 	}
+	return blk, nil
 }
 
-// CommitAll repeatedly commits blocks until every mempool is empty,
-// returning the number of blocks produced.
+// Commit produces one block and waits until every running node has
+// applied it. The scheduled proposer goes first; if it is down or its
+// round fails outright, Commit fails over to the next running candidate
+// (engines permitting — see proposerCandidates) within the same
+// CommitTimeout. A round that produced a block but could not replicate
+// it everywhere returns the block alongside the error: the chain
+// advanced on the quorum side and a substitute proposer must not fork
+// it.
+func (c *Cluster) Commit() (*ledger.Block, error) {
+	cands := c.proposerCandidates()
+	budget := c.cfg.CommitTimeout / time.Duration(len(cands))
+	var lastErr error
+	for _, i := range cands {
+		blk, err := c.commitVia(c.nodes[i], budget)
+		if blk != nil || err == nil {
+			return blk, err
+		}
+		lastErr = fmt.Errorf("proposer %s: %w", c.nodes[i].ID(), err)
+	}
+	return nil, fmt.Errorf("chain: all %d proposer candidates failed: %w", len(cands), lastErr)
+}
+
+// commitAllRetries bounds how often CommitAll retries a transiently
+// failing round before giving up.
+const commitAllRetries = 3
+
+// CommitAll repeatedly commits blocks until every running node's
+// mempool is empty, returning the number of blocks produced. A round
+// that fails with a transient ErrNoQuorum is retried with bounded
+// backoff; only after commitAllRetries consecutive failures does
+// CommitAll give up, returning the blocks committed so far alongside
+// an error wrapping resilience.ErrRetriesExhausted.
 func (c *Cluster) CommitAll() (int, error) {
 	blocks := 0
+	failures := 0
+	backoff := &resilience.Backoff{Base: time.Millisecond, Max: 50 * time.Millisecond}
 	for {
 		pending := 0
 		for _, n := range c.nodes {
+			if !n.Running() {
+				continue
+			}
 			pending += n.MempoolSize()
 		}
 		if pending == 0 {
 			return blocks, nil
 		}
-		if _, err := c.Commit(); err != nil {
+		blk, err := c.Commit()
+		if blk != nil {
+			blocks++
+		}
+		if err == nil {
+			if len(blk.Txs) == 0 {
+				// Pending txs exist but the proposer's mempool missed
+				// them (lossy gossip): re-gossip and count the empty
+				// round as a soft failure so this cannot spin forever.
+				c.regossip()
+				failures++
+				if failures >= commitAllRetries {
+					return blocks, fmt.Errorf("chain: %w: %d empty rounds with %d txs pending",
+						resilience.ErrRetriesExhausted, failures, pending)
+				}
+				backoff.Sleep()
+				continue
+			}
+			failures = 0
+			backoff.Reset()
+			continue
+		}
+		if !errors.Is(err, ErrNoQuorum) {
 			return blocks, err
 		}
-		blocks++
+		failures++
+		if failures >= commitAllRetries {
+			return blocks, fmt.Errorf("chain: %w: round failed %d times: %w",
+				resilience.ErrRetriesExhausted, failures, err)
+		}
+		backoff.Sleep()
+	}
+}
+
+// regossip has every running node re-broadcast its pending txs —
+// recovery for gossip lost to drops or crashes (SubmitLocal is
+// idempotent, so duplicates are free).
+func (c *Cluster) regossip() {
+	for _, n := range c.nodes {
+		if !n.Running() {
+			continue
+		}
+		for _, tx := range n.takeMempool(0) {
+			_ = n.Gossip(tx)
+		}
 	}
 }
 

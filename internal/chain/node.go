@@ -26,6 +26,7 @@ import (
 	"medchain/internal/cryptoutil"
 	"medchain/internal/ledger"
 	"medchain/internal/p2p"
+	"medchain/internal/resilience"
 	"medchain/internal/vm"
 )
 
@@ -62,25 +63,31 @@ type Node struct {
 	id     p2p.NodeID
 	key    *cryptoutil.KeyPair
 	engine consensus.Engine
-	ep     p2p.Endpoint
 
-	mu        sync.Mutex
-	chain     *ledger.Chain
-	state     *contract.State
-	mempool   []*ledger.Transaction
-	seen      map[cryptoutil.Digest]bool // mempool + committed tx IDs
-	receipts  map[cryptoutil.Digest]*contract.Receipt
-	gasUsed   int64           // cumulative gas this node burned executing contracts
-	appliedBy map[uint64]bool // heights already applied locally (proposer pre-applies)
+	// lifeMu guards the lifecycle: the current endpoint (nil while
+	// stopped), the running flag, and the per-incarnation stop channel.
+	// Stop detaches the node from the network; Restart rejoins and the
+	// caller re-syncs via requestSync.
+	lifeMu  sync.Mutex
+	ep      p2p.Endpoint
+	net     *p2p.Network // rejoin target for Restart; nil for injected endpoints
+	running bool
+	stopped chan struct{}
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	chain    *ledger.Chain
+	state    *contract.State
+	mempool  []*ledger.Transaction
+	seen     map[cryptoutil.Digest]bool // mempool + committed tx IDs
+	receipts map[cryptoutil.Digest]*contract.Receipt
+	gasUsed  int64 // cumulative gas this node burned executing contracts
 
 	subsMu sync.Mutex
 	subs   []chan EventRecord
 
 	votesMu sync.Mutex
 	votes   map[cryptoutil.Digest][]consensus.Vote
-
-	wg      sync.WaitGroup
-	stopped chan struct{}
 }
 
 // NewNode creates a node attached to a simulated network. chainID must
@@ -90,27 +97,29 @@ func NewNode(id p2p.NodeID, key *cryptoutil.KeyPair, chainID string, engine cons
 	if err != nil {
 		return nil, fmt.Errorf("chain: join network: %w", err)
 	}
-	return NewNodeWithEndpoint(id, key, chainID, engine, ep), nil
+	n := NewNodeWithEndpoint(id, key, chainID, engine, ep)
+	n.net = net
+	return n, nil
 }
 
 // NewNodeWithEndpoint creates a node over any transport implementing
 // p2p.Endpoint (e.g. a TCP endpoint for multi-process deployments).
 func NewNodeWithEndpoint(id p2p.NodeID, key *cryptoutil.KeyPair, chainID string, engine consensus.Engine, ep p2p.Endpoint) *Node {
 	n := &Node{
-		id:        id,
-		key:       key,
-		engine:    engine,
-		ep:        ep,
-		chain:     ledger.NewChain(chainID),
-		state:     contract.NewState(),
-		seen:      make(map[cryptoutil.Digest]bool),
-		receipts:  make(map[cryptoutil.Digest]*contract.Receipt),
-		appliedBy: make(map[uint64]bool),
-		votes:     make(map[cryptoutil.Digest][]consensus.Vote),
-		stopped:   make(chan struct{}),
+		id:       id,
+		key:      key,
+		engine:   engine,
+		ep:       ep,
+		running:  true,
+		chain:    ledger.NewChain(chainID),
+		state:    contract.NewState(),
+		seen:     make(map[cryptoutil.Digest]bool),
+		receipts: make(map[cryptoutil.Digest]*contract.Receipt),
+		votes:    make(map[cryptoutil.Digest][]consensus.Vote),
+		stopped:  make(chan struct{}),
 	}
 	n.wg.Add(1)
-	go n.loop()
+	go n.loop(ep, n.stopped)
 	return n
 }
 
@@ -217,6 +226,10 @@ func (n *Node) SubmitLocal(tx *ledger.Transaction) error {
 // locally) — the paper's broadcast protocol for intent ledger
 // modifications.
 func (n *Node) Gossip(tx *ledger.Transaction) error {
+	ep := n.endpoint()
+	if ep == nil {
+		return ErrStopped
+	}
 	if err := n.SubmitLocal(tx); err != nil {
 		return err
 	}
@@ -224,7 +237,7 @@ func (n *Node) Gossip(tx *ledger.Transaction) error {
 	if err != nil {
 		return err
 	}
-	return n.ep.BroadcastMsg(topicTx, body)
+	return ep.BroadcastMsg(topicTx, body)
 }
 
 // MempoolSize returns the number of pending transactions.
@@ -234,36 +247,89 @@ func (n *Node) MempoolSize() int {
 	return len(n.mempool)
 }
 
-// Close stops the node's loop. The p2p endpoint is closed by the
-// network owner.
-func (n *Node) Close() {
-	select {
-	case <-n.stopped:
+// endpoint returns the node's current transport, or nil while stopped.
+func (n *Node) endpoint() p2p.Endpoint {
+	n.lifeMu.Lock()
+	defer n.lifeMu.Unlock()
+	return n.ep
+}
+
+// Running reports whether the node's message loop is alive.
+func (n *Node) Running() bool {
+	n.lifeMu.Lock()
+	defer n.lifeMu.Unlock()
+	return n.running
+}
+
+// Stop crashes the node: it detaches from the network (dropping all
+// in-flight messages), halts the message loop, and waits for it to
+// exit. Ledger, state, and mempool are retained — a stopped node models
+// a process crash with durable storage, and Restart brings it back.
+// Stop is idempotent.
+func (n *Node) Stop() {
+	n.lifeMu.Lock()
+	if !n.running {
+		n.lifeMu.Unlock()
 		return
-	default:
-		close(n.stopped)
 	}
-	n.ep.Close()
+	n.running = false
+	close(n.stopped)
+	ep := n.ep
+	n.ep = nil
+	n.lifeMu.Unlock()
+	if ep != nil {
+		ep.Close()
+	}
 	n.wg.Wait()
 }
 
-// loop consumes network messages until the node stops.
-func (n *Node) loop() {
+// Restart rejoins the network after Stop and resumes the message loop.
+// The node comes back at its pre-crash height; callers re-sync it with
+// requestSync (Cluster.RestartNode does this automatically). Restart on
+// a running node is a no-op.
+func (n *Node) Restart() error {
+	n.lifeMu.Lock()
+	defer n.lifeMu.Unlock()
+	if n.running {
+		return nil
+	}
+	if n.net == nil {
+		return fmt.Errorf("chain: node %s has no network to rejoin", n.id)
+	}
+	ep, err := n.net.Join(n.id)
+	if err != nil {
+		return fmt.Errorf("chain: rejoin network: %w", err)
+	}
+	n.ep = ep
+	n.stopped = make(chan struct{})
+	n.running = true
+	n.wg.Add(1)
+	go n.loop(ep, n.stopped)
+	return nil
+}
+
+// Close stops the node's loop and detaches it from the network.
+func (n *Node) Close() { n.Stop() }
+
+// loop consumes network messages until this incarnation stops. It
+// captures its own endpoint and stop channel so a concurrent
+// Stop/Restart cycle cannot hand it the next incarnation's transport.
+func (n *Node) loop(ep p2p.Endpoint, stopped chan struct{}) {
 	defer n.wg.Done()
 	for {
 		select {
-		case <-n.stopped:
+		case <-stopped:
 			return
-		case msg, ok := <-n.ep.Inbox():
+		case msg, ok := <-ep.Inbox():
 			if !ok {
 				return
 			}
-			n.handle(msg)
+			n.handle(ep, msg)
 		}
 	}
 }
 
-func (n *Node) handle(msg p2p.Message) {
+func (n *Node) handle(ep p2p.Endpoint, msg p2p.Message) {
 	switch msg.Topic {
 	case topicTx:
 		tx, err := ledger.DecodeTransaction(msg.Payload)
@@ -289,7 +355,7 @@ func (n *Node) handle(msg p2p.Message) {
 		if err != nil {
 			return
 		}
-		_ = n.ep.Send(msg.From, topicVote, body)
+		_ = ep.Send(msg.From, topicVote, body)
 
 	case topicVote:
 		var v consensus.Vote
@@ -331,25 +397,32 @@ func (n *Node) handle(msg p2p.Message) {
 			if err != nil {
 				return
 			}
-			if err := n.ep.Send(msg.From, topicBlock, body); err != nil {
+			if err := ep.Send(msg.From, topicBlock, body); err != nil {
 				return
 			}
 		}
 	}
 }
 
-// requestSync asks a peer for all blocks after our head.
+// requestSync asks a peer for all blocks after our head. A stopped
+// node silently skips the request.
 func (n *Node) requestSync(peer p2p.NodeID) {
+	ep := n.endpoint()
+	if ep == nil {
+		return
+	}
 	body, err := json.Marshal(n.chain.Height())
 	if err != nil {
 		return
 	}
-	_ = n.ep.Send(peer, topicSyncReq, body)
+	_ = ep.Send(peer, topicSyncReq, body)
 }
 
-// acceptBlock verifies consensus + ledger rules, appends, and executes
-// every transaction (replicated execution). It is idempotent for
-// already-known heights.
+// acceptBlock verifies consensus + ledger rules, executes every
+// transaction (replicated execution), checks the state root, and
+// appends. Proposer and followers commit through this same path, so a
+// block that fails consensus never touches live state. It is idempotent
+// for already-known heights.
 func (n *Node) acceptBlock(blk *ledger.Block) error {
 	if blk.Header.Height <= n.chain.Height() {
 		return nil // already have it
@@ -360,18 +433,13 @@ func (n *Node) acceptBlock(blk *ledger.Block) error {
 	if err := n.chain.Validate(blk); err != nil {
 		return err
 	}
-	n.mu.Lock()
-	preApplied := n.appliedBy[blk.Header.Height]
-	n.mu.Unlock()
-	if !preApplied {
-		if err := n.execute(blk); err != nil {
-			return err
-		}
-		// Every honest node must reproduce the proposer's state root —
-		// this is the consistency check of replicated execution.
-		if root := n.state.Root(); root != blk.Header.StateRoot {
-			return fmt.Errorf("%w: computed %s, header %s", ErrRootDiverged, root.Short(), blk.Header.StateRoot.Short())
-		}
+	if err := n.execute(blk); err != nil {
+		return err
+	}
+	// Every honest node must reproduce the proposer's state root —
+	// this is the consistency check of replicated execution.
+	if root := n.state.Root(); root != blk.Header.StateRoot {
+		return fmt.Errorf("%w: computed %s, header %s", ErrRootDiverged, root.Short(), blk.Header.StateRoot.Short())
 	}
 	if err := n.chain.Append(blk); err != nil {
 		return err
@@ -437,9 +505,19 @@ func (n *Node) takeMempool(max int) []*ledger.Transaction {
 	return txs
 }
 
-// produceBlock builds, seals, pre-applies, and broadcasts the next
-// block from this node's mempool. Returns the committed block.
+// produceBlock builds, seals, commits, and broadcasts the next block
+// from this node's mempool. The post-state root is computed by
+// preview-executing the candidate transactions on a state clone, so a
+// round that fails consensus (no quorum, timeout) leaves the live
+// state, mempool, and chain untouched — the invariant commit retry and
+// proposer failover rely on. On success the proposer commits through
+// the same acceptBlock path as every follower. Returns the committed
+// block.
 func (n *Node) produceBlock(maxTxs int, votesNeeded int, voteTimeout time.Duration) (*ledger.Block, error) {
+	ep := n.endpoint()
+	if ep == nil {
+		return nil, ErrStopped
+	}
 	txs := n.takeMempool(maxTxs)
 	head := n.chain.Head()
 	ts := head.Header.Timestamp + 1
@@ -459,19 +537,19 @@ func (n *Node) produceBlock(maxTxs int, votesNeeded int, voteTimeout time.Durati
 	}
 	blk.Header.TxRoot = root
 
-	// Execute to obtain the post-state root (proposer pre-applies;
-	// followers re-execute and must agree).
-	if err := n.execute(blk); err != nil {
-		return nil, err
+	// Preview-execute on a clone to obtain the post-state root;
+	// followers re-execute on their live state and must agree.
+	preview := n.state.Clone()
+	for _, tx := range txs {
+		if _, err := preview.Apply(tx, blk.Header.Height, ts); err != nil {
+			return nil, err
+		}
 	}
-	blk.Header.StateRoot = n.state.Root()
-	n.mu.Lock()
-	n.appliedBy[blk.Header.Height] = true
-	n.mu.Unlock()
+	blk.Header.StateRoot = preview.Root()
 
 	switch eng := n.engine.(type) {
 	case *consensus.Quorum:
-		if err := n.gatherQuorum(eng, blk, votesNeeded, voteTimeout); err != nil {
+		if err := n.gatherQuorum(eng, ep, blk, votesNeeded, voteTimeout); err != nil {
 			return nil, err
 		}
 	default:
@@ -480,57 +558,55 @@ func (n *Node) produceBlock(maxTxs int, votesNeeded int, voteTimeout time.Durati
 		}
 	}
 
-	if err := n.chain.Append(blk); err != nil {
+	if err := n.acceptBlock(blk); err != nil {
 		return nil, err
 	}
-	n.pruneMempool(blk)
 
 	body, err := blk.Encode()
 	if err != nil {
 		return nil, err
 	}
-	if err := n.ep.BroadcastMsg(topicBlock, body); err != nil {
-		return nil, err
+	if err := ep.BroadcastMsg(topicBlock, body); err != nil {
+		return blk, err
 	}
 	return blk, nil
 }
 
 // gatherQuorum runs one round of the vote protocol: broadcast the
 // proposal, collect 2f+1 votes (own vote included), attach the
-// certificate.
-func (n *Node) gatherQuorum(eng *consensus.Quorum, blk *ledger.Block, votesNeeded int, timeout time.Duration) error {
+// certificate. Vote collection polls with capped exponential backoff
+// instead of spinning; on timeout the partial vote set is kept so an
+// immediate re-proposal of the same block can reuse it.
+func (n *Node) gatherQuorum(eng *consensus.Quorum, ep p2p.Endpoint, blk *ledger.Block, votesNeeded int, timeout time.Duration) error {
 	hash := blk.Hash()
 	own, err := consensus.SignVote(hash, n.key)
 	if err != nil {
 		return err
 	}
 	n.votesMu.Lock()
-	n.votes[hash] = append(n.votes[hash], own)
+	if len(n.votes[hash]) == 0 {
+		n.votes[hash] = append(n.votes[hash], own)
+	}
 	n.votesMu.Unlock()
 
 	body, err := blk.Encode()
 	if err != nil {
 		return err
 	}
-	if err := n.ep.BroadcastMsg(topicProposal, body); err != nil {
+	if err := ep.BroadcastMsg(topicProposal, body); err != nil {
 		return err
 	}
 
 	if votesNeeded <= 0 {
 		votesNeeded = eng.Validators().QuorumThreshold()
 	}
-	deadline := time.Now().Add(timeout)
-	for {
+	count := func() int {
 		n.votesMu.Lock()
-		got := len(n.votes[hash])
-		n.votesMu.Unlock()
-		if got >= votesNeeded {
-			break
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("%w: %d/%d votes", ErrNoQuorum, got, votesNeeded)
-		}
-		time.Sleep(200 * time.Microsecond)
+		defer n.votesMu.Unlock()
+		return len(n.votes[hash])
+	}
+	if !resilience.Poll(time.Now().Add(timeout), nil, func() bool { return count() >= votesNeeded }) {
+		return fmt.Errorf("%w: %d/%d votes", ErrNoQuorum, count(), votesNeeded)
 	}
 	n.votesMu.Lock()
 	qc := &consensus.QuorumCert{Block: hash, Votes: append([]consensus.Vote(nil), n.votes[hash]...)}

@@ -148,6 +148,76 @@ func (s *State) SetHost(host map[string]vm.HostFunc) {
 	s.host = host
 }
 
+// Clone deep-copies the state machine. A block proposer executes its
+// candidate transactions on a clone to compute the post-state root for
+// the header, then commits the block through the same verify-execute
+// path as every follower — so a proposal that fails consensus leaves
+// the real state untouched (the property proposer failover and commit
+// retry depend on).
+//
+// "registry.*" host entries are rebound to the clone's own registry so
+// they read cloned data; other host entries (oracle bridges) are shared
+// — they must be state-independent and deterministic anyway.
+func (s *State) Clone() *State {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := NewState()
+	c.requestSeq = s.requestSeq
+	for id, d := range s.datasets {
+		cp := *d
+		c.datasets[id] = &cp
+	}
+	for id, t := range s.tools {
+		cp := *t
+		c.tools[id] = &cp
+	}
+	for key, p := range s.policies {
+		cp := &Policy{Owner: p.Owner, Grants: make([]Grant, len(p.Grants))}
+		for i, g := range p.Grants {
+			g.Actions = append([]Action(nil), g.Actions...)
+			cp.Grants[i] = g
+		}
+		c.policies[key] = cp
+	}
+	for id, t := range s.trials {
+		cp := *t
+		cp.PrimaryOutcomes = append([]string(nil), t.PrimaryOutcomes...)
+		cp.Enrollments = append([]Enrollment(nil), t.Enrollments...)
+		cp.Reports = make([]OutcomeReport, len(t.Reports))
+		for i, rep := range t.Reports {
+			rep.Outcomes = append([]string(nil), rep.Outcomes...)
+			cp.Reports[i] = rep
+		}
+		cp.AdverseEvents = append([]AdverseEventRecord(nil), t.AdverseEvents...)
+		c.trials[id] = &cp
+	}
+	for label, a := range s.anchors {
+		cp := *a
+		c.anchors[label] = &cp
+	}
+	for addr, d := range s.deployed {
+		cp := *d // Code bytes shared: immutable after deploy
+		c.deployed[addr] = &cp
+	}
+	for addr, st := range s.vmStorage {
+		ms := vm.NewMemStorage()
+		for _, k := range st.Keys() {
+			v, _ := st.Get([]byte(k))
+			ms.Set([]byte(k), v)
+		}
+		c.vmStorage[addr] = ms
+	}
+	if s.host != nil {
+		c.host = c.RegistryHostFuncs()
+		for name, fn := range s.host {
+			if _, registry := c.host[name]; !registry {
+				c.host[name] = fn
+			}
+		}
+	}
+	return c
+}
+
 // resource keys.
 func dataKey(id string) string { return "data:" + id }
 func toolKey(id string) string { return "tool:" + id }

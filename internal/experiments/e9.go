@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"medchain/internal/chain"
+	"medchain/internal/chaos"
+	"medchain/internal/contract"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+)
+
+// --- E9: availability under faults ---
+//
+// The paper's Fig. 2 puts the medical blockchain across hospital sites
+// on a wide-area network, where crashes, partitions, and lossy links
+// are routine. E9 drives a commit workload while the chaos harness
+// (internal/chaos) injects scripted faults and measures what survives:
+// the committed-transaction ratio, the time to recover full
+// consistency after the faults heal, and whether every node converges
+// to the same head and state root.
+
+// E9Config tunes the fault-availability experiment.
+type E9Config struct {
+	// Nodes is the cluster size (default 4: tolerates one crash under
+	// the 2f+1 quorum rule).
+	Nodes int
+	// Rounds is the number of submit+commit workload rounds per
+	// scenario.
+	Rounds int
+	// LossRate is the drop probability of the loss-spike scenario.
+	LossRate float64
+	// CommitTimeout bounds one commit round (kept short so faulted
+	// rounds fail fast instead of stalling the run).
+	CommitTimeout time.Duration
+	// RecoveryTimeout bounds the post-heal convergence wait.
+	RecoveryTimeout time.Duration
+	// Seed drives the chaos schedules (same seed, same fault log).
+	Seed int64
+}
+
+func (c E9Config) withDefaults() E9Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 8
+	}
+	if c.LossRate <= 0 {
+		c.LossRate = 0.3
+	}
+	if c.CommitTimeout <= 0 {
+		c.CommitTimeout = 2 * time.Second
+	}
+	if c.RecoveryTimeout <= 0 {
+		c.RecoveryTimeout = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// E9Row is one scenario's availability outcome.
+type E9Row struct {
+	// Scenario names the fault script.
+	Scenario string
+	// Faults is the number of injected fault events.
+	Faults int
+	// Submitted and Committed count workload transactions.
+	Submitted, Committed int
+	// Ratio is Committed/Submitted (1.0 = no tx lost to the faults).
+	Ratio float64
+	// Recovery is the post-heal time to full consistency.
+	Recovery time.Duration
+	// Consistent reports whether every node converged to the same head
+	// and state root after recovery.
+	Consistent bool
+	// Overflow counts inbox-overflow drops observed by the chaos log.
+	Overflow int64
+}
+
+func e9DatasetTx(kp *cryptoutil.KeyPair, nonce uint64, id string) (*ledger.Transaction, error) {
+	args, err := json.Marshal(contract.RegisterDatasetArgs{
+		ID: id, Digest: cryptoutil.Sum([]byte(id)), Schema: "cdf/v1", Records: 10, SiteID: "site",
+	})
+	if err != nil {
+		return nil, err
+	}
+	tx := &ledger.Transaction{
+		Type: ledger.TxData, Nonce: nonce, Method: "register_dataset",
+		Args: args, Timestamp: 1,
+	}
+	if err := tx.Sign(kp); err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// e9Scenario runs one fault script against a fresh cluster: submit one
+// tx per round while the orchestrator injects faults, heal, drain the
+// mempools, await convergence, and account for every transaction.
+func e9Scenario(cfg E9Config, name string, sched chaos.Schedule) (E9Row, error) {
+	row := E9Row{Scenario: name}
+	c, err := chain.NewCluster(chain.ClusterConfig{
+		Nodes:         cfg.Nodes,
+		Engine:        chain.EngineQuorum,
+		KeySeed:       fmt.Sprintf("e9-%s-%d", name, cfg.Seed),
+		CommitTimeout: cfg.CommitTimeout,
+	})
+	if err != nil {
+		return row, err
+	}
+	defer c.Close()
+	orch := chaos.New(c, sched)
+
+	user, err := cryptoutil.DeriveKeyPair(fmt.Sprintf("e9-user-%d", cfg.Seed))
+	if err != nil {
+		return row, err
+	}
+	var txs []*ledger.Transaction
+	for r := 0; r < cfg.Rounds; r++ {
+		orch.Advance(r)
+		tx, err := e9DatasetTx(user, uint64(r), fmt.Sprintf("e9/%s/d-%d", name, r))
+		if err != nil {
+			return row, err
+		}
+		if err := c.Submit(tx); err != nil {
+			return row, fmt.Errorf("experiments: e9 %s round %d submit: %w", name, r, err)
+		}
+		txs = append(txs, tx)
+		_, _ = c.Commit() // faulted rounds may fail or replicate partially
+	}
+
+	orch.Finish()
+	healed := time.Now()
+	if _, err := c.CommitAll(); err != nil {
+		return row, fmt.Errorf("experiments: e9 %s post-heal drain: %w", name, err)
+	}
+	recoveryErr := orch.AwaitRecovery(cfg.RecoveryTimeout)
+	row.Recovery = time.Since(healed)
+	row.Consistent = recoveryErr == nil && c.VerifyConsistency() == nil
+	row.Overflow = orch.ObserveOverflow()
+	row.Faults = len(orch.FaultLog())
+	row.Submitted = len(txs)
+	for _, tx := range txs {
+		if _, ok := c.Node(0).Receipt(tx.ID()); ok {
+			row.Committed++
+		}
+	}
+	if row.Submitted > 0 {
+		row.Ratio = float64(row.Committed) / float64(row.Submitted)
+	}
+	return row, nil
+}
+
+// E9Availability runs the availability-under-faults suite: a fault-free
+// baseline, a mid-run crash of a follower, a crash of the scheduled
+// proposer (exercising Commit failover), a transient loss spike, and a
+// partition that heals. Every scenario must end consistent with all
+// submitted transactions committed.
+func E9Availability(cfg E9Config) ([]E9Row, error) {
+	cfg = cfg.withDefaults()
+	scenarios := []struct {
+		name  string
+		sched chaos.Schedule
+	}{
+		{"baseline (no faults)", chaos.Schedule{Name: "baseline"}},
+		{"crash follower", chaos.CrashFollower(cfg.Nodes, cfg.Rounds, cfg.Seed)},
+		{"crash proposer", chaos.CrashProposer(cfg.Nodes, cfg.Rounds, cfg.Seed)},
+		{fmt.Sprintf("loss %.0f%%", cfg.LossRate*100), chaos.LossSpike(cfg.Rounds, cfg.LossRate, cfg.Seed)},
+		{"partition + heal", chaos.PartitionAndHeal(cfg.Nodes, cfg.Rounds, cfg.Seed)},
+	}
+	rows := make([]E9Row, 0, len(scenarios))
+	for _, sc := range scenarios {
+		row, err := e9Scenario(cfg, sc.name, sc.sched)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TableE9 renders the availability table.
+func TableE9(rows []E9Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Scenario,
+			fmt.Sprint(r.Faults),
+			fmt.Sprintf("%d/%d", r.Committed, r.Submitted),
+			fmt.Sprintf("%.2f", r.Ratio),
+			fmtDur(r.Recovery),
+			fmt.Sprint(r.Consistent),
+			fmt.Sprint(r.Overflow),
+		}
+	}
+	return Table(
+		"E9  Availability under faults: crash/partition/loss chaos vs committed-tx ratio and recovery",
+		[]string{"scenario", "faults", "committed", "ratio", "recovery", "consistent", "overflow"},
+		out,
+	)
+}

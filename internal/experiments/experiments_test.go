@@ -207,6 +207,40 @@ func TestE8AuditCoverage(t *testing.T) {
 	_ = TableE8(rows)
 }
 
+func TestE9AvailabilityUnderFaults(t *testing.T) {
+	rows, err := E9Availability(E9Config{
+		Nodes: 4, Rounds: 5, CommitTimeout: time.Second, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The acceptance bar: every submitted tx commits and the
+		// cluster converges, in every scenario.
+		if r.Ratio < 1.0 {
+			t.Fatalf("%s: committed ratio %.2f (%d/%d)", r.Scenario, r.Ratio, r.Committed, r.Submitted)
+		}
+		if !r.Consistent {
+			t.Fatalf("%s: cluster not consistent after recovery", r.Scenario)
+		}
+	}
+	if rows[0].Faults != 0 {
+		t.Fatalf("baseline injected %d faults", rows[0].Faults)
+	}
+	for _, r := range rows[1:] {
+		if r.Faults == 0 {
+			t.Fatalf("%s injected no faults", r.Scenario)
+		}
+	}
+	table := TableE9(rows)
+	if !strings.Contains(table, "crash proposer") {
+		t.Fatalf("table malformed:\n%s", table)
+	}
+}
+
 func TestA1PoWBurnsWork(t *testing.T) {
 	rows, err := A1Consensus(A1Config{Nodes: 3, Txs: 3, PowDifficulty: 8, Seed: 1})
 	if err != nil {

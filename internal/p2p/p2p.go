@@ -101,6 +101,14 @@ type Stats struct {
 	MessagesDelivered int64
 	// MessagesDropped counts losses (random, partition, or overflow).
 	MessagesDropped int64
+	// MessagesOverflowed counts the subset of MessagesDropped lost to a
+	// full inbox — a slow or stalled consumer, not the link. Separating
+	// it from loss/partition drops is what lets the chaos harness tell a
+	// struggling node from a lossy network.
+	MessagesOverflowed int64
+	// OverflowByNode breaks MessagesOverflowed down per receiving
+	// endpoint.
+	OverflowByNode map[NodeID]int64
 	// BytesSent is the accounted wire bytes of all send attempts,
 	// counting one copy per recipient for broadcasts.
 	BytesSent int64
@@ -116,6 +124,7 @@ type Network struct {
 	nodes      map[NodeID]*simEndpoint
 	order      []NodeID // registration order, for deterministic broadcast fan-out
 	partitions map[NodeID]int
+	nodeDelay  map[NodeID]time.Duration // extra per-node delivery delay (slow-node injection)
 	stats      Stats
 	timers     sync.WaitGroup
 	closed     bool
@@ -129,6 +138,7 @@ func NewNetwork(cfg Config) *Network {
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		nodes:      make(map[NodeID]*simEndpoint),
 		partitions: make(map[NodeID]int),
+		nodeDelay:  make(map[NodeID]time.Duration),
 	}
 }
 
@@ -165,6 +175,41 @@ func (n *Network) SetPartitions(groups map[NodeID]int) {
 	}
 }
 
+// SetLossRate changes the random-loss probability at runtime (chaos
+// injection of a degraded link); values outside [0,1) are clamped.
+func (n *Network) SetLossRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate >= 1 {
+		rate = 0.999
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.LossRate = rate
+}
+
+// SetLatency changes the base delay and jitter at runtime (chaos
+// injection of a latency spike).
+func (n *Network) SetLatency(base, jitter time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.BaseLatency = base
+	n.cfg.Jitter = jitter
+}
+
+// SetNodeDelay adds extra delivery delay to every message sent to or
+// from the node (slow-node injection); 0 clears it.
+func (n *Network) SetNodeDelay(id NodeID, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if d <= 0 {
+		delete(n.nodeDelay, id)
+		return
+	}
+	n.nodeDelay[id] = d
+}
+
 // Stats returns a snapshot of the cumulative counters.
 func (n *Network) Stats() Stats {
 	n.mu.Lock()
@@ -173,6 +218,10 @@ func (n *Network) Stats() Stats {
 	out.BytesByTopic = make(map[string]int64, len(n.stats.BytesByTopic))
 	for k, v := range n.stats.BytesByTopic {
 		out.BytesByTopic[k] = v
+	}
+	out.OverflowByNode = make(map[NodeID]int64, len(n.stats.OverflowByNode))
+	for k, v := range n.stats.OverflowByNode {
+		out.OverflowByNode[k] = v
 	}
 	return out
 }
@@ -266,6 +315,7 @@ func (n *Network) send(msg Message) error {
 		if n.cfg.BandwidthBps > 0 {
 			delay += time.Duration(size * int64(time.Second) / n.cfg.BandwidthBps)
 		}
+		delay += n.nodeDelay[msg.From] + n.nodeDelay[ep.id]
 		deliveries = append(deliveries, delivery{ep: ep, delay: delay})
 	}
 	n.mu.Unlock()
@@ -299,7 +349,34 @@ func (n *Network) deliver(ep *simEndpoint, msg Message) {
 	default:
 		n.mu.Lock()
 		n.stats.MessagesDropped++
+		n.stats.MessagesOverflowed++
+		if n.stats.OverflowByNode == nil {
+			n.stats.OverflowByNode = make(map[NodeID]int64)
+		}
+		n.stats.OverflowByNode[ep.id]++
 		n.mu.Unlock()
+	}
+}
+
+// detach removes an endpoint from the routing tables (crash/leave) so
+// the same ID may Join again later. Closing the inbox happens outside
+// the network lock: deliver locks ep.mu before n.mu, so nesting them
+// here in the opposite order would deadlock.
+func (n *Network) detach(id NodeID) {
+	n.mu.Lock()
+	ep, ok := n.nodes[id]
+	if ok {
+		delete(n.nodes, id)
+		for i, o := range n.order {
+			if o == id {
+				n.order = append(n.order[:i], n.order[i+1:]...)
+				break
+			}
+		}
+	}
+	n.mu.Unlock()
+	if ok {
+		ep.closeInbox()
 	}
 }
 
@@ -329,8 +406,11 @@ func (e *simEndpoint) BroadcastMsg(topic string, payload []byte) error {
 
 func (e *simEndpoint) Inbox() <-chan Message { return e.inbox }
 
+// Close detaches the endpoint from the network: broadcasts stop
+// reaching it and its NodeID becomes free to Join again — the crash
+// half of a node's crash/recovery lifecycle.
 func (e *simEndpoint) Close() error {
-	e.closeInbox()
+	e.net.detach(e.id)
 	return nil
 }
 

@@ -392,3 +392,139 @@ func BenchmarkSimSend(b *testing.B) {
 		<-recv.Inbox()
 	}
 }
+
+func TestOverflowCountedPerEndpoint(t *testing.T) {
+	n := NewNetwork(Config{InboxSize: 2})
+	defer n.Close()
+	a := mustJoin(t, n, "a")
+	mustJoin(t, n, "b") // never drained
+	mustJoin(t, n, "c") // never drained
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", "t", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Send("c", "t", nil); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.MessagesOverflowed != 3 {
+		t.Fatalf("overflowed = %d, want 3", s.MessagesOverflowed)
+	}
+	if s.OverflowByNode["b"] != 3 || s.OverflowByNode["c"] != 0 {
+		t.Fatalf("per-node overflow %v, want b:3 c:0", s.OverflowByNode)
+	}
+	// Overflow stays a subset of total drops.
+	if s.MessagesDropped != s.MessagesOverflowed {
+		t.Fatalf("dropped %d != overflowed %d with no loss configured",
+			s.MessagesDropped, s.MessagesOverflowed)
+	}
+}
+
+func TestOverflowDistinguishedFromLoss(t *testing.T) {
+	n := NewNetwork(Config{LossRate: 1.0, Seed: 1})
+	defer n.Close()
+	a := mustJoin(t, n, "a")
+	mustJoin(t, n, "b")
+	for i := 0; i < 4; i++ {
+		if err := a.Send("b", "t", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := n.Stats()
+	if s.MessagesDropped == 0 {
+		t.Fatal("lossy link dropped nothing")
+	}
+	if s.MessagesOverflowed != 0 {
+		t.Fatalf("random loss miscounted as overflow: %d", s.MessagesOverflowed)
+	}
+}
+
+func TestEndpointCloseDetachesAndIDRejoins(t *testing.T) {
+	n := NewNetwork(Config{})
+	defer n.Close()
+	a := mustJoin(t, n, "a")
+	b := mustJoin(t, n, "b")
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-b.Inbox(); ok {
+		t.Fatal("inbox not closed after endpoint close")
+	}
+	if got := n.NumNodes(); got != 1 {
+		t.Fatalf("NumNodes = %d after detach, want 1", got)
+	}
+	// Broadcasts no longer target the detached node.
+	if err := a.BroadcastMsg("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := n.Stats(); s.MessagesSent != 0 {
+		t.Fatalf("broadcast targeted %d peers after detach, want 0", s.MessagesSent)
+	}
+	// The ID is free again: rejoin and receive.
+	b2 := mustJoin(t, n, "b")
+	if err := a.Send("b", "t", []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvWithin(t, b2, time.Second)
+	if string(m.Payload) != "back" {
+		t.Fatalf("payload %q after rejoin", m.Payload)
+	}
+}
+
+func TestRuntimeLossAndLatencySetters(t *testing.T) {
+	n := NewNetwork(Config{Seed: 3})
+	defer n.Close()
+	a := mustJoin(t, n, "a")
+	b := mustJoin(t, n, "b")
+
+	n.SetLossRate(1.0) // clamped just under 1, drops essentially everything
+	dropped0 := n.Stats().MessagesDropped
+	for i := 0; i < 50; i++ {
+		if err := a.Send("b", "t", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := n.Stats().MessagesDropped - dropped0; d < 45 {
+		t.Fatalf("only %d/50 dropped at max loss", d)
+	}
+	n.SetLossRate(0)
+
+	n.SetLatency(20*time.Millisecond, 0)
+	start := time.Now()
+	if err := a.Send("b", "t", nil); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, b, time.Second)
+	if e := time.Since(start); e < 15*time.Millisecond {
+		t.Fatalf("runtime latency not applied: delivered in %v", e)
+	}
+	n.SetLatency(0, 0)
+}
+
+func TestSlowNodeDelayInjection(t *testing.T) {
+	n := NewNetwork(Config{})
+	defer n.Close()
+	a := mustJoin(t, n, "a")
+	b := mustJoin(t, n, "b")
+
+	n.SetNodeDelay("b", 20*time.Millisecond)
+	start := time.Now()
+	if err := a.Send("b", "t", nil); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, b, time.Second)
+	if e := time.Since(start); e < 15*time.Millisecond {
+		t.Fatalf("slow-node delay not applied: %v", e)
+	}
+
+	n.SetNodeDelay("b", 0) // cleared
+	start = time.Now()
+	if err := a.Send("b", "t", nil); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, b, time.Second)
+	if e := time.Since(start); e > 10*time.Millisecond {
+		t.Fatalf("cleared slow-node delay still active: %v", e)
+	}
+}

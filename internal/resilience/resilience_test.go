@@ -1,0 +1,109 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := &Backoff{Base: time.Millisecond, Max: 8 * time.Millisecond, Factor: 2}
+	want := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 8 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("attempt %d: %v, want %v", i, got, w)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != time.Millisecond {
+		t.Fatalf("after reset: %v, want 1ms", got)
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	b := &Backoff{}
+	first := b.Next()
+	if first != 100*time.Microsecond {
+		t.Fatalf("zero-value first delay %v, want 100µs", first)
+	}
+	for i := 0; i < 20; i++ {
+		if d := b.Next(); d > 5*time.Millisecond {
+			t.Fatalf("delay %v exceeds default cap", d)
+		}
+	}
+}
+
+func TestBackoffJitterSeededReproducible(t *testing.T) {
+	delays := func() []time.Duration {
+		b := &Backoff{Base: time.Millisecond, Max: 16 * time.Millisecond, Jitter: 0.5, Seed: 42}
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = b.Next()
+		}
+		return out
+	}
+	a, c := delays(), delays()
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], c[i])
+		}
+	}
+	// Jitter never shrinks the base delay.
+	if a[0] < time.Millisecond {
+		t.Fatalf("jittered delay %v below base", a[0])
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Retry(5, &Backoff{Base: time.Microsecond, Max: time.Microsecond}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("%d calls, want 3", calls)
+	}
+}
+
+func TestRetryExhaustionWrapsLastError(t *testing.T) {
+	sentinel := errors.New("still down")
+	err := Retry(3, &Backoff{Base: time.Microsecond, Max: time.Microsecond}, func() error {
+		return sentinel
+	})
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("error %v does not wrap ErrRetriesExhausted", err)
+	}
+}
+
+func TestPollImmediateSuccessAndDeadline(t *testing.T) {
+	if !Poll(time.Now().Add(time.Second), nil, func() bool { return true }) {
+		t.Fatal("immediately-true condition reported false")
+	}
+	start := time.Now()
+	deadline := start.Add(20 * time.Millisecond)
+	if Poll(deadline, nil, func() bool { return false }) {
+		t.Fatal("never-true condition reported true")
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("poll returned before the deadline")
+	}
+}
+
+func TestPollSeesLateCondition(t *testing.T) {
+	flip := time.Now().Add(10 * time.Millisecond)
+	ok := Poll(time.Now().Add(2*time.Second), nil, func() bool {
+		return time.Now().After(flip)
+	})
+	if !ok {
+		t.Fatal("condition that became true was missed")
+	}
+}

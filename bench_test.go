@@ -178,6 +178,27 @@ func BenchmarkE9Availability(b *testing.B) {
 	b.Log("\n" + experiments.TableE9(rows))
 }
 
+func BenchmarkE10ParallelExec(b *testing.B) {
+	var rows []experiments.E10Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E10ParallelExec(experiments.E10Config{
+			Workers:       []int{1, 2, 4, 8},
+			ConflictRates: []float64{0, 0.25, 0.5, 1},
+			Txs:           256,
+			Seed:          int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.E10Verify(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE10(rows))
+}
+
 func BenchmarkA1Consensus(b *testing.B) {
 	var rows []experiments.A1Row
 	for i := 0; i < b.N; i++ {

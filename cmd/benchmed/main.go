@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (e1..e9,a1..a4) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1..e10,a1..a4) or 'all'")
 	quick := flag.Bool("quick", false, "reduced sweep sizes for a fast pass")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	flag.Parse()
@@ -140,6 +140,23 @@ func main() {
 			fail("e9", err)
 		}
 		fmt.Println(experiments.TableE9(rows))
+	}
+	if want("e10") {
+		cfg := experiments.E10Config{Seed: *seed}
+		if *quick {
+			cfg.Workers = []int{1, 2, 4}
+			cfg.ConflictRates = []float64{0, 0.5, 1}
+			cfg.Txs = 128
+			cfg.Repeats = 2
+		}
+		rows, err := experiments.E10ParallelExec(cfg)
+		if err != nil {
+			fail("e10", err)
+		}
+		fmt.Println(experiments.TableE10(rows))
+		if err := experiments.E10Verify(rows); err != nil {
+			fail("e10", err)
+		}
 	}
 	if want("a1") {
 		rows, err := experiments.A1Consensus(experiments.A1Config{Seed: *seed})

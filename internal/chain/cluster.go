@@ -44,6 +44,11 @@ type ClusterConfig struct {
 	CommitTimeout time.Duration
 	// KeySeed prefixes the deterministic node key seeds.
 	KeySeed string
+	// ParallelWorkers enables the speculative parallel execution engine
+	// on every node with the given worker count (0 = serial reference
+	// execution, < 0 = GOMAXPROCS). Results are bit-identical to
+	// serial, so parallel and serial clusters interoperate.
+	ParallelWorkers int
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -127,6 +132,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if err != nil {
 			c.Close()
 			return nil, err
+		}
+		if cfg.ParallelWorkers != 0 {
+			n.UseParallelExec(cfg.ParallelWorkers)
 		}
 		c.nodes = append(c.nodes, n)
 	}

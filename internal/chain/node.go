@@ -26,6 +26,7 @@ import (
 	"medchain/internal/cryptoutil"
 	"medchain/internal/ledger"
 	"medchain/internal/p2p"
+	"medchain/internal/parexec"
 	"medchain/internal/resilience"
 	"medchain/internal/vm"
 )
@@ -81,7 +82,9 @@ type Node struct {
 	mempool  []*ledger.Transaction
 	seen     map[cryptoutil.Digest]bool // mempool + committed tx IDs
 	receipts map[cryptoutil.Digest]*contract.Receipt
-	gasUsed  int64 // cumulative gas this node burned executing contracts
+	gasUsed  int64           // cumulative gas this node burned executing contracts
+	parEng   *parexec.Engine // nil = serial reference execution path
+	parStats parexec.Stats   // totals from engines retired by UseParallelExec
 
 	subsMu sync.Mutex
 	subs   []chan EventRecord
@@ -137,6 +140,50 @@ func (n *Node) State() *contract.State { return n.state }
 
 // SetHost installs oracle host functions on the node's state machine.
 func (n *Node) SetHost(host map[string]vm.HostFunc) { n.state.SetHost(host) }
+
+// UseParallelExec switches block execution (apply and proposer
+// preview) to the speculative parallel engine with the given worker
+// count; workers == 0 restores the serial reference path, workers < 0
+// selects GOMAXPROCS. Results are bit-identical to serial execution —
+// a cluster may freely mix parallel and serial nodes. With the engine
+// enabled, HOST functions installed via SetHost may be called
+// concurrently and must be safe for concurrent use.
+func (n *Node) UseParallelExec(workers int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.parEng != nil {
+		// Fold the outgoing engine's counters into the node-lifetime
+		// totals so ParallelStats stays cumulative across swaps.
+		n.parStats.Add(n.parEng.Stats())
+	}
+	if workers == 0 {
+		n.parEng = nil
+		return
+	}
+	n.parEng = parexec.New(workers)
+}
+
+// parallelEngine returns the installed engine, or nil on the serial
+// path.
+func (n *Node) parallelEngine() *parexec.Engine {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.parEng
+}
+
+// ParallelStats returns the node-lifetime parallel execution counters:
+// everything the current engine has done plus totals carried over from
+// engines replaced by earlier UseParallelExec calls (zero value when
+// the node has only ever executed serially).
+func (n *Node) ParallelStats() parexec.Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.parStats
+	if n.parEng != nil {
+		st.Add(n.parEng.Stats())
+	}
+	return st
+}
 
 // GasUsed returns the cumulative gas this node burned executing
 // transactions (its share of the cluster's duplicated computation).
@@ -449,22 +496,40 @@ func (n *Node) acceptBlock(blk *ledger.Block) error {
 }
 
 // execute applies all transactions of a block to the state machine,
-// recording receipts, gas, and events.
+// recording receipts, gas, and events. With a parallel engine
+// installed, execution is speculative across a worker pool but the
+// resulting state, receipts, and event order are identical to the
+// serial loop.
 func (n *Node) execute(blk *ledger.Block) error {
+	if eng := n.parallelEngine(); eng != nil {
+		receipts, _, err := eng.ExecuteBlock(n.state, blk.Txs, blk.Header.Height, blk.Header.Timestamp)
+		if err != nil {
+			return err
+		}
+		for i, tx := range blk.Txs {
+			n.recordReceipt(blk, tx, receipts[i])
+		}
+		return nil
+	}
 	for _, tx := range blk.Txs {
 		r, err := n.state.Apply(tx, blk.Header.Height, blk.Header.Timestamp)
 		if err != nil {
 			return err
 		}
-		n.mu.Lock()
-		n.receipts[tx.ID()] = r
-		n.gasUsed += r.GasUsed
-		n.mu.Unlock()
-		for _, ev := range r.Events {
-			n.publish(EventRecord{Height: blk.Header.Height, TxID: tx.ID(), Event: ev})
-		}
+		n.recordReceipt(blk, tx, r)
 	}
 	return nil
+}
+
+// recordReceipt stores one committed receipt and publishes its events.
+func (n *Node) recordReceipt(blk *ledger.Block, tx *ledger.Transaction, r *contract.Receipt) {
+	n.mu.Lock()
+	n.receipts[tx.ID()] = r
+	n.gasUsed += r.GasUsed
+	n.mu.Unlock()
+	for _, ev := range r.Events {
+		n.publish(EventRecord{Height: blk.Header.Height, TxID: tx.ID(), Event: ev})
+	}
 }
 
 func (n *Node) pruneMempool(blk *ledger.Block) {
@@ -538,11 +603,19 @@ func (n *Node) produceBlock(maxTxs int, votesNeeded int, voteTimeout time.Durati
 	blk.Header.TxRoot = root
 
 	// Preview-execute on a clone to obtain the post-state root;
-	// followers re-execute on their live state and must agree.
+	// followers re-execute on their live state and must agree. The
+	// parallel engine previews too — its result is bit-identical to
+	// serial, so mixed clusters still converge.
 	preview := n.state.Clone()
-	for _, tx := range txs {
-		if _, err := preview.Apply(tx, blk.Header.Height, ts); err != nil {
+	if eng := n.parallelEngine(); eng != nil {
+		if _, _, err := eng.ExecuteBlock(preview, txs, blk.Header.Height, ts); err != nil {
 			return nil, err
+		}
+	} else {
+		for _, tx := range txs {
+			if _, err := preview.Apply(tx, blk.Header.Height, ts); err != nil {
+				return nil, err
+			}
 		}
 	}
 	blk.Header.StateRoot = preview.Root()

@@ -1,0 +1,148 @@
+package chain
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"medchain/internal/contract"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+)
+
+// signedTx builds a deterministic signed transaction (fixed timestamp,
+// unlike datasetTx) so the same batch can be replayed on two clusters.
+func signedTx(t testing.TB, kp *cryptoutil.KeyPair, nonce uint64, typ ledger.TxType, method string, args any) *ledger.Transaction {
+	t.Helper()
+	raw, err := json.Marshal(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := &ledger.Transaction{
+		Type: typ, Nonce: nonce, Method: method, Args: raw,
+		Timestamp: int64(nonce) + 1,
+	}
+	if err := tx.Sign(kp); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+// parallelBatch mixes disjoint registrations (parallel-friendly) with
+// same-policy grants and sequence-counter requests (forced conflicts).
+func parallelBatch(t testing.TB, user *cryptoutil.KeyPair) []*ledger.Transaction {
+	t.Helper()
+	var txs []*ledger.Transaction
+	nonce := uint64(0)
+	add := func(typ ledger.TxType, method string, args any) {
+		txs = append(txs, signedTx(t, user, nonce, typ, method, args))
+		nonce++
+	}
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("par/ds-%d", i)
+		add(ledger.TxData, "register_dataset", contract.RegisterDatasetArgs{
+			ID: id, Digest: cryptoutil.Sum([]byte(id)), Schema: "cdf/v1", Records: 10, SiteID: "site",
+		})
+	}
+	for i := 0; i < 3; i++ {
+		add(ledger.TxData, "grant", contract.GrantArgs{
+			Resource: "data:par/ds-0",
+			Grantee:  cryptoutil.NamedAddress(fmt.Sprintf("par-grantee-%d", i)),
+			Actions:  []contract.Action{contract.ActionRead},
+		})
+	}
+	add(ledger.TxData, "request_access", contract.RequestAccessArgs{Resource: "data:par/ds-1", Action: contract.ActionRead})
+	add(ledger.TxData, "request_access", contract.RequestAccessArgs{Resource: "data:par/ds-2", Action: contract.ActionRead})
+	return txs
+}
+
+// TestParallelClusterMatchesSerial commits the same signed batch on a
+// serial cluster and on a cluster running the speculative engine, and
+// requires identical state roots and receipts on every node.
+func TestParallelClusterMatchesSerial(t *testing.T) {
+	user := userKey(t, "par-user")
+
+	commit := func(workers int) (*Cluster, *ledger.Block) {
+		c, err := NewCluster(ClusterConfig{
+			Nodes: 3, Engine: EngineQuorum, KeySeed: "par-eq",
+			ParallelWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		blk := submitAndCommit(t, c, parallelBatch(t, user)...)
+		if err := c.VerifyConsistency(); err != nil {
+			t.Fatal(err)
+		}
+		return c, blk
+	}
+
+	serialC, serialBlk := commit(0)
+	parC, parBlk := commit(4)
+
+	if sr, pr := serialBlk.Header.StateRoot, parBlk.Header.StateRoot; sr != pr {
+		t.Fatalf("state root diverged: serial %s, parallel %s", sr.Short(), pr.Short())
+	}
+	for _, tx := range serialBlk.Txs {
+		sRec, ok := serialC.Node(0).Receipt(tx.ID())
+		if !ok {
+			t.Fatalf("serial receipt missing for %s", tx.ID().Short())
+		}
+		pRec, ok := parC.Node(0).Receipt(tx.ID())
+		if !ok {
+			t.Fatalf("parallel receipt missing for %s", tx.ID().Short())
+		}
+		if sRec.Err != pRec.Err || sRec.GasUsed != pRec.GasUsed || len(sRec.Events) != len(pRec.Events) {
+			t.Fatalf("receipt diverged for %s:\n serial %+v\n parallel %+v", tx.ID().Short(), sRec, pRec)
+		}
+	}
+	if serialC.Node(0).GasUsed() != parC.Node(0).GasUsed() {
+		t.Fatalf("gas accounting diverged: %d vs %d",
+			serialC.Node(0).GasUsed(), parC.Node(0).GasUsed())
+	}
+
+	// The parallel cluster really used the engine: every node saw the
+	// batch, with both clean commits and the forced conflict residue.
+	for i, n := range parC.Nodes() {
+		st := n.ParallelStats()
+		if st.Txs == 0 {
+			t.Fatalf("node %d never used the parallel engine", i)
+		}
+		if st.Clean == 0 || st.Serial == 0 {
+			t.Fatalf("node %d stats missing clean or conflict txs: %+v", i, st)
+		}
+	}
+	if st := serialC.Node(0).ParallelStats(); st.Txs != 0 {
+		t.Fatalf("serial cluster unexpectedly used the engine: %+v", st)
+	}
+}
+
+// TestUseParallelExecToggle flips a node between engines mid-chain.
+func TestUseParallelExecToggle(t *testing.T) {
+	c := newCluster(t, 1, EnginePoA)
+	user := userKey(t, "toggle-user")
+
+	n := c.Node(0)
+	n.UseParallelExec(2)
+	submitAndCommit(t, c, signedTx(t, user, 0, ledger.TxData, "register_dataset", contract.RegisterDatasetArgs{
+		ID: "tog/a", Digest: cryptoutil.Sum([]byte("a")), SiteID: "s",
+	}))
+	// The proposer runs the engine twice per block: once for the
+	// proposal preview, once for the commit.
+	after1 := n.ParallelStats()
+	if after1.Txs == 0 || after1.Blocks == 0 {
+		t.Fatalf("engine not used: %+v", after1)
+	}
+
+	n.UseParallelExec(0) // back to the serial reference path
+	submitAndCommit(t, c, signedTx(t, user, 1, ledger.TxData, "register_dataset", contract.RegisterDatasetArgs{
+		ID: "tog/b", Digest: cryptoutil.Sum([]byte("b")), SiteID: "s",
+	}))
+	if st := n.ParallelStats(); st != after1 {
+		t.Fatalf("serial path incremented engine stats: %+v -> %+v", after1, st)
+	}
+	if _, ok := n.State().Dataset("tog/b"); !ok {
+		t.Fatal("dataset missing after toggle back to serial")
+	}
+}

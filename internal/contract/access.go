@@ -1,0 +1,227 @@
+package contract
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+)
+
+// This file implements the read/write-set model the parallel execution
+// engine (internal/parexec) is built on. Each transaction's state
+// footprint is derived statically from its payload — the Solana-style
+// declared-access-list approach — as a sound over-approximation: a
+// derived set may name keys the transaction ends up not touching
+// (e.g. because it fails a policy check), but it never misses a key the
+// transaction could read or write. Speculative execution against a
+// snapshot of exactly these keys is therefore equivalent to serial
+// execution whenever no earlier transaction in the block wrote into the
+// set.
+
+// keyKind partitions the state machine's tables.
+type keyKind uint8
+
+const (
+	kindDataset keyKind = iota + 1
+	kindTool
+	kindPolicy
+	kindTrial
+	kindAnchor
+	kindVM
+	kindSeq      // the request-sequence counter
+	kindRegistry // virtual key: the dataset/tool registry as a whole
+)
+
+func (k keyKind) String() string {
+	switch k {
+	case kindDataset:
+		return "ds"
+	case kindTool:
+		return "tool"
+	case kindPolicy:
+		return "pol"
+	case kindTrial:
+		return "trial"
+	case kindAnchor:
+		return "anchor"
+	case kindVM:
+		return "vm"
+	case kindSeq:
+		return "seq"
+	case kindRegistry:
+		return "reg"
+	}
+	return "?"
+}
+
+// StateKey names one lockable unit of contract state: a dataset, a
+// tool, a policy, a trial, an anchor, a deployed VM contract (code +
+// storage), the request-sequence counter, or the registry as a whole.
+// StateKey is comparable and usable as a map key.
+type StateKey struct {
+	kind keyKind
+	id   string
+	addr cryptoutil.Address
+}
+
+// String renders the key for logs and tests.
+func (k StateKey) String() string {
+	switch k.kind {
+	case kindVM:
+		return k.kind.String() + "/" + k.addr.String()
+	case kindSeq, kindRegistry:
+		return k.kind.String()
+	default:
+		return k.kind.String() + "/" + k.id
+	}
+}
+
+// Key constructors.
+func KeyDataset(id string) StateKey       { return StateKey{kind: kindDataset, id: id} }
+func KeyTool(id string) StateKey          { return StateKey{kind: kindTool, id: id} }
+func KeyPolicy(resource string) StateKey  { return StateKey{kind: kindPolicy, id: resource} }
+func KeyTrial(id string) StateKey         { return StateKey{kind: kindTrial, id: id} }
+func KeyAnchor(label string) StateKey     { return StateKey{kind: kindAnchor, id: label} }
+func KeyVM(a cryptoutil.Address) StateKey { return StateKey{kind: kindVM, addr: a} }
+
+// Singleton keys.
+var (
+	// KeySeq is the request-sequence counter every request_access /
+	// request_run increments — two such transactions always conflict.
+	KeySeq = StateKey{kind: kindSeq}
+	// KeyRegistry is the virtual whole-registry key: VM invocations read
+	// it (HOST registry.* calls may enumerate any dataset or tool) and
+	// dataset/tool registrations write it.
+	KeyRegistry = StateKey{kind: kindRegistry}
+)
+
+// AccessSet is a transaction's declared state footprint.
+type AccessSet struct {
+	// Reads are keys the transaction may read without modifying.
+	Reads []StateKey
+	// Writes are keys the transaction may create or mutate. A write
+	// implies a read (all mutations are read-modify-write at key
+	// granularity), so conflict checks use Touched.
+	Writes []StateKey
+	// Unknown marks a transaction whose footprint could not be bounded;
+	// the engine executes it (and everything after it in the block)
+	// serially. It is reserved for future transaction types — every
+	// current type derives a bounded set.
+	Unknown bool
+}
+
+// Touched returns reads and writes combined — the conflict-check set.
+func (a AccessSet) Touched() []StateKey {
+	out := make([]StateKey, 0, len(a.Reads)+len(a.Writes))
+	out = append(out, a.Reads...)
+	out = append(out, a.Writes...)
+	return out
+}
+
+// String renders the set for logs and tests.
+func (a AccessSet) String() string {
+	if a.Unknown {
+		return "access{unknown}"
+	}
+	return fmt.Sprintf("access{r=%v w=%v}", a.Reads, a.Writes)
+}
+
+func (a *AccessSet) read(keys ...StateKey)  { a.Reads = append(a.Reads, keys...) }
+func (a *AccessSet) write(keys ...StateKey) { a.Writes = append(a.Writes, keys...) }
+
+// AccessSetOf derives a transaction's declared access set from its
+// payload alone (no state needed), so derivation can run concurrently
+// for every transaction of a block. A transaction whose arguments fail
+// to decode gets an empty set: Apply rejects it deterministically
+// before touching any state, so its receipt is state-independent.
+func AccessSetOf(tx *ledger.Transaction) AccessSet {
+	if tx == nil {
+		return AccessSet{Unknown: true}
+	}
+	var a AccessSet
+	switch tx.Type {
+	case ledger.TxData:
+		deriveData(tx, &a)
+	case ledger.TxAnalytics:
+		deriveAnalytics(tx, &a)
+	case ledger.TxTrial:
+		var args struct {
+			Trial string `json:"trial"`
+			ID    string `json:"id"`
+		}
+		if json.Unmarshal(tx.Args, &args) != nil {
+			return a
+		}
+		switch tx.Method {
+		case "register_trial":
+			a.write(KeyTrial(args.ID))
+		case "enroll", "report_outcomes", "adverse_event":
+			a.write(KeyTrial(args.Trial))
+		}
+	case ledger.TxAnchor:
+		var args AnchorArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			return a
+		}
+		a.write(KeyAnchor(args.Label))
+	case ledger.TxDeploy:
+		a.write(KeyVM(DeployedAddress(tx.From, tx.Nonce)))
+	case ledger.TxInvoke:
+		// The program may call HOST registry.* functions, which read
+		// arbitrary datasets and tools — declare a read of the whole
+		// registry so invocations conflict with registrations.
+		a.read(KeyRegistry)
+		a.write(KeyVM(tx.Contract))
+	}
+	return a
+}
+
+func deriveData(tx *ledger.Transaction, a *AccessSet) {
+	switch tx.Method {
+	case "register_dataset", "update_dataset":
+		var args RegisterDatasetArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			return
+		}
+		a.write(KeyDataset(args.ID), KeyPolicy(dataKey(args.ID)), KeyRegistry)
+	case "grant", "revoke":
+		var args struct {
+			Resource string `json:"resource"`
+		}
+		if json.Unmarshal(tx.Args, &args) != nil {
+			return
+		}
+		a.write(KeyPolicy(args.Resource))
+	case "request_access":
+		var args RequestAccessArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			return
+		}
+		// Check(consume=true) mutates grant use counters, so the policy
+		// is a write; the dataset is read for oracle routing (SiteID).
+		a.read(KeyDataset(trimPrefix(args.Resource, "data:")))
+		a.write(KeyPolicy(args.Resource), KeySeq)
+	}
+}
+
+func deriveAnalytics(tx *ledger.Transaction, a *AccessSet) {
+	switch tx.Method {
+	case "register_tool":
+		var args RegisterToolArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			return
+		}
+		a.write(KeyTool(args.ID), KeyPolicy(toolKey(args.ID)), KeyRegistry)
+	case "grant", "revoke":
+		// Tool policies share the data-contract handlers.
+		deriveData(&ledger.Transaction{Type: ledger.TxData, Method: tx.Method, Args: tx.Args}, a)
+	case "request_run":
+		var args RequestRunArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			return
+		}
+		a.read(KeyTool(args.Tool), KeyDataset(args.Dataset))
+		a.write(KeyPolicy(dataKey(args.Dataset)), KeyPolicy(toolKey(args.Tool)), KeySeq)
+	}
+}

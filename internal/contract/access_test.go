@@ -1,0 +1,213 @@
+package contract
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+)
+
+func keyStrings(keys []StateKey) []string {
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = k.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func wantSet(t *testing.T, got AccessSet, reads, writes []string) {
+	t.Helper()
+	if got.Unknown {
+		t.Fatalf("set unexpectedly unknown: %s", got)
+	}
+	if r := keyStrings(got.Reads); !reflect.DeepEqual(r, reads) {
+		t.Fatalf("reads = %v, want %v", r, reads)
+	}
+	if w := keyStrings(got.Writes); !reflect.DeepEqual(w, writes) {
+		t.Fatalf("writes = %v, want %v", w, writes)
+	}
+}
+
+func TestAccessSetOfPerMethod(t *testing.T) {
+	owner := key(t, "acc-owner")
+	digest := cryptoutil.Sum([]byte("d"))
+
+	t.Run("register_dataset", func(t *testing.T) {
+		set := AccessSetOf(tx(t, owner, ledger.TxData, "register_dataset", RegisterDatasetArgs{ID: "ds1", Digest: digest, SiteID: "s"}))
+		wantSet(t, set, []string{}, []string{"ds/ds1", "pol/data:ds1", "reg"})
+	})
+	t.Run("grant", func(t *testing.T) {
+		set := AccessSetOf(tx(t, owner, ledger.TxData, "grant", GrantArgs{Resource: "data:ds1", Grantee: owner.Address(), Actions: []Action{ActionRead}}))
+		wantSet(t, set, []string{}, []string{"pol/data:ds1"})
+	})
+	t.Run("request_access", func(t *testing.T) {
+		set := AccessSetOf(tx(t, owner, ledger.TxData, "request_access", RequestAccessArgs{Resource: "data:ds1", Action: ActionRead}))
+		wantSet(t, set, []string{"ds/ds1"}, []string{"pol/data:ds1", "seq"})
+	})
+	t.Run("register_tool", func(t *testing.T) {
+		set := AccessSetOf(tx(t, owner, ledger.TxAnalytics, "register_tool", RegisterToolArgs{ID: "t1", Digest: digest}))
+		wantSet(t, set, []string{}, []string{"pol/tool:t1", "reg", "tool/t1"})
+	})
+	t.Run("analytics_revoke", func(t *testing.T) {
+		set := AccessSetOf(tx(t, owner, ledger.TxAnalytics, "revoke", RevokeArgs{Resource: "tool:t1", Grantee: owner.Address()}))
+		wantSet(t, set, []string{}, []string{"pol/tool:t1"})
+	})
+	t.Run("request_run", func(t *testing.T) {
+		set := AccessSetOf(tx(t, owner, ledger.TxAnalytics, "request_run", RequestRunArgs{Tool: "t1", Dataset: "ds1"}))
+		wantSet(t, set, []string{"ds/ds1", "tool/t1"}, []string{"pol/data:ds1", "pol/tool:t1", "seq"})
+	})
+	t.Run("register_trial", func(t *testing.T) {
+		set := AccessSetOf(tx(t, owner, ledger.TxTrial, "register_trial", RegisterTrialArgs{ID: "tr1", ProtocolDigest: digest, PrimaryOutcomes: []string{"os"}}))
+		wantSet(t, set, []string{}, []string{"trial/tr1"})
+	})
+	t.Run("enroll", func(t *testing.T) {
+		set := AccessSetOf(tx(t, owner, ledger.TxTrial, "enroll", EnrollArgs{Trial: "tr1", Patient: "p", Site: "s"}))
+		wantSet(t, set, []string{}, []string{"trial/tr1"})
+	})
+	t.Run("anchor", func(t *testing.T) {
+		set := AccessSetOf(tx(t, owner, ledger.TxAnchor, "anchor", AnchorArgs{Label: "lab", Digest: digest}))
+		wantSet(t, set, []string{}, []string{"anchor/lab"})
+	})
+	t.Run("deploy", func(t *testing.T) {
+		dtx := deployTx(t, owner, 7, "c", counterSrc)
+		set := AccessSetOf(dtx)
+		addr := DeployedAddress(owner.Address(), 7)
+		wantSet(t, set, []string{}, []string{"vm/" + addr.String()})
+	})
+	t.Run("invoke", func(t *testing.T) {
+		addr := DeployedAddress(owner.Address(), 7)
+		itx := &ledger.Transaction{Type: ledger.TxInvoke, Nonce: 8, Contract: addr, Timestamp: 1}
+		if err := itx.Sign(owner); err != nil {
+			t.Fatal(err)
+		}
+		set := AccessSetOf(itx)
+		wantSet(t, set, []string{"reg"}, []string{"vm/" + addr.String()})
+	})
+	t.Run("malformed_args_empty_set", func(t *testing.T) {
+		bad := &ledger.Transaction{Type: ledger.TxData, Method: "grant", Args: []byte("{oops"), Timestamp: 1}
+		set := AccessSetOf(bad)
+		if set.Unknown || len(set.Touched()) != 0 {
+			t.Fatalf("malformed args should derive an empty bounded set, got %s", set)
+		}
+	})
+	t.Run("nil_tx_unknown", func(t *testing.T) {
+		if set := AccessSetOf(nil); !set.Unknown {
+			t.Fatalf("nil tx must be unknown, got %s", set)
+		}
+	})
+}
+
+// TestSnapshotExecuteMergeMatchesDirectApply runs each transaction kind
+// the speculative way — SnapshotFor, Apply on the snapshot,
+// MergeSpeculative back — and checks the root and receipt match a
+// direct Apply on a clone. This is the single-transaction soundness
+// property the parallel engine composes.
+func TestSnapshotExecuteMergeMatchesDirectApply(t *testing.T) {
+	owner := key(t, "snap-owner")
+	grantee := key(t, "snap-grantee")
+	base := NewState()
+	base.SetHost(base.RegistryHostFuncs())
+	registerDataset(t, base, owner, "ds1", "site-1")
+	mustOK(t, apply(t, base, tx(t, owner, ledger.TxAnalytics, "register_tool", RegisterToolArgs{
+		ID: "t1", Digest: cryptoutil.Sum([]byte("t1")),
+	})))
+	mustOK(t, apply(t, base, tx(t, owner, ledger.TxData, "grant", GrantArgs{
+		Resource: "data:ds1", Grantee: owner.Address(), Actions: []Action{ActionRead, ActionExecute},
+	})))
+	mustOK(t, apply(t, base, deployTx(t, owner, 0, "counter", counterSrc)))
+	addr := DeployedAddress(owner.Address(), 0)
+	itx := &ledger.Transaction{Type: ledger.TxInvoke, Nonce: 1, Contract: addr, Timestamp: 1}
+	if err := itx.Sign(owner); err != nil {
+		t.Fatal(err)
+	}
+	mustOK(t, apply(t, base, itx)) // storage is non-empty before the snapshot run
+
+	itx2 := &ledger.Transaction{Type: ledger.TxInvoke, Nonce: 2, Contract: addr, Timestamp: 1}
+	if err := itx2.Sign(owner); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		tx   *ledger.Transaction
+	}{
+		{"register_dataset", tx(t, owner, ledger.TxData, "register_dataset", RegisterDatasetArgs{ID: "ds2", Digest: cryptoutil.Sum([]byte("ds2")), SiteID: "s2"})},
+		{"grant", tx(t, owner, ledger.TxData, "grant", GrantArgs{Resource: "data:ds1", Grantee: grantee.Address(), Actions: []Action{ActionRead}})},
+		{"request_access", tx(t, owner, ledger.TxData, "request_access", RequestAccessArgs{Resource: "data:ds1", Action: ActionRead})},
+		{"request_run", tx(t, owner, ledger.TxAnalytics, "request_run", RequestRunArgs{Tool: "t1", Dataset: "ds1"})},
+		{"register_trial", tx(t, owner, ledger.TxTrial, "register_trial", RegisterTrialArgs{ID: "tr1", ProtocolDigest: cryptoutil.Sum([]byte("p")), PrimaryOutcomes: []string{"os"}})},
+		{"anchor", tx(t, owner, ledger.TxAnchor, "anchor", AnchorArgs{Label: "l1", Digest: cryptoutil.Sum([]byte("a"))})},
+		{"invoke", itx2},
+		{"failing_duplicate", tx(t, owner, ledger.TxData, "register_dataset", RegisterDatasetArgs{ID: "ds1", Digest: cryptoutil.Sum([]byte("ds1")), SiteID: "s"})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			direct := base.Clone()
+			wantReceipt, err := direct.Apply(tc.tx, 2, 2000)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			spec := base.Clone()
+			acc := AccessSetOf(tc.tx)
+			snap := spec.SnapshotFor(acc)
+			gotReceipt, err := snap.Apply(tc.tx, 2, 2000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.MergeSpeculative(snap, acc)
+
+			if !reflect.DeepEqual(gotReceipt, wantReceipt) {
+				t.Fatalf("receipt mismatch:\n got %+v\nwant %+v", gotReceipt, wantReceipt)
+			}
+			if spec.Root() != direct.Root() {
+				t.Fatalf("root mismatch after merge: %s != %s", spec.Root().Short(), direct.Root().Short())
+			}
+			// The untouched base must be unaffected by the speculation.
+			if base.Root() == spec.Root() && wantReceipt.OK() && tc.name != "request_access" {
+				// Most OK transactions change the root; a failed duplicate
+				// or pure-read would not. Only assert for mutating cases.
+				if tc.name != "failing_duplicate" {
+					t.Fatal("merge did not change state for a mutating transaction")
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotIsolation: mutations inside a speculative snapshot must
+// never leak into the base state before MergeSpeculative.
+func TestSnapshotIsolation(t *testing.T) {
+	owner := key(t, "iso-owner")
+	grantee := key(t, "iso-grantee")
+	base := NewState()
+	registerDataset(t, base, owner, "ds1", "site-1")
+	rootBefore := base.Root()
+
+	gtx := tx(t, owner, ledger.TxData, "grant", GrantArgs{
+		Resource: "data:ds1", Grantee: grantee.Address(), Actions: []Action{ActionRead},
+	})
+	acc := AccessSetOf(gtx)
+	snap := base.SnapshotFor(acc)
+	if r, err := snap.Apply(gtx, 2, 2000); err != nil || !r.OK() {
+		t.Fatalf("speculative apply: %v %v", err, r)
+	}
+	if base.Root() != rootBefore {
+		t.Fatal("speculative execution leaked into the base state")
+	}
+	pol, ok := base.PolicyOf("data:ds1")
+	if !ok {
+		t.Fatal("policy missing")
+	}
+	for _, g := range pol.Grants {
+		if g.Grantee == grantee.Address() {
+			t.Fatal("grant visible in base before merge")
+		}
+	}
+	base.MergeSpeculative(snap, acc)
+	if base.Root() == rootBefore {
+		t.Fatal("merge had no effect")
+	}
+}

@@ -1,0 +1,193 @@
+package contract
+
+import (
+	"medchain/internal/vm"
+)
+
+// SnapshotFor builds a minimal state containing exactly the objects in
+// an access set: read keys share the base state's objects (they are
+// never mutated through a read), write keys get deep copies the
+// speculative execution is free to mutate. Unlike Clone, the cost is
+// O(|access set|), not O(|state|), which is what makes per-transaction
+// speculation cheap enough to win.
+//
+// The base state must not be mutated while snapshots built from it are
+// executing — the parallel engine guarantees this with a barrier
+// between its speculation and commit phases.
+func (s *State) SnapshotFor(acc AccessSet) *State {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := NewState()
+	c.requestSeq = s.requestSeq
+	for _, k := range acc.Reads {
+		s.shareInto(c, k)
+	}
+	for _, k := range acc.Writes {
+		s.copyInto(c, k)
+	}
+	if s.host != nil {
+		// Rebind registry.* HOST functions to the snapshot (as Clone
+		// does); other host entries are shared — they must be
+		// deterministic, state-independent, and (under parallel
+		// execution) safe for concurrent use.
+		c.host = c.RegistryHostFuncs()
+		for name, fn := range s.host {
+			if _, registry := c.host[name]; !registry {
+				c.host[name] = fn
+			}
+		}
+	}
+	return c
+}
+
+// shareInto installs the base state's object for key k into c without
+// copying. Safe only for keys the transaction declared read-only.
+func (s *State) shareInto(c *State, k StateKey) {
+	switch k.kind {
+	case kindDataset:
+		if d, ok := s.datasets[k.id]; ok {
+			c.datasets[k.id] = d
+		}
+	case kindTool:
+		if t, ok := s.tools[k.id]; ok {
+			c.tools[k.id] = t
+		}
+	case kindPolicy:
+		if p, ok := s.policies[k.id]; ok {
+			c.policies[k.id] = p
+		}
+	case kindTrial:
+		if t, ok := s.trials[k.id]; ok {
+			c.trials[k.id] = t
+		}
+	case kindAnchor:
+		if a, ok := s.anchors[k.id]; ok {
+			c.anchors[k.id] = a
+		}
+	case kindVM:
+		if d, ok := s.deployed[k.addr]; ok {
+			c.deployed[k.addr] = d
+		}
+		if st, ok := s.vmStorage[k.addr]; ok {
+			c.vmStorage[k.addr] = st
+		}
+	case kindRegistry:
+		// Whole-registry read (VM HOST registry.* calls): share every
+		// dataset and tool.
+		for id, d := range s.datasets {
+			c.datasets[id] = d
+		}
+		for id, t := range s.tools {
+			c.tools[id] = t
+		}
+	}
+}
+
+// copyInto installs a deep copy of the base state's object for key k
+// into c, so the speculative execution can mutate it freely.
+func (s *State) copyInto(c *State, k StateKey) {
+	switch k.kind {
+	case kindDataset:
+		if d, ok := s.datasets[k.id]; ok {
+			cp := *d
+			c.datasets[k.id] = &cp
+		}
+	case kindTool:
+		if t, ok := s.tools[k.id]; ok {
+			cp := *t
+			c.tools[k.id] = &cp
+		}
+	case kindPolicy:
+		if p, ok := s.policies[k.id]; ok {
+			c.policies[k.id] = copyPolicy(p)
+		}
+	case kindTrial:
+		if t, ok := s.trials[k.id]; ok {
+			c.trials[k.id] = copyTrial(t)
+		}
+	case kindAnchor:
+		if a, ok := s.anchors[k.id]; ok {
+			cp := *a
+			c.anchors[k.id] = &cp
+		}
+	case kindVM:
+		if d, ok := s.deployed[k.addr]; ok {
+			cp := *d // Code bytes shared: immutable after deploy
+			c.deployed[k.addr] = &cp
+		}
+		if st, ok := s.vmStorage[k.addr]; ok {
+			ms := vm.NewMemStorage()
+			for _, key := range st.Keys() {
+				v, _ := st.Get([]byte(key))
+				ms.Set([]byte(key), v)
+			}
+			c.vmStorage[k.addr] = ms
+		}
+	}
+}
+
+func copyPolicy(p *Policy) *Policy {
+	cp := &Policy{Owner: p.Owner, Grants: make([]Grant, len(p.Grants))}
+	for i, g := range p.Grants {
+		g.Actions = append([]Action(nil), g.Actions...)
+		cp.Grants[i] = g
+	}
+	return cp
+}
+
+func copyTrial(t *Trial) *Trial {
+	cp := *t
+	cp.PrimaryOutcomes = append([]string(nil), t.PrimaryOutcomes...)
+	cp.Enrollments = append([]Enrollment(nil), t.Enrollments...)
+	cp.Reports = make([]OutcomeReport, len(t.Reports))
+	for i, rep := range t.Reports {
+		rep.Outcomes = append([]string(nil), rep.Outcomes...)
+		cp.Reports[i] = rep
+	}
+	cp.AdverseEvents = append([]AdverseEventRecord(nil), t.AdverseEvents...)
+	return &cp
+}
+
+// MergeSpeculative adopts the objects named by the access set's write
+// keys from a finished speculative snapshot into s — the commit step
+// for a transaction whose declared set is disjoint from everything an
+// earlier transaction in the block wrote. The snapshot is consumed: its
+// written objects were private deep copies, so adopting the pointers is
+// safe and allocation-free.
+func (s *State) MergeSpeculative(from *State, acc AccessSet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range acc.Writes {
+		switch k.kind {
+		case kindDataset:
+			if d, ok := from.datasets[k.id]; ok {
+				s.datasets[k.id] = d
+			}
+		case kindTool:
+			if t, ok := from.tools[k.id]; ok {
+				s.tools[k.id] = t
+			}
+		case kindPolicy:
+			if p, ok := from.policies[k.id]; ok {
+				s.policies[k.id] = p
+			}
+		case kindTrial:
+			if t, ok := from.trials[k.id]; ok {
+				s.trials[k.id] = t
+			}
+		case kindAnchor:
+			if a, ok := from.anchors[k.id]; ok {
+				s.anchors[k.id] = a
+			}
+		case kindVM:
+			if d, ok := from.deployed[k.addr]; ok {
+				s.deployed[k.addr] = d
+			}
+			if st, ok := from.vmStorage[k.addr]; ok {
+				s.vmStorage[k.addr] = st
+			}
+		case kindSeq:
+			s.requestSeq = from.requestSeq
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"medchain/internal/contract"
+	"medchain/internal/parexec"
+)
+
+// --- E10: speculative parallel execution ---
+//
+// The paper's thesis is that a blockchain should become a distributed
+// *parallel* computing architecture, yet baseline block application is
+// serial. E10 measures the speculative engine (internal/parexec)
+// against the serial reference on the same seeded batch while sweeping
+// the worker count and the conflict rate, and verifies on every single
+// configuration that the parallel state root and receipts are
+// bit-identical to serial execution — speedup is only admissible if
+// determinism holds.
+
+// E10Config tunes the parallel-execution sweep.
+type E10Config struct {
+	// Workers are the pool sizes to sweep (default 1, 2, 4, 8).
+	Workers []int
+	// ConflictRates are the hot-key shares to sweep (default 0, 0.25,
+	// 0.5, 1).
+	ConflictRates []float64
+	// Txs is the batch size per run (default 256).
+	Txs int
+	// GrantShare splits the batch between policy grants and VM
+	// invocations (default 0.5).
+	GrantShare float64
+	// LoopIters sizes each VM invocation's compute loop (default 3000).
+	LoopIters int
+	// Repeats is how many timed runs each cell takes; the minimum is
+	// reported (default 3).
+	Repeats int
+	// Seed drives the workload generator.
+	Seed int64
+}
+
+func (c E10Config) withDefaults() E10Config {
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4, 8}
+	}
+	if len(c.ConflictRates) == 0 {
+		c.ConflictRates = []float64{0, 0.25, 0.5, 1}
+	}
+	if c.Txs <= 0 {
+		c.Txs = 256
+	}
+	if c.GrantShare <= 0 {
+		c.GrantShare = 0.5
+	}
+	if c.LoopIters <= 0 {
+		c.LoopIters = 3000
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// E10Row is one (conflict rate, worker count) cell.
+type E10Row struct {
+	// ConflictRate is the swept hot-key share.
+	ConflictRate float64
+	// Workers is the pool size.
+	Workers int
+	// Txs is the batch size.
+	Txs int
+	// Serial is the serial reference apply time (min over repeats).
+	Serial time.Duration
+	// Parallel is the engine's apply time (min over repeats).
+	Parallel time.Duration
+	// Speedup is Serial/Parallel.
+	Speedup float64
+	// Clean is how many speculative results committed without
+	// re-execution; Conflicts is the serially re-executed residue.
+	Clean, Conflicts int64
+	// Match reports that the parallel state root AND receipts are
+	// bit-identical to serial execution.
+	Match bool
+}
+
+// E10ParallelExec runs the sweep. It returns an error (rather than a
+// row) only for harness failures; a determinism violation is reported
+// through Match=false so the caller can fail loudly with the full
+// table in hand.
+func E10ParallelExec(cfg E10Config) ([]E10Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []E10Row
+	for _, rate := range cfg.ConflictRates {
+		wl, err := GenWorkload(WorkloadConfig{
+			Txs: cfg.Txs, ConflictRate: rate, GrantShare: cfg.GrantShare,
+			LoopIters: cfg.LoopIters, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		base := contract.NewState()
+		for _, tx := range wl.Setup {
+			r, err := base.Apply(tx, 1, 1)
+			if err != nil {
+				return nil, err
+			}
+			if !r.OK() {
+				return nil, fmt.Errorf("experiments: e10 setup tx failed: %s", r.Err)
+			}
+		}
+
+		// Serial reference: time the plain apply loop, keep its root and
+		// receipts as ground truth.
+		var serialBest time.Duration
+		var serialReceipts []*contract.Receipt
+		var serialRoot string
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			st := base.Clone()
+			start := time.Now()
+			receipts, err := ApplySerial(st, wl.Batch, 2, 2)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			if rep == 0 || elapsed < serialBest {
+				serialBest = elapsed
+			}
+			serialReceipts = receipts
+			serialRoot = st.Root().String()
+		}
+
+		for _, w := range cfg.Workers {
+			eng := parexec.New(w)
+			var parBest time.Duration
+			var stats parexec.Stats
+			match := true
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				st := base.Clone()
+				start := time.Now()
+				receipts, bs, err := eng.ExecuteBlock(st, wl.Batch, 2, 2)
+				if err != nil {
+					return nil, err
+				}
+				elapsed := time.Since(start)
+				if rep == 0 || elapsed < parBest {
+					parBest = elapsed
+				}
+				stats = bs
+				if st.Root().String() != serialRoot || !reflect.DeepEqual(receipts, serialReceipts) {
+					match = false
+				}
+			}
+			row := E10Row{
+				ConflictRate: rate, Workers: w, Txs: cfg.Txs,
+				Serial: serialBest, Parallel: parBest,
+				Clean: stats.Clean, Conflicts: stats.Serial, Match: match,
+			}
+			if parBest > 0 {
+				row.Speedup = float64(serialBest) / float64(parBest)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// E10Verify returns an error naming the first row whose parallel
+// execution diverged from serial — the hard determinism gate benchmed
+// and the bench suite apply to every swept configuration.
+func E10Verify(rows []E10Row) error {
+	for _, r := range rows {
+		if !r.Match {
+			return fmt.Errorf("experiments: e10 divergence at conflict=%.2f workers=%d", r.ConflictRate, r.Workers)
+		}
+	}
+	return nil
+}
+
+// TableE10 renders the sweep.
+func TableE10(rows []E10Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			fmt.Sprintf("%.2f", r.ConflictRate),
+			fmt.Sprint(r.Workers),
+			fmt.Sprint(r.Txs),
+			fmtDur(r.Serial),
+			fmtDur(r.Parallel),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprint(r.Clean),
+			fmt.Sprint(r.Conflicts),
+			fmt.Sprint(r.Match),
+		}
+	}
+	return Table(
+		"E10 Speculative parallel execution: speedup vs workers and conflict rate (state must match serial bit-for-bit)",
+		[]string{"conflict", "workers", "txs", "serial", "parallel", "speedup", "clean", "reexec", "match"},
+		out,
+	)
+}

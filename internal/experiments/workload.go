@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"encoding/base64"
+	"fmt"
+	"math/rand"
+
+	"medchain/internal/contract"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+	"medchain/internal/vm"
+)
+
+// WorkloadConfig tunes the seeded transaction-batch generator behind
+// E10 and the parallel/serial determinism tests. The same seed and
+// knobs always produce byte-identical transactions.
+type WorkloadConfig struct {
+	// Txs is the batch size.
+	Txs int
+	// ConflictRate is the share of transactions aimed at a hot shared
+	// key (the same policy or the same deployed contract); the rest
+	// each touch a key of their own. 0 = fully parallel, 1 = fully
+	// conflicting.
+	ConflictRate float64
+	// HotResources is how many hot keys the conflicting share spreads
+	// over (default 1: a single contention point).
+	HotResources int
+	// GrantShare is the fraction of batch transactions that are policy
+	// grants on dataset resources; the remainder are compute-carrying
+	// VM invocations (default 0.5).
+	GrantShare float64
+	// LoopIters sizes each VM invocation's compute loop (default 3000).
+	LoopIters int
+	// Seed drives every random choice.
+	Seed int64
+	// Sign produces fully signed transactions (needed when the batch
+	// goes through mempool gossip, which verifies signatures; direct
+	// State.Apply measurements can skip the ECDSA cost).
+	Sign bool
+}
+
+func (c WorkloadConfig) withDefaults() WorkloadConfig {
+	if c.Txs <= 0 {
+		c.Txs = 256
+	}
+	if c.HotResources <= 0 {
+		c.HotResources = 1
+	}
+	if c.GrantShare < 0 || c.GrantShare > 1 {
+		c.GrantShare = 0.5
+	}
+	if c.LoopIters <= 0 {
+		c.LoopIters = 3000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Workload is a generated benchmark batch: Setup registers every
+// dataset and deploys every contract the batch refers to (apply it
+// first, unmeasured), Batch is the measured block body.
+type Workload struct {
+	// Owner signs (or at least sends) every transaction and owns every
+	// resource.
+	Owner *cryptoutil.KeyPair
+	// Setup must be applied before Batch.
+	Setup []*ledger.Transaction
+	// Batch is the measured transaction sequence.
+	Batch []*ledger.Transaction
+	// HotTxs is how many batch transactions target a hot key.
+	HotTxs int
+}
+
+// GenWorkload builds a seeded batch with a controllable conflict rate:
+// each transaction is a policy grant (probability GrantShare) or a VM
+// invocation, and targets a hot shared key (probability ConflictRate)
+// or a key of its own. Grants on the same policy conflict through the
+// policy key; invocations of the same contract conflict through its
+// storage — matching contract.AccessSetOf's declared footprints.
+func GenWorkload(cfg WorkloadConfig) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	owner, err := cryptoutil.DeriveKeyPair(fmt.Sprintf("wl-owner-%d", cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	wl := &Workload{Owner: owner}
+
+	// Roll the per-tx shape first so setup knows how many cold
+	// resources to provision.
+	type shape struct {
+		grant bool
+		hot   bool
+		slot  int // hot resource index, or cold ordinal
+	}
+	shapes := make([]shape, cfg.Txs)
+	coldGrants, coldInvokes := 0, 0
+	for i := range shapes {
+		s := shape{
+			grant: rng.Float64() < cfg.GrantShare,
+			hot:   rng.Float64() < cfg.ConflictRate,
+		}
+		if s.hot {
+			s.slot = rng.Intn(cfg.HotResources)
+			wl.HotTxs++
+		} else if s.grant {
+			s.slot = coldGrants
+			coldGrants++
+		} else {
+			s.slot = coldInvokes
+			coldInvokes++
+		}
+		shapes[i] = s
+	}
+
+	code := vm.MustAssemble(fmt.Sprintf(`
+		PUSHI %d
+	loop:
+		PUSHI 1
+		SUB
+		DUP
+		JNZ loop
+		HALT
+	`, cfg.LoopIters))
+	nonce := uint64(0)
+	mk := func(typ ledger.TxType, method string, args any, to cryptoutil.Address) (*ledger.Transaction, error) {
+		raw, err := jsonMarshal(args)
+		if err != nil {
+			return nil, err
+		}
+		tx := &ledger.Transaction{
+			Type: typ, Nonce: nonce, Contract: to, Method: method,
+			Args: raw, Timestamp: int64(nonce) + 1,
+		}
+		if cfg.Sign {
+			if err := tx.Sign(owner); err != nil {
+				return nil, err
+			}
+		} else {
+			tx.From = owner.Address()
+		}
+		nonce++
+		return tx, nil
+	}
+	register := func(id string) error {
+		tx, err := mk(ledger.TxData, "register_dataset", contract.RegisterDatasetArgs{
+			ID: id, Digest: cryptoutil.Sum([]byte(id)), Schema: "cdf/v1", Records: 1, SiteID: "wl-site",
+		}, cryptoutil.Address{})
+		if err != nil {
+			return err
+		}
+		wl.Setup = append(wl.Setup, tx)
+		return nil
+	}
+	var hotAddrs, coldAddrs []cryptoutil.Address
+	deploy := func(name string) error {
+		addr := contract.DeployedAddress(owner.Address(), nonce)
+		tx, err := mk(ledger.TxDeploy, "deploy", contract.DeployArgs{
+			Name: name, Code: base64.StdEncoding.EncodeToString(code),
+		}, cryptoutil.Address{})
+		if err != nil {
+			return err
+		}
+		wl.Setup = append(wl.Setup, tx)
+		if name[0] == 'h' {
+			hotAddrs = append(hotAddrs, addr)
+		} else {
+			coldAddrs = append(coldAddrs, addr)
+		}
+		return nil
+	}
+
+	for r := 0; r < cfg.HotResources; r++ {
+		if err := register(fmt.Sprintf("wl/hot-%d", r)); err != nil {
+			return nil, err
+		}
+		if err := deploy(fmt.Sprintf("hot-%d", r)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < coldGrants; i++ {
+		if err := register(fmt.Sprintf("wl/cold-%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < coldInvokes; i++ {
+		if err := deploy(fmt.Sprintf("cold-%d", i)); err != nil {
+			return nil, err
+		}
+	}
+
+	for i, s := range shapes {
+		var tx *ledger.Transaction
+		var err error
+		if s.grant {
+			resource := fmt.Sprintf("data:wl/hot-%d", s.slot)
+			if !s.hot {
+				resource = fmt.Sprintf("data:wl/cold-%d", s.slot)
+			}
+			tx, err = mk(ledger.TxData, "grant", contract.GrantArgs{
+				Resource: resource,
+				Grantee:  cryptoutil.NamedAddress(fmt.Sprintf("wl-grantee-%d", i)),
+				Actions:  []contract.Action{contract.ActionRead, contract.ActionExecute},
+				Purpose:  "research",
+			}, cryptoutil.Address{})
+		} else {
+			addr := hotAddrs[s.slot%len(hotAddrs)]
+			if !s.hot {
+				addr = coldAddrs[s.slot]
+			}
+			tx, err = mk(ledger.TxInvoke, "run", contract.InvokeArgs{}, addr)
+		}
+		if err != nil {
+			return nil, err
+		}
+		wl.Batch = append(wl.Batch, tx)
+	}
+	return wl, nil
+}
+
+// ApplySerial applies txs to st one at a time — the serial reference
+// executor E10 and the determinism tests compare the parallel engine
+// against. Returns the receipts in order.
+func ApplySerial(st *contract.State, txs []*ledger.Transaction, height uint64, now int64) ([]*contract.Receipt, error) {
+	receipts := make([]*contract.Receipt, len(txs))
+	for i, tx := range txs {
+		r, err := st.Apply(tx, height, now)
+		if err != nil {
+			return nil, err
+		}
+		receipts[i] = r
+	}
+	return receipts, nil
+}

@@ -22,6 +22,7 @@ import (
 	"medchain/internal/cryptoutil"
 	"medchain/internal/emr"
 	"medchain/internal/oracle"
+	"medchain/internal/parexec"
 )
 
 // Errors.
@@ -260,10 +261,13 @@ func (s *Site) FetchEncrypted(auth contract.AccessAuthorization, requesterPub []
 }
 
 // Runner fans authorized tasks out to sites in parallel — the
-// transformed architecture's compute engine.
+// transformed architecture's compute engine. Fan-out runs on the same
+// bounded worker pool (parexec.ForEachN) the on-chain engine uses, so
+// a large task batch cannot spawn unbounded goroutines.
 type Runner struct {
-	mu    sync.RWMutex
-	sites map[string]*Site
+	mu      sync.RWMutex
+	sites   map[string]*Site
+	workers int // 0 = GOMAXPROCS
 }
 
 // NewRunner creates a runner over the given sites.
@@ -273,6 +277,24 @@ func NewRunner(sites ...*Site) *Runner {
 		r.sites[s.ID()] = s
 	}
 	return r
+}
+
+// SetWorkers bounds RunAll's concurrent task fan-out (<= 0 restores
+// the default, GOMAXPROCS).
+func (r *Runner) SetWorkers(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	r.workers = n
+}
+
+// Workers returns the configured fan-out bound (0 = GOMAXPROCS).
+func (r *Runner) Workers() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.workers
 }
 
 // Site resolves a site by ID.
@@ -290,27 +312,30 @@ func (r *Runner) Sites() int {
 	return len(r.sites)
 }
 
-// RunAll executes each authorization at its target site concurrently,
-// preserving input order in the result slice. The first error aborts
-// nothing — every task runs; errors are reported per task.
+// RunAll executes each authorization at its target site concurrently
+// on a bounded worker pool. Both returned slices are index-aligned
+// with auths: results[i] and errs[i] always describe auths[i], with
+// exactly one of them nil — unknown-site failures, execution failures,
+// and successes may interleave in any order without shifting
+// positions. The first error aborts nothing — every task runs.
 func (r *Runner) RunAll(auths []contract.RunAuthorization) ([]*TaskResult, []error) {
 	results := make([]*TaskResult, len(auths))
 	errs := make([]error, len(auths))
-	var wg sync.WaitGroup
+	sites := make([]*Site, len(auths))
 	for i, auth := range auths {
 		site, ok := r.Site(auth.SiteID)
 		if !ok {
 			errs[i] = fmt.Errorf("offchain: no site %q", auth.SiteID)
 			continue
 		}
-		wg.Add(1)
-		go func(i int, site *Site, auth contract.RunAuthorization) {
-			defer wg.Done()
-			res, err := site.ExecuteRun(auth)
-			results[i], errs[i] = res, err
-		}(i, site, auth)
+		sites[i] = site
 	}
-	wg.Wait()
+	parexec.ForEachN(len(auths), r.Workers(), func(i int) {
+		if sites[i] == nil {
+			return // unknown site: error already recorded at this index
+		}
+		results[i], errs[i] = sites[i].ExecuteRun(auths[i])
+	})
 	return results, errs
 }
 

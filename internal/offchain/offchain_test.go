@@ -358,3 +358,59 @@ func TestControllerCallbackErrorPath(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+// TestRunAllIndexAlignment is the regression test for RunAll's
+// contract: results[i] and errs[i] always describe auths[i] (exactly
+// one non-nil), regardless of worker count or how tasks interleave
+// good, missing-site, and failing entries.
+func TestRunAllIndexAlignment(t *testing.T) {
+	sites := []*Site{
+		newSite(t, "site-0", 30, 20),
+		newSite(t, "site-1", 31, 20),
+	}
+	r := NewRunner(sites...)
+	var auths []contract.RunAuthorization
+	wantErr := map[int]bool{}
+	for i := 0; i < 24; i++ {
+		s := sites[i%len(sites)]
+		auth := authFor(t, s, "cohort.count", `{}`)
+		auth.RequestID = uint64(i)
+		switch i % 4 {
+		case 1: // unknown site: the runner itself must report it
+			auth.SiteID = fmt.Sprintf("ghost-%d", i)
+			wantErr[i] = true
+		case 3: // tampered tool digest: the site rejects it
+			auth.ToolDigest = cryptoutil.Sum([]byte(fmt.Sprintf("bad-%d", i)))
+			wantErr[i] = true
+		}
+		auths = append(auths, auth)
+	}
+	for _, workers := range []int{0, 1, 3} {
+		r.SetWorkers(workers)
+		if workers > 0 && r.Workers() != workers {
+			t.Fatalf("Workers() = %d, want %d", r.Workers(), workers)
+		}
+		results, errs := r.RunAll(auths)
+		if len(results) != len(auths) || len(errs) != len(auths) {
+			t.Fatalf("workers=%d: got %d results / %d errs for %d auths",
+				workers, len(results), len(errs), len(auths))
+		}
+		for i := range auths {
+			if wantErr[i] {
+				if errs[i] == nil || results[i] != nil {
+					t.Fatalf("workers=%d task %d: want error only, got result=%v err=%v",
+						workers, i, results[i], errs[i])
+				}
+				continue
+			}
+			if errs[i] != nil || results[i] == nil {
+				t.Fatalf("workers=%d task %d: want result only, got result=%v err=%v",
+					workers, i, results[i], errs[i])
+			}
+			if results[i].RequestID != auths[i].RequestID || results[i].SiteID != auths[i].SiteID {
+				t.Fatalf("workers=%d task %d: result misaligned: %+v for auth %+v",
+					workers, i, results[i], auths[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package parexec is the deterministic parallel execution engine — the
+// subsystem that makes the repro's two execution layers use all
+// available cores, per the paper's claim that a blockchain can be
+// transformed into a distributed *parallel* computing architecture.
+//
+// On chain, a block's transactions are executed in two phases
+// (Octopus-style speculative execution):
+//
+//  1. Speculate: a bounded worker pool executes every transaction
+//     concurrently, each against a private snapshot of exactly the
+//     state its declared access set names (contract.AccessSetOf /
+//     State.SnapshotFor). Snapshots see the block-start state, so
+//     speculation is embarrassingly parallel.
+//  2. Commit: transactions are visited in canonical block order. A
+//     transaction whose access set is disjoint from everything earlier
+//     transactions wrote has, by construction, seen exactly the values
+//     serial execution would have shown it — its speculative writes
+//     and receipt are adopted as-is. A transaction that conflicts is
+//     re-executed serially against the live state at its position.
+//
+// The result — final state, receipts, receipt order, events — is
+// bit-identical to serial execution for every schedule and worker
+// count, because the conflict decision depends only on the statically
+// declared access sets and the canonical order, never on timing.
+//
+// Off chain, the same bounded pool (ForEachN) fans analytics tasks out
+// across sites (offchain.Runner.RunAll) — the paper's "move the
+// computing to the data" layer.
+package parexec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"medchain/internal/contract"
+	"medchain/internal/ledger"
+)
+
+// ForEachN runs fn(i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 means GOMAXPROCS). It returns when all
+// calls have completed — the barrier the engine's two phases rely on.
+func ForEachN(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Stats counts engine activity. Clean + Serial == Txs.
+type Stats struct {
+	// Blocks is the number of ExecuteBlock calls.
+	Blocks int64
+	// Txs is the total transactions executed.
+	Txs int64
+	// Clean is how many speculative results were committed as-is.
+	Clean int64
+	// Serial is how many transactions were re-executed serially in the
+	// commit phase (conflicting residue + unbounded footprints).
+	Serial int64
+	// Unknown counts transactions with unbounded footprints (a subset
+	// of Serial).
+	Unknown int64
+}
+
+// Add folds another stats value into the running totals.
+func (s *Stats) Add(o Stats) {
+	s.Blocks += o.Blocks
+	s.Txs += o.Txs
+	s.Clean += o.Clean
+	s.Serial += o.Serial
+	s.Unknown += o.Unknown
+}
+
+// Engine executes transaction batches speculatively in parallel with
+// deterministic serial-equivalent results. It is stateless between
+// blocks apart from accumulated Stats and safe for concurrent use by
+// independent blocks on independent states.
+type Engine struct {
+	workers int
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New creates an engine with the given worker-pool size (<= 0 means
+// GOMAXPROCS).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns the accumulated execution counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// speculation is one transaction's phase-1 outcome.
+type speculation struct {
+	acc  contract.AccessSet
+	snap *contract.State
+	rec  *contract.Receipt
+	err  error
+}
+
+// ExecuteBlock applies txs to st in canonical order with speculative
+// parallelism and returns the receipts (index-aligned with txs) plus
+// this block's stats. The final state and receipts are bit-identical to
+// serially applying txs in order. The error return mirrors
+// State.Apply: non-nil only for programming errors (nil transaction),
+// in which case st may hold a prefix of the block — exactly as the
+// serial loop would have left it.
+func (e *Engine) ExecuteBlock(st *contract.State, txs []*ledger.Transaction, height uint64, now int64) ([]*contract.Receipt, Stats, error) {
+	bs := Stats{Blocks: 1, Txs: int64(len(txs))}
+	if len(txs) == 0 {
+		e.record(bs)
+		return nil, bs, nil
+	}
+
+	// Phase 1 — speculate: every tx runs against a private snapshot of
+	// its declared access set, all seeing the block-start state.
+	specs := make([]speculation, len(txs))
+	ForEachN(len(txs), e.workers, func(i int) {
+		acc := contract.AccessSetOf(txs[i])
+		sp := speculation{acc: acc}
+		if !acc.Unknown {
+			sp.snap = st.SnapshotFor(acc)
+			sp.rec, sp.err = sp.snap.Apply(txs[i], height, now)
+		}
+		specs[i] = sp
+	})
+
+	// Phase 2 — commit in canonical order: merge clean speculations,
+	// serially re-execute the conflicting residue.
+	receipts := make([]*contract.Receipt, len(txs))
+	written := make(map[contract.StateKey]struct{}, len(txs))
+	tainted := false // an unbounded footprint forces everything after it serial
+	for i, tx := range txs {
+		sp := specs[i]
+		clean := !tainted && !sp.acc.Unknown && sp.err == nil
+		if clean {
+			for _, k := range sp.acc.Touched() {
+				if _, hit := written[k]; hit {
+					clean = false
+					break
+				}
+			}
+		}
+		if clean {
+			st.MergeSpeculative(sp.snap, sp.acc)
+			receipts[i] = sp.rec
+			bs.Clean++
+		} else {
+			r, err := st.Apply(tx, height, now)
+			if err != nil {
+				e.record(bs)
+				return nil, bs, err
+			}
+			receipts[i] = r
+			bs.Serial++
+			if sp.acc.Unknown {
+				bs.Unknown++
+				tainted = true
+			}
+		}
+		for _, k := range sp.acc.Writes {
+			written[k] = struct{}{}
+		}
+	}
+	e.record(bs)
+	return receipts, bs, nil
+}
+
+func (e *Engine) record(bs Stats) {
+	e.mu.Lock()
+	e.stats.Add(bs)
+	e.mu.Unlock()
+}

@@ -1,0 +1,261 @@
+package parexec_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"medchain/internal/contract"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/experiments"
+	"medchain/internal/ledger"
+	"medchain/internal/parexec"
+)
+
+func TestForEachNVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		hits := make([]int32, 1000)
+		parexec.ForEachN(len(hits), workers, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachNBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak int32
+	var mu sync.Mutex
+	parexec.ForEachN(100, workers, func(int) {
+		n := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if n > peak {
+			peak = n
+		}
+		mu.Unlock()
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > workers {
+		t.Fatalf("observed %d concurrent calls, bound is %d", peak, workers)
+	}
+}
+
+func mustTx(t *testing.T, kp *cryptoutil.KeyPair, nonce uint64, typ ledger.TxType, method string, args any, to cryptoutil.Address) *ledger.Transaction {
+	t.Helper()
+	raw, err := json.Marshal(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := &ledger.Transaction{
+		Type: typ, From: kp.Address(), Nonce: nonce, Contract: to,
+		Method: method, Args: raw, Timestamp: int64(nonce) + 1,
+	}
+	return tx
+}
+
+// mixedBatch exercises every transaction family, including the
+// request-sequence counter (request_access/request_run always conflict
+// with each other), trials, anchors, duplicate registrations that must
+// fail identically, and malformed payloads.
+func mixedBatch(t *testing.T, kp *cryptoutil.KeyPair) (setup, batch []*ledger.Transaction) {
+	t.Helper()
+	nonce := uint64(0)
+	next := func() uint64 { nonce++; return nonce - 1 }
+	digest := cryptoutil.Sum([]byte("x"))
+	setup = append(setup,
+		mustTx(t, kp, next(), ledger.TxData, "register_dataset", contract.RegisterDatasetArgs{ID: "d0", Digest: digest, SiteID: "s0"}, cryptoutil.Address{}),
+		mustTx(t, kp, next(), ledger.TxData, "register_dataset", contract.RegisterDatasetArgs{ID: "d1", Digest: digest, SiteID: "s1"}, cryptoutil.Address{}),
+		mustTx(t, kp, next(), ledger.TxAnalytics, "register_tool", contract.RegisterToolArgs{ID: "t0", Digest: digest}, cryptoutil.Address{}),
+	)
+	grantee := cryptoutil.NamedAddress("px-grantee")
+	batch = append(batch,
+		// Disjoint writes: parallel-friendly.
+		mustTx(t, kp, next(), ledger.TxData, "register_dataset", contract.RegisterDatasetArgs{ID: "d2", Digest: digest, SiteID: "s2"}, cryptoutil.Address{}),
+		mustTx(t, kp, next(), ledger.TxAnchor, "anchor", contract.AnchorArgs{Label: "a0", Digest: digest}, cryptoutil.Address{}),
+		mustTx(t, kp, next(), ledger.TxTrial, "register_trial", contract.RegisterTrialArgs{ID: "tr0", ProtocolDigest: digest, PrimaryOutcomes: []string{"os"}}, cryptoutil.Address{}),
+		// Same-policy pair: write-write conflict, order matters.
+		mustTx(t, kp, next(), ledger.TxData, "grant", contract.GrantArgs{Resource: "data:d0", Grantee: grantee, Actions: []contract.Action{contract.ActionRead}}, cryptoutil.Address{}),
+		mustTx(t, kp, next(), ledger.TxData, "revoke", contract.RevokeArgs{Resource: "data:d0", Grantee: grantee}, cryptoutil.Address{}),
+		// Sequence-counter contenders: every one conflicts with the others.
+		mustTx(t, kp, next(), ledger.TxData, "request_access", contract.RequestAccessArgs{Resource: "data:d1", Action: contract.ActionRead}, cryptoutil.Address{}),
+		mustTx(t, kp, next(), ledger.TxAnalytics, "request_run", contract.RequestRunArgs{Tool: "t0", Dataset: "d1"}, cryptoutil.Address{}),
+		// Trial mutations on one trial: conflicting appends, plus a
+		// registered-this-block dependency (tr0 created above).
+		mustTx(t, kp, next(), ledger.TxTrial, "enroll", contract.EnrollArgs{Trial: "tr0", Patient: "p1", Site: "s0"}, cryptoutil.Address{}),
+		mustTx(t, kp, next(), ledger.TxTrial, "enroll", contract.EnrollArgs{Trial: "tr0", Patient: "p2", Site: "s1"}, cryptoutil.Address{}),
+		// Duplicate registration must fail with the same receipt either way.
+		mustTx(t, kp, next(), ledger.TxData, "register_dataset", contract.RegisterDatasetArgs{ID: "d2", Digest: digest, SiteID: "s2"}, cryptoutil.Address{}),
+		// Malformed args and an unknown method: deterministic error receipts.
+		&ledger.Transaction{Type: ledger.TxData, From: kp.Address(), Nonce: next(), Method: "grant", Args: []byte("{not json"), Timestamp: 99},
+		mustTx(t, kp, next(), ledger.TxTrial, "no_such_method", struct{}{}, cryptoutil.Address{}),
+		// Invoke of a contract that does not exist: ErrNotFound receipt.
+		mustTx(t, kp, next(), ledger.TxInvoke, "run", contract.InvokeArgs{}, cryptoutil.NamedAddress("px-nowhere")),
+	)
+	return setup, batch
+}
+
+func applyAll(t *testing.T, st *contract.State, txs []*ledger.Transaction) []*contract.Receipt {
+	t.Helper()
+	receipts, err := experiments.ApplySerial(st, txs, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return receipts
+}
+
+// TestMixedBatchMatchesSerial covers every transaction family against
+// the serial reference at several worker counts.
+func TestMixedBatchMatchesSerial(t *testing.T) {
+	kp, err := cryptoutil.DeriveKeyPair("px-owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, batch := mixedBatch(t, kp)
+	base := contract.NewState()
+	for _, tx := range setup {
+		if r, err := base.Apply(tx, 1, 1); err != nil || !r.OK() {
+			t.Fatalf("setup: %v %v", err, r)
+		}
+	}
+	serial := base.Clone()
+	wantReceipts := applyAll(t, serial, batch)
+	wantRoot := serial.Root()
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		st := base.Clone()
+		got, stats, err := parexec.New(workers).ExecuteBlock(st, batch, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if root := st.Root(); root != wantRoot {
+			t.Fatalf("workers=%d: root %s != serial %s", workers, root.Short(), wantRoot.Short())
+		}
+		if !reflect.DeepEqual(got, wantReceipts) {
+			t.Fatalf("workers=%d: receipts diverged from serial", workers)
+		}
+		if stats.Clean+stats.Serial != int64(len(batch)) {
+			t.Fatalf("workers=%d: stats do not cover the batch: %+v", workers, stats)
+		}
+		if stats.Serial == 0 {
+			t.Fatalf("workers=%d: batch contains known conflicts, expected serial residue", workers)
+		}
+	}
+}
+
+// TestDeterminismProperty is the property-style gate the satellite task
+// asks for: for seeded random batches across conflict rates, worker
+// counts, and GOMAXPROCS values, parallel execution must yield the
+// identical state root, receipts, and receipt order as serial.
+func TestDeterminismProperty(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, rate := range []float64{0, 0.3, 1} {
+			for seed := int64(1); seed <= 3; seed++ {
+				wl, err := experiments.GenWorkload(experiments.WorkloadConfig{
+					Txs: 48, ConflictRate: rate, GrantShare: 0.6, LoopIters: 50, Seed: seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				base := contract.NewState()
+				applyAll(t, base, wl.Setup)
+				serial := base.Clone()
+				wantReceipts := applyAll(t, serial, wl.Batch)
+				wantRoot := serial.Root()
+				for _, workers := range []int{1, 2, 7} {
+					name := fmt.Sprintf("procs=%d rate=%.1f seed=%d workers=%d", procs, rate, seed, workers)
+					st := base.Clone()
+					got, _, err := parexec.New(workers).ExecuteBlock(st, wl.Batch, 2, 2)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if root := st.Root(); root != wantRoot {
+						t.Fatalf("%s: state root diverged", name)
+					}
+					if !reflect.DeepEqual(got, wantReceipts) {
+						t.Fatalf("%s: receipts diverged", name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFullConflictSerialResidue checks the engine's accounting: at
+// conflict rate 1 with one hot resource, almost everything lands in
+// the serial residue; at rate 0 nothing does.
+func TestFullConflictSerialResidue(t *testing.T) {
+	for _, tc := range []struct {
+		rate     float64
+		minClean int64
+	}{
+		{rate: 0, minClean: 64},
+		{rate: 1, minClean: 0},
+	} {
+		wl, err := experiments.GenWorkload(experiments.WorkloadConfig{
+			Txs: 64, ConflictRate: tc.rate, GrantShare: 0.5, LoopIters: 50, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := contract.NewState()
+		applyAll(t, base, wl.Setup)
+		_, stats, err := parexec.New(4).ExecuteBlock(base, wl.Batch, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Clean < tc.minClean {
+			t.Fatalf("rate=%.0f: clean=%d, want >= %d", tc.rate, stats.Clean, tc.minClean)
+		}
+		if tc.rate == 0 && stats.Serial != 0 {
+			t.Fatalf("rate=0: %d txs re-executed serially, want 0", stats.Serial)
+		}
+		if tc.rate == 1 {
+			// One clean tx per (hot policy, hot contract) leader; the
+			// rest must conflict.
+			if stats.Serial < int64(len(wl.Batch))-2 {
+				t.Fatalf("rate=1: serial=%d of %d, want nearly all", stats.Serial, len(wl.Batch))
+			}
+		}
+	}
+}
+
+// TestNilTxMatchesSerialError checks the hard-error path: a nil
+// transaction aborts exactly like the serial loop, leaving the same
+// prefix applied.
+func TestNilTxMatchesSerialError(t *testing.T) {
+	kp, err := cryptoutil.DeriveKeyPair("px-owner-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := cryptoutil.Sum([]byte("y"))
+	batch := []*ledger.Transaction{
+		mustTx(t, kp, 0, ledger.TxData, "register_dataset", contract.RegisterDatasetArgs{ID: "n0", Digest: digest, SiteID: "s"}, cryptoutil.Address{}),
+		nil,
+		mustTx(t, kp, 1, ledger.TxData, "register_dataset", contract.RegisterDatasetArgs{ID: "n1", Digest: digest, SiteID: "s"}, cryptoutil.Address{}),
+	}
+	serial := contract.NewState()
+	var serialErr error
+	for _, tx := range batch {
+		if _, serialErr = serial.Apply(tx, 2, 2); serialErr != nil {
+			break
+		}
+	}
+	par := contract.NewState()
+	_, _, parErr := parexec.New(4).ExecuteBlock(par, batch, 2, 2)
+	if serialErr == nil || parErr == nil {
+		t.Fatalf("expected hard errors, got serial=%v parallel=%v", serialErr, parErr)
+	}
+	if serial.Root() != par.Root() {
+		t.Fatal("post-error state diverged from serial")
+	}
+}

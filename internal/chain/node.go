@@ -503,13 +503,13 @@ func (n *Node) acceptBlock(blk *ledger.Block) error {
 func (n *Node) execute(blk *ledger.Block) error {
 	if eng := n.parallelEngine(); eng != nil {
 		receipts, _, err := eng.ExecuteBlock(n.state, blk.Txs, blk.Header.Height, blk.Header.Timestamp)
-		if err != nil {
-			return err
+		// On a mid-block error the receipts cover the applied prefix;
+		// record them before failing so bookkeeping (receipts map, gas,
+		// published events) matches the serial path exactly.
+		for i, r := range receipts {
+			n.recordReceipt(blk, blk.Txs[i], r)
 		}
-		for i, tx := range blk.Txs {
-			n.recordReceipt(blk, tx, receipts[i])
-		}
-		return nil
+		return err
 	}
 	for _, tx := range blk.Txs {
 		r, err := n.state.Apply(tx, blk.Header.Height, blk.Header.Timestamp)

@@ -106,8 +106,8 @@ type AccessSet struct {
 	Writes []StateKey
 	// Unknown marks a transaction whose footprint could not be bounded;
 	// the engine executes it (and everything after it in the block)
-	// serially. It is reserved for future transaction types — every
-	// current type derives a bounded set.
+	// serially. It covers nil transactions, payloads whose arguments
+	// fail to decode, and future transaction types.
 	Unknown bool
 }
 
@@ -132,9 +132,14 @@ func (a *AccessSet) write(keys ...StateKey) { a.Writes = append(a.Writes, keys..
 
 // AccessSetOf derives a transaction's declared access set from its
 // payload alone (no state needed), so derivation can run concurrently
-// for every transaction of a block. A transaction whose arguments fail
-// to decode gets an empty set: Apply rejects it deterministically
-// before touching any state, so its receipt is state-independent.
+// for every transaction of a block. Arguments are decoded with exactly
+// the per-method structs Apply uses, so a payload that decodes here
+// decodes identically there; if decoding fails the set is Unknown,
+// which forces serial execution. Returning anything weaker on a decode
+// failure would be unsound: a payload could conceivably fail one
+// decoding but pass another, and a transaction speculated against an
+// empty snapshot would then diverge from serial execution on
+// attacker-submittable input.
 func AccessSetOf(tx *ledger.Transaction) AccessSet {
 	if tx == nil {
 		return AccessSet{Unknown: true}
@@ -146,23 +151,12 @@ func AccessSetOf(tx *ledger.Transaction) AccessSet {
 	case ledger.TxAnalytics:
 		deriveAnalytics(tx, &a)
 	case ledger.TxTrial:
-		var args struct {
-			Trial string `json:"trial"`
-			ID    string `json:"id"`
-		}
-		if json.Unmarshal(tx.Args, &args) != nil {
-			return a
-		}
-		switch tx.Method {
-		case "register_trial":
-			a.write(KeyTrial(args.ID))
-		case "enroll", "report_outcomes", "adverse_event":
-			a.write(KeyTrial(args.Trial))
-		}
+		deriveTrial(tx, &a)
 	case ledger.TxAnchor:
 		var args AnchorArgs
 		if json.Unmarshal(tx.Args, &args) != nil {
-			return a
+			a.Unknown = true
+			break
 		}
 		a.write(KeyAnchor(args.Label))
 	case ledger.TxDeploy:
@@ -174,6 +168,10 @@ func AccessSetOf(tx *ledger.Transaction) AccessSet {
 		a.read(KeyRegistry)
 		a.write(KeyVM(tx.Contract))
 	}
+	if a.Unknown {
+		// Drop any keys derived before the failure.
+		return AccessSet{Unknown: true}
+	}
 	return a
 }
 
@@ -182,20 +180,28 @@ func deriveData(tx *ledger.Transaction, a *AccessSet) {
 	case "register_dataset", "update_dataset":
 		var args RegisterDatasetArgs
 		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
 			return
 		}
 		a.write(KeyDataset(args.ID), KeyPolicy(dataKey(args.ID)), KeyRegistry)
-	case "grant", "revoke":
-		var args struct {
-			Resource string `json:"resource"`
-		}
+	case "grant":
+		var args GrantArgs
 		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
+			return
+		}
+		a.write(KeyPolicy(args.Resource))
+	case "revoke":
+		var args RevokeArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
 			return
 		}
 		a.write(KeyPolicy(args.Resource))
 	case "request_access":
 		var args RequestAccessArgs
 		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
 			return
 		}
 		// Check(consume=true) mutates grant use counters, so the policy
@@ -210,6 +216,7 @@ func deriveAnalytics(tx *ledger.Transaction, a *AccessSet) {
 	case "register_tool":
 		var args RegisterToolArgs
 		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
 			return
 		}
 		a.write(KeyTool(args.ID), KeyPolicy(toolKey(args.ID)), KeyRegistry)
@@ -219,9 +226,43 @@ func deriveAnalytics(tx *ledger.Transaction, a *AccessSet) {
 	case "request_run":
 		var args RequestRunArgs
 		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
 			return
 		}
 		a.read(KeyTool(args.Tool), KeyDataset(args.Dataset))
 		a.write(KeyPolicy(dataKey(args.Dataset)), KeyPolicy(toolKey(args.Tool)), KeySeq)
+	}
+}
+
+func deriveTrial(tx *ledger.Transaction, a *AccessSet) {
+	switch tx.Method {
+	case "register_trial":
+		var args RegisterTrialArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
+			return
+		}
+		a.write(KeyTrial(args.ID))
+	case "enroll":
+		var args EnrollArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
+			return
+		}
+		a.write(KeyTrial(args.Trial))
+	case "report_outcomes":
+		var args ReportOutcomesArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
+			return
+		}
+		a.write(KeyTrial(args.Trial))
+	case "adverse_event":
+		var args AdverseEventArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
+			return
+		}
+		a.write(KeyTrial(args.Trial))
 	}
 }

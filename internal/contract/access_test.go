@@ -86,11 +86,43 @@ func TestAccessSetOfPerMethod(t *testing.T) {
 		set := AccessSetOf(itx)
 		wantSet(t, set, []string{"reg"}, []string{"vm/" + addr.String()})
 	})
-	t.Run("malformed_args_empty_set", func(t *testing.T) {
+	t.Run("malformed_args_unknown", func(t *testing.T) {
 		bad := &ledger.Transaction{Type: ledger.TxData, Method: "grant", Args: []byte("{oops"), Timestamp: 1}
 		set := AccessSetOf(bad)
-		if set.Unknown || len(set.Touched()) != 0 {
-			t.Fatalf("malformed args should derive an empty bounded set, got %s", set)
+		if !set.Unknown || len(set.Touched()) != 0 {
+			t.Fatalf("malformed args must derive Unknown with no keys, got %s", set)
+		}
+	})
+	// Regression: a payload that a combined/alternative decoding would
+	// reject but the per-method struct accepts (extraneous "id": 42 on
+	// enroll args) must derive the same footprint Apply acts on — not an
+	// empty set that commits a no-op while serial execution enrolls.
+	t.Run("enroll_extraneous_field_still_bounded", func(t *testing.T) {
+		raw := []byte(`{"trial":"tr1","patient":"p1","site":"s1","id":42}`)
+		set := AccessSetOf(&ledger.Transaction{Type: ledger.TxTrial, Method: "enroll", Args: raw, Timestamp: 1})
+		wantSet(t, set, []string{}, []string{"trial/tr1"})
+	})
+	// Any per-method decode failure must force serial execution rather
+	// than speculate against an empty snapshot.
+	t.Run("per_method_decode_failure_unknown", func(t *testing.T) {
+		cases := []struct {
+			typ    ledger.TxType
+			method string
+			args   string
+		}{
+			{ledger.TxTrial, "enroll", `{"trial":42}`},
+			{ledger.TxTrial, "register_trial", `{"id":[]}`},
+			{ledger.TxTrial, "adverse_event", `{"trial":"t","severity":"high"}`},
+			{ledger.TxData, "grant", `{"resource":"data:d","max_uses":"many"}`},
+			{ledger.TxData, "revoke", `{"resource":7}`},
+			{ledger.TxAnalytics, "request_run", `{"tool":"t","dataset":{}}`},
+			{ledger.TxAnchor, "anchor", `{"label":1}`},
+		}
+		for _, tc := range cases {
+			set := AccessSetOf(&ledger.Transaction{Type: tc.typ, Method: tc.method, Args: []byte(tc.args), Timestamp: 1})
+			if !set.Unknown || len(set.Touched()) != 0 {
+				t.Fatalf("%v/%s: want Unknown with no keys, got %s", tc.typ, tc.method, set)
+			}
 		}
 	})
 	t.Run("nil_tx_unknown", func(t *testing.T) {

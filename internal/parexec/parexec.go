@@ -142,8 +142,9 @@ type speculation struct {
 // this block's stats. The final state and receipts are bit-identical to
 // serially applying txs in order. The error return mirrors
 // State.Apply: non-nil only for programming errors (nil transaction),
-// in which case st may hold a prefix of the block — exactly as the
-// serial loop would have left it.
+// in which case st holds a prefix of the block and the returned
+// receipts cover exactly that applied prefix — the same state and
+// bookkeeping the serial loop would have left behind.
 func (e *Engine) ExecuteBlock(st *contract.State, txs []*ledger.Transaction, height uint64, now int64) ([]*contract.Receipt, Stats, error) {
 	bs := Stats{Blocks: 1, Txs: int64(len(txs))}
 	if len(txs) == 0 {
@@ -188,7 +189,7 @@ func (e *Engine) ExecuteBlock(st *contract.State, txs []*ledger.Transaction, hei
 			r, err := st.Apply(tx, height, now)
 			if err != nil {
 				e.record(bs)
-				return nil, bs, err
+				return receipts[:i], bs, err
 			}
 			receipts[i] = r
 			bs.Serial++

@@ -93,8 +93,16 @@ func mixedBatch(t *testing.T, kp *cryptoutil.KeyPair) (setup, batch []*ledger.Tr
 		mustTx(t, kp, next(), ledger.TxTrial, "enroll", contract.EnrollArgs{Trial: "tr0", Patient: "p2", Site: "s1"}, cryptoutil.Address{}),
 		// Duplicate registration must fail with the same receipt either way.
 		mustTx(t, kp, next(), ledger.TxData, "register_dataset", contract.RegisterDatasetArgs{ID: "d2", Digest: digest, SiteID: "s2"}, cryptoutil.Address{}),
+		// Enroll args with an extraneous non-string field: decodes under
+		// EnrollArgs (what Apply uses) though stricter shapes would reject
+		// it. The derived footprint must still cover tr0 so the enrollment
+		// lands exactly as in serial execution.
+		&ledger.Transaction{Type: ledger.TxTrial, From: kp.Address(), Nonce: next(), Method: "enroll", Args: []byte(`{"trial":"tr0","patient":"p3","site":"s2","id":42}`), Timestamp: 98},
 		// Malformed args and an unknown method: deterministic error receipts.
 		&ledger.Transaction{Type: ledger.TxData, From: kp.Address(), Nonce: next(), Method: "grant", Args: []byte("{not json"), Timestamp: 99},
+		// Args that fail the per-method decode: Unknown footprint, forced
+		// serial fallback for this tx and everything after it.
+		&ledger.Transaction{Type: ledger.TxTrial, From: kp.Address(), Nonce: next(), Method: "enroll", Args: []byte(`{"trial":7}`), Timestamp: 100},
 		mustTx(t, kp, next(), ledger.TxTrial, "no_such_method", struct{}{}, cryptoutil.Address{}),
 		// Invoke of a contract that does not exist: ErrNotFound receipt.
 		mustTx(t, kp, next(), ledger.TxInvoke, "run", contract.InvokeArgs{}, cryptoutil.NamedAddress("px-nowhere")),
@@ -146,6 +154,9 @@ func TestMixedBatchMatchesSerial(t *testing.T) {
 		}
 		if stats.Serial == 0 {
 			t.Fatalf("workers=%d: batch contains known conflicts, expected serial residue", workers)
+		}
+		if stats.Unknown == 0 {
+			t.Fatalf("workers=%d: batch contains an undecodable payload, expected an Unknown footprint", workers)
 		}
 	}
 }
@@ -244,18 +255,27 @@ func TestNilTxMatchesSerialError(t *testing.T) {
 		mustTx(t, kp, 1, ledger.TxData, "register_dataset", contract.RegisterDatasetArgs{ID: "n1", Digest: digest, SiteID: "s"}, cryptoutil.Address{}),
 	}
 	serial := contract.NewState()
+	var serialReceipts []*contract.Receipt
 	var serialErr error
 	for _, tx := range batch {
-		if _, serialErr = serial.Apply(tx, 2, 2); serialErr != nil {
+		var r *contract.Receipt
+		if r, serialErr = serial.Apply(tx, 2, 2); serialErr != nil {
 			break
 		}
+		serialReceipts = append(serialReceipts, r)
 	}
 	par := contract.NewState()
-	_, _, parErr := parexec.New(4).ExecuteBlock(par, batch, 2, 2)
+	parReceipts, _, parErr := parexec.New(4).ExecuteBlock(par, batch, 2, 2)
 	if serialErr == nil || parErr == nil {
 		t.Fatalf("expected hard errors, got serial=%v parallel=%v", serialErr, parErr)
 	}
 	if serial.Root() != par.Root() {
 		t.Fatal("post-error state diverged from serial")
+	}
+	// The error return must still hand back the applied prefix's
+	// receipts so callers can keep their bookkeeping aligned with the
+	// serial path.
+	if !reflect.DeepEqual(parReceipts, serialReceipts) {
+		t.Fatalf("post-error receipts diverged: got %d, want %d (prefix before the nil tx)", len(parReceipts), len(serialReceipts))
 	}
 }

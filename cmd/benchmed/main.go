@@ -5,6 +5,15 @@
 //	benchmed                # everything (a few minutes)
 //	benchmed -run e1,e2     # just the chain experiments
 //	benchmed -quick         # reduced sweep sizes (~30s)
+//
+// `-run sim` is the deterministic-simulation soak mode (E11): it fuzzes
+// a full fault-injected cluster for -sim.rounds rounds under the
+// internal/sim invariant checkers and exits non-zero on any violation,
+// printing the minimized counterexample and its replay command. It runs
+// only when selected explicitly — it is a soak, not an experiment
+// table:
+//
+//	benchmed -run sim -seed 7 -sim.rounds 2000
 package main
 
 import (
@@ -15,12 +24,14 @@ import (
 	"time"
 
 	"medchain/internal/experiments"
+	"medchain/internal/sim"
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (e1..e10,a1..a4) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1..e10,a1..a4), 'all', or 'sim'")
 	quick := flag.Bool("quick", false, "reduced sweep sizes for a fast pass")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	simRounds := flag.Int("sim.rounds", 2000, "fuzz/commit rounds for -run sim")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -33,6 +44,23 @@ func main() {
 	fail := func(id string, err error) {
 		fmt.Fprintf(os.Stderr, "benchmed: %s: %v\n", id, err)
 		os.Exit(1)
+	}
+
+	if selected["sim"] {
+		res, err := sim.Run(sim.Config{Seed: *seed, Rounds: *simRounds})
+		if res != nil {
+			fmt.Printf("sim soak: seed=%d rounds=%d\n", res.Seed, res.Rounds)
+			fmt.Printf("  blocks=%d txs=%d failedTxs=%d failedRounds=%d\n", res.Blocks, res.Txs, res.FailedTxs, res.FailedRounds)
+			fmt.Printf("  checks=%d offchainRuns=%d gas=%d faultsInjected=%d\n", res.Checks, res.OffchainRuns, res.GasUsed, len(res.FaultLog))
+		}
+		if err != nil {
+			if res != nil && res.Counterexample != nil {
+				fmt.Fprintf(os.Stderr, "counterexample:\n%s\n", res.Counterexample)
+			}
+			fail("sim", err)
+		}
+		fmt.Printf("benchmed: sim soak green in %s\n", time.Since(start).Round(time.Millisecond))
+		return
 	}
 
 	if want("e1") {

@@ -1,0 +1,111 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"medchain/internal/p2p"
+)
+
+// Compose merges schedules into one script ordered by round. Steps
+// scheduled at the same round keep their relative input order (the
+// merge is stable), so composed schedules are as deterministic as
+// their parts. The seed recorded on the result is the caller's — the
+// parts keep their own seeds but the composition is a new script.
+func Compose(name string, seed int64, scheds ...Schedule) Schedule {
+	out := Schedule{Name: name, Seed: seed}
+	for _, s := range scheds {
+		out.Steps = append(out.Steps, s.Steps...)
+	}
+	sort.SliceStable(out.Steps, func(i, j int) bool {
+		return out.Steps[i].Round < out.Steps[j].Round
+	})
+	return out
+}
+
+// Fuzz derives a mixed-fault schedule from a single seed: a sequence
+// of serialized (non-overlapping) fault windows — message-loss spikes,
+// latency spikes, slow nodes, follower crashes, single-node
+// partitions — with healing steps between them and a clean tail so
+// the run can drain. Windows never overlap, every fault is healed
+// before the next begins, at most one node is ever down or isolated
+// at a time (a quorum cluster of >= 4 nodes keeps committing), and
+// crash victims are never scheduled to propose while down. Identical
+// (nodes, rounds, seed) yield identical schedules — this is the fault
+// half of the deterministic simulation harness (internal/sim).
+func Fuzz(nodes, rounds int, seed int64) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	sched := Schedule{Name: "fuzz", Seed: seed}
+	if nodes < 3 || rounds < 10 {
+		return sched
+	}
+	// Faults start after the setup rounds and end before the tail so
+	// the final rounds always run on a healed cluster.
+	end := rounds - 3
+	maxWidth := 2
+	if maxWidth > nodes-2 {
+		// A crash window spanning w+1 proposer slots must leave a
+		// non-proposing victim available.
+		maxWidth = nodes - 2
+	}
+	r := 2 + rng.Intn(3)
+	for r < end {
+		width := 1 + rng.Intn(maxWidth)
+		heal := r + width
+		if heal >= end {
+			heal = end - 1
+		}
+		if heal <= r {
+			break
+		}
+		switch rng.Intn(5) {
+		case 0: // transient message loss
+			rate := 0.05 + rng.Float64()*0.15
+			sched.Steps = append(sched.Steps,
+				Step{Round: r, Kind: KindLoss, Loss: rate},
+				Step{Round: heal, Kind: KindLoss, Loss: 0},
+			)
+		case 1: // transient link latency
+			base := time.Duration(50+rng.Intn(250)) * time.Microsecond
+			jitter := time.Duration(rng.Intn(150)) * time.Microsecond
+			sched.Steps = append(sched.Steps,
+				Step{Round: r, Kind: KindLatency, Latency: base, Jitter: jitter},
+				Step{Round: heal, Kind: KindLatency},
+			)
+		case 2: // one lagging site
+			victim := rng.Intn(nodes)
+			delay := time.Duration(50+rng.Intn(200)) * time.Microsecond
+			sched.Steps = append(sched.Steps,
+				Step{Round: r, Kind: KindSlowNode, Node: victim, Delay: delay},
+				Step{Round: heal, Kind: KindSlowNode, Node: victim, Delay: 0},
+			)
+		case 3: // crash a node that is a pure follower for the window
+			busy := make(map[int]bool)
+			for rr := r; rr <= heal; rr++ {
+				busy[proposerFor(rr, nodes)] = true
+			}
+			victim := rng.Intn(nodes)
+			for busy[victim] {
+				victim = (victim + 1) % nodes
+			}
+			sched.Steps = append(sched.Steps,
+				Step{Round: r, Kind: KindCrash, Node: victim},
+				Step{Round: heal, Kind: KindRestart, Node: victim},
+			)
+		case 4: // isolate a single node, keeping a committing majority
+			victim := rng.Intn(nodes)
+			sched.Steps = append(sched.Steps,
+				Step{Round: r, Kind: KindPartition, Node: -1,
+					Partitions: map[p2p.NodeID]int{nodeID(victim): 1}},
+				Step{Round: heal, Kind: KindHeal, Node: -1},
+			)
+		}
+		r = heal + 2 + rng.Intn(4)
+	}
+	return sched
+}
+
+// nodeID renders the canonical cluster node ID for an index.
+func nodeID(i int) p2p.NodeID { return p2p.NodeID(fmt.Sprintf("node-%d", i)) }

@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFuzzScheduleDeterministic pins the replayability contract the
+// simulation harness depends on: the fuzzed fault schedule is a pure
+// function of (nodes, rounds, seed).
+func TestFuzzScheduleDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, -9} {
+		a := Fuzz(4, 200, seed)
+		b := Fuzz(4, 200, seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: schedules differ", seed)
+		}
+		if len(a.Steps) == 0 {
+			t.Fatalf("seed %d: empty schedule for 200 rounds", seed)
+		}
+	}
+	if reflect.DeepEqual(Fuzz(4, 200, 1).Steps, Fuzz(4, 200, 2).Steps) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestFuzzScheduleWellFormed checks the structural guarantees: faults
+// live inside the [setup, tail) window, windows are serialized (every
+// fault heals before the next begins), and crash victims never hold a
+// proposer slot while down.
+func TestFuzzScheduleWellFormed(t *testing.T) {
+	const nodes, rounds = 4, 150
+	for _, seed := range []int64{3, 11, 99, 1234} {
+		sched := Fuzz(nodes, rounds, seed)
+		if len(sched.Steps)%2 != 0 {
+			t.Fatalf("seed %d: odd step count %d (unpaired fault)", seed, len(sched.Steps))
+		}
+		prevHeal := -1
+		for i := 0; i < len(sched.Steps); i += 2 {
+			fault, heal := sched.Steps[i], sched.Steps[i+1]
+			if fault.Round <= prevHeal {
+				t.Fatalf("seed %d: window at round %d overlaps previous heal %d", seed, fault.Round, prevHeal)
+			}
+			if fault.Round < 2 || heal.Round >= rounds-3 {
+				t.Fatalf("seed %d: window [%d,%d] escapes fault region", seed, fault.Round, heal.Round)
+			}
+			if heal.Round <= fault.Round {
+				t.Fatalf("seed %d: heal %d not after fault %d", seed, heal.Round, fault.Round)
+			}
+			if fault.Kind == KindCrash {
+				for rr := fault.Round; rr <= heal.Round; rr++ {
+					if proposerFor(rr, nodes) == fault.Node {
+						t.Fatalf("seed %d: crash victim %d proposes round %d while down", seed, fault.Node, rr)
+					}
+				}
+			}
+			prevHeal = heal.Round
+		}
+	}
+}
+
+// TestFuzzScheduleSmallClusters: below the survivable minimum the
+// generator must emit nothing rather than a quorum-killing schedule.
+func TestFuzzScheduleSmallClusters(t *testing.T) {
+	if s := Fuzz(2, 200, 1); len(s.Steps) != 0 {
+		t.Fatalf("2-node cluster got %d fault steps", len(s.Steps))
+	}
+	if s := Fuzz(4, 5, 1); len(s.Steps) != 0 {
+		t.Fatalf("5-round run got %d fault steps", len(s.Steps))
+	}
+}
+
+// TestComposeMergesByRound: the merge is ordered by round and stable
+// for ties, so composed schedules replay deterministically.
+func TestComposeMergesByRound(t *testing.T) {
+	a := Schedule{Name: "a", Steps: []Step{
+		{Round: 1, Kind: KindLoss, Loss: 0.1},
+		{Round: 5, Kind: KindLoss, Loss: 0},
+	}}
+	b := Schedule{Name: "b", Steps: []Step{
+		{Round: 1, Kind: KindCrash, Node: 2},
+		{Round: 3, Kind: KindRestart, Node: 2},
+	}}
+	got := Compose("both", 9, a, b)
+	if got.Name != "both" || got.Seed != 9 {
+		t.Fatalf("metadata not applied: %+v", got)
+	}
+	wantRounds := []int{1, 1, 3, 5}
+	if len(got.Steps) != len(wantRounds) {
+		t.Fatalf("got %d steps, want %d", len(got.Steps), len(wantRounds))
+	}
+	for i, r := range wantRounds {
+		if got.Steps[i].Round != r {
+			t.Fatalf("step %d at round %d, want %d", i, got.Steps[i].Round, r)
+		}
+	}
+	// Stability: a's round-1 step entered first, so it stays first.
+	if got.Steps[0].Kind != KindLoss || got.Steps[1].Kind != KindCrash {
+		t.Fatalf("tie not stable: %v then %v", got.Steps[0].Kind, got.Steps[1].Kind)
+	}
+}

@@ -1,0 +1,141 @@
+package contract
+
+import (
+	"testing"
+
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+)
+
+// TestConsentLifecycle drives the consent state machine through full
+// grant → use → revoke → re-grant histories as a table of timed steps,
+// checking the monotonicity property the sim harness also enforces: a
+// request is authorized iff a live, unconsumed, unexpired grant (or
+// ownership) covers it at that instant — and revocation takes effect
+// immediately and permanently until an explicit re-grant.
+func TestConsentLifecycle(t *testing.T) {
+	type step struct {
+		name   string
+		actor  string // key seed: "owner" or "user"
+		method string
+		args   any
+		now    int64
+		wantOK bool
+		topic  string // required first event topic, "" = don't care
+	}
+	grant := func(actions []Action, purpose string, expires int64, maxUses int) GrantArgs {
+		return GrantArgs{Resource: "data:d", Actions: actions, Purpose: purpose, ExpiresAt: expires, MaxUses: maxUses}
+	}
+	req := func(action Action, purpose string) RequestAccessArgs {
+		return RequestAccessArgs{Resource: "data:d", Action: action, Purpose: purpose}
+	}
+	read := []Action{ActionRead}
+
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			name: "grant revoke regrant",
+			steps: []step{
+				{name: "no grant yet", actor: "user", method: "request_access", args: req(ActionRead, ""), now: 10, wantOK: false, topic: "AccessDenied"},
+				{name: "grant", actor: "owner", method: "grant", args: grant(read, "", 0, 0), now: 11, wantOK: true, topic: "AccessGranted"},
+				{name: "granted access", actor: "user", method: "request_access", args: req(ActionRead, ""), now: 12, wantOK: true, topic: "AccessAuthorized"},
+				{name: "revoke", actor: "owner", method: "revoke", args: RevokeArgs{Resource: "data:d"}, now: 13, wantOK: true, topic: "AccessRevoked"},
+				{name: "revoked access", actor: "user", method: "request_access", args: req(ActionRead, ""), now: 14, wantOK: false, topic: "AccessDenied"},
+				{name: "still revoked later", actor: "user", method: "request_access", args: req(ActionRead, ""), now: 500, wantOK: false, topic: "AccessDenied"},
+				{name: "re-grant", actor: "owner", method: "grant", args: grant(read, "", 0, 0), now: 501, wantOK: true, topic: "AccessGranted"},
+				{name: "re-granted access", actor: "user", method: "request_access", args: req(ActionRead, ""), now: 502, wantOK: true, topic: "AccessAuthorized"},
+			},
+		},
+		{
+			name: "expiry then regrant",
+			steps: []step{
+				{name: "grant until t=100", actor: "owner", method: "grant", args: grant(read, "", 100, 0), now: 10, wantOK: true},
+				{name: "before expiry", actor: "user", method: "request_access", args: req(ActionRead, ""), now: 99, wantOK: true, topic: "AccessAuthorized"},
+				{name: "after expiry", actor: "user", method: "request_access", args: req(ActionRead, ""), now: 101, wantOK: false, topic: "AccessDenied"},
+				{name: "re-grant already expired", actor: "owner", method: "grant", args: grant(read, "", 150, 0), now: 200, wantOK: true},
+				{name: "still dead grant", actor: "user", method: "request_access", args: req(ActionRead, ""), now: 201, wantOK: false, topic: "AccessDenied"},
+				{name: "re-grant live", actor: "owner", method: "grant", args: grant(read, "", 300, 0), now: 202, wantOK: true},
+				{name: "alive again", actor: "user", method: "request_access", args: req(ActionRead, ""), now: 203, wantOK: true, topic: "AccessAuthorized"},
+			},
+		},
+		{
+			name: "use cap then regrant",
+			steps: []step{
+				{name: "grant one use", actor: "owner", method: "grant", args: grant(read, "", 0, 1), now: 10, wantOK: true},
+				{name: "first use", actor: "user", method: "request_access", args: req(ActionRead, ""), now: 11, wantOK: true, topic: "AccessAuthorized"},
+				{name: "second use denied", actor: "user", method: "request_access", args: req(ActionRead, ""), now: 12, wantOK: false, topic: "AccessDenied"},
+				{name: "re-grant", actor: "owner", method: "grant", args: grant(read, "", 0, 1), now: 13, wantOK: true},
+				{name: "fresh use", actor: "user", method: "request_access", args: req(ActionRead, ""), now: 14, wantOK: true, topic: "AccessAuthorized"},
+			},
+		},
+		{
+			name: "purpose and action binding",
+			steps: []step{
+				{name: "grant read for research", actor: "owner", method: "grant", args: grant(read, "research", 0, 0), now: 10, wantOK: true},
+				{name: "matching purpose", actor: "user", method: "request_access", args: req(ActionRead, "research"), now: 11, wantOK: true, topic: "AccessAuthorized"},
+				{name: "wrong purpose", actor: "user", method: "request_access", args: req(ActionRead, "marketing"), now: 12, wantOK: false, topic: "AccessDenied"},
+				{name: "wrong action", actor: "user", method: "request_access", args: req(ActionExecute, "research"), now: 13, wantOK: false, topic: "AccessDenied"},
+			},
+		},
+		{
+			name: "owner exempt from lifecycle",
+			steps: []step{
+				{name: "owner reads ungrantted", actor: "owner", method: "request_access", args: req(ActionRead, ""), now: 10, wantOK: true, topic: "AccessAuthorized"},
+				{name: "self revoke is a no-op for ownership", actor: "owner", method: "revoke", args: RevokeArgs{Resource: "data:d"}, now: 11, wantOK: true},
+				{name: "owner still reads", actor: "owner", method: "request_access", args: req(ActionRead, ""), now: 12, wantOK: true, topic: "AccessAuthorized"},
+			},
+		},
+		{
+			name: "revoke clears every action",
+			steps: []step{
+				{name: "grant read+execute", actor: "owner", method: "grant", args: grant([]Action{ActionRead, ActionExecute}, "", 0, 0), now: 10, wantOK: true},
+				{name: "read ok", actor: "user", method: "request_access", args: req(ActionRead, ""), now: 11, wantOK: true},
+				{name: "execute ok", actor: "user", method: "request_access", args: req(ActionExecute, ""), now: 12, wantOK: true},
+				{name: "revoke", actor: "owner", method: "revoke", args: RevokeArgs{Resource: "data:d"}, now: 13, wantOK: true},
+				{name: "read gone", actor: "user", method: "request_access", args: req(ActionRead, ""), now: 14, wantOK: false, topic: "AccessDenied"},
+				{name: "execute gone", actor: "user", method: "request_access", args: req(ActionExecute, ""), now: 15, wantOK: false, topic: "AccessDenied"},
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewState()
+			keys := map[string]*cryptoutil.KeyPair{"owner": key(t, "lc-owner"), "user": key(t, "lc-user")}
+			registerDataset(t, s, keys["owner"], "d", "site-lc")
+			user := keys["user"].Address()
+			for _, st := range tc.steps {
+				args := st.args
+				// Fill in the grantee/requester identity the table can't
+				// name statically.
+				switch a := args.(type) {
+				case GrantArgs:
+					a.Grantee = user
+					args = a
+				case RevokeArgs:
+					if st.name != "self revoke is a no-op for ownership" {
+						a.Grantee = user
+					} else {
+						a.Grantee = keys["owner"].Address()
+					}
+					args = a
+				}
+				transaction := tx(t, keys[st.actor], ledger.TxData, st.method, args)
+				r, err := s.Apply(transaction, 1, st.now)
+				if err != nil {
+					t.Fatalf("%s: hard error: %v", st.name, err)
+				}
+				if r.OK() != st.wantOK {
+					t.Fatalf("%s: ok=%v want %v (err=%s)", st.name, r.OK(), st.wantOK, r.Err)
+				}
+				if st.topic != "" {
+					if len(r.Events) == 0 || r.Events[0].Topic != st.topic {
+						t.Fatalf("%s: events %+v, want first topic %s", st.name, r.Events, st.topic)
+					}
+				}
+			}
+		})
+	}
+}

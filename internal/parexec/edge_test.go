@@ -1,0 +1,231 @@
+package parexec_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"medchain/internal/contract"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+	"medchain/internal/parexec"
+)
+
+// gasOf sums receipt gas, the quantity the gas-conservation invariant
+// tracks.
+func gasOf(recs []*contract.Receipt) int64 {
+	var g int64
+	for _, r := range recs {
+		g += r.GasUsed
+	}
+	return g
+}
+
+// TestEmptyBlock: zero transactions must be a no-op — no receipts, an
+// unchanged root, and one block counted.
+func TestEmptyBlock(t *testing.T) {
+	st := contract.NewState()
+	before := st.Root()
+	recs, stats, err := parexec.New(4).ExecuteBlock(st, nil, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("empty block produced %d receipts", len(recs))
+	}
+	if st.Root() != before {
+		t.Fatal("empty block mutated state")
+	}
+	if stats.Blocks != 1 || stats.Txs != 0 || stats.Clean != 0 || stats.Serial != 0 {
+		t.Fatalf("stats for empty block: %+v", stats)
+	}
+}
+
+// TestSingleTxBlock: a one-transaction block has nothing to conflict
+// with; it must commit clean and match serial bit-for-bit.
+func TestSingleTxBlock(t *testing.T) {
+	kp, err := cryptoutil.DeriveKeyPair("px-edge-single")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := mustTx(t, kp, 0, ledger.TxData, "register_dataset",
+		contract.RegisterDatasetArgs{ID: "e0", Digest: cryptoutil.Sum([]byte("e")), SiteID: "s"}, cryptoutil.Address{})
+
+	serial := contract.NewState()
+	want, err := serial.Apply(tx, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := contract.NewState()
+	recs, stats, err := parexec.New(4).ExecuteBlock(st, []*ledger.Transaction{tx}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Root() != serial.Root() {
+		t.Fatal("single-tx root diverged from serial")
+	}
+	if len(recs) != 1 || !reflect.DeepEqual(recs[0], want) {
+		t.Fatalf("single-tx receipt diverged: %+v vs %+v", recs, want)
+	}
+	if stats.Clean != 1 || stats.Serial != 0 {
+		t.Fatalf("single tx should commit clean: %+v", stats)
+	}
+}
+
+// TestAllConflictingBlock: every transaction mutates the same policy,
+// so speculation can save at most the first; the other n-1 must land in
+// the serial residue — and receipts and gas must still match serial
+// exactly.
+func TestAllConflictingBlock(t *testing.T) {
+	kp, err := cryptoutil.DeriveKeyPair("px-edge-conflict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := cryptoutil.Sum([]byte("c"))
+	setup := mustTx(t, kp, 0, ledger.TxData, "register_dataset",
+		contract.RegisterDatasetArgs{ID: "hot", Digest: digest, SiteID: "s"}, cryptoutil.Address{})
+
+	const n = 12
+	batch := make([]*ledger.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		grantee := cryptoutil.NamedAddress("px-edge-g" + string(rune('a'+i)))
+		batch = append(batch, mustTx(t, kp, uint64(1+i), ledger.TxData, "grant",
+			contract.GrantArgs{Resource: "data:hot", Grantee: grantee, Actions: []contract.Action{contract.ActionRead}},
+			cryptoutil.Address{}))
+	}
+
+	base := contract.NewState()
+	if r, err := base.Apply(setup, 1, 1); err != nil || !r.OK() {
+		t.Fatalf("setup: %v %v", err, r)
+	}
+	serial := base.Clone()
+	want := applyAll(t, serial, batch)
+
+	st := base.Clone()
+	got, stats, err := parexec.New(8).ExecuteBlock(st, batch, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Root() != serial.Root() {
+		t.Fatal("root diverged under total conflict")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("receipts diverged under total conflict")
+	}
+	if gasOf(got) != gasOf(want) {
+		t.Fatalf("gas diverged: %d vs %d", gasOf(got), gasOf(want))
+	}
+	if stats.Serial != n-1 || stats.Clean != 1 {
+		t.Fatalf("want 1 clean + %d serial under total conflict, got %+v", n-1, stats)
+	}
+}
+
+// TestUnknownMidBlockSerialTail: an undecodable payload at position k
+// poisons everything from k on — the engine must fall back to serial
+// for the tail and still match the serial reference's receipts, root,
+// and gas.
+func TestUnknownMidBlockSerialTail(t *testing.T) {
+	kp, err := cryptoutil.DeriveKeyPair("px-edge-unknown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := cryptoutil.Sum([]byte("u"))
+	// Pre-register disjoint datasets so the block itself is pure
+	// grants: each grant writes only its own policy key, keeping the
+	// pre-Unknown prefix conflict-free (register_dataset itself always
+	// conflicts via the shared registry key).
+	base := contract.NewState()
+	for i, nonce := 0, uint64(0); i < 6; i++ {
+		tx := mustTx(t, kp, nonce, ledger.TxData, "register_dataset",
+			contract.RegisterDatasetArgs{ID: fmt.Sprintf("u%d", i), Digest: digest, SiteID: "s"}, cryptoutil.Address{})
+		nonce++
+		if r, err := base.Apply(tx, 1, 1); err != nil || !r.OK() {
+			t.Fatalf("setup: %v %v", err, r)
+		}
+	}
+	mk := func(nonce uint64, id string) *ledger.Transaction {
+		return mustTx(t, kp, nonce, ledger.TxData, "grant",
+			contract.GrantArgs{Resource: "data:" + id, Grantee: cryptoutil.NamedAddress("px-edge-u-" + id),
+				Actions: []contract.Action{contract.ActionRead}}, cryptoutil.Address{})
+	}
+	const k = 3
+	batch := []*ledger.Transaction{
+		mk(6, "u0"), mk(7, "u1"), mk(8, "u2"),
+		// Position k: args that fail the per-method decode — an
+		// unbounded footprint.
+		{Type: ledger.TxData, From: kp.Address(), Nonce: 9, Method: "grant", Args: []byte(`{"resource":7}`), Timestamp: 50},
+		mk(10, "u4"), mk(11, "u5"),
+	}
+
+	serial := base.Clone()
+	want := applyAll(t, serial, batch)
+
+	st := base.Clone()
+	got, stats, err := parexec.New(4).ExecuteBlock(st, batch, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Root() != serial.Root() {
+		t.Fatal("root diverged around the Unknown tx")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("receipts diverged around the Unknown tx")
+	}
+	if gasOf(got) != gasOf(want) {
+		t.Fatalf("gas diverged: %d vs %d", gasOf(got), gasOf(want))
+	}
+	if stats.Unknown == 0 {
+		t.Fatalf("undecodable payload not counted Unknown: %+v", stats)
+	}
+	// The Unknown tx and everything after it re-execute serially.
+	if stats.Serial < int64(len(batch)-k) {
+		t.Fatalf("serial tail too short: %+v, want >= %d", stats, len(batch)-k)
+	}
+	// The prefix before the Unknown tx is conflict-free and stays clean.
+	if stats.Clean < k {
+		t.Fatalf("clean prefix too short: %+v, want >= %d", stats, k)
+	}
+}
+
+// TestMidBlockHardErrorGasMatchesSerial: a nil transaction mid-block
+// aborts the block; the applied prefix's receipts AND gas must equal
+// the serial prefix.
+func TestMidBlockHardErrorGasMatchesSerial(t *testing.T) {
+	kp, err := cryptoutil.DeriveKeyPair("px-edge-err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := cryptoutil.Sum([]byte("z"))
+	mk := func(nonce uint64, id string) *ledger.Transaction {
+		return mustTx(t, kp, nonce, ledger.TxData, "register_dataset",
+			contract.RegisterDatasetArgs{ID: id, Digest: digest, SiteID: "s"}, cryptoutil.Address{})
+	}
+	batch := []*ledger.Transaction{mk(0, "z0"), mk(1, "z1"), nil, mk(2, "z2")}
+
+	serial := contract.NewState()
+	var wantRecs []*contract.Receipt
+	var wantErr error
+	for _, tx := range batch {
+		var r *contract.Receipt
+		if r, wantErr = serial.Apply(tx, 2, 2); wantErr != nil {
+			break
+		}
+		wantRecs = append(wantRecs, r)
+	}
+
+	st := contract.NewState()
+	got, _, gotErr := parexec.New(4).ExecuteBlock(st, batch, 2, 2)
+	if wantErr == nil || gotErr == nil {
+		t.Fatalf("expected hard errors, got serial=%v parallel=%v", wantErr, gotErr)
+	}
+	if st.Root() != serial.Root() {
+		t.Fatal("post-error root diverged")
+	}
+	if !reflect.DeepEqual(got, wantRecs) {
+		t.Fatal("post-error prefix receipts diverged")
+	}
+	if gasOf(got) != gasOf(wantRecs) {
+		t.Fatalf("post-error gas diverged: %d vs %d", gasOf(got), gasOf(wantRecs))
+	}
+}

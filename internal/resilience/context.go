@@ -1,0 +1,83 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// sleepCtx blocks for d or until ctx is done, reporting whether the
+// full delay elapsed. A non-positive delay only checks the context.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// RetryCtx is Retry with cancellation: between attempts it sleeps the
+// backoff delay but returns promptly when ctx is done, wrapping
+// ctx.Err() together with the last attempt's error. A context that is
+// already done yields no attempts.
+func RetryCtx(ctx context.Context, attempts int, b *Backoff, fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if b == nil {
+		b = &Backoff{}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	b.Reset()
+	var last error
+	for i := 0; i < attempts; i++ {
+		if last = fn(); last == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		if !sleepCtx(ctx, b.Next()) {
+			return fmt.Errorf("%w after %d attempts: %v", ctx.Err(), i+1, last)
+		}
+	}
+	return fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, attempts, last)
+}
+
+// PollCtx is Poll with cancellation: it evaluates cond with backoff
+// sleeps until cond returns true or ctx is done, and reports whether
+// cond became true. Sleeps are clipped to the context deadline (when
+// one is set) and interrupted by cancellation, so the caller regains
+// control within one timer tick of ctx ending — never a full backoff
+// delay later. The first check is immediate.
+func PollCtx(ctx context.Context, b *Backoff, cond func() bool) bool {
+	if b == nil {
+		b = &Backoff{}
+	}
+	b.Reset()
+	for {
+		if cond() {
+			return true
+		}
+		if ctx.Err() != nil {
+			return false
+		}
+		d := b.Next()
+		if dl, ok := ctx.Deadline(); ok {
+			if remaining := time.Until(dl); d > remaining {
+				d = remaining
+			}
+		}
+		if !sleepCtx(ctx, d) {
+			return false
+		}
+	}
+}

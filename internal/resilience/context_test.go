@@ -1,0 +1,158 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRetryCtxSucceeds: transient failures resolve within the attempt
+// budget, context untouched.
+func TestRetryCtxSucceeds(t *testing.T) {
+	calls := 0
+	err := RetryCtx(context.Background(), 5, &Backoff{Base: time.Microsecond, Max: 10 * time.Microsecond}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+// TestRetryCtxExhaustion wraps ErrRetriesExhausted like Retry does.
+func TestRetryCtxExhaustion(t *testing.T) {
+	boom := errors.New("boom")
+	err := RetryCtx(context.Background(), 3, &Backoff{Base: time.Microsecond}, func() error { return boom })
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("want ErrRetriesExhausted, got %v", err)
+	}
+}
+
+// TestRetryCtxCancelledBetweenAttempts: a cancellation arriving during
+// a backoff sleep must surface promptly — carrying ctx.Err and the
+// last attempt error — instead of burning the remaining attempts.
+func TestRetryCtxCancelledBetweenAttempts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	// A backoff long enough that without prompt cancellation the test
+	// would visibly stall.
+	b := &Backoff{Base: time.Minute, Max: time.Minute}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	err := RetryCtx(ctx, 10, b, func() error { calls++; return errors.New("still failing") })
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation not prompt: took %v", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("made %d attempts across a cancelled sleep", calls)
+	}
+}
+
+// TestRetryCtxAlreadyDone: a dead context yields zero attempts.
+func TestRetryCtxAlreadyDone(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := RetryCtx(ctx, 5, nil, func() error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+// TestPollCtxCancelPrompt: cancelling mid-sleep returns well before the
+// configured backoff delay elapses.
+func TestPollCtxCancelPrompt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	ok := PollCtx(ctx, &Backoff{Base: time.Minute, Max: time.Minute}, func() bool { return false })
+	if ok {
+		t.Fatal("cond never true but PollCtx reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation not prompt: took %v", elapsed)
+	}
+}
+
+// TestPollCtxDeadlineClip: with a context deadline shorter than the
+// backoff delay, PollCtx returns around the deadline — the sleep is
+// clipped, not run to completion.
+func TestPollCtxDeadlineClip(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	ok := PollCtx(ctx, &Backoff{Base: time.Minute, Max: time.Minute}, func() bool { return false })
+	if ok {
+		t.Fatal("cond never true but PollCtx reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline not respected: took %v", elapsed)
+	}
+}
+
+// TestPollCtxImmediate: a true condition returns without consulting the
+// context or sleeping.
+func TestPollCtxImmediate(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !PollCtx(ctx, nil, func() bool { return true }) {
+		t.Fatal("immediate true condition not honored on a dead context")
+	}
+}
+
+// TestPollCtxSeesLateCondition mirrors the deadline-based Poll test.
+func TestPollCtxSeesLateCondition(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	flip := time.Now().Add(3 * time.Millisecond)
+	if !PollCtx(ctx, &Backoff{Base: 100 * time.Microsecond, Max: time.Millisecond}, func() bool {
+		return time.Now().After(flip)
+	}) {
+		t.Fatal("condition became true before the deadline but PollCtx missed it")
+	}
+}
+
+// TestRetryTotalDelayRespectsCap is the property test for the backoff
+// contract the retry loops rely on: across random configurations, the
+// summed sleep budget of a full retry cycle never exceeds
+// (attempts-1) * Max * (1 + Jitter) — i.e. Max truly caps every delay.
+func TestRetryTotalDelayRespectsCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		attempts := 2 + rng.Intn(6)
+		b := &Backoff{
+			Base:   time.Duration(1+rng.Intn(1000)) * time.Microsecond,
+			Max:    time.Duration(1+rng.Intn(5000)) * time.Microsecond,
+			Factor: 1 + rng.Float64()*3,
+			Jitter: rng.Float64() * 0.5,
+			Seed:   rng.Int63(),
+		}
+		var total time.Duration
+		b.Reset()
+		for i := 0; i < attempts-1; i++ {
+			d := b.Next()
+			if d < 0 {
+				t.Fatalf("trial %d: negative delay %v", trial, d)
+			}
+			total += d
+		}
+		cap := time.Duration(float64(attempts-1) * float64(b.Max) * (1 + b.Jitter))
+		if total > cap+time.Millisecond {
+			t.Fatalf("trial %d: %d attempts slept %v, cap %v (cfg %+v)", trial, attempts, total, cap, b)
+		}
+	}
+}

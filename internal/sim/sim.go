@@ -1,0 +1,335 @@
+// Package sim is the deterministic simulation testing (DST) harness —
+// FoundationDB-style whole-system fuzzing of a medchain cluster from a
+// single seed.
+//
+// One Run drives consensus, chain apply (mixed serial and parallel
+// execution engines per node), the p2p link model, chaos fault
+// injection, and the offchain analytics runner together:
+//
+//   - a seeded workload fuzzer (fuzzer.go) generates admissible and
+//     deliberately malformed transactions across every contract
+//     method, submitted through the normal gossip path;
+//   - a seeded chaos schedule (chaos.Fuzz) injects crashes, restarts,
+//     partitions, loss, latency, and slow nodes between commit rounds;
+//   - after every committed block, invariant checkers (invariants.go)
+//     re-validate the ledger, replay the block through serial and
+//     parallel differential executors (diff.go), and check state-root
+//     agreement, receipt/event equality, gas conservation, consent
+//     monotonicity, and offchain determinism;
+//   - a divergence is shrunk to a minimized, seed-reproducible
+//     Counterexample whose Repro() names the exact `go test`
+//     invocation that replays the run.
+//
+// Seed lineage: everything random flows from Config.Seed through
+// subSeed — the fuzzer's *rand.Rand, the chaos schedule generator, the
+// p2p loss/jitter RNG, the synthetic EMR cohorts, and the node key
+// derivation. Audit notes for the replayability contract: chaos
+// generators and p2p take explicit seeds (no global rand); backoff
+// jitter in resilience is seeded per Backoff; the offchain runner's
+// only wall-clock read is TaskResult.Elapsed, which is observational
+// and excluded from every comparison; block timestamps are logical
+// (genesis 0, +1 per block), and fuzzed transaction timestamps come
+// from a logical counter. Goroutine scheduling and real-time fault
+// windows still vary run to run, so block *packing* can differ under
+// faults; with NoFaults the harness waits for mempool convergence
+// before each commit, making block contents — and therefore
+// counterexamples — exactly reproducible from the seed.
+package sim
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"medchain/internal/chain"
+	"medchain/internal/chaos"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+	"medchain/internal/p2p"
+	"medchain/internal/resilience"
+)
+
+// subSeed derives an independent, stable sub-seed from the master seed
+// and a label, so each randomness consumer gets its own stream without
+// cross-contamination (adding a draw in one consumer cannot shift
+// another's sequence).
+func subSeed(master int64, label string) int64 {
+	var m [8]byte
+	binary.LittleEndian.PutUint64(m[:], uint64(master))
+	d := cryptoutil.SumAll([]byte("medchain/sim"), m[:], []byte(label))
+	return int64(binary.LittleEndian.Uint64(d[:8]))
+}
+
+// Config parameterizes one simulation run. The zero value plus a Seed
+// is a sensible bounded run (~2s): 4 quorum nodes (3-of-4, so one
+// crash or partition is survivable), ~240 fuzzed rounds, faults on.
+type Config struct {
+	// Seed is the master seed; every random choice derives from it.
+	Seed int64
+	// Nodes is the cluster size (default 4; >= 3 required).
+	Nodes int
+	// Rounds is the number of fuzz/commit rounds (default 240).
+	Rounds int
+	// MinTxs/MaxTxs bound the per-round batch size (default 3..8).
+	MinTxs, MaxTxs int
+	// Actors is the number of fuzzed identities (default 5).
+	Actors int
+	// CommitTimeout bounds one commit round (default 800ms).
+	CommitTimeout time.Duration
+	// NoFaults disables chaos injection; the network is then loss-free
+	// and the harness waits for mempool convergence before every
+	// commit, making block contents deterministic per seed.
+	NoFaults bool
+	// Workers is the per-node parallel worker pattern (index i mod
+	// len). 0 = serial reference execution. The default {0, 2, 8, 0}
+	// makes consensus itself a live serial-vs-parallel differential
+	// oracle: nodes running different engines must still agree on
+	// every state root.
+	Workers []int
+	// Executors are the differential suspects replayed against the
+	// serial reference after every block (default DefaultExecutors:
+	// parallel-w2 and parallel-w8).
+	Executors []Executor
+	// OffchainBatch flushes the offchain determinism check every N
+	// collected run authorizations (default 32).
+	OffchainBatch int
+	// MaxOffchainRuns caps total offchain executions (default 400).
+	MaxOffchainRuns int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 240
+	}
+	if c.MinTxs == 0 {
+		c.MinTxs = 3
+	}
+	if c.MaxTxs < c.MinTxs {
+		c.MaxTxs = c.MinTxs + 5
+	}
+	if c.Actors == 0 {
+		c.Actors = 5
+	}
+	if c.CommitTimeout == 0 {
+		c.CommitTimeout = 200 * time.Millisecond
+	}
+	if c.Workers == nil {
+		c.Workers = []int{0, 2, 8, 0}
+	}
+	if c.Executors == nil {
+		c.Executors = DefaultExecutors()
+	}
+	if c.OffchainBatch == 0 {
+		c.OffchainBatch = 32
+	}
+	if c.MaxOffchainRuns == 0 {
+		c.MaxOffchainRuns = 400
+	}
+	return c
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Seed and Rounds echo the config (the reproduction handle).
+	Seed   int64
+	Rounds int
+	// Blocks is the number of committed blocks processed; Txs the
+	// fuzzed transactions committed inside them.
+	Blocks int
+	Txs    int
+	// FailedTxs counts transactions whose receipts carry a domain
+	// error (denials, duplicates, malformed args) — expected under
+	// fuzzing, and required to match bit-for-bit across nodes and
+	// executors.
+	FailedTxs int
+	// FailedRounds counts commit rounds that produced no block (e.g.
+	// proposer crashed mid-round); their transactions commit later.
+	FailedRounds int
+	// Checks is the number of invariant evaluations performed.
+	Checks int
+	// OffchainRuns is the number of authorized analytics executions
+	// cross-checked across worker counts.
+	OffchainRuns int
+	// GasUsed is the serial reference's cumulative gas.
+	GasUsed int64
+	// FaultLog is the injected-fault signature (a pure function of the
+	// seed — identical across replays).
+	FaultLog []string
+	// Violations are the invariant failures (empty on a green run).
+	Violations []string
+	// Counterexample is the minimized differential-oracle failure, if
+	// one was found.
+	Counterexample *Counterexample
+}
+
+// Run executes one seeded simulation. The returned error is non-nil
+// iff the harness itself failed to run or any invariant was violated;
+// Result carries the details either way.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{Seed: cfg.Seed, Rounds: cfg.Rounds}
+	if cfg.Nodes < 3 {
+		return res, fmt.Errorf("sim: need >= 3 nodes, got %d", cfg.Nodes)
+	}
+
+	cluster, err := chain.NewCluster(chain.ClusterConfig{
+		Nodes:         cfg.Nodes,
+		Engine:        chain.EngineQuorum,
+		CommitTimeout: cfg.CommitTimeout,
+		KeySeed:       fmt.Sprintf("sim-%d", cfg.Seed),
+		Network:       p2p.Config{Seed: subSeed(cfg.Seed, "p2p")},
+	})
+	if err != nil {
+		return res, err
+	}
+	defer cluster.Close()
+	for i, n := range cluster.Nodes() {
+		if w := cfg.Workers[i%len(cfg.Workers)]; w != 0 {
+			n.UseParallelExec(w)
+		}
+	}
+
+	fz, err := newFuzzer(cfg, rand.New(rand.NewSource(subSeed(cfg.Seed, "fuzz"))))
+	if err != nil {
+		return res, err
+	}
+
+	sched := chaos.Schedule{Name: "no-faults", Seed: cfg.Seed}
+	if !cfg.NoFaults {
+		sched = chaos.Fuzz(cfg.Nodes, cfg.Rounds, subSeed(cfg.Seed, "chaos"))
+	}
+	orch := chaos.New(cluster, sched)
+
+	ck := newChecker(cfg, fz.runner, cluster.Node(0).Chain().Genesis())
+
+	// pending tracks submitted-but-uncommitted transactions so the
+	// pre-commit settle wait and the final drain know when the cluster
+	// has caught up with the fuzz stream.
+	pending := make(map[cryptoutil.Digest]bool)
+	settleBudget := 4 * time.Millisecond
+	if cfg.NoFaults {
+		settleBudget = 500 * time.Millisecond
+	}
+
+	submit := func(txs []*ledger.Transaction) error {
+		for _, tx := range txs {
+			if err := cluster.Submit(tx); err != nil {
+				return fmt.Errorf("sim: submit: %w", err)
+			}
+			pending[tx.ID()] = true
+		}
+		return nil
+	}
+
+	// settle waits (briefly, bounded) until every running node's
+	// mempool holds the full pending set, so block packing depends on
+	// the deterministic mempool order rather than gossip timing. Under
+	// faults the wait can expire — lossy windows legitimately delay
+	// delivery — and commit proceeds with whatever arrived.
+	settle := func() {
+		if len(pending) == 0 {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), settleBudget)
+		defer cancel()
+		resilience.PollCtx(ctx, &resilience.Backoff{Base: 50 * time.Microsecond, Max: time.Millisecond}, func() bool {
+			for _, i := range cluster.RunningNodes() {
+				if cluster.Node(i).MempoolSize() < len(pending) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	// process walks every newly committed block — from the most
+	// advanced running node, which under quorum consensus holds THE
+	// canonical chain — through the invariant checkers.
+	process := func() {
+		ref := cluster.Node(0)
+		for _, i := range cluster.RunningNodes() {
+			if n := cluster.Node(i); n.Height() > ref.Height() {
+				ref = n
+			}
+		}
+		for h := ck.height + 1; h <= ref.Height(); h++ {
+			blk, err := ref.Chain().BlockAt(h)
+			if err != nil {
+				ck.violationf("ledger: %s advertises height %d but lacks block %d: %v", ref.ID(), ref.Height(), h, err)
+				return
+			}
+			ck.checkBlock(cluster, blk)
+			if ck.failed() {
+				return
+			}
+			for _, tx := range blk.Txs {
+				delete(pending, tx.ID())
+			}
+		}
+		ck.checkRound(cluster)
+	}
+
+	for round := 0; round < cfg.Rounds && !ck.failed(); round++ {
+		orch.Advance(round)
+		var batch []*ledger.Transaction
+		if round == 0 {
+			batch, err = fz.setup()
+		} else {
+			batch, err = fz.gen(cfg.MinTxs + fz.rng.Intn(cfg.MaxTxs-cfg.MinTxs+1))
+		}
+		if err != nil {
+			return res, err
+		}
+		if err := submit(batch); err != nil {
+			return res, err
+		}
+		settle()
+		if _, err := cluster.Commit(); err != nil {
+			res.FailedRounds++
+		}
+		process()
+	}
+
+	// Drain: heal every fault, wait for convergence, then commit the
+	// leftovers. Only then do the whole-run invariants make sense.
+	if !ck.failed() {
+		orch.Finish()
+		if err := orch.AwaitRecovery(10 * time.Second); err != nil {
+			ck.violationf("recovery: %v", err)
+		}
+		for attempt := 0; attempt < 3 && len(pending) > 0 && !ck.failed(); attempt++ {
+			if _, err := cluster.CommitAll(); err != nil {
+				res.FailedRounds++
+			}
+			process()
+		}
+		if len(pending) > 0 && !ck.failed() {
+			ck.violationf("liveness: %d submitted transactions never committed after drain", len(pending))
+		}
+		if !ck.failed() {
+			ck.finish(cluster)
+		}
+	}
+
+	res.Blocks = ck.blocks
+	res.Txs = ck.txs
+	res.FailedTxs = ck.failedTxs
+	res.Checks = ck.checks
+	res.OffchainRuns = ck.offchainRuns
+	res.GasUsed = ck.gas
+	res.FaultLog = orch.FaultLog()
+	res.Violations = ck.violations
+	res.Counterexample = ck.cex
+	if len(res.Violations) > 0 {
+		return res, fmt.Errorf("sim: %d invariant violation(s); first: %s", len(res.Violations), res.Violations[0])
+	}
+	return res, nil
+}

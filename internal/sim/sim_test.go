@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"flag"
+	"strings"
+	"testing"
+	"time"
+
+	"medchain/internal/contract"
+	"medchain/internal/ledger"
+)
+
+// The simulation is replayed, not re-randomized: `go test
+// ./internal/sim -run 'TestSim$' -sim.seed=N -sim.rounds=M` re-executes
+// the exact run a counterexample names.
+var (
+	flagSeed   = flag.Int64("sim.seed", 1, "master seed for the deterministic simulation")
+	flagRounds = flag.Int("sim.rounds", 240, "fuzz/commit rounds for the deterministic simulation")
+)
+
+// TestSim is the bounded default gate: a full cluster fuzzed for
+// -sim.rounds rounds with chaos faults enabled, every block checked
+// against every invariant and differential executor.
+func TestSim(t *testing.T) {
+	res, err := Run(Config{Seed: *flagSeed, Rounds: *flagRounds})
+	if res != nil {
+		t.Logf("sim seed=%d rounds=%d: blocks=%d txs=%d failedTxs=%d failedRounds=%d checks=%d offchainRuns=%d gas=%d faults=%d",
+			res.Seed, res.Rounds, res.Blocks, res.Txs, res.FailedTxs, res.FailedRounds, res.Checks, res.OffchainRuns, res.GasUsed, len(res.FaultLog))
+	}
+	if err != nil {
+		if res != nil && res.Counterexample != nil {
+			t.Fatalf("sim failed: %v\ncounterexample:\n%s", err, res.Counterexample)
+		}
+		t.Fatalf("sim failed: %v", err)
+	}
+	// The run must be substantive, not vacuous: most rounds commit a
+	// block even with faults injected, and the fuzzer exercises the
+	// error paths (some receipts must carry domain errors).
+	if min := *flagRounds * 5 / 6; res.Blocks < min {
+		t.Fatalf("committed %d blocks, want >= %d of %d rounds", res.Blocks, min, *flagRounds)
+	}
+	if res.Txs < res.Blocks {
+		t.Fatalf("only %d txs across %d blocks", res.Txs, res.Blocks)
+	}
+	if res.FailedTxs == 0 {
+		t.Fatal("fuzzer produced no failing transactions; malformed/denial paths not exercised")
+	}
+	if res.Checks == 0 {
+		t.Fatal("no invariant checks ran")
+	}
+	if len(res.FaultLog) == 0 {
+		t.Fatal("chaos schedule injected no faults")
+	}
+	if res.OffchainRuns == 0 {
+		t.Fatal("no offchain analytics runs were cross-checked")
+	}
+}
+
+// TestSimFaultScheduleDeterministic verifies the replayability
+// contract for the chaos side: the injected-fault signature is a pure
+// function of the seed.
+func TestSimFaultScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Rounds: 60}
+	a, errA := Run(cfg)
+	b, errB := Run(cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("runs failed: %v / %v", errA, errB)
+	}
+	if len(a.FaultLog) != len(b.FaultLog) {
+		t.Fatalf("fault log length differs: %d vs %d", len(a.FaultLog), len(b.FaultLog))
+	}
+	for i := range a.FaultLog {
+		if a.FaultLog[i] != b.FaultLog[i] {
+			t.Fatalf("fault log diverges at %d: %q vs %q", i, a.FaultLog[i], b.FaultLog[i])
+		}
+	}
+}
+
+// brokenExecutor is the mutation under test: a parallel engine whose
+// conflict detection has been deleted. Every transaction is speculated
+// against the pre-block snapshot and its receipt committed as-is —
+// intra-block dependencies (a grant consumed later in the same block, a
+// duplicate registration, a revoke racing a request) are silently
+// lost. The harness must catch it and shrink a counterexample.
+type brokenExecutor struct{}
+
+func (brokenExecutor) Name() string { return "parallel-noconflict" }
+
+func (brokenExecutor) Execute(st *contract.State, txs []*ledger.Transaction, height uint64, now int64) ([]*contract.Receipt, error) {
+	pre := st.Clone()
+	receipts := make([]*contract.Receipt, 0, len(txs))
+	for _, tx := range txs {
+		// Speculate on the stale pre-block snapshot…
+		snap := pre.Clone()
+		r, err := snap.Apply(tx, height, now)
+		if err != nil {
+			return receipts, err
+		}
+		receipts = append(receipts, r)
+		// …and "commit" without re-validating against txs that landed
+		// earlier in the block.
+		if _, err := st.Apply(tx, height, now); err != nil {
+			return receipts, err
+		}
+	}
+	return receipts, nil
+}
+
+// TestSimCatchesConflictBug is the mutation test from the acceptance
+// criteria: with conflict detection deliberately broken, the
+// differential oracle must fail with a minimized, seed-reproducible
+// counterexample — and reproduce the identical counterexample when the
+// same seed is replayed.
+func TestSimCatchesConflictBug(t *testing.T) {
+	cfg := Config{
+		Seed:     42,
+		Rounds:   80,
+		NoFaults: true, // deterministic block packing => identical counterexample per seed
+		Executors: []Executor{
+			brokenExecutor{},
+		},
+	}
+	run := func() *Counterexample {
+		res, err := Run(cfg)
+		if err == nil {
+			t.Fatal("broken conflict detection was not caught")
+		}
+		if res.Counterexample == nil {
+			t.Fatalf("failed without a counterexample: %v", err)
+		}
+		return res.Counterexample
+	}
+	cex := run()
+	t.Logf("counterexample:\n%s", cex)
+	if cex.Executor != "parallel-noconflict" {
+		t.Fatalf("blamed executor %q", cex.Executor)
+	}
+	if len(cex.Minimized) == 0 || len(cex.Minimized) > len(cex.BlockTxs) {
+		t.Fatalf("bad minimization: %d of %d txs", len(cex.Minimized), len(cex.BlockTxs))
+	}
+	if !strings.Contains(cex.Repro(), "-sim.seed=42") || !strings.Contains(cex.Repro(), "-sim.rounds=80") {
+		t.Fatalf("repro command does not pin seed/rounds: %s", cex.Repro())
+	}
+	// Seed-reproducible: the replay finds the same divergence at the
+	// same height and shrinks it to the same transactions.
+	again := run()
+	if again.Height != cex.Height {
+		t.Fatalf("replay diverged at height %d, first run at %d", again.Height, cex.Height)
+	}
+	if len(again.Minimized) != len(cex.Minimized) {
+		t.Fatalf("replay minimized to %d txs, first run to %d", len(again.Minimized), len(cex.Minimized))
+	}
+	for i := range cex.Minimized {
+		if again.Minimized[i] != cex.Minimized[i] {
+			t.Fatalf("replay counterexample differs at tx %d:\n  first:  %s\n  replay: %s", i, cex.Minimized[i], again.Minimized[i])
+		}
+	}
+}
+
+// TestSimNoFaultsDeterministic pins the strongest replay guarantee the
+// harness offers: with faults disabled, two runs of the same seed
+// commit byte-identical chains (same gas, same block/tx counts).
+func TestSimNoFaultsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 3, Rounds: 50, NoFaults: true}
+	a, errA := Run(cfg)
+	b, errB := Run(cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("runs failed: %v / %v", errA, errB)
+	}
+	if a.Blocks != b.Blocks || a.Txs != b.Txs || a.FailedTxs != b.FailedTxs || a.GasUsed != b.GasUsed {
+		t.Fatalf("replay drifted: blocks %d/%d txs %d/%d failed %d/%d gas %d/%d",
+			a.Blocks, b.Blocks, a.Txs, b.Txs, a.FailedTxs, b.FailedTxs, a.GasUsed, b.GasUsed)
+	}
+}
+
+// TestSimRejectsTinyCluster covers the config guard.
+func TestSimRejectsTinyCluster(t *testing.T) {
+	if _, err := Run(Config{Seed: 1, Nodes: 2, Rounds: 10}); err == nil {
+		t.Fatal("expected error for 2-node cluster")
+	}
+}
+
+// TestSubSeedStable pins the seed-derivation lineage: sub-seeds are
+// stable per (master, label) and independent across labels.
+func TestSubSeedStable(t *testing.T) {
+	if subSeed(1, "p2p") != subSeed(1, "p2p") {
+		t.Fatal("subSeed not stable")
+	}
+	if subSeed(1, "p2p") == subSeed(1, "chaos") {
+		t.Fatal("labels collide")
+	}
+	if subSeed(1, "p2p") == subSeed(2, "p2p") {
+		t.Fatal("masters collide")
+	}
+}
+
+// Guard against pathological wall-clock growth in the default gate —
+// the bounded sim must stay a unit test, not a soak.
+func TestSimBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	start := time.Now()
+	if _, err := Run(Config{Seed: 11, Rounds: 30}); err != nil {
+		t.Fatalf("sim failed: %v", err)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("30-round sim took %v", d)
+	}
+}

@@ -199,6 +199,29 @@ func BenchmarkE10ParallelExec(b *testing.B) {
 	b.Log("\n" + experiments.TableE10(rows))
 }
 
+func BenchmarkE12Durability(b *testing.B) {
+	var recovery []experiments.E12RecoveryRow
+	var sync []experiments.E12SyncRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		recovery, sync, err = experiments.E12Durability(experiments.E12Config{
+			ChainLengths: []int{32, 128},
+			SyncBlocks:   128,
+			Repeats:      2,
+			Seed:         int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.E12Verify(recovery); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE12Recovery(recovery))
+	b.Log("\n" + experiments.TableE12Sync(sync))
+}
+
 func BenchmarkA1Consensus(b *testing.B) {
 	var rows []experiments.A1Row
 	for i := 0; i < b.N; i++ {

@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (e1..e10,a1..a4), 'all', or 'sim'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1..e10,e12,a1..a4), 'all', or 'sim'")
 	quick := flag.Bool("quick", false, "reduced sweep sizes for a fast pass")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	simRounds := flag.Int("sim.rounds", 2000, "fuzz/commit rounds for -run sim")
@@ -184,6 +184,23 @@ func main() {
 		fmt.Println(experiments.TableE10(rows))
 		if err := experiments.E10Verify(rows); err != nil {
 			fail("e10", err)
+		}
+	}
+	if want("e12") {
+		cfg := experiments.E12Config{Seed: *seed}
+		if *quick {
+			cfg.ChainLengths = []int{32, 128}
+			cfg.SyncBlocks = 128
+			cfg.Repeats = 2
+		}
+		recovery, syncRows, err := experiments.E12Durability(cfg)
+		if err != nil {
+			fail("e12", err)
+		}
+		fmt.Println(experiments.TableE12Recovery(recovery))
+		fmt.Println(experiments.TableE12Sync(syncRows))
+		if err := experiments.E12Verify(recovery); err != nil {
+			fail("e12", err)
 		}
 	}
 	if want("a1") {

@@ -5,6 +5,16 @@
 // the duplicated-computing architecture at work.
 //
 //	medchaind -nodes 4 -engine quorum -blocks 3
+//
+// With -data-dir the cluster is disk-backed: every node writes its
+// block WAL and state snapshots under <data-dir>/node-i, the demo ends
+// by killing one node and recovering it from disk (printing recovered
+// height, replay time, and the state-root match against the live
+// quorum), and a re-run over the same directory resumes at the durable
+// height instead of genesis:
+//
+//	medchaind -data-dir /tmp/medchain -blocks 3
+//	medchaind -data-dir /tmp/medchain -blocks 3   # resumes, replays, continues
 package main
 
 import (
@@ -26,37 +36,55 @@ func main() {
 	difficulty := flag.Uint("difficulty", 12, "PoW difficulty (leading zero bits)")
 	blocks := flag.Int("blocks", 3, "blocks to produce")
 	txPerBlock := flag.Int("tx", 2, "transactions per block")
+	dataDir := flag.String("data-dir", "", "durable storage root: each node keeps its WAL and snapshots under <data-dir>/node-i (empty = memory-only)")
+	syncEvery := flag.Int("sync-every", 1, "WAL group-commit batch: blocks per fsync (with -data-dir)")
+	snapshotEvery := flag.Int("snapshot-every", 2, "state snapshot cadence in blocks (with -data-dir; 0 = never)")
 	flag.Parse()
 
-	if err := run(*nodes, chain.EngineKind(*engine), uint8(*difficulty), *blocks, *txPerBlock); err != nil {
+	if err := run(*nodes, chain.EngineKind(*engine), uint8(*difficulty), *blocks, *txPerBlock, *dataDir, *syncEvery, *snapshotEvery); err != nil {
 		fmt.Fprintf(os.Stderr, "medchaind: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(nodes int, engine chain.EngineKind, difficulty uint8, blocks, txPerBlock int) error {
-	c, err := chain.NewCluster(chain.ClusterConfig{
+func run(nodes int, engine chain.EngineKind, difficulty uint8, blocks, txPerBlock int, dataDir string, syncEvery, snapshotEvery int) error {
+	cfg := chain.ClusterConfig{
 		Nodes:         nodes,
 		Engine:        engine,
 		PowDifficulty: difficulty,
 		KeySeed:       "medchaind",
-	})
+	}
+	if dataDir != "" {
+		cfg.Persist = &chain.PersistConfig{
+			Dir: dataDir, SyncEvery: syncEvery, SnapshotEvery: snapshotEvery,
+		}
+	}
+	c, err := chain.NewCluster(cfg)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 	fmt.Printf("cluster up: %d nodes, %s consensus, chain %q\n",
 		c.Size(), engine, c.Node(0).Chain().ChainID())
+	if dataDir != "" {
+		for _, n := range c.Nodes() {
+			rec := n.LastRecovery()
+			fmt.Printf("  %-8s disk %s: recovered height=%d (snapshot@%d, %d blocks replayed, %d torn bytes truncated) in %s\n",
+				n.ID(), n.DataDir(), rec.Height, rec.SnapshotHeight, rec.ReplayedBlocks, rec.TruncatedBytes, rec.Elapsed.Round(time.Microsecond))
+		}
+	}
 
 	user, err := cryptoutil.DeriveKeyPair("medchaind-user")
 	if err != nil {
 		return err
 	}
-	nonce := uint64(0)
+	// Resume at the recovered nonce, so re-running over an existing
+	// data dir keeps extending the same chain.
+	nonce := c.Node(0).Chain().NextNonce(user.Address())
 	for b := 0; b < blocks; b++ {
 		for i := 0; i < txPerBlock; i++ {
 			args, err := json.Marshal(contract.RegisterDatasetArgs{
-				ID:      fmt.Sprintf("hospital-%d/emr-%d", b, i),
+				ID:      fmt.Sprintf("hospital/emr-%d", nonce),
 				Digest:  cryptoutil.Sum([]byte(fmt.Sprintf("data-%d-%d", b, i))),
 				Schema:  "cdf/v1",
 				Records: 100,
@@ -117,6 +145,42 @@ func run(nodes int, engine chain.EngineKind, difficulty uint8, blocks, txPerBloc
 	if engine == chain.EnginePoW {
 		fmt.Printf("PoW mining work: %d hashes\n", c.PoWWork())
 	}
+
+	if dataDir != "" {
+		if err := killAndRecover(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// killAndRecover is the durability demo: kill the last node the way a
+// process dies (no final sync), recover it from its data directory,
+// and prove the recovered replica bit-identical to the live quorum.
+func killAndRecover(c *chain.Cluster) error {
+	victim := c.Size() - 1
+	n := c.Node(victim)
+	fmt.Printf("\ndurability demo: killing %s (no final sync) and recovering from %s\n", n.ID(), n.DataDir())
+	c.StopNode(victim)
+	if err := c.RestartNode(victim); err != nil {
+		return fmt.Errorf("recovery restart: %w", err)
+	}
+	rec := n.LastRecovery()
+	fmt.Printf("  recovered height=%d (snapshot@%d, %d blocks replayed from WAL, %d torn bytes truncated) in %s\n",
+		rec.Height, rec.SnapshotHeight, rec.ReplayedBlocks, rec.TruncatedBytes, rec.Elapsed.Round(time.Microsecond))
+
+	// The recovered height can trail the head by the group-commit
+	// window; the cluster re-syncs the gap from peers.
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Height() < c.Node(0).Height() && time.Now().Before(deadline) {
+		c.SyncLagging()
+		time.Sleep(2 * time.Millisecond)
+	}
+	live, recovered := c.Node(0).State().Root(), n.State().Root()
+	if recovered != live {
+		return fmt.Errorf("recovered state root %s != live quorum root %s", recovered.Short(), live.Short())
+	}
+	fmt.Printf("  state root match with live quorum at height %d: %s ✔\n", n.Height(), recovered.Short())
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"medchain/internal/ledger"
 	"medchain/internal/p2p"
 	"medchain/internal/resilience"
+	"medchain/internal/store"
 )
 
 // EngineKind selects the consensus engine of a cluster.
@@ -49,6 +50,34 @@ type ClusterConfig struct {
 	// execution, < 0 = GOMAXPROCS). Results are bit-identical to
 	// serial, so parallel and serial clusters interoperate.
 	ParallelWorkers int
+	// Persist makes every node disk-backed (nil = memory-only).
+	Persist *PersistConfig
+}
+
+// PersistConfig gives every cluster node a durable storage engine.
+// Node i stores under Dir/node-i.
+type PersistConfig struct {
+	// Dir is the base data directory.
+	Dir string
+	// FS is the filesystem all nodes share (nil = the real disk,
+	// unless FSFor is set).
+	FS store.FS
+	// FSFor, when set, supplies a per-node filesystem and overrides FS
+	// — the simulation harness injects one fault-wrapped MemFS per
+	// node here so each node's disk fails independently.
+	FSFor func(node int) store.FS
+	// SyncEvery, SnapshotEvery, SnapshotKeep tune each node's engine;
+	// see PersistOptions.
+	SyncEvery     int
+	SnapshotEvery int
+	SnapshotKeep  int
+}
+
+func (p *PersistConfig) fsFor(i int) store.FS {
+	if p.FSFor != nil {
+		return p.FSFor(i)
+	}
+	return p.FS
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -128,7 +157,16 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, fmt.Errorf("chain: unknown engine %q", cfg.Engine)
 		}
 		id := p2p.NodeID(fmt.Sprintf("node-%d", i))
-		n, err := NewNode(id, keys[i], cfg.ChainID, engine, c.net)
+		var n *Node
+		if p := cfg.Persist; p != nil {
+			n, _, err = NewNodeFromConfig(NodeConfig{
+				ID: id, Key: keys[i], ChainID: cfg.ChainID, Engine: engine, Network: c.net,
+				DataDir: store.Join(p.Dir, string(id)), FS: p.fsFor(i),
+				SyncEvery: p.SyncEvery, SnapshotEvery: p.SnapshotEvery, SnapshotKeep: p.SnapshotKeep,
+			})
+		} else {
+			n, err = NewNode(id, keys[i], cfg.ChainID, engine, c.net)
+		}
 		if err != nil {
 			c.Close()
 			return nil, err

@@ -28,6 +28,7 @@ import (
 	"medchain/internal/p2p"
 	"medchain/internal/parexec"
 	"medchain/internal/resilience"
+	"medchain/internal/store"
 	"medchain/internal/vm"
 )
 
@@ -76,6 +77,12 @@ type Node struct {
 	stopped chan struct{}
 	wg      sync.WaitGroup
 
+	// applyMu serializes block application (execute + root check +
+	// append + persist): the proposer thread and the message loop can
+	// both reach acceptBlock, and the durable WAL must receive blocks
+	// in exactly commit order.
+	applyMu sync.Mutex
+
 	mu       sync.Mutex
 	chain    *ledger.Chain
 	state    *contract.State
@@ -85,6 +92,15 @@ type Node struct {
 	gasUsed  int64           // cumulative gas this node burned executing contracts
 	parEng   *parexec.Engine // nil = serial reference execution path
 	parStats parexec.Stats   // totals from engines retired by UseParallelExec
+
+	// persistMu guards the durable storage engine handle. st is nil for
+	// memory-only nodes and while a disk-backed node is crashed.
+	persistMu    sync.Mutex
+	st           *store.Store
+	popts        *PersistOptions
+	chainID      string
+	lastRecovery *store.Recovered
+	persistErrs  int64
 
 	subsMu sync.Mutex
 	subs   []chan EventRecord
@@ -108,22 +124,37 @@ func NewNode(id p2p.NodeID, key *cryptoutil.KeyPair, chainID string, engine cons
 // NewNodeWithEndpoint creates a node over any transport implementing
 // p2p.Endpoint (e.g. a TCP endpoint for multi-process deployments).
 func NewNodeWithEndpoint(id p2p.NodeID, key *cryptoutil.KeyPair, chainID string, engine consensus.Engine, ep p2p.Endpoint) *Node {
-	n := &Node{
+	n := newNode(id, key, chainID, engine)
+	n.start(ep)
+	return n
+}
+
+// newNode builds a node without attaching it to a transport; start
+// brings the message loop up. The split lets the persistent
+// constructor recover state from disk before any message can arrive.
+func newNode(id p2p.NodeID, key *cryptoutil.KeyPair, chainID string, engine consensus.Engine) *Node {
+	return &Node{
 		id:       id,
 		key:      key,
 		engine:   engine,
-		ep:       ep,
-		running:  true,
+		chainID:  chainID,
 		chain:    ledger.NewChain(chainID),
 		state:    contract.NewState(),
 		seen:     make(map[cryptoutil.Digest]bool),
 		receipts: make(map[cryptoutil.Digest]*contract.Receipt),
 		votes:    make(map[cryptoutil.Digest][]consensus.Vote),
-		stopped:  make(chan struct{}),
 	}
+}
+
+// start attaches the node to a transport and runs the message loop.
+func (n *Node) start(ep p2p.Endpoint) {
+	n.lifeMu.Lock()
+	n.ep = ep
+	n.running = true
+	n.stopped = make(chan struct{})
 	n.wg.Add(1)
 	go n.loop(ep, n.stopped)
-	return n
+	n.lifeMu.Unlock()
 }
 
 // ID returns the node's network identity.
@@ -310,9 +341,11 @@ func (n *Node) Running() bool {
 
 // Stop crashes the node: it detaches from the network (dropping all
 // in-flight messages), halts the message loop, and waits for it to
-// exit. Ledger, state, and mempool are retained — a stopped node models
-// a process crash with durable storage, and Restart brings it back.
-// Stop is idempotent.
+// exit. In-memory ledger, state, and mempool are retained. A
+// disk-backed node additionally drops its storage handle WITHOUT a
+// final sync — Stop is the process dying, and whatever the group
+// commit had not fsynced is exactly what crash recovery must cope
+// with. Restart brings the node back. Stop is idempotent.
 func (n *Node) Stop() {
 	n.lifeMu.Lock()
 	if !n.running {
@@ -328,12 +361,22 @@ func (n *Node) Stop() {
 		ep.Close()
 	}
 	n.wg.Wait()
+	n.persistMu.Lock()
+	if n.st != nil {
+		n.st.Close()
+		n.st = nil
+	}
+	n.persistMu.Unlock()
 }
 
 // Restart rejoins the network after Stop and resumes the message loop.
-// The node comes back at its pre-crash height; callers re-sync it with
-// requestSync (Cluster.RestartNode does this automatically). Restart on
-// a running node is a no-op.
+// A memory-only node comes back at its pre-crash height. A disk-backed
+// node first recovers from its data directory — truncating any torn
+// WAL tail, loading the newest snapshot, and replaying the durable
+// suffix — so it comes back at its durable height, which may trail the
+// pre-crash height by up to the group-commit window. Callers re-sync
+// it with requestSync (Cluster.RestartNode does this automatically).
+// Restart on a running node is a no-op.
 func (n *Node) Restart() error {
 	n.lifeMu.Lock()
 	defer n.lifeMu.Unlock()
@@ -342,6 +385,9 @@ func (n *Node) Restart() error {
 	}
 	if n.net == nil {
 		return fmt.Errorf("chain: node %s has no network to rejoin", n.id)
+	}
+	if err := n.reopenStore(); err != nil {
+		return err
 	}
 	ep, err := n.net.Join(n.id)
 	if err != nil {
@@ -355,8 +401,16 @@ func (n *Node) Restart() error {
 	return nil
 }
 
-// Close stops the node's loop and detaches it from the network.
-func (n *Node) Close() { n.Stop() }
+// Close shuts the node down gracefully: durable storage is synced
+// before the loop stops, so a Close/reopen cycle loses nothing.
+func (n *Node) Close() {
+	n.persistMu.Lock()
+	if n.st != nil {
+		_ = n.st.Sync()
+	}
+	n.persistMu.Unlock()
+	n.Stop()
+}
 
 // loop consumes network messages until this incarnation stops. It
 // captures its own endpoint and stop channel so a concurrent
@@ -469,8 +523,12 @@ func (n *Node) requestSync(peer p2p.NodeID) {
 // transaction (replicated execution), checks the state root, and
 // appends. Proposer and followers commit through this same path, so a
 // block that fails consensus never touches live state. It is idempotent
-// for already-known heights.
+// for already-known heights. applyMu keeps application single-file:
+// the proposer thread and the message loop both land here, and the
+// durable WAL must see blocks in commit order.
 func (n *Node) acceptBlock(blk *ledger.Block) error {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
 	if blk.Header.Height <= n.chain.Height() {
 		return nil // already have it
 	}
@@ -492,6 +550,11 @@ func (n *Node) acceptBlock(blk *ledger.Block) error {
 		return err
 	}
 	n.pruneMempool(blk)
+	// Persistence is best-effort relative to consensus: a failing disk
+	// (fault injection, full volume) must not halt the replica — the
+	// block is already committed in memory by quorum. The failure is
+	// counted and the WAL regains consistency on the next recovery.
+	n.persistBlock(blk)
 	return nil
 }
 

@@ -1,0 +1,371 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"medchain/internal/contract"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+	"medchain/internal/store"
+)
+
+// --- E12: durable storage engine ---
+//
+// A global precision-medicine chain is only as trustworthy as each
+// site's durable copy of it: hospital nodes crash, and what they
+// recover from disk must be exactly what the quorum committed. E12
+// measures the storage engine (internal/store) on three axes:
+//
+//   - recovery time vs chain length, cold (full WAL replay through the
+//     contract state machine) against snapshot-accelerated (newest
+//     snapshot + WAL suffix), verifying on every cell that the
+//     recovered state root equals the committed header root;
+//   - fsync-batching throughput: blocks/s appended at group-commit
+//     batch sizes swept over SyncBatches, quantifying what the bounded
+//     durability window buys;
+//   - write amplification: bytes reaching the disk (WAL framing plus
+//     periodic snapshots) over raw block payload bytes, metered by a
+//     zero-fault store.FaultFS.
+//
+// Everything runs on store.MemFS, so the numbers isolate engine
+// overhead (framing, checksums, serialization, durable-copy syncs)
+// from hardware.
+
+// e12ChainID isolates E12's ledgers.
+const e12ChainID = "medchain-e12"
+
+// E12Config tunes the durability sweeps.
+type E12Config struct {
+	// ChainLengths are the block counts for the recovery sweep
+	// (default 32, 128, 512).
+	ChainLengths []int
+	// TxsPerBlock sizes each block (default 4).
+	TxsPerBlock int
+	// SnapshotEvery is the snapshot cadence on the snapshot-assisted
+	// path and the write-amplification sweep (default 32).
+	SnapshotEvery int
+	// SyncBatches are the group-commit batch sizes for the fsync
+	// throughput sweep (default 1, 8, 64).
+	SyncBatches []int
+	// SyncBlocks is the chain length for the fsync sweep (default 256).
+	SyncBlocks int
+	// Repeats is how many timed runs each cell takes; the minimum is
+	// reported (default 3).
+	Repeats int
+	// Seed derives the workload identities.
+	Seed int64
+}
+
+func (c E12Config) withDefaults() E12Config {
+	if len(c.ChainLengths) == 0 {
+		c.ChainLengths = []int{32, 128, 512}
+	}
+	if c.TxsPerBlock <= 0 {
+		c.TxsPerBlock = 4
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 32
+	}
+	if len(c.SyncBatches) == 0 {
+		c.SyncBatches = []int{1, 8, 64}
+	}
+	if c.SyncBlocks <= 0 {
+		c.SyncBlocks = 256
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// E12RecoveryRow is one chain length in the recovery-time sweep.
+type E12RecoveryRow struct {
+	// Blocks is the chain length; Txs the transactions replayed.
+	Blocks, Txs int
+	// WALBytes is the on-disk frame log size.
+	WALBytes int64
+	// Cold is recovery by full WAL replay (no snapshot on disk).
+	Cold time.Duration
+	// Snap is recovery from the newest snapshot plus the WAL suffix.
+	Snap time.Duration
+	// SnapHeight is the snapshot the fast path started from, and
+	// Replayed the WAL blocks it still had to execute.
+	SnapHeight uint64
+	Replayed   int
+	// Match reports both recoveries reproduced the committed state
+	// root exactly.
+	Match bool
+}
+
+// E12SyncRow is one group-commit batch size in the fsync sweep.
+type E12SyncRow struct {
+	// SyncEvery is the group-commit batch; Blocks the appended count.
+	SyncEvery, Blocks int
+	// Elapsed is the append+sync wall time (min over repeats).
+	Elapsed time.Duration
+	// BlocksPerSec is the resulting append throughput.
+	BlocksPerSec float64
+	// Syncs is how many fsyncs the run cost.
+	Syncs int64
+	// Written is bytes that reached the disk (frames + snapshots);
+	// Payload is raw encoded block bytes; WriteAmp their ratio.
+	Written, Payload int64
+	WriteAmp         float64
+}
+
+// e12Chain builds n sequential blocks of register_dataset txs with
+// honest post-execution state roots — the committed-chain workload the
+// storage engine sees — plus the final serial state as oracle.
+func e12Chain(cfg E12Config, n int) ([]*ledger.Block, *contract.State, error) {
+	kp, err := cryptoutil.DeriveKeyPair(fmt.Sprintf("e12-%d", cfg.Seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	state := contract.NewState()
+	parent := ledger.NewGenesis(e12ChainID)
+	blocks := make([]*ledger.Block, 0, n)
+	nonce := uint64(0)
+	for i := 0; i < n; i++ {
+		height := uint64(i + 1)
+		ts := int64(i + 1)
+		txs := make([]*ledger.Transaction, 0, cfg.TxsPerBlock)
+		for j := 0; j < cfg.TxsPerBlock; j++ {
+			args, err := json.Marshal(contract.RegisterDatasetArgs{
+				ID:     fmt.Sprintf("d-%d-%d", i, j),
+				Digest: cryptoutil.Sum([]byte(fmt.Sprintf("%d/%d/%d", cfg.Seed, i, j))),
+				Schema: "cdf/v1", Records: 10 + i, SiteID: fmt.Sprintf("site-%d", j),
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			tx := &ledger.Transaction{
+				Type: ledger.TxData, Nonce: nonce, Method: "register_dataset",
+				Args: args, Timestamp: ts,
+			}
+			if err := tx.Sign(kp); err != nil {
+				return nil, nil, err
+			}
+			nonce++
+			txs = append(txs, tx)
+		}
+		blk := &ledger.Block{
+			Header: ledger.Header{
+				Height: height, Parent: parent.Hash(),
+				Timestamp: ts, Proposer: kp.Address(),
+			},
+			Txs: txs,
+		}
+		root, err := ledger.ComputeTxRoot(txs)
+		if err != nil {
+			return nil, nil, err
+		}
+		blk.Header.TxRoot = root
+		for _, tx := range txs {
+			if _, err := state.Apply(tx, height, ts); err != nil {
+				return nil, nil, err
+			}
+		}
+		blk.Header.StateRoot = state.Root()
+		blocks = append(blocks, blk)
+		parent = blk
+	}
+	return blocks, state, nil
+}
+
+// e12Seed writes blocks through a store onto fs the way a node does —
+// append, execute, snapshot when due — then syncs and closes.
+func e12Seed(fs store.FS, blocks []*ledger.Block, snapshotEvery, syncEvery int) error {
+	st, rec, err := store.Open(store.Options{
+		FS: fs, Dir: "data", ChainID: e12ChainID,
+		SyncEvery: syncEvery, SnapshotEvery: snapshotEvery,
+	})
+	if err != nil {
+		return err
+	}
+	chain, state, receipts := rec.Chain, rec.State, rec.Receipts
+	for _, blk := range blocks {
+		if err := st.AppendBlock(blk); err != nil {
+			return err
+		}
+		for _, tx := range blk.Txs {
+			r, err := state.Apply(tx, blk.Header.Height, blk.Header.Timestamp)
+			if err != nil {
+				return err
+			}
+			receipts = append(receipts, r)
+		}
+		if err := chain.Append(blk); err != nil {
+			return err
+		}
+		if _, err := st.MaybeSnapshot(chain, state, receipts, false); err != nil {
+			return err
+		}
+	}
+	if err := st.Sync(); err != nil {
+		return err
+	}
+	return st.Close()
+}
+
+// e12Recover times one store.Open and returns the recovery report.
+func e12Recover(fs store.FS) (*store.Recovered, time.Duration, int64, error) {
+	start := time.Now()
+	st, rec, err := store.Open(store.Options{FS: fs, Dir: "data", ChainID: e12ChainID})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	elapsed := time.Since(start)
+	wal := st.WALSize()
+	return rec, elapsed, wal, st.Close()
+}
+
+// E12Durability runs both sweeps. Determinism violations surface as
+// Match=false rows; E12Verify turns them into a hard failure.
+func E12Durability(cfg E12Config) ([]E12RecoveryRow, []E12SyncRow, error) {
+	cfg = cfg.withDefaults()
+
+	var recovery []E12RecoveryRow
+	for _, n := range cfg.ChainLengths {
+		blocks, oracle, err := e12Chain(cfg, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		cold := store.NewMemFS()
+		if err := e12Seed(cold, blocks, 0, 1); err != nil {
+			return nil, nil, err
+		}
+		snap := store.NewMemFS()
+		if err := e12Seed(snap, blocks, cfg.SnapshotEvery, 1); err != nil {
+			return nil, nil, err
+		}
+		row := E12RecoveryRow{Blocks: n, Txs: n * cfg.TxsPerBlock, Match: true}
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			recC, dC, wal, err := e12Recover(cold)
+			if err != nil {
+				return nil, nil, err
+			}
+			recS, dS, _, err := e12Recover(snap)
+			if err != nil {
+				return nil, nil, err
+			}
+			if rep == 0 || dC < row.Cold {
+				row.Cold = dC
+			}
+			if rep == 0 || dS < row.Snap {
+				row.Snap = dS
+			}
+			row.WALBytes = wal
+			row.SnapHeight = recS.SnapshotHeight
+			row.Replayed = recS.ReplayedBlocks
+			want := oracle.Root()
+			if recC.Height != uint64(n) || recS.Height != uint64(n) ||
+				recC.State.Root() != want || recS.State.Root() != want {
+				row.Match = false
+			}
+		}
+		recovery = append(recovery, row)
+	}
+
+	blocks, _, err := e12Chain(cfg, cfg.SyncBlocks)
+	if err != nil {
+		return nil, nil, err
+	}
+	var payload int64
+	for _, blk := range blocks {
+		enc, err := blk.Encode()
+		if err != nil {
+			return nil, nil, err
+		}
+		payload += int64(len(enc))
+	}
+	var sync []E12SyncRow
+	for _, batch := range cfg.SyncBatches {
+		row := E12SyncRow{SyncEvery: batch, Blocks: cfg.SyncBlocks, Payload: payload}
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			meter := store.NewFaultFS(store.NewMemFS(), store.FaultConfig{})
+			start := time.Now()
+			if err := e12Seed(meter, blocks, cfg.SnapshotEvery, batch); err != nil {
+				return nil, nil, err
+			}
+			elapsed := time.Since(start)
+			if rep == 0 || elapsed < row.Elapsed {
+				row.Elapsed = elapsed
+			}
+			row.Syncs = meter.Syncs()
+			row.Written = meter.BytesWritten()
+		}
+		if row.Elapsed > 0 {
+			row.BlocksPerSec = float64(cfg.SyncBlocks) / row.Elapsed.Seconds()
+		}
+		if payload > 0 {
+			row.WriteAmp = float64(row.Written) / float64(payload)
+		}
+		sync = append(sync, row)
+	}
+	return recovery, sync, nil
+}
+
+// E12Verify returns an error naming the first recovery row whose
+// recovered state diverged from the committed chain.
+func E12Verify(rows []E12RecoveryRow) error {
+	for _, r := range rows {
+		if !r.Match {
+			return fmt.Errorf("experiments: e12 recovery divergence at %d blocks", r.Blocks)
+		}
+	}
+	return nil
+}
+
+// TableE12Recovery renders the recovery-time sweep.
+func TableE12Recovery(rows []E12RecoveryRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		speedup := "-"
+		if r.Snap > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(r.Cold)/float64(r.Snap))
+		}
+		out[i] = []string{
+			fmt.Sprint(r.Blocks),
+			fmt.Sprint(r.Txs),
+			fmt.Sprint(r.WALBytes),
+			fmtDur(r.Cold),
+			fmtDur(r.Snap),
+			speedup,
+			fmt.Sprint(r.SnapHeight),
+			fmt.Sprint(r.Replayed),
+			fmt.Sprint(r.Match),
+		}
+	}
+	return Table(
+		"E12 Crash recovery: full WAL replay vs snapshot + suffix (recovered root must match committed root)",
+		[]string{"blocks", "txs", "walBytes", "cold", "snapshot", "speedup", "snapHeight", "replayed", "match"},
+		out,
+	)
+}
+
+// TableE12Sync renders the fsync-batching sweep.
+func TableE12Sync(rows []E12SyncRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			fmt.Sprint(r.SyncEvery),
+			fmt.Sprint(r.Blocks),
+			fmtDur(r.Elapsed),
+			fmt.Sprintf("%.0f", r.BlocksPerSec),
+			fmt.Sprint(r.Syncs),
+			fmt.Sprint(r.Written),
+			fmt.Sprint(r.Payload),
+			fmt.Sprintf("%.2f", r.WriteAmp),
+		}
+	}
+	return Table(
+		"E12 Group-commit fsync batching: append throughput and write amplification vs batch size",
+		[]string{"syncEvery", "blocks", "elapsed", "blocks/s", "fsyncs", "written", "payload", "writeAmp"},
+		out,
+	)
+}

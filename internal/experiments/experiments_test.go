@@ -241,6 +241,43 @@ func TestE9AvailabilityUnderFaults(t *testing.T) {
 	}
 }
 
+func TestE12Durability(t *testing.T) {
+	recovery, sync, err := E12Durability(E12Config{
+		ChainLengths: []int{8, 24}, TxsPerBlock: 2, SnapshotEvery: 8,
+		SyncBatches: []int{1, 8}, SyncBlocks: 24, Repeats: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovery) != 2 || len(sync) != 2 {
+		t.Fatalf("%d recovery rows, %d sync rows", len(recovery), len(sync))
+	}
+	if err := E12Verify(recovery); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recovery {
+		if r.WALBytes == 0 || r.Cold == 0 || r.Snap == 0 {
+			t.Fatalf("vacuous recovery row %+v", r)
+		}
+	}
+	// The 24-block snapshot path must start from a snapshot, not replay
+	// the whole log.
+	if recovery[1].SnapHeight == 0 || recovery[1].Replayed >= recovery[1].Blocks {
+		t.Fatalf("snapshot path did not accelerate: %+v", recovery[1])
+	}
+	// Batching must cut fsyncs; framing+snapshots must amplify writes.
+	if sync[0].Syncs <= sync[1].Syncs {
+		t.Fatalf("syncEvery=1 cost %d fsyncs, syncEvery=8 cost %d", sync[0].Syncs, sync[1].Syncs)
+	}
+	for _, r := range sync {
+		if r.WriteAmp <= 1.0 {
+			t.Fatalf("write amplification %.2f <= 1 at syncEvery=%d", r.WriteAmp, r.SyncEvery)
+		}
+	}
+	_ = TableE12Recovery(recovery)
+	_ = TableE12Sync(sync)
+}
+
 func TestA1PoWBurnsWork(t *testing.T) {
 	rows, err := A1Consensus(A1Config{Nodes: 3, Txs: 3, PowDifficulty: 8, Seed: 1})
 	if err != nil {

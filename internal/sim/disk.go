@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"medchain/internal/chain"
+	"medchain/internal/contract"
+	"medchain/internal/ledger"
+	"medchain/internal/store"
+)
+
+// diskChaos owns the per-node fault-injected disks of a persistent run
+// and drives the disk-recovery invariant. Each node stores its WAL and
+// snapshots on its own MemFS wrapped in a FaultFS seeded from the
+// master seed, so disks fail independently and reproducibly.
+//
+// The invariant runs in cycles of DiskCrashEvery rounds: mid-cycle a
+// victim's disk is armed to crash a few hundred bytes into an upcoming
+// block write (tearing a WAL frame mid-append); at the cycle boundary
+// the victim is stopped, its disk suffers either a power loss (unsynced
+// page cache discarded) or a bare process kill (torn bytes survive in
+// the page cache), and the durable bytes alone are recovered
+// out-of-band through store.Open. The recovered prefix must be
+// bit-identical to what the live quorum committed: block hashes, state
+// root, and the receipt log all equal the serial reference at the
+// recovered height. Only then is the node restarted — a second, live
+// recovery through the same path — and re-synced by the cluster.
+type diskChaos struct {
+	cfg     Config
+	chainID string
+	rng     *rand.Rand
+	mems    []*store.MemFS
+	faults  []*store.FaultFS
+
+	armed int // victim with a pending crash threshold (-1: none)
+
+	recoveries int
+	replayed   int
+	torn       int64
+}
+
+func newDiskChaos(cfg Config, chainID string) *diskChaos {
+	d := &diskChaos{
+		cfg:     cfg,
+		chainID: chainID,
+		rng:     rand.New(rand.NewSource(subSeed(cfg.Seed, "disk"))),
+		armed:   -1,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		mem := store.NewMemFS()
+		d.mems = append(d.mems, mem)
+		d.faults = append(d.faults, store.NewFaultFS(mem, store.FaultConfig{
+			Seed: subSeed(cfg.Seed, fmt.Sprintf("disk-%d", i)),
+		}))
+	}
+	return d
+}
+
+// persistConfig wires the per-node fault disks into the cluster.
+func (d *diskChaos) persistConfig() *chain.PersistConfig {
+	return &chain.PersistConfig{
+		Dir:           "data",
+		FSFor:         func(i int) store.FS { return d.faults[i] },
+		SyncEvery:     d.cfg.DiskSyncEvery,
+		SnapshotEvery: d.cfg.DiskSnapshotEvery,
+	}
+}
+
+// advance fires the disk fault cycle for this round: arm mid-cycle,
+// crash/verify/restart at the cycle boundary.
+func (d *diskChaos) advance(ck *checker, c *chain.Cluster, round int) {
+	every := d.cfg.DiskCrashEvery
+	if every <= 0 || round == 0 {
+		return
+	}
+	switch round % every {
+	case every / 2:
+		d.arm(c)
+	case 0:
+		d.crashAndVerify(ck, c)
+	}
+}
+
+// arm picks the next running victim and schedules its disk to die a
+// few hundred bytes into an upcoming write — mid-frame, mid-block.
+func (d *diskChaos) arm(c *chain.Cluster) {
+	running := c.RunningNodes()
+	if d.armed >= 0 || len(running) == 0 {
+		return
+	}
+	victim := running[d.rng.Intn(len(running))]
+	d.faults[victim].ArmCrashAfter(200 + d.rng.Int63n(4000))
+	d.armed = victim
+}
+
+// crashAndVerify stops the armed victim, applies the disk failure
+// model, checks the disk-recovery invariant out-of-band, and restarts
+// the node (its own second recovery through the identical path).
+func (d *diskChaos) crashAndVerify(ck *checker, c *chain.Cluster) {
+	if d.armed < 0 {
+		return
+	}
+	victim := d.armed
+	d.armed = -1
+	c.StopNode(victim) // closes the store handle without a sync
+	if d.rng.Intn(2) == 0 {
+		// Power loss: everything the group commit had not fsynced is
+		// discarded with the page cache — including any torn frame.
+		d.mems[victim].Crash()
+	}
+	// Otherwise a bare process kill: the page cache survives, so a torn
+	// frame from the crash-threshold write stays on disk for recovery
+	// to truncate.
+	d.faults[victim].Heal()
+	d.verify(ck, victim)
+	if ck.failed() {
+		return
+	}
+	if err := c.RestartNode(victim); err != nil {
+		ck.violationf("disk: node-%d restart after recovery: %v", victim, err)
+	}
+}
+
+// verify recovers the victim's durable bytes through store.Open and
+// checks the recovered prefix bit-identical to the committed chain:
+// same block hashes, same state root, same receipt log as the serial
+// reference at the recovered height.
+func (d *diskChaos) verify(ck *checker, victim int) {
+	dir := store.Join("data", fmt.Sprintf("node-%d", victim))
+	st, rec, err := store.Open(store.Options{FS: d.faults[victim], Dir: dir, ChainID: d.chainID})
+	if err != nil {
+		ck.violationf("disk: node-%d recovery from durable bytes failed: %v", victim, err)
+		return
+	}
+	defer st.Close()
+	d.recoveries++
+	d.replayed += rec.ReplayedBlocks
+	d.torn += rec.TruncatedBytes
+
+	h := rec.Height
+	if h > ck.height {
+		ck.violationf("disk: node-%d recovered height %d beyond committed height %d", victim, h, ck.height)
+		return
+	}
+	if h == 0 {
+		return // nothing durable yet: an empty recovery is still a valid one
+	}
+	// The recovered chain must be a prefix of the committed chain —
+	// hash equality per height covers every header field including the
+	// state root the quorum signed off on.
+	ok := true
+	rec.Chain.Walk(func(blk *ledger.Block) bool {
+		bh := blk.Header.Height
+		if blk.Hash() != ck.hashes[bh] {
+			ck.violationf("disk: node-%d recovered block %d hash %s != committed %s",
+				victim, bh, blk.Hash().Short(), ck.hashes[bh].Short())
+			ok = false
+		}
+		return ok
+	})
+	if !ok {
+		return
+	}
+	if got, want := rec.State.Root(), rec.Chain.Head().Header.StateRoot; got != want {
+		ck.violationf("disk: node-%d recovered state root %s != committed root %s at height %d",
+			victim, got.Short(), want.Short(), h)
+		return
+	}
+	// Receipt log: bit-identical to the serial reference's prefix, in
+	// chain order.
+	txs := 0
+	rec.Chain.Walk(func(blk *ledger.Block) bool {
+		txs += len(blk.Txs)
+		return true
+	})
+	if len(rec.Receipts) != txs || txs > len(ck.txOrder) {
+		ck.violationf("disk: node-%d recovered %d receipts for %d committed txs (serial reference has %d)",
+			victim, len(rec.Receipts), txs, len(ck.txOrder))
+		return
+	}
+	for i, r := range rec.Receipts {
+		id := ck.txOrder[i]
+		if r.TxID != id {
+			ck.violationf("disk: node-%d recovered receipt %d is for tx %s, serial order has %s",
+				victim, i, r.TxID.Short(), id.Short())
+			return
+		}
+		if enc := receiptsJSON([]*contract.Receipt{r}); enc != ck.serialReceipts[id] {
+			ck.violationf("disk: node-%d recovered receipt for tx %s diverges from serial:\n disk: %s\n serial: %s",
+				victim, id.Short(), enc, ck.serialReceipts[id])
+			return
+		}
+	}
+}

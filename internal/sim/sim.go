@@ -97,6 +97,23 @@ type Config struct {
 	OffchainBatch int
 	// MaxOffchainRuns caps total offchain executions (default 400).
 	MaxOffchainRuns int
+	// Persist makes every node disk-backed on its own fault-injected
+	// in-memory filesystem (seeded from Seed) and enables the
+	// disk-recovery invariant: on a fixed cadence a node's disk is torn
+	// mid-block-write, the node is power-lossed or process-killed, its
+	// durable bytes are recovered out-of-band, and the recovered state
+	// root and receipt log must be bit-identical to the live quorum's
+	// committed prefix before the node restarts through the same path.
+	Persist bool
+	// DiskCrashEvery is the disk crash/recover cycle length in rounds
+	// (default 20 when Persist is set).
+	DiskCrashEvery int
+	// DiskSyncEvery is the nodes' WAL group-commit batch (default 2, so
+	// recovery actually exercises a non-trivial durability window).
+	DiskSyncEvery int
+	// DiskSnapshotEvery is the nodes' snapshot cadence in blocks
+	// (default 8).
+	DiskSnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +150,17 @@ func (c Config) withDefaults() Config {
 	if c.MaxOffchainRuns == 0 {
 		c.MaxOffchainRuns = 400
 	}
+	if c.Persist {
+		if c.DiskCrashEvery == 0 {
+			c.DiskCrashEvery = 20
+		}
+		if c.DiskSyncEvery == 0 {
+			c.DiskSyncEvery = 2
+		}
+		if c.DiskSnapshotEvery == 0 {
+			c.DiskSnapshotEvery = 8
+		}
+	}
 	return c
 }
 
@@ -160,6 +188,13 @@ type Result struct {
 	OffchainRuns int
 	// GasUsed is the serial reference's cumulative gas.
 	GasUsed int64
+	// DiskRecoveries counts disk-recovery invariant evaluations on a
+	// persistent run; DiskReplayedBlocks and DiskTornBytes aggregate
+	// the WAL blocks replayed and torn tail bytes truncated across
+	// them.
+	DiskRecoveries     int
+	DiskReplayedBlocks int
+	DiskTornBytes      int64
 	// FaultLog is the injected-fault signature (a pure function of the
 	// seed — identical across replays).
 	FaultLog []string
@@ -180,13 +215,21 @@ func Run(cfg Config) (*Result, error) {
 		return res, fmt.Errorf("sim: need >= 3 nodes, got %d", cfg.Nodes)
 	}
 
-	cluster, err := chain.NewCluster(chain.ClusterConfig{
+	const chainID = "medchain"
+	var disks *diskChaos
+	ccfg := chain.ClusterConfig{
 		Nodes:         cfg.Nodes,
+		ChainID:       chainID,
 		Engine:        chain.EngineQuorum,
 		CommitTimeout: cfg.CommitTimeout,
 		KeySeed:       fmt.Sprintf("sim-%d", cfg.Seed),
 		Network:       p2p.Config{Seed: subSeed(cfg.Seed, "p2p")},
-	})
+	}
+	if cfg.Persist {
+		disks = newDiskChaos(cfg, chainID)
+		ccfg.Persist = disks.persistConfig()
+	}
+	cluster, err := chain.NewCluster(ccfg)
 	if err != nil {
 		return res, err
 	}
@@ -279,6 +322,12 @@ func Run(cfg Config) (*Result, error) {
 
 	for round := 0; round < cfg.Rounds && !ck.failed(); round++ {
 		orch.Advance(round)
+		if disks != nil {
+			disks.advance(ck, cluster, round)
+			if ck.failed() {
+				break
+			}
+		}
 		var batch []*ledger.Transaction
 		if round == 0 {
 			batch, err = fz.setup()
@@ -325,6 +374,11 @@ func Run(cfg Config) (*Result, error) {
 	res.Checks = ck.checks
 	res.OffchainRuns = ck.offchainRuns
 	res.GasUsed = ck.gas
+	if disks != nil {
+		res.DiskRecoveries = disks.recoveries
+		res.DiskReplayedBlocks = disks.replayed
+		res.DiskTornBytes = disks.torn
+	}
 	res.FaultLog = orch.FaultLog()
 	res.Violations = ck.violations
 	res.Counterexample = ck.cex

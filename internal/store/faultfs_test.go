@@ -1,0 +1,209 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+)
+
+const createRW = os.O_CREATE | os.O_RDWR
+
+// Identical seeds must produce identical fault schedules — the whole
+// point of seeded fault injection is replayable failure.
+func TestFaultFSDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []string {
+		fs := NewFaultFS(NewMemFS(), FaultConfig{
+			Seed: seed, TornWriteProb: 0.3, ShortWriteProb: 0.2, SyncFailProb: 0.25,
+		})
+		w, _, _ := openTestWAL(t, fs, 2)
+		for i := 0; i < 40; i++ {
+			_, _ = w.Append([]byte(fmt.Sprintf("frame-%d", i)))
+		}
+		w.Close()
+		return fs.Log()
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("no faults injected at these probabilities")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different fault logs:\n%v\n%v", a, b)
+	}
+	if fmt.Sprint(a) == fmt.Sprint(run(43)) {
+		t.Fatal("different seeds produced identical fault logs")
+	}
+}
+
+// Crash-at-byte-N mid-frame must leave a torn tail that recovery
+// truncates, with every durable frame intact.
+func TestCrashAtByteTearsFrameAndRecovers(t *testing.T) {
+	mem := NewMemFS()
+	fault := NewFaultFS(mem, FaultConfig{})
+	w, _, _ := openTestWAL(t, fault, 1)
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash 10 bytes into the 4th frame's write.
+	fault.ArmCrashAfter(10)
+	if _, err := w.Append(payload); !errors.Is(err, ErrDiskCrashed) {
+		t.Fatalf("append across crash threshold: %v, want ErrDiskCrashed", err)
+	}
+	if !fault.Crashed() {
+		t.Fatal("crash threshold did not fire")
+	}
+	// Everything after the crash fails fast.
+	if _, err := w.Append(payload); err == nil {
+		t.Fatal("append on a crashed disk succeeded")
+	}
+	w.Close()
+
+	// The torn 10 bytes persisted; replace the controller and recover.
+	fault.Heal()
+	w2, frames, torn, err := OpenWAL(fault, "wal/block.wal", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(frames) != 3 {
+		t.Fatalf("recovered %d frames, want 3", len(frames))
+	}
+	if torn != 10 {
+		t.Fatalf("torn %d bytes, want the 10 that crossed the threshold", torn)
+	}
+	for i, f := range frames {
+		if string(f) != string(payload) {
+			t.Fatalf("frame %d corrupted: %q", i, f)
+		}
+	}
+}
+
+// Seeded crash/recover soak: random crash points over a real block
+// workload, recovery after every crash, prefix-equality against the
+// serial oracle every time. This is the store-level miniature of the
+// simulation harness's disk-recovery invariant.
+func TestSeededCrashRecoverLoop(t *testing.T) {
+	const totalBlocks = 12
+	blocks, _ := buildBlocks(t, testChainID, totalBlocks)
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			mem := NewMemFS()
+			fault := NewFaultFS(mem, FaultConfig{Seed: seed})
+			// Crash somewhere inside the byte stream of the workload;
+			// derive the point from the seed for reproducibility.
+			fault.ArmCrashAfter(200 + seed*997)
+
+			st, rec, err := Open(Options{FS: fault, Dir: "n0", ChainID: testChainID, SyncEvery: int(seed%3) + 1, SnapshotEvery: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chain, state, receipts := rec.Chain, rec.State, rec.Receipts
+			appended := 0
+			for _, blk := range blocks {
+				if err := st.AppendBlock(blk); err != nil {
+					break // disk crashed mid-workload
+				}
+				appended++
+				for _, tx := range blk.Txs {
+					r, err := state.Apply(tx, blk.Header.Height, blk.Header.Timestamp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					receipts = append(receipts, r)
+				}
+				if err := chain.Append(blk); err != nil {
+					t.Fatal(err)
+				}
+				_, _ = st.MaybeSnapshot(chain, state, receipts, false) // may fail on crash: fine
+			}
+			if appended == totalBlocks {
+				t.Fatalf("crash threshold %d never fired", 200+seed*997)
+			}
+			st.Close()
+
+			// Power loss + controller replacement, then recover.
+			mem.Crash()
+			fault.Heal()
+			st2, rec2, err := Open(Options{FS: fault, Dir: "n0", ChainID: testChainID})
+			if err != nil {
+				t.Fatalf("recovery after crash: %v", err)
+			}
+			defer st2.Close()
+			h := rec2.Height
+			if h > uint64(appended) {
+				t.Fatalf("recovered height %d exceeds appended %d", h, appended)
+			}
+			if h > 0 {
+				if got, want := rec2.State.Root(), blocks[h-1].Header.StateRoot; got != want {
+					t.Fatalf("recovered root %s != oracle root %s at height %d", got, want, h)
+				}
+			}
+			txs := 0
+			for _, blk := range blocks[:h] {
+				txs += len(blk.Txs)
+			}
+			if len(rec2.Receipts) != txs {
+				t.Fatalf("recovered %d receipts, want %d", len(rec2.Receipts), txs)
+			}
+			// And the recovered store accepts the rest of the workload.
+			for _, blk := range blocks[h:] {
+				if err := st2.AppendBlock(blk); err != nil {
+					t.Fatalf("append block %d after recovery: %v", blk.Header.Height, err)
+				}
+			}
+			if err := st2.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// MemFS crash semantics: unsynced data vanishes, synced data stays,
+// never-synced files disappear.
+func TestMemFSCrashSemantics(t *testing.T) {
+	fs := NewMemFS()
+	write := func(name, content string, sync bool) {
+		t.Helper()
+		f, err := fs.OpenFile(name, createRW, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte(content), 0); err != nil {
+			t.Fatal(err)
+		}
+		if sync {
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Close()
+	}
+	write("a", "durable", true)
+	write("b", "volatile", false)
+	// Extend a past its synced length without syncing the extension.
+	f, err := fs.OpenFile("a", createRW, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("-tail"), 7); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	fs.Crash()
+
+	got, err := ReadFile(fs, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable" {
+		t.Fatalf("file a after crash: %q, want synced content only", got)
+	}
+	if _, err := ReadFile(fs, "b"); err == nil {
+		t.Fatal("never-synced file survived the crash")
+	}
+}

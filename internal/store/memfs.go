@@ -1,0 +1,210 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// MemFS is an in-memory FS with explicit crash semantics: every file
+// tracks its last-synced ("durable") content separately from its
+// current content, and Crash reverts the whole filesystem to the
+// durable view — exactly what a power loss does to an OS page cache.
+// This is what lets the simulation harness crash a disk-backed node
+// and recover it from only what was actually fsynced.
+//
+// Simplifications relative to a real disk, chosen deliberately: Rename
+// is durable immediately (a real FS needs a directory fsync, which the
+// engine's callers could not observe anyway), and syncs are
+// whole-file, not range-limited.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+type memFile struct {
+	data    []byte
+	durable []byte
+	synced  bool // true once Sync has been called at least once
+}
+
+// NewMemFS creates an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile), dirs: map[string]bool{".": true}}
+}
+
+// Crash models a power loss: every file reverts to its last-synced
+// content, and files that were never synced disappear entirely (their
+// directory entry was never made durable either).
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, f := range m.files {
+		if !f.synced {
+			delete(m.files, name)
+			continue
+		}
+		f.data = append([]byte(nil), f.durable...)
+	}
+}
+
+// OpenFile opens or creates an in-memory file.
+func (m *MemFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		f = &memFile{}
+		m.files[name] = f
+	}
+	if flag&os.O_TRUNC != 0 {
+		f.data = nil
+	}
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// Rename atomically moves a file (durable immediately — see type doc).
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldpath]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	return nil
+}
+
+// Remove deletes a file.
+func (m *MemFS) Remove(name string) error {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// ReadDir lists the file names directly inside dir, sorted.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	dir = filepath.Clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for name := range m.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll records a directory (MemFS directories are implicit; this
+// exists to satisfy FS).
+func (m *MemFS) MkdirAll(dir string, perm os.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[filepath.Clean(dir)] = true
+	return nil
+}
+
+// memHandle is an open handle on a shared memFile.
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	closed bool
+}
+
+func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, errClosed
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("store: negative offset %d", off)
+	}
+	end := off + int64(len(p))
+	if int64(len(h.f.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, h.f.data)
+		h.f.data = grown
+	}
+	copy(h.f.data[off:end], p)
+	return len(p), nil
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, errClosed
+	}
+	if off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return errClosed
+	}
+	h.f.durable = append([]byte(nil), h.f.data...)
+	h.f.synced = true
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return errClosed
+	}
+	if size < 0 {
+		return fmt.Errorf("store: negative truncate size %d", size)
+	}
+	if int64(len(h.f.data)) > size {
+		h.f.data = h.f.data[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, h.f.data)
+		h.f.data = grown
+	}
+	return nil
+}
+
+func (h *memHandle) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, errClosed
+	}
+	return int64(len(h.f.data)), nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,487 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"medchain/internal/contract"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+)
+
+const testChainID = "store-test"
+
+// buildBlocks makes n sequential blocks, one register_dataset tx each,
+// with honest post-execution state roots — exactly what a committed
+// chain hands the storage engine. Returns the blocks and the final
+// serial state (the recovery oracle).
+func buildBlocks(t testing.TB, chainID string, n int) ([]*ledger.Block, *contract.State) {
+	t.Helper()
+	kp, err := cryptoutil.DeriveKeyPair("store-test-user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := contract.NewState()
+	parent := ledger.NewGenesis(chainID)
+	blocks := make([]*ledger.Block, 0, n)
+	for i := 0; i < n; i++ {
+		args, err := json.Marshal(contract.RegisterDatasetArgs{
+			ID: fmt.Sprintf("d-%d", i), Digest: cryptoutil.Sum([]byte{byte(i)}),
+			Schema: "cdf/v1", Records: 10 + i, SiteID: "site",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := &ledger.Transaction{
+			Type: ledger.TxData, Nonce: uint64(i), Method: "register_dataset",
+			Args: args, Timestamp: int64(i + 1),
+		}
+		if err := tx.Sign(kp); err != nil {
+			t.Fatal(err)
+		}
+		blk := &ledger.Block{
+			Header: ledger.Header{
+				Height: uint64(i + 1), Parent: parent.Hash(),
+				Timestamp: int64(i + 1), Proposer: kp.Address(),
+			},
+			Txs: []*ledger.Transaction{tx},
+		}
+		root, err := ledger.ComputeTxRoot(blk.Txs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk.Header.TxRoot = root
+		if _, err := state.Apply(tx, blk.Header.Height, blk.Header.Timestamp); err != nil {
+			t.Fatal(err)
+		}
+		blk.Header.StateRoot = state.Root()
+		blocks = append(blocks, blk)
+		parent = blk
+	}
+	return blocks, state
+}
+
+// seedStore writes blocks through a Store onto fs the way a node
+// does — append, execute, snapshot when due — and shuts down
+// gracefully (synced before close).
+func seedStore(t testing.TB, fs FS, dir string, blocks []*ledger.Block, opts Options) {
+	t.Helper()
+	opts.FS, opts.Dir, opts.ChainID = fs, dir, testChainID
+	st, rec, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, state, receipts := rec.Chain, rec.State, rec.Receipts
+	for _, blk := range blocks {
+		if err := st.AppendBlock(blk); err != nil {
+			t.Fatalf("append %d: %v", blk.Header.Height, err)
+		}
+		for _, tx := range blk.Txs {
+			r, err := state.Apply(tx, blk.Header.Height, blk.Header.Timestamp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			receipts = append(receipts, r)
+		}
+		if err := chain.Append(blk); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.MaybeSnapshot(chain, state, receipts, false); err != nil {
+			t.Fatalf("snapshot at %d: %v", blk.Header.Height, err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// walBytes reads the raw WAL file.
+func walBytes(t testing.TB, fs FS, dir string) []byte {
+	t.Helper()
+	b, err := ReadFile(fs, Join(dir, WALName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// corruptWAL rewrites one byte of the WAL file at off.
+func corruptWAL(t testing.TB, fs FS, dir string, off int64, b byte) {
+	t.Helper()
+	f, err := fs.OpenFile(Join(dir, WALName), os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte{b}, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// truncateWAL chops the WAL file to size.
+func truncateWAL(t testing.TB, fs FS, dir string, size int64) {
+	t.Helper()
+	f, err := fs.OpenFile(Join(dir, WALName), os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendBlockSequencing(t *testing.T) {
+	blocks, _ := buildBlocks(t, testChainID, 3)
+	fs := NewMemFS()
+	st, _, err := Open(Options{FS: fs, Dir: "n0", ChainID: testChainID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.AppendBlock(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Re-delivery of a stored height is idempotent, not an error.
+	if err := st.AppendBlock(blocks[0]); err != nil {
+		t.Fatalf("idempotent re-append errored: %v", err)
+	}
+	if got := st.Height(); got != 1 {
+		t.Fatalf("height %d after duplicate append, want 1", got)
+	}
+	// A gap must be refused: the WAL's frame index IS the height.
+	if err := st.AppendBlock(blocks[2]); err == nil {
+		t.Fatal("gap append (height 3 after 1) accepted")
+	}
+	if err := st.AppendBlock(blocks[1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The snapshot fast path must land on the identical state, receipts,
+// and gas as a full replay.
+func TestSnapshotFastPathMatchesFullReplay(t *testing.T) {
+	blocks, want := buildBlocks(t, testChainID, 9)
+
+	full := NewMemFS()
+	seedStore(t, full, "n0", blocks, Options{})
+	snapped := NewMemFS()
+	seedStore(t, snapped, "n0", blocks, Options{SnapshotEvery: 4})
+
+	_, recFull, err := Open(Options{FS: full, Dir: "n0", ChainID: testChainID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recSnap, err := Open(Options{FS: snapped, Dir: "n0", ChainID: testChainID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recSnap.SnapshotHeight == 0 {
+		t.Fatal("snapshot store recovered without using a snapshot")
+	}
+	if recSnap.ReplayedBlocks >= len(blocks) {
+		t.Fatalf("snapshot recovery replayed everything (%d blocks)", recSnap.ReplayedBlocks)
+	}
+	if recFull.State.Root() != want.Root() || recSnap.State.Root() != want.Root() {
+		t.Fatalf("recovered roots diverge: full %s snap %s want %s",
+			recFull.State.Root(), recSnap.State.Root(), want.Root())
+	}
+	if recFull.GasUsed != recSnap.GasUsed {
+		t.Fatalf("gas: full %d snap %d", recFull.GasUsed, recSnap.GasUsed)
+	}
+	if len(recFull.Receipts) != len(blocks) || len(recSnap.Receipts) != len(blocks) {
+		t.Fatalf("receipts: full %d snap %d want %d", len(recFull.Receipts), len(recSnap.Receipts), len(blocks))
+	}
+	for i := range recFull.Receipts {
+		a, _ := json.Marshal(recFull.Receipts[i])
+		b, _ := json.Marshal(recSnap.Receipts[i])
+		if string(a) != string(b) {
+			t.Fatalf("receipt %d differs:\nfull %s\nsnap %s", i, a, b)
+		}
+	}
+}
+
+func TestSnapshotCadenceAndPruning(t *testing.T) {
+	blocks, _ := buildBlocks(t, testChainID, 10)
+	fs := NewMemFS()
+	seedStore(t, fs, "n0", blocks, Options{SnapshotEvery: 3, SnapshotKeep: 2})
+	heights, err := snapshotHeights(fs, "n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshots fell due at 3, 6, 9; pruning keeps the newest 2.
+	if len(heights) != 2 || heights[0] != 6 || heights[1] != 9 {
+		t.Fatalf("snapshot heights %v, want [6 9]", heights)
+	}
+}
+
+// recoveryCase drives one entry of the edge-case table: set up a
+// damaged (or empty) store directory, recover, check the outcome.
+type recoveryCase struct {
+	name string
+	// blocks is how many committed blocks the WAL holds pre-damage.
+	blocks int
+	// opts used while seeding (snapshot cadence).
+	seed Options
+	// damage mutates the directory between shutdown and recovery.
+	damage func(t *testing.T, fs FS, blocks []*ledger.Block)
+	// wantErr, when true, expects recovery to fail with ErrCorrupt.
+	wantErr bool
+	// check runs on the successful recovery.
+	check func(t *testing.T, rec *Recovered, blocks []*ledger.Block)
+}
+
+func TestRecoveryEdgeCases(t *testing.T) {
+	cases := []recoveryCase{
+		{
+			name: "empty dir", blocks: 0,
+			check: func(t *testing.T, rec *Recovered, _ []*ledger.Block) {
+				if rec.Height != 0 || rec.ReplayedBlocks != 0 || rec.TruncatedBytes != 0 {
+					t.Fatalf("empty dir recovered to height %d replay %d torn %d",
+						rec.Height, rec.ReplayedBlocks, rec.TruncatedBytes)
+				}
+			},
+		},
+		{
+			name: "wal only", blocks: 6,
+			check: func(t *testing.T, rec *Recovered, blocks []*ledger.Block) {
+				if rec.Height != 6 || rec.SnapshotHeight != 0 || rec.ReplayedBlocks != 6 {
+					t.Fatalf("wal-only: height %d snap %d replayed %d", rec.Height, rec.SnapshotHeight, rec.ReplayedBlocks)
+				}
+				if rec.State.Root() != blocks[5].Header.StateRoot {
+					t.Fatal("wal-only replay root mismatch")
+				}
+			},
+		},
+		{
+			name: "snapshot only (wal deleted)", blocks: 6,
+			seed: Options{SnapshotEvery: 3},
+			damage: func(t *testing.T, fs FS, _ []*ledger.Block) {
+				if err := fs.Remove(Join("n0", WALName)); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, rec *Recovered, _ []*ledger.Block) {
+				// The WAL is the source of truth: with it gone, the
+				// snapshot claims blocks that do not durably exist and
+				// must be ignored — recovery lands on an empty chain
+				// rather than inventing one.
+				if !rec.SnapshotIgnored {
+					t.Fatal("snapshot-without-wal was trusted")
+				}
+				if rec.Height != 0 {
+					t.Fatalf("recovered to height %d from a snapshot with no wal", rec.Height)
+				}
+			},
+		},
+		{
+			name: "torn final frame", blocks: 6,
+			damage: func(t *testing.T, fs FS, _ []*ledger.Block) {
+				raw := walBytes(t, fs, "n0")
+				truncateWAL(t, fs, "n0", int64(len(raw)-3))
+			},
+			check: func(t *testing.T, rec *Recovered, blocks []*ledger.Block) {
+				if rec.Height != 5 {
+					t.Fatalf("torn tail: height %d, want 5", rec.Height)
+				}
+				if rec.TruncatedBytes == 0 {
+					t.Fatal("torn tail not reported")
+				}
+				if rec.State.Root() != blocks[4].Header.StateRoot {
+					t.Fatal("torn-tail replay root mismatch")
+				}
+			},
+		},
+		{
+			name: "corrupt crc mid-wal", blocks: 6,
+			damage: func(t *testing.T, fs FS, blocks []*ledger.Block) {
+				// Flip a payload byte inside frame 1 (offset 8 is its
+				// first payload byte); frames 2..6 stay intact, so this
+				// is in-place damage, not a torn tail.
+				raw := walBytes(t, fs, "n0")
+				corruptWAL(t, fs, "n0", frameHeaderSize+4, raw[frameHeaderSize+4]^0xff)
+			},
+			wantErr: true,
+		},
+		{
+			name: "snapshot newer than wal", blocks: 6,
+			seed: Options{SnapshotEvery: 3},
+			damage: func(t *testing.T, fs FS, blocks []*ledger.Block) {
+				// Keep only the first 4 blocks' frames: the height-6
+				// snapshot now claims blocks the WAL does not hold.
+				var size int64
+				for _, blk := range blocks[:4] {
+					b, err := blk.Encode()
+					if err != nil {
+						t.Fatal(err)
+					}
+					size += frameHeaderSize + int64(len(b))
+				}
+				truncateWAL(t, fs, "n0", size)
+			},
+			check: func(t *testing.T, rec *Recovered, blocks []*ledger.Block) {
+				if !rec.SnapshotIgnored {
+					t.Fatal("snapshot beyond the wal was trusted")
+				}
+				// Height-3 snapshot was pruned (keep=2 kept 3 and 6), so
+				// this is a full replay of the 4 surviving blocks.
+				if rec.Height != 4 || rec.SnapshotHeight != 0 {
+					t.Fatalf("height %d snap %d, want 4/0", rec.Height, rec.SnapshotHeight)
+				}
+				if rec.State.Root() != blocks[3].Header.StateRoot {
+					t.Fatal("replay root mismatch")
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			blocks, _ := buildBlocks(t, testChainID, tc.blocks)
+			fs := NewMemFS()
+			if tc.blocks > 0 {
+				seedStore(t, fs, "n0", blocks, tc.seed)
+			}
+			if tc.damage != nil {
+				tc.damage(t, fs, blocks)
+			}
+			st, rec, err := Open(Options{FS: fs, Dir: "n0", ChainID: testChainID})
+			if tc.wantErr {
+				if err == nil {
+					st.Close()
+					t.Fatal("recovery succeeded on unrecoverable corruption")
+				}
+				var ce *CorruptError
+				if !errors.As(err, &ce) {
+					t.Fatalf("error %v is not a *CorruptError", err)
+				}
+				if ce.Height == 0 {
+					t.Fatalf("corrupt error carries no height: %v", err)
+				}
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("error %v does not match ErrCorrupt", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			defer st.Close()
+			if tc.check != nil {
+				tc.check(t, rec, blocks)
+			}
+			if err := rec.Chain.VerifyIntegrity(); err != nil {
+				t.Fatalf("recovered chain integrity: %v", err)
+			}
+		})
+	}
+}
+
+// Recovery from a torn tail must PHYSICALLY truncate the file: if the
+// garbage stays on disk, the next appended frame lands inside it and a
+// later recovery reads a chimera. This is the test that catches a
+// mutant dropping the truncate call.
+func TestTornTailTruncatedThenAppendable(t *testing.T) {
+	blocks, _ := buildBlocks(t, testChainID, 6)
+	fs := NewMemFS()
+	seedStore(t, fs, "n0", blocks[:5], Options{})
+
+	// Tear the tail the way a crash mid-write does: the real frame for
+	// block 6, cut off halfway through its payload. The header's length
+	// field points past EOF, which is exactly what scan must classify
+	// as tail damage.
+	full, err := blocks[5].Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := walBytes(t, fs, "n0")
+	validSize := int64(len(raw))
+	whole := make([]byte, frameHeaderSize+len(full))
+	writeFrameHeader(whole, full)
+	copy(whole[frameHeaderSize:], full)
+	frame := whole[:frameHeaderSize+len(full)/2]
+	f, err := fs.OpenFile(Join("n0", WALName), os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(frame, validSize); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st, rec, err := Open(Options{FS: fs, Dir: "n0", ChainID: testChainID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Height != 5 || rec.TruncatedBytes != int64(len(frame)) {
+		t.Fatalf("recovered height %d torn %d, want 5/%d", rec.Height, rec.TruncatedBytes, len(frame))
+	}
+	// The torn bytes must be gone from disk, not merely skipped.
+	if got := int64(len(walBytes(t, fs, "n0"))); got != validSize {
+		t.Fatalf("wal still %d bytes after recovery, want %d (torn tail not truncated)", got, validSize)
+	}
+	// Appending the real block 6 and re-recovering must yield all 6.
+	if err := st.AppendBlock(blocks[5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st2, rec2, err := Open(Options{FS: fs, Dir: "n0", ChainID: testChainID})
+	if err != nil {
+		t.Fatalf("re-recover after append: %v", err)
+	}
+	defer st2.Close()
+	if rec2.Height != 6 || rec2.TruncatedBytes != 0 {
+		t.Fatalf("re-recovery height %d torn %d, want 6/0", rec2.Height, rec2.TruncatedBytes)
+	}
+	if rec2.State.Root() != blocks[5].Header.StateRoot {
+		t.Fatal("root mismatch after append-past-torn-tail")
+	}
+}
+
+// Recovering twice in a row must be byte-for-byte idempotent: the
+// first recovery repairs, the second finds nothing left to repair.
+func TestDoubleRecoveryIdempotent(t *testing.T) {
+	blocks, _ := buildBlocks(t, testChainID, 7)
+	fs := NewMemFS()
+	seedStore(t, fs, "n0", blocks, Options{SnapshotEvery: 3})
+	raw := walBytes(t, fs, "n0")
+	truncateWAL(t, fs, "n0", int64(len(raw)-2))
+
+	st1, rec1, err := Open(Options{FS: fs, Dir: "n0", ChainID: testChainID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1.Close()
+	if rec1.TruncatedBytes == 0 {
+		t.Fatal("first recovery saw no torn tail")
+	}
+	wal1 := walBytes(t, fs, "n0")
+
+	st2, rec2, err := Open(Options{FS: fs, Dir: "n0", ChainID: testChainID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	if rec2.TruncatedBytes != 0 {
+		t.Fatalf("second recovery truncated %d more bytes", rec2.TruncatedBytes)
+	}
+	if rec1.Height != rec2.Height || rec1.State.Root() != rec2.State.Root() {
+		t.Fatalf("double recovery diverged: %d/%s vs %d/%s",
+			rec1.Height, rec1.State.Root(), rec2.Height, rec2.State.Root())
+	}
+	if wal2 := walBytes(t, fs, "n0"); string(wal1) != string(wal2) {
+		t.Fatal("second recovery rewrote the wal")
+	}
+	if len(rec1.Receipts) != len(rec2.Receipts) {
+		t.Fatalf("receipt counts differ: %d vs %d", len(rec1.Receipts), len(rec2.Receipts))
+	}
+}

@@ -222,6 +222,25 @@ func BenchmarkE12Durability(b *testing.B) {
 	b.Log("\n" + experiments.TableE12Sync(sync))
 }
 
+func BenchmarkE13Byzantine(b *testing.B) {
+	var rows []experiments.E13Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E13Resilience(experiments.E13Config{
+			Rounds: 60,
+			Seed:   int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.E13Verify(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE13(rows))
+}
+
 func BenchmarkA1Consensus(b *testing.B) {
 	var rows []experiments.A1Row
 	for i := 0; i < b.N; i++ {

@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (e1..e10,e12,a1..a4), 'all', or 'sim'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1..e10,e12,e13,a1..a4), 'all', or 'sim'")
 	quick := flag.Bool("quick", false, "reduced sweep sizes for a fast pass")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	simRounds := flag.Int("sim.rounds", 2000, "fuzz/commit rounds for -run sim")
@@ -201,6 +201,20 @@ func main() {
 		fmt.Println(experiments.TableE12Sync(syncRows))
 		if err := experiments.E12Verify(recovery); err != nil {
 			fail("e12", err)
+		}
+	}
+	if want("e13") {
+		cfg := experiments.E13Config{Seed: *seed}
+		if *quick {
+			cfg.Rounds = 60
+		}
+		rows, err := experiments.E13Resilience(cfg)
+		if err != nil {
+			fail("e13", err)
+		}
+		fmt.Println(experiments.TableE13(rows))
+		if err := experiments.E13Verify(rows); err != nil {
+			fail("e13", err)
 		}
 	}
 	if want("a1") {

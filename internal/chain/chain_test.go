@@ -623,10 +623,14 @@ func TestByzantineProposerForgedStateRootRejected(t *testing.T) {
 		Txs: []*ledger.Transaction{tx},
 	}
 
-	// Gather real votes: honest nodes vote because the block is
-	// structurally valid (they cannot know the root is wrong without
-	// executing).
-	body, err := forged.Encode()
+	// Gather real votes: honest nodes vote because the proposal is
+	// authentically signed by a validator and the block is structurally
+	// valid (they cannot know the root is wrong without executing).
+	sp, err := consensus.SignProposal(forged, insiderKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := sp.Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -634,7 +638,7 @@ func TestByzantineProposerForgedStateRootRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	votes := []consensus.Vote{}
-	own, err := consensus.SignVote(forged.Hash(), insiderKey)
+	own, err := consensus.SignVote(forged.Header.Height, forged.Hash(), insiderKey)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -660,6 +664,33 @@ func TestByzantineProposerForgedStateRootRejected(t *testing.T) {
 			t.Fatalf("collected only %d votes", len(votes))
 		}
 	}
+	// Equivocate: sign and broadcast a second, conflicting proposal at
+	// the same height with the stolen key. Honest nodes must detect the
+	// double-proposal, refuse to vote for it, and report on-chain
+	// evidence against the compromised validator.
+	second := &ledger.Block{
+		Header: ledger.Header{
+			Height:    forged.Header.Height,
+			Parent:    forged.Header.Parent,
+			TxRoot:    forged.Header.TxRoot,
+			StateRoot: cryptoutil.Sum([]byte("a different lie")),
+			Timestamp: forged.Header.Timestamp,
+			Proposer:  insiderKey.Address(),
+		},
+		Txs: []*ledger.Transaction{tx},
+	}
+	sp2, err := consensus.SignProposal(second, insiderKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, err := sp2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.BroadcastMsg("chain/proposal", body2); err != nil {
+		t.Fatal(err)
+	}
+
 	qc := &consensus.QuorumCert{Block: forged.Hash(), Votes: votes}
 	seal, err := qc.Encode()
 	if err != nil {
@@ -685,15 +716,41 @@ func TestByzantineProposerForgedStateRootRejected(t *testing.T) {
 	}
 
 	// The cluster still works: an honest commit of the same tx lands.
+	// The first pass may fail if the schedule lands on the compromised
+	// validator — honest nodes are locked to the forged proposal under
+	// that proposer's key and will not vote its legitimate block — so
+	// allow one retry for failover to route around it.
 	if err := c.Submit(tx); err != nil {
 		t.Fatal(err)
 	}
 	waitMempools(t, c, 1)
 	if _, err := c.Commit(); err != nil {
-		t.Fatal(err)
+		if _, err := c.Commit(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if err := c.VerifyConsistency(); err != nil {
 		t.Fatal(err)
+	}
+
+	// The stolen key's double-proposal was detected, scored against the
+	// byzantine peer, and reported on chain, where every replica's
+	// audit contract now holds the self-verifying evidence record.
+	evidenced := false
+	for _, n := range c.Nodes() {
+		for _, p := range n.GuardStats().Peers {
+			if p.Peer == "byzantine" && p.Offenses["equivocation"] > 0 {
+				evidenced = true
+			}
+		}
+	}
+	if !evidenced {
+		t.Fatal("no honest node scored the double-proposal equivocation")
+	}
+	for i, n := range c.Nodes() {
+		if !n.State().HasEvidence("double-proposal", 1, insiderKey.Address()) {
+			t.Fatalf("node %d: double-proposal evidence not recorded on chain", i)
+		}
 	}
 }
 

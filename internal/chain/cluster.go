@@ -7,6 +7,7 @@ import (
 
 	"medchain/internal/consensus"
 	"medchain/internal/cryptoutil"
+	"medchain/internal/guard"
 	"medchain/internal/ledger"
 	"medchain/internal/p2p"
 	"medchain/internal/resilience"
@@ -52,6 +53,17 @@ type ClusterConfig struct {
 	ParallelWorkers int
 	// Persist makes every node disk-backed (nil = memory-only).
 	Persist *PersistConfig
+	// StrictSchedule makes every node reject proposals whose sealer is
+	// not the engine's scheduled proposer for that height (scored as
+	// bad-proposal offenses). The trade-off is liveness: with the
+	// schedule pinned there is no out-of-schedule proposer failover, so
+	// a crashed or quarantined scheduled proposer stalls its heights
+	// until it returns. Default off: any validator's authentic proposal
+	// is votable and rotation failover routes around faulty proposers.
+	StrictSchedule bool
+	// Guard, when set, retunes every node's peer-misbehavior guard
+	// (weights, quarantine threshold, sync rate limit, clock).
+	Guard *guard.Config
 }
 
 // PersistConfig gives every cluster node a durable storage engine.
@@ -173,6 +185,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		if cfg.ParallelWorkers != 0 {
 			n.UseParallelExec(cfg.ParallelWorkers)
+		}
+		if cfg.StrictSchedule {
+			n.SetStrictSchedule(true)
+		}
+		if cfg.Guard != nil {
+			n.SetGuardConfig(*cfg.Guard)
 		}
 		c.nodes = append(c.nodes, n)
 	}
@@ -300,7 +318,7 @@ func (c *Cluster) proposerIndex() int {
 // is their only candidate.
 func (c *Cluster) proposerCandidates() []int {
 	sched := c.proposerIndex()
-	if c.cfg.Engine == EnginePoA || c.cfg.Engine == EnginePoS {
+	if c.cfg.Engine == EnginePoA || c.cfg.Engine == EnginePoS || c.cfg.StrictSchedule {
 		return []int{sched}
 	}
 	cands := make([]int, 0, len(c.nodes))

@@ -1,0 +1,300 @@
+package chain
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"medchain/internal/consensus"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/guard"
+	"medchain/internal/ledger"
+	"medchain/internal/p2p"
+)
+
+// joinEvil attaches a raw endpoint (no node behind it) to the
+// cluster's network — the vantage point of an external attacker or a
+// compromised process speaking the wire protocol directly.
+func joinEvil(t *testing.T, c *Cluster, id string) p2p.Endpoint {
+	t.Helper()
+	ep, err := c.Network().Join(p2p.NodeID(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ep.Close() })
+	return ep
+}
+
+// waitGuard polls node n's guard until cond is satisfied.
+func waitGuard(t *testing.T, n *Node, what string, cond func(guard.Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if cond(n.GuardStats()) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("guard condition %q not reached; stats: %+v", what, n.GuardStats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func offensesOf(s guard.Stats, peer string) map[guard.Offense]int {
+	for _, p := range s.Peers {
+		if p.Peer == peer {
+			return p.Offenses
+		}
+	}
+	return nil
+}
+
+func quarantinedIn(s guard.Stats, peer string) bool {
+	for _, p := range s.Peers {
+		if p.Peer == peer {
+			return p.Quarantined
+		}
+	}
+	return false
+}
+
+// TestMalformedPayloadsScoredPerTopic drives garbage through every
+// wire topic and asserts the table-driven contract of ingress
+// validation: no panic, no chain or mempool state change, and one
+// malformed-offense score increment per message — followed by
+// quarantine once the score crosses the threshold.
+func TestMalformedPayloadsScoredPerTopic(t *testing.T) {
+	c := newCluster(t, 4, EngineQuorum)
+	evil := joinEvil(t, c, "evil")
+
+	topics := []struct {
+		topic   string
+		payload []byte
+	}{
+		{topicTx, []byte("{not json")},
+		{topicTx, []byte(`{"type":"data","sig":"AAAA"}`)}, // decodes, fails Verify
+		{topicProposal, []byte("\x00\x01garbage")},
+		{topicVote, []byte("[]")},
+		{topicBlock, []byte("}{")},
+		{topicSyncReq, []byte(`"not-a-height"`)},
+		{topicSyncCont, []byte("nope")},
+	}
+	for _, tc := range topics {
+		if err := evil.BroadcastMsg(tc.topic, tc.payload); err != nil {
+			t.Fatalf("broadcast %s: %v", tc.topic, err)
+		}
+	}
+
+	// Every node scored every malformed message against the sender and
+	// nothing else changed.
+	for i, n := range c.Nodes() {
+		n := n
+		waitGuard(t, n, "malformed offenses", func(s guard.Stats) bool {
+			return offensesOf(s, "evil")[guard.OffenseMalformed] >= len(topics)
+		})
+		if h := n.Height(); h != 0 {
+			t.Fatalf("node %d: height %d after garbage, want 0", i, h)
+		}
+		if m := n.MempoolSize(); m != 0 {
+			t.Fatalf("node %d: mempool %d after garbage, want 0", i, m)
+		}
+		if v := n.VoteBufferSize(); v != 0 {
+			t.Fatalf("node %d: vote buffer %d after garbage, want 0", i, v)
+		}
+	}
+
+	// Push the score over the quarantine threshold; subsequent gossip
+	// from the peer is dropped at ingress and counted by the network.
+	for i := 0; i < 5; i++ {
+		if err := evil.BroadcastMsg(topicTx, []byte("junk")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitGuard(t, c.Node(0), "quarantine", func(s guard.Stats) bool {
+		return quarantinedIn(s, "evil")
+	})
+	before := offensesOf(c.Node(0).GuardStats(), "evil")[guard.OffenseMalformed]
+	if err := evil.BroadcastMsg(topicTx, []byte("junk-post-quarantine")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Network().Stats().MessagesQuarantined == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no quarantined-drop recorded in network stats")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if after := offensesOf(c.Node(0).GuardStats(), "evil")[guard.OffenseMalformed]; after != before {
+		t.Fatalf("quarantined peer still being scored: %d -> %d", before, after)
+	}
+}
+
+// TestVoteBufferBoundedUnderSpam floods a node with authentically
+// signed votes across many heights and asserts the ingress window plus
+// per-voter dedupe keep the buffered artifacts bounded — the
+// regression test for the formerly unbounded votes map.
+func TestVoteBufferBoundedUnderSpam(t *testing.T) {
+	c := newCluster(t, 4, EngineQuorum)
+	evil := joinEvil(t, c, "evil")
+
+	keys := make([]*cryptoutil.KeyPair, 4)
+	for i := range keys {
+		kp, err := cryptoutil.DeriveKeyPair(fmt.Sprintf("test-quorum-4/node-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = kp
+	}
+
+	// 2 passes x 12 heights x 4 voters = 96 spam votes, all with valid
+	// signatures. Only heights 1..voteWindow are buffered, one vote per
+	// voter per height; the duplicate pass must be free.
+	for pass := 0; pass < 2; pass++ {
+		for h := uint64(1); h <= 12; h++ {
+			for _, kp := range keys {
+				hash := cryptoutil.Sum([]byte(fmt.Sprintf("spam-%d", h)))
+				v, err := consensus.SignVote(h, hash, kp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				body, err := json.Marshal(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := evil.Send(c.Node(0).ID(), topicVote, body); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	bound := voteWindow * len(keys) * 2 // votes + first-vote records
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Node(0).VoteBufferSize() < voteWindow*len(keys) {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := c.Node(0).VoteBufferSize(); got == 0 || got > bound {
+		t.Fatalf("vote buffer %d after spam, want in (0, %d]", got, bound)
+	}
+
+	// Unsigned / forged votes are never buffered and are scored.
+	forged := consensus.Vote{Height: 2, Block: cryptoutil.Sum([]byte("x")), Voter: keys[1].Address()}
+	body, err := json.Marshal(forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := evil.Send(c.Node(0).ID(), topicVote, body); err != nil {
+		t.Fatal(err)
+	}
+	waitGuard(t, c.Node(0), "invalid-vote offense", func(s guard.Stats) bool {
+		return offensesOf(s, "evil")[guard.OffenseInvalidVote] >= 1
+	})
+	if got := c.Node(0).VoteBufferSize(); got > bound {
+		t.Fatalf("forged votes grew the buffer to %d (bound %d)", got, bound)
+	}
+}
+
+// TestSyncFloodRateLimited floods sync requests and asserts the token
+// bucket cuts the flooder off, scores it, and quarantines it.
+func TestSyncFloodRateLimited(t *testing.T) {
+	c := newCluster(t, 4, EngineQuorum)
+	evil := joinEvil(t, c, "evil")
+
+	for i := 0; i < 40; i++ {
+		if err := evil.Send(c.Node(0).ID(), topicSyncReq, []byte("0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitGuard(t, c.Node(0), "sync-flood quarantine", func(s guard.Stats) bool {
+		return offensesOf(s, "evil")[guard.OffenseSyncFlood] > 0 && quarantinedIn(s, "evil")
+	})
+	// Honest peers are untouched.
+	for _, p := range c.Node(0).GuardStats().Peers {
+		if p.Peer != "evil" && p.Quarantined {
+			t.Fatalf("honest peer %s quarantined", p.Peer)
+		}
+	}
+}
+
+// TestStrictScheduleRejectsOutOfTurnProposal verifies the strict
+// ingress mode: an authentic proposal from a validator that is not the
+// scheduled proposer for the height gets no votes and is scored, while
+// the scheduled proposer commits normally.
+func TestStrictScheduleRejectsOutOfTurnProposal(t *testing.T) {
+	cfg := ClusterConfig{Nodes: 4, Engine: EngineQuorum, KeySeed: "strict-4", StrictSchedule: true}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	evil := joinEvil(t, c, "evil")
+
+	sched, ok := c.Node(0).engine.ProposerAt(1)
+	if !ok {
+		t.Fatal("quorum engine must restrict the proposer schedule")
+	}
+	offTurn := -1
+	for i := 0; i < c.Size(); i++ {
+		if c.Node(i).Address() != sched {
+			offTurn = i
+			break
+		}
+	}
+	kp, err := cryptoutil.DeriveKeyPair(fmt.Sprintf("strict-4/node-%d", offTurn))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	head := c.Node(0).Chain().Head()
+	txRoot, err := ledger.ComputeTxRoot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := &ledger.Block{Header: ledger.Header{
+		Height: 1, Parent: head.Hash(), TxRoot: txRoot,
+		StateRoot: c.Node(0).State().Root(),
+		Timestamp: head.Header.Timestamp + 1,
+		Proposer:  kp.Address(),
+	}}
+	sp, err := consensus.SignProposal(blk, kp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := sp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := evil.BroadcastMsg(topicProposal, body); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every node scores the out-of-schedule proposal; none vote.
+	for i, n := range c.Nodes() {
+		n := n
+		waitGuard(t, n, "bad-proposal offense", func(s guard.Stats) bool {
+			return offensesOf(s, "evil")[guard.OffenseBadProposal] >= 1
+		})
+		if v := n.VoteBufferSize(); v != 0 {
+			t.Fatalf("node %d buffered consensus artifacts for a rejected proposal: %d", i, v)
+		}
+	}
+	select {
+	case msg := <-evil.Inbox():
+		if msg.Topic == topicVote {
+			t.Fatalf("received a vote for an out-of-schedule proposal from %s", msg.From)
+		}
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// The scheduled proposer still commits.
+	if _, err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"medchain/internal/consensus"
 	"medchain/internal/contract"
 	"medchain/internal/cryptoutil"
+	"medchain/internal/guard"
 	"medchain/internal/ledger"
 	"medchain/internal/p2p"
 	"medchain/internal/parexec"
@@ -39,7 +40,18 @@ const (
 	topicVote     = "chain/vote"
 	topicBlock    = "chain/block"
 	topicSyncReq  = "chain/sync_req"
+	topicSyncCont = "chain/sync_cont"
 )
+
+// voteWindow bounds how far past the committed height a node buffers
+// proposals and votes. Anything outside (committed, committed+window]
+// is dropped at ingest, which keeps the consensus buffers O(window ×
+// validators) no matter how hard a peer spams.
+const voteWindow = 4
+
+// syncChunk caps the blocks served per sync request; a lagging peer
+// paginates by re-requesting after each chunk (see handleSyncCont).
+const syncChunk = 64
 
 // Errors.
 var (
@@ -105,8 +117,49 @@ type Node struct {
 	subsMu sync.Mutex
 	subs   []chan EventRecord
 
-	votesMu sync.Mutex
-	votes   map[cryptoutil.Digest][]consensus.Vote
+	// votesMu guards the consensus ingress buffers: verified votes per
+	// proposed block, the node's own one-vote-per-height lock, the
+	// first proposal/vote seen per validator per height (equivocation
+	// detection), locally reported evidence, the cached signed proposal
+	// (an honest proposer must never sign two blocks at one height),
+	// and the ingress policy flags.
+	votesMu        sync.Mutex
+	votes          map[cryptoutil.Digest]*voteSet
+	votedAt        map[uint64]map[cryptoutil.Address]cryptoutil.Digest
+	proposalSeen   map[uint64]map[cryptoutil.Address]consensus.SignedHeader
+	voteSeen       map[uint64]map[cryptoutil.Address]consensus.Vote
+	evidenceSeen   map[string]bool
+	lastProposal   *consensus.SignedProposal
+	strictSchedule bool
+	skipVoteVerify bool // mutation hook for the sim self-test; never set otherwise
+
+	// guard scores peer misbehavior and quarantines repeat offenders.
+	// The pointer is fixed for the node's lifetime (retune via
+	// SetGuardConfig).
+	guard *guard.Guard
+
+	// auditMu guards the nonce sequence for self-submitted audit
+	// transactions (evidence reports).
+	auditMu        sync.Mutex
+	auditNonceNext uint64
+
+	// syncMu guards the sync server/client bookkeeping: one in-flight
+	// response stream per peer, the height we had at each peer's last
+	// sync continuation (re-request only on progress, which bounds
+	// amplification), and the client-side request pacing (so a lagging
+	// honest node does not look like a sync-flooder to its peers).
+	syncMu         sync.Mutex
+	syncInflight   map[p2p.NodeID]bool
+	syncProg       map[p2p.NodeID]uint64
+	lastSyncHeight uint64
+	lastSyncTime   time.Time
+}
+
+// voteSet accumulates verified votes for one proposed block.
+type voteSet struct {
+	height  uint64
+	votes   []consensus.Vote
+	byVoter map[cryptoutil.Address]bool
 }
 
 // NewNode creates a node attached to a simulated network. chainID must
@@ -134,15 +187,22 @@ func NewNodeWithEndpoint(id p2p.NodeID, key *cryptoutil.KeyPair, chainID string,
 // constructor recover state from disk before any message can arrive.
 func newNode(id p2p.NodeID, key *cryptoutil.KeyPair, chainID string, engine consensus.Engine) *Node {
 	return &Node{
-		id:       id,
-		key:      key,
-		engine:   engine,
-		chainID:  chainID,
-		chain:    ledger.NewChain(chainID),
-		state:    contract.NewState(),
-		seen:     make(map[cryptoutil.Digest]bool),
-		receipts: make(map[cryptoutil.Digest]*contract.Receipt),
-		votes:    make(map[cryptoutil.Digest][]consensus.Vote),
+		id:           id,
+		key:          key,
+		engine:       engine,
+		chainID:      chainID,
+		chain:        ledger.NewChain(chainID),
+		state:        contract.NewState(),
+		seen:         make(map[cryptoutil.Digest]bool),
+		receipts:     make(map[cryptoutil.Digest]*contract.Receipt),
+		votes:        make(map[cryptoutil.Digest]*voteSet),
+		votedAt:      make(map[uint64]map[cryptoutil.Address]cryptoutil.Digest),
+		proposalSeen: make(map[uint64]map[cryptoutil.Address]consensus.SignedHeader),
+		voteSeen:     make(map[uint64]map[cryptoutil.Address]consensus.Vote),
+		evidenceSeen: make(map[string]bool),
+		guard:        guard.New(guard.Config{}),
+		syncInflight: make(map[p2p.NodeID]bool),
+		syncProg:     make(map[p2p.NodeID]uint64),
 	}
 }
 
@@ -430,79 +490,486 @@ func (n *Node) loop(ep p2p.Endpoint, stopped chan struct{}) {
 	}
 }
 
+// handle is the validated ingress pipeline: every message is checked
+// at the protocol boundary — signatures, membership, schedule, height
+// windows — before it can touch consensus or state, and each rejection
+// is scored against the sending peer. A peer whose score crosses the
+// quarantine threshold is silenced entirely for gossip; only committed
+// blocks are still accepted from it, because a block carries its own
+// quorum certificate and so does not borrow authority from the relay
+// (and a misclassified honest peer must still be able to feed us the
+// chain).
 func (n *Node) handle(ep p2p.Endpoint, msg p2p.Message) {
+	from := string(msg.From)
+	if msg.Topic != topicBlock && n.guard.Quarantined(from) {
+		n.noteQuarantinedDrop()
+		return
+	}
 	switch msg.Topic {
 	case topicTx:
 		tx, err := ledger.DecodeTransaction(msg.Payload)
-		if err != nil {
+		if err != nil || tx.Verify() != nil {
+			n.guard.Record(from, guard.OffenseMalformed)
 			return
 		}
 		_ = n.SubmitLocal(tx)
 
 	case topicProposal:
-		blk, err := ledger.DecodeBlock(msg.Payload)
-		if err != nil {
-			return
-		}
-		// Vote only for structurally valid blocks extending our head.
-		if err := n.chain.Validate(blk); err != nil {
-			return
-		}
-		vote, err := consensus.SignVote(blk.Hash(), n.key)
-		if err != nil {
-			return
-		}
-		body, err := json.Marshal(vote)
-		if err != nil {
-			return
-		}
-		_ = ep.Send(msg.From, topicVote, body)
+		n.handleProposal(ep, msg)
 
 	case topicVote:
-		var v consensus.Vote
-		if err := json.Unmarshal(msg.Payload, &v); err != nil {
-			return
-		}
-		n.votesMu.Lock()
-		n.votes[v.Block] = append(n.votes[v.Block], v)
-		n.votesMu.Unlock()
+		n.handleVote(msg)
 
 	case topicBlock:
 		blk, err := ledger.DecodeBlock(msg.Payload)
 		if err != nil {
+			n.guard.Record(from, guard.OffenseMalformed)
 			return
 		}
 		if blk.Header.Height > n.chain.Height()+1 {
 			// We fell behind (partition, restart): ask the sender for
 			// the gap. The fresh block will be re-delivered by the
 			// sync response.
-			n.requestSync(msg.From)
+			n.requestSyncPaced(msg.From)
 			return
 		}
-		_ = n.acceptBlock(blk)
+		if err := n.acceptBlock(blk); err != nil && isSealError(err) {
+			// Ledger validation failures (wrong parent, stale height)
+			// can be honest divergence during catch-up and are not
+			// scored; a bad seal or forged certificate cannot be.
+			n.guard.Record(from, guard.OffenseInvalidSeal)
+		}
 
 	case topicSyncReq:
-		// Peer tells us its head height; send every block after it, in
-		// order, directly back.
-		var from uint64
-		if err := json.Unmarshal(msg.Payload, &from); err != nil {
+		n.handleSyncReq(ep, msg)
+
+	case topicSyncCont:
+		n.handleSyncCont(msg)
+	}
+}
+
+// isSealError reports whether a block rejection is a consensus-seal
+// failure (attributable misbehavior) rather than a chain-state
+// mismatch.
+func isSealError(err error) bool {
+	return errors.Is(err, consensus.ErrBadSeal) ||
+		errors.Is(err, consensus.ErrWrongProposer) ||
+		errors.Is(err, consensus.ErrNotValidator)
+}
+
+// handleProposal ingests a signed block proposal: the proposer must be
+// a current validator and the proposal signature must verify before
+// the block body is even validated. Conflicting proposals at one
+// height are packaged as on-chain equivocation evidence instead of a
+// vote; valid proposals are answered with a height-locked vote.
+func (n *Node) handleProposal(ep p2p.Endpoint, msg p2p.Message) {
+	eng, ok := n.engine.(*consensus.Quorum)
+	if !ok {
+		return // proposals only exist under vote-certificate consensus
+	}
+	vals := eng.Validators()
+	from := string(msg.From)
+	sp, err := consensus.DecodeSignedProposal(msg.Payload)
+	if err != nil {
+		n.guard.Record(from, guard.OffenseMalformed)
+		return
+	}
+	blk := sp.Block
+	height := blk.Header.Height
+	proposer := blk.Header.Proposer
+	if !vals.Contains(proposer) {
+		n.guard.Record(from, guard.OffenseBadProposal)
+		return
+	}
+	if err := sp.Verify(vals); err != nil {
+		n.guard.Record(from, guard.OffenseBadProposal)
+		return
+	}
+	// From here the proposal is authentic: it is signed by the
+	// validator it names, so misbehavior recorded below is the
+	// proposer's own, not a relay artifact.
+	committed := n.chain.Height()
+	if height <= committed || height > committed+voteWindow {
+		return // outside the live window: not votable, not an offense
+	}
+	if n.strictScheduleOn() {
+		if want, scheduled := n.engine.ProposerAt(height); scheduled && want != proposer {
+			n.guard.Record(from, guard.OffenseBadProposal)
 			return
 		}
-		head := n.chain.Height()
-		for h := from + 1; h <= head; h++ {
-			blk, err := n.chain.BlockAt(h)
-			if err != nil {
-				return
-			}
-			body, err := blk.Encode()
-			if err != nil {
-				return
-			}
-			if err := ep.Send(msg.From, topicBlock, body); err != nil {
-				return
-			}
+	}
+	if ev := n.noteProposal(height, sp.Header()); ev != nil {
+		n.guard.Record(from, guard.OffenseEquivocation)
+		n.reportEvidence(eng, ev)
+		return // never vote for an equivocating proposer's block
+	}
+	if err := n.chain.Validate(blk); err != nil {
+		return // likely honest head divergence; the sync path reconciles
+	}
+	vote, ok := n.lockAndSignVote(height, blk.Hash(), proposer)
+	if !ok {
+		return
+	}
+	body, err := json.Marshal(vote)
+	if err != nil {
+		return
+	}
+	_ = ep.Send(msg.From, topicVote, body)
+}
+
+// handleVote ingests a vote: it must decode, verify against the
+// validator set (signature over the height-bound digest), and fall in
+// the live height window before it is buffered; per-voter dedupe and
+// double-vote evidence come from the first-vote record.
+func (n *Node) handleVote(msg p2p.Message) {
+	eng, ok := n.engine.(*consensus.Quorum)
+	if !ok {
+		return
+	}
+	from := string(msg.From)
+	var v consensus.Vote
+	if err := json.Unmarshal(msg.Payload, &v); err != nil {
+		n.guard.Record(from, guard.OffenseMalformed)
+		return
+	}
+	if !n.skipVoteVerifyOn() {
+		if err := consensus.VerifyVote(v, eng.Validators()); err != nil {
+			n.guard.Record(from, guard.OffenseInvalidVote)
+			return
 		}
 	}
+	committed := n.chain.Height()
+	if v.Height <= committed || v.Height > committed+voteWindow {
+		return // stale or far-future vote: bounded buffers over accuracy
+	}
+	ev, fresh := n.noteVote(v)
+	if ev != nil {
+		n.guard.Record(from, guard.OffenseEquivocation)
+		n.reportEvidence(eng, ev)
+		return
+	}
+	if !fresh {
+		return // duplicate from this voter at this height
+	}
+	n.addVote(v)
+}
+
+// noteProposal records the first signed header seen from each proposer
+// at each height and returns double-proposal evidence when a
+// conflicting second one arrives. Re-sends of the same block are
+// idempotent.
+func (n *Node) noteProposal(height uint64, sh consensus.SignedHeader) *consensus.Evidence {
+	n.votesMu.Lock()
+	defer n.votesMu.Unlock()
+	byProposer := n.proposalSeen[height]
+	if byProposer == nil {
+		byProposer = make(map[cryptoutil.Address]consensus.SignedHeader)
+		n.proposalSeen[height] = byProposer
+	}
+	first, ok := byProposer[sh.Header.Proposer]
+	if !ok {
+		byProposer[sh.Header.Proposer] = sh
+		return nil
+	}
+	if first.Header.Hash() == sh.Header.Hash() {
+		return nil
+	}
+	ev, err := consensus.NewDoubleProposalEvidence(first, sh)
+	if err != nil {
+		return nil
+	}
+	return ev
+}
+
+// noteVote records the first vote seen from each voter at each height.
+// It returns double-vote evidence on a conflicting second vote, and
+// fresh=false for exact duplicates.
+func (n *Node) noteVote(v consensus.Vote) (*consensus.Evidence, bool) {
+	n.votesMu.Lock()
+	defer n.votesMu.Unlock()
+	byVoter := n.voteSeen[v.Height]
+	if byVoter == nil {
+		byVoter = make(map[cryptoutil.Address]consensus.Vote)
+		n.voteSeen[v.Height] = byVoter
+	}
+	first, ok := byVoter[v.Voter]
+	if !ok {
+		byVoter[v.Voter] = v
+		return nil, true
+	}
+	if first.Block == v.Block {
+		return nil, false
+	}
+	ev, err := consensus.NewDoubleVoteEvidence(first, v)
+	if err != nil {
+		return nil, false
+	}
+	return ev, false
+}
+
+// addVote buffers a verified, windowed, first-per-voter vote.
+func (n *Node) addVote(v consensus.Vote) {
+	n.votesMu.Lock()
+	defer n.votesMu.Unlock()
+	vs := n.votes[v.Block]
+	if vs == nil {
+		vs = &voteSet{height: v.Height, byVoter: make(map[cryptoutil.Address]bool)}
+		n.votes[v.Block] = vs
+	}
+	if vs.byVoter[v.Voter] {
+		return
+	}
+	vs.byVoter[v.Voter] = true
+	vs.votes = append(vs.votes, v)
+}
+
+// lockAndSignVote enforces one vote per (height, proposer): the first
+// vote for a proposer's block at a height locks this node to that
+// hash; re-voting the same block is idempotent (proposal retries
+// depend on it) while a conflicting second block from the same
+// proposer gets no vote. A single equivocating proposer therefore
+// cannot harvest conflicting honest votes and fork the chain, yet
+// proposer failover — a different validator re-proposing the height —
+// stays live. (Locking across proposers would need a full view-change
+// protocol to stay live under faults; see DESIGN.md.)
+func (n *Node) lockAndSignVote(height uint64, hash cryptoutil.Digest, proposer cryptoutil.Address) (consensus.Vote, bool) {
+	n.votesMu.Lock()
+	byProposer := n.votedAt[height]
+	if byProposer == nil {
+		byProposer = make(map[cryptoutil.Address]cryptoutil.Digest)
+		n.votedAt[height] = byProposer
+	}
+	if prev, ok := byProposer[proposer]; ok && prev != hash {
+		n.votesMu.Unlock()
+		return consensus.Vote{}, false
+	}
+	byProposer[proposer] = hash
+	n.votesMu.Unlock()
+	vote, err := consensus.SignVote(height, hash, n.key)
+	if err != nil {
+		return consensus.Vote{}, false
+	}
+	return vote, true
+}
+
+func evidenceRef(kind consensus.EvidenceKind, height uint64, offender cryptoutil.Address) string {
+	return fmt.Sprintf("%s/%d/%s", kind, height, offender)
+}
+
+// reportEvidence submits verified equivocation evidence as an on-chain
+// audit transaction and gossips it to the cluster, deduping locally so
+// each offense is reported once per detecting node (the audit contract
+// dedupes across reporters). The transaction is signed with the node's
+// validator key; its timestamp derives from the offense height so
+// replicas that detect the same equivocation produce byte-identical
+// reports.
+func (n *Node) reportEvidence(eng *consensus.Quorum, ev *consensus.Evidence) {
+	if err := ev.Verify(eng.Validators()); err != nil {
+		return // never forward evidence we cannot verify ourselves
+	}
+	ref := evidenceRef(ev.Kind, ev.Height, ev.Offender)
+	n.votesMu.Lock()
+	if n.evidenceSeen[ref] {
+		n.votesMu.Unlock()
+		return
+	}
+	n.evidenceSeen[ref] = true
+	n.votesMu.Unlock()
+	raw, err := ev.Encode()
+	if err != nil {
+		return
+	}
+	args, err := json.Marshal(contract.ReportEvidenceArgs{
+		Kind: string(ev.Kind), Height: ev.Height, Offender: ev.Offender, Evidence: raw,
+	})
+	if err != nil {
+		return
+	}
+	tx := &ledger.Transaction{
+		Type:      ledger.TxAudit,
+		Contract:  contract.AuditContractAddr,
+		Method:    "report_evidence",
+		Args:      args,
+		Nonce:     n.nextAuditNonce(),
+		Timestamp: int64(ev.Height),
+	}
+	if err := tx.Sign(n.key); err != nil {
+		return
+	}
+	_ = n.Gossip(tx)
+}
+
+// nextAuditNonce returns the next nonce for a self-submitted audit
+// transaction. The validator key only ever signs audit transactions,
+// so the sequence is the max of the chain's committed expectation and
+// what this node already has in flight.
+func (n *Node) nextAuditNonce() uint64 {
+	n.auditMu.Lock()
+	defer n.auditMu.Unlock()
+	next := n.chain.NextNonce(n.key.Address())
+	if n.auditNonceNext > next {
+		next = n.auditNonceNext
+	}
+	n.auditNonceNext = next + 1
+	return next
+}
+
+// handleSyncReq rate-limits and dispatches a peer's catch-up request.
+// Responses are served off the message loop (one stream per peer at a
+// time) so a deep catch-up — or a sync flood — cannot stall ingress.
+func (n *Node) handleSyncReq(ep p2p.Endpoint, msg p2p.Message) {
+	from := string(msg.From)
+	var have uint64
+	if err := json.Unmarshal(msg.Payload, &have); err != nil {
+		n.guard.Record(from, guard.OffenseMalformed)
+		return
+	}
+	if !n.guard.AllowSync(from) {
+		n.guard.Record(from, guard.OffenseSyncFlood)
+		return
+	}
+	n.syncMu.Lock()
+	if n.syncInflight[msg.From] {
+		n.syncMu.Unlock()
+		return
+	}
+	n.syncInflight[msg.From] = true
+	n.syncMu.Unlock()
+	n.wg.Add(1)
+	go n.serveSync(ep, msg.From, have)
+}
+
+// serveSync streams at most syncChunk blocks to a lagging peer. If the
+// peer is still behind afterwards it learns our head via sync_cont and
+// re-requests — pagination bounds the bytes any single request can
+// pull out of us.
+func (n *Node) serveSync(ep p2p.Endpoint, peer p2p.NodeID, have uint64) {
+	defer n.wg.Done()
+	defer func() {
+		n.syncMu.Lock()
+		delete(n.syncInflight, peer)
+		n.syncMu.Unlock()
+	}()
+	head := n.chain.Height()
+	end := have + syncChunk
+	if end > head {
+		end = head
+	}
+	for h := have + 1; h <= end; h++ {
+		blk, err := n.chain.BlockAt(h)
+		if err != nil {
+			return
+		}
+		body, err := blk.Encode()
+		if err != nil {
+			return
+		}
+		if err := ep.Send(peer, topicBlock, body); err != nil {
+			return
+		}
+	}
+	if end < head {
+		if body, err := json.Marshal(head); err == nil {
+			_ = ep.Send(peer, topicSyncCont, body)
+		}
+	}
+}
+
+// handleSyncCont continues a paginated catch-up: re-request only if
+// the serving peer is still ahead AND we made progress since its last
+// continuation, so a malicious stream of continuations cannot make us
+// amplify sync traffic.
+func (n *Node) handleSyncCont(msg p2p.Message) {
+	var peerHead uint64
+	if err := json.Unmarshal(msg.Payload, &peerHead); err != nil {
+		n.guard.Record(string(msg.From), guard.OffenseMalformed)
+		return
+	}
+	height := n.chain.Height()
+	if peerHead <= height {
+		return
+	}
+	n.syncMu.Lock()
+	last, seen := n.syncProg[msg.From]
+	if seen && height <= last {
+		n.syncMu.Unlock()
+		return
+	}
+	n.syncProg[msg.From] = height
+	n.syncMu.Unlock()
+	n.requestSync(msg.From)
+}
+
+// noteQuarantinedDrop counts an ingress drop from a quarantined peer
+// in the network-level stats (simulated networks only).
+func (n *Node) noteQuarantinedDrop() {
+	if n.net != nil {
+		n.net.NoteQuarantined(n.id)
+	}
+}
+
+// strictScheduleOn reads the schedule-enforcement flag.
+func (n *Node) strictScheduleOn() bool {
+	n.votesMu.Lock()
+	defer n.votesMu.Unlock()
+	return n.strictSchedule
+}
+
+// SetStrictSchedule toggles proposer-schedule enforcement at ingress:
+// when on, a proposal whose sealer is not the engine's scheduled
+// proposer for that height is rejected and scored, which also disables
+// out-of-schedule proposer failover — see ClusterConfig.StrictSchedule
+// for the trade-off.
+func (n *Node) SetStrictSchedule(on bool) {
+	n.votesMu.Lock()
+	defer n.votesMu.Unlock()
+	n.strictSchedule = on
+}
+
+func (n *Node) skipVoteVerifyOn() bool {
+	n.votesMu.Lock()
+	defer n.votesMu.Unlock()
+	return n.skipVoteVerify
+}
+
+// SetUnsafeSkipVoteVerify disables vote verification at ingest. It
+// exists solely as a mutation hook: the adversarial simulator's
+// self-test enables it and must observe its oracle trip (forged votes
+// accepted, forger never quarantined). Never enable it otherwise.
+func (n *Node) SetUnsafeSkipVoteVerify(on bool) {
+	n.votesMu.Lock()
+	defer n.votesMu.Unlock()
+	n.skipVoteVerify = on
+}
+
+// SetGuardConfig retunes the node's peer guard (tests inject fake
+// clocks; the simulator tightens budgets).
+func (n *Node) SetGuardConfig(cfg guard.Config) { n.guard.SetConfig(cfg) }
+
+// Guard exposes the node's peer guard for stats and invariant checks.
+func (n *Node) Guard() *guard.Guard { return n.guard }
+
+// GuardStats returns the node's peer-scoring snapshot.
+func (n *Node) GuardStats() guard.Stats { return n.guard.Stats() }
+
+// VoteBufferSize returns the number of buffered consensus artifacts
+// (votes, first-vote records, proposal records). The height window
+// plus per-voter dedupe keeps it O(voteWindow × validators) — the
+// bound the vote-spam regression test asserts.
+func (n *Node) VoteBufferSize() int {
+	n.votesMu.Lock()
+	defer n.votesMu.Unlock()
+	total := 0
+	for _, vs := range n.votes {
+		total += len(vs.votes)
+	}
+	for _, m := range n.voteSeen {
+		total += len(m)
+	}
+	for _, m := range n.proposalSeen {
+		total += len(m)
+	}
+	return total
 }
 
 // requestSync asks a peer for all blocks after our head. A stopped
@@ -517,6 +984,24 @@ func (n *Node) requestSync(peer p2p.NodeID) {
 		return
 	}
 	_ = ep.Send(peer, topicSyncReq, body)
+}
+
+// requestSyncPaced is the gap-triggered variant used by block ingress:
+// while a catch-up is pending, every further broadcast block still
+// shows a height gap, and re-requesting for each would trip the
+// server's sync-rate limiter — so at most one request goes out per
+// head height per pacing interval. Deliberate recovery nudges
+// (cluster restart/heal paths) use requestSync directly.
+func (n *Node) requestSyncPaced(peer p2p.NodeID) {
+	height := n.chain.Height()
+	n.syncMu.Lock()
+	if height == n.lastSyncHeight && time.Since(n.lastSyncTime) < 500*time.Millisecond {
+		n.syncMu.Unlock()
+		return
+	}
+	n.lastSyncHeight, n.lastSyncTime = height, time.Now()
+	n.syncMu.Unlock()
+	n.requestSync(peer)
 }
 
 // acceptBlock verifies consensus + ledger rules, executes every
@@ -550,12 +1035,52 @@ func (n *Node) acceptBlock(blk *ledger.Block) error {
 		return err
 	}
 	n.pruneMempool(blk)
+	n.pruneConsensusBuffers(blk.Header.Height)
 	// Persistence is best-effort relative to consensus: a failing disk
 	// (fault injection, full volume) must not halt the replica — the
 	// block is already committed in memory by quorum. The failure is
 	// counted and the WAL regains consistency on the next recovery.
 	n.persistBlock(blk)
 	return nil
+}
+
+// pruneConsensusBuffers drops buffered votes, proposal records, vote
+// locks, first-vote records, evidence dedupe marks, and the cached
+// proposal at or below the committed height. Together with the ingest
+// window this is what keeps the consensus buffers bounded regardless
+// of chain length or a spammer's appetite.
+func (n *Node) pruneConsensusBuffers(committed uint64) {
+	n.votesMu.Lock()
+	defer n.votesMu.Unlock()
+	for hash, vs := range n.votes {
+		if vs.height <= committed {
+			delete(n.votes, hash)
+		}
+	}
+	for h := range n.votedAt {
+		if h <= committed {
+			delete(n.votedAt, h)
+		}
+	}
+	for h := range n.proposalSeen {
+		if h <= committed {
+			for proposer := range n.proposalSeen[h] {
+				delete(n.evidenceSeen, evidenceRef(consensus.EvidenceDoubleProposal, h, proposer))
+			}
+			delete(n.proposalSeen, h)
+		}
+	}
+	for h := range n.voteSeen {
+		if h <= committed {
+			for voter := range n.voteSeen[h] {
+				delete(n.evidenceSeen, evidenceRef(consensus.EvidenceDoubleVote, h, voter))
+			}
+			delete(n.voteSeen, h)
+		}
+	}
+	if n.lastProposal != nil && n.lastProposal.Block.Header.Height <= committed {
+		n.lastProposal = nil
+	}
 }
 
 // execute applies all transactions of a block to the state machine,
@@ -685,6 +1210,18 @@ func (n *Node) produceBlock(maxTxs int, votesNeeded int, voteTimeout time.Durati
 
 	switch eng := n.engine.(type) {
 	case *consensus.Quorum:
+		// Retrying the same height against the same parent reuses the
+		// cached signed proposal even if the mempool has since grown:
+		// an honest proposer must never sign two different blocks at
+		// one height — that is exactly the equivocation the ingress
+		// layer evidences and quarantines.
+		n.votesMu.Lock()
+		if lp := n.lastProposal; lp != nil &&
+			lp.Block.Header.Height == blk.Header.Height &&
+			lp.Block.Header.Parent == blk.Header.Parent {
+			blk = lp.Block
+		}
+		n.votesMu.Unlock()
 		if err := n.gatherQuorum(eng, ep, blk, votesNeeded, voteTimeout); err != nil {
 			return nil, err
 		}
@@ -715,17 +1252,22 @@ func (n *Node) produceBlock(maxTxs int, votesNeeded int, voteTimeout time.Durati
 // immediate re-proposal of the same block can reuse it.
 func (n *Node) gatherQuorum(eng *consensus.Quorum, ep p2p.Endpoint, blk *ledger.Block, votesNeeded int, timeout time.Duration) error {
 	hash := blk.Hash()
-	own, err := consensus.SignVote(hash, n.key)
+	height := blk.Header.Height
+	sp, err := consensus.SignProposal(blk, n.key)
 	if err != nil {
 		return err
 	}
 	n.votesMu.Lock()
-	if len(n.votes[hash]) == 0 {
-		n.votes[hash] = append(n.votes[hash], own)
-	}
+	n.lastProposal = sp
 	n.votesMu.Unlock()
+	// The proposer's own vote obeys the same one-per-height lock as
+	// everyone else's; a proposer locked to another block this height
+	// must gather the full quorum from its peers.
+	if own, ok := n.lockAndSignVote(height, hash, blk.Header.Proposer); ok {
+		n.addVote(own)
+	}
 
-	body, err := blk.Encode()
+	body, err := sp.Encode()
 	if err != nil {
 		return err
 	}
@@ -739,13 +1281,17 @@ func (n *Node) gatherQuorum(eng *consensus.Quorum, ep p2p.Endpoint, blk *ledger.
 	count := func() int {
 		n.votesMu.Lock()
 		defer n.votesMu.Unlock()
-		return len(n.votes[hash])
+		if vs := n.votes[hash]; vs != nil {
+			return len(vs.votes)
+		}
+		return 0
 	}
 	if !resilience.Poll(time.Now().Add(timeout), nil, func() bool { return count() >= votesNeeded }) {
 		return fmt.Errorf("%w: %d/%d votes", ErrNoQuorum, count(), votesNeeded)
 	}
 	n.votesMu.Lock()
-	qc := &consensus.QuorumCert{Block: hash, Votes: append([]consensus.Vote(nil), n.votes[hash]...)}
+	vs := n.votes[hash]
+	qc := &consensus.QuorumCert{Block: hash, Votes: append([]consensus.Vote(nil), vs.votes...)}
 	delete(n.votes, hash)
 	n.votesMu.Unlock()
 	return eng.AttachCert(blk, qc)

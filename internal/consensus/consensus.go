@@ -120,8 +120,9 @@ func (s *ValidatorSet) QuorumThreshold() int {
 	return 2*len(s.list)/3 + 1
 }
 
-// publicKeyOf returns the decoded public key of a validator address.
-func (s *ValidatorSet) publicKeyOf(addr cryptoutil.Address) ([]byte, bool) {
+// PublicKeyOf returns the encoded public key of a validator address.
+// Auditors use it to re-verify evidence signatures against the set.
+func (s *ValidatorSet) PublicKeyOf(addr cryptoutil.Address) ([]byte, bool) {
 	i, ok := s.index[addr]
 	if !ok {
 		return nil, false
@@ -269,8 +270,13 @@ func (p *PoA) ProposerAt(height uint64) (cryptoutil.Address, bool) {
 
 // --- Quorum (vote certificates) ---
 
-// Vote is one validator's signature over a block hash.
+// Vote is one validator's signature over a block hash at a height. The
+// height is bound into the signed digest so a vote cannot be replayed
+// at another height (which would let an adversary fabricate double-vote
+// evidence framing an honest validator).
 type Vote struct {
+	// Height is the voted block's height.
+	Height uint64 `json:"height"`
 	// Block is the voted block's header hash.
 	Block cryptoutil.Digest `json:"block"`
 	// Voter is the validator address.
@@ -279,17 +285,39 @@ type Vote struct {
 	Sig cryptoutil.Signature `json:"sig"`
 }
 
-func voteDigest(block cryptoutil.Digest, voter cryptoutil.Address) cryptoutil.Digest {
-	return cryptoutil.SumAll([]byte("medchain/vote"), block[:], voter[:])
+func voteDigest(height uint64, block cryptoutil.Digest, voter cryptoutil.Address) cryptoutil.Digest {
+	var hb [8]byte
+	for i := 0; i < 8; i++ {
+		hb[i] = byte(height >> (56 - 8*i))
+	}
+	return cryptoutil.SumAll([]byte("medchain/vote"), hb[:], block[:], voter[:])
 }
 
-// SignVote produces a validator's vote for a block hash.
-func SignVote(block cryptoutil.Digest, key *cryptoutil.KeyPair) (Vote, error) {
-	sig, err := key.Sign(voteDigest(block, key.Address()))
+// SignVote produces a validator's vote for a block hash at a height.
+func SignVote(height uint64, block cryptoutil.Digest, key *cryptoutil.KeyPair) (Vote, error) {
+	sig, err := key.Sign(voteDigest(height, block, key.Address()))
 	if err != nil {
 		return Vote{}, err
 	}
-	return Vote{Block: block, Voter: key.Address(), Sig: sig}, nil
+	return Vote{Height: height, Block: block, Voter: key.Address(), Sig: sig}, nil
+}
+
+// VerifyVote checks one vote against the validator set: the voter must
+// be a member and the signature must verify over the height-bound vote
+// digest.
+func VerifyVote(v Vote, vals *ValidatorSet) error {
+	pubBytes, ok := vals.PublicKeyOf(v.Voter)
+	if !ok {
+		return fmt.Errorf("%w: voter %s", ErrNotValidator, v.Voter.Short())
+	}
+	pub, err := cryptoutil.DecodePublicKey(pubBytes)
+	if err != nil {
+		return err
+	}
+	if !cryptoutil.Verify(pub, voteDigest(v.Height, v.Block, v.Voter), v.Sig) {
+		return fmt.Errorf("%w: vote signature invalid for %s", ErrBadSeal, v.Voter.Short())
+	}
+	return nil
 }
 
 // QuorumCert is a set of votes forming a 2f+1 certificate for a block.
@@ -348,7 +376,7 @@ func (q *Quorum) AttachCert(b *ledger.Block, qc *QuorumCert) error {
 	if b == nil {
 		return ledger.ErrNilBlock
 	}
-	if err := q.verifyCert(b.Hash(), qc); err != nil {
+	if err := q.verifyCert(b.Header.Height, b.Hash(), qc); err != nil {
 		return err
 	}
 	seal, err := qc.Encode()
@@ -371,10 +399,10 @@ func (q *Quorum) VerifySeal(b *ledger.Block) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSeal, err)
 	}
-	return q.verifyCert(b.Hash(), qc)
+	return q.verifyCert(b.Header.Height, b.Hash(), qc)
 }
 
-func (q *Quorum) verifyCert(block cryptoutil.Digest, qc *QuorumCert) error {
+func (q *Quorum) verifyCert(height uint64, block cryptoutil.Digest, qc *QuorumCert) error {
 	if qc == nil {
 		return fmt.Errorf("%w: nil certificate", ErrBadSeal)
 	}
@@ -384,18 +412,10 @@ func (q *Quorum) verifyCert(block cryptoutil.Digest, qc *QuorumCert) error {
 	seen := make(map[cryptoutil.Address]bool, len(qc.Votes))
 	valid := 0
 	for _, v := range qc.Votes {
-		if v.Block != block || seen[v.Voter] {
+		if v.Block != block || v.Height != height || seen[v.Voter] {
 			continue
 		}
-		pubBytes, ok := q.vals.publicKeyOf(v.Voter)
-		if !ok {
-			continue
-		}
-		pub, err := cryptoutil.DecodePublicKey(pubBytes)
-		if err != nil {
-			continue
-		}
-		if !cryptoutil.Verify(pub, voteDigest(block, v.Voter), v.Sig) {
+		if VerifyVote(v, q.vals) != nil {
 			continue
 		}
 		seen[v.Voter] = true

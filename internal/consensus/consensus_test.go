@@ -242,11 +242,11 @@ func TestPoAProposerAt(t *testing.T) {
 	}
 }
 
-func gatherCert(t *testing.T, block cryptoutil.Digest, keys []*cryptoutil.KeyPair, n int) *QuorumCert {
+func gatherCert(t *testing.T, height uint64, block cryptoutil.Digest, keys []*cryptoutil.KeyPair, n int) *QuorumCert {
 	t.Helper()
 	qc := &QuorumCert{Block: block}
 	for i := 0; i < n; i++ {
-		v, err := SignVote(block, keys[i])
+		v, err := SignVote(height, block, keys[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -264,7 +264,7 @@ func TestQuorumAttachAndVerify(t *testing.T) {
 	q := NewQuorum(vs)
 	b := testBlock(1)
 	b.Header.Proposer = keys[1].Address()
-	qc := gatherCert(t, b.Hash(), keys, 3) // threshold for 4 is 3
+	qc := gatherCert(t, 1, b.Hash(), keys, 3) // threshold for 4 is 3
 	if err := q.AttachCert(b, qc); err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestQuorumRejectsTooFewVotes(t *testing.T) {
 	q := NewQuorum(vs)
 	b := testBlock(1)
 	b.Header.Proposer = keys[1].Address()
-	qc := gatherCert(t, b.Hash(), keys, 2)
+	qc := gatherCert(t, 1, b.Hash(), keys, 2)
 	if err := q.AttachCert(b, qc); err == nil {
 		t.Fatal("2-vote cert accepted with threshold 3")
 	}
@@ -299,13 +299,13 @@ func TestQuorumIgnoresDuplicateAndForeignVotes(t *testing.T) {
 	b.Header.Proposer = keys[0].Address()
 	// Two real votes + one duplicated + one from a non-validator: only
 	// 2 distinct valid votes, below threshold 3.
-	qc := gatherCert(t, b.Hash(), keys, 2)
+	qc := gatherCert(t, 1, b.Hash(), keys, 2)
 	qc.Votes = append(qc.Votes, qc.Votes[0])
 	outsider, err := cryptoutil.DeriveKeyPair("outsider")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ov, err := SignVote(b.Hash(), outsider)
+	ov, err := SignVote(1, b.Hash(), outsider)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestQuorumRejectsWrongBlockCert(t *testing.T) {
 	b := testBlock(1)
 	b.Header.Proposer = keys[0].Address()
 	other := testBlock(2)
-	qc := gatherCert(t, other.Hash(), keys, 3)
+	qc := gatherCert(t, 2, other.Hash(), keys, 3)
 	if err := q.AttachCert(b, qc); err == nil {
 		t.Fatal("certificate for another block accepted")
 	}
@@ -340,7 +340,7 @@ func TestQuorumRejectsForgedVoteSig(t *testing.T) {
 	q := NewQuorum(vs)
 	b := testBlock(1)
 	b.Header.Proposer = keys[0].Address()
-	qc := gatherCert(t, b.Hash(), keys, 3)
+	qc := gatherCert(t, 1, b.Hash(), keys, 3)
 	qc.Votes[2].Sig[0] ^= 0xFF
 	if err := q.AttachCert(b, qc); err == nil {
 		t.Fatal("forged vote signature accepted")
@@ -356,7 +356,7 @@ func TestQuorumRejectsNonValidatorProposer(t *testing.T) {
 	q := NewQuorum(vs)
 	b := testBlock(1)
 	b.Header.Proposer = cryptoutil.NamedAddress("intruder")
-	qc := gatherCert(t, b.Hash(), keys, 3)
+	qc := gatherCert(t, 1, b.Hash(), keys, 3)
 	seal, err := qc.Encode()
 	if err != nil {
 		t.Fatal(err)
@@ -387,7 +387,7 @@ func TestQuorumSealErrors(t *testing.T) {
 
 func TestQuorumCertEncodeDecode(t *testing.T) {
 	keys := testKeys(t, 4)
-	qc := gatherCert(t, cryptoutil.Sum([]byte("b")), keys, 3)
+	qc := gatherCert(t, 1, cryptoutil.Sum([]byte("b")), keys, 3)
 	enc, err := qc.Encode()
 	if err != nil {
 		t.Fatal(err)

@@ -28,6 +28,7 @@ const (
 	kindPolicy
 	kindTrial
 	kindAnchor
+	kindEvidence
 	kindVM
 	kindSeq      // the request-sequence counter
 	kindRegistry // virtual key: the dataset/tool registry as a whole
@@ -45,6 +46,8 @@ func (k keyKind) String() string {
 		return "trial"
 	case kindAnchor:
 		return "anchor"
+	case kindEvidence:
+		return "evidence"
 	case kindVM:
 		return "vm"
 	case kindSeq:
@@ -83,6 +86,7 @@ func KeyTool(id string) StateKey          { return StateKey{kind: kindTool, id: 
 func KeyPolicy(resource string) StateKey  { return StateKey{kind: kindPolicy, id: resource} }
 func KeyTrial(id string) StateKey         { return StateKey{kind: kindTrial, id: id} }
 func KeyAnchor(label string) StateKey     { return StateKey{kind: kindAnchor, id: label} }
+func KeyEvidence(key string) StateKey     { return StateKey{kind: kindEvidence, id: key} }
 func KeyVM(a cryptoutil.Address) StateKey { return StateKey{kind: kindVM, addr: a} }
 
 // Singleton keys.
@@ -159,6 +163,13 @@ func AccessSetOf(tx *ledger.Transaction) AccessSet {
 			break
 		}
 		a.write(KeyAnchor(args.Label))
+	case ledger.TxAudit:
+		var args ReportEvidenceArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
+			break
+		}
+		a.write(KeyEvidence(evidenceKey(args.Kind, args.Height, args.Offender)))
 	case ledger.TxDeploy:
 		a.write(KeyVM(DeployedAddress(tx.From, tx.Nonce)))
 	case ledger.TxInvoke:

@@ -1,6 +1,7 @@
 package contract
 
 import (
+	"encoding/json"
 	"sort"
 
 	"medchain/internal/cryptoutil"
@@ -19,6 +20,9 @@ type StateExport struct {
 	Tools    []Tool    `json:"tools,omitempty"`
 	Trials   []Trial   `json:"trials,omitempty"`
 	Anchors  []Anchor  `json:"anchors,omitempty"`
+	// Evidence are the recorded equivocation proofs, sorted by
+	// kind/height/offender key.
+	Evidence []EvidenceRecord `json:"evidence,omitempty"`
 	// Policies are the access policies, sorted by resource key.
 	Policies []PolicyExport `json:"policies,omitempty"`
 	// Deployed are the VM contracts, sorted by address string.
@@ -68,6 +72,11 @@ func (s *State) Export() *StateExport {
 	})
 	forSortedKeys(s.anchors, func(_ string, a *Anchor) {
 		ex.Anchors = append(ex.Anchors, *a)
+	})
+	forSortedKeys(s.evidence, func(_ string, e *EvidenceRecord) {
+		rec := *e
+		rec.Evidence = append(json.RawMessage(nil), e.Evidence...)
+		ex.Evidence = append(ex.Evidence, rec)
 	})
 	forSortedKeys(s.policies, func(key string, p *Policy) {
 		ex.Policies = append(ex.Policies, PolicyExport{Resource: key, Policy: *copyPolicy(p)})
@@ -122,6 +131,11 @@ func ImportState(ex *StateExport) *State {
 	for i := range ex.Anchors {
 		a := ex.Anchors[i]
 		s.anchors[a.Label] = &a
+	}
+	for i := range ex.Evidence {
+		e := ex.Evidence[i]
+		e.Evidence = append(json.RawMessage(nil), e.Evidence...)
+		s.evidence[evidenceKey(e.Kind, e.Height, e.Offender)] = &e
 	}
 	for i := range ex.Policies {
 		s.policies[ex.Policies[i].Resource] = copyPolicy(&ex.Policies[i].Policy)

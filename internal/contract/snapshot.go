@@ -71,6 +71,10 @@ func (s *State) shareInto(c *State, k StateKey) {
 		if st, ok := s.vmStorage[k.addr]; ok {
 			c.vmStorage[k.addr] = st
 		}
+	case kindEvidence:
+		if e, ok := s.evidence[k.id]; ok {
+			c.evidence[k.id] = e
+		}
 	case kindRegistry:
 		// Whole-registry read (VM HOST registry.* calls): share every
 		// dataset and tool.
@@ -109,6 +113,12 @@ func (s *State) copyInto(c *State, k StateKey) {
 		if a, ok := s.anchors[k.id]; ok {
 			cp := *a
 			c.anchors[k.id] = &cp
+		}
+	case kindEvidence:
+		if e, ok := s.evidence[k.id]; ok {
+			cp := *e
+			cp.Evidence = append([]byte(nil), e.Evidence...)
+			c.evidence[k.id] = &cp
 		}
 	case kindVM:
 		if d, ok := s.deployed[k.addr]; ok {
@@ -178,6 +188,10 @@ func (s *State) MergeSpeculative(from *State, acc AccessSet) {
 		case kindAnchor:
 			if a, ok := from.anchors[k.id]; ok {
 				s.anchors[k.id] = a
+			}
+		case kindEvidence:
+			if e, ok := from.evidence[k.id]; ok {
+				s.evidence[k.id] = e
 			}
 		case kindVM:
 			if d, ok := from.deployed[k.addr]; ok {

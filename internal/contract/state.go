@@ -117,6 +117,7 @@ type State struct {
 	policies  map[string]*Policy // keyed by resource ID ("data:<id>" / "tool:<id>")
 	trials    map[string]*Trial
 	anchors   map[string]*Anchor
+	evidence  map[string]*EvidenceRecord // keyed by kind/height/offender
 	deployed  map[cryptoutil.Address]*Deployed
 	vmStorage map[cryptoutil.Address]*vm.MemStorage
 	// host provides HOST functions to VM executions; nil disables.
@@ -133,6 +134,7 @@ func NewState() *State {
 		policies:  make(map[string]*Policy),
 		trials:    make(map[string]*Trial),
 		anchors:   make(map[string]*Anchor),
+		evidence:  make(map[string]*EvidenceRecord),
 		deployed:  make(map[cryptoutil.Address]*Deployed),
 		vmStorage: make(map[cryptoutil.Address]*vm.MemStorage),
 	}
@@ -195,6 +197,11 @@ func (s *State) Clone() *State {
 		cp := *a
 		c.anchors[label] = &cp
 	}
+	for key, e := range s.evidence {
+		cp := *e
+		cp.Evidence = append(json.RawMessage(nil), e.Evidence...)
+		c.evidence[key] = &cp
+	}
 	for addr, d := range s.deployed {
 		cp := *d // Code bytes shared: immutable after deploy
 		c.deployed[addr] = &cp
@@ -243,6 +250,8 @@ func (s *State) Apply(tx *ledger.Transaction, height uint64, now int64) (*Receip
 		err = s.applyTrial(tx, now, r)
 	case ledger.TxAnchor:
 		err = s.applyAnchor(tx, now, r)
+	case ledger.TxAudit:
+		err = s.applyAudit(tx, now, r)
 	case ledger.TxDeploy:
 		err = s.applyDeploy(tx, r)
 	case ledger.TxInvoke:
@@ -1008,6 +1017,10 @@ func (s *State) Root() cryptoutil.Digest {
 	})
 	forSortedKeys(s.anchors, func(id string, a *Anchor) {
 		add("anchor", id, a.Digest.String(), a.By.String())
+	})
+	forSortedKeys(s.evidence, func(key string, e *EvidenceRecord) {
+		add("evidence", key, e.Reporter.String(), fmt.Sprint(e.At))
+		h = append(h, e.Evidence)
 	})
 	deployedKeys := make([]string, 0, len(s.deployed))
 	byKey := make(map[string]*Deployed, len(s.deployed))

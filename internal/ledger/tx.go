@@ -28,12 +28,15 @@ const (
 	TxData      TxType = "data"
 	TxAnalytics TxType = "analytics"
 	TxTrial     TxType = "trial"
+	// TxAudit records consensus accountability data (equivocation
+	// evidence) on chain, where the trusted FDA/audit node can read it.
+	TxAudit TxType = "audit"
 )
 
 // ValidTxType reports whether t is a known transaction type.
 func ValidTxType(t TxType) bool {
 	switch t {
-	case TxDeploy, TxInvoke, TxAnchor, TxData, TxAnalytics, TxTrial:
+	case TxDeploy, TxInvoke, TxAnchor, TxData, TxAnalytics, TxTrial, TxAudit:
 		return true
 	}
 	return false

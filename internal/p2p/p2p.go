@@ -114,6 +114,14 @@ type Stats struct {
 	BytesSent int64
 	// BytesByTopic breaks BytesSent down per topic.
 	BytesByTopic map[string]int64
+	// MessagesQuarantined counts messages receivers discarded at ingress
+	// because the sender was quarantined by their peer guard. These are
+	// delivered by the link (they count in MessagesDelivered) and then
+	// dropped by the application layer.
+	MessagesQuarantined int64
+	// QuarantinedByNode breaks MessagesQuarantined down per discarding
+	// receiver.
+	QuarantinedByNode map[NodeID]int64
 }
 
 // Network is the in-process simulated network.
@@ -223,7 +231,24 @@ func (n *Network) Stats() Stats {
 	for k, v := range n.stats.OverflowByNode {
 		out.OverflowByNode[k] = v
 	}
+	out.QuarantinedByNode = make(map[NodeID]int64, len(n.stats.QuarantinedByNode))
+	for k, v := range n.stats.QuarantinedByNode {
+		out.QuarantinedByNode[k] = v
+	}
 	return out
+}
+
+// NoteQuarantined records that receiver discarded a delivered message
+// at ingress because its guard has the sender quarantined. Called by
+// the chain layer; the network only aggregates the counter.
+func (n *Network) NoteQuarantined(receiver NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.MessagesQuarantined++
+	if n.stats.QuarantinedByNode == nil {
+		n.stats.QuarantinedByNode = make(map[NodeID]int64)
+	}
+	n.stats.QuarantinedByNode[receiver]++
 }
 
 // ResetStats zeroes the counters (between experiment phases).

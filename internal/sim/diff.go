@@ -181,6 +181,89 @@ func (c *Counterexample) String() string {
 	return b.String()
 }
 
+// AdversaryCounterexample is a shrunken, seed-reproducible adversary
+// schedule that still violates an invariant: the smallest behavior set
+// and round count (found greedily) under which the run keeps failing.
+type AdversaryCounterexample struct {
+	// Seed and Rounds reproduce the shrunken run.
+	Seed   int64 `json:"seed"`
+	Rounds int   `json:"rounds"`
+	// Behaviors is the minimized behavior set.
+	Behaviors []Behavior `json:"behaviors"`
+	// Violation is the first invariant violation of the shrunken run.
+	Violation string `json:"violation"`
+}
+
+// Repro renders the exact command that replays the shrunken run.
+func (c *AdversaryCounterexample) Repro() string {
+	names := make([]string, len(c.Behaviors))
+	for i, b := range c.Behaviors {
+		names[i] = string(b)
+	}
+	return fmt.Sprintf("go test ./internal/sim -run 'TestSimAdversary$' -sim.seed=%d -sim.rounds=%d -sim.adversary=%s",
+		c.Seed, c.Rounds, strings.Join(names, ","))
+}
+
+// String renders the counterexample for failure messages.
+func (c *AdversaryCounterexample) String() string {
+	return fmt.Sprintf("adversary schedule minimized to behaviors=%v rounds=%d: %s\nreproduce: %s",
+		c.Behaviors, c.Rounds, c.Violation, c.Repro())
+}
+
+// MinimizeAdversary shrinks a failing adversarial run: it greedily
+// drops behaviors, then halves the round count, keeping each reduction
+// only if the re-run still violates an invariant. Every probe is a
+// full simulation, so callers opt in via AdversaryConfig.Minimize.
+func MinimizeAdversary(cfg Config, violation string) *AdversaryCounterexample {
+	if cfg.Adversary == nil {
+		return nil
+	}
+	probe := func(behaviors []Behavior, rounds int) (string, bool) {
+		pc := cfg
+		pc.Rounds = rounds
+		ac := cfg.Adversary.withDefaults()
+		ac.Behaviors = behaviors
+		ac.Minimize = false // no recursive shrinking inside probes
+		pc.Adversary = ac
+		res, err := Run(pc)
+		if err != nil && len(res.Violations) > 0 {
+			return res.Violations[0], true
+		}
+		return "", false
+	}
+
+	cur := append([]Behavior(nil), cfg.Adversary.withDefaults().Behaviors...)
+	rounds := cfg.Rounds
+
+	// Pass 1: drop behaviors one at a time while the failure persists.
+	for changed := true; changed && len(cur) > 1; {
+		changed = false
+		for i := range cur {
+			cand := make([]Behavior, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if v, bad := probe(cand, rounds); bad {
+				cur, violation, changed = cand, v, true
+				break
+			}
+		}
+	}
+	// Pass 2: halve rounds while the failure persists.
+	for rounds > 8 {
+		if v, bad := probe(cur, rounds/2); bad {
+			rounds, violation = rounds/2, v
+			continue
+		}
+		break
+	}
+	return &AdversaryCounterexample{
+		Seed:      cfg.Seed,
+		Rounds:    rounds,
+		Behaviors: cur,
+		Violation: violation,
+	}
+}
+
 // txSummary renders one transaction for counterexample listings.
 func txSummary(tx *ledger.Transaction) string {
 	if tx == nil {

@@ -114,6 +114,16 @@ type Config struct {
 	// DiskSnapshotEvery is the nodes' snapshot cadence in blocks
 	// (default 8).
 	DiskSnapshotEvery int
+	// Adversary, when set, turns the last node Byzantine: the node is
+	// stopped and its validator key handed to an adversarial endpoint
+	// driven by a seeded behavior schedule (see AdversaryConfig). The
+	// run then also checks the Byzantine-resilience invariants: honest
+	// nodes never quarantine each other, consensus buffers stay bounded
+	// under spam, every loss-free equivocation lands on chain as
+	// verified evidence naming the adversary, and the adversary is
+	// quarantined by every honest node within a bounded number of
+	// blocks of its first offense.
+	Adversary *AdversaryConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -198,11 +208,30 @@ type Result struct {
 	// FaultLog is the injected-fault signature (a pure function of the
 	// seed — identical across replays).
 	FaultLog []string
+	// Adversary metrics (set only when Config.Adversary is): offense
+	// bursts fired per behavior, rounds the adversary spent muted by
+	// quarantine, committed blocks from first offense until every
+	// honest node had it quarantined (-1: never), equivocations the
+	// strict-mode ledger expected on chain, and evidence records the
+	// audit contract finished with.
+	AdversaryOffenses    map[Behavior]int
+	AdversaryMutedRounds int
+	QuarantineBlocks     int
+	EvidenceExpected     int
+	EvidenceRecords      int
+	// MessagesDelivered / MessagesQuarantined are the network totals:
+	// messages placed in inboxes and messages discarded at ingress
+	// because the sender was quarantined.
+	MessagesDelivered   int64
+	MessagesQuarantined int64
 	// Violations are the invariant failures (empty on a green run).
 	Violations []string
 	// Counterexample is the minimized differential-oracle failure, if
 	// one was found.
 	Counterexample *Counterexample
+	// AdversaryRepro is the minimized adversarial schedule that still
+	// fails (Config.Adversary.Minimize only).
+	AdversaryRepro *AdversaryCounterexample
 }
 
 // Run executes one seeded simulation. The returned error is non-nil
@@ -229,6 +258,11 @@ func Run(cfg Config) (*Result, error) {
 		disks = newDiskChaos(cfg, chainID)
 		ccfg.Persist = disks.persistConfig()
 	}
+	if cfg.Adversary != nil {
+		// Shorten guard decay so quarantine release — and renewed
+		// offending — cycles inside one bounded run.
+		ccfg.Guard = adversaryGuardConfig()
+	}
 	cluster, err := chain.NewCluster(ccfg)
 	if err != nil {
 		return res, err
@@ -239,6 +273,17 @@ func Run(cfg Config) (*Result, error) {
 			n.UseParallelExec(w)
 		}
 	}
+	var adv *adversary
+	if cfg.Adversary != nil {
+		if adv, err = newAdversary(cfg, cluster); err != nil {
+			return res, err
+		}
+		if cfg.Adversary.UnsafeSkipVoteVerify {
+			for _, i := range cluster.RunningNodes() {
+				cluster.Node(i).SetUnsafeSkipVoteVerify(true)
+			}
+		}
+	}
 
 	fz, err := newFuzzer(cfg, rand.New(rand.NewSource(subSeed(cfg.Seed, "fuzz"))))
 	if err != nil {
@@ -247,7 +292,14 @@ func Run(cfg Config) (*Result, error) {
 
 	sched := chaos.Schedule{Name: "no-faults", Seed: cfg.Seed}
 	if !cfg.NoFaults {
-		sched = chaos.Fuzz(cfg.Nodes, cfg.Rounds, subSeed(cfg.Seed, "chaos"))
+		faultNodes := cfg.Nodes
+		if adv != nil {
+			// Chaos targets only honest indices: the Byzantine node's
+			// identity belongs to the adversary, so crashing or
+			// restarting it would collide with the takeover.
+			faultNodes--
+		}
+		sched = chaos.Fuzz(faultNodes, cfg.Rounds, subSeed(cfg.Seed, "chaos"))
 	}
 	orch := chaos.New(cluster, sched)
 
@@ -328,6 +380,12 @@ func Run(cfg Config) (*Result, error) {
 				break
 			}
 		}
+		if adv != nil {
+			adv.advance(ck, cluster, round)
+			if ck.failed() {
+				break
+			}
+		}
 		var batch []*ledger.Transaction
 		if round == 0 {
 			batch, err = fz.setup()
@@ -348,7 +406,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Drain: heal every fault, wait for convergence, then commit the
-	// leftovers. Only then do the whole-run invariants make sense.
+	// leftovers. Only then do the whole-run invariants make sense. An
+	// adversary retires first — its endpoint leaves and the honest node
+	// rejoins under the same (still-quarantined, decaying) identity.
+	if !ck.failed() {
+		if adv != nil {
+			adv.retire(ck, cluster)
+		}
+	}
 	if !ck.failed() {
 		orch.Finish()
 		if err := orch.AwaitRecovery(10 * time.Second); err != nil {
@@ -363,8 +428,20 @@ func Run(cfg Config) (*Result, error) {
 		if len(pending) > 0 && !ck.failed() {
 			ck.violationf("liveness: %d submitted transactions never committed after drain", len(pending))
 		}
+		if adv != nil && !ck.failed() {
+			// Flush audit transactions still in flight: evidence
+			// reported in the last rounds must be on chain before the
+			// evidence ledger is judged.
+			if _, err := cluster.CommitAll(); err != nil {
+				res.FailedRounds++
+			}
+			process()
+		}
 		if !ck.failed() {
 			ck.finish(cluster)
+		}
+		if adv != nil && !ck.failed() {
+			adv.finish(ck, cluster)
 		}
 	}
 
@@ -380,9 +457,23 @@ func Run(cfg Config) (*Result, error) {
 		res.DiskTornBytes = disks.torn
 	}
 	res.FaultLog = orch.FaultLog()
+	netStats := cluster.Network().Stats()
+	res.MessagesDelivered = netStats.MessagesDelivered
+	res.MessagesQuarantined = netStats.MessagesQuarantined
+	res.QuarantineBlocks = -1
+	if adv != nil {
+		res.AdversaryOffenses = adv.offensesByBehavior
+		res.AdversaryMutedRounds = adv.laidLow
+		res.QuarantineBlocks = adv.quarantineBlocks
+		res.EvidenceExpected = len(adv.expected)
+		res.EvidenceRecords = len(ck.shadow.EvidenceRecords())
+	}
 	res.Violations = ck.violations
 	res.Counterexample = ck.cex
 	if len(res.Violations) > 0 {
+		if cfg.Adversary != nil && cfg.Adversary.Minimize {
+			res.AdversaryRepro = MinimizeAdversary(cfg, res.Violations[0])
+		}
 		return res, fmt.Errorf("sim: %d invariant violation(s); first: %s", len(res.Violations), res.Violations[0])
 	}
 	return res, nil

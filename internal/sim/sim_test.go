@@ -2,6 +2,7 @@ package sim
 
 import (
 	"flag"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -14,8 +15,9 @@ import (
 // ./internal/sim -run 'TestSim$' -sim.seed=N -sim.rounds=M` re-executes
 // the exact run a counterexample names.
 var (
-	flagSeed   = flag.Int64("sim.seed", 1, "master seed for the deterministic simulation")
-	flagRounds = flag.Int("sim.rounds", 240, "fuzz/commit rounds for the deterministic simulation")
+	flagSeed      = flag.Int64("sim.seed", 1, "master seed for the deterministic simulation")
+	flagRounds    = flag.Int("sim.rounds", 240, "fuzz/commit rounds for the deterministic simulation")
+	flagAdversary = flag.String("sim.adversary", "", "comma-separated adversary behaviors; puts TestSimAdversary in replay mode for a shrunken schedule")
 )
 
 // TestSim is the bounded default gate: a full cluster fuzzed for
@@ -217,6 +219,202 @@ func TestSubSeedStable(t *testing.T) {
 	}
 	if subSeed(1, "p2p") == subSeed(2, "p2p") {
 		t.Fatal("masters collide")
+	}
+}
+
+// parseBehaviors turns the -sim.adversary flag value into a schedule.
+func parseBehaviors(s string) []Behavior {
+	var out []Behavior
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, Behavior(f))
+		}
+	}
+	return out
+}
+
+// logAdversary prints the adversarial run's metrics.
+func logAdversary(t *testing.T, res *Result) {
+	t.Helper()
+	if res == nil {
+		return
+	}
+	t.Logf("adversary sim seed=%d rounds=%d: blocks=%d offenses=%v muted=%d quarantineBlocks=%d evidence=%d/%d expected",
+		res.Seed, res.Rounds, res.Blocks, res.AdversaryOffenses, res.AdversaryMutedRounds,
+		res.QuarantineBlocks, res.EvidenceRecords, res.EvidenceExpected)
+}
+
+// TestSimAdversary is the Byzantine gate: the last node's validator key
+// is handed to an adversarial endpoint and the cluster must keep
+// committing, quarantine it within the latency bound, land verified
+// evidence for every equivocation, and never turn on its own honest
+// members. Each behavior soaks alone for 1000 loss-free rounds, then
+// all behaviors interleave. With -sim.adversary=<b1,b2,...> the test
+// instead replays exactly the flagged schedule (the mode
+// AdversaryCounterexample.Repro pins).
+func TestSimAdversary(t *testing.T) {
+	if bs := parseBehaviors(*flagAdversary); len(bs) > 0 {
+		res, err := Run(Config{Seed: *flagSeed, Rounds: *flagRounds, NoFaults: true,
+			Adversary: &AdversaryConfig{Behaviors: bs}})
+		logAdversary(t, res)
+		if err != nil {
+			t.Fatalf("replayed adversary schedule %v failed: %v", bs, err)
+		}
+		return
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, b := range AllBehaviors() {
+		b := b
+		t.Run(string(b), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Seed: *flagSeed, Rounds: 1000, NoFaults: true,
+				Adversary: &AdversaryConfig{Behaviors: []Behavior{b}}})
+			logAdversary(t, res)
+			if err != nil {
+				t.Fatalf("adversary sim failed: %v", err)
+			}
+			if res.AdversaryOffenses[b] == 0 {
+				t.Fatalf("behavior %s never fired", b)
+			}
+			// Liveness despite the Byzantine member: the honest quorum
+			// keeps committing most rounds.
+			if res.Blocks < res.Rounds/2 {
+				t.Fatalf("only %d blocks over %d rounds with an adversary", res.Blocks, res.Rounds)
+			}
+			if res.QuarantineBlocks < 0 || res.QuarantineBlocks > AdversaryQuarantineBound {
+				t.Fatalf("quarantine latency %d blocks, want [0, %d]", res.QuarantineBlocks, AdversaryQuarantineBound)
+			}
+			// The short decay half-life must produce release/re-offense
+			// cycles, not a single one-shot quarantine.
+			if res.AdversaryMutedRounds == 0 {
+				t.Fatal("adversary was never muted by quarantine")
+			}
+			if b == BehaviorEquivocate {
+				if res.EvidenceExpected == 0 {
+					t.Fatal("equivocation run expected no evidence; the invariant is vacuous")
+				}
+				if res.EvidenceRecords == 0 {
+					t.Fatal("no equivocation evidence reached the audit contract")
+				}
+			}
+		})
+	}
+	t.Run("combined", func(t *testing.T) {
+		t.Parallel()
+		res, err := Run(Config{Seed: *flagSeed + 1, Rounds: 1200, NoFaults: true,
+			Adversary: &AdversaryConfig{}})
+		logAdversary(t, res)
+		if err != nil {
+			t.Fatalf("combined adversary sim failed: %v", err)
+		}
+		for _, b := range AllBehaviors() {
+			if res.AdversaryOffenses[b] == 0 {
+				t.Errorf("behavior %s never fired in the combined run", b)
+			}
+		}
+		if res.Blocks < res.Rounds/2 {
+			t.Fatalf("only %d blocks over %d rounds", res.Blocks, res.Rounds)
+		}
+		if res.QuarantineBlocks < 0 || res.QuarantineBlocks > AdversaryQuarantineBound {
+			t.Fatalf("quarantine latency %d blocks, want [0, %d]", res.QuarantineBlocks, AdversaryQuarantineBound)
+		}
+		if res.EvidenceExpected == 0 || res.EvidenceRecords == 0 {
+			t.Fatalf("evidence pipeline vacuous: expected=%d records=%d", res.EvidenceExpected, res.EvidenceRecords)
+		}
+	})
+}
+
+// TestSimAdversaryUnderChaos layers the Byzantine node on top of the
+// usual fault schedule (crashes, partitions, message loss among the
+// honest members). The bar is looser than the loss-free gate —
+// simultaneous all-honest quarantine is timing-dependent when a node
+// can be crashed through an offense burst — but every honest-side
+// invariant and the evidence no-framing rule still hold.
+func TestSimAdversaryUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Run(Config{Seed: *flagSeed, Rounds: 150, Adversary: &AdversaryConfig{}})
+	logAdversary(t, res)
+	if err != nil {
+		t.Fatalf("adversary sim under chaos failed: %v", err)
+	}
+	if res.Blocks == 0 {
+		t.Fatal("no blocks committed")
+	}
+	total := 0
+	for _, n := range res.AdversaryOffenses {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("adversary never acted")
+	}
+}
+
+// TestSimAdversaryCatchesDisabledVoteVerify is the acceptance mutation
+// check: with vote-signature verification disabled at ingest on every
+// honest node, the vote-forging adversary poisons the equivocation
+// trackers with votes "from" honest validators — and the oracle must
+// fail the run (honest nodes framing and quarantining each other,
+// and/or the unscored adversary escaping quarantine).
+func TestSimAdversaryCatchesDisabledVoteVerify(t *testing.T) {
+	res, err := Run(Config{Seed: *flagSeed, Rounds: 25, NoFaults: true,
+		Adversary: &AdversaryConfig{
+			Behaviors:            []Behavior{BehaviorForgeVotes},
+			UnsafeSkipVoteVerify: true,
+		}})
+	logAdversary(t, res)
+	if err == nil {
+		t.Fatal("disabling vote-signature verification at ingest was not caught")
+	}
+	if len(res.Violations) == 0 {
+		t.Fatalf("failed without a recorded violation: %v", err)
+	}
+	v := res.Violations[0]
+	if !strings.Contains(v, "quarantined honest") && !strings.Contains(v, "never quarantined") {
+		t.Fatalf("violation does not name the quarantine failure: %q", v)
+	}
+}
+
+// TestSimAdversaryMinimizer checks the shrinker: a failing adversarial
+// run with Minimize set must come back with a reduced schedule that
+// still fails and a replayable repro command.
+func TestSimAdversaryMinimizer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Run(Config{Seed: *flagSeed, Rounds: 25, NoFaults: true,
+		Adversary: &AdversaryConfig{
+			// Only forge-votes trips the oracle under the mutation;
+			// garbage rides along as the reducible part of the schedule.
+			Behaviors:            []Behavior{BehaviorForgeVotes, BehaviorGarbage},
+			UnsafeSkipVoteVerify: true,
+			Minimize:             true,
+		}})
+	if err == nil {
+		t.Fatal("mutated run passed")
+	}
+	cex := res.AdversaryRepro
+	if cex == nil {
+		t.Fatal("no adversary counterexample produced")
+	}
+	t.Logf("counterexample:\n%s", cex)
+	if len(cex.Behaviors) != 1 || cex.Behaviors[0] != BehaviorForgeVotes {
+		t.Fatalf("minimized behaviors %v, want [forge-votes]", cex.Behaviors)
+	}
+	if cex.Rounds > 25 {
+		t.Fatalf("minimizer grew the schedule to %d rounds", cex.Rounds)
+	}
+	if cex.Violation == "" {
+		t.Fatal("counterexample lacks the violation")
+	}
+	repro := cex.Repro()
+	for _, want := range []string{fmt.Sprintf("-sim.seed=%d", *flagSeed), "-sim.adversary=forge-votes", "TestSimAdversary"} {
+		if !strings.Contains(repro, want) {
+			t.Fatalf("repro %q does not pin %q", repro, want)
+		}
 	}
 }
 

@@ -241,6 +241,24 @@ func BenchmarkE13Byzantine(b *testing.B) {
 	b.Log("\n" + experiments.TableE13(rows))
 }
 
+func BenchmarkE14Overload(b *testing.B) {
+	var rows []experiments.E14Row
+	cfg := experiments.E14Config{}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		var err error
+		rows, err = experiments.E14Overload(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.E14Verify(cfg, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE14(rows))
+}
+
 func BenchmarkA1Consensus(b *testing.B) {
 	var rows []experiments.A1Row
 	for i := 0; i < b.N; i++ {

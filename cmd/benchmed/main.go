@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (e1..e10,e12,e13,a1..a4), 'all', or 'sim'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1..e10,e12..e14,a1..a4), 'all', or 'sim'")
 	quick := flag.Bool("quick", false, "reduced sweep sizes for a fast pass")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	simRounds := flag.Int("sim.rounds", 2000, "fuzz/commit rounds for -run sim")
@@ -215,6 +215,21 @@ func main() {
 		fmt.Println(experiments.TableE13(rows))
 		if err := experiments.E13Verify(rows); err != nil {
 			fail("e13", err)
+		}
+	}
+	if want("e14") {
+		cfg := experiments.E14Config{Seed: *seed}
+		if *quick {
+			cfg.Multipliers = []float64{1, 10}
+			cfg.Duration = 300 * time.Millisecond
+		}
+		rows, err := experiments.E14Overload(cfg)
+		if err != nil {
+			fail("e14", err)
+		}
+		fmt.Println(experiments.TableE14(rows))
+		if err := experiments.E14Verify(cfg, rows); err != nil {
+			fail("e14", err)
 		}
 	}
 	if want("a1") {

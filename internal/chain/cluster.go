@@ -64,6 +64,12 @@ type ClusterConfig struct {
 	// Guard, when set, retunes every node's peer-misbehavior guard
 	// (weights, quarantine threshold, sync rate limit, clock).
 	Guard *guard.Config
+	// Mempool, when set, retunes every node's bounded transaction pool
+	// (capacity, byte budget).
+	Mempool *MempoolConfig
+	// Admission, when set, retunes every node's client admission
+	// controller (per-client rate, global budgets, overload thresholds).
+	Admission *guard.AdmissionConfig
 }
 
 // PersistConfig gives every cluster node a durable storage engine.
@@ -192,6 +198,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if cfg.Guard != nil {
 			n.SetGuardConfig(*cfg.Guard)
 		}
+		if cfg.Mempool != nil {
+			n.SetMempoolConfig(*cfg.Mempool)
+		}
+		if cfg.Admission != nil {
+			n.SetAdmissionConfig(*cfg.Admission)
+		}
 		c.nodes = append(c.nodes, n)
 	}
 	return c, nil
@@ -218,20 +230,39 @@ func (c *Cluster) PoWWork() int64 {
 }
 
 // Submit gossips a transaction into every mempool via the first
-// running node (node 0 unless it crashed).
+// running node that accepts it. A node's typed rejection (rate limit,
+// shedding, full pool) no longer ends the attempt: the next running
+// node is tried, and only when every one rejects does Submit fail —
+// with each node's reason preserved in the joined error, so a caller
+// can distinguish "cluster down" (ErrStopped) from "cluster saturated"
+// (every branch wraps ErrMempoolFull / ErrRateLimited) and honor the
+// longest retry-after hint via resilience.RetryAfterHint.
 func (c *Cluster) Submit(tx *ledger.Transaction) error {
-	for _, n := range c.nodes {
-		if n.Running() {
-			return n.Gossip(tx)
+	var errs []error
+	for i, n := range c.nodes {
+		if !n.Running() {
+			continue
 		}
+		err := n.Gossip(tx)
+		if err == nil {
+			return nil
+		}
+		errs = append(errs, fmt.Errorf("node %d: %w", i, err))
 	}
-	return ErrStopped
+	if len(errs) == 0 {
+		return ErrStopped
+	}
+	return errors.Join(errs...)
 }
 
 // SubmitVia gossips a transaction through node i — fault experiments
-// use this to inject load on a chosen partition side.
+// use this to inject load on a chosen partition side. Rejections carry
+// the node's identity alongside the typed reason.
 func (c *Cluster) SubmitVia(i int, tx *ledger.Transaction) error {
-	return c.nodes[i].Gossip(tx)
+	if err := c.nodes[i].Gossip(tx); err != nil {
+		return fmt.Errorf("node %d: %w", i, err)
+	}
+	return nil
 }
 
 // StopNode crashes node i (detach + halt loop); a no-op if already
@@ -469,10 +500,15 @@ func (c *Cluster) CommitAll() (int, error) {
 	}
 }
 
-// regossip has every running node re-broadcast its pending txs —
-// recovery for gossip lost to drops or crashes (SubmitLocal is
-// idempotent, so duplicates are free).
-func (c *Cluster) regossip() {
+// ResubmitPending has every running node re-broadcast its pending
+// transactions — recovery for gossip lost to drops or crashes
+// (SubmitLocal is idempotent, so duplicates are free). The rebroadcast
+// set comes from the pool's Take path, so it respects deadlines
+// (expired transactions are dropped with a typed reason, not pushed
+// back onto peers) and committed-nonce dedupe (a transaction already
+// on chain, or whose nonce a committed transaction consumed, was
+// pruned and cannot be resubmitted).
+func (c *Cluster) ResubmitPending() {
 	for _, n := range c.nodes {
 		if !n.Running() {
 			continue
@@ -482,6 +518,9 @@ func (c *Cluster) regossip() {
 		}
 	}
 }
+
+// regossip is the internal alias CommitAll's recovery path uses.
+func (c *Cluster) regossip() { c.ResubmitPending() }
 
 // TotalGasUsed sums executed gas across all nodes — the cluster-wide
 // cost of duplicated computing (E2's numerator).

@@ -17,7 +17,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -98,12 +97,17 @@ type Node struct {
 	mu       sync.Mutex
 	chain    *ledger.Chain
 	state    *contract.State
-	mempool  []*ledger.Transaction
-	seen     map[cryptoutil.Digest]bool // mempool + committed tx IDs
 	receipts map[cryptoutil.Digest]*contract.Receipt
 	gasUsed  int64           // cumulative gas this node burned executing contracts
 	parEng   *parexec.Engine // nil = serial reference execution path
 	parStats parexec.Stats   // totals from engines retired by UseParallelExec
+
+	// pool is the bounded priority mempool; admission is the
+	// client-facing overload controller in front of it. Both have their
+	// own locks and are fixed for the node's lifetime (retune via
+	// SetMempoolConfig / SetAdmissionConfig).
+	pool      *Mempool
+	admission *guard.Admission
 
 	// persistMu guards the durable storage engine handle. st is nil for
 	// memory-only nodes and while a disk-backed node is crashed.
@@ -193,7 +197,8 @@ func newNode(id p2p.NodeID, key *cryptoutil.KeyPair, chainID string, engine cons
 		chainID:      chainID,
 		chain:        ledger.NewChain(chainID),
 		state:        contract.NewState(),
-		seen:         make(map[cryptoutil.Digest]bool),
+		pool:         NewMempool(MempoolConfig{}),
+		admission:    guard.NewAdmission(guard.AdmissionConfig{}),
 		receipts:     make(map[cryptoutil.Digest]*contract.Receipt),
 		votes:        make(map[cryptoutil.Digest]*voteSet),
 		votedAt:      make(map[uint64]map[cryptoutil.Address]cryptoutil.Digest),
@@ -343,21 +348,51 @@ func (n *Node) EventsSince(height uint64) []EventRecord {
 	return out
 }
 
+// mempoolFullRetryAfter is the backpressure hint attached when the
+// bounded pool itself (not the admission controller) rejects: roughly
+// one commit round, after which capacity has usually drained.
+const mempoolFullRetryAfter = 50 * time.Millisecond
+
 // SubmitLocal validates a transaction into the local mempool (no
-// gossip).
+// gossip): signature verification, committed/pending dedupe, admission
+// control (per-client rate, global budgets, overload shedding), then
+// bounded-pool admission (nonce contiguity, deadline, capacity).
+// Rejections are typed — ErrRateLimited and ErrMempoolFull carry
+// retry-after hints via resilience.RetryAfterHint — and duplicates are
+// silently idempotent, which gossip re-delivery depends on.
 func (n *Node) SubmitLocal(tx *ledger.Transaction) error {
 	if err := tx.Verify(); err != nil {
 		return fmt.Errorf("%w: %v", ErrMempool, err)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	id := tx.ID()
-	if n.seen[id] {
+	if n.chain.HasTx(id) || n.pool.Contains(id) {
 		return nil // idempotent
 	}
-	n.seen[id] = true
-	n.mempool = append(n.mempool, tx)
-	return nil
+	class := ClassOf(tx.Type)
+	d := n.admission.Decide(tx.From.String(), class, txSize(tx), n.pool.Fill())
+	if !d.Admit {
+		var base error
+		switch d.Reason {
+		case guard.RejectShedding, guard.RejectSaturated:
+			// Overload shedding is fill-driven: to the client it is the
+			// pool being effectively full for its priority class.
+			base = fmt.Errorf("%w: %s (admission state %s)", ErrMempoolFull, d.Reason, d.State)
+		default:
+			base = fmt.Errorf("%w: %s", ErrRateLimited, d.Reason)
+		}
+		return resilience.WithRetryAfter(base, d.RetryAfter)
+	}
+	err := n.pool.Add(tx, class, n.chain.NextNonce(tx.From), n.chain.Height())
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ledger.ErrDuplicateTx):
+		return nil // idempotent
+	case errors.Is(err, ErrMempoolFull):
+		return resilience.WithRetryAfter(err, mempoolFullRetryAfter)
+	default:
+		return err
+	}
 }
 
 // Gossip broadcasts a transaction to every node (including storing it
@@ -379,10 +414,33 @@ func (n *Node) Gossip(tx *ledger.Transaction) error {
 }
 
 // MempoolSize returns the number of pending transactions.
-func (n *Node) MempoolSize() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.mempool)
+func (n *Node) MempoolSize() int { return n.pool.Size() }
+
+// MempoolStats snapshots the bounded pool's occupancy and typed drop
+// counters.
+func (n *Node) MempoolStats() MempoolStats { return n.pool.Stats() }
+
+// SetMempoolConfig retunes the pool bounds in place.
+func (n *Node) SetMempoolConfig(cfg MempoolConfig) { n.pool.SetConfig(cfg) }
+
+// SetAdmissionConfig retunes the client admission controller.
+func (n *Node) SetAdmissionConfig(cfg guard.AdmissionConfig) { n.admission.SetConfig(cfg) }
+
+// AdmissionStats snapshots the admission controller (overload state,
+// admit/reject counters per reason).
+func (n *Node) AdmissionStats() guard.AdmissionStats { return n.admission.Stats() }
+
+// OverloadState returns the admission controller's current position in
+// the healthy → shedding → saturated machine, advanced against the
+// pool's present fill.
+func (n *Node) OverloadState() guard.OverloadState {
+	return n.admission.State(n.pool.Fill())
+}
+
+// PendingNonce returns the nonce a client of this node must sign next:
+// the chain's committed expectation plus the sender's pending run.
+func (n *Node) PendingNonce(addr cryptoutil.Address) uint64 {
+	return n.pool.NextNonce(addr, n.chain.NextNonce(addr))
 }
 
 // endpoint returns the node's current transport, or nil while stopped.
@@ -1120,42 +1178,19 @@ func (n *Node) recordReceipt(blk *ledger.Block, tx *ledger.Transaction, r *contr
 	}
 }
 
+// pruneMempool removes a committed block's transactions from the pool,
+// drops residents whose nonce the block consumed, and re-checks
+// deadlines against the new height. Called after chain.Append, so the
+// chain's nonce expectations already reflect the block.
 func (n *Node) pruneMempool(blk *ledger.Block) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	inBlock := make(map[cryptoutil.Digest]bool, len(blk.Txs))
-	for _, tx := range blk.Txs {
-		inBlock[tx.ID()] = true
-	}
-	kept := n.mempool[:0]
-	for _, tx := range n.mempool {
-		if !inBlock[tx.ID()] {
-			kept = append(kept, tx)
-		}
-	}
-	n.mempool = kept
+	n.pool.RemoveCommitted(blk, n.chain.NextNonce)
 }
 
-// takeMempool drains up to max transactions in deterministic order
-// (sender address, then nonce, then ID).
+// takeMempool snapshots up to max pending transactions in the pool's
+// deterministic proposal order, dropping anything whose deadline
+// cannot make the next block.
 func (n *Node) takeMempool(max int) []*ledger.Transaction {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	txs := make([]*ledger.Transaction, len(n.mempool))
-	copy(txs, n.mempool)
-	sort.Slice(txs, func(i, j int) bool {
-		if txs[i].From != txs[j].From {
-			return txs[i].From.String() < txs[j].From.String()
-		}
-		if txs[i].Nonce != txs[j].Nonce {
-			return txs[i].Nonce < txs[j].Nonce
-		}
-		return txs[i].ID().String() < txs[j].ID().String()
-	})
-	if max > 0 && len(txs) > max {
-		txs = txs[:max]
-	}
-	return txs
+	return n.pool.Take(max, n.chain.Height(), n.chain.NextNonce)
 }
 
 // produceBlock builds, seals, commits, and broadcasts the next block

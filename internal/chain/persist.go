@@ -119,10 +119,10 @@ func (n *Node) reopenStore() error {
 
 // adoptRecovered swaps recovered ledger/state/receipts into the node.
 // The mempool is dropped (a crashed process loses it; gossip and
-// regossip repopulate) and seen is rebuilt from the committed history
-// so committed transactions cannot re-enter the mempool. Host
-// functions installed on the previous state (oracle bridges) carry
-// over.
+// ResubmitPending repopulate it), and committed-transaction dedupe
+// needs no rebuild — SubmitLocal consults the recovered chain's
+// transaction index directly. Host functions installed on the previous
+// state (oracle bridges) carry over.
 func (n *Node) adoptRecovered(rec *store.Recovered) {
 	n.applyMu.Lock()
 	defer n.applyMu.Unlock()
@@ -131,14 +131,13 @@ func (n *Node) adoptRecovered(rec *store.Recovered) {
 	rec.State.AdoptHostFrom(n.state)
 	n.chain = rec.Chain
 	n.state = rec.State
-	n.mempool = nil
-	n.seen = make(map[cryptoutil.Digest]bool)
-	n.chain.Walk(func(blk *ledger.Block) bool {
-		for _, tx := range blk.Txs {
-			n.seen[tx.ID()] = true
-		}
-		return true
-	})
+	n.pool.Reset()
+	// The audit nonce sequence re-anchors to the recovered chain: any
+	// in-flight audit transactions died with the pool, and continuing
+	// the old sequence would leave a permanent nonce gap.
+	n.auditMu.Lock()
+	n.auditNonceNext = 0
+	n.auditMu.Unlock()
 	n.receipts = make(map[cryptoutil.Digest]*contract.Receipt, len(rec.Receipts))
 	for _, r := range rec.Receipts {
 		n.receipts[r.TxID] = r

@@ -217,10 +217,14 @@ func (o *Orchestrator) AwaitRecovery(timeout time.Duration) error {
 	defer o.mu.Unlock()
 	if !converged {
 		o.events = append(o.events, Event{Detail: fmt.Sprintf("recovery timed out after %v", timeout)})
-		if err := o.cluster.VerifyConsistency(); err != nil {
-			return fmt.Errorf("chaos: cluster did not recover: %w", err)
+		heights := make([]uint64, o.cluster.Size())
+		for i, n := range o.cluster.Nodes() {
+			heights[i] = n.Height()
 		}
-		return fmt.Errorf("chaos: cluster did not converge within %v", timeout)
+		if err := o.cluster.VerifyConsistency(); err != nil {
+			return fmt.Errorf("chaos: cluster did not recover (heights %v): %w", heights, err)
+		}
+		return fmt.Errorf("chaos: cluster did not converge within %v (heights %v)", timeout, heights)
 	}
 	o.events = append(o.events, Event{Detail: fmt.Sprintf("recovered: %d nodes consistent at height %d in %v",
 		o.cluster.Size(), o.cluster.Node(0).Height(), elapsed.Round(time.Millisecond))})

@@ -184,3 +184,40 @@ func PartitionAndHeal(nodes, rounds int, seed int64) Schedule {
 		},
 	}
 }
+
+// OverloadScenario scripts the fault half of an overload run: a
+// sequence of slow-drain windows — a seeded node (often the upcoming
+// proposer) is given a processing delay, healed one or two rounds
+// later — with no crashes or partitions, so block production never
+// stalls outright and commit-latency bounds measured in blocks stay
+// meaningful while the mempool is under flood. Identical (nodes,
+// rounds, seed) yield identical schedules.
+func OverloadScenario(nodes, rounds int, seed int64) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	sched := Schedule{Name: "overload", Seed: seed}
+	if nodes < 3 || rounds < 10 {
+		return sched
+	}
+	end := rounds - 3
+	r := 2 + rng.Intn(3)
+	for r < end {
+		heal := r + 1 + rng.Intn(2)
+		if heal >= end {
+			heal = end - 1
+		}
+		if heal <= r {
+			break
+		}
+		victim := rng.Intn(nodes)
+		if rng.Float64() < 0.5 {
+			victim = proposerFor(r, nodes) // slow-drain proposer: the worst case for queued txs
+		}
+		delay := time.Duration(50+rng.Intn(200)) * time.Microsecond
+		sched.Steps = append(sched.Steps,
+			Step{Round: r, Kind: KindSlowNode, Node: victim, Delay: delay},
+			Step{Round: heal, Kind: KindSlowNode, Node: victim, Delay: 0},
+		)
+		r = heal + 3 + rng.Intn(4)
+	}
+	return sched
+}

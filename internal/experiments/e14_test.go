@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// A reduced two-point sweep must show the overload story end to end:
+// both rows commit, the top multiplier sheds with typed errors only,
+// and no pool ever exceeds its bound. The bars live in E14Verify so
+// CI and the benchmark enforce exactly what this test does.
+func TestE14OverloadSweep(t *testing.T) {
+	cfg := E14Config{Multipliers: []float64{1, 10}, Seed: 7}
+	rows, err := E14Overload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + TableE14(rows))
+	if err := E14Verify(cfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	// The flood row must have offered strictly more than it committed —
+	// otherwise the "overload" never outran the edge and the shed bar
+	// in E14Verify passed vacuously.
+	top := rows[1]
+	if top.Offered <= top.Committed {
+		t.Fatalf("top multiplier not overloaded: offered %d <= committed %d", top.Offered, top.Committed)
+	}
+}

@@ -1,0 +1,197 @@
+package guard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// admissionWith binds guard_test.go's fakeClock to a controller for
+// deterministic bucket refills.
+func admissionWith(c *fakeClock, cfg AdmissionConfig) *Admission {
+	cfg.Clock = c.Now
+	return NewAdmission(cfg)
+}
+
+func TestOverloadStateMachineHysteresis(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{}) // defaults: shed 0.75/0.50, saturate 0.92/0.75
+	steps := []struct {
+		fill float64
+		want OverloadState
+	}{
+		{0.00, StateHealthy},
+		{0.74, StateHealthy},   // below ShedAt
+		{0.75, StateShedding},  // engage
+		{0.60, StateShedding},  // hysteresis: above release, stays
+		{0.49, StateHealthy},   // below ShedReleaseAt
+		{0.95, StateSaturated}, // straight through to saturated
+		{0.80, StateSaturated}, // above SaturateReleaseAt, stays
+		{0.70, StateShedding},  // relaxes one level
+		{0.10, StateHealthy},   // and all the way down
+	}
+	for i, s := range steps {
+		if got := a.State(s.fill); got != s.want {
+			t.Fatalf("step %d: fill %.2f => %s, want %s", i, s.fill, got, s.want)
+		}
+	}
+	// healthy→shedding, →healthy, →saturated, →shedding, →healthy.
+	if got := a.Stats().Transitions; got != 5 {
+		t.Fatalf("transitions = %d, want 5", got)
+	}
+}
+
+func TestSheddingDropsLowestClassFirst(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{})
+	// Shedding: bulk rejected, normal and critical admitted.
+	if d := a.Decide("c1", ClassBulk, 100, 0.80); d.Admit || d.Reason != RejectShedding {
+		t.Fatalf("bulk under shedding: %+v", d)
+	}
+	if d := a.Decide("c1", ClassBulk, 100, 0.80); d.RetryAfter <= 0 {
+		t.Fatalf("shed rejection carries no retry-after hint: %+v", d)
+	}
+	if d := a.Decide("c1", ClassNormal, 100, 0.80); !d.Admit {
+		t.Fatalf("normal under shedding rejected: %+v", d)
+	}
+	// Saturated: everything sub-critical rejected.
+	if d := a.Decide("c1", ClassNormal, 100, 0.95); d.Admit || d.Reason != RejectSaturated {
+		t.Fatalf("normal under saturation: %+v", d)
+	}
+	if d := a.Decide("c1", ClassBulk, 100, 0.95); d.Admit || d.Reason != RejectSaturated {
+		t.Fatalf("bulk under saturation: %+v", d)
+	}
+	// Critical bypasses every state.
+	if d := a.Decide("c1", ClassCritical, 100, 0.99); !d.Admit {
+		t.Fatalf("critical under saturation rejected: %+v", d)
+	}
+	st := a.Stats()
+	if st.AdmittedCritical != 1 {
+		t.Fatalf("AdmittedCritical = %d, want 1", st.AdmittedCritical)
+	}
+	if st.Rejected[RejectShedding] != 2 || st.Rejected[RejectSaturated] != 2 {
+		t.Fatalf("rejection breakdown %v", st.Rejected)
+	}
+}
+
+func TestClientBucketRefillsAndHints(t *testing.T) {
+	clk := newFakeClock()
+	a := admissionWith(clk, AdmissionConfig{ClientRate: 2, ClientBurst: 2})
+	for i := 0; i < 2; i++ {
+		if d := a.Decide("alice", ClassNormal, 10, 0); !d.Admit {
+			t.Fatalf("admit %d within burst rejected: %+v", i, d)
+		}
+	}
+	d := a.Decide("alice", ClassNormal, 10, 0)
+	if d.Admit || d.Reason != RejectClientRate {
+		t.Fatalf("over-burst decision: %+v", d)
+	}
+	// One token refills in 1/rate = 500ms; the hint must say so.
+	if d.RetryAfter != 500*time.Millisecond {
+		t.Fatalf("retry-after hint = %v, want 500ms", d.RetryAfter)
+	}
+	// An unrelated client has its own bucket.
+	if d := a.Decide("bob", ClassNormal, 10, 0); !d.Admit {
+		t.Fatalf("bob throttled by alice's bucket: %+v", d)
+	}
+	// After the hinted wait, alice gets exactly one more token.
+	clk.advance(500 * time.Millisecond)
+	if d := a.Decide("alice", ClassNormal, 10, 0); !d.Admit {
+		t.Fatalf("refilled token rejected: %+v", d)
+	}
+	if d := a.Decide("alice", ClassNormal, 10, 0); d.Admit {
+		t.Fatal("second token admitted before refill")
+	}
+}
+
+func TestGlobalBudgets(t *testing.T) {
+	clk := newFakeClock()
+	a := admissionWith(clk, AdmissionConfig{GlobalTxRate: 1, GlobalTxBurst: 2})
+	if d := a.Decide("a", ClassNormal, 1, 0); !d.Admit {
+		t.Fatalf("first: %+v", d)
+	}
+	if d := a.Decide("b", ClassNormal, 1, 0); !d.Admit {
+		t.Fatalf("second: %+v", d)
+	}
+	// Budget is shared: a third client is rejected even though it never
+	// submitted before.
+	if d := a.Decide("c", ClassNormal, 1, 0); d.Admit || d.Reason != RejectGlobalTx {
+		t.Fatalf("global budget not enforced: %+v", d)
+	}
+
+	clk2 := newFakeClock()
+	b := admissionWith(clk2, AdmissionConfig{GlobalByteRate: 100, GlobalByteBurst: 1000})
+	if d := b.Decide("a", ClassNormal, 900, 0); !d.Admit {
+		t.Fatalf("bytes within burst: %+v", d)
+	}
+	d := b.Decide("a", ClassNormal, 900, 0)
+	if d.Admit || d.Reason != RejectGlobalBytes {
+		t.Fatalf("byte budget not enforced: %+v", d)
+	}
+	// 800 missing bytes at 100 B/s => 8s hint.
+	if d.RetryAfter != 8*time.Second {
+		t.Fatalf("byte retry-after = %v, want 8s", d.RetryAfter)
+	}
+}
+
+func TestClientTableRecyclesLRU(t *testing.T) {
+	clk := newFakeClock()
+	a := admissionWith(clk, AdmissionConfig{ClientRate: 1, ClientBurst: 1, MaxClients: 3})
+	a.Decide("old", ClassNormal, 1, 0) // each spends its only token
+	clk.advance(10 * time.Millisecond)
+	a.Decide("mid", ClassNormal, 1, 0)
+	clk.advance(10 * time.Millisecond)
+	a.Decide("late", ClassNormal, 1, 0)
+	clk.advance(10 * time.Millisecond)
+	// Table full: admitting "new" must recycle "old" (least recently
+	// seen), keeping the table bounded.
+	a.Decide("new", ClassNormal, 1, 0)
+	if got := a.Stats().Clients; got != 3 {
+		t.Fatalf("client table size %d, want 3", got)
+	}
+	// Survivors kept their drained buckets.
+	if d := a.Decide("mid", ClassNormal, 1, 0); d.Admit {
+		t.Fatal("surviving client's spent bucket was reset")
+	}
+	// "old" returns with a fresh bucket — its earlier spend was
+	// recycled away, so it is admitted again immediately (and evicts
+	// another entry to make room).
+	if d := a.Decide("old", ClassNormal, 1, 0); !d.Admit {
+		t.Fatalf("recycled client not re-admitted: %+v", d)
+	}
+	if got := a.Stats().Clients; got != 3 {
+		t.Fatalf("client table grew past MaxClients: %d", got)
+	}
+}
+
+func TestZeroValueConfigHasNoRateLimits(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{})
+	for i := 0; i < 10_000; i++ {
+		if d := a.Decide("flood", ClassBulk, 1<<20, 0.1); !d.Admit {
+			t.Fatalf("zero-value config rejected tx %d: %+v", i, d)
+		}
+	}
+	if got := a.Stats().Admitted; got != 10_000 {
+		t.Fatalf("admitted = %d", got)
+	}
+}
+
+// TestDecideIsConcurrencySafe hammers one controller from several
+// goroutines across the LRU-recycle path; the assertion is the race
+// detector's.
+func TestDecideIsConcurrencySafe(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{ClientRate: 1000, MaxClients: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				a.Decide(fmt.Sprintf("client-%d-%d", g, i%16), ClassNormal, 64, float64(i%100)/100)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if a.Stats().Clients > 8 {
+		t.Fatalf("client table grew past MaxClients: %d", a.Stats().Clients)
+	}
+}

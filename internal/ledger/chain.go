@@ -18,6 +18,7 @@ var (
 	ErrNotFound     = errors.New("ledger: not found")
 	ErrNilBlock     = errors.New("ledger: nil block")
 	ErrBadTimestamp = errors.New("ledger: block timestamp before parent")
+	ErrTxExpired    = errors.New("ledger: transaction expired before commit")
 )
 
 // Chain is a validating, append-only block store with a transaction
@@ -150,6 +151,10 @@ func (c *Chain) validate(b *Block) error {
 		if err := tx.Verify(); err != nil {
 			return fmt.Errorf("ledger: tx %d: %w", i, err)
 		}
+		if tx.ExpiredAt(b.Header.Height) {
+			return fmt.Errorf("%w: tx %d deadline %d, block height %d",
+				ErrTxExpired, i, tx.Expiry, b.Header.Height)
+		}
 		id := tx.ID()
 		if seen[id] || c.hasTxLocked(id) {
 			return fmt.Errorf("%w: %s", ErrDuplicateTx, id.Short())
@@ -236,6 +241,9 @@ func (c *Chain) VerifyIntegrity() error {
 		for j, tx := range b.Txs {
 			if err := tx.Verify(); err != nil {
 				return fmt.Errorf("ledger: block %d tx %d: %w", i, j, err)
+			}
+			if tx.ExpiredAt(b.Header.Height) {
+				return fmt.Errorf("%w: block %d tx %d", ErrTxExpired, i, j)
 			}
 		}
 	}

@@ -59,6 +59,14 @@ type Transaction struct {
 	Args []byte `json:"args,omitempty"`
 	// Timestamp is the creation time in Unix nanoseconds.
 	Timestamp int64 `json:"timestamp"`
+	// Expiry is the transaction's deadline: the highest block height at
+	// which it may still be committed (0 = no deadline). It is covered
+	// by the signature so relays cannot extend a client's deadline, and
+	// it is enforced everywhere a transaction moves — mempool admission,
+	// gossip relay, proposal assembly, and block validation — so an
+	// expired transaction is dropped with a typed reason rather than
+	// lingering in pools or committing late.
+	Expiry uint64 `json:"expiry,omitempty"`
 	// PubKey is the sender's uncompressed public key.
 	PubKey []byte `json:"pub_key,omitempty"`
 	// Sig is the sender's signature over ID().
@@ -68,10 +76,11 @@ type Transaction struct {
 // signingBytes returns the canonical byte encoding covered by the
 // transaction signature (everything except the signature itself).
 func (tx *Transaction) signingBytes() []byte {
-	var nonceBuf, tsBuf [8]byte
+	var nonceBuf, tsBuf, expiryBuf [8]byte
 	for i := 0; i < 8; i++ {
 		nonceBuf[i] = byte(tx.Nonce >> (56 - 8*i))
 		tsBuf[i] = byte(uint64(tx.Timestamp) >> (56 - 8*i))
+		expiryBuf[i] = byte(tx.Expiry >> (56 - 8*i))
 	}
 	d := cryptoutil.SumAll(
 		[]byte(tx.Type),
@@ -81,6 +90,7 @@ func (tx *Transaction) signingBytes() []byte {
 		[]byte(tx.Method),
 		tx.Args,
 		tsBuf[:],
+		expiryBuf[:],
 		tx.PubKey,
 	)
 	return d.Bytes()
@@ -127,6 +137,12 @@ func (tx *Transaction) Verify() error {
 		return ErrBadSignature
 	}
 	return nil
+}
+
+// ExpiredAt reports whether committing the transaction at the given
+// block height would violate its deadline. A zero Expiry never expires.
+func (tx *Transaction) ExpiredAt(height uint64) bool {
+	return tx.Expiry != 0 && height > tx.Expiry
 }
 
 // Encode serializes the transaction to JSON.

@@ -1,0 +1,431 @@
+// Package loadgen is the closed-loop load harness for the serving
+// edge: it drives a chain.Cluster with configurable client fleets —
+// open-loop (fixed offered rate, deaf to backpressure) or closed-loop
+// (bounded in-flight window, honoring retry-after hints) — while a
+// commit driver produces blocks, and reports sustained goodput, commit
+// latency quantiles (p50/p99/p999), a typed rejection breakdown, and
+// Jain's fairness index over per-client committed counts. Experiment
+// E14 sweeps it across offered-load multipliers to show the bounded
+// mempool + admission control keeping honest clients' latency flat
+// while excess load is shed with typed errors instead of queued into
+// collapse.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"medchain/internal/chain"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+	"medchain/internal/resilience"
+)
+
+// Config tunes one load run.
+type Config struct {
+	// Clients is the number of independent client identities (default 4).
+	// Client i submits through cluster node i mod N — each client has a
+	// fixed serving edge, so per-client admission state is meaningful.
+	Clients int
+	// Rate is each client's offered load in tx/s (default 200).
+	Rate float64
+	// Duration is the generation window (default 1s). Commits continue
+	// until in-flight transactions resolve (DrainTimeout).
+	Duration time.Duration
+	// Window, when > 0, switches clients to closed-loop: each keeps at
+	// most Window transactions in flight and submits the next only when
+	// one resolves. 0 = open-loop at Rate regardless of outcomes.
+	Window int
+	// Type is the generated transaction type (default ledger.TxData —
+	// ClassBulk, the first traffic shed under overload). Probe clients
+	// use ledger.TxTrial / TxAnalytics for ClassNormal.
+	Type ledger.TxType
+	// TTLBlocks stamps each transaction's deadline TTLBlocks past the
+	// submit-time chain height (0 = no deadline).
+	TTLBlocks uint64
+	// Backoff makes clients honor retry-after hints on rejection before
+	// re-offering (well-behaved clients). Off, rejections are counted
+	// and the client stays on its open-loop schedule (greedy clients).
+	Backoff bool
+	// KeySeed derives the deterministic client keys (default "loadgen").
+	KeySeed string
+	// CommitInterval paces the background commit driver (default 2ms).
+	CommitInterval time.Duration
+	// DrainTimeout bounds the post-generation drain (default 10s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Rate <= 0 {
+		c.Rate = 200
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Type == "" {
+		c.Type = ledger.TxData
+	}
+	if c.KeySeed == "" {
+		c.KeySeed = "loadgen"
+	}
+	if c.CommitInterval <= 0 {
+		c.CommitInterval = 2 * time.Millisecond
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Rejection reason keys in Result.Rejected.
+const (
+	ReasonMempoolFull = "mempool-full"
+	ReasonRateLimited = "rate-limited"
+	ReasonExpired     = "expired"
+	ReasonNonceGap    = "nonce-gap"
+	ReasonStaleNonce  = "stale-nonce"
+	ReasonStopped     = "stopped"
+	ReasonOther       = "other"
+)
+
+// classify maps a typed submission error to its breakdown key.
+func classify(err error) string {
+	switch {
+	case errors.Is(err, chain.ErrMempoolFull):
+		return ReasonMempoolFull
+	case errors.Is(err, chain.ErrRateLimited):
+		return ReasonRateLimited
+	case errors.Is(err, chain.ErrExpired):
+		return ReasonExpired
+	case errors.Is(err, chain.ErrNonceGap):
+		return ReasonNonceGap
+	case errors.Is(err, chain.ErrStaleNonce):
+		return ReasonStaleNonce
+	case errors.Is(err, chain.ErrStopped):
+		return ReasonStopped
+	default:
+		return ReasonOther
+	}
+}
+
+// Result is one load run's measurement.
+type Result struct {
+	// Offered counts submission attempts; Submitted the subset a node
+	// admitted; Committed the subset that landed in a block; ExpiredTTL
+	// the subset admitted but dead-lettered by its deadline; Lost the
+	// subset that left every pool without committing (e.g. successors
+	// stranded behind an expired predecessor and dropped with it).
+	Offered, Submitted, Committed, ExpiredTTL, Lost int64
+	// Rejected breaks admission rejections down by typed reason.
+	Rejected map[string]int64
+	// Blocks is how many blocks the commit driver produced.
+	Blocks int
+	// Duration is the wall-clock generation window; Goodput is
+	// Committed/Duration in tx/s.
+	Duration time.Duration
+	Goodput  float64
+	// P50/P99/P999/Max are submit→commit latency quantiles over
+	// committed transactions.
+	P50, P99, P999, Max time.Duration
+	// PerClient is each client's committed count; Fairness is Jain's
+	// index over it (1 = perfectly fair, 1/n = one client starved the
+	// rest).
+	PerClient []int64
+	Fairness  float64
+}
+
+// inflight tracks one submitted, not-yet-resolved transaction.
+type inflight struct {
+	client    int
+	submitted time.Time
+	expiry    uint64
+}
+
+// tracker resolves submitted transactions against committed blocks.
+type tracker struct {
+	mu        sync.Mutex
+	pending   map[cryptoutil.Digest]inflight
+	latencies []time.Duration
+	perClient []int64
+	committed int64
+	expired   int64
+	inflight  []int64 // per-client in-flight counts (closed loop gate)
+}
+
+func newTracker(clients int) *tracker {
+	return &tracker{
+		pending:   make(map[cryptoutil.Digest]inflight),
+		perClient: make([]int64, clients),
+		inflight:  make([]int64, clients),
+	}
+}
+
+func (t *tracker) add(id cryptoutil.Digest, fl inflight) {
+	t.mu.Lock()
+	t.pending[id] = fl
+	t.inflight[fl.client]++
+	t.mu.Unlock()
+}
+
+func (t *tracker) clientInflight(client int) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.inflight[client]
+}
+
+// observe resolves the block's transactions and dead-letters pending
+// entries whose deadline the block's height has passed.
+func (t *tracker) observe(blk *ledger.Block, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tx := range blk.Txs {
+		fl, ok := t.pending[tx.ID()]
+		if !ok {
+			continue
+		}
+		delete(t.pending, tx.ID())
+		t.inflight[fl.client]--
+		t.committed++
+		t.perClient[fl.client]++
+		t.latencies = append(t.latencies, now.Sub(fl.submitted))
+	}
+	t.expireAtLocked(blk.Header.Height)
+}
+
+// expireAt dead-letters pending entries whose deadline the chain has
+// passed — the drain loop calls it directly so a run with expired
+// leftovers doesn't wait for a block that will never carry them.
+func (t *tracker) expireAt(height uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireAtLocked(height)
+}
+
+func (t *tracker) expireAtLocked(height uint64) {
+	for id, fl := range t.pending {
+		if fl.expiry != 0 && height > fl.expiry {
+			delete(t.pending, id)
+			t.inflight[fl.client]--
+			t.expired++
+		}
+	}
+}
+
+func (t *tracker) unresolved() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pending)
+}
+
+// Run drives one load run against the cluster. The cluster is used as
+// configured — tune pool capacity and admission before calling.
+func Run(c *chain.Cluster, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	keys := make([]*cryptoutil.KeyPair, cfg.Clients)
+	for i := range keys {
+		kp, err := cryptoutil.DeriveKeyPair(fmt.Sprintf("%s/client-%d", cfg.KeySeed, i))
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = kp
+	}
+
+	tr := newTracker(cfg.Clients)
+	var offered, submitted int64
+	rejected := make(map[string]int64)
+	var rejMu sync.Mutex
+
+	// Commit driver: produce blocks while generation runs, observe each
+	// committed block against the tracker, and keep draining afterwards
+	// until every in-flight transaction commits or dead-letters.
+	stopCommits := make(chan struct{})
+	var committerWG sync.WaitGroup
+	blocks := 0
+	committerWG.Add(1)
+	go func() {
+		defer committerWG.Done()
+		for {
+			select {
+			case <-stopCommits:
+				return
+			case <-time.After(cfg.CommitInterval):
+			}
+			pending := 0
+			for _, n := range c.Nodes() {
+				if n.Running() {
+					pending += n.MempoolSize()
+				}
+			}
+			if pending == 0 {
+				continue
+			}
+			blk, err := c.Commit()
+			if blk != nil {
+				blocks++
+				tr.observe(blk, time.Now())
+			}
+			_ = err // transient no-quorum rounds retry on the next tick
+		}
+	}()
+
+	// Client fleet.
+	var clientWG sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	for i := 0; i < cfg.Clients; i++ {
+		clientWG.Add(1)
+		go func(client int) {
+			defer clientWG.Done()
+			node := c.Node(client % c.Size())
+			kp := keys[client]
+			nonce := node.PendingNonce(kp.Address())
+			seq := 0
+			for time.Now().Before(deadline) {
+				if cfg.Window > 0 {
+					// Closed loop: wait for a slot instead of offering.
+					if tr.clientInflight(client) >= int64(cfg.Window) {
+						time.Sleep(cfg.CommitInterval)
+						continue
+					}
+				}
+				var expiry uint64
+				if cfg.TTLBlocks > 0 {
+					expiry = node.Height() + cfg.TTLBlocks
+				}
+				tx, err := buildTx(kp, cfg.Type, nonce, expiry, cfg.KeySeed, client, seq)
+				if err != nil {
+					return
+				}
+				atomic.AddInt64(&offered, 1)
+				submitAt := time.Now()
+				serr := c.SubmitVia(client%c.Size(), tx)
+				if serr == nil {
+					atomic.AddInt64(&submitted, 1)
+					tr.add(tx.ID(), inflight{client: client, submitted: submitAt, expiry: expiry})
+					nonce++
+					seq++
+				} else {
+					rejMu.Lock()
+					rejected[classify(serr)]++
+					rejMu.Unlock()
+					// The nonce was not consumed; re-anchor to the edge's
+					// view in case a competing path (expiry dead-letter)
+					// shifted the expected sequence.
+					nonce = node.PendingNonce(kp.Address())
+					if cfg.Backoff {
+						if hint, ok := resilience.RetryAfterHint(serr); ok {
+							time.Sleep(hint)
+							continue
+						}
+					}
+				}
+				if cfg.Window == 0 {
+					time.Sleep(interval)
+				}
+			}
+		}(i)
+	}
+	clientWG.Wait()
+	genDur := time.Since(start)
+
+	// Drain: let the committer resolve everything still in flight.
+	drainDeadline := time.Now().Add(cfg.DrainTimeout)
+	emptyRounds := 0
+	for tr.unresolved() > 0 && time.Now().Before(drainDeadline) {
+		tr.expireAt(c.Node(0).Height())
+		pending := 0
+		for _, n := range c.Nodes() {
+			if n.Running() {
+				pending += n.MempoolSize()
+			}
+		}
+		if pending == 0 {
+			// Nothing left to commit anywhere: whatever the tracker still
+			// holds was dropped from the pools (expiry cascades) and will
+			// never resolve — stop waiting and count it as lost.
+			if emptyRounds++; emptyRounds >= 5 {
+				break
+			}
+		} else {
+			emptyRounds = 0
+		}
+		time.Sleep(cfg.CommitInterval)
+	}
+	close(stopCommits)
+	committerWG.Wait()
+
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	res := &Result{
+		Offered:    atomic.LoadInt64(&offered),
+		Submitted:  atomic.LoadInt64(&submitted),
+		Committed:  tr.committed,
+		ExpiredTTL: tr.expired,
+		Lost:       int64(len(tr.pending)),
+		Rejected:   rejected,
+		Blocks:     blocks,
+		Duration:   genDur,
+		PerClient:  append([]int64(nil), tr.perClient...),
+		Fairness:   jain(tr.perClient),
+	}
+	if genDur > 0 {
+		res.Goodput = float64(tr.committed) / genDur.Seconds()
+	}
+	res.P50, res.P99, res.P999, res.Max = quantiles(tr.latencies)
+	return res, nil
+}
+
+// buildTx constructs one signed load transaction. Payloads are unique
+// per (seed, client, seq) so IDs never collide across runs.
+func buildTx(kp *cryptoutil.KeyPair, typ ledger.TxType, nonce, expiry uint64, seed string, client, seq int) (*ledger.Transaction, error) {
+	tx := &ledger.Transaction{
+		Type:      typ,
+		Nonce:     nonce,
+		Method:    "loadgen",
+		Args:      []byte(fmt.Sprintf(`{"seed":%q,"client":%d,"seq":%d}`, seed, client, seq)),
+		Timestamp: time.Now().UnixNano(),
+		Expiry:    expiry,
+	}
+	if err := tx.Sign(kp); err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// quantiles returns p50/p99/p999/max over the latency sample.
+func quantiles(lat []time.Duration) (p50, p99, p999, max time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0, 0, 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return at(0.50), at(0.99), at(0.999), s[len(s)-1]
+}
+
+// jain computes Jain's fairness index (Σx)² / (n·Σx²) over per-client
+// committed counts: 1 when every client got equal goodput, 1/n when
+// one client took everything. Zero-throughput runs score 0.
+func jain(counts []int64) float64 {
+	var sum, sumSq float64
+	for _, c := range counts {
+		x := float64(c)
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 || len(counts) == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(counts)) * sumSq)
+}

@@ -94,9 +94,69 @@ func (b *Backoff) Sleep() { time.Sleep(b.Next()) }
 // ErrRetriesExhausted wraps the last error after Retry gives up.
 var ErrRetriesExhausted = errors.New("resilience: retries exhausted")
 
+// retryAfterError carries a server-supplied backpressure hint alongside
+// the error it decorates. It unwraps to the decorated error, so
+// errors.Is/As see through it.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.err, e.after)
+}
+
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// RetryAfter implements the hint-carrier convention: any error in a
+// chain exposing `RetryAfter() time.Duration` is honored by Retry.
+func (e *retryAfterError) RetryAfter() time.Duration { return e.after }
+
+// WithRetryAfter decorates err with a retry-after hint — the overloaded
+// side's estimate of when the caller should try again (admission-control
+// token refill, shed-state release). A nil err or non-positive hint
+// returns err unchanged.
+func WithRetryAfter(err error, after time.Duration) error {
+	if err == nil || after <= 0 {
+		return err
+	}
+	return &retryAfterError{err: err, after: after}
+}
+
+// RetryAfterHint extracts the longest retry-after hint in err's chain
+// (ok=false when no hint is attached). Callers seeing backpressure
+// errors from the serving edge use it to pace resubmission instead of
+// hammering a shedding node.
+func RetryAfterHint(err error) (after time.Duration, ok bool) {
+	for err != nil {
+		if h, hok := err.(interface{ RetryAfter() time.Duration }); hok {
+			if d := h.RetryAfter(); d > after {
+				after, ok = d, true
+			}
+		}
+		switch x := err.(type) {
+		case interface{ Unwrap() error }:
+			err = x.Unwrap()
+		case interface{ Unwrap() []error }:
+			for _, sub := range x.Unwrap() {
+				if d, sok := RetryAfterHint(sub); sok && d > after {
+					after, ok = d, true
+				}
+			}
+			return after, ok
+		default:
+			return after, ok
+		}
+	}
+	return after, ok
+}
+
 // Retry runs fn up to attempts times, sleeping a backoff delay between
-// failures. It returns nil on the first success, or the last error
-// wrapped in ErrRetriesExhausted. attempts < 1 is treated as 1.
+// failures. When a failure carries a retry-after hint (WithRetryAfter),
+// the sleep is at least that hint — backpressure from an overloaded
+// serving edge overrides the local backoff curve. It returns nil on the
+// first success, or the last error wrapped in ErrRetriesExhausted.
+// attempts < 1 is treated as 1.
 func Retry(attempts int, b *Backoff, fn func() error) error {
 	if attempts < 1 {
 		attempts = 1
@@ -111,7 +171,11 @@ func Retry(attempts int, b *Backoff, fn func() error) error {
 			return nil
 		}
 		if i < attempts-1 {
-			b.Sleep()
+			d := b.Next()
+			if hint, ok := RetryAfterHint(last); ok && hint > d {
+				d = hint
+			}
+			time.Sleep(d)
 		}
 	}
 	return fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, attempts, last)

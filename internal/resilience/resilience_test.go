@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -105,5 +106,69 @@ func TestPollSeesLateCondition(t *testing.T) {
 	})
 	if !ok {
 		t.Fatal("condition that became true was missed")
+	}
+}
+
+func TestWithRetryAfterDecoratesAndUnwraps(t *testing.T) {
+	base := errors.New("pool full")
+	err := WithRetryAfter(base, 20*time.Millisecond)
+	if !errors.Is(err, base) {
+		t.Fatal("decorated error lost its identity")
+	}
+	if d, ok := RetryAfterHint(err); !ok || d != 20*time.Millisecond {
+		t.Fatalf("hint = %v/%v, want 20ms/true", d, ok)
+	}
+	// Nil and non-positive hints are identity operations.
+	if WithRetryAfter(nil, time.Second) != nil {
+		t.Fatal("decorated nil error")
+	}
+	if got := WithRetryAfter(base, 0); got != base {
+		t.Fatal("zero hint should return err unchanged")
+	}
+	if _, ok := RetryAfterHint(errors.New("plain")); ok {
+		t.Fatal("plain error claimed a hint")
+	}
+	if _, ok := RetryAfterHint(nil); ok {
+		t.Fatal("nil error claimed a hint")
+	}
+}
+
+// The cluster submit path reports one error per rejecting node via
+// errors.Join, each wrapped with its own hint; the caller must see the
+// longest hint so it outlasts every node's backpressure window.
+func TestRetryAfterHintThroughJoinedErrors(t *testing.T) {
+	joined := errors.Join(
+		fmt.Errorf("node 0: %w", WithRetryAfter(errors.New("rate limited"), 10*time.Millisecond)),
+		fmt.Errorf("node 1: %w", errors.New("no hint here")),
+		fmt.Errorf("node 2: %w", WithRetryAfter(errors.New("shedding"), 70*time.Millisecond)),
+	)
+	if d, ok := RetryAfterHint(joined); !ok || d != 70*time.Millisecond {
+		t.Fatalf("hint through join = %v/%v, want 70ms/true", d, ok)
+	}
+	// Nested decoration: the longest hint anywhere in the chain wins.
+	nested := WithRetryAfter(fmt.Errorf("outer: %w", WithRetryAfter(errors.New("inner"), 90*time.Millisecond)), 5*time.Millisecond)
+	if d, _ := RetryAfterHint(nested); d != 90*time.Millisecond {
+		t.Fatalf("nested hint = %v, want 90ms", d)
+	}
+}
+
+// Retry must pace itself by the server's hint when it exceeds the
+// local backoff curve: a shedding edge saying "come back in 60ms" is
+// not to be hammered at 1ms intervals.
+func TestRetryHonorsRetryAfterHint(t *testing.T) {
+	const hint = 60 * time.Millisecond
+	var stamps []time.Time
+	err := Retry(2, &Backoff{Base: time.Millisecond, Max: time.Millisecond}, func() error {
+		stamps = append(stamps, time.Now())
+		return WithRetryAfter(errors.New("shed"), hint)
+	})
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(stamps) != 2 {
+		t.Fatalf("fn ran %d times, want 2", len(stamps))
+	}
+	if gap := stamps[1].Sub(stamps[0]); gap < hint {
+		t.Fatalf("retry after %v, hint demanded >= %v", gap, hint)
 	}
 }

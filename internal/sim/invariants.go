@@ -101,6 +101,18 @@ func (ck *checker) checkBlock(c *chain.Cluster, blk *ledger.Block) {
 		return
 	}
 
+	// TTL: no committed transaction may have outlived its deadline.
+	// Expiry is consensus-validated (ledger.ErrTxExpired), so a hit
+	// here means a proposer packed — and a quorum accepted — a dead
+	// transaction. Checked on every run, not just overload ones.
+	ck.checks++
+	for _, tx := range blk.Txs {
+		if tx.ExpiredAt(h) {
+			ck.violationf("ttl: block %d committed expired tx %s (expiry height %d)", h, tx.ID().Short(), tx.Expiry)
+			return
+		}
+	}
+
 	// Serial shadow replay; its root must match the header root every
 	// node agreed on (state-root agreement: acceptBlock rejects blocks
 	// whose locally computed root diverges, so header == every live

@@ -124,6 +124,19 @@ type Config struct {
 	// quarantined by every honest node within a bounded number of
 	// blocks of its first offense.
 	Adversary *AdversaryConfig
+	// Overload, when set, constrains the cluster (small bounded
+	// mempools, small blocks) and drives a sustained flood — burst
+	// identities, a greedy bulk client, honest low-rate probes —
+	// against the admission-controlled serving edge (see
+	// OverloadConfig). The run then also checks the overload
+	// invariants: every pool stays within capacity at every
+	// observation point, no committed transaction ever outlived its
+	// TTL, honest fuzz traffic shed with a typed backpressure reason
+	// is retried to commit rather than lost, and every probe commits
+	// within a fixed block-latency bound despite the flood. The chaos
+	// schedule is restricted to slow-drain windows (no crashes or
+	// partitions) so those bounds stay meaningful.
+	Overload *OverloadConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +172,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxOffchainRuns == 0 {
 		c.MaxOffchainRuns = 400
+	}
+	if c.Overload != nil {
+		o := c.Overload.withDefaults()
+		c.Overload = &o
 	}
 	if c.Persist {
 		if c.DiskCrashEvery == 0 {
@@ -224,6 +241,19 @@ type Result struct {
 	// because the sender was quarantined.
 	MessagesDelivered   int64
 	MessagesQuarantined int64
+	// Overload metrics (set only when Config.Overload is): flood and
+	// greedy transactions offered, typed backpressure rejections
+	// observed at submit, honest fuzz transactions that were shed and
+	// requeued, pool-resident transactions that died at their TTL
+	// (summed over nodes), probe transactions committed with their
+	// worst block latency, and the highest occupancy any pool reached.
+	OverloadOffered  int64
+	OverloadShed     int64
+	OverloadRequeued int64
+	OverloadExpired  int64
+	ProbeTxs         int
+	ProbeMaxLatency  int
+	PeakMempool      int
 	// Violations are the invariant failures (empty on a green run).
 	Violations []string
 	// Counterexample is the minimized differential-oracle failure, if
@@ -258,6 +288,14 @@ func Run(cfg Config) (*Result, error) {
 		disks = newDiskChaos(cfg, chainID)
 		ccfg.Persist = disks.persistConfig()
 	}
+	if cfg.Overload != nil {
+		// Constrain the serving edge so the flood is a large multiple
+		// of drain capacity: small bounded pools, small blocks. The
+		// nodes' default admission controller (state machine on, no
+		// rate buckets) does the class-based shedding.
+		ccfg.MaxBlockTxs = cfg.Overload.MaxBlockTxs
+		ccfg.Mempool = &chain.MempoolConfig{Capacity: cfg.Overload.PoolCapacity}
+	}
 	if cfg.Adversary != nil {
 		// Shorten guard decay so quarantine release — and renewed
 		// offending — cycles inside one bounded run.
@@ -289,6 +327,12 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return res, err
 	}
+	var ov *overload
+	if cfg.Overload != nil {
+		if ov, err = newOverload(cfg); err != nil {
+			return res, err
+		}
+	}
 
 	sched := chaos.Schedule{Name: "no-faults", Seed: cfg.Seed}
 	if !cfg.NoFaults {
@@ -300,6 +344,12 @@ func Run(cfg Config) (*Result, error) {
 			faultNodes--
 		}
 		sched = chaos.Fuzz(faultNodes, cfg.Rounds, subSeed(cfg.Seed, "chaos"))
+		if cfg.Overload != nil {
+			// Crashes and partitions would make block-denominated
+			// latency bounds vacuous; overload runs take slow-drain
+			// windows only.
+			sched = chaos.OverloadScenario(faultNodes, cfg.Rounds, subSeed(cfg.Seed, "chaos"))
+		}
 	}
 	orch := chaos.New(cluster, sched)
 
@@ -314,9 +364,20 @@ func Run(cfg Config) (*Result, error) {
 		settleBudget = 500 * time.Millisecond
 	}
 
+	// Under overload, honest fuzz traffic hitting typed backpressure is
+	// requeued and retried (the well-behaved-client contract) instead
+	// of aborting the run; anything untyped still kills the harness.
+	// requeue order is preserved so per-actor nonce sequences stay
+	// intact across retries.
+	var requeue []*ledger.Transaction
 	submit := func(txs []*ledger.Transaction) error {
 		for _, tx := range txs {
 			if err := cluster.Submit(tx); err != nil {
+				if ov != nil && backpressure(err) {
+					requeue = append(requeue, tx)
+					res.OverloadRequeued++
+					continue
+				}
 				return fmt.Errorf("sim: submit: %w", err)
 			}
 			pending[tx.ID()] = true
@@ -365,6 +426,9 @@ func Run(cfg Config) (*Result, error) {
 			if ck.failed() {
 				return
 			}
+			if ov != nil {
+				ov.observe(blk)
+			}
 			for _, tx := range blk.Txs {
 				delete(pending, tx.ID())
 			}
@@ -386,6 +450,12 @@ func Run(cfg Config) (*Result, error) {
 				break
 			}
 		}
+		if ov != nil {
+			ov.advance(ck, cluster, round)
+			if ck.failed() {
+				break
+			}
+		}
 		var batch []*ledger.Transaction
 		if round == 0 {
 			batch, err = fz.setup()
@@ -394,6 +464,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if err != nil {
 			return res, err
+		}
+		if len(requeue) > 0 {
+			// Shed txs go first so a retried predecessor lands before
+			// this round's higher nonces from the same actor.
+			batch = append(requeue, batch...)
+			requeue = nil
 		}
 		if err := submit(batch); err != nil {
 			return res, err
@@ -416,14 +492,38 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if !ck.failed() {
 		orch.Finish()
-		if err := orch.AwaitRecovery(10 * time.Second); err != nil {
+		// Generous wall-clock allowance: after an adversary run the
+		// rejoining node waits out quarantine-score decay and re-syncs
+		// the whole chain through token-bucketed pages, all of which
+		// stretches under parallel-test CPU contention. Convergence is
+		// the correctness bar; speed is not.
+		if err := orch.AwaitRecovery(45 * time.Second); err != nil {
 			ck.violationf("recovery: %v", err)
 		}
-		for attempt := 0; attempt < 3 && len(pending) > 0 && !ck.failed(); attempt++ {
+		more := func() bool {
+			return len(pending) > 0 || len(requeue) > 0 || (ov != nil && ov.unresolved() > 0)
+		}
+		for attempt := 0; attempt < 5 && more() && !ck.failed(); attempt++ {
+			if len(requeue) > 0 {
+				// The flood has stopped; shed fuzz traffic must now be
+				// admittable. submit re-appends anything still shed.
+				q := requeue
+				requeue = nil
+				if err := submit(q); err != nil {
+					ck.violationf("drain: resubmit of shed traffic failed: %v", err)
+					break
+				}
+			}
+			if ov != nil {
+				ov.drain(cluster)
+			}
 			if _, err := cluster.CommitAll(); err != nil {
 				res.FailedRounds++
 			}
 			process()
+		}
+		if len(requeue) > 0 && !ck.failed() {
+			ck.violationf("liveness: %d shed transactions still rejected after drain", len(requeue))
 		}
 		if len(pending) > 0 && !ck.failed() {
 			ck.violationf("liveness: %d submitted transactions never committed after drain", len(pending))
@@ -442,6 +542,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if adv != nil && !ck.failed() {
 			adv.finish(ck, cluster)
+		}
+		if ov != nil && !ck.failed() {
+			ov.finish(ck, cluster)
 		}
 	}
 
@@ -467,6 +570,25 @@ func Run(cfg Config) (*Result, error) {
 		res.QuarantineBlocks = adv.quarantineBlocks
 		res.EvidenceExpected = len(adv.expected)
 		res.EvidenceRecords = len(ck.shadow.EvidenceRecords())
+	}
+	if ov != nil {
+		res.OverloadOffered = ov.offered
+		res.OverloadShed = ov.shed
+		for _, n := range cluster.Nodes() {
+			st := n.MempoolStats()
+			res.OverloadExpired += st.ExpiredInPool
+			if st.PeakSize > res.PeakMempool {
+				res.PeakMempool = st.PeakSize
+			}
+		}
+		for _, p := range ov.probes {
+			res.ProbeTxs += len(p.latencies)
+			for _, lat := range p.latencies {
+				if lat > res.ProbeMaxLatency {
+					res.ProbeMaxLatency = lat
+				}
+			}
+		}
 	}
 	res.Violations = ck.violations
 	res.Counterexample = ck.cex

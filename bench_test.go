@@ -259,6 +259,35 @@ func BenchmarkE14Overload(b *testing.B) {
 	b.Log("\n" + experiments.TableE14(rows))
 }
 
+func BenchmarkE15Index(b *testing.B) {
+	var fresh []experiments.E15FreshnessRow
+	var queries []experiments.E15QueryRow
+	cfg := experiments.E15Config{
+		IngestRounds: 2,
+		IngestBatch:  40,
+		CorpusSizes:  []int{2_000, 8_000},
+		QueryRepeats: 20,
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		var err error
+		fresh, err = experiments.E15Freshness(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries, err = experiments.E15QueryScaling(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.E15Verify(cfg, fresh, queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE15Freshness(fresh))
+	b.Log("\n" + experiments.TableE15Query(queries))
+}
+
 func BenchmarkA1Consensus(b *testing.B) {
 	var rows []experiments.A1Row
 	for i := 0; i < b.N; i++ {

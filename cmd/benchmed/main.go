@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (e1..e10,e12..e14,a1..a4), 'all', or 'sim'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1..e10,e12..e15,a1..a4), 'all', or 'sim'")
 	quick := flag.Bool("quick", false, "reduced sweep sizes for a fast pass")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	simRounds := flag.Int("sim.rounds", 2000, "fuzz/commit rounds for -run sim")
@@ -230,6 +230,28 @@ func main() {
 		fmt.Println(experiments.TableE14(rows))
 		if err := experiments.E14Verify(cfg, rows); err != nil {
 			fail("e14", err)
+		}
+	}
+	if want("e15") {
+		cfg := experiments.E15Config{Seed: *seed}
+		if *quick {
+			cfg.IngestRounds = 2
+			cfg.IngestBatch = 40
+			cfg.CorpusSizes = []int{2_000, 8_000}
+			cfg.QueryRepeats = 20
+		}
+		fresh, err := experiments.E15Freshness(cfg)
+		if err != nil {
+			fail("e15", err)
+		}
+		queries, err := experiments.E15QueryScaling(cfg)
+		if err != nil {
+			fail("e15", err)
+		}
+		fmt.Println(experiments.TableE15Freshness(fresh))
+		fmt.Println(experiments.TableE15Query(queries))
+		if err := experiments.E15Verify(cfg, fresh, queries); err != nil {
+			fail("e15", err)
 		}
 	}
 	if want("a1") {

@@ -1,8 +1,10 @@
 // Command medchaind runs a local medical-blockchain cluster and
 // exercises it: it boots N nodes under the chosen consensus engine,
-// registers a dataset per node, commits blocks, and prints the chain
-// state and per-node gas accounting. It is the smallest way to watch
-// the duplicated-computing architecture at work.
+// registers a dataset per node, anchors off-chain blob manifests
+// under each dataset (the data plane's entire on-chain footprint),
+// commits blocks, and prints the chain state, the per-dataset
+// manifest-set roots, and per-node gas accounting. It is the smallest
+// way to watch the duplicated-computing architecture at work.
 //
 //	medchaind -nodes 4 -engine quorum -blocks 3
 //
@@ -82,9 +84,14 @@ func run(nodes int, engine chain.EngineKind, difficulty uint8, blocks, txPerBloc
 	// data dir keeps extending the same chain.
 	nonce := c.Node(0).Chain().NextNonce(user.Address())
 	for b := 0; b < blocks; b++ {
+		// Each dataset registration is followed by a manifest anchor:
+		// two fabricated record blobs per dataset, batch root verified
+		// on-chain. Same-sender nonce order guarantees the dataset
+		// exists before its manifests apply.
 		for i := 0; i < txPerBlock; i++ {
+			dataset := fmt.Sprintf("hospital/emr-%d", nonce)
 			args, err := json.Marshal(contract.RegisterDatasetArgs{
-				ID:      fmt.Sprintf("hospital/emr-%d", nonce),
+				ID:      dataset,
 				Digest:  cryptoutil.Sum([]byte(fmt.Sprintf("data-%d-%d", b, i))),
 				Schema:  "cdf/v1",
 				Records: 100,
@@ -104,13 +111,36 @@ func run(nodes int, engine chain.EngineKind, difficulty uint8, blocks, txPerBloc
 			if err := c.Submit(tx); err != nil {
 				return err
 			}
+			entries := []contract.ManifestEntry{
+				{Record: "P-000001", Root: cryptoutil.Sum([]byte(dataset + "/P-000001"))},
+				{Record: "P-000002", Root: cryptoutil.Sum([]byte(dataset + "/P-000002"))},
+			}
+			margs, err := json.Marshal(contract.RegisterManifestsArgs{
+				Dataset:   dataset,
+				BatchRoot: contract.ManifestBatchRoot(entries),
+				Entries:   entries,
+			})
+			if err != nil {
+				return err
+			}
+			mtx := &ledger.Transaction{
+				Type: ledger.TxData, Nonce: nonce, Method: "register_manifests",
+				Args: margs, Timestamp: time.Now().UnixNano(),
+			}
+			nonce++
+			if err := mtx.Sign(user); err != nil {
+				return err
+			}
+			if err := c.Submit(mtx); err != nil {
+				return err
+			}
 		}
 		// Let gossip settle, then commit.
 		deadline := time.Now().Add(5 * time.Second)
 		for {
 			ready := true
 			for _, n := range c.Nodes() {
-				if n.MempoolSize() < txPerBlock {
+				if n.MempoolSize() < 2*txPerBlock {
 					ready = false
 					break
 				}
@@ -134,6 +164,17 @@ func run(nodes int, engine chain.EngineKind, difficulty uint8, blocks, txPerBloc
 		return fmt.Errorf("consistency check failed: %w", err)
 	}
 	fmt.Println("all nodes agree on head and state root ✔")
+
+	state := c.Node(0).State()
+	if sets := state.ManifestSets(); len(sets) > 0 {
+		fmt.Printf("\noff-chain manifest anchors (the data plane's on-chain footprint):\n")
+		for _, ds := range sets {
+			if set, ok := state.ManifestSetOf(ds); ok {
+				fmt.Printf("  %-20s %d records in %d batches, set root %s\n",
+					set.Dataset, set.Count, set.Batches, set.Root.Short())
+			}
+		}
+	}
 
 	fmt.Printf("\nper-node gas (duplicated execution):\n")
 	for _, n := range c.Nodes() {

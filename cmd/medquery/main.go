@@ -6,10 +6,12 @@
 //	medquery -sites 4 -patients 200 "count patients with diabetes aged 50-70"
 //	medquery "average glucose for women"
 //	medquery -duplicated "survival of patients with stroke"
+//	medquery -index "fetch records of women with diabetes"
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +26,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "cohort seed")
 	duplicated := flag.Bool("duplicated", false, "also run the duplicated-computing baseline")
 	sql := flag.Bool("sql", false, "treat the query as virtualized SQL (SELECT ... FROM records ...)")
+	index := flag.Bool("index", false, "route the query through the off-chain EMR index (count/summary/fetch)")
 	flag.Parse()
 
 	q := strings.Join(flag.Args(), " ")
@@ -34,15 +37,77 @@ func main() {
 		}
 	}
 	var err error
-	if *sql {
+	switch {
+	case *sql:
 		err = runSQL(*sites, *patients, *seed, q)
-	} else {
+	case *index:
+		err = runIndexed(*sites, *patients, *seed, q)
+	default:
 		err = run(*sites, *patients, *seed, q, *duplicated)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "medquery: %v\n", err)
+		// A referenced blob that cannot be served is an integrity
+		// failure, not a usage error: distinct exit code.
+		if errors.Is(err, medchain.ErrBlobManifestMissing) ||
+			errors.Is(err, medchain.ErrBlobChunkMissing) ||
+			errors.Is(err, medchain.ErrBlobChunkCorrupt) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
+}
+
+func runIndexed(sites, patients int, seed int64, q string) error {
+	fmt.Printf("booting %d sites × %d patients (indexed data plane) …\n", sites, patients)
+	p, err := medchain.NewPlatform(medchain.Config{
+		Sites:           sites,
+		PatientsPerSite: patients,
+		Seed:            seed,
+		KeySeed:         "medquery-index",
+		Index:           true,
+	})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	researcher, err := p.Acquire("researcher")
+	if err != nil {
+		return err
+	}
+	if err := p.GrantAll(researcher, []medchain.Action{
+		medchain.ActionRead, medchain.ActionExecute,
+	}, ""); err != nil {
+		return err
+	}
+	p.SyncIndex()
+
+	fmt.Printf("query: %q\n", q)
+	res, err := p.QueryIndexed(researcher, q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nquery vector: intent=%s condition=%q lab=%q age=[%d,%d] sex=%q\n",
+		res.Vector.Intent, res.Vector.Condition, res.Vector.LabCode,
+		res.Vector.MinAge, res.Vector.MaxAge, res.Vector.Sex)
+	fmt.Printf("index freshness: indexed height %d / chain height %d (lag %d)\n",
+		res.IndexedHeight, res.ChainHeight, res.Lag)
+	fmt.Printf("candidates: %d  blobs fetched: %d  elapsed: %s\n",
+		res.Candidates, res.BlobsFetched, res.Elapsed.Round(1000))
+	fmt.Printf("count: %d\n", res.Count)
+	if res.Summary != nil {
+		fmt.Printf("summary: n=%d mean=%.2f min=%.2f max=%.2f std=%.2f\n",
+			res.Summary.N, res.Summary.Mean, res.Summary.Min, res.Summary.Max, res.Summary.Std())
+	}
+	for i, r := range res.Records {
+		if i >= 10 {
+			fmt.Printf("… %d more records\n", len(res.Records)-10)
+			break
+		}
+		fmt.Printf("  %s sex=%s born=%d conditions=%v\n",
+			r.Patient.ID, r.Patient.Sex, r.Patient.BirthYear, r.Conditions)
+	}
+	return nil
 }
 
 func runSQL(sites, patients int, seed int64, q string) error {

@@ -1,0 +1,227 @@
+package blob
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"medchain/internal/cryptoutil"
+	"medchain/internal/store"
+)
+
+func mustOpen(t *testing.T, fs store.FS, chunkSize int) *Store {
+	t.Helper()
+	s, err := Open(fs, "blobs", chunkSize)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return s
+}
+
+func blobData(n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i*31 + 7)
+	}
+	return data
+}
+
+func TestRoundTrip(t *testing.T) {
+	fs := store.NewMemFS()
+	s := mustOpen(t, fs, 64)
+	for i, n := range []int{0, 1, 63, 64, 65, 64 * 7, 64*7 + 13} {
+		record := fmt.Sprintf("P%05d", i)
+		data := blobData(n)
+		m, err := s.Put(record, "hl7", data)
+		if err != nil {
+			t.Fatalf("put %d bytes: %v", n, err)
+		}
+		if err := m.Verify(); err != nil {
+			t.Fatalf("manifest verify: %v", err)
+		}
+		wantChunks := (n + 63) / 64
+		if len(m.Chunks) != wantChunks {
+			t.Fatalf("%d bytes: %d chunks, want %d", n, len(m.Chunks), wantChunks)
+		}
+		got, gm, err := s.Get(record)
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		if !bytes.Equal(got, data) || gm.Root != m.Root {
+			t.Fatalf("round trip mismatch for %d bytes", n)
+		}
+	}
+
+	// Reopen over the same FS: manifests reload and bytes verify again.
+	s2 := mustOpen(t, fs, 64)
+	if s2.Len() != s.Len() {
+		t.Fatalf("reopen lost manifests: %d vs %d", s2.Len(), s.Len())
+	}
+	got, _, err := s2.Get("P00006")
+	if err != nil {
+		t.Fatalf("get after reopen: %v", err)
+	}
+	if !bytes.Equal(got, blobData(64*7+13)) {
+		t.Fatal("bytes changed across reopen")
+	}
+}
+
+func TestDoublePutIdempotent(t *testing.T) {
+	fs := store.NewMemFS()
+	s := mustOpen(t, fs, 32)
+	data := blobData(100)
+	m1, err := s.Put("P1", "csv", data)
+	if err != nil {
+		t.Fatalf("first put: %v", err)
+	}
+	m2, err := s.Put("P1", "csv", data)
+	if err != nil {
+		t.Fatalf("double put: %v", err)
+	}
+	if m1.Root != m2.Root || m1.Size != m2.Size || len(m1.Chunks) != len(m2.Chunks) {
+		t.Fatalf("double put changed the manifest: %+v vs %+v", m1, m2)
+	}
+	// Superseding bytes replaces the manifest; the new content serves.
+	next := blobData(150)
+	m3, err := s.Put("P1", "csv", next)
+	if err != nil {
+		t.Fatalf("supersede put: %v", err)
+	}
+	if m3.Root == m1.Root {
+		t.Fatal("different bytes produced the same root")
+	}
+	got, _, err := s.Get("P1")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !bytes.Equal(got, next) {
+		t.Fatal("superseded record served stale bytes")
+	}
+}
+
+// TestTornChunkWrite injects a torn chunk write (FaultFS persists a
+// random prefix and errors): Put must surface the injected fault, the
+// torn chunk must read back as ErrChunkCorrupt — never as silent
+// partial data — and a later Put over a healthy path must detect and
+// rewrite the torn bytes.
+func TestTornChunkWrite(t *testing.T) {
+	base := store.NewMemFS()
+	torn := store.NewFaultFS(base, store.FaultConfig{Seed: 1, TornWriteProb: 1})
+	s := mustOpen(t, torn, 0)
+	data := blobData(5000)
+	if _, err := s.Put("P1", "fhir", data); !errors.Is(err, store.ErrInjectedFault) {
+		t.Fatalf("torn put error = %v, want injected fault", err)
+	}
+	// No manifest was published, so the record reads as typed-missing.
+	if _, _, err := s.Get("P1"); !errors.Is(err, ErrManifestMissing) {
+		t.Fatalf("get after torn put = %v, want ErrManifestMissing", err)
+	}
+	// The torn chunk file exists with prefix bytes; content addressing
+	// refuses it.
+	d := cryptoutil.Sum(Chunk(data, DefaultChunkSize)[0])
+	if _, err := s.GetChunk(d); !errors.Is(err, ErrChunkCorrupt) {
+		t.Fatalf("torn chunk read = %v, want ErrChunkCorrupt", err)
+	}
+	// A healthy re-put verifies the existing (torn) chunk file, rewrites
+	// it, and the record round-trips.
+	healthy := mustOpen(t, base, 0)
+	if _, err := healthy.Put("P1", "fhir", data); err != nil {
+		t.Fatalf("healthy re-put: %v", err)
+	}
+	got, _, err := healthy.Get("P1")
+	if err != nil {
+		t.Fatalf("get after re-put: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("re-put served wrong bytes")
+	}
+}
+
+func TestChunkCorruptAndMissing(t *testing.T) {
+	fs := store.NewMemFS()
+	s := mustOpen(t, fs, 32)
+	data := blobData(90)
+	m, err := s.Put("P1", "hl7", data)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	// Flip bytes of the middle chunk in place: Get must refuse typed.
+	path := s.chunkPath(m.Chunks[1])
+	f, err := fs.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open chunk: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("XX"), 0); err != nil {
+		t.Fatalf("corrupt chunk: %v", err)
+	}
+	f.Close()
+	if _, _, err := s.Get("P1"); !errors.Is(err, ErrChunkCorrupt) {
+		t.Fatalf("get with corrupt chunk = %v, want ErrChunkCorrupt", err)
+	}
+
+	// Remove the chunk entirely: typed missing.
+	if err := fs.Remove(path); err != nil {
+		t.Fatalf("remove chunk: %v", err)
+	}
+	if _, _, err := s.Get("P1"); !errors.Is(err, ErrChunkMissing) {
+		t.Fatalf("get with missing chunk = %v, want ErrChunkMissing", err)
+	}
+}
+
+func TestManifestMismatch(t *testing.T) {
+	fs := store.NewMemFS()
+	s := mustOpen(t, fs, 32)
+	if _, err := s.Put("P1", "csv", blobData(100)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	// A manifest whose root does not cover its chunk list is refused,
+	// wherever it came from.
+	m, err := s.Manifest("P1")
+	if err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	m.Root = cryptoutil.Sum([]byte("forged"))
+	if _, err := s.GetManifest(m); !errors.Is(err, ErrManifestMismatch) {
+		t.Fatalf("forged-root get = %v, want ErrManifestMismatch", err)
+	}
+
+	// Tamper the stored manifest file: reopen must refuse to load it.
+	good, _ := s.Manifest("P1")
+	good.Root = cryptoutil.Sum([]byte("tampered"))
+	raw, _ := json.Marshal(good)
+	path := s.manifestPath("P1")
+	f, err := fs.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open manifest: %v", err)
+	}
+	if err := f.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(raw, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(fs, "blobs", 32); !errors.Is(err, ErrManifestMismatch) {
+		t.Fatalf("open with tampered manifest = %v, want ErrManifestMismatch", err)
+	}
+}
+
+func TestChunkHelper(t *testing.T) {
+	if got := Chunk(nil, 16); len(got) != 0 {
+		t.Fatalf("empty data chunked into %d pieces", len(got))
+	}
+	chunks := Chunk(blobData(33), 16)
+	if len(chunks) != 3 || len(chunks[2]) != 1 {
+		t.Fatalf("bad chunking: %d chunks, last %d bytes", len(chunks), len(chunks[len(chunks)-1]))
+	}
+	// Manifest root is order-sensitive.
+	a, b := cryptoutil.Sum([]byte("a")), cryptoutil.Sum([]byte("b"))
+	if ManifestRoot([]cryptoutil.Digest{a, b}) == ManifestRoot([]cryptoutil.Digest{b, a}) {
+		t.Fatal("manifest root ignores chunk order")
+	}
+}

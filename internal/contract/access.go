@@ -32,6 +32,7 @@ const (
 	kindVM
 	kindSeq      // the request-sequence counter
 	kindRegistry // virtual key: the dataset/tool registry as a whole
+	kindManifest // a dataset's off-chain manifest accumulator
 )
 
 func (k keyKind) String() string {
@@ -54,6 +55,8 @@ func (k keyKind) String() string {
 		return "seq"
 	case kindRegistry:
 		return "reg"
+	case kindManifest:
+		return "mset"
 	}
 	return "?"
 }
@@ -88,6 +91,9 @@ func KeyTrial(id string) StateKey         { return StateKey{kind: kindTrial, id:
 func KeyAnchor(label string) StateKey     { return StateKey{kind: kindAnchor, id: label} }
 func KeyEvidence(key string) StateKey     { return StateKey{kind: kindEvidence, id: key} }
 func KeyVM(a cryptoutil.Address) StateKey { return StateKey{kind: kindVM, addr: a} }
+
+// KeyManifestSet locks one dataset's manifest accumulator.
+func KeyManifestSet(dataset string) StateKey { return StateKey{kind: kindManifest, id: dataset} }
 
 // Singleton keys.
 var (
@@ -209,6 +215,16 @@ func deriveData(tx *ledger.Transaction, a *AccessSet) {
 			return
 		}
 		a.write(KeyPolicy(args.Resource))
+	case "register_manifests":
+		var args RegisterManifestsArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
+			return
+		}
+		// The dataset is read for the ownership check; only the
+		// accumulator is mutated.
+		a.read(KeyDataset(args.Dataset))
+		a.write(KeyManifestSet(args.Dataset))
 	case "request_access":
 		var args RequestAccessArgs
 		if json.Unmarshal(tx.Args, &args) != nil {

@@ -30,6 +30,9 @@ type StateExport struct {
 	// VMStorage is per-contract key/value storage, sorted by address
 	// then key.
 	VMStorage []VMStorageExport `json:"vm_storage,omitempty"`
+	// ManifestSets are the per-dataset off-chain manifest accumulators,
+	// sorted by dataset ID.
+	ManifestSets []ManifestSet `json:"manifest_sets,omitempty"`
 	// RequestSeq is the access/run request counter.
 	RequestSeq uint64 `json:"request_seq"`
 }
@@ -80,6 +83,9 @@ func (s *State) Export() *StateExport {
 	})
 	forSortedKeys(s.policies, func(key string, p *Policy) {
 		ex.Policies = append(ex.Policies, PolicyExport{Resource: key, Policy: *copyPolicy(p)})
+	})
+	forSortedKeys(s.manifestSets, func(_ string, ms *ManifestSet) {
+		ex.ManifestSets = append(ex.ManifestSets, *ms)
 	})
 	addrs := make([]string, 0, len(s.deployed))
 	byAddr := make(map[string]cryptoutil.Address, len(s.deployed))
@@ -139,6 +145,10 @@ func ImportState(ex *StateExport) *State {
 	}
 	for i := range ex.Policies {
 		s.policies[ex.Policies[i].Resource] = copyPolicy(&ex.Policies[i].Policy)
+	}
+	for i := range ex.ManifestSets {
+		ms := ex.ManifestSets[i]
+		s.manifestSets[ms.Dataset] = &ms
 	}
 	for i := range ex.Deployed {
 		d := ex.Deployed[i]

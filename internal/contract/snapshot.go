@@ -75,6 +75,10 @@ func (s *State) shareInto(c *State, k StateKey) {
 		if e, ok := s.evidence[k.id]; ok {
 			c.evidence[k.id] = e
 		}
+	case kindManifest:
+		if ms, ok := s.manifestSets[k.id]; ok {
+			c.manifestSets[k.id] = ms
+		}
 	case kindRegistry:
 		// Whole-registry read (VM HOST registry.* calls): share every
 		// dataset and tool.
@@ -119,6 +123,11 @@ func (s *State) copyInto(c *State, k StateKey) {
 			cp := *e
 			cp.Evidence = append([]byte(nil), e.Evidence...)
 			c.evidence[k.id] = &cp
+		}
+	case kindManifest:
+		if ms, ok := s.manifestSets[k.id]; ok {
+			cp := *ms
+			c.manifestSets[k.id] = &cp
 		}
 	case kindVM:
 		if d, ok := s.deployed[k.addr]; ok {
@@ -192,6 +201,10 @@ func (s *State) MergeSpeculative(from *State, acc AccessSet) {
 		case kindEvidence:
 			if e, ok := from.evidence[k.id]; ok {
 				s.evidence[k.id] = e
+			}
+		case kindManifest:
+			if ms, ok := from.manifestSets[k.id]; ok {
+				s.manifestSets[k.id] = ms
 			}
 		case kindVM:
 			if d, ok := from.deployed[k.addr]; ok {

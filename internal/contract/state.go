@@ -118,6 +118,9 @@ type State struct {
 	trials    map[string]*Trial
 	anchors   map[string]*Anchor
 	evidence  map[string]*EvidenceRecord // keyed by kind/height/offender
+	// manifestSets accumulate off-chain blob manifest anchors per
+	// dataset (see manifest.go); the full entry lists ride events.
+	manifestSets map[string]*ManifestSet
 	deployed  map[cryptoutil.Address]*Deployed
 	vmStorage map[cryptoutil.Address]*vm.MemStorage
 	// host provides HOST functions to VM executions; nil disables.
@@ -137,6 +140,8 @@ func NewState() *State {
 		evidence:  make(map[string]*EvidenceRecord),
 		deployed:  make(map[cryptoutil.Address]*Deployed),
 		vmStorage: make(map[cryptoutil.Address]*vm.MemStorage),
+
+		manifestSets: make(map[string]*ManifestSet),
 	}
 }
 
@@ -196,6 +201,10 @@ func (s *State) Clone() *State {
 	for label, a := range s.anchors {
 		cp := *a
 		c.anchors[label] = &cp
+	}
+	for id, ms := range s.manifestSets {
+		cp := *ms
+		c.manifestSets[id] = &cp
 	}
 	for key, e := range s.evidence {
 		cp := *e
@@ -423,6 +432,9 @@ func (s *State) applyData(tx *ledger.Transaction, now int64, r *Receipt) error {
 			"resource": a.Resource, "grantee": a.Grantee, "removed": n,
 		})
 		return nil
+
+	case "register_manifests":
+		return s.applyRegisterManifests(tx, now, r)
 
 	case "request_access":
 		r.GasUsed = gasRequest + int64(len(tx.Args))*gasArgByte
@@ -1017,6 +1029,10 @@ func (s *State) Root() cryptoutil.Digest {
 	})
 	forSortedKeys(s.anchors, func(id string, a *Anchor) {
 		add("anchor", id, a.Digest.String(), a.By.String())
+	})
+	forSortedKeys(s.manifestSets, func(id string, ms *ManifestSet) {
+		add("mset", id, fmt.Sprint(ms.Count), fmt.Sprint(ms.Batches),
+			ms.Root.String(), fmt.Sprint(ms.UpdatedAt))
 	})
 	forSortedKeys(s.evidence, func(key string, e *EvidenceRecord) {
 		add("evidence", key, e.Reporter.String(), fmt.Sprint(e.At))

@@ -33,12 +33,14 @@ import (
 	"time"
 
 	"medchain/internal/analytics"
+	"medchain/internal/blob"
 	"medchain/internal/chain"
 	"medchain/internal/contract"
 	"medchain/internal/cryptoutil"
 	"medchain/internal/emr"
 	"medchain/internal/fl"
 	"medchain/internal/hie"
+	"medchain/internal/indexer"
 	"medchain/internal/ledger"
 	"medchain/internal/ml"
 	"medchain/internal/offchain"
@@ -68,6 +70,10 @@ type Config struct {
 	Network p2p.Config
 	// KeySeed namespaces deterministic keys (default "platform").
 	KeySeed string
+	// Index enables the off-chain data plane: per-site content-addressed
+	// blob stores, on-chain manifest anchoring, and the chain-tailing
+	// EMR indexer behind QueryIndexed.
+	Index bool
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +129,11 @@ type Platform struct {
 	mu       sync.Mutex
 	accounts map[string]*Account
 	tsSeq    int64
+
+	// Off-chain data plane (nil unless Config.Index).
+	idx        *indexer.Indexer
+	blobStores map[string]*blob.Store // dataset ID -> store
+	siteFormat map[string]string      // site ID -> EMR encoding
 }
 
 // NewPlatform builds and bootstraps a platform: chain cluster up, one
@@ -182,6 +193,12 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if err := p.bootstrap(); err != nil {
 		cluster.Close()
 		return nil, err
+	}
+	if cfg.Index {
+		if err := p.setupDataPlane(); err != nil {
+			cluster.Close()
+			return nil, err
+		}
 	}
 	return p, nil
 }

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"medchain/internal/blob"
+	"medchain/internal/contract"
+	"medchain/internal/emr"
+	"medchain/internal/store"
+)
+
+// indexedPlatform builds a platform with the off-chain data plane up
+// and a fully-granted researcher.
+func indexedPlatform(t *testing.T, sites, patients int) (*Platform, *Account) {
+	t.Helper()
+	p, err := NewPlatform(Config{
+		Sites:           sites,
+		PatientsPerSite: patients,
+		Seed:            42,
+		KeySeed:         "test/" + t.Name(),
+		Index:           true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	researcher, err := p.Acquire("researcher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.GrantAll(researcher, []contract.Action{
+		contract.ActionRead, contract.ActionExecute,
+	}, ""); err != nil {
+		t.Fatal(err)
+	}
+	// The grant block advances the chain past the index; tail it so
+	// freshness assertions below are deterministic.
+	p.SyncIndex()
+	return p, researcher
+}
+
+// allRecords collects every site's records (test oracle only).
+func allRecords(t *testing.T, p *Platform) []*emr.Record {
+	t.Helper()
+	var out []*emr.Record
+	for _, site := range p.Sites() {
+		if err := site.Evaluate(func(rr []*emr.Record) error {
+			out = append(out, rr...)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestQueryIndexedCountMatchesScan(t *testing.T) {
+	p, researcher := indexedPlatform(t, 2, 40)
+
+	for _, q := range []string{
+		"how many patients with diabetes",
+		"count patients with diabetes aged 50-70",
+		"how many women with stroke",
+	} {
+		res, err := p.QueryIndexed(researcher, q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		iq := res.Vector.IndexQuery()
+		want := 0
+		for _, r := range allRecords(t, p) {
+			if iq.MatchRecord(r) {
+				want++
+			}
+		}
+		if res.Count != want {
+			t.Fatalf("%q: index count %d, direct scan %d", q, res.Count, want)
+		}
+		if res.BlobsFetched != 0 {
+			t.Fatalf("%q: count touched %d blobs", q, res.BlobsFetched)
+		}
+		if res.Lag != 0 || res.IndexedHeight != res.ChainHeight {
+			t.Fatalf("%q: stale after setup: indexed %d chain %d", q, res.IndexedHeight, res.ChainHeight)
+		}
+		if res.ChainHeight == 0 {
+			t.Fatal("chain height 0 after bootstrap + anchoring")
+		}
+	}
+}
+
+func TestQueryIndexedFetchAndSummary(t *testing.T) {
+	p, researcher := indexedPlatform(t, 2, 30)
+
+	res, err := p.QueryIndexed(researcher, "fetch records of women with diabetes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count == 0 || res.Count != len(res.Records) {
+		t.Fatalf("fetch: count %d, records %d", res.Count, len(res.Records))
+	}
+	if res.BlobsFetched != res.Candidates {
+		t.Fatalf("fetched %d blobs for %d candidates", res.BlobsFetched, res.Candidates)
+	}
+	iq := res.Vector.IndexQuery()
+	for _, r := range res.Records {
+		if !iq.MatchRecord(r) {
+			t.Fatalf("fetched record %s does not match the query", r.Patient.ID)
+		}
+	}
+
+	sum, err := p.QueryIndexed(researcher, "average glucose for patients with diabetes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Summary == nil || sum.Summary.N == 0 {
+		t.Fatalf("summary empty: %+v", sum.Summary)
+	}
+	if sum.Summary.N < sum.Count {
+		t.Fatalf("summary over %d values from %d matching records", sum.Summary.N, sum.Count)
+	}
+}
+
+func TestIngestFreshnessLag(t *testing.T) {
+	p, researcher := indexedPlatform(t, 1, 20)
+
+	before, err := p.QueryIndexed(researcher, "how many patients with diabetes")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New admissions: anchored on chain, but the index has not tailed
+	// the new blocks yet — the lag must be visible.
+	recs := emr.NewGenerator(emr.GenConfig{Seed: 7, Patients: 25, StartID: 10_000}).Generate()
+	if err := p.IngestBlobs("site-0", recs); err != nil {
+		t.Fatal(err)
+	}
+	indexed, tip := p.Indexer().Lag(p.Cluster().Node(0))
+	if indexed >= tip {
+		t.Fatalf("no freshness lag after ingest: indexed %d tip %d", indexed, tip)
+	}
+
+	p.SyncIndex()
+	indexed, tip = p.Indexer().Lag(p.Cluster().Node(0))
+	if indexed != tip {
+		t.Fatalf("lag survives SyncIndex: indexed %d tip %d", indexed, tip)
+	}
+	after, err := p.QueryIndexed(researcher, "how many patients with diabetes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Count <= before.Count {
+		t.Fatalf("ingest did not grow the cohort: %d -> %d", before.Count, after.Count)
+	}
+}
+
+func TestQueryIndexedMissingBlob(t *testing.T) {
+	p, researcher := indexedPlatform(t, 1, 20)
+
+	// The site loses its blobs (fresh empty store): the index still
+	// selects candidates, but the authorized fetch must surface the
+	// typed blob error, not a silent miss.
+	empty, err := blob.Open(store.NewMemFS(), "blobs", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Sites()[0].AttachBlobStore(empty)
+
+	_, err = p.QueryIndexed(researcher, "fetch records of patients with diabetes")
+	if !errors.Is(err, blob.ErrManifestMissing) {
+		t.Fatalf("err = %v, want blob.ErrManifestMissing", err)
+	}
+}
+
+func TestQueryIndexedRequiresIndex(t *testing.T) {
+	p, researcher := testPlatform(t, 1, 10)
+	if _, err := p.QueryIndexed(researcher, "how many patients with diabetes"); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("err = %v, want ErrNoIndex", err)
+	}
+	if err := p.IngestBlobs("site-0", nil); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("ingest err = %v, want ErrNoIndex", err)
+	}
+	if _, err := p.Query(researcher, "how many patients with diabetes"); err != nil {
+		t.Fatalf("un-indexed platform must still answer via RunTransformed: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // FormatCSV is the legacy-format label for flat CSV extracts.
@@ -64,11 +65,11 @@ func ParseCSV(data string) ([]*Record, error) {
 	r.FieldsPerRecord = len(csvHeader)
 	header, err := r.Read()
 	if err != nil {
-		return nil, fmt.Errorf("emr: csv: read header: %w", err)
+		return nil, parseWrap(FormatCSV, ReasonBadHeader, err, "read header")
 	}
 	for i, h := range csvHeader {
 		if header[i] != h {
-			return nil, fmt.Errorf("emr: csv: header column %d is %q, want %q", i, header[i], h)
+			return nil, parseErr(FormatCSV, ReasonBadHeader, "header column %d is %q, want %q", i, header[i], h)
 		}
 	}
 	byID := make(map[string]*Record)
@@ -88,7 +89,14 @@ func ParseCSV(data string) ([]*Record, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("emr: csv: line %d: %w", line, err)
+			return nil, parseWrap(FormatCSV, ReasonBadSyntax, err, "line %d", line)
+		}
+		// encoding/csv passes arbitrary bytes through; refuse cells that
+		// are not valid UTF-8 rather than index garbled text.
+		for col, cell := range row {
+			if !utf8.ValidString(cell) {
+				return nil, parseErr(FormatCSV, ReasonNotUTF8, "line %d column %d is not valid UTF-8", line, col)
+			}
 		}
 		id := row[1]
 		rec := get(id)
@@ -96,7 +104,7 @@ func ParseCSV(data string) ([]*Record, error) {
 		case "patient":
 			by, err := strconv.Atoi(row[2])
 			if err != nil {
-				return nil, fmt.Errorf("emr: csv: line %d birth year: %w", line, err)
+				return nil, parseWrap(FormatCSV, ReasonBadField, err, "line %d birth year", line)
 			}
 			rec.Patient = Patient{ID: id, BirthYear: by, Sex: row[3], Ethnicity: row[4]}
 			if row[5] != "" {
@@ -105,17 +113,17 @@ func ParseCSV(data string) ([]*Record, error) {
 		case "encounter":
 			at, err := strconv.ParseInt(row[5], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("emr: csv: line %d encounter time: %w", line, err)
+				return nil, parseWrap(FormatCSV, ReasonBadField, err, "line %d encounter time", line)
 			}
 			rec.Encounters = append(rec.Encounters, Encounter{ID: row[2], Type: row[3], DiagnosisCode: row[4], At: at})
 		case "lab":
 			val, err := strconv.ParseFloat(row[3], 64)
 			if err != nil {
-				return nil, fmt.Errorf("emr: csv: line %d lab value: %w", line, err)
+				return nil, parseWrap(FormatCSV, ReasonBadField, err, "line %d lab value", line)
 			}
 			at, err := strconv.ParseInt(row[5], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("emr: csv: line %d lab time: %w", line, err)
+				return nil, parseWrap(FormatCSV, ReasonBadField, err, "line %d lab time", line)
 			}
 			rec.Labs = append(rec.Labs, LabResult{Code: row[2], Value: val, Unit: row[4], At: at})
 		case "genomic":
@@ -123,22 +131,22 @@ func ParseCSV(data string) ([]*Record, error) {
 		case "vital":
 			val, err := strconv.ParseFloat(row[3], 64)
 			if err != nil {
-				return nil, fmt.Errorf("emr: csv: line %d vital value: %w", line, err)
+				return nil, parseWrap(FormatCSV, ReasonBadField, err, "line %d vital value", line)
 			}
 			at, err := strconv.ParseInt(row[4], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("emr: csv: line %d vital time: %w", line, err)
+				return nil, parseWrap(FormatCSV, ReasonBadField, err, "line %d vital time", line)
 			}
 			rec.Vitals = append(rec.Vitals, VitalSample{Kind: row[2], Value: val, At: at})
 		default:
-			return nil, fmt.Errorf("emr: csv: line %d: unknown row type %q", line, row[0])
+			return nil, parseErr(FormatCSV, ReasonUnknownSegment, "line %d: unknown row type %q", line, row[0])
 		}
 	}
 	out := make([]*Record, 0, len(order))
 	for _, id := range order {
 		rec := byID[id]
 		if rec.Patient.ID == "" {
-			return nil, fmt.Errorf("emr: csv: patient %q has rows but no patient row", id)
+			return nil, parseErr(FormatCSV, ReasonMissingPatient, "patient %q has rows but no patient row", id)
 		}
 		out = append(out, rec)
 	}

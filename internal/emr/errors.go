@@ -1,0 +1,90 @@
+package emr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Parse failures carry a stable, machine-readable reason code so
+// downstream consumers (the chain-tailing indexer in particular) can
+// skip a malformed record and count WHY without string-matching error
+// text. Codes are coarse on purpose: they name the class of defect,
+// not the field, so counters stay stable as parsers evolve.
+const (
+	// ReasonTruncatedSegment: an HL7 segment (or CSV row) has fewer
+	// fields than its type requires.
+	ReasonTruncatedSegment = "truncated-segment"
+	// ReasonBadField: a field is present but unparseable (non-numeric
+	// year, garbled timestamp, mistyped JSON value).
+	ReasonBadField = "bad-field"
+	// ReasonUnknownSegment: an HL7 segment tag or CSV row_type the
+	// format does not define.
+	ReasonUnknownSegment = "unknown-segment"
+	// ReasonMissingPatient: a document with clinical rows but no
+	// patient identity (no PID segment / patient row / Patient
+	// resource).
+	ReasonMissingPatient = "missing-patient"
+	// ReasonBadHeader: a CSV extract whose header row does not match
+	// the fixed column layout.
+	ReasonBadHeader = "bad-header"
+	// ReasonNotUTF8: a CSV cell containing bytes that are not valid
+	// UTF-8 (encoding/csv passes them through silently; we refuse).
+	ReasonNotUTF8 = "not-utf8"
+	// ReasonBadSyntax: the document does not parse at all (malformed
+	// JSON, broken CSV quoting).
+	ReasonBadSyntax = "bad-syntax"
+	// ReasonMissingResourceType: a FHIR entry without a resourceType
+	// discriminator.
+	ReasonMissingResourceType = "missing-resource-type"
+	// ReasonUnknownResource: a FHIR resourceType (or observation
+	// category) the mapper does not define.
+	ReasonUnknownResource = "unknown-resource"
+	// ReasonUnknownFormat: an encoding label outside Formats.
+	ReasonUnknownFormat = "unknown-format"
+)
+
+// ParseError is the typed failure every decoder returns: which
+// encoding refused the document, a stable reason code from the
+// constants above, and human detail. It wraps the underlying cause
+// (when one exists) for errors.Is/As chains.
+type ParseError struct {
+	Format string // encoding label (FormatHL7/FormatCSV/FormatFHIR)
+	Reason string // stable code, one of the Reason* constants
+	Detail string // human-readable context
+	Err    error  // wrapped cause, may be nil
+}
+
+func (e *ParseError) Error() string {
+	msg := "emr: " + e.Format + ": " + e.Reason
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// ReasonOf extracts the stable reason code from a decode failure. A
+// nil error yields ""; an error that is not a ParseError yields
+// "error" so counters never drop a failure on the floor.
+func ReasonOf(err error) string {
+	if err == nil {
+		return ""
+	}
+	var pe *ParseError
+	if errors.As(err, &pe) {
+		return pe.Reason
+	}
+	return "error"
+}
+
+func parseErr(format, reason, detail string, args ...any) error {
+	return &ParseError{Format: format, Reason: reason, Detail: fmt.Sprintf(detail, args...)}
+}
+
+func parseWrap(format, reason string, err error, detail string, args ...any) error {
+	return &ParseError{Format: format, Reason: reason, Detail: fmt.Sprintf(detail, args...), Err: err}
+}

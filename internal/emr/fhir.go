@@ -119,30 +119,35 @@ func EncodeFHIR(r *Record) ([]byte, error) {
 func ParseFHIR(data []byte) (*Record, error) {
 	var b fhirBundle
 	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, fmt.Errorf("emr: fhir: %w", err)
+		return nil, parseWrap(FormatFHIR, ReasonBadSyntax, err, "bundle")
+	}
+	if b.ResourceType == "" {
+		return nil, parseErr(FormatFHIR, ReasonMissingResourceType, "bundle has no resourceType")
 	}
 	if b.ResourceType != "Bundle" {
-		return nil, fmt.Errorf("emr: fhir: resourceType %q, want Bundle", b.ResourceType)
+		return nil, parseErr(FormatFHIR, ReasonUnknownResource, "resourceType %q, want Bundle", b.ResourceType)
 	}
 	rec := &Record{}
 	sawPatient := false
 	for i, entry := range b.Entry {
 		var hdr fhirResourceHeader
 		if err := json.Unmarshal(entry.Resource, &hdr); err != nil {
-			return nil, fmt.Errorf("emr: fhir: entry %d: %w", i, err)
+			return nil, parseWrap(FormatFHIR, ReasonBadSyntax, err, "entry %d", i)
 		}
 		switch hdr.ResourceType {
+		case "":
+			return nil, parseErr(FormatFHIR, ReasonMissingResourceType, "entry %d has no resourceType", i)
 		case "Patient":
 			var p fhirPatient
 			if err := json.Unmarshal(entry.Resource, &p); err != nil {
-				return nil, fmt.Errorf("emr: fhir: patient: %w", err)
+				return nil, parseWrap(FormatFHIR, ReasonBadField, err, "patient")
 			}
 			rec.Patient = Patient{ID: p.ID, BirthYear: p.BirthYear, Sex: p.Gender, Ethnicity: p.Ethnicity}
 			sawPatient = true
 		case "Encounter":
 			var e fhirEncounter
 			if err := json.Unmarshal(entry.Resource, &e); err != nil {
-				return nil, fmt.Errorf("emr: fhir: encounter: %w", err)
+				return nil, parseWrap(FormatFHIR, ReasonBadField, err, "encounter")
 			}
 			rec.Encounters = append(rec.Encounters, Encounter{
 				ID: e.ID, Type: e.Class, DiagnosisCode: e.Reason, At: e.Period,
@@ -150,7 +155,7 @@ func ParseFHIR(data []byte) (*Record, error) {
 		case "Observation":
 			var o fhirObservation
 			if err := json.Unmarshal(entry.Resource, &o); err != nil {
-				return nil, fmt.Errorf("emr: fhir: observation: %w", err)
+				return nil, parseWrap(FormatFHIR, ReasonBadField, err, "observation")
 			}
 			switch o.Category {
 			case "laboratory":
@@ -158,26 +163,26 @@ func ParseFHIR(data []byte) (*Record, error) {
 			case "vital-signs":
 				rec.Vitals = append(rec.Vitals, VitalSample{Kind: o.Code, Value: o.Value, At: o.Effective})
 			default:
-				return nil, fmt.Errorf("emr: fhir: observation category %q", o.Category)
+				return nil, parseErr(FormatFHIR, ReasonUnknownResource, "observation category %q", o.Category)
 			}
 		case "MolecularSequence":
 			var s fhirSequence
 			if err := json.Unmarshal(entry.Resource, &s); err != nil {
-				return nil, fmt.Errorf("emr: fhir: sequence: %w", err)
+				return nil, parseWrap(FormatFHIR, ReasonBadField, err, "sequence")
 			}
 			rec.Genomics = append(rec.Genomics, GenomicMarker{Gene: s.Gene, Variant: s.Variant, Present: s.Present})
 		case "Condition":
 			var c fhirCondition
 			if err := json.Unmarshal(entry.Resource, &c); err != nil {
-				return nil, fmt.Errorf("emr: fhir: condition: %w", err)
+				return nil, parseWrap(FormatFHIR, ReasonBadField, err, "condition")
 			}
 			rec.Conditions = append(rec.Conditions, c.Code)
 		default:
-			return nil, fmt.Errorf("emr: fhir: unknown resourceType %q", hdr.ResourceType)
+			return nil, parseErr(FormatFHIR, ReasonUnknownResource, "unknown resourceType %q", hdr.ResourceType)
 		}
 	}
 	if !sawPatient {
-		return nil, fmt.Errorf("emr: fhir: bundle has no Patient resource")
+		return nil, parseErr(FormatFHIR, ReasonMissingPatient, "bundle has no Patient resource")
 	}
 	return rec, nil
 }
@@ -216,7 +221,7 @@ func EncodeAs(format string, records []*Record, siteID string) ([]byte, error) {
 		}
 		return json.Marshal(bundles)
 	default:
-		return nil, fmt.Errorf("emr: unknown format %q", format)
+		return nil, parseErr(format, ReasonUnknownFormat, "unknown format %q", format)
 	}
 }
 
@@ -246,7 +251,7 @@ func DecodeAs(format string, data []byte) ([]*Record, error) {
 	case FormatFHIR:
 		var bundles []json.RawMessage
 		if err := json.Unmarshal(data, &bundles); err != nil {
-			return nil, fmt.Errorf("emr: fhir array: %w", err)
+			return nil, parseWrap(FormatFHIR, ReasonBadSyntax, err, "bundle array")
 		}
 		out := make([]*Record, 0, len(bundles))
 		for _, b := range bundles {
@@ -258,6 +263,6 @@ func DecodeAs(format string, data []byte) ([]*Record, error) {
 		}
 		return out, nil
 	default:
-		return nil, fmt.Errorf("emr: unknown format %q", format)
+		return nil, parseErr(format, ReasonUnknownFormat, "unknown format %q", format)
 	}
 }

@@ -57,11 +57,11 @@ func ParseHL7(msg string) (*Record, error) {
 			// Header; nothing retained.
 		case "PID":
 			if len(fields) < 6 {
-				return nil, fmt.Errorf("emr: hl7: PID needs 6+ fields, got %d", len(fields))
+				return nil, parseErr(FormatHL7, ReasonTruncatedSegment, "PID needs 6+ fields, got %d", len(fields))
 			}
 			by, err := strconv.Atoi(fields[3])
 			if err != nil {
-				return nil, fmt.Errorf("emr: hl7: PID birth year: %w", err)
+				return nil, parseWrap(FormatHL7, ReasonBadField, err, "PID birth year")
 			}
 			rec.Patient = Patient{ID: fields[2], BirthYear: by, Sex: fields[4], Ethnicity: fields[5]}
 			if len(fields) > 6 && fields[6] != "" {
@@ -70,54 +70,54 @@ func ParseHL7(msg string) (*Record, error) {
 			sawPID = true
 		case "PV1":
 			if len(fields) < 5 {
-				return nil, fmt.Errorf("emr: hl7: PV1 needs 5 fields, got %d", len(fields))
+				return nil, parseErr(FormatHL7, ReasonTruncatedSegment, "PV1 needs 5 fields, got %d", len(fields))
 			}
 			at, err := strconv.ParseInt(fields[4], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("emr: hl7: PV1 time: %w", err)
+				return nil, parseWrap(FormatHL7, ReasonBadField, err, "PV1 time")
 			}
 			rec.Encounters = append(rec.Encounters, Encounter{
 				ID: fields[1], Type: fields[2], DiagnosisCode: fields[3], At: at,
 			})
 		case "OBX":
 			if len(fields) < 5 {
-				return nil, fmt.Errorf("emr: hl7: OBX needs 5 fields, got %d", len(fields))
+				return nil, parseErr(FormatHL7, ReasonTruncatedSegment, "OBX needs 5 fields, got %d", len(fields))
 			}
 			val, err := strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("emr: hl7: OBX value: %w", err)
+				return nil, parseWrap(FormatHL7, ReasonBadField, err, "OBX value")
 			}
 			at, err := strconv.ParseInt(fields[4], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("emr: hl7: OBX time: %w", err)
+				return nil, parseWrap(FormatHL7, ReasonBadField, err, "OBX time")
 			}
 			rec.Labs = append(rec.Labs, LabResult{Code: fields[1], Value: val, Unit: fields[3], At: at})
 		case "GEN":
 			if len(fields) < 4 {
-				return nil, fmt.Errorf("emr: hl7: GEN needs 4 fields, got %d", len(fields))
+				return nil, parseErr(FormatHL7, ReasonTruncatedSegment, "GEN needs 4 fields, got %d", len(fields))
 			}
 			rec.Genomics = append(rec.Genomics, GenomicMarker{
 				Gene: fields[1], Variant: fields[2], Present: fields[3] == "1",
 			})
 		case "WEA":
 			if len(fields) < 4 {
-				return nil, fmt.Errorf("emr: hl7: WEA needs 4 fields, got %d", len(fields))
+				return nil, parseErr(FormatHL7, ReasonTruncatedSegment, "WEA needs 4 fields, got %d", len(fields))
 			}
 			val, err := strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("emr: hl7: WEA value: %w", err)
+				return nil, parseWrap(FormatHL7, ReasonBadField, err, "WEA value")
 			}
 			at, err := strconv.ParseInt(fields[3], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("emr: hl7: WEA time: %w", err)
+				return nil, parseWrap(FormatHL7, ReasonBadField, err, "WEA time")
 			}
 			rec.Vitals = append(rec.Vitals, VitalSample{Kind: fields[1], Value: val, At: at})
 		default:
-			return nil, fmt.Errorf("emr: hl7: unknown segment %q", fields[0])
+			return nil, parseErr(FormatHL7, ReasonUnknownSegment, "unknown segment %q", fields[0])
 		}
 	}
 	if !sawPID {
-		return nil, fmt.Errorf("emr: hl7: message has no PID segment")
+		return nil, parseErr(FormatHL7, ReasonMissingPatient, "message has no PID segment")
 	}
 	return rec, nil
 }

@@ -1,0 +1,117 @@
+package emr
+
+import (
+	"errors"
+	"testing"
+)
+
+// mustParseError asserts err is a typed *ParseError with the expected
+// format label and stable reason code — the contract the chain-tailing
+// indexer's skip counters depend on.
+func mustParseError(t *testing.T, err error, format, reason string) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("parse accepted a malformed document")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T (%v), want *ParseError", err, err)
+	}
+	if pe.Format != format || pe.Reason != reason {
+		t.Fatalf("ParseError{Format:%q Reason:%q}, want {%q %q} (err: %v)",
+			pe.Format, pe.Reason, format, reason, err)
+	}
+	if got := ReasonOf(err); got != reason {
+		t.Fatalf("ReasonOf = %q, want %q", got, reason)
+	}
+}
+
+func TestMalformedHL7(t *testing.T) {
+	cases := []struct {
+		name   string
+		msg    string
+		reason string
+	}{
+		{"truncated PID", "MSH|^~\\&|MEDCHAIN|site-A\rPID|1|P1\r", ReasonTruncatedSegment},
+		{"truncated PV1", "PID|1|P1|1980|F|hispanic\rPV1|E1|outpatient\r", ReasonTruncatedSegment},
+		{"truncated OBX", "PID|1|P1|1980|F|hispanic\rOBX|glu\r", ReasonTruncatedSegment},
+		{"truncated GEN", "PID|1|P1|1980|F|hispanic\rGEN|BRCA1\r", ReasonTruncatedSegment},
+		{"truncated WEA", "PID|1|P1|1980|F|hispanic\rWEA|hr\r", ReasonTruncatedSegment},
+		{"non-numeric birth year", "PID|1|P1|nineteen80|F|hispanic\r", ReasonBadField},
+		{"garbled OBX value", "PID|1|P1|1980|F|hispanic\rOBX|glu|high|mg/dL|5\r", ReasonBadField},
+		{"unknown segment", "PID|1|P1|1980|F|hispanic\rZZZ|x\r", ReasonUnknownSegment},
+		{"no PID", "MSH|^~\\&|MEDCHAIN|site-A\r", ReasonMissingPatient},
+		{"empty message", "", ReasonMissingPatient},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseHL7(tc.msg)
+			mustParseError(t, err, FormatHL7, tc.reason)
+		})
+	}
+}
+
+func TestMalformedCSV(t *testing.T) {
+	const header = "row_type,patient_id,f1,f2,f3,f4,f5\n"
+	cases := []struct {
+		name   string
+		data   string
+		reason string
+	}{
+		{"empty extract", "", ReasonBadHeader},
+		{"wrong header", "kind,pid,a,b,c,d,e\npatient,P1,1980,F,hispanic,,\n", ReasonBadHeader},
+		{"short row", header + "patient,P1,1980\n", ReasonBadSyntax},
+		{"broken quoting", header + "patient,\"P1,1980,F,hispanic,,\n", ReasonBadSyntax},
+		{"non-UTF8 cell", header + "patient,P\xff\xfe1,1980,F,hispanic,,\n", ReasonNotUTF8},
+		{"non-numeric birth year", header + "patient,P1,abc,F,hispanic,,\n", ReasonBadField},
+		{"garbled lab value", header + "patient,P1,1980,F,hispanic,,\nlab,P1,glu,high,mg/dL,5,\n", ReasonBadField},
+		{"unknown row type", header + "martian,P1,a,b,c,d,e\n", ReasonUnknownSegment},
+		{"rows without patient", header + "lab,P1,glu,1.5,mg/dL,5,\n", ReasonMissingPatient},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseCSV(tc.data)
+			mustParseError(t, err, FormatCSV, tc.reason)
+		})
+	}
+}
+
+func TestMalformedFHIR(t *testing.T) {
+	cases := []struct {
+		name   string
+		data   string
+		reason string
+	}{
+		{"not json", "{broken", ReasonBadSyntax},
+		{"bundle without resourceType", `{"entry":[]}`, ReasonMissingResourceType},
+		{"non-bundle root", `{"resourceType":"List","entry":[]}`, ReasonUnknownResource},
+		{"entry without resourceType", `{"resourceType":"Bundle","entry":[{"resource":{"id":"P1"}}]}`, ReasonMissingResourceType},
+		{"unknown resource", `{"resourceType":"Bundle","entry":[{"resource":{"resourceType":"Device"}}]}`, ReasonUnknownResource},
+		{"mistyped patient field", `{"resourceType":"Bundle","entry":[{"resource":{"resourceType":"Patient","birthYear":"1980"}}]}`, ReasonBadField},
+		{"unknown observation category", `{"resourceType":"Bundle","entry":[{"resource":{"resourceType":"Patient","id":"P1"}},{"resource":{"resourceType":"Observation","category":"imaging"}}]}`, ReasonUnknownResource},
+		{"no patient resource", `{"resourceType":"Bundle","entry":[{"resource":{"resourceType":"Condition","code":"E11"}}]}`, ReasonMissingPatient},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseFHIR([]byte(tc.data))
+			mustParseError(t, err, FormatFHIR, tc.reason)
+		})
+	}
+}
+
+func TestDecodeAsTypedErrors(t *testing.T) {
+	// DecodeAs propagates the per-document typed error unchanged.
+	_, err := DecodeAs(FormatHL7, []byte("PID|1|P1\n"))
+	mustParseError(t, err, FormatHL7, ReasonTruncatedSegment)
+	_, err = DecodeAs(FormatFHIR, []byte("not an array"))
+	mustParseError(t, err, FormatFHIR, ReasonBadSyntax)
+	_, err = DecodeAs("edifact", []byte("x"))
+	mustParseError(t, err, "edifact", ReasonUnknownFormat)
+
+	if got := ReasonOf(nil); got != "" {
+		t.Fatalf("ReasonOf(nil) = %q, want empty", got)
+	}
+	if got := ReasonOf(errors.New("opaque")); got != "error" {
+		t.Fatalf("ReasonOf(opaque) = %q, want %q", got, "error")
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+func TestE15DataPlane(t *testing.T) {
+	cfg := E15Config{
+		Sites:           2,
+		PatientsPerSite: 20,
+		IngestRounds:    2,
+		IngestBatch:     30,
+		CorpusSizes:     []int{1_500, 6_000},
+		QueryRepeats:    20,
+		Seed:            11,
+	}
+	fresh, err := E15Freshness(cfg)
+	if err != nil {
+		t.Fatalf("freshness: %v", err)
+	}
+	queries, err := E15QueryScaling(cfg)
+	if err != nil {
+		t.Fatalf("query scaling: %v", err)
+	}
+	if err := E15Verify(cfg, fresh, queries); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	t.Logf("\n%s\n%s", TableE15Freshness(fresh), TableE15Query(queries))
+
+	// Even the reduced sweep must clear the full run's 10x bar at its
+	// largest corpus (Verify already enforces it; assert explicitly so
+	// a loosened Verify can't silently pass here).
+	lastQ := queries[len(queries)-1]
+	if lastQ.Speedup < 10 {
+		t.Fatalf("index speedup %.1fx < 10x at %d records", lastQ.Speedup, lastQ.Records)
+	}
+}

@@ -1,0 +1,214 @@
+package indexer
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"medchain/internal/blob"
+	"medchain/internal/chain"
+	"medchain/internal/contract"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/emr"
+	"medchain/internal/ledger"
+	"medchain/internal/store"
+	"medchain/internal/vm"
+)
+
+// corpus builds a blob store holding n generated records (one blob per
+// record, cycling the three encodings) and returns the store, the
+// manifest entries, and the records.
+func corpus(t testing.TB, n int) (*blob.Store, []contract.ManifestEntry, []*emr.Record) {
+	t.Helper()
+	bs, err := blob.Open(store.NewMemFS(), "blobs", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := emr.NewGenerator(emr.GenConfig{Seed: 42, Patients: n}).Generate()
+	entries := make([]contract.ManifestEntry, 0, n)
+	for i, r := range recs {
+		format := emr.Formats[i%len(emr.Formats)]
+		data, err := emr.EncodeAs(format, []*emr.Record{r}, "site-0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := bs.Put(r.Patient.ID, format, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, contract.ManifestEntry{Record: r.Patient.ID, Root: m.Root})
+	}
+	return bs, entries, recs
+}
+
+func anchoredEvent(t testing.TB, dataset string, entries []contract.ManifestEntry, height uint64, txSeed string) chain.EventRecord {
+	t.Helper()
+	data, err := json.Marshal(contract.ManifestsAnchored{
+		Dataset: dataset, BatchRoot: contract.ManifestBatchRoot(entries), Entries: entries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chain.EventRecord{
+		Height: height,
+		TxID:   cryptoutil.Sum([]byte(txSeed)),
+		Event:  vm.Event{Topic: "ManifestsAnchored", Data: data},
+	}
+}
+
+func singleStoreFetch(bs *blob.Store) FetchFunc {
+	return StoreFetcher(func(string) *blob.Store { return bs })
+}
+
+func TestIndexMatchesDirectScan(t *testing.T) {
+	bs, entries, recs := corpus(t, 60)
+	x := New(NewIndex(), singleStoreFetch(bs))
+	x.HandleEvent(anchoredEvent(t, "ds", entries, 3, "tx-1"))
+
+	ix := x.Index()
+	if ix.Docs() != len(recs) {
+		t.Fatalf("indexed %d docs, want %d (skips: %v)", ix.Docs(), len(recs), ix.SkipCounts())
+	}
+	if ix.Height() != 3 {
+		t.Fatalf("indexed height %d, want 3", ix.Height())
+	}
+
+	queries := []Query{
+		{Condition: emr.CondDiabetes},
+		{Condition: emr.CondStroke, MinAge: 50},
+		{Sex: emr.SexFemale, MaxAge: 70},
+		{LabCode: emr.LabGlucose, Condition: emr.CondDiabetes},
+		{},
+	}
+	for _, q := range queries {
+		want := 0
+		for _, r := range recs {
+			if q.MatchRecord(r) {
+				want++
+			}
+		}
+		if got := ix.Count(q); got != want {
+			t.Fatalf("query %+v: index says %d, direct scan says %d", q, got, want)
+		}
+	}
+
+	// Re-delivering the same tx (subscribe/catch-up overlap) is a no-op.
+	before := ix.Digest()
+	x.HandleEvent(anchoredEvent(t, "ds", entries, 3, "tx-1"))
+	if ix.Digest() != before {
+		t.Fatal("duplicate event delivery changed the index")
+	}
+}
+
+func TestSkipReasonsCounted(t *testing.T) {
+	bs, entries, _ := corpus(t, 3)
+	// A record that was anchored but whose blob never arrived.
+	missing := contract.ManifestEntry{Record: "GHOST", Root: cryptoutil.Sum([]byte("ghost"))}
+	// A record whose local bytes do not match the anchored root.
+	mismatch := contract.ManifestEntry{Record: entries[0].Record, Root: cryptoutil.Sum([]byte("other"))}
+	// A record whose blob verifies but does not decode.
+	garbage := []byte("MSH|^~\\&|MEDCHAIN|site-0\rZZZ|x\r")
+	gm, err := bs.Put("BADREC", emr.FormatHL7, garbage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := contract.ManifestEntry{Record: "BADREC", Root: gm.Root}
+
+	x := New(NewIndex(), singleStoreFetch(bs))
+	x.HandleEvent(anchoredEvent(t, "ds", append(entries[1:], missing, mismatch, bad), 1, "tx-1"))
+
+	ix := x.Index()
+	skips := ix.SkipCounts()
+	if skips[SkipMissingBlob] != 1 || skips[SkipRootMismatch] != 1 {
+		t.Fatalf("skip counts %v, want one missing-blob and one root-mismatch", skips)
+	}
+	if skips["decode:"+emr.ReasonUnknownSegment] != 1 {
+		t.Fatalf("skip counts %v, want one decode:%s", skips, emr.ReasonUnknownSegment)
+	}
+	if ix.Docs() != 2 {
+		t.Fatalf("indexed %d docs, want the 2 healthy ones", ix.Docs())
+	}
+}
+
+func TestRebuildBitIdentical(t *testing.T) {
+	bs, entries, _ := corpus(t, 40)
+	fetch := singleStoreFetch(bs)
+
+	// Tail incrementally: three batches at increasing heights, plus an
+	// unrelated event and a duplicate delivery in the middle.
+	var events []chain.EventRecord
+	for i := 0; i < 3; i++ {
+		lo, hi := i*10, (i+1)*10
+		if i == 2 {
+			hi = len(entries)
+		}
+		events = append(events, anchoredEvent(t, "ds", entries[lo:hi], uint64(i+1), fmt.Sprintf("tx-%d", i)))
+	}
+	events = append(events, chain.EventRecord{
+		Height: 4, TxID: cryptoutil.Sum([]byte("other")),
+		Event: vm.Event{Topic: "DatasetRegistered", Data: []byte(`{}`)},
+	})
+
+	tailed := New(NewIndex(), fetch)
+	for _, rec := range events {
+		tailed.HandleEvent(rec)
+		tailed.HandleEvent(rec) // duplicates must not diverge the state
+	}
+	tailed.Index().ObserveHeight(7)
+
+	rebuilt := Rebuild(events, fetch, 7)
+	if tailed.Index().Digest() != rebuilt.Digest() {
+		t.Fatal("full-replay rebuild diverges from incrementally tailed index")
+	}
+	if rebuilt.Docs() != 40 {
+		t.Fatalf("rebuilt %d docs, want 40", rebuilt.Docs())
+	}
+}
+
+func TestCatchUpFromLiveChain(t *testing.T) {
+	cluster, err := chain.NewCluster(chain.ClusterConfig{Nodes: 1, KeySeed: "idx-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	node := cluster.Node(0)
+
+	owner, err := cryptoutil.DeriveKeyPair("idx-owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := func(nonce uint64, method string, args any) {
+		raw, err := json.Marshal(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := &ledger.Transaction{Type: ledger.TxData, Nonce: nonce, Method: method, Args: raw, Timestamp: int64(nonce) + 1}
+		if err := tx.Sign(owner); err != nil {
+			t.Fatal(err)
+		}
+		if err := node.SubmitLocal(tx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cluster.CommitAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bs, entries, _ := corpus(t, 8)
+	submit(0, "register_dataset", contract.RegisterDatasetArgs{
+		ID: "ds", Digest: cryptoutil.Sum([]byte("ds")), Schema: "cdf/v1", Records: 8, SiteID: "site-0",
+	})
+	submit(1, "register_manifests", contract.RegisterManifestsArgs{
+		Dataset: "ds", BatchRoot: contract.ManifestBatchRoot(entries), Entries: entries,
+	})
+
+	x := New(NewIndex(), singleStoreFetch(bs))
+	x.CatchUp(node)
+	if x.Index().Docs() != 8 {
+		t.Fatalf("catch-up indexed %d docs, want 8 (skips: %v)", x.Index().Docs(), x.Index().SkipCounts())
+	}
+	indexed, tip := x.Lag(node)
+	if indexed != tip {
+		t.Fatalf("lag after catch-up: indexed %d, tip %d", indexed, tip)
+	}
+}

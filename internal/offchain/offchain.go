@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"medchain/internal/analytics"
+	"medchain/internal/blob"
 	"medchain/internal/chain"
 	"medchain/internal/contract"
 	"medchain/internal/cryptoutil"
@@ -32,6 +33,7 @@ var (
 	ErrToolTampered = errors.New("offchain: tool code does not match on-chain digest")
 	ErrUnknownTool  = errors.New("offchain: unknown tool")
 	ErrNoRecords    = errors.New("offchain: site has no records")
+	ErrNoBlobStore  = errors.New("offchain: site has no blob store")
 )
 
 // Site is one hospital/provider premise: records + tool registry + a
@@ -46,6 +48,9 @@ type Site struct {
 	// dirty marks that records changed since digest was computed, so
 	// VerifyIntegrity must rehash instead of using the cache.
 	dirty bool
+	// blobs is the site's content-addressed per-record store (the
+	// off-chain data plane); nil until AttachBlobStore.
+	blobs *blob.Store
 }
 
 // NewSite builds a site over its local records. The returned site owns
@@ -258,6 +263,43 @@ func (s *Site) FetchEncrypted(auth contract.AccessAuthorization, requesterPub []
 		return nil, 0, err
 	}
 	return env, len(payload), nil
+}
+
+// AttachBlobStore installs the site's content-addressed blob store —
+// the per-record off-chain data plane the chain-tailing indexer and
+// candidate-fetch path read through.
+func (s *Site) AttachBlobStore(bs *blob.Store) {
+	s.mu.Lock()
+	s.blobs = bs
+	s.mu.Unlock()
+}
+
+// BlobStore returns the attached blob store (nil if none).
+func (s *Site) BlobStore() *blob.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.blobs
+}
+
+// ServeBlob serves one record's blob bytes against a valid on-chain
+// authorization: the auth must target this site and carry a read/share
+// action — the same gate FetchEncrypted applies — and the blob layer
+// verifies every chunk against its content address on the way out.
+// Typed blob errors (blob.ErrChunkMissing, blob.ErrManifestMissing,
+// ...) propagate so callers can distinguish a missing blob from a
+// denied request.
+func (s *Site) ServeBlob(auth contract.AccessAuthorization, record string) ([]byte, *blob.Manifest, error) {
+	if auth.SiteID != s.id {
+		return nil, nil, fmt.Errorf("%w: auth for %q, this is %q", ErrWrongSite, auth.SiteID, s.id)
+	}
+	if auth.Action != contract.ActionRead && auth.Action != contract.ActionShare {
+		return nil, nil, fmt.Errorf("offchain: action %q cannot fetch blobs", auth.Action)
+	}
+	bs := s.BlobStore()
+	if bs == nil {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNoBlobStore, s.id)
+	}
+	return bs.Get(record)
 }
 
 // Runner fans authorized tasks out to sites in parallel — the

@@ -21,6 +21,7 @@ import (
 
 	"medchain/internal/analytics"
 	"medchain/internal/emr"
+	"medchain/internal/indexer"
 )
 
 // Intent is what the user wants done.
@@ -185,6 +186,21 @@ func (v *Vector) ValidateForIntent() error {
 		return fmt.Errorf("%w: unknown intent %q", ErrUnparseable, v.Intent)
 	}
 	return nil
+}
+
+// IndexQuery compiles the vector's selective slice into an index
+// query, so IntentCount/IntentSummary/IntentFetch can do candidate
+// selection against the chain-tailing EMR index before touching any
+// blob — same age/sex/condition semantics as the analytics cohort
+// filter, so index answers agree with a direct record scan.
+func (v *Vector) IndexQuery() indexer.Query {
+	return indexer.Query{
+		Condition: v.Condition,
+		LabCode:   v.LabCode,
+		Sex:       v.Sex,
+		MinAge:    v.MinAge,
+		MaxAge:    v.MaxAge,
+	}
 }
 
 // cohort converts the demographic slice of the vector.

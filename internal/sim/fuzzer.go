@@ -7,11 +7,14 @@ import (
 	"math/rand"
 
 	"medchain/internal/analytics"
+	"medchain/internal/blob"
 	"medchain/internal/contract"
 	"medchain/internal/cryptoutil"
 	"medchain/internal/emr"
+	"medchain/internal/indexer"
 	"medchain/internal/ledger"
 	"medchain/internal/offchain"
+	"medchain/internal/store"
 	"medchain/internal/vm"
 )
 
@@ -58,6 +61,15 @@ type fuzzer struct {
 	sites  []*offchain.Site
 	runner *offchain.Runner
 
+	// Off-chain data plane under fuzz: one content-addressed blob store
+	// per site dataset, plus a scratch store used to compute manifest
+	// roots for deliberately-unfetchable (never persisted) blobs.
+	blobStores     map[string]*blob.Store // dataset id -> store
+	siteFormats    map[string]string      // dataset id -> EMR encoding
+	scratch        *blob.Store
+	initialAnchors map[string][]contract.ManifestEntry
+	blobSeq        int
+
 	code string // base64 VM loop program shared by all deploys
 }
 
@@ -79,6 +91,14 @@ func newFuzzer(cfg Config, rng *rand.Rand) (*fuzzer, error) {
 	}
 
 	reg := analytics.NewRegistry() // preloaded with cohort.count, lab.summary, …
+	fz.blobStores = make(map[string]*blob.Store)
+	fz.siteFormats = make(map[string]string)
+	fz.initialAnchors = make(map[string][]contract.ManifestEntry)
+	scratch, err := blob.Open(store.NewMemFS(), "scratch", 0)
+	if err != nil {
+		return nil, err
+	}
+	fz.scratch = scratch
 	for i := 0; i < 2; i++ {
 		records := emr.NewGenerator(emr.GenConfig{
 			Seed: subSeed(cfg.Seed, fmt.Sprintf("emr-%d", i)), Patients: 20, StartID: i * 100,
@@ -88,6 +108,24 @@ func newFuzzer(cfg Config, rng *rand.Rand) (*fuzzer, error) {
 			return nil, err
 		}
 		fz.sites = append(fz.sites, site)
+
+		// Per-record blobs in the site's encoding, anchored in setup.
+		ds := fmt.Sprintf("ds-site-%d", i)
+		format := emr.Formats[i%len(emr.Formats)]
+		bs, err := blob.Open(store.NewMemFS(), "blobs", 0)
+		if err != nil {
+			return nil, err
+		}
+		site.AttachBlobStore(bs)
+		fz.blobStores[ds] = bs
+		fz.siteFormats[ds] = format
+		for _, r := range records {
+			m, err := fz.putBlob(bs, format, site.ID(), r)
+			if err != nil {
+				return nil, err
+			}
+			fz.initialAnchors[ds] = append(fz.initialAnchors[ds], contract.ManifestEntry{Record: r.Patient.ID, Root: m.Root})
+		}
 	}
 	fz.runner = offchain.NewRunner(fz.sites...)
 
@@ -101,6 +139,23 @@ func newFuzzer(cfg Config, rng *rand.Rand) (*fuzzer, error) {
 		HALT
 	`))
 	return fz, nil
+}
+
+// putBlob encodes one record in the site's format and writes it into
+// bs, returning the manifest.
+func (fz *fuzzer) putBlob(bs *blob.Store, format, site string, r *emr.Record) (*blob.Manifest, error) {
+	data, err := emr.EncodeAs(format, []*emr.Record{r}, site)
+	if err != nil {
+		return nil, err
+	}
+	return bs.Put(r.Patient.ID, format, data)
+}
+
+// blobFetch is the indexer's view of the fuzzed blob stores.
+func (fz *fuzzer) blobFetch() indexer.FetchFunc {
+	return indexer.StoreFetcher(func(dataset string) *blob.Store {
+		return fz.blobStores[dataset]
+	})
 }
 
 // tx builds and signs one transaction from a, advancing its nonce and
@@ -152,6 +207,16 @@ func (fz *fuzzer) setup() ([]*ledger.Transaction, error) {
 		fz.datasets = append(fz.datasets, id)
 		fz.siteDatasets = append(fz.siteDatasets, id)
 		fz.owner["data:"+id] = a
+	}
+	for i := range fz.sites {
+		ds := fmt.Sprintf("ds-site-%d", i)
+		entries := fz.initialAnchors[ds]
+		if err := add(fz.tx(a, ledger.TxData, "register_manifests", contract.RegisterManifestsArgs{
+			Dataset: ds, Format: fz.siteFormats[ds],
+			BatchRoot: contract.ManifestBatchRoot(entries), Entries: entries,
+		}, cryptoutil.Address{})); err != nil {
+			return nil, err
+		}
 	}
 	for _, id := range []string{"cohort.count", "lab.summary"} {
 		if err := add(fz.tx(a, ledger.TxAnalytics, "register_tool", contract.RegisterToolArgs{
@@ -250,8 +315,10 @@ func (fz *fuzzer) gen(n int) ([]*ledger.Transaction, error) {
 }
 
 func (fz *fuzzer) genOne() (*ledger.Transaction, error) {
-	r := fz.rng.Intn(100)
+	r := fz.rng.Intn(112)
 	switch {
+	case r >= 100: // register_manifests: valid anchors, missing blobs, forged roots, non-owners
+		return fz.genAnchor()
 	case r < 8: // register_dataset (sometimes a duplicate id)
 		id := fmt.Sprintf("ds-%d", fz.dsSeq)
 		if len(fz.datasets) > 0 && fz.rng.Float64() < 0.2 {
@@ -444,6 +511,53 @@ func (fz *fuzzer) genOne() (*ledger.Transaction, error) {
 		}
 		return fz.tx(a, ledger.TxData, "frobnicate", struct{}{}, cryptoutil.Address{})
 	}
+}
+
+// genAnchor emits one register_manifests transaction against a fuzzed
+// site dataset. Four weighted modes: a clean anchor of freshly-written
+// blobs; a clean anchor whose first blob was never persisted (the
+// indexer must skip it with a counted reason); a forged batch root
+// (denied on chain, so the event stream — and the index — never see
+// it); and a non-owner anchor attempt (also denied).
+func (fz *fuzzer) genAnchor() (*ledger.Transaction, error) {
+	si := fz.rng.Intn(len(fz.sites))
+	ds := fmt.Sprintf("ds-site-%d", si)
+	format := fz.siteFormats[ds]
+	bs := fz.blobStores[ds]
+
+	n := 1 + fz.rng.Intn(3)
+	recs := emr.NewGenerator(emr.GenConfig{
+		Seed: fz.rng.Int63(), Patients: n, StartID: 100_000 + fz.blobSeq,
+	}).Generate()
+	fz.blobSeq += n
+
+	mode := fz.rng.Float64()
+	entries := make([]contract.ManifestEntry, 0, n)
+	for j, rec := range recs {
+		target := bs
+		if mode >= 0.55 && mode < 0.70 && j == 0 {
+			// Anchored but unfetchable: the root is computed off a
+			// scratch store and the bytes never reach the site.
+			target = fz.scratch
+		}
+		m, err := fz.putBlob(target, format, siteID(si), rec)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, contract.ManifestEntry{Record: rec.Patient.ID, Root: m.Root})
+	}
+
+	from := fz.owner["data:"+ds]
+	batchRoot := contract.ManifestBatchRoot(entries)
+	switch {
+	case mode >= 0.70 && mode < 0.85: // forged batch root -> denied
+		batchRoot = cryptoutil.Sum([]byte(fmt.Sprintf("forged-%d", fz.blobSeq)))
+	case mode >= 0.85: // non-owner -> denied
+		from = fz.actors[1+fz.rng.Intn(len(fz.actors)-1)]
+	}
+	return fz.tx(from, ledger.TxData, "register_manifests", contract.RegisterManifestsArgs{
+		Dataset: ds, Format: format, BatchRoot: batchRoot, Entries: entries,
+	}, cryptoutil.Address{})
 }
 
 // pickNonSiteDataset avoids the offchain-hosted datasets so their

@@ -7,6 +7,8 @@ import (
 	"medchain/internal/chain"
 	"medchain/internal/contract"
 	"medchain/internal/cryptoutil"
+	"medchain/internal/emr"
+	"medchain/internal/indexer"
 	"medchain/internal/ledger"
 	"medchain/internal/offchain"
 	"medchain/internal/vm"
@@ -51,6 +53,13 @@ type checker struct {
 	auths        []contract.RunAuthorization
 	offchainRuns int
 
+	// tail is the chain-tailing EMR indexer fed incrementally from the
+	// serial event stream; fetch is its view of the fuzzed blob stores.
+	// finish() requires a full-replay rebuild to be bit-identical and
+	// index query answers to agree with a direct blob scan.
+	tail  *indexer.Indexer
+	fetch indexer.FetchFunc
+
 	checks     int
 	blocks     int
 	txs        int
@@ -59,7 +68,7 @@ type checker struct {
 	cex        *Counterexample
 }
 
-func newChecker(cfg Config, runner *offchain.Runner, genesis *ledger.Block) *checker {
+func newChecker(cfg Config, runner *offchain.Runner, fetch indexer.FetchFunc, genesis *ledger.Block) *checker {
 	return &checker{
 		cfg:            cfg,
 		executors:      cfg.Executors,
@@ -68,6 +77,8 @@ func newChecker(cfg Config, runner *offchain.Runner, genesis *ledger.Block) *che
 		serialReceipts: make(map[cryptoutil.Digest]string),
 		consent:        newConsentTracker(),
 		runner:         runner,
+		tail:           indexer.New(indexer.NewIndex(), fetch),
+		fetch:          fetch,
 	}
 }
 
@@ -171,9 +182,12 @@ func (ck *checker) checkBlock(c *chain.Cluster, blk *ledger.Block) {
 		}
 		ck.gas += serialRecs[i].GasUsed
 		for _, ev := range serialRecs[i].Events {
-			ck.serialEvents = append(ck.serialEvents, chain.EventRecord{Height: h, TxID: id, Event: ev})
+			rec := chain.EventRecord{Height: h, TxID: id, Event: ev}
+			ck.serialEvents = append(ck.serialEvents, rec)
+			ck.tail.HandleEvent(rec)
 		}
 	}
+	ck.tail.Index().ObserveHeight(h)
 	for _, ni := range c.RunningNodes() {
 		n := c.Node(ni)
 		if n.Height() < h {
@@ -244,6 +258,7 @@ func (ck *checker) checkRound(c *chain.Cluster) {
 // gas equality on every node at head, and the final offchain batch.
 func (ck *checker) finish(c *chain.Cluster) {
 	ck.flushOffchain()
+	ck.checkIndexer()
 
 	wantEvents, err := json.Marshal(ck.serialEvents)
 	if err != nil {
@@ -297,6 +312,73 @@ func (ck *checker) finish(c *chain.Cluster) {
 		ck.checks++
 		if got := n.GasUsed(); got != ck.gas {
 			ck.violationf("gas: %s finished with %d gas burned, serial reference burned %d", n.ID(), got, ck.gas)
+		}
+	}
+}
+
+// checkIndexer runs the off-chain index invariants over the whole run:
+//
+//   - rebuild determinism: an index rebuilt from a full replay of the
+//     serial event stream must be bit-identical (canonical-export
+//     digest) to the incrementally tailed index, whatever interleaving
+//     of blocks, faults, and duplicate-free event delivery the run saw;
+//   - index/scan agreement: for a panel of cohort queries, the count
+//     the index answers must equal a direct scan that fetches every
+//     anchored blob, decodes it, and applies the same predicate to the
+//     full record — catching extraction infidelity, not just lost docs.
+func (ck *checker) checkIndexer() {
+	ck.checks++
+	rebuilt := indexer.Rebuild(ck.serialEvents, ck.fetch, ck.height)
+	tailed := ck.tail.Index()
+	if rebuilt.Digest() != tailed.Digest() {
+		ck.violationf("indexer: full-replay rebuild digest %s diverges from tailed digest %s (%d vs %d docs)",
+			rebuilt.Digest().Short(), tailed.Digest().Short(), rebuilt.Docs(), tailed.Docs())
+		return
+	}
+
+	// Ground truth: decode every fetchable anchored blob, last anchor
+	// wins per (dataset, record) — the same replacement semantics the
+	// index applies.
+	truth := make(map[string]*emr.Record)
+	for _, er := range ck.serialEvents {
+		if er.Event.Topic != "ManifestsAnchored" {
+			continue
+		}
+		var ev contract.ManifestsAnchored
+		if json.Unmarshal(er.Event.Data, &ev) != nil {
+			continue
+		}
+		for _, ent := range ev.Entries {
+			data, format, err := ck.fetch(ev.Dataset, ent.Record, ent.Root)
+			if err != nil {
+				continue // unfetchable: the index skipped it too
+			}
+			recs, err := emr.DecodeAs(format, data)
+			if err != nil || len(recs) == 0 {
+				continue
+			}
+			truth[ev.Dataset+"\x00"+ent.Record] = recs[0]
+		}
+	}
+	queries := []indexer.Query{
+		{Condition: emr.CondDiabetes},
+		{Condition: emr.CondStroke, MinAge: 40},
+		{Sex: emr.SexFemale},
+		{LabCode: emr.LabGlucose, MaxAge: 70},
+		{Condition: emr.CondDiabetes, Sex: emr.SexMale, MinAge: 30, MaxAge: 75},
+	}
+	for _, q := range queries {
+		ck.checks++
+		want := 0
+		for _, r := range truth {
+			if q.MatchRecord(r) {
+				want++
+			}
+		}
+		if got := tailed.Count(q); got != want {
+			ck.violationf("indexer: query %+v answered %d from the index, direct blob scan finds %d (docs=%d skipped=%d)",
+				q, got, want, tailed.Docs(), tailed.Skipped())
+			return
 		}
 	}
 }

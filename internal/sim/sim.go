@@ -254,6 +254,12 @@ type Result struct {
 	ProbeTxs         int
 	ProbeMaxLatency  int
 	PeakMempool      int
+	// IndexedDocs / IndexSkipped are the chain-tailing EMR indexer's
+	// totals: documents indexed from anchored manifests, and entries
+	// skipped with a counted reason (missing blob, root mismatch,
+	// undecodable bytes).
+	IndexedDocs  int
+	IndexSkipped int
 	// Violations are the invariant failures (empty on a green run).
 	Violations []string
 	// Counterexample is the minimized differential-oracle failure, if
@@ -353,7 +359,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	orch := chaos.New(cluster, sched)
 
-	ck := newChecker(cfg, fz.runner, cluster.Node(0).Chain().Genesis())
+	ck := newChecker(cfg, fz.runner, fz.blobFetch(), cluster.Node(0).Chain().Genesis())
 
 	// pending tracks submitted-but-uncommitted transactions so the
 	// pre-commit settle wait and the final drain know when the cluster
@@ -554,6 +560,8 @@ func Run(cfg Config) (*Result, error) {
 	res.Checks = ck.checks
 	res.OffchainRuns = ck.offchainRuns
 	res.GasUsed = ck.gas
+	res.IndexedDocs = ck.tail.Index().Docs()
+	res.IndexSkipped = ck.tail.Index().Skipped()
 	if disks != nil {
 		res.DiskRecoveries = disks.recoveries
 		res.DiskReplayedBlocks = disks.replayed

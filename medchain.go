@@ -37,6 +37,7 @@
 package medchain
 
 import (
+	"medchain/internal/blob"
 	"medchain/internal/chain"
 	"medchain/internal/contract"
 	"medchain/internal/core"
@@ -57,6 +58,22 @@ type Config = core.Config
 
 // Account is a transacting identity.
 type Account = core.Account
+
+// IndexedResult is the outcome of an index-routed query (see
+// Platform.QueryIndexed), including the freshness triple
+// (IndexedHeight, ChainHeight, Lag) the answer is relative to.
+type IndexedResult = core.IndexedResult
+
+// ErrNoIndex: the platform was built without Config.Index.
+var ErrNoIndex = core.ErrNoIndex
+
+// Typed off-chain blob errors, so callers can tell a missing or
+// corrupt blob apart from a policy denial.
+var (
+	ErrBlobChunkMissing    = blob.ErrChunkMissing
+	ErrBlobChunkCorrupt    = blob.ErrChunkCorrupt
+	ErrBlobManifestMissing = blob.ErrManifestMissing
+)
 
 // QueryResult is the outcome of a transformed (parallel) query.
 type QueryResult = core.QueryResult

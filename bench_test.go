@@ -184,7 +184,7 @@ func BenchmarkE10ParallelExec(b *testing.B) {
 		var err error
 		rows, err = experiments.E10ParallelExec(experiments.E10Config{
 			Workers:       []int{1, 2, 4, 8},
-			ConflictRates: []float64{0, 0.25, 0.5, 1},
+			ConflictRates: []float64{0, 0.3, 0.5, 1},
 			Txs:           256,
 			Seed:          int64(i + 1),
 		})

@@ -10,6 +10,7 @@ import (
 	"medchain/internal/guard"
 	"medchain/internal/ledger"
 	"medchain/internal/p2p"
+	"medchain/internal/parexec"
 	"medchain/internal/resilience"
 	"medchain/internal/store"
 )
@@ -46,11 +47,16 @@ type ClusterConfig struct {
 	CommitTimeout time.Duration
 	// KeySeed prefixes the deterministic node key seeds.
 	KeySeed string
-	// ParallelWorkers enables the speculative parallel execution engine
-	// on every node with the given worker count (0 = serial reference
-	// execution, < 0 = GOMAXPROCS). Results are bit-identical to
-	// serial, so parallel and serial clusters interoperate.
+	// ParallelWorkers enables the parallel execution engine on every
+	// node with the given worker count (0 = serial reference execution,
+	// < 0 = GOMAXPROCS). Results are bit-identical to serial, so
+	// parallel and serial clusters interoperate.
 	ParallelWorkers int
+	// ExecMode selects the parallel engine's scheduler when
+	// ParallelWorkers != 0: two-phase speculate/commit (default) or one
+	// of the MVCC dependency-wave schedulers. Every mode is
+	// bit-identical to serial, so clusters may mix modes across nodes.
+	ExecMode parexec.Mode
 	// Persist makes every node disk-backed (nil = memory-only).
 	Persist *PersistConfig
 	// StrictSchedule makes every node reject proposals whose sealer is
@@ -190,7 +196,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, err
 		}
 		if cfg.ParallelWorkers != 0 {
-			n.UseParallelExec(cfg.ParallelWorkers)
+			n.UseExecEngine(cfg.ExecMode, cfg.ParallelWorkers)
 		}
 		if cfg.StrictSchedule {
 			n.SetStrictSchedule(true)

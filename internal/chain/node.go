@@ -238,13 +238,24 @@ func (n *Node) State() *contract.State { return n.state }
 func (n *Node) SetHost(host map[string]vm.HostFunc) { n.state.SetHost(host) }
 
 // UseParallelExec switches block execution (apply and proposer
-// preview) to the speculative parallel engine with the given worker
-// count; workers == 0 restores the serial reference path, workers < 0
-// selects GOMAXPROCS. Results are bit-identical to serial execution —
-// a cluster may freely mix parallel and serial nodes. With the engine
-// enabled, HOST functions installed via SetHost may be called
-// concurrently and must be safe for concurrent use.
+// preview) to the two-phase speculative parallel engine with the given
+// worker count; workers == 0 restores the serial reference path,
+// workers < 0 selects GOMAXPROCS. Results are bit-identical to serial
+// execution — a cluster may freely mix parallel and serial nodes. With
+// the engine enabled, HOST functions installed via SetHost may be
+// called concurrently and must be safe for concurrent use.
 func (n *Node) UseParallelExec(workers int) {
+	n.UseExecEngine(parexec.ModeTwoPhase, workers)
+}
+
+// UseExecEngine switches block execution (apply and proposer preview)
+// to the parallel engine in the given mode — two-phase
+// speculate/commit or one of the MVCC dependency-wave schedulers.
+// workers == 0 restores the serial reference path, workers < 0 selects
+// GOMAXPROCS. Every mode is bit-identical to serial execution, so a
+// cluster may freely mix engine modes across nodes — consensus itself
+// then acts as a cross-engine differential oracle.
+func (n *Node) UseExecEngine(mode parexec.Mode, workers int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.parEng != nil {
@@ -256,7 +267,7 @@ func (n *Node) UseParallelExec(workers int) {
 		n.parEng = nil
 		return
 	}
-	n.parEng = parexec.New(workers)
+	n.parEng = parexec.NewEngine(parexec.Config{Workers: workers, Mode: mode})
 }
 
 // parallelEngine returns the installed engine, or nil on the serial

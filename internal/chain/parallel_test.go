@@ -8,6 +8,7 @@ import (
 	"medchain/internal/contract"
 	"medchain/internal/cryptoutil"
 	"medchain/internal/ledger"
+	"medchain/internal/parexec"
 )
 
 // signedTx builds a deterministic signed transaction (fixed timestamp,
@@ -57,15 +58,15 @@ func parallelBatch(t testing.TB, user *cryptoutil.KeyPair) []*ledger.Transaction
 }
 
 // TestParallelClusterMatchesSerial commits the same signed batch on a
-// serial cluster and on a cluster running the speculative engine, and
-// requires identical state roots and receipts on every node.
+// serial cluster and on clusters running each parallel engine mode,
+// and requires identical state roots and receipts on every node.
 func TestParallelClusterMatchesSerial(t *testing.T) {
 	user := userKey(t, "par-user")
 
-	commit := func(workers int) (*Cluster, *ledger.Block) {
+	commit := func(seed string, workers int, mode parexec.Mode) (*Cluster, *ledger.Block) {
 		c, err := NewCluster(ClusterConfig{
-			Nodes: 3, Engine: EngineQuorum, KeySeed: "par-eq",
-			ParallelWorkers: workers,
+			Nodes: 3, Engine: EngineQuorum, KeySeed: seed,
+			ParallelWorkers: workers, ExecMode: mode,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -78,43 +79,88 @@ func TestParallelClusterMatchesSerial(t *testing.T) {
 		return c, blk
 	}
 
-	serialC, serialBlk := commit(0)
-	parC, parBlk := commit(4)
+	serialC, serialBlk := commit("par-eq", 0, parexec.ModeTwoPhase)
 
-	if sr, pr := serialBlk.Header.StateRoot, parBlk.Header.StateRoot; sr != pr {
-		t.Fatalf("state root diverged: serial %s, parallel %s", sr.Short(), pr.Short())
-	}
-	for _, tx := range serialBlk.Txs {
-		sRec, ok := serialC.Node(0).Receipt(tx.ID())
-		if !ok {
-			t.Fatalf("serial receipt missing for %s", tx.ID().Short())
-		}
-		pRec, ok := parC.Node(0).Receipt(tx.ID())
-		if !ok {
-			t.Fatalf("parallel receipt missing for %s", tx.ID().Short())
-		}
-		if sRec.Err != pRec.Err || sRec.GasUsed != pRec.GasUsed || len(sRec.Events) != len(pRec.Events) {
-			t.Fatalf("receipt diverged for %s:\n serial %+v\n parallel %+v", tx.ID().Short(), sRec, pRec)
-		}
-	}
-	if serialC.Node(0).GasUsed() != parC.Node(0).GasUsed() {
-		t.Fatalf("gas accounting diverged: %d vs %d",
-			serialC.Node(0).GasUsed(), parC.Node(0).GasUsed())
-	}
+	for _, mode := range []parexec.Mode{parexec.ModeTwoPhase, parexec.ModeMVCCWave, parexec.ModeMVCCOptimistic} {
+		parC, parBlk := commit("par-eq-"+mode.String(), 4, mode)
 
-	// The parallel cluster really used the engine: every node saw the
-	// batch, with both clean commits and the forced conflict residue.
-	for i, n := range parC.Nodes() {
-		st := n.ParallelStats()
-		if st.Txs == 0 {
-			t.Fatalf("node %d never used the parallel engine", i)
+		if sr, pr := serialBlk.Header.StateRoot, parBlk.Header.StateRoot; sr != pr {
+			t.Fatalf("%v: state root diverged: serial %s, parallel %s", mode, sr.Short(), pr.Short())
 		}
-		if st.Clean == 0 || st.Serial == 0 {
-			t.Fatalf("node %d stats missing clean or conflict txs: %+v", i, st)
+		for _, tx := range serialBlk.Txs {
+			sRec, ok := serialC.Node(0).Receipt(tx.ID())
+			if !ok {
+				t.Fatalf("serial receipt missing for %s", tx.ID().Short())
+			}
+			pRec, ok := parC.Node(0).Receipt(tx.ID())
+			if !ok {
+				t.Fatalf("%v: parallel receipt missing for %s", mode, tx.ID().Short())
+			}
+			if sRec.Err != pRec.Err || sRec.GasUsed != pRec.GasUsed || len(sRec.Events) != len(pRec.Events) {
+				t.Fatalf("%v: receipt diverged for %s:\n serial %+v\n parallel %+v", mode, tx.ID().Short(), sRec, pRec)
+			}
+		}
+		if serialC.Node(0).GasUsed() != parC.Node(0).GasUsed() {
+			t.Fatalf("%v: gas accounting diverged: %d vs %d",
+				mode, serialC.Node(0).GasUsed(), parC.Node(0).GasUsed())
+		}
+
+		// The parallel cluster really used the engine: every node saw
+		// the batch, and the accounting invariant held. The batch has
+		// forced conflicts, so two-phase must show serial residue and
+		// the MVCC modes must dispatch dependency waves.
+		for i, n := range parC.Nodes() {
+			st := n.ParallelStats()
+			if st.Txs == 0 {
+				t.Fatalf("%v: node %d never used the parallel engine", mode, i)
+			}
+			if st.Clean+st.Aborted+st.Serial != st.Txs {
+				t.Fatalf("%v: node %d violated the stats invariant: %+v", mode, i, st)
+			}
+			if mode == parexec.ModeTwoPhase && (st.Clean == 0 || st.Serial == 0) {
+				t.Fatalf("two-phase: node %d stats missing clean or conflict txs: %+v", i, st)
+			}
+			if mode != parexec.ModeTwoPhase && (st.Clean == 0 || st.Waves == 0) {
+				t.Fatalf("%v: node %d stats missing clean txs or waves: %+v", mode, i, st)
+			}
+			if mode == parexec.ModeMVCCOptimistic && st.Aborted == 0 {
+				t.Fatalf("mvcc-occ: node %d never aborted despite forced conflicts: %+v", i, st)
+			}
 		}
 	}
 	if st := serialC.Node(0).ParallelStats(); st.Txs != 0 {
 		t.Fatalf("serial cluster unexpectedly used the engine: %+v", st)
+	}
+}
+
+// TestMixedModeClusterAgrees runs one cluster whose nodes each use a
+// different execution engine — serial, two-phase, MVCC wave, MVCC
+// optimistic — so consensus itself is a cross-engine differential
+// oracle: every committed block's state root must be agreed by all
+// four.
+func TestMixedModeClusterAgrees(t *testing.T) {
+	user := userKey(t, "mix-user")
+	c, err := NewCluster(ClusterConfig{Nodes: 4, Engine: EngineQuorum, KeySeed: "par-mix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	c.Node(1).UseExecEngine(parexec.ModeTwoPhase, 2)
+	c.Node(2).UseExecEngine(parexec.ModeMVCCWave, 4)
+	c.Node(3).UseExecEngine(parexec.ModeMVCCOptimistic, 4)
+
+	submitAndCommit(t, c, parallelBatch(t, user)...)
+	if err := c.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 2, 3} {
+		st := c.Node(i).ParallelStats()
+		if st.Txs == 0 {
+			t.Fatalf("node %d never used its engine", i)
+		}
+		if st.Clean+st.Aborted+st.Serial != st.Txs {
+			t.Fatalf("node %d violated the stats invariant: %+v", i, st)
+		}
 	}
 }
 

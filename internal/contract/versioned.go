@@ -1,0 +1,137 @@
+package contract
+
+// This file implements the multi-version state plumbing the MVCC
+// parallel execution engine (internal/parexec) is built on. Where the
+// two-phase engine gives every transaction a snapshot of the
+// block-start state and re-executes the conflicting residue serially,
+// the MVCC engine keeps a *version chain* per StateKey: every committed
+// transaction appends the objects it wrote, tagged with its block
+// position, and a later conflicting transaction re-reads the newest
+// version older than its own position instead of being re-executed
+// against live state. Versions reference the writer's (frozen)
+// speculative snapshot, so committing is allocation-free and reading a
+// version is a pointer share / deep copy of exactly one object.
+//
+// Concurrency contract: Commit appends to chains and must be called
+// from a single goroutine (the engine's wave barrier); SnapshotAt and
+// HasVersionBefore only read the chains and may run concurrently from
+// the wave's workers. The base state must not be mutated while a
+// Versions built on it is in use — the engine materializes writes into
+// the base only after all waves have finished.
+
+// version is one committed entry of a key's chain: the writer's block
+// position and the snapshot state holding its written object.
+type version struct {
+	idx int
+	src *State
+}
+
+// Versions is a block-scoped multi-version cache over a base state.
+// Each StateKey carries a chain of committed versions in ascending
+// writer order; readers resolve "the newest version older than me" per
+// key, falling back to the base.
+type Versions struct {
+	base   *State
+	chains map[StateKey][]version
+}
+
+// NewVersions creates an empty multi-version cache over base.
+func NewVersions(base *State) *Versions {
+	return &Versions{base: base, chains: make(map[StateKey][]version)}
+}
+
+// Commit appends the objects named by acc's write keys from a finished
+// speculative snapshot to the version chains, tagged with the writer's
+// block position. With a sound dependency schedule, per-key positions
+// arrive in ascending order (consecutive writers of a key are ordered
+// by the read-modify-write dependency between them).
+func (v *Versions) Commit(idx int, src *State, acc AccessSet) {
+	for _, k := range acc.Writes {
+		v.chains[k] = append(v.chains[k], version{idx: idx, src: src})
+	}
+}
+
+// latest returns the state holding the newest committed version of k
+// older than position idx, or nil when idx should read the base state.
+func (v *Versions) latest(k StateKey, idx int) *State {
+	ch := v.chains[k]
+	for i := len(ch) - 1; i >= 0; i-- {
+		if ch[i].idx < idx {
+			return ch[i].src
+		}
+	}
+	return nil
+}
+
+// HasVersionBefore reports whether any key in acc's touched set has a
+// committed version older than position idx — the version-visibility
+// check the optimistic (OCC) scheduler runs before adopting a
+// speculation that read the block-start state: if an older version
+// exists, the speculation read stale data and must abort.
+func (v *Versions) HasVersionBefore(idx int, acc AccessSet) bool {
+	for _, k := range acc.Touched() {
+		if v.latest(k, idx) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// SnapshotAt builds the speculative state transaction idx executes
+// against: for every key in its access set, the newest committed
+// version older than idx, falling back to the base state. Read keys
+// share the source object (frozen snapshots and the quiescent base are
+// never mutated through a read); write keys get deep copies the
+// execution is free to mutate. A whole-registry read (VM HOST
+// registry.* calls) overlays the base registry with the newest visible
+// version of every dataset and tool written earlier in the block.
+func (v *Versions) SnapshotAt(idx int, acc AccessSet) *State {
+	s := v.base
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := NewState()
+	c.requestSeq = s.requestSeq
+	if seqSrc := v.latest(KeySeq, idx); seqSrc != nil {
+		c.requestSeq = seqSrc.requestSeq
+	}
+	for _, k := range acc.Reads {
+		if k.kind == kindRegistry {
+			// Base registry first, then every newer dataset/tool the
+			// block committed before idx. Keys are distinct, so the
+			// overlay order across chains is immaterial.
+			s.shareInto(c, k)
+			for ck := range v.chains {
+				if ck.kind != kindDataset && ck.kind != kindTool {
+					continue
+				}
+				if src := v.latest(ck, idx); src != nil {
+					src.shareInto(c, ck)
+				}
+			}
+			continue
+		}
+		if src := v.latest(k, idx); src != nil {
+			src.shareInto(c, k)
+		} else {
+			s.shareInto(c, k)
+		}
+	}
+	for _, k := range acc.Writes {
+		if src := v.latest(k, idx); src != nil {
+			src.copyInto(c, k)
+		} else {
+			s.copyInto(c, k)
+		}
+	}
+	if s.host != nil {
+		// Rebind registry.* HOST functions to the snapshot (as
+		// SnapshotFor does); other host entries are shared.
+		c.host = c.RegistryHostFuncs()
+		for name, fn := range s.host {
+			if _, registry := c.host[name]; !registry {
+				c.host[name] = fn
+			}
+		}
+	}
+	return c
+}

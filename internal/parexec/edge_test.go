@@ -21,28 +21,32 @@ func gasOf(recs []*contract.Receipt) int64 {
 	return g
 }
 
-// TestEmptyBlock: zero transactions must be a no-op — no receipts, an
-// unchanged root, and one block counted.
+// TestEmptyBlock: zero transactions must be a no-op in every mode —
+// no receipts, an unchanged root, and one block counted.
 func TestEmptyBlock(t *testing.T) {
-	st := contract.NewState()
-	before := st.Root()
-	recs, stats, err := parexec.New(4).ExecuteBlock(st, nil, 1, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(recs) != 0 {
-		t.Fatalf("empty block produced %d receipts", len(recs))
-	}
-	if st.Root() != before {
-		t.Fatal("empty block mutated state")
-	}
-	if stats.Blocks != 1 || stats.Txs != 0 || stats.Clean != 0 || stats.Serial != 0 {
-		t.Fatalf("stats for empty block: %+v", stats)
+	for _, mode := range allModes {
+		st := contract.NewState()
+		before := st.Root()
+		recs, stats, err := newEngine(mode, 4).ExecuteBlock(st, nil, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 0 {
+			t.Fatalf("%v: empty block produced %d receipts", mode, len(recs))
+		}
+		if st.Root() != before {
+			t.Fatalf("%v: empty block mutated state", mode)
+		}
+		checkStats(t, mode, stats)
+		if stats.Blocks != 1 || stats.Txs != 0 || stats.Waves != 0 {
+			t.Fatalf("%v: stats for empty block: %+v", mode, stats)
+		}
 	}
 }
 
 // TestSingleTxBlock: a one-transaction block has nothing to conflict
-// with; it must commit clean and match serial bit-for-bit.
+// with; it must commit clean in every mode and match serial
+// bit-for-bit. The MVCC modes dispatch exactly one wave.
 func TestSingleTxBlock(t *testing.T) {
 	kp, err := cryptoutil.DeriveKeyPair("px-edge-single")
 	if err != nil {
@@ -57,26 +61,35 @@ func TestSingleTxBlock(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	st := contract.NewState()
-	recs, stats, err := parexec.New(4).ExecuteBlock(st, []*ledger.Transaction{tx}, 1, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st.Root() != serial.Root() {
-		t.Fatal("single-tx root diverged from serial")
-	}
-	if len(recs) != 1 || !reflect.DeepEqual(recs[0], want) {
-		t.Fatalf("single-tx receipt diverged: %+v vs %+v", recs, want)
-	}
-	if stats.Clean != 1 || stats.Serial != 0 {
-		t.Fatalf("single tx should commit clean: %+v", stats)
+	for _, mode := range allModes {
+		st := contract.NewState()
+		recs, stats, err := newEngine(mode, 4).ExecuteBlock(st, []*ledger.Transaction{tx}, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Root() != serial.Root() {
+			t.Fatalf("%v: single-tx root diverged from serial", mode)
+		}
+		if len(recs) != 1 || !reflect.DeepEqual(recs[0], want) {
+			t.Fatalf("%v: single-tx receipt diverged: %+v vs %+v", mode, recs, want)
+		}
+		checkStats(t, mode, stats)
+		if stats.Clean != 1 || stats.Serial != 0 {
+			t.Fatalf("%v: single tx should commit clean: %+v", mode, stats)
+		}
+		if mode != parexec.ModeTwoPhase && stats.Waves != 1 {
+			t.Fatalf("%v: single tx should dispatch exactly one wave: %+v", mode, stats)
+		}
 	}
 }
 
-// TestAllConflictingBlock: every transaction mutates the same policy,
-// so speculation can save at most the first; the other n-1 must land in
-// the serial residue — and receipts and gas must still match serial
-// exactly.
+// TestAllConflictingBlock: every transaction mutates the same policy —
+// the worst case for speculation, and exactly where the schedulers
+// differ. Two-phase saves only the first (n-1 serial); MVCC wave runs
+// every tx exactly once against its predecessor's version (n clean, n
+// waves, 0 serial); the optimistic scheduler adopts the first and
+// deterministically aborts + re-reads the rest (1 clean, n-1 aborted).
+// All three must match serial's receipts, root, and gas exactly.
 func TestAllConflictingBlock(t *testing.T) {
 	kp, err := cryptoutil.DeriveKeyPair("px-edge-conflict")
 	if err != nil {
@@ -102,29 +115,40 @@ func TestAllConflictingBlock(t *testing.T) {
 	serial := base.Clone()
 	want := applyAll(t, serial, batch)
 
-	st := base.Clone()
-	got, stats, err := parexec.New(8).ExecuteBlock(st, batch, 2, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st.Root() != serial.Root() {
-		t.Fatal("root diverged under total conflict")
-	}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatal("receipts diverged under total conflict")
-	}
-	if gasOf(got) != gasOf(want) {
-		t.Fatalf("gas diverged: %d vs %d", gasOf(got), gasOf(want))
-	}
-	if stats.Serial != n-1 || stats.Clean != 1 {
-		t.Fatalf("want 1 clean + %d serial under total conflict, got %+v", n-1, stats)
+	for _, tc := range []struct {
+		mode                          parexec.Mode
+		clean, aborted, serial, waves int64
+	}{
+		{mode: parexec.ModeTwoPhase, clean: 1, serial: n - 1},
+		{mode: parexec.ModeMVCCWave, clean: n, waves: n},
+		{mode: parexec.ModeMVCCOptimistic, clean: 1, aborted: n - 1, waves: n},
+	} {
+		st := base.Clone()
+		got, stats, err := newEngine(tc.mode, 8).ExecuteBlock(st, batch, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Root() != serial.Root() {
+			t.Fatalf("%v: root diverged under total conflict", tc.mode)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: receipts diverged under total conflict", tc.mode)
+		}
+		if gasOf(got) != gasOf(want) {
+			t.Fatalf("%v: gas diverged: %d vs %d", tc.mode, gasOf(got), gasOf(want))
+		}
+		checkStats(t, tc.mode, stats)
+		if stats.Clean != tc.clean || stats.Aborted != tc.aborted || stats.Serial != tc.serial || stats.Waves != tc.waves {
+			t.Fatalf("%v: want clean=%d aborted=%d serial=%d waves=%d, got %+v",
+				tc.mode, tc.clean, tc.aborted, tc.serial, tc.waves, stats)
+		}
 	}
 }
 
 // TestUnknownMidBlockSerialTail: an undecodable payload at position k
-// poisons everything from k on — the engine must fall back to serial
-// for the tail and still match the serial reference's receipts, root,
-// and gas.
+// poisons everything from k on in every mode — the engine must fall
+// back to serial for the tail and still match the serial reference's
+// receipts, root, and gas.
 func TestUnknownMidBlockSerialTail(t *testing.T) {
 	kp, err := cryptoutil.DeriveKeyPair("px-edge-unknown")
 	if err != nil {
@@ -161,36 +185,41 @@ func TestUnknownMidBlockSerialTail(t *testing.T) {
 	serial := base.Clone()
 	want := applyAll(t, serial, batch)
 
-	st := base.Clone()
-	got, stats, err := parexec.New(4).ExecuteBlock(st, batch, 2, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st.Root() != serial.Root() {
-		t.Fatal("root diverged around the Unknown tx")
-	}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatal("receipts diverged around the Unknown tx")
-	}
-	if gasOf(got) != gasOf(want) {
-		t.Fatalf("gas diverged: %d vs %d", gasOf(got), gasOf(want))
-	}
-	if stats.Unknown == 0 {
-		t.Fatalf("undecodable payload not counted Unknown: %+v", stats)
-	}
-	// The Unknown tx and everything after it re-execute serially.
-	if stats.Serial < int64(len(batch)-k) {
-		t.Fatalf("serial tail too short: %+v, want >= %d", stats, len(batch)-k)
-	}
-	// The prefix before the Unknown tx is conflict-free and stays clean.
-	if stats.Clean < k {
-		t.Fatalf("clean prefix too short: %+v, want >= %d", stats, k)
+	for _, mode := range allModes {
+		st := base.Clone()
+		got, stats, err := newEngine(mode, 4).ExecuteBlock(st, batch, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Root() != serial.Root() {
+			t.Fatalf("%v: root diverged around the Unknown tx", mode)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: receipts diverged around the Unknown tx", mode)
+		}
+		if gasOf(got) != gasOf(want) {
+			t.Fatalf("%v: gas diverged: %d vs %d", mode, gasOf(got), gasOf(want))
+		}
+		checkStats(t, mode, stats)
+		if stats.Unknown != 1 {
+			t.Fatalf("%v: undecodable payload not counted Unknown once: %+v", mode, stats)
+		}
+		// The Unknown tx and everything after it execute serially; the
+		// conflict-free prefix before it commits clean. The MVCC modes
+		// need exactly one wave for that prefix.
+		if stats.Serial != int64(len(batch)-k) || stats.Clean != k {
+			t.Fatalf("%v: want clean=%d serial=%d, got %+v", mode, k, len(batch)-k, stats)
+		}
+		if mode != parexec.ModeTwoPhase && stats.Waves != 1 {
+			t.Fatalf("%v: conflict-free prefix should be one wave: %+v", mode, stats)
+		}
 	}
 }
 
 // TestMidBlockHardErrorGasMatchesSerial: a nil transaction mid-block
-// aborts the block; the applied prefix's receipts AND gas must equal
-// the serial prefix.
+// aborts the block in every mode; the applied prefix's receipts AND
+// gas must equal the serial prefix, and the recorded stats must cover
+// exactly that prefix.
 func TestMidBlockHardErrorGasMatchesSerial(t *testing.T) {
 	kp, err := cryptoutil.DeriveKeyPair("px-edge-err")
 	if err != nil {
@@ -214,18 +243,24 @@ func TestMidBlockHardErrorGasMatchesSerial(t *testing.T) {
 		wantRecs = append(wantRecs, r)
 	}
 
-	st := contract.NewState()
-	got, _, gotErr := parexec.New(4).ExecuteBlock(st, batch, 2, 2)
-	if wantErr == nil || gotErr == nil {
-		t.Fatalf("expected hard errors, got serial=%v parallel=%v", wantErr, gotErr)
-	}
-	if st.Root() != serial.Root() {
-		t.Fatal("post-error root diverged")
-	}
-	if !reflect.DeepEqual(got, wantRecs) {
-		t.Fatal("post-error prefix receipts diverged")
-	}
-	if gasOf(got) != gasOf(wantRecs) {
-		t.Fatalf("post-error gas diverged: %d vs %d", gasOf(got), gasOf(wantRecs))
+	for _, mode := range allModes {
+		st := contract.NewState()
+		got, stats, gotErr := newEngine(mode, 4).ExecuteBlock(st, batch, 2, 2)
+		if wantErr == nil || gotErr == nil {
+			t.Fatalf("%v: expected hard errors, got serial=%v parallel=%v", mode, wantErr, gotErr)
+		}
+		if st.Root() != serial.Root() {
+			t.Fatalf("%v: post-error root diverged", mode)
+		}
+		if !reflect.DeepEqual(got, wantRecs) {
+			t.Fatalf("%v: post-error prefix receipts diverged", mode)
+		}
+		if gasOf(got) != gasOf(wantRecs) {
+			t.Fatalf("%v: post-error gas diverged: %d vs %d", mode, gasOf(got), gasOf(wantRecs))
+		}
+		checkStats(t, mode, stats)
+		if stats.Txs != int64(len(wantRecs)) {
+			t.Fatalf("%v: post-error stats cover %d txs, want %d", mode, stats.Txs, len(wantRecs))
+		}
 	}
 }

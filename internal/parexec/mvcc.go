@@ -1,0 +1,207 @@
+package parexec
+
+// MVCC block execution: a dependency-graph scheduler over the
+// multi-version state cache in contract.Versions.
+//
+// The schedule is a pure function of the block. Transaction j depends
+// on the latest earlier writer of every key in its declared access
+// set; its wave (DAG depth) is one past the deepest dependency. Every
+// state mutation in the contract is a read-modify-write at key
+// granularity ("a write implies a read"), so consecutive writers of a
+// key chain transitively and all earlier writers of j's keys sit at
+// strictly lower depth — by the time j's wave runs, the versions it
+// must read are committed. Two transactions in the same wave never
+// touch a key the other writes, so a wave is embarrassingly parallel.
+//
+// Version chains are only appended between waves (single goroutine,
+// ascending transaction index), and workers only read them — the
+// engine is race-free and the values every transaction observes are
+// identical on every run and worker count, which is the determinism
+// argument: see the package comment.
+
+import (
+	"medchain/internal/contract"
+	"medchain/internal/ledger"
+)
+
+// mvccResult is one prefix transaction's execution outcome.
+type mvccResult struct {
+	snap    *contract.State
+	rec     *contract.Receipt
+	err     error
+	aborted bool // optimistic speculation failed the visibility check
+}
+
+// executeMVCC runs the block under ModeMVCCWave or ModeMVCCOptimistic.
+// See Engine.ExecuteBlock for the contract.
+func (e *Engine) executeMVCC(bs *Stats, st *contract.State, txs []*ledger.Transaction, height uint64, now int64) ([]*contract.Receipt, error) {
+	accs := make([]contract.AccessSet, len(txs))
+	ForEachN(len(txs), e.cfg.Workers, func(i int) {
+		accs[i] = contract.AccessSetOf(txs[i])
+	})
+
+	// The MVCC prefix ends at the first unbounded footprint; it and
+	// everything after it apply serially once the prefix materializes
+	// (the same taint rule as the two-phase engine).
+	prefix := len(txs)
+	for i, acc := range accs {
+		if acc.Unknown {
+			prefix = i
+			break
+		}
+	}
+
+	receipts := make([]*contract.Receipt, len(txs))
+	results := make([]mvccResult, prefix)
+
+	if prefix > 0 {
+		waves := e.buildWaves(accs[:prefix])
+		ver := contract.NewVersions(st)
+
+		// Optimistic phase A: speculate every prefix transaction
+		// against the block-start state up front, in parallel.
+		if e.cfg.Mode == ModeMVCCOptimistic {
+			ForEachN(prefix, e.cfg.Workers, func(j int) {
+				snap := st.SnapshotFor(accs[j])
+				rec, err := snap.Apply(txs[j], height, now)
+				results[j] = mvccResult{snap: snap, rec: rec, err: err}
+			})
+		}
+
+		hardErr := false
+		for _, wave := range waves {
+			bs.Waves++
+			wave := wave
+			ForEachN(len(wave), e.cfg.Workers, func(i int) {
+				j := wave[i]
+				aborted := false
+				if e.cfg.Mode == ModeMVCCOptimistic {
+					if e.cfg.UnsafeSkipVersionCheck || !ver.HasVersionBefore(j, accs[j]) {
+						// No earlier writer materialized a version of
+						// anything j touches: the block-start
+						// speculation saw exactly what serial would
+						// have. Adopt it as-is.
+						return
+					}
+					aborted = true
+				}
+				snap := ver.SnapshotAt(j, accs[j])
+				rec, err := snap.Apply(txs[j], height, now)
+				results[j] = mvccResult{snap: snap, rec: rec, err: err, aborted: aborted}
+			})
+			// Wave barrier: publish this wave's writes to the version
+			// chains in ascending transaction index.
+			for _, j := range wave {
+				if results[j].err != nil {
+					hardErr = true
+					break
+				}
+				ver.Commit(j, results[j].snap, accs[j])
+			}
+			if hardErr {
+				break
+			}
+		}
+		if hardErr {
+			// Unreachable today: Apply hard-errors only on nil
+			// transactions, which always derive Unknown footprints and
+			// land in the serial tail. st is still untouched, so fall
+			// back to plain serial execution of the whole block for
+			// exact serial state and bookkeeping.
+			return e.executeSerialFallback(bs, st, txs, height, now)
+		}
+
+		// Materialize: adopt every transaction's writes into the live
+		// state in canonical order — the newest writer of each key
+		// lands last, so the final objects are exactly serial's.
+		for j := 0; j < prefix; j++ {
+			st.MergeSpeculative(results[j].snap, accs[j])
+			receipts[j] = results[j].rec
+			if results[j].aborted {
+				bs.Aborted++
+			} else {
+				bs.Clean++
+			}
+		}
+	}
+
+	// Serial tail.
+	for i := prefix; i < len(txs); i++ {
+		r, err := st.Apply(txs[i], height, now)
+		if err != nil {
+			bs.Txs = int64(i) // stats cover the applied prefix only
+			return receipts[:i], err
+		}
+		receipts[i] = r
+		bs.Serial++
+		if accs[i].Unknown {
+			bs.Unknown++
+		}
+	}
+	return receipts, nil
+}
+
+// buildWaves derives the dependency DAG from the declared access sets
+// and groups transactions into execution waves by DAG depth.
+func (e *Engine) buildWaves(accs []contract.AccessSet) [][]int {
+	depth := make([]int, len(accs))
+	lastWriter := make(map[contract.StateKey]int, len(accs))
+	maxDepth := 0
+	for j, acc := range accs {
+		deps := make(map[int]struct{}) // dedup: keys may share a writer
+		for _, k := range acc.Touched() {
+			if w, ok := lastWriter[k]; ok {
+				deps[w] = struct{}{}
+			}
+		}
+		if e.cfg.UnsafeDropDAGEdge && len(deps) > 0 {
+			// Mutation knob: sever the highest-indexed dependency.
+			hi := -1
+			for w := range deps {
+				if w > hi {
+					hi = w
+				}
+			}
+			delete(deps, hi)
+		}
+		d := 0
+		for w := range deps {
+			if depth[w]+1 > d {
+				d = depth[w] + 1
+			}
+		}
+		depth[j] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+		for _, k := range acc.Writes {
+			lastWriter[k] = j
+		}
+	}
+	waves := make([][]int, maxDepth+1)
+	for j := range accs {
+		waves[depth[j]] = append(waves[depth[j]], j)
+	}
+	return waves
+}
+
+// executeSerialFallback discards any speculative work and applies the
+// whole block serially — the defensive path for a hard error surfacing
+// inside the DAG, where no per-wave prefix matches serial order.
+func (e *Engine) executeSerialFallback(bs *Stats, st *contract.State, txs []*ledger.Transaction, height uint64, now int64) ([]*contract.Receipt, error) {
+	*bs = Stats{Blocks: 1, Txs: int64(len(txs))}
+	receipts := make([]*contract.Receipt, len(txs))
+	for i, tx := range txs {
+		r, err := st.Apply(tx, height, now)
+		if err != nil {
+			bs.Txs = int64(i)
+			return receipts[:i], err
+		}
+		receipts[i] = r
+		bs.Serial++
+		if contract.AccessSetOf(tx).Unknown {
+			bs.Unknown++
+		}
+	}
+	return receipts, nil
+}

@@ -3,25 +3,34 @@
 // available cores, per the paper's claim that a blockchain can be
 // transformed into a distributed *parallel* computing architecture.
 //
-// On chain, a block's transactions are executed in two phases
-// (Octopus-style speculative execution):
+// The engine has three block-execution modes, selected by Config.Mode,
+// all bit-identical to serial execution at every worker count:
 //
-//  1. Speculate: a bounded worker pool executes every transaction
-//     concurrently, each against a private snapshot of exactly the
-//     state its declared access set names (contract.AccessSetOf /
-//     State.SnapshotFor). Snapshots see the block-start state, so
-//     speculation is embarrassingly parallel.
-//  2. Commit: transactions are visited in canonical block order. A
-//     transaction whose access set is disjoint from everything earlier
-//     transactions wrote has, by construction, seen exactly the values
-//     serial execution would have shown it — its speculative writes
-//     and receipt are adopted as-is. A transaction that conflicts is
-//     re-executed serially against the live state at its position.
+//   - ModeTwoPhase (the original engine): speculate every transaction
+//     against a block-start snapshot in parallel, then commit in
+//     canonical order, serially re-executing the conflicting residue
+//     against live state. Degrades toward serial under high conflict.
+//   - ModeMVCCWave: build a dependency DAG from the declared access
+//     sets (contract.AccessSetOf), group transactions into waves by
+//     DAG depth, and execute each wave in parallel against a
+//     multi-version state cache (contract.Versions) — a conflicting
+//     transaction re-reads the committed version written by its
+//     predecessor instead of being re-executed serially. Every
+//     transaction executes exactly once.
+//   - ModeMVCCOptimistic: OCC on top of the same DAG — additionally
+//     speculate every transaction against block-start versions up
+//     front; at its wave, a version-visibility check either adopts the
+//     speculation (no earlier writer materialized → it saw exactly
+//     what serial would have) or deterministically aborts and
+//     re-executes against the multi-version cache.
 //
-// The result — final state, receipts, receipt order, events — is
-// bit-identical to serial execution for every schedule and worker
-// count, because the conflict decision depends only on the statically
-// declared access sets and the canonical order, never on timing.
+// Determinism argument (all modes): the schedule depends only on the
+// statically declared access sets and the canonical transaction order,
+// never on timing. In the MVCC modes, version chains are appended only
+// at wave barriers in ascending transaction index, and every
+// transaction reads "the newest version older than my index" — a pure
+// function of the block, so aborts and re-reads are identical on every
+// run and worker count. See mvcc.go for the scheduler.
 //
 // Off chain, the same bounded pool (ForEachN) fans analytics tasks out
 // across sites (offchain.Runner.RunAll) — the paper's "move the
@@ -39,7 +48,7 @@ import (
 
 // ForEachN runs fn(i) for every i in [0, n) on at most workers
 // goroutines (workers <= 0 means GOMAXPROCS). It returns when all
-// calls have completed — the barrier the engine's two phases rely on.
+// calls have completed — the barrier the engine's phases rely on.
 func ForEachN(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -74,20 +83,88 @@ func ForEachN(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
-// Stats counts engine activity. Clean + Serial == Txs.
+// Mode selects the block-execution strategy.
+type Mode int
+
+const (
+	// ModeTwoPhase is the original speculate/commit engine: conflicting
+	// transactions re-execute serially against live state.
+	ModeTwoPhase Mode = iota
+	// ModeMVCCWave executes the dependency DAG wave by wave against a
+	// multi-version state cache; every transaction runs exactly once.
+	ModeMVCCWave
+	// ModeMVCCOptimistic additionally speculates every transaction
+	// against block-start versions and adopts speculations that pass
+	// the version-visibility check, aborting the rest onto the
+	// multi-version cache.
+	ModeMVCCOptimistic
+)
+
+// String names the mode for logs, experiment tables, and oracles.
+func (m Mode) String() string {
+	switch m {
+	case ModeMVCCWave:
+		return "mvcc-wave"
+	case ModeMVCCOptimistic:
+		return "mvcc-occ"
+	default:
+		return "two-phase"
+	}
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Workers is the bounded pool size (<= 0 means GOMAXPROCS).
+	Workers int
+	// Mode selects the execution strategy (default ModeTwoPhase).
+	Mode Mode
+
+	// UnsafeSkipVersionCheck disables the optimistic scheduler's
+	// version-visibility check, committing stale block-start
+	// speculations as-is. It exists ONLY so the sim differential
+	// oracle can prove the check is load-bearing (mutation testing) —
+	// never enable it outside that test.
+	UnsafeSkipVersionCheck bool
+	// UnsafeDropDAGEdge drops each transaction's highest-indexed
+	// dependency edge before computing wave depths, letting dependents
+	// run alongside (or before) their predecessors. It exists ONLY so
+	// the sim differential oracle can prove the DAG is load-bearing
+	// (mutation testing) — never enable it outside that test.
+	UnsafeDropDAGEdge bool
+}
+
+// Stats counts engine activity. Invariant (asserted in tests):
+//
+//	Clean + Aborted + Serial == Txs
+//
+// On the mid-block hard-error path (nil transaction), Txs is trimmed
+// to the applied prefix so the invariant holds for the stats actually
+// recorded.
 type Stats struct {
 	// Blocks is the number of ExecuteBlock calls.
 	Blocks int64
-	// Txs is the total transactions executed.
+	// Txs is the total transactions applied (trimmed to the applied
+	// prefix when a block aborts on a hard error).
 	Txs int64
-	// Clean is how many speculative results were committed as-is.
+	// Clean is how many parallel results were committed as-is: clean
+	// speculations (two-phase, optimistic) or wave executions (MVCC
+	// wave mode).
 	Clean int64
-	// Serial is how many transactions were re-executed serially in the
-	// commit phase (conflicting residue + unbounded footprints).
+	// Aborted is how many optimistic speculations failed the
+	// version-visibility check and were deterministically re-executed
+	// against the multi-version cache. Always 0 outside
+	// ModeMVCCOptimistic.
+	Aborted int64
+	// Serial is how many transactions were applied serially against
+	// live state (conflicting residue in two-phase mode; the
+	// unbounded-footprint tail in every mode).
 	Serial int64
 	// Unknown counts transactions with unbounded footprints (a subset
 	// of Serial).
 	Unknown int64
+	// Waves is the total dependency waves dispatched (0 outside the
+	// MVCC modes; at most Txs).
+	Waves int64
 }
 
 // Add folds another stats value into the running totals.
@@ -95,32 +172,43 @@ func (s *Stats) Add(o Stats) {
 	s.Blocks += o.Blocks
 	s.Txs += o.Txs
 	s.Clean += o.Clean
+	s.Aborted += o.Aborted
 	s.Serial += o.Serial
 	s.Unknown += o.Unknown
+	s.Waves += o.Waves
 }
 
-// Engine executes transaction batches speculatively in parallel with
-// deterministic serial-equivalent results. It is stateless between
-// blocks apart from accumulated Stats and safe for concurrent use by
-// independent blocks on independent states.
+// Engine executes transaction batches in parallel with deterministic
+// serial-equivalent results. It is stateless between blocks apart from
+// accumulated Stats and safe for concurrent use by independent blocks
+// on independent states.
 type Engine struct {
-	workers int
+	cfg Config
 
 	mu    sync.Mutex
 	stats Stats
 }
 
-// New creates an engine with the given worker-pool size (<= 0 means
-// GOMAXPROCS).
+// New creates a two-phase engine with the given worker-pool size
+// (<= 0 means GOMAXPROCS). Kept for compatibility; NewEngine selects
+// the mode.
 func New(workers int) *Engine {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return NewEngine(Config{Workers: workers})
+}
+
+// NewEngine creates an engine from a config.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: workers}
+	return &Engine{cfg: cfg}
 }
 
 // Workers returns the pool size.
-func (e *Engine) Workers() int { return e.workers }
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Mode returns the engine's execution mode.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
 
 // Stats returns the accumulated execution counters.
 func (e *Engine) Stats() Stats {
@@ -129,7 +217,7 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
-// speculation is one transaction's phase-1 outcome.
+// speculation is one transaction's parallel-phase outcome.
 type speculation struct {
 	acc  contract.AccessSet
 	snap *contract.State
@@ -137,25 +225,42 @@ type speculation struct {
 	err  error
 }
 
-// ExecuteBlock applies txs to st in canonical order with speculative
-// parallelism and returns the receipts (index-aligned with txs) plus
-// this block's stats. The final state and receipts are bit-identical to
-// serially applying txs in order. The error return mirrors
-// State.Apply: non-nil only for programming errors (nil transaction),
-// in which case st holds a prefix of the block and the returned
-// receipts cover exactly that applied prefix — the same state and
-// bookkeeping the serial loop would have left behind.
+// ExecuteBlock applies txs to st in canonical order using the
+// configured mode and returns the receipts (index-aligned with txs)
+// plus this block's stats. The final state and receipts are
+// bit-identical to serially applying txs in order. The error return
+// mirrors State.Apply: non-nil only for programming errors (nil
+// transaction), in which case st holds a prefix of the block and the
+// returned receipts and stats cover exactly that applied prefix — the
+// same state and bookkeeping the serial loop would have left behind.
 func (e *Engine) ExecuteBlock(st *contract.State, txs []*ledger.Transaction, height uint64, now int64) ([]*contract.Receipt, Stats, error) {
 	bs := Stats{Blocks: 1, Txs: int64(len(txs))}
 	if len(txs) == 0 {
 		e.record(bs)
 		return nil, bs, nil
 	}
+	var (
+		receipts []*contract.Receipt
+		err      error
+	)
+	switch e.cfg.Mode {
+	case ModeMVCCWave, ModeMVCCOptimistic:
+		receipts, err = e.executeMVCC(&bs, st, txs, height, now)
+	default:
+		receipts, err = e.executeTwoPhase(&bs, st, txs, height, now)
+	}
+	e.record(bs)
+	return receipts, bs, err
+}
 
+// executeTwoPhase is the original engine: speculate everything against
+// the block-start state, commit in order, re-execute conflicts
+// serially.
+func (e *Engine) executeTwoPhase(bs *Stats, st *contract.State, txs []*ledger.Transaction, height uint64, now int64) ([]*contract.Receipt, error) {
 	// Phase 1 — speculate: every tx runs against a private snapshot of
 	// its declared access set, all seeing the block-start state.
 	specs := make([]speculation, len(txs))
-	ForEachN(len(txs), e.workers, func(i int) {
+	ForEachN(len(txs), e.cfg.Workers, func(i int) {
 		acc := contract.AccessSetOf(txs[i])
 		sp := speculation{acc: acc}
 		if !acc.Unknown {
@@ -188,8 +293,8 @@ func (e *Engine) ExecuteBlock(st *contract.State, txs []*ledger.Transaction, hei
 		} else {
 			r, err := st.Apply(tx, height, now)
 			if err != nil {
-				e.record(bs)
-				return receipts[:i], bs, err
+				bs.Txs = int64(i) // stats cover the applied prefix only
+				return receipts[:i], err
 			}
 			receipts[i] = r
 			bs.Serial++
@@ -202,8 +307,7 @@ func (e *Engine) ExecuteBlock(st *contract.State, txs []*ledger.Transaction, hei
 			written[k] = struct{}{}
 		}
 	}
-	e.record(bs)
-	return receipts, bs, nil
+	return receipts, nil
 }
 
 func (e *Engine) record(bs Stats) {

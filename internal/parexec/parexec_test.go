@@ -119,6 +119,38 @@ func applyAll(t *testing.T, st *contract.State, txs []*ledger.Transaction) []*co
 	return receipts
 }
 
+// allModes spans the engine's execution strategies; the correctness
+// battery runs every case under each.
+var allModes = []parexec.Mode{parexec.ModeTwoPhase, parexec.ModeMVCCWave, parexec.ModeMVCCOptimistic}
+
+// newEngine builds an engine for one mode × worker-count cell.
+func newEngine(mode parexec.Mode, workers int) *parexec.Engine {
+	return parexec.NewEngine(parexec.Config{Workers: workers, Mode: mode})
+}
+
+// checkStats asserts the accounting invariant every executed block
+// must satisfy — Clean + Aborted + Serial == Txs (with Txs trimmed to
+// the applied prefix on the hard-error path), Unknown a subset of
+// Serial — plus the mode-specific zeros.
+func checkStats(t *testing.T, mode parexec.Mode, stats parexec.Stats) {
+	t.Helper()
+	if stats.Clean+stats.Aborted+stats.Serial != stats.Txs {
+		t.Fatalf("%v: invariant Clean+Aborted+Serial==Txs violated: %+v", mode, stats)
+	}
+	if stats.Unknown > stats.Serial {
+		t.Fatalf("%v: Unknown (%d) exceeds Serial (%d)", mode, stats.Unknown, stats.Serial)
+	}
+	if mode != parexec.ModeMVCCOptimistic && stats.Aborted != 0 {
+		t.Fatalf("%v: Aborted must be 0 outside the optimistic scheduler: %+v", mode, stats)
+	}
+	if mode == parexec.ModeTwoPhase && stats.Waves != 0 {
+		t.Fatalf("two-phase: Waves must be 0: %+v", stats)
+	}
+	if stats.Waves > stats.Txs {
+		t.Fatalf("%v: more waves than transactions: %+v", mode, stats)
+	}
+}
+
 // TestMixedBatchMatchesSerial covers every transaction family against
 // the serial reference at several worker counts.
 func TestMixedBatchMatchesSerial(t *testing.T) {
@@ -137,39 +169,48 @@ func TestMixedBatchMatchesSerial(t *testing.T) {
 	wantReceipts := applyAll(t, serial, batch)
 	wantRoot := serial.Root()
 
-	for _, workers := range []int{1, 2, 4, 8} {
-		st := base.Clone()
-		got, stats, err := parexec.New(workers).ExecuteBlock(st, batch, 2, 2)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if root := st.Root(); root != wantRoot {
-			t.Fatalf("workers=%d: root %s != serial %s", workers, root.Short(), wantRoot.Short())
-		}
-		if !reflect.DeepEqual(got, wantReceipts) {
-			t.Fatalf("workers=%d: receipts diverged from serial", workers)
-		}
-		if stats.Clean+stats.Serial != int64(len(batch)) {
-			t.Fatalf("workers=%d: stats do not cover the batch: %+v", workers, stats)
-		}
-		if stats.Serial == 0 {
-			t.Fatalf("workers=%d: batch contains known conflicts, expected serial residue", workers)
-		}
-		if stats.Unknown == 0 {
-			t.Fatalf("workers=%d: batch contains an undecodable payload, expected an Unknown footprint", workers)
+	for _, mode := range allModes {
+		for _, workers := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("%v workers=%d", mode, workers)
+			st := base.Clone()
+			got, stats, err := newEngine(mode, workers).ExecuteBlock(st, batch, 2, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if root := st.Root(); root != wantRoot {
+				t.Fatalf("%s: root %s != serial %s", name, root.Short(), wantRoot.Short())
+			}
+			if !reflect.DeepEqual(got, wantReceipts) {
+				t.Fatalf("%s: receipts diverged from serial", name)
+			}
+			checkStats(t, mode, stats)
+			if stats.Txs != int64(len(batch)) {
+				t.Fatalf("%s: stats do not cover the batch: %+v", name, stats)
+			}
+			if stats.Serial == 0 {
+				t.Fatalf("%s: batch contains an Unknown tail, expected serial executions", name)
+			}
+			if stats.Unknown == 0 {
+				t.Fatalf("%s: batch contains an undecodable payload, expected an Unknown footprint", name)
+			}
+			if mode != parexec.ModeTwoPhase && stats.Waves < 2 {
+				t.Fatalf("%s: batch contains dependent prefix txs, expected >= 2 waves: %+v", name, stats)
+			}
 		}
 	}
 }
 
 // TestDeterminismProperty is the property-style gate the satellite task
-// asks for: for seeded random batches across conflict rates, worker
-// counts, and GOMAXPROCS values, parallel execution must yield the
-// identical state root, receipts, and receipt order as serial.
+// asks for: for seeded random batches across conflict rates {0, 0.3,
+// 0.5, 1.0} × worker counts {1, 2, 4, 8} × GOMAXPROCS {1, 4} × every
+// scheduler, execution must yield bit-identical state roots, receipts
+// (events and errors ride inside them), receipt order, and gas vs the
+// serial reference — and the stats invariant must hold in every cell.
 func TestDeterminismProperty(t *testing.T) {
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
 	for _, procs := range []int{1, 4} {
 		runtime.GOMAXPROCS(procs)
-		for _, rate := range []float64{0, 0.3, 1} {
+		for _, rate := range []float64{0, 0.3, 0.5, 1.0} {
 			for seed := int64(1); seed <= 3; seed++ {
 				wl, err := experiments.GenWorkload(experiments.WorkloadConfig{
 					Txs: 48, ConflictRate: rate, GrantShare: 0.6, LoopIters: 50, Seed: seed,
@@ -182,18 +223,24 @@ func TestDeterminismProperty(t *testing.T) {
 				serial := base.Clone()
 				wantReceipts := applyAll(t, serial, wl.Batch)
 				wantRoot := serial.Root()
-				for _, workers := range []int{1, 2, 7} {
-					name := fmt.Sprintf("procs=%d rate=%.1f seed=%d workers=%d", procs, rate, seed, workers)
-					st := base.Clone()
-					got, _, err := parexec.New(workers).ExecuteBlock(st, wl.Batch, 2, 2)
-					if err != nil {
-						t.Fatalf("%s: %v", name, err)
-					}
-					if root := st.Root(); root != wantRoot {
-						t.Fatalf("%s: state root diverged", name)
-					}
-					if !reflect.DeepEqual(got, wantReceipts) {
-						t.Fatalf("%s: receipts diverged", name)
+				for _, mode := range allModes {
+					for _, workers := range []int{1, 2, 4, 8} {
+						name := fmt.Sprintf("procs=%d rate=%.1f seed=%d %v workers=%d", procs, rate, seed, mode, workers)
+						st := base.Clone()
+						got, stats, err := newEngine(mode, workers).ExecuteBlock(st, wl.Batch, 2, 2)
+						if err != nil {
+							t.Fatalf("%s: %v", name, err)
+						}
+						if root := st.Root(); root != wantRoot {
+							t.Fatalf("%s: state root diverged", name)
+						}
+						if !reflect.DeepEqual(got, wantReceipts) {
+							t.Fatalf("%s: receipts diverged", name)
+						}
+						if gasOf(got) != gasOf(wantReceipts) {
+							t.Fatalf("%s: gas diverged", name)
+						}
+						checkStats(t, mode, stats)
 					}
 				}
 			}
@@ -240,9 +287,9 @@ func TestFullConflictSerialResidue(t *testing.T) {
 	}
 }
 
-// TestNilTxMatchesSerialError checks the hard-error path: a nil
-// transaction aborts exactly like the serial loop, leaving the same
-// prefix applied.
+// TestNilTxMatchesSerialError checks the hard-error path in every
+// mode: a nil transaction aborts exactly like the serial loop, leaving
+// the same prefix applied — and the stats cover exactly that prefix.
 func TestNilTxMatchesSerialError(t *testing.T) {
 	kp, err := cryptoutil.DeriveKeyPair("px-owner-2")
 	if err != nil {
@@ -264,18 +311,26 @@ func TestNilTxMatchesSerialError(t *testing.T) {
 		}
 		serialReceipts = append(serialReceipts, r)
 	}
-	par := contract.NewState()
-	parReceipts, _, parErr := parexec.New(4).ExecuteBlock(par, batch, 2, 2)
-	if serialErr == nil || parErr == nil {
-		t.Fatalf("expected hard errors, got serial=%v parallel=%v", serialErr, parErr)
-	}
-	if serial.Root() != par.Root() {
-		t.Fatal("post-error state diverged from serial")
-	}
-	// The error return must still hand back the applied prefix's
-	// receipts so callers can keep their bookkeeping aligned with the
-	// serial path.
-	if !reflect.DeepEqual(parReceipts, serialReceipts) {
-		t.Fatalf("post-error receipts diverged: got %d, want %d (prefix before the nil tx)", len(parReceipts), len(serialReceipts))
+	for _, mode := range allModes {
+		par := contract.NewState()
+		parReceipts, stats, parErr := newEngine(mode, 4).ExecuteBlock(par, batch, 2, 2)
+		if serialErr == nil || parErr == nil {
+			t.Fatalf("%v: expected hard errors, got serial=%v parallel=%v", mode, serialErr, parErr)
+		}
+		if serial.Root() != par.Root() {
+			t.Fatalf("%v: post-error state diverged from serial", mode)
+		}
+		// The error return must still hand back the applied prefix's
+		// receipts so callers can keep their bookkeeping aligned with
+		// the serial path.
+		if !reflect.DeepEqual(parReceipts, serialReceipts) {
+			t.Fatalf("%v: post-error receipts diverged: got %d, want %d (prefix before the nil tx)", mode, len(parReceipts), len(serialReceipts))
+		}
+		// Txs is trimmed to the applied prefix so the invariant holds
+		// on the error path too.
+		checkStats(t, mode, stats)
+		if stats.Txs != int64(len(serialReceipts)) {
+			t.Fatalf("%v: post-error stats cover %d txs, want the applied prefix %d", mode, stats.Txs, len(serialReceipts))
+		}
 	}
 }

@@ -48,6 +48,7 @@ import (
 	"medchain/internal/cryptoutil"
 	"medchain/internal/ledger"
 	"medchain/internal/p2p"
+	"medchain/internal/parexec"
 	"medchain/internal/resilience"
 )
 
@@ -83,14 +84,20 @@ type Config struct {
 	// commit, making block contents deterministic per seed.
 	NoFaults bool
 	// Workers is the per-node parallel worker pattern (index i mod
-	// len). 0 = serial reference execution. The default {0, 2, 8, 0}
-	// makes consensus itself a live serial-vs-parallel differential
-	// oracle: nodes running different engines must still agree on
-	// every state root.
+	// len). 0 = serial reference execution. The default {0, 2, 8, 4}
+	// makes consensus itself a live cross-engine differential oracle:
+	// nodes running different engines must still agree on every state
+	// root.
 	Workers []int
+	// Modes is the per-node execution-mode pattern (index i mod len),
+	// applied alongside Workers to nodes with a nonzero worker count.
+	// The default {two-phase, two-phase, mvcc-wave, mvcc-occ} mixes
+	// every engine mode into the live cluster.
+	Modes []parexec.Mode
 	// Executors are the differential suspects replayed against the
 	// serial reference after every block (default DefaultExecutors:
-	// parallel-w2 and parallel-w8).
+	// two-phase at w2/w8 plus both MVCC schedulers — the three-way
+	// oracle).
 	Executors []Executor
 	// OffchainBatch flushes the offchain determinism check every N
 	// collected run authorizations (default 32).
@@ -162,7 +169,10 @@ func (c Config) withDefaults() Config {
 		c.CommitTimeout = 200 * time.Millisecond
 	}
 	if c.Workers == nil {
-		c.Workers = []int{0, 2, 8, 0}
+		c.Workers = []int{0, 2, 8, 4}
+	}
+	if c.Modes == nil {
+		c.Modes = []parexec.Mode{parexec.ModeTwoPhase, parexec.ModeTwoPhase, parexec.ModeMVCCWave, parexec.ModeMVCCOptimistic}
 	}
 	if c.Executors == nil {
 		c.Executors = DefaultExecutors()
@@ -314,7 +324,7 @@ func Run(cfg Config) (*Result, error) {
 	defer cluster.Close()
 	for i, n := range cluster.Nodes() {
 		if w := cfg.Workers[i%len(cfg.Workers)]; w != 0 {
-			n.UseParallelExec(w)
+			n.UseExecEngine(cfg.Modes[i%len(cfg.Modes)], w)
 		}
 	}
 	var adv *adversary

@@ -159,6 +159,111 @@ func TestSimCatchesConflictBug(t *testing.T) {
 	}
 }
 
+// TestSimThreeWayOracle is the MVCC acceptance gate: a NoFaults run
+// (deterministic block packing) of at least 500 fuzz rounds where
+// every committed block is replayed serial vs two-phase vs both MVCC
+// schedulers, the live cluster itself mixes all four engines across
+// its nodes, and zero divergences are tolerated.
+func TestSimThreeWayOracle(t *testing.T) {
+	rounds := 500
+	if *flagRounds > rounds {
+		rounds = *flagRounds
+	}
+	res, err := Run(Config{
+		Seed:     *flagSeed,
+		Rounds:   rounds,
+		NoFaults: true,
+		Executors: []Executor{
+			ParallelExecutor{Workers: 2},
+			ParallelExecutor{Workers: 8},
+			MVCCExecutor{Workers: 1},
+			MVCCExecutor{Workers: 4},
+			MVCCExecutor{Workers: 1, Optimistic: true},
+			MVCCExecutor{Workers: 4, Optimistic: true},
+		},
+	})
+	if res != nil {
+		t.Logf("three-way oracle seed=%d rounds=%d: blocks=%d txs=%d checks=%d",
+			res.Seed, res.Rounds, res.Blocks, res.Txs, res.Checks)
+	}
+	if err != nil {
+		if res != nil && res.Counterexample != nil {
+			t.Fatalf("three-way oracle failed: %v\ncounterexample:\n%s", err, res.Counterexample)
+		}
+		t.Fatalf("three-way oracle failed: %v", err)
+	}
+	if res.Blocks < rounds*5/6 {
+		t.Fatalf("committed %d blocks, want >= %d of %d rounds", res.Blocks, rounds*5/6, rounds)
+	}
+	if res.Checks == 0 {
+		t.Fatal("no invariant checks ran")
+	}
+}
+
+// mvccMutationCase drives one unsafe-knob mutation through the sim
+// differential oracle: the mutated executor must be caught with a
+// minimized, seed-reproducible counterexample blaming it by name, and
+// the replay must shrink to the identical counterexample.
+func mvccMutationCase(t *testing.T, suspect MVCCExecutor) {
+	t.Helper()
+	cfg := Config{
+		Seed:      42,
+		Rounds:    80,
+		NoFaults:  true, // deterministic block packing => identical counterexample per seed
+		Executors: []Executor{suspect},
+	}
+	run := func() *Counterexample {
+		res, err := Run(cfg)
+		if err == nil {
+			t.Fatalf("mutated executor %s was not caught", suspect.Name())
+		}
+		if res.Counterexample == nil {
+			t.Fatalf("failed without a counterexample: %v", err)
+		}
+		return res.Counterexample
+	}
+	cex := run()
+	t.Logf("counterexample:\n%s", cex)
+	if cex.Executor != suspect.Name() {
+		t.Fatalf("blamed executor %q, want %q", cex.Executor, suspect.Name())
+	}
+	if len(cex.Minimized) == 0 || len(cex.Minimized) > len(cex.BlockTxs) {
+		t.Fatalf("bad minimization: %d of %d txs", len(cex.Minimized), len(cex.BlockTxs))
+	}
+	if !strings.Contains(cex.Repro(), "-sim.seed=42") || !strings.Contains(cex.Repro(), "-sim.rounds=80") {
+		t.Fatalf("repro command does not pin seed/rounds: %s", cex.Repro())
+	}
+	again := run()
+	if again.Height != cex.Height {
+		t.Fatalf("replay diverged at height %d, first run at %d", again.Height, cex.Height)
+	}
+	if len(again.Minimized) != len(cex.Minimized) {
+		t.Fatalf("replay minimized to %d txs, first run to %d", len(again.Minimized), len(cex.Minimized))
+	}
+	for i := range cex.Minimized {
+		if again.Minimized[i] != cex.Minimized[i] {
+			t.Fatalf("replay counterexample differs at tx %d:\n  first:  %s\n  replay: %s", i, cex.Minimized[i], again.Minimized[i])
+		}
+	}
+}
+
+// TestSimCatchesSkippedVersionCheck: deleting the optimistic
+// scheduler's version-visibility check (commit every block-start
+// speculation as-is) must be fatal under the differential oracle —
+// proof that the check is the mechanism keeping OCC serial-equivalent.
+func TestSimCatchesSkippedVersionCheck(t *testing.T) {
+	mvccMutationCase(t, MVCCExecutor{Workers: 4, Optimistic: true, UnsafeSkipVersionCheck: true})
+}
+
+// TestSimCatchesDroppedDAGEdge: severing one dependency edge per
+// transaction before wave scheduling must be fatal under the
+// differential oracle — proof that the DAG (not some hidden
+// revalidation) is the mechanism keeping the wave scheduler
+// serial-equivalent.
+func TestSimCatchesDroppedDAGEdge(t *testing.T) {
+	mvccMutationCase(t, MVCCExecutor{Workers: 4, UnsafeDropDAGEdge: true})
+}
+
 // TestSimNoFaultsDeterministic pins the strongest replay guarantee the
 // harness offers: with faults disabled, two runs of the same seed
 // commit byte-identical chains (same gas, same block/tx counts).

@@ -288,6 +288,42 @@ func BenchmarkE15Index(b *testing.B) {
 	b.Log("\n" + experiments.TableE15Query(queries))
 }
 
+func BenchmarkE16Sharding(b *testing.B) {
+	var scale []experiments.E16ScaleRow
+	var cross *experiments.E16CrossRow
+	var contain *experiments.E16ContainRow
+	cfg := experiments.E16Config{
+		ShardCounts:    []int{1, 2, 4},
+		Rounds:         2,
+		TxsPerShard:    4,
+		CrossTransfers: 8,
+		ContainRounds:  10,
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		var err error
+		scale, err = experiments.E16Scaling(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cross, err = experiments.E16Cross(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		contain, err = experiments.E16Containment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.E16Verify(cfg, scale, cross, contain); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE16Scale(scale))
+	b.Log("\n" + experiments.TableE16Cross(cross))
+	b.Log("\n" + experiments.TableE16Contain(contain))
+}
+
 func BenchmarkA1Consensus(b *testing.B) {
 	var rows []experiments.A1Row
 	for i := 0; i < b.N; i++ {

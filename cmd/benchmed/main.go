@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (e1..e10,e12..e15,a1..a4), 'all', or 'sim'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1..e10,e12..e16,a1..a4), 'all', or 'sim'")
 	quick := flag.Bool("quick", false, "reduced sweep sizes for a fast pass")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	simRounds := flag.Int("sim.rounds", 2000, "fuzz/commit rounds for -run sim")
@@ -252,6 +252,34 @@ func main() {
 		fmt.Println(experiments.TableE15Query(queries))
 		if err := experiments.E15Verify(cfg, fresh, queries); err != nil {
 			fail("e15", err)
+		}
+	}
+	if want("e16") {
+		cfg := experiments.E16Config{Seed: *seed}
+		if *quick {
+			cfg.ShardCounts = []int{1, 2, 4}
+			cfg.Rounds = 2
+			cfg.TxsPerShard = 4
+			cfg.CrossTransfers = 8
+			cfg.ContainRounds = 10
+		}
+		scale, err := experiments.E16Scaling(cfg)
+		if err != nil {
+			fail("e16", err)
+		}
+		cross, err := experiments.E16Cross(cfg)
+		if err != nil {
+			fail("e16", err)
+		}
+		contain, err := experiments.E16Containment(cfg)
+		if err != nil {
+			fail("e16", err)
+		}
+		fmt.Println(experiments.TableE16Scale(scale))
+		fmt.Println(experiments.TableE16Cross(cross))
+		fmt.Println(experiments.TableE16Contain(contain))
+		if err := experiments.E16Verify(cfg, scale, cross, contain); err != nil {
+			fail("e16", err)
 		}
 	}
 	if want("a1") {

@@ -447,7 +447,10 @@ func (m *Mempool) Reset() {
 // interactive sits in between.
 func ClassOf(t ledger.TxType) guard.Class {
 	switch t {
-	case ledger.TxAudit:
+	case ledger.TxAudit, ledger.TxCross:
+		// Audit evidence and cross-shard protocol traffic (anchored
+		// roots, 2PC applies/resolves) must survive overload: shedding
+		// them stalls accountability or cross-shard liveness.
 		return guard.ClassCritical
 	case ledger.TxData, ledger.TxAnchor:
 		return guard.ClassBulk

@@ -30,9 +30,15 @@ const (
 	kindAnchor
 	kindEvidence
 	kindVM
-	kindSeq      // the request-sequence counter
-	kindRegistry // virtual key: the dataset/tool registry as a whole
-	kindManifest // a dataset's off-chain manifest accumulator
+	kindSeq       // the request-sequence counter
+	kindRegistry  // virtual key: the dataset/tool registry as a whole
+	kindManifest  // a dataset's off-chain manifest accumulator
+	kindCrossCfg  // the chain's one-time shard identity (singleton)
+	kindShardDir  // one coordination-chain routing-table entry
+	kindShardRoot // one anchored/relayed shard root (shard/height)
+	kindCrossOut  // one outbound cross-shard prepare (by transfer ID)
+	kindCrossIn   // one inbound cross-shard resolution (by src/ID)
+	kindFLRound   // one federated-learning round aggregation
 )
 
 func (k keyKind) String() string {
@@ -57,6 +63,18 @@ func (k keyKind) String() string {
 		return "reg"
 	case kindManifest:
 		return "mset"
+	case kindCrossCfg:
+		return "xcfg"
+	case kindShardDir:
+		return "xdir"
+	case kindShardRoot:
+		return "xroot"
+	case kindCrossOut:
+		return "xout"
+	case kindCrossIn:
+		return "xin"
+	case kindFLRound:
+		return "xfl"
 	}
 	return "?"
 }
@@ -76,7 +94,7 @@ func (k StateKey) String() string {
 	switch k.kind {
 	case kindVM:
 		return k.kind.String() + "/" + k.addr.String()
-	case kindSeq, kindRegistry:
+	case kindSeq, kindRegistry, kindCrossCfg:
 		return k.kind.String()
 	default:
 		return k.kind.String() + "/" + k.id
@@ -95,6 +113,17 @@ func KeyVM(a cryptoutil.Address) StateKey { return StateKey{kind: kindVM, addr: 
 // KeyManifestSet locks one dataset's manifest accumulator.
 func KeyManifestSet(dataset string) StateKey { return StateKey{kind: kindManifest, id: dataset} }
 
+// Cross-shard key constructors (see xshard.go).
+func KeyShardInfo(id string) StateKey { return StateKey{kind: kindShardDir, id: id} }
+func KeyShardRoot(shard string, height uint64) StateKey {
+	return StateKey{kind: kindShardRoot, id: rootKey(shard, height)}
+}
+func KeyCrossOut(id string) StateKey { return StateKey{kind: kindCrossOut, id: id} }
+func KeyCrossIn(sourceShard, id string) StateKey {
+	return StateKey{kind: kindCrossIn, id: crossInKey(sourceShard, id)}
+}
+func KeyFLRound(round string) StateKey { return StateKey{kind: kindFLRound, id: round} }
+
 // Singleton keys.
 var (
 	// KeySeq is the request-sequence counter every request_access /
@@ -104,6 +133,9 @@ var (
 	// it (HOST registry.* calls may enumerate any dataset or tool) and
 	// dataset/tool registrations write it.
 	KeyRegistry = StateKey{kind: kindRegistry}
+	// KeyCrossConfig is the chain's one-time shard identity; every
+	// cross-shard method reads it and "init" writes it.
+	KeyCrossConfig = StateKey{kind: kindCrossCfg}
 )
 
 // AccessSet is a transaction's declared state footprint.
@@ -176,6 +208,8 @@ func AccessSetOf(tx *ledger.Transaction) AccessSet {
 			break
 		}
 		a.write(KeyEvidence(evidenceKey(args.Kind, args.Height, args.Offender)))
+	case ledger.TxCross:
+		deriveCross(tx, &a)
 	case ledger.TxDeploy:
 		a.write(KeyVM(DeployedAddress(tx.From, tx.Nonce)))
 	case ledger.TxInvoke:
@@ -258,6 +292,118 @@ func deriveAnalytics(tx *ledger.Transaction, a *AccessSet) {
 		}
 		a.read(KeyTool(args.Tool), KeyDataset(args.Dataset))
 		a.write(KeyPolicy(dataKey(args.Dataset)), KeyPolicy(toolKey(args.Tool)), KeySeq)
+	}
+}
+
+// deriveCross bounds a cross-shard transaction's footprint from its
+// payload. The handlers are written so a transaction that fails any
+// check touches only keys declared here — in particular, apply/resolve
+// validate the proof-carried record/resolution against the declared
+// resource before mutating it (see xshard.go).
+func deriveCross(tx *ledger.Transaction, a *AccessSet) {
+	switch tx.Method {
+	case "init":
+		a.write(KeyCrossConfig)
+	case "register_shard":
+		var args RegisterShardArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
+			return
+		}
+		a.read(KeyCrossConfig)
+		a.write(KeyShardInfo(args.ID))
+	case "anchor_root":
+		var args AnchorRootArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
+			return
+		}
+		a.read(KeyCrossConfig, KeyShardInfo(args.Shard))
+		a.write(KeyShardRoot(args.Shard, args.Height))
+	case "prepare":
+		var args CrossPrepareArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
+			return
+		}
+		a.read(KeyCrossConfig)
+		a.write(KeyCrossOut(args.ID))
+		switch args.Kind {
+		case CrossConsent:
+			var g GrantArgs
+			if json.Unmarshal(args.Payload, &g) != nil {
+				a.Unknown = true
+				return
+			}
+			// Check(consume=false) on the source policy is a pure read.
+			a.read(KeyPolicy(g.Resource))
+		case CrossTransfer:
+			var p CrossTransferPayload
+			if json.Unmarshal(args.Payload, &p) != nil {
+				a.Unknown = true
+				return
+			}
+			a.write(KeyDataset(p.Dataset)) // freeze
+		case CrossFLRound:
+			// Payload is validated but no local state is touched.
+		default:
+			a.Unknown = true
+		}
+	case "apply", "expire":
+		var args CrossApplyArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
+			return
+		}
+		rec := args.Record
+		a.read(KeyCrossConfig, KeyShardRoot(rec.SourceShard, rec.SourceHeight))
+		a.write(KeyCrossIn(rec.SourceShard, rec.ID))
+		if tx.Method == "expire" {
+			return
+		}
+		switch rec.Kind {
+		case CrossConsent:
+			var g GrantArgs
+			if json.Unmarshal(rec.Payload, &g) != nil {
+				a.Unknown = true
+				return
+			}
+			a.write(KeyPolicy(g.Resource))
+		case CrossTransfer:
+			var p CrossTransferPayload
+			if json.Unmarshal(rec.Payload, &p) != nil {
+				a.Unknown = true
+				return
+			}
+			a.write(KeyDataset(p.Dataset), KeyPolicy(dataKey(p.Dataset)), KeyRegistry)
+		case CrossFLRound:
+			var p CrossFLPayload
+			if json.Unmarshal(rec.Payload, &p) != nil {
+				a.Unknown = true
+				return
+			}
+			a.write(KeyFLRound(p.Round))
+		default:
+			a.Unknown = true
+		}
+	case "resolve":
+		var args CrossResolveArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
+			return
+		}
+		res := args.Resolution
+		a.read(KeyCrossConfig, KeyShardRoot(res.DestShard, res.DestHeight))
+		a.write(KeyCrossOut(res.ID))
+		if res.Kind == CrossTransfer {
+			// settlePrepare thaws/tombstones the dataset named by the
+			// resolution; the handler rejects a resolution whose resource
+			// disagrees with the prepare's payload, so no other dataset
+			// can be touched.
+			a.write(KeyDataset(res.Resource))
+		}
+	default:
+		a.Unknown = true
 	}
 }
 

@@ -173,6 +173,12 @@ type Dataset struct {
 	Version int `json:"version"`
 	// UpdatedAt is the chain timestamp of the latest version.
 	UpdatedAt int64 `json:"updated_at"`
+	// Frozen marks an in-flight cross-shard transfer: updates are
+	// blocked until the transfer commits or aborts (xshard.go).
+	Frozen bool `json:"frozen,omitempty"`
+	// MovedTo, when non-empty, tombstones a dataset transferred to
+	// another shard; the entry stays as an auditable forwarding record.
+	MovedTo string `json:"moved_to,omitempty"`
 }
 
 // Tool is a registered off-chain analytics tool (code identity is

@@ -33,6 +33,15 @@ type StateExport struct {
 	// ManifestSets are the per-dataset off-chain manifest accumulators,
 	// sorted by dataset ID.
 	ManifestSets []ManifestSet `json:"manifest_sets,omitempty"`
+	// CrossConfig is the chain's shard identity (nil on unsharded
+	// chains); the remaining cross-shard tables are sorted by their map
+	// keys.
+	CrossConfig *CrossShardConfig `json:"cross_config,omitempty"`
+	ShardDir    []ShardInfo       `json:"shard_dir,omitempty"`
+	ShardRoots  []ShardRoot       `json:"shard_roots,omitempty"`
+	CrossOut    []CrossPrepare    `json:"cross_out,omitempty"`
+	CrossIn     []CrossResolution `json:"cross_in,omitempty"`
+	FLRounds    []FLRound         `json:"fl_rounds,omitempty"`
 	// RequestSeq is the access/run request counter.
 	RequestSeq uint64 `json:"request_seq"`
 }
@@ -86,6 +95,25 @@ func (s *State) Export() *StateExport {
 	})
 	forSortedKeys(s.manifestSets, func(_ string, ms *ManifestSet) {
 		ex.ManifestSets = append(ex.ManifestSets, *ms)
+	})
+	if s.crossCfg != nil {
+		cfg := *s.crossCfg
+		ex.CrossConfig = &cfg
+	}
+	forSortedKeys(s.shardDir, func(_ string, info *ShardInfo) {
+		ex.ShardDir = append(ex.ShardDir, *info)
+	})
+	forSortedKeys(s.shardRoots, func(_ string, root *ShardRoot) {
+		ex.ShardRoots = append(ex.ShardRoots, *root)
+	})
+	forSortedKeys(s.crossOut, func(_ string, prep *CrossPrepare) {
+		ex.CrossOut = append(ex.CrossOut, *copyCrossPrepare(prep))
+	})
+	forSortedKeys(s.crossIn, func(_ string, res *CrossResolution) {
+		ex.CrossIn = append(ex.CrossIn, *res)
+	})
+	forSortedKeys(s.flRounds, func(_ string, fl *FLRound) {
+		ex.FLRounds = append(ex.FLRounds, *copyFLRound(fl))
 	})
 	addrs := make([]string, 0, len(s.deployed))
 	byAddr := make(map[string]cryptoutil.Address, len(s.deployed))
@@ -149,6 +177,28 @@ func ImportState(ex *StateExport) *State {
 	for i := range ex.ManifestSets {
 		ms := ex.ManifestSets[i]
 		s.manifestSets[ms.Dataset] = &ms
+	}
+	if ex.CrossConfig != nil {
+		cfg := *ex.CrossConfig
+		s.crossCfg = &cfg
+	}
+	for i := range ex.ShardDir {
+		info := ex.ShardDir[i]
+		s.shardDir[info.ID] = &info
+	}
+	for i := range ex.ShardRoots {
+		root := ex.ShardRoots[i]
+		s.shardRoots[rootKey(root.Shard, root.Height)] = &root
+	}
+	for i := range ex.CrossOut {
+		s.crossOut[ex.CrossOut[i].Record.ID] = copyCrossPrepare(&ex.CrossOut[i])
+	}
+	for i := range ex.CrossIn {
+		res := ex.CrossIn[i]
+		s.crossIn[crossInKey(res.SourceShard, res.ID)] = &res
+	}
+	for i := range ex.FLRounds {
+		s.flRounds[ex.FLRounds[i].Round] = copyFLRound(&ex.FLRounds[i])
 	}
 	for i := range ex.Deployed {
 		d := ex.Deployed[i]

@@ -19,6 +19,7 @@ func (s *State) SnapshotFor(acc AccessSet) *State {
 	defer s.mu.RUnlock()
 	c := NewState()
 	c.requestSeq = s.requestSeq
+	c.unsafeSkipCrossProof = s.unsafeSkipCrossProof
 	for _, k := range acc.Reads {
 		s.shareInto(c, k)
 	}
@@ -88,6 +89,28 @@ func (s *State) shareInto(c *State, k StateKey) {
 		for id, t := range s.tools {
 			c.tools[id] = t
 		}
+	case kindCrossCfg:
+		c.crossCfg = s.crossCfg
+	case kindShardDir:
+		if info, ok := s.shardDir[k.id]; ok {
+			c.shardDir[k.id] = info
+		}
+	case kindShardRoot:
+		if root, ok := s.shardRoots[k.id]; ok {
+			c.shardRoots[k.id] = root
+		}
+	case kindCrossOut:
+		if prep, ok := s.crossOut[k.id]; ok {
+			c.crossOut[k.id] = prep
+		}
+	case kindCrossIn:
+		if res, ok := s.crossIn[k.id]; ok {
+			c.crossIn[k.id] = res
+		}
+	case kindFLRound:
+		if fl, ok := s.flRounds[k.id]; ok {
+			c.flRounds[k.id] = fl
+		}
 	}
 }
 
@@ -141,6 +164,34 @@ func (s *State) copyInto(c *State, k StateKey) {
 				ms.Set([]byte(key), v)
 			}
 			c.vmStorage[k.addr] = ms
+		}
+	case kindCrossCfg:
+		if s.crossCfg != nil {
+			cfg := *s.crossCfg
+			c.crossCfg = &cfg
+		}
+	case kindShardDir:
+		if info, ok := s.shardDir[k.id]; ok {
+			cp := *info
+			c.shardDir[k.id] = &cp
+		}
+	case kindShardRoot:
+		if root, ok := s.shardRoots[k.id]; ok {
+			cp := *root
+			c.shardRoots[k.id] = &cp
+		}
+	case kindCrossOut:
+		if prep, ok := s.crossOut[k.id]; ok {
+			c.crossOut[k.id] = copyCrossPrepare(prep)
+		}
+	case kindCrossIn:
+		if res, ok := s.crossIn[k.id]; ok {
+			cp := *res
+			c.crossIn[k.id] = &cp
+		}
+	case kindFLRound:
+		if fl, ok := s.flRounds[k.id]; ok {
+			c.flRounds[k.id] = copyFLRound(fl)
 		}
 	}
 }
@@ -215,6 +266,30 @@ func (s *State) MergeSpeculative(from *State, acc AccessSet) {
 			}
 		case kindSeq:
 			s.requestSeq = from.requestSeq
+		case kindCrossCfg:
+			if from.crossCfg != nil {
+				s.crossCfg = from.crossCfg
+			}
+		case kindShardDir:
+			if info, ok := from.shardDir[k.id]; ok {
+				s.shardDir[k.id] = info
+			}
+		case kindShardRoot:
+			if root, ok := from.shardRoots[k.id]; ok {
+				s.shardRoots[k.id] = root
+			}
+		case kindCrossOut:
+			if prep, ok := from.crossOut[k.id]; ok {
+				s.crossOut[k.id] = prep
+			}
+		case kindCrossIn:
+			if res, ok := from.crossIn[k.id]; ok {
+				s.crossIn[k.id] = res
+			}
+		case kindFLRound:
+			if fl, ok := from.flRounds[k.id]; ok {
+				s.flRounds[k.id] = fl
+			}
 		}
 	}
 }

@@ -111,22 +111,36 @@ type AdverseEventRecord struct {
 // transaction sequence yields the same state (and state root) on every
 // node. It is safe for concurrent use.
 type State struct {
-	mu        sync.RWMutex
-	datasets  map[string]*Dataset
-	tools     map[string]*Tool
-	policies  map[string]*Policy // keyed by resource ID ("data:<id>" / "tool:<id>")
-	trials    map[string]*Trial
-	anchors   map[string]*Anchor
-	evidence  map[string]*EvidenceRecord // keyed by kind/height/offender
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+	tools    map[string]*Tool
+	policies map[string]*Policy // keyed by resource ID ("data:<id>" / "tool:<id>")
+	trials   map[string]*Trial
+	anchors  map[string]*Anchor
+	evidence map[string]*EvidenceRecord // keyed by kind/height/offender
 	// manifestSets accumulate off-chain blob manifest anchors per
 	// dataset (see manifest.go); the full entry lists ride events.
 	manifestSets map[string]*ManifestSet
-	deployed  map[cryptoutil.Address]*Deployed
-	vmStorage map[cryptoutil.Address]*vm.MemStorage
+	deployed     map[cryptoutil.Address]*Deployed
+	vmStorage    map[cryptoutil.Address]*vm.MemStorage
+	// Cross-shard tables (see xshard.go): the chain's shard identity,
+	// the coordination-chain routing table, anchored/relayed shard
+	// roots, outbound prepares, inbound resolutions, and federated
+	// learning round aggregations.
+	crossCfg   *CrossShardConfig
+	shardDir   map[string]*ShardInfo
+	shardRoots map[string]*ShardRoot
+	crossOut   map[string]*CrossPrepare
+	crossIn    map[string]*CrossResolution
+	flRounds   map[string]*FLRound
 	// host provides HOST functions to VM executions; nil disables.
 	host map[string]vm.HostFunc
 	// requestSeq numbers access/run requests for event correlation.
 	requestSeq uint64
+	// unsafeSkipCrossProof disables cross-shard proof verification; a
+	// mutation-testing knob, never set in production (see
+	// SetUnsafeSkipCrossProofVerify).
+	unsafeSkipCrossProof bool
 }
 
 // NewState creates an empty state machine.
@@ -142,6 +156,11 @@ func NewState() *State {
 		vmStorage: make(map[cryptoutil.Address]*vm.MemStorage),
 
 		manifestSets: make(map[string]*ManifestSet),
+		shardDir:     make(map[string]*ShardInfo),
+		shardRoots:   make(map[string]*ShardRoot),
+		crossOut:     make(map[string]*CrossPrepare),
+		crossIn:      make(map[string]*CrossResolution),
+		flRounds:     make(map[string]*FLRound),
 	}
 }
 
@@ -211,6 +230,29 @@ func (s *State) Clone() *State {
 		cp.Evidence = append(json.RawMessage(nil), e.Evidence...)
 		c.evidence[key] = &cp
 	}
+	if s.crossCfg != nil {
+		cfg := *s.crossCfg
+		c.crossCfg = &cfg
+	}
+	c.unsafeSkipCrossProof = s.unsafeSkipCrossProof
+	for id, info := range s.shardDir {
+		cp := *info
+		c.shardDir[id] = &cp
+	}
+	for key, root := range s.shardRoots {
+		cp := *root
+		c.shardRoots[key] = &cp
+	}
+	for id, prep := range s.crossOut {
+		c.crossOut[id] = copyCrossPrepare(prep)
+	}
+	for key, res := range s.crossIn {
+		cp := *res
+		c.crossIn[key] = &cp
+	}
+	for round, fl := range s.flRounds {
+		c.flRounds[round] = copyFLRound(fl)
+	}
 	for addr, d := range s.deployed {
 		cp := *d // Code bytes shared: immutable after deploy
 		c.deployed[addr] = &cp
@@ -261,6 +303,8 @@ func (s *State) Apply(tx *ledger.Transaction, height uint64, now int64) (*Receip
 		err = s.applyAnchor(tx, now, r)
 	case ledger.TxAudit:
 		err = s.applyAudit(tx, now, r)
+	case ledger.TxCross:
+		err = s.applyCross(tx, height, now, r)
 	case ledger.TxDeploy:
 		err = s.applyDeploy(tx, r)
 	case ledger.TxInvoke:
@@ -378,6 +422,12 @@ func (s *State) applyData(tx *ledger.Transaction, now int64, r *Receipt) error {
 		}
 		if tx.From != ds.Owner {
 			return fmt.Errorf("%w: only the owner updates %q", ErrNotOwner, a.ID)
+		}
+		if ds.Frozen {
+			return fmt.Errorf("%w: dataset %q is frozen by an in-flight cross-shard transfer", ErrDenied, a.ID)
+		}
+		if ds.MovedTo != "" {
+			return fmt.Errorf("%w: dataset %q moved to shard %q", ErrDenied, a.ID, ds.MovedTo)
 		}
 		ds.Digest = a.Digest
 		if a.Records > 0 {
@@ -999,7 +1049,8 @@ func (s *State) Root() cryptoutil.Digest {
 	}
 	forSortedKeys(s.datasets, func(id string, d *Dataset) {
 		add("ds", id, d.Owner.String(), d.Digest.String(), d.Schema,
-			fmt.Sprint(d.Records), d.SiteID, fmt.Sprint(d.Version), fmt.Sprint(d.UpdatedAt))
+			fmt.Sprint(d.Records), d.SiteID, fmt.Sprint(d.Version), fmt.Sprint(d.UpdatedAt),
+			fmt.Sprint(d.Frozen), d.MovedTo)
 	})
 	forSortedKeys(s.tools, func(id string, t *Tool) {
 		add("tool", id, t.Owner.String(), t.Digest.String())
@@ -1037,6 +1088,32 @@ func (s *State) Root() cryptoutil.Digest {
 	forSortedKeys(s.evidence, func(key string, e *EvidenceRecord) {
 		add("evidence", key, e.Reporter.String(), fmt.Sprint(e.At))
 		h = append(h, e.Evidence)
+	})
+	if s.crossCfg != nil {
+		add("xcfg", s.crossCfg.ShardID, fmt.Sprint(s.crossCfg.Shards), s.crossCfg.Coordinator.String())
+	}
+	forSortedKeys(s.shardDir, func(id string, info *ShardInfo) {
+		add("xdir", id, info.Gateway.String(), fmt.Sprint(info.At))
+	})
+	forSortedKeys(s.shardRoots, func(key string, root *ShardRoot) {
+		add("xroot", key, root.Root.String(), root.By.String(), fmt.Sprint(root.At))
+	})
+	forSortedKeys(s.crossOut, func(id string, prep *CrossPrepare) {
+		add("xout", id, string(prep.Status), prep.Reason, fmt.Sprint(prep.ResolvedAt),
+			string(prep.Record.Kind), prep.Record.SourceShard, prep.Record.DestShard,
+			prep.Record.From.String(), fmt.Sprint(prep.Record.SourceHeight),
+			fmt.Sprint(prep.Record.DestExpiry))
+		h = append(h, prep.Record.Payload)
+	})
+	forSortedKeys(s.crossIn, func(key string, res *CrossResolution) {
+		add("xin", key, string(res.Kind), res.Resource, fmt.Sprint(res.Applied),
+			res.Reason, fmt.Sprint(res.DestHeight))
+	})
+	forSortedKeys(s.flRounds, func(round string, fl *FLRound) {
+		add("xfl", round, fmt.Sprint(fl.TotalSamples), floatsString(fl.Aggregate), fmt.Sprint(fl.UpdatedAt))
+		for _, c := range fl.Contributions {
+			add(c.Shard, c.From.String(), fmt.Sprint(c.Samples), floatsString(c.Weights))
+		}
 	})
 	deployedKeys := make([]string, 0, len(s.deployed))
 	byKey := make(map[string]*Deployed, len(s.deployed))

@@ -1,0 +1,900 @@
+package contract
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+	"medchain/internal/merkle"
+)
+
+// The cross-shard contract implements the on-chain half of the sharded
+// scale-out architecture (paper Fig. 2/5: a global chain over
+// per-hospital local chains). Every chain — the coordination chain and
+// each member shard — runs this same contract; its role is selected by
+// the one-time "init" transaction.
+//
+// The protocol is a receipt relay with two-phase commit semantics:
+//
+//	source shard          coordination chain          dest shard
+//	  prepare  ──leaf──▶  anchor_root (gateway)
+//	                        │ relay (coordinator)
+//	                        ▼
+//	                      anchor_root ────────────▶  apply | expire
+//	                                                    │ leaf
+//	  resolve  ◀──────────  anchor_root  ◀──────────────┘
+//
+// A prepare freezes the source-side resource and emits a canonical
+// CrossRecord; the shard's gateway anchors a Merkle root over each
+// block's cross-records on the coordination chain; the coordinator
+// relays anchored roots to the counterpart shard; the destination
+// applies (or, past the record's deadline, expires) the transfer with
+// an inclusion proof against the relayed root, recording exactly one
+// CrossResolution; the source mirrors that resolution — again under
+// proof — committing or aborting the prepare. The destination decides
+// uniquely and the source only mirrors, so every prepare settles to
+// exactly one of {committed, aborted} and no partial application is
+// ever visible (the frozen resource thaws only on abort).
+//
+// Proof verification failures are typed (ErrCrossProof,
+// ErrCrossUnanchored, ErrCrossReplay, ErrCrossExpired,
+// ErrCrossUnauthorized) so callers and tests can distinguish a forged
+// proof from a stale or replayed one.
+
+// CrossContractAddr is the native cross-shard contract.
+var CrossContractAddr = cryptoutil.NamedAddress("native/xshard")
+
+// CoordShardID is the reserved shard ID of the coordination chain.
+const CoordShardID = "@coord"
+
+// gasCross is the base cost of cross-shard protocol methods.
+const gasCross = 250
+
+// maxFLWeights bounds a federated-learning payload so cross-shard
+// transactions cannot bloat state.
+const maxFLWeights = 256
+
+// Typed cross-shard protocol errors.
+var (
+	// ErrCrossProof marks a Merkle inclusion proof that does not verify
+	// against the anchored root (forged or truncated proofs, tampered
+	// records).
+	ErrCrossProof = errors.New("contract: cross-shard proof does not verify")
+	// ErrCrossUnanchored marks a proof offered against a shard root that
+	// was never anchored (or relayed) on this chain.
+	ErrCrossUnanchored = errors.New("contract: cross-shard root not anchored")
+	// ErrCrossReplay marks a prepare receipt or resolution submitted
+	// after the transfer already settled.
+	ErrCrossReplay = errors.New("contract: cross-shard transfer already resolved")
+	// ErrCrossExpired marks an apply attempted past the record's
+	// destination-height deadline.
+	ErrCrossExpired = errors.New("contract: cross-shard transfer expired")
+	// ErrCrossUnauthorized marks a protocol transaction from an address
+	// that is neither the registered gateway nor the coordinator.
+	ErrCrossUnauthorized = errors.New("contract: cross-shard sender not authorized")
+)
+
+// CrossKind classifies a cross-shard transfer.
+type CrossKind string
+
+// Cross-shard transfer kinds.
+const (
+	// CrossConsent propagates a consent grant to the shard hosting the
+	// resource's policy.
+	CrossConsent CrossKind = "consent"
+	// CrossTransfer moves a dataset registration between shards (HIE
+	// record transfer); the source copy is frozen during transfer and
+	// tombstoned on commit.
+	CrossTransfer CrossKind = "transfer"
+	// CrossFLRound contributes one shard's model update to a federated
+	// learning round aggregated on the destination shard.
+	CrossFLRound CrossKind = "fl-round"
+)
+
+// ValidCrossKind reports whether k is a known transfer kind.
+func ValidCrossKind(k CrossKind) bool {
+	switch k {
+	case CrossConsent, CrossTransfer, CrossFLRound:
+		return true
+	}
+	return false
+}
+
+// CrossStatus is the source-side lifecycle of a prepare.
+type CrossStatus string
+
+// Prepare states: pending until the destination's resolution is
+// mirrored, then exactly one of committed or aborted.
+const (
+	CrossPending   CrossStatus = "pending"
+	CrossCommitted CrossStatus = "committed"
+	CrossAborted   CrossStatus = "aborted"
+)
+
+// CrossShardConfig is the chain's one-time shard identity, set by
+// "init" as part of the genesis ceremony (first write wins; the shard
+// operator commits it before any application traffic).
+type CrossShardConfig struct {
+	// ShardID names this chain in the shard directory (CoordShardID for
+	// the coordination chain).
+	ShardID string `json:"shard_id"`
+	// Shards is the member shard count of the deployment.
+	Shards int `json:"shards"`
+	// Coordinator is the address trusted to relay anchored roots onto
+	// member shards (and to register shards on the coordination chain).
+	Coordinator cryptoutil.Address `json:"coordinator"`
+}
+
+// ShardInfo is one routing-table entry on the coordination chain.
+type ShardInfo struct {
+	// ID is the shard identifier.
+	ID string `json:"id"`
+	// Gateway is the address authorized to anchor this shard's roots.
+	Gateway cryptoutil.Address `json:"gateway"`
+	// At is the registration chain timestamp.
+	At int64 `json:"at"`
+}
+
+// ShardRoot is an anchored per-shard block root: on the coordination
+// chain it is committed by the shard's gateway; on member shards it is
+// relayed by the coordinator.
+type ShardRoot struct {
+	// Shard is the shard the root belongs to.
+	Shard string `json:"shard"`
+	// Height is the shard-chain block height the root covers.
+	Height uint64 `json:"height"`
+	// Root is the Merkle root over the block's cross-record leaves.
+	Root cryptoutil.Digest `json:"root"`
+	// By is the anchoring address.
+	By cryptoutil.Address `json:"by"`
+	// At is the chain timestamp of the anchoring.
+	At int64 `json:"at"`
+}
+
+// CrossRecord is the canonical prepare receipt — the Merkle leaf the
+// whole protocol proves. It is emitted verbatim in the CrossPrepared
+// event, carried by the relay, and re-serialized identically by every
+// verifier.
+type CrossRecord struct {
+	// ID is the transfer identifier, unique within the source shard.
+	ID string `json:"id"`
+	// Kind is the transfer kind.
+	Kind CrossKind `json:"kind"`
+	// SourceShard / DestShard name the two member shards involved.
+	SourceShard string `json:"source_shard"`
+	DestShard   string `json:"dest_shard"`
+	// From is the preparing address; destination-side authorization
+	// checks run against it.
+	From cryptoutil.Address `json:"from"`
+	// SourceHeight is the source-chain height the prepare committed at —
+	// the height whose anchored root proves this record.
+	SourceHeight uint64 `json:"source_height"`
+	// DestExpiry is the destination-chain height deadline: past it the
+	// transfer may only be expired, never applied.
+	DestExpiry uint64 `json:"dest_expiry"`
+	// Payload is the kind-specific canonical payload.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Leaf returns the domain-separated canonical leaf bytes of the record.
+func (rec *CrossRecord) Leaf() []byte {
+	b, _ := json.Marshal(rec)
+	return append([]byte("xshard/prepare\x00"), b...)
+}
+
+// CrossResolution is the destination's unique decision for one
+// transfer, itself a provable leaf so the source shard can mirror it.
+type CrossResolution struct {
+	// ID / SourceShard / DestShard / Kind echo the record.
+	ID          string    `json:"id"`
+	SourceShard string    `json:"source_shard"`
+	DestShard   string    `json:"dest_shard"`
+	Kind        CrossKind `json:"kind"`
+	// Resource names the affected object (dataset ID, policy resource
+	// key, or FL round), so access sets can be derived statically from a
+	// resolve payload.
+	Resource string `json:"resource,omitempty"`
+	// Applied reports the decision: true = effect applied on the
+	// destination, false = refused or expired.
+	Applied bool `json:"applied"`
+	// Reason explains a non-applied resolution.
+	Reason string `json:"reason,omitempty"`
+	// DestHeight is the destination-chain height the resolution
+	// committed at — the height whose anchored root proves it.
+	DestHeight uint64 `json:"dest_height"`
+}
+
+// Leaf returns the domain-separated canonical leaf bytes of the
+// resolution.
+func (res *CrossResolution) Leaf() []byte {
+	b, _ := json.Marshal(res)
+	return append([]byte("xshard/resolve\x00"), b...)
+}
+
+// CrossPrepare is the source-side stored transfer state.
+type CrossPrepare struct {
+	// Record is the canonical prepare receipt.
+	Record CrossRecord `json:"record"`
+	// Status is pending, then exactly one of committed / aborted.
+	Status CrossStatus `json:"status"`
+	// Reason explains an abort.
+	Reason string `json:"reason,omitempty"`
+	// ResolvedAt is the source-chain height of the settling resolve.
+	ResolvedAt uint64 `json:"resolved_at,omitempty"`
+}
+
+// FLContribution is one shard's model update in a federated round.
+type FLContribution struct {
+	Shard   string             `json:"shard"`
+	From    cryptoutil.Address `json:"from"`
+	Weights []float64          `json:"weights"`
+	Samples int                `json:"samples"`
+}
+
+// FLRound aggregates cross-shard federated-learning contributions: the
+// destination shard keeps the sample-weighted mean of every shard's
+// update, recomputed deterministically as contributions arrive.
+type FLRound struct {
+	Round         string           `json:"round"`
+	Contributions []FLContribution `json:"contributions"`
+	Aggregate     []float64        `json:"aggregate,omitempty"`
+	TotalSamples  int              `json:"total_samples"`
+	UpdatedAt     int64            `json:"updated_at"`
+}
+
+// --- method argument structs ---
+
+// InitCrossArgs are the args of cross/"init".
+type InitCrossArgs struct {
+	ShardID     string             `json:"shard_id"`
+	Shards      int                `json:"shards"`
+	Coordinator cryptoutil.Address `json:"coordinator"`
+}
+
+// RegisterShardArgs are the args of cross/"register_shard"
+// (coordination chain only; sender must be the coordinator).
+type RegisterShardArgs struct {
+	ID      string             `json:"id"`
+	Gateway cryptoutil.Address `json:"gateway"`
+}
+
+// AnchorRootArgs are the args of cross/"anchor_root". On the
+// coordination chain the sender must be the shard's registered gateway;
+// on a member shard it must be the coordinator (relay).
+type AnchorRootArgs struct {
+	Shard  string            `json:"shard"`
+	Height uint64            `json:"height"`
+	Root   cryptoutil.Digest `json:"root"`
+}
+
+// CrossPrepareArgs are the args of cross/"prepare" (source shard).
+type CrossPrepareArgs struct {
+	ID         string          `json:"id"`
+	Kind       CrossKind       `json:"kind"`
+	DestShard  string          `json:"dest_shard"`
+	DestExpiry uint64          `json:"dest_expiry"`
+	Payload    json.RawMessage `json:"payload"`
+}
+
+// CrossTransferPayload is the canonical payload of a CrossTransfer
+// record. The prepare handler fills the dataset metadata from the
+// source registry, so the destination registers exactly what the source
+// anchored.
+type CrossTransferPayload struct {
+	Dataset string            `json:"dataset"`
+	Digest  cryptoutil.Digest `json:"digest,omitempty"`
+	Schema  string            `json:"schema,omitempty"`
+	Records int               `json:"records,omitempty"`
+	SiteID  string            `json:"site_id,omitempty"`
+	Version int               `json:"version,omitempty"`
+}
+
+// CrossFLPayload is the canonical payload of a CrossFLRound record.
+type CrossFLPayload struct {
+	Round   string    `json:"round"`
+	Weights []float64 `json:"weights"`
+	Samples int       `json:"samples"`
+}
+
+// CrossApplyArgs are the args of cross/"apply" and cross/"expire"
+// (destination shard): the full canonical record plus its inclusion
+// proof against the relayed source-shard root.
+type CrossApplyArgs struct {
+	Record CrossRecord   `json:"record"`
+	Proof  *merkle.Proof `json:"proof"`
+}
+
+// CrossResolveArgs are the args of cross/"resolve" (source shard): the
+// destination's resolution plus its inclusion proof against the relayed
+// destination-shard root.
+type CrossResolveArgs struct {
+	Resolution CrossResolution `json:"resolution"`
+	Proof      *merkle.Proof   `json:"proof"`
+}
+
+// Cross-shard state keys.
+func rootKey(shard string, height uint64) string { return fmt.Sprintf("%s/%d", shard, height) }
+func crossInKey(src, id string) string           { return src + "/" + id }
+
+func (s *State) applyCross(tx *ledger.Transaction, height uint64, now int64, r *Receipt) error {
+	r.GasUsed = gasCross + int64(len(tx.Args))*gasArgByte
+	switch tx.Method {
+	case "init":
+		var a InitCrossArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		if a.ShardID == "" || a.Shards < 1 {
+			return fmt.Errorf("%w: init needs shard id and shard count", ErrBadArgs)
+		}
+		if s.crossCfg != nil {
+			return fmt.Errorf("%w: cross-shard config", ErrExists)
+		}
+		s.crossCfg = &CrossShardConfig{ShardID: a.ShardID, Shards: a.Shards, Coordinator: a.Coordinator}
+		s.emit(r, CrossContractAddr, "CrossInit", s.crossCfg)
+		return nil
+
+	case "register_shard":
+		cfg, err := s.crossConfig()
+		if err != nil {
+			return err
+		}
+		var a RegisterShardArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		if cfg.ShardID != CoordShardID {
+			return fmt.Errorf("%w: register_shard is coordination-chain only", ErrBadArgs)
+		}
+		if tx.From != cfg.Coordinator {
+			return fmt.Errorf("%w: %s is not the coordinator", ErrCrossUnauthorized, tx.From.Short())
+		}
+		if a.ID == "" || a.ID == CoordShardID {
+			return fmt.Errorf("%w: shard id %q", ErrBadArgs, a.ID)
+		}
+		if _, dup := s.shardDir[a.ID]; dup {
+			return fmt.Errorf("%w: shard %q", ErrExists, a.ID)
+		}
+		s.shardDir[a.ID] = &ShardInfo{ID: a.ID, Gateway: a.Gateway, At: now}
+		s.emit(r, CrossContractAddr, "ShardRegistered", s.shardDir[a.ID])
+		return nil
+
+	case "anchor_root":
+		cfg, err := s.crossConfig()
+		if err != nil {
+			return err
+		}
+		var a AnchorRootArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		if a.Shard == "" || a.Height == 0 {
+			return fmt.Errorf("%w: anchor needs shard and height", ErrBadArgs)
+		}
+		if a.Root == cryptoutil.ZeroDigest {
+			return fmt.Errorf("%w: zero root anchors nothing", ErrBadArgs)
+		}
+		if a.Shard == cfg.ShardID {
+			return fmt.Errorf("%w: shard cannot anchor its own root", ErrBadArgs)
+		}
+		if cfg.ShardID == CoordShardID {
+			// Gateways anchor their shard's roots on the coordination
+			// chain; only the registered gateway may.
+			info, ok := s.shardDir[a.Shard]
+			if !ok {
+				return fmt.Errorf("%w: shard %q", ErrNotFound, a.Shard)
+			}
+			if tx.From != info.Gateway {
+				return fmt.Errorf("%w: %s is not the gateway of %q", ErrCrossUnauthorized, tx.From.Short(), a.Shard)
+			}
+		} else if tx.From != cfg.Coordinator {
+			// Member shards accept relayed roots from the coordinator only.
+			return fmt.Errorf("%w: %s is not the coordinator", ErrCrossUnauthorized, tx.From.Short())
+		}
+		key := rootKey(a.Shard, a.Height)
+		if _, dup := s.shardRoots[key]; dup {
+			// First anchor wins; a later, conflicting root for the same
+			// height is a stale (or equivocating) anchor and is rejected.
+			return fmt.Errorf("%w: root %s", ErrExists, key)
+		}
+		s.shardRoots[key] = &ShardRoot{Shard: a.Shard, Height: a.Height, Root: a.Root, By: tx.From, At: now}
+		s.emit(r, CrossContractAddr, "RootAnchored", s.shardRoots[key])
+		return nil
+
+	case "prepare":
+		cfg, err := s.memberConfig()
+		if err != nil {
+			return err
+		}
+		var a CrossPrepareArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		if a.ID == "" || !ValidCrossKind(a.Kind) {
+			return fmt.Errorf("%w: prepare needs id and valid kind", ErrBadArgs)
+		}
+		if a.DestShard == "" || a.DestShard == cfg.ShardID || a.DestShard == CoordShardID {
+			return fmt.Errorf("%w: dest shard %q", ErrBadArgs, a.DestShard)
+		}
+		if a.DestExpiry == 0 {
+			return fmt.Errorf("%w: prepare needs a dest-height expiry", ErrBadArgs)
+		}
+		if _, dup := s.crossOut[a.ID]; dup {
+			return fmt.Errorf("%w: transfer %q", ErrExists, a.ID)
+		}
+		payload, err := s.validatePrepare(tx, &a)
+		if err != nil {
+			return err
+		}
+		rec := CrossRecord{
+			ID: a.ID, Kind: a.Kind, SourceShard: cfg.ShardID, DestShard: a.DestShard,
+			From: tx.From, SourceHeight: height, DestExpiry: a.DestExpiry, Payload: payload,
+		}
+		s.crossOut[a.ID] = &CrossPrepare{Record: rec, Status: CrossPending}
+		s.emit(r, CrossContractAddr, "CrossPrepared", &rec)
+		return nil
+
+	case "apply", "expire":
+		cfg, err := s.memberConfig()
+		if err != nil {
+			return err
+		}
+		var a CrossApplyArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		rec := a.Record
+		if rec.DestShard != cfg.ShardID {
+			return fmt.Errorf("%w: record destined for %q, this is %q", ErrBadArgs, rec.DestShard, cfg.ShardID)
+		}
+		key := crossInKey(rec.SourceShard, rec.ID)
+		if _, dup := s.crossIn[key]; dup {
+			return fmt.Errorf("%w: transfer %s", ErrCrossReplay, key)
+		}
+		if err := s.verifyCrossLeaf(rec.SourceShard, rec.SourceHeight, rec.Leaf(), a.Proof); err != nil {
+			return err
+		}
+		res := CrossResolution{
+			ID: rec.ID, SourceShard: rec.SourceShard, DestShard: rec.DestShard,
+			Kind: rec.Kind, DestHeight: height,
+		}
+		if tx.Method == "expire" {
+			if height <= rec.DestExpiry {
+				return fmt.Errorf("%w: transfer %q not expired until dest height %d", ErrBadArgs, rec.ID, rec.DestExpiry)
+			}
+			res.Applied, res.Reason = false, "expired"
+			res.Resource = resourceOf(&rec)
+		} else {
+			if height > rec.DestExpiry {
+				return fmt.Errorf("%w: transfer %q (deadline %d, height %d)", ErrCrossExpired, rec.ID, rec.DestExpiry, height)
+			}
+			// Protocol checks passed: the transfer settles on this chain
+			// regardless of whether the application effect succeeds — a
+			// refused effect is a negative resolution the source will
+			// mirror as an abort, not a retryable failure.
+			resource, applyErr := s.applyCrossEffect(&rec, now)
+			res.Resource = resource
+			if applyErr != nil {
+				res.Applied, res.Reason = false, applyErr.Error()
+			} else {
+				res.Applied = true
+			}
+		}
+		s.crossIn[key] = &res
+		s.emit(r, CrossContractAddr, "CrossResolved", &res)
+		return nil
+
+	case "resolve":
+		cfg, err := s.memberConfig()
+		if err != nil {
+			return err
+		}
+		var a CrossResolveArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		res := a.Resolution
+		if res.SourceShard != cfg.ShardID {
+			return fmt.Errorf("%w: resolution for source %q, this is %q", ErrBadArgs, res.SourceShard, cfg.ShardID)
+		}
+		prep, ok := s.crossOut[res.ID]
+		if !ok {
+			return fmt.Errorf("%w: transfer %q", ErrNotFound, res.ID)
+		}
+		if prep.Status != CrossPending {
+			return fmt.Errorf("%w: transfer %q already %s", ErrCrossReplay, res.ID, prep.Status)
+		}
+		if res.DestShard != prep.Record.DestShard || res.Kind != prep.Record.Kind {
+			return fmt.Errorf("%w: resolution disagrees with prepare record", ErrBadArgs)
+		}
+		if err := s.verifyCrossLeaf(res.DestShard, res.DestHeight, res.Leaf(), a.Proof); err != nil {
+			return err
+		}
+		if err := s.settlePrepare(prep, &res, height); err != nil {
+			return err
+		}
+		s.emit(r, CrossContractAddr, "CrossSettled", prep)
+		return nil
+
+	default:
+		return fmt.Errorf("%w: cross/%q", ErrUnknownMethod, tx.Method)
+	}
+}
+
+// crossConfig returns the chain's shard config or a typed error.
+func (s *State) crossConfig() (*CrossShardConfig, error) {
+	if s.crossCfg == nil {
+		return nil, fmt.Errorf("%w: cross-shard config (run cross/init first)", ErrNotFound)
+	}
+	return s.crossCfg, nil
+}
+
+// memberConfig is crossConfig restricted to member shards: the
+// coordination chain carries no application state, so transfers never
+// originate or land there.
+func (s *State) memberConfig() (*CrossShardConfig, error) {
+	cfg, err := s.crossConfig()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ShardID == CoordShardID {
+		return nil, fmt.Errorf("%w: coordination chain carries no transfers", ErrBadArgs)
+	}
+	return cfg, nil
+}
+
+// verifyCrossLeaf checks a Merkle inclusion proof of leaf against the
+// anchored root of (shard, height), returning typed errors. The
+// unsafe-skip knob exists for mutation testing only: the sharded sim's
+// shadow verifier must catch a chain that stops checking proofs.
+func (s *State) verifyCrossLeaf(shard string, height uint64, leaf []byte, proof *merkle.Proof) error {
+	anchored, ok := s.shardRoots[rootKey(shard, height)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrCrossUnanchored, rootKey(shard, height))
+	}
+	if s.unsafeSkipCrossProof {
+		return nil
+	}
+	if !merkle.Verify(anchored.Root, leaf, proof) {
+		return fmt.Errorf("%w: leaf not under root %s", ErrCrossProof, rootKey(shard, height))
+	}
+	return nil
+}
+
+// validatePrepare runs kind-specific source-side checks and returns the
+// canonical record payload.
+func (s *State) validatePrepare(tx *ledger.Transaction, a *CrossPrepareArgs) (json.RawMessage, error) {
+	switch a.Kind {
+	case CrossConsent:
+		var g GrantArgs
+		if err := decodeArgs(a.Payload, &g); err != nil {
+			return nil, err
+		}
+		if g.Resource == "" {
+			return nil, fmt.Errorf("%w: consent needs a resource", ErrBadArgs)
+		}
+		for _, act := range g.Actions {
+			if !ValidAction(act) {
+				return nil, fmt.Errorf("%w: action %q", ErrBadArgs, act)
+			}
+		}
+		payload, _ := json.Marshal(&g)
+		return payload, nil
+
+	case CrossTransfer:
+		var p CrossTransferPayload
+		if err := decodeArgs(a.Payload, &p); err != nil {
+			return nil, err
+		}
+		ds, ok := s.datasets[p.Dataset]
+		if !ok {
+			return nil, fmt.Errorf("%w: dataset %q", ErrNotFound, p.Dataset)
+		}
+		if tx.From != ds.Owner {
+			return nil, fmt.Errorf("%w: only the owner transfers %q", ErrNotOwner, p.Dataset)
+		}
+		if ds.Frozen {
+			return nil, fmt.Errorf("%w: dataset %q already in transfer", ErrExists, p.Dataset)
+		}
+		if ds.MovedTo != "" {
+			return nil, fmt.Errorf("%w: dataset %q moved to %q", ErrNotFound, p.Dataset, ds.MovedTo)
+		}
+		// Freeze: no updates while the transfer is in flight, so the
+		// destination registers exactly the anchored version and a
+		// partial application is never visible.
+		ds.Frozen = true
+		canonical := CrossTransferPayload{
+			Dataset: ds.ID, Digest: ds.Digest, Schema: ds.Schema,
+			Records: ds.Records, SiteID: ds.SiteID, Version: ds.Version,
+		}
+		payload, _ := json.Marshal(&canonical)
+		return payload, nil
+
+	case CrossFLRound:
+		var p CrossFLPayload
+		if err := decodeArgs(a.Payload, &p); err != nil {
+			return nil, err
+		}
+		if p.Round == "" || len(p.Weights) == 0 || len(p.Weights) > maxFLWeights || p.Samples < 1 {
+			return nil, fmt.Errorf("%w: fl payload needs round, 1..%d weights, samples >= 1", ErrBadArgs, maxFLWeights)
+		}
+		payload, _ := json.Marshal(&p)
+		return payload, nil
+	}
+	return nil, fmt.Errorf("%w: kind %q", ErrBadArgs, a.Kind)
+}
+
+// applyCrossEffect applies the destination-side effect of a proven
+// record and returns the affected resource name. An error here is an
+// application-level refusal (recorded as a negative resolution), not a
+// protocol failure.
+func (s *State) applyCrossEffect(rec *CrossRecord, now int64) (string, error) {
+	switch rec.Kind {
+	case CrossConsent:
+		var g GrantArgs
+		if err := decodeArgs(rec.Payload, &g); err != nil {
+			return "", err
+		}
+		p, ok := s.policies[g.Resource]
+		if !ok {
+			return g.Resource, fmt.Errorf("%w: resource %q", ErrNotFound, g.Resource)
+		}
+		if d := p.Check(rec.From, ActionAdmin, "", now, false); !d.Allowed {
+			return g.Resource, fmt.Errorf("%w: %s cannot administer %q", ErrDenied, rec.From.Short(), g.Resource)
+		}
+		p.Grants = append(p.Grants, Grant{
+			Grantee: g.Grantee, Actions: append([]Action(nil), g.Actions...),
+			Purpose: g.Purpose, ExpiresAt: g.ExpiresAt, MaxUses: g.MaxUses,
+		})
+		return g.Resource, nil
+
+	case CrossTransfer:
+		var p CrossTransferPayload
+		if err := decodeArgs(rec.Payload, &p); err != nil {
+			return "", err
+		}
+		if _, dup := s.datasets[p.Dataset]; dup {
+			return p.Dataset, fmt.Errorf("%w: dataset %q", ErrExists, p.Dataset)
+		}
+		s.datasets[p.Dataset] = &Dataset{
+			ID: p.Dataset, Owner: rec.From, Digest: p.Digest, Schema: p.Schema,
+			Records: p.Records, SiteID: p.SiteID, RegisteredAt: now,
+			Version: p.Version, UpdatedAt: now,
+		}
+		s.policies[dataKey(p.Dataset)] = &Policy{Owner: rec.From}
+		return p.Dataset, nil
+
+	case CrossFLRound:
+		var p CrossFLPayload
+		if err := decodeArgs(rec.Payload, &p); err != nil {
+			return "", err
+		}
+		round := s.flRounds[p.Round]
+		if round == nil {
+			round = &FLRound{Round: p.Round}
+			s.flRounds[p.Round] = round
+		}
+		for _, c := range round.Contributions {
+			if c.Shard == rec.SourceShard {
+				return p.Round, fmt.Errorf("%w: shard %q already contributed to round %q", ErrExists, rec.SourceShard, p.Round)
+			}
+		}
+		round.Contributions = append(round.Contributions, FLContribution{
+			Shard: rec.SourceShard, From: rec.From,
+			Weights: append([]float64(nil), p.Weights...), Samples: p.Samples,
+		})
+		round.recomputeAggregate()
+		round.UpdatedAt = now
+		return p.Round, nil
+	}
+	return "", fmt.Errorf("%w: kind %q", ErrBadArgs, rec.Kind)
+}
+
+// recomputeAggregate rebuilds the sample-weighted mean over all
+// contributions in arrival order (chain order, hence deterministic).
+func (fl *FLRound) recomputeAggregate() {
+	fl.TotalSamples = 0
+	var width int
+	for _, c := range fl.Contributions {
+		if len(c.Weights) > width {
+			width = len(c.Weights)
+		}
+		fl.TotalSamples += c.Samples
+	}
+	agg := make([]float64, width)
+	if fl.TotalSamples > 0 {
+		for _, c := range fl.Contributions {
+			w := float64(c.Samples) / float64(fl.TotalSamples)
+			for i, v := range c.Weights {
+				agg[i] += w * v
+			}
+		}
+	}
+	fl.Aggregate = agg
+}
+
+// resourceOf names the object a record affects (dataset ID, policy
+// resource, or FL round) without touching state.
+func resourceOf(rec *CrossRecord) string {
+	switch rec.Kind {
+	case CrossConsent:
+		var g GrantArgs
+		if json.Unmarshal(rec.Payload, &g) == nil {
+			return g.Resource
+		}
+	case CrossTransfer:
+		var p CrossTransferPayload
+		if json.Unmarshal(rec.Payload, &p) == nil {
+			return p.Dataset
+		}
+	case CrossFLRound:
+		var p CrossFLPayload
+		if json.Unmarshal(rec.Payload, &p) == nil {
+			return p.Round
+		}
+	}
+	return ""
+}
+
+// settlePrepare mirrors the destination's resolution onto the source
+// prepare: commit tombstones a transferred dataset, abort thaws it.
+func (s *State) settlePrepare(prep *CrossPrepare, res *CrossResolution, height uint64) error {
+	if prep.Record.Kind == CrossTransfer {
+		var p CrossTransferPayload
+		if err := decodeArgs(prep.Record.Payload, &p); err != nil {
+			return err
+		}
+		if res.Resource != p.Dataset {
+			// The declared access set was derived from res.Resource; a
+			// resolution naming a different resource than the prepare
+			// would touch undeclared state, so it is rejected before any
+			// dataset access.
+			return fmt.Errorf("%w: resolution resource %q, prepared dataset %q", ErrBadArgs, res.Resource, p.Dataset)
+		}
+		if ds, ok := s.datasets[p.Dataset]; ok {
+			ds.Frozen = false
+			if res.Applied {
+				// Tombstone, not delete: the registry keeps an auditable
+				// forwarding record, and parallel-execution merge
+				// semantics (which adopt written objects, never remove
+				// them) stay sound.
+				ds.MovedTo = prep.Record.DestShard
+			}
+		}
+	}
+	if res.Applied {
+		prep.Status = CrossCommitted
+	} else {
+		prep.Status = CrossAborted
+		prep.Reason = res.Reason
+	}
+	prep.ResolvedAt = height
+	return nil
+}
+
+// SetUnsafeSkipCrossProofVerify disables Merkle proof verification on
+// cross-shard apply/expire/resolve. FOR MUTATION TESTING ONLY: the
+// sharded sim re-verifies every resolution's proof independently, and
+// this knob is how the suite proves that check catches a chain that
+// skips verification.
+func (s *State) SetUnsafeSkipCrossProofVerify(skip bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unsafeSkipCrossProof = skip
+}
+
+// --- read API ---
+
+// CrossConfig returns the chain's shard config, if initialized.
+func (s *State) CrossConfig() (CrossShardConfig, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.crossCfg == nil {
+		return CrossShardConfig{}, false
+	}
+	return *s.crossCfg, true
+}
+
+// ShardDirectory returns the registered shards, sorted by ID.
+func (s *State) ShardDirectory() []ShardInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ShardInfo, 0, len(s.shardDir))
+	forSortedKeys(s.shardDir, func(_ string, info *ShardInfo) {
+		out = append(out, *info)
+	})
+	return out
+}
+
+// ShardRootAt returns the anchored root of (shard, height).
+func (s *State) ShardRootAt(shard string, height uint64) (ShardRoot, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	root, ok := s.shardRoots[rootKey(shard, height)]
+	if !ok {
+		return ShardRoot{}, false
+	}
+	return *root, true
+}
+
+// CrossOutbound returns the source-side state of one transfer.
+func (s *State) CrossOutbound(id string) (CrossPrepare, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	prep, ok := s.crossOut[id]
+	if !ok {
+		return CrossPrepare{}, false
+	}
+	return *prep, true
+}
+
+// CrossOutboundAll returns every source-side transfer, sorted by ID.
+func (s *State) CrossOutboundAll() []CrossPrepare {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]CrossPrepare, 0, len(s.crossOut))
+	forSortedKeys(s.crossOut, func(_ string, prep *CrossPrepare) {
+		out = append(out, *prep)
+	})
+	return out
+}
+
+// CrossInbound returns the destination-side resolution of one transfer.
+func (s *State) CrossInbound(sourceShard, id string) (CrossResolution, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res, ok := s.crossIn[crossInKey(sourceShard, id)]
+	if !ok {
+		return CrossResolution{}, false
+	}
+	return *res, true
+}
+
+// CrossInboundAll returns every destination-side resolution, sorted by
+// source-shard/ID key.
+func (s *State) CrossInboundAll() []CrossResolution {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]CrossResolution, 0, len(s.crossIn))
+	forSortedKeys(s.crossIn, func(_ string, res *CrossResolution) {
+		out = append(out, *res)
+	})
+	return out
+}
+
+// FLRoundOf returns a federated round's aggregation state.
+func (s *State) FLRoundOf(round string) (FLRound, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fl, ok := s.flRounds[round]
+	if !ok {
+		return FLRound{}, false
+	}
+	return *copyFLRound(fl), true
+}
+
+func copyFLRound(fl *FLRound) *FLRound {
+	cp := *fl
+	cp.Contributions = make([]FLContribution, len(fl.Contributions))
+	for i, c := range fl.Contributions {
+		c.Weights = append([]float64(nil), c.Weights...)
+		cp.Contributions[i] = c
+	}
+	cp.Aggregate = append([]float64(nil), fl.Aggregate...)
+	return &cp
+}
+
+func copyCrossPrepare(p *CrossPrepare) *CrossPrepare {
+	cp := *p
+	cp.Record.Payload = append(json.RawMessage(nil), p.Record.Payload...)
+	return &cp
+}
+
+// floatsString renders a float slice deterministically for the state
+// root.
+func floatsString(v []float64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestE16Sharding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cluster sweep")
+	}
+	cfg := E16Config{
+		ShardCounts:    []int{1, 2, 4},
+		NodesPerShard:  3,
+		Rounds:         2,
+		TxsPerShard:    4,
+		CrossTransfers: 8,
+		ContainRounds:  10,
+		Seed:           7,
+	}
+	scale, err := E16Scaling(cfg)
+	if err != nil {
+		t.Fatalf("scaling: %v", err)
+	}
+	cross, err := E16Cross(cfg)
+	if err != nil {
+		t.Fatalf("cross: %v", err)
+	}
+	contain, err := E16Containment(cfg)
+	if err != nil {
+		t.Fatalf("containment: %v (violations %v)", err, contain.Violations)
+	}
+	if err := E16Verify(cfg, scale, cross, contain); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	t.Logf("\n%s\n%s\n%s", TableE16Scale(scale), TableE16Cross(cross), TableE16Contain(contain))
+}

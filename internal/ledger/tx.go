@@ -31,12 +31,17 @@ const (
 	// TxAudit records consensus accountability data (equivocation
 	// evidence) on chain, where the trusted FDA/audit node can read it.
 	TxAudit TxType = "audit"
+	// TxCross carries the cross-shard protocol: shard registration and
+	// root anchoring on the coordination chain, and the two-phase
+	// prepare / apply / expire / resolve receipt relay on member shards
+	// (see internal/contract/xshard.go and internal/shard).
+	TxCross TxType = "cross"
 )
 
 // ValidTxType reports whether t is a known transaction type.
 func ValidTxType(t TxType) bool {
 	switch t {
-	case TxDeploy, TxInvoke, TxAnchor, TxData, TxAnalytics, TxTrial, TxAudit:
+	case TxDeploy, TxInvoke, TxAnchor, TxData, TxAnalytics, TxTrial, TxAudit, TxCross:
 		return true
 	}
 	return false

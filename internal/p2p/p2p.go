@@ -343,6 +343,19 @@ func (n *Network) send(msg Message) error {
 		delay += n.nodeDelay[msg.From] + n.nodeDelay[ep.id]
 		deliveries = append(deliveries, delivery{ep: ep, delay: delay})
 	}
+	// Register delayed deliveries on the timer group while still holding
+	// n.mu: Close sets closed under the same lock before it calls
+	// timers.Wait(), so every Add strictly precedes a Wait that could
+	// observe it — Add after unlocking would race the Wait (the
+	// WaitGroup misuse multi-cluster teardown with traffic in flight
+	// hits).
+	delayed := 0
+	for _, d := range deliveries {
+		if d.delay > 0 {
+			delayed++
+		}
+	}
+	n.timers.Add(delayed)
 	n.mu.Unlock()
 
 	for _, d := range deliveries {
@@ -351,7 +364,6 @@ func (n *Network) send(msg Message) error {
 			continue
 		}
 		ep := d.ep
-		n.timers.Add(1)
 		time.AfterFunc(d.delay, func() {
 			defer n.timers.Done()
 			n.deliver(ep, msg)

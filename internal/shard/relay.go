@@ -1,0 +1,346 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"medchain/internal/chain"
+	"medchain/internal/contract"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+	"medchain/internal/merkle"
+)
+
+// This file is the gateway/relay pump — the off-chain half of the
+// cross-shard protocol. Each member shard's gateway anchors a Merkle
+// root over every block's cross-record leaves on the coordination
+// chain; the coordinator validates inclusion proofs against those
+// anchored roots and relays them (plus the proof-carrying 2PC
+// transactions) to the counterpart shard. The pump is state-driven and
+// idempotent: every round re-derives what is missing from the chains
+// themselves, so crashes, lost transactions, and chaos interleavings
+// are retried for free.
+
+// topics the relay decodes from cross-contract receipts.
+const (
+	topicCrossPrepared = "CrossPrepared"
+	topicCrossResolved = "CrossResolved"
+)
+
+// scanShard extends the leaf cache of member shard i with newly
+// committed blocks: for every block, the canonical leaves (prepare
+// records and resolutions, in transaction order) whose inclusion
+// proofs the protocol later needs.
+func (s *System) scanShard(i int) {
+	c := s.shards[i]
+	id := s.shardIDs[i]
+	n := BestNode(c)
+	if n == nil {
+		return
+	}
+	top := n.Height()
+	for h := s.scanned[id] + 1; h <= top; h++ {
+		blk, err := n.Chain().BlockAt(h)
+		if err != nil {
+			// Gap (pruned or mid-sync): stop here, retry next round.
+			return
+		}
+		var leaves [][]byte
+		for _, tx := range blk.Txs {
+			if tx.Type != ledger.TxCross {
+				continue
+			}
+			r, ok := n.Receipt(tx.ID())
+			if !ok || !r.OK() {
+				continue
+			}
+			for _, ev := range r.Events {
+				switch ev.Topic {
+				case topicCrossPrepared:
+					var rec contract.CrossRecord
+					if json.Unmarshal(ev.Data, &rec) == nil {
+						leaves = append(leaves, rec.Leaf())
+					}
+				case topicCrossResolved:
+					var res contract.CrossResolution
+					if json.Unmarshal(ev.Data, &res) == nil {
+						leaves = append(leaves, res.Leaf())
+					}
+				}
+			}
+		}
+		if len(leaves) > 0 {
+			if s.leaves[id] == nil {
+				s.leaves[id] = make(map[uint64][][]byte)
+			}
+			s.leaves[id][h] = leaves
+		}
+		s.scanned[id] = h
+	}
+}
+
+// proveLeaf builds the inclusion proof of leaf in shard's block at
+// height from the leaf cache.
+func (s *System) proveLeaf(shardID string, height uint64, leaf []byte) (*merkle.Proof, cryptoutil.Digest, bool) {
+	leaves := s.leaves[shardID][height]
+	idx := -1
+	for i, l := range leaves {
+		if bytes.Equal(l, leaf) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, cryptoutil.ZeroDigest, false
+	}
+	tree := merkle.New(leaves)
+	proof, err := tree.Prove(idx)
+	if err != nil {
+		return nil, cryptoutil.ZeroDigest, false
+	}
+	return proof, tree.Root(), true
+}
+
+// shardIndex maps a shard ID back to its cluster index (-1 if unknown).
+func (s *System) shardIndex(id string) int {
+	for i, sid := range s.shardIDs {
+		if sid == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// PumpRound advances every in-flight cross-shard transfer by one
+// protocol stage: scan shard blocks, gateway-anchor new roots on the
+// coordination chain, relay anchored roots to counterpart shards, and
+// submit proof-carrying apply / expire / resolve transactions. It
+// returns whether any transaction was submitted. Errors are soft — a
+// chain that cannot commit this round (faults, partitions) is simply
+// retried on the next call.
+func (s *System) PumpRound() bool {
+	for i := range s.shards {
+		s.scanShard(i)
+	}
+	progress := false
+	submitted := make(map[*chain.Cluster]bool)
+	sentAnchor := make(map[string]bool) // chainID+shard/height within this round
+
+	// Stage 1: gateways anchor unanchored block roots on the
+	// coordination chain.
+	coordNode := BestNode(s.coord)
+	if coordNode != nil {
+		coordState := coordNode.State()
+		for i, id := range s.shardIDs {
+			heights := make([]uint64, 0, len(s.leaves[id]))
+			for h := range s.leaves[id] {
+				heights = append(heights, h)
+			}
+			sort.Slice(heights, func(a, b int) bool { return heights[a] < heights[b] })
+			for _, h := range heights {
+				if _, ok := coordState.ShardRootAt(id, h); ok {
+					continue
+				}
+				root := merkle.RootOf(s.leaves[id][h])
+				args := contract.AnchorRootArgs{Shard: id, Height: h, Root: root}
+				if err := s.submitCross(s.coord, s.gateways[i], "anchor_root", args); err == nil {
+					progress = true
+					submitted[s.coord] = true
+				}
+			}
+		}
+		if submitted[s.coord] {
+			_, _ = s.coord.CommitAll()
+		}
+	}
+
+	// Stage 2: drive every pending transfer through relay → apply/expire
+	// → resolve, strictly state-driven.
+	for i := range s.shards {
+		srcCluster := s.shards[i]
+		srcNode := BestNode(srcCluster)
+		if srcNode == nil {
+			continue
+		}
+		for _, prep := range srcNode.State().CrossOutboundAll() {
+			if prep.Status != contract.CrossPending {
+				continue
+			}
+			rec := prep.Record
+			di := s.shardIndex(rec.DestShard)
+			if di < 0 {
+				s.anomaly("transfer %s: unknown dest shard %q", rec.ID, rec.DestShard)
+				continue
+			}
+			destCluster := s.shards[di]
+			destNode := BestNode(destCluster)
+			if destNode == nil {
+				continue
+			}
+			if res, ok := destNode.State().CrossInbound(rec.SourceShard, rec.ID); ok {
+				// Destination decided: mirror the resolution back.
+				if s.relayRoot(rec.DestShard, res.DestHeight, srcCluster, srcNode, sentAnchor, submitted) {
+					progress = true
+					continue // resolve next round, once the root is committed
+				}
+				proof, root, ok := s.proveLeaf(rec.DestShard, res.DestHeight, res.Leaf())
+				if !ok || !s.relayVerify(rec.DestShard, res.DestHeight, root) {
+					s.anomaly("transfer %s: resolution proof unavailable or root mismatch", rec.ID)
+					continue
+				}
+				args := contract.CrossResolveArgs{Resolution: res, Proof: proof}
+				if err := s.submitCross(srcCluster, s.coordKey, "resolve", args); err == nil {
+					progress = true
+					submitted[srcCluster] = true
+				}
+				continue
+			}
+			// Destination undecided: relay the source root, then apply
+			// (or expire past the deadline).
+			if s.relayRoot(rec.SourceShard, rec.SourceHeight, destCluster, destNode, sentAnchor, submitted) {
+				progress = true
+				continue
+			}
+			proof, root, ok := s.proveLeaf(rec.SourceShard, rec.SourceHeight, rec.Leaf())
+			if !ok || !s.relayVerify(rec.SourceShard, rec.SourceHeight, root) {
+				s.anomaly("transfer %s: prepare proof unavailable or root mismatch", rec.ID)
+				continue
+			}
+			method := "apply"
+			if destNode.Height()+1 > rec.DestExpiry {
+				method = "expire"
+			}
+			args := contract.CrossApplyArgs{Record: rec, Proof: proof}
+			if err := s.submitCross(destCluster, s.coordKey, method, args); err == nil {
+				progress = true
+				submitted[destCluster] = true
+			}
+		}
+	}
+
+	for _, c := range s.shards {
+		if submitted[c] {
+			_, _ = c.CommitAll()
+		}
+	}
+	return progress
+}
+
+// relayRoot ensures target has shard's root at height: if it is already
+// in the target's state it returns false (nothing to wait for); if the
+// coordinator can relay it now it submits the anchor and returns true
+// (caller should retry the dependent step next round); if the root is
+// not even anchored on the coordination chain yet it returns true to
+// wait for the gateway.
+func (s *System) relayRoot(shardID string, height uint64, target *chain.Cluster, targetNode *chain.Node, sentAnchor map[string]bool, submitted map[*chain.Cluster]bool) bool {
+	if _, ok := targetNode.State().ShardRootAt(shardID, height); ok {
+		return false
+	}
+	coordNode := BestNode(s.coord)
+	if coordNode == nil {
+		return true
+	}
+	anchored, ok := coordNode.State().ShardRootAt(shardID, height)
+	if !ok {
+		return true // gateway has not anchored yet
+	}
+	key := target.Node(0).Chain().ChainID() + "|" + shardID + "|" + fmt.Sprint(height)
+	if sentAnchor[key] {
+		return true
+	}
+	sentAnchor[key] = true
+	args := contract.AnchorRootArgs{Shard: shardID, Height: height, Root: anchored.Root}
+	if err := s.submitCross(target, s.coordKey, "anchor_root", args); err == nil {
+		submitted[target] = true
+	}
+	return true
+}
+
+// relayVerify is the coordinator's own proof-path check: the root the
+// relay computed from scanned leaves must equal the root anchored on
+// the coordination chain. A mismatch means a gateway anchored something
+// the blocks do not support — the relay refuses to build proofs on it.
+func (s *System) relayVerify(shardID string, height uint64, computed cryptoutil.Digest) bool {
+	coordNode := BestNode(s.coord)
+	if coordNode == nil {
+		return false
+	}
+	anchored, ok := coordNode.State().ShardRootAt(shardID, height)
+	if !ok {
+		return false
+	}
+	return anchored.Root == computed
+}
+
+// PendingTransfers counts transfers still awaiting settlement across
+// all member shards (read from the best node of each).
+func (s *System) PendingTransfers() int {
+	pending := 0
+	for _, c := range s.shards {
+		n := BestNode(c)
+		if n == nil {
+			continue
+		}
+		for _, prep := range n.State().CrossOutboundAll() {
+			if prep.Status == contract.CrossPending {
+				pending++
+			}
+		}
+	}
+	return pending
+}
+
+// Pump runs PumpRound until every transfer settles or a round makes no
+// progress, bounded by maxRounds. It returns the number of rounds run.
+func (s *System) Pump(maxRounds int) int {
+	rounds := 0
+	for rounds < maxRounds {
+		progress := s.PumpRound()
+		rounds++
+		if s.PendingTransfers() == 0 {
+			break
+		}
+		if !progress {
+			break
+		}
+	}
+	return rounds
+}
+
+// SubmitPrepare signs and submits a cross-shard prepare on source shard
+// src. A zero DestExpiry is defaulted to the destination chain's
+// current height plus the configured deadline window.
+func (s *System) SubmitPrepare(src int, key *cryptoutil.KeyPair, args contract.CrossPrepareArgs) error {
+	if args.DestExpiry == 0 {
+		di := s.shardIndex(args.DestShard)
+		if di < 0 {
+			return fmt.Errorf("shard: unknown dest shard %q", args.DestShard)
+		}
+		if n := BestNode(s.shards[di]); n != nil {
+			args.DestExpiry = n.Height() + s.cfg.DestExpiryBlocks
+		} else {
+			args.DestExpiry = s.cfg.DestExpiryBlocks
+		}
+	}
+	return s.submitCross(s.shards[src], key, "prepare", args)
+}
+
+// SubmitSigned fills a transaction's nonce and timestamp from the
+// cluster's best node, signs it, and gossips it — the helper workload
+// drivers use so relay and client traffic share one nonce view.
+func SubmitSigned(c *chain.Cluster, key *cryptoutil.KeyPair, tx *ledger.Transaction) error {
+	n := BestNode(c)
+	if n == nil {
+		return chain.ErrStopped
+	}
+	tx.Nonce = n.PendingNonce(key.Address())
+	if tx.Timestamp == 0 {
+		tx.Timestamp = tsFor(n)
+	}
+	if err := tx.Sign(key); err != nil {
+		return err
+	}
+	return c.Submit(tx)
+}

@@ -1,0 +1,24 @@
+package shard
+
+import (
+	"encoding/binary"
+
+	"medchain/internal/cryptoutil"
+)
+
+// ShardOf deterministically assigns a routing key (patient ID, dataset
+// ID, site name) to one of n shards by stable hashing. Every
+// participant — clients, gateways, the coordinator — derives the same
+// assignment from the key alone; the authoritative shard list itself
+// (IDs and gateway addresses) is the routing table committed on the
+// coordination chain via cross/"register_shard".
+//
+// The digest is domain-separated so shard routing can never collide
+// with other uses of the hash.
+func ShardOf(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	d := cryptoutil.SumAll([]byte("medchain/shard-route"), []byte(key))
+	return int(binary.BigEndian.Uint64(d[:8]) % uint64(n))
+}

@@ -1,0 +1,318 @@
+// Package shard implements the sharded multi-chain scale-out of the
+// paper's Fig. 2/5 architecture: N independent member shards — each a
+// full chain.Cluster with its own consensus, execution engine, mempool
+// and durability — stitched together by a coordination chain that
+// holds the routing table, anchors per-shard block roots, and mediates
+// cross-shard transactions through the receipt relay implemented by
+// internal/contract's cross-shard contract (xshard.go).
+//
+// The System is the deployment: it bootstraps every chain's shard
+// identity, registers the shards on the coordination chain, and runs
+// the gateway/relay pump (relay.go) that moves anchored roots and
+// proof-carrying 2PC transactions between chains. The pump is
+// explicitly driven (PumpRound/Pump) rather than a background
+// goroutine, so deterministic simulation can interleave it with faults.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"medchain/internal/chain"
+	"medchain/internal/contract"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/guard"
+	"medchain/internal/ledger"
+	"medchain/internal/p2p"
+	"medchain/internal/parexec"
+)
+
+// Config sizes a sharded deployment.
+type Config struct {
+	// Shards is the member shard count (≥ 1).
+	Shards int
+	// NodesPerShard sizes each member shard's cluster (default 4).
+	NodesPerShard int
+	// CoordNodes sizes the coordination chain's cluster (default 4).
+	CoordNodes int
+	// KeySeed namespaces all deterministic keys (default "shardsys").
+	KeySeed string
+	// Engine selects consensus for every chain (default quorum).
+	Engine chain.EngineKind
+	// Network is the link model applied to every chain's own network
+	// (each chain runs a fully separate p2p.Network — shards share no
+	// transport, which is what makes Byzantine containment structural).
+	Network p2p.Config
+	// MaxBlockTxs caps transactions per block on every chain.
+	MaxBlockTxs int
+	// CommitTimeout bounds one commit round on every chain.
+	CommitTimeout time.Duration
+	// ParallelWorkers / ExecMode configure each node's execution engine
+	// (0 workers = serial reference execution).
+	ParallelWorkers int
+	ExecMode        parexec.Mode
+	// DestExpiryBlocks is the destination-height deadline granted to a
+	// transfer at prepare time: dest height at submission + this
+	// (default 50). Small values force aborts — experiments use that.
+	DestExpiryBlocks uint64
+	// Guard overrides every chain's peer-guard tuning (nil = defaults);
+	// adversarial simulations shorten quarantine decay with it.
+	Guard *guard.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.NodesPerShard <= 0 {
+		c.NodesPerShard = 4
+	}
+	if c.CoordNodes <= 0 {
+		c.CoordNodes = 4
+	}
+	if c.KeySeed == "" {
+		c.KeySeed = "shardsys"
+	}
+	if c.Engine == "" {
+		c.Engine = chain.EngineQuorum
+	}
+	if c.DestExpiryBlocks == 0 {
+		c.DestExpiryBlocks = 50
+	}
+	return c
+}
+
+// System is a running sharded deployment: the coordination chain, the
+// member shards, and the gateway/relay machinery between them.
+type System struct {
+	cfg      Config
+	coord    *chain.Cluster
+	shards   []*chain.Cluster
+	shardIDs []string
+
+	// coordKey is the coordinator identity: it registers shards on the
+	// coordination chain and relays anchored roots (and 2PC
+	// transactions) onto member shards.
+	coordKey *cryptoutil.KeyPair
+	// gateways[i] is shard i's gateway identity, the only address the
+	// coordination chain accepts shard i's roots from.
+	gateways []*cryptoutil.KeyPair
+
+	// leaves caches each member shard's per-block cross-record leaves
+	// (in block order), rebuilt by scanning committed blocks; proofs are
+	// generated from it. scanned tracks the highest scanned height.
+	leaves  map[string]map[uint64][][]byte
+	scanned map[string]uint64
+
+	// anomalies records relay-side protocol surprises (a proof that
+	// failed pre-verification, an anchored root the relay disagrees
+	// with) — the sharded sim checker treats them as invariant input.
+	anomalies []string
+}
+
+// NewSystem boots a sharded deployment: one coordination cluster, N
+// member shard clusters, shard identities initialized on every chain,
+// and the routing table committed on the coordination chain.
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	s := &System{
+		cfg:     cfg,
+		leaves:  make(map[string]map[uint64][][]byte),
+		scanned: make(map[string]uint64),
+	}
+	var err error
+	if s.coordKey, err = cryptoutil.DeriveKeyPair(cfg.KeySeed + "/coordinator"); err != nil {
+		return nil, err
+	}
+	s.coord, err = chain.NewCluster(chain.ClusterConfig{
+		Nodes: cfg.CoordNodes, ChainID: "coord", Engine: cfg.Engine,
+		Network: cfg.Network, MaxBlockTxs: cfg.MaxBlockTxs,
+		CommitTimeout: cfg.CommitTimeout, KeySeed: cfg.KeySeed + "/coord",
+		ParallelWorkers: cfg.ParallelWorkers, ExecMode: cfg.ExecMode,
+		Guard: cfg.Guard,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard: coordination chain: %w", err)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		id := ShardID(i)
+		gw, err := cryptoutil.DeriveKeyPair(fmt.Sprintf("%s/gateway-%d", cfg.KeySeed, i))
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		c, err := chain.NewCluster(chain.ClusterConfig{
+			Nodes: cfg.NodesPerShard, ChainID: id, Engine: cfg.Engine,
+			Network: cfg.Network, MaxBlockTxs: cfg.MaxBlockTxs,
+			CommitTimeout: cfg.CommitTimeout, KeySeed: fmt.Sprintf("%s/%s", cfg.KeySeed, id),
+			ParallelWorkers: cfg.ParallelWorkers, ExecMode: cfg.ExecMode,
+			Guard: cfg.Guard,
+		})
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("shard: %s: %w", id, err)
+		}
+		s.shards = append(s.shards, c)
+		s.shardIDs = append(s.shardIDs, id)
+		s.gateways = append(s.gateways, gw)
+	}
+	if err := s.bootstrap(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// bootstrap runs the genesis ceremony: cross/init on every chain (the
+// coordination chain as CoordShardID, each shard under its own ID) and
+// the routing table (register_shard per shard) on the coordination
+// chain.
+func (s *System) bootstrap() error {
+	coordAddr := s.coordKey.Address()
+	init := contract.InitCrossArgs{
+		ShardID: contract.CoordShardID, Shards: s.cfg.Shards, Coordinator: coordAddr,
+	}
+	if err := s.submitCross(s.coord, s.coordKey, "init", init); err != nil {
+		return fmt.Errorf("shard: init coord: %w", err)
+	}
+	for i, c := range s.shards {
+		init.ShardID = s.shardIDs[i]
+		if err := s.submitCross(c, s.coordKey, "init", init); err != nil {
+			return fmt.Errorf("shard: init %s: %w", s.shardIDs[i], err)
+		}
+	}
+	for i := range s.shards {
+		reg := contract.RegisterShardArgs{ID: s.shardIDs[i], Gateway: s.gateways[i].Address()}
+		if err := s.submitCross(s.coord, s.coordKey, "register_shard", reg); err != nil {
+			return fmt.Errorf("shard: register %s: %w", s.shardIDs[i], err)
+		}
+	}
+	if _, err := s.coord.CommitAll(); err != nil {
+		return fmt.Errorf("shard: commit coord bootstrap: %w", err)
+	}
+	for i, c := range s.shards {
+		if _, err := c.CommitAll(); err != nil {
+			return fmt.Errorf("shard: commit %s bootstrap: %w", s.shardIDs[i], err)
+		}
+	}
+	return nil
+}
+
+// ShardID names member shard i.
+func ShardID(i int) string { return fmt.Sprintf("shard-%d", i) }
+
+// Coord returns the coordination chain's cluster.
+func (s *System) Coord() *chain.Cluster { return s.coord }
+
+// Shard returns member shard i's cluster.
+func (s *System) Shard(i int) *chain.Cluster { return s.shards[i] }
+
+// Shards returns the member shard count.
+func (s *System) Shards() int { return len(s.shards) }
+
+// ShardIDs returns the member shard IDs in index order.
+func (s *System) ShardIDs() []string { return append([]string(nil), s.shardIDs...) }
+
+// Config returns the deployment configuration (with defaults applied).
+func (s *System) Config() Config { return s.cfg }
+
+// CoordinatorAddress returns the coordinator identity's address.
+func (s *System) CoordinatorAddress() cryptoutil.Address { return s.coordKey.Address() }
+
+// GatewayAddress returns shard i's gateway address.
+func (s *System) GatewayAddress(i int) cryptoutil.Address { return s.gateways[i].Address() }
+
+// ShardOf routes a key (patient ID, dataset ID, site name) to its home
+// shard by stable hashing — every router derives the same assignment
+// with no coordination.
+func (s *System) ShardOf(key string) int { return ShardOf(key, len(s.shards)) }
+
+// Cluster returns the cluster a routing key lives on.
+func (s *System) Cluster(key string) *chain.Cluster { return s.shards[s.ShardOf(key)] }
+
+// Anomalies returns relay-side protocol surprises recorded so far.
+func (s *System) Anomalies() []string { return append([]string(nil), s.anomalies...) }
+
+func (s *System) anomaly(format string, args ...any) {
+	s.anomalies = append(s.anomalies, fmt.Sprintf(format, args...))
+}
+
+// BestNode returns the running node with the highest chain on c, nil if
+// the whole cluster is down.
+func BestNode(c *chain.Cluster) *chain.Node {
+	var best *chain.Node
+	for _, n := range c.Nodes() {
+		if !n.Running() {
+			continue
+		}
+		if best == nil || n.Height() > best.Height() {
+			best = n
+		}
+	}
+	return best
+}
+
+// submitCross signs and gossips one cross-shard protocol transaction
+// into a cluster, with the nonce taken from the first running node's
+// pool-aware view.
+func (s *System) submitCross(c *chain.Cluster, key *cryptoutil.KeyPair, method string, args any) error {
+	n := BestNode(c)
+	if n == nil {
+		return chain.ErrStopped
+	}
+	payload, err := encodeArgs(args)
+	if err != nil {
+		return err
+	}
+	tx := &ledger.Transaction{
+		Type:      ledger.TxCross,
+		Nonce:     n.PendingNonce(key.Address()),
+		Contract:  contract.CrossContractAddr,
+		Method:    method,
+		Args:      payload,
+		Timestamp: tsFor(n),
+	}
+	if err := tx.Sign(key); err != nil {
+		return err
+	}
+	return c.Submit(tx)
+}
+
+// tsFor derives a deterministic per-chain timestamp from chain height,
+// so relay transactions are byte-identical across runs with the same
+// schedule (the same trick node.go's evidence reporting uses).
+func tsFor(n *chain.Node) int64 { return int64(n.Height()) + 1 }
+
+func encodeArgs(args any) ([]byte, error) {
+	b, err := json.Marshal(args)
+	if err != nil {
+		return nil, fmt.Errorf("shard: encode args: %w", err)
+	}
+	return b, nil
+}
+
+// Close shuts every chain down: all member shards, then the
+// coordination chain.
+func (s *System) Close() {
+	for _, c := range s.shards {
+		c.Close()
+	}
+	if s.coord != nil {
+		s.coord.Close()
+	}
+}
+
+// VerifyConsistency checks every chain's replicas agree (head hash +
+// state root).
+func (s *System) VerifyConsistency() error {
+	if err := s.coord.VerifyConsistency(); err != nil {
+		return fmt.Errorf("coord: %w", err)
+	}
+	for i, c := range s.shards {
+		if err := c.VerifyConsistency(); err != nil {
+			return fmt.Errorf("%s: %w", s.shardIDs[i], err)
+		}
+	}
+	return nil
+}

@@ -78,13 +78,38 @@ const AdversaryQuarantineBound = 12
 // is derived from it.
 const adversaryVoteWindow = 4
 
+// advSink is the minimal checker surface the adversary (and the other
+// pluggable drivers) reports through — both the flat harness's checker
+// and the sharded harness's per-shard checker implement it.
+type advSink interface {
+	violationf(format string, args ...any)
+	failed() bool
+	blockCount() int
+}
+
+// adversaryParams aim an adversary at one cluster — the flat harness
+// targets its only cluster, the sharded harness one member shard.
+type adversaryParams struct {
+	// KeySeed is the target cluster's key seed (node keys are derived as
+	// KeySeed+"/node-<i>"); Index is the victim node.
+	KeySeed string
+	Index   int
+	// Nodes is the cluster size; Rounds the run length (reporting only).
+	Nodes  int
+	Rounds int
+	// Seed feeds the behavior schedule; Strict marks a loss-free run.
+	Seed   int64
+	Strict bool
+	Config *AdversaryConfig
+}
+
 // adversary drives the Byzantine node: it owns the stolen key, a raw
 // network endpoint under the victim's peer ID, and the seeded behavior
 // schedule. It is omniscient by construction — it reads honest chain
 // state directly instead of maintaining a replica, which is the
 // strongest (worst-case) adversary the harness can model.
 type adversary struct {
-	cfg  Config
+	p    adversaryParams
 	acfg *AdversaryConfig
 	idx  int
 	id   p2p.NodeID
@@ -113,11 +138,25 @@ type expectedEvidence struct {
 	height uint64
 }
 
-// newAdversary stops the victim node and takes over its network
-// identity and validator key.
+// newAdversary arms the flat harness's adversary: the last cluster
+// node is the victim.
 func newAdversary(cfg Config, c *chain.Cluster) (*adversary, error) {
-	idx := cfg.Nodes - 1
-	key, err := cryptoutil.DeriveKeyPair(fmt.Sprintf("sim-%d/node-%d", cfg.Seed, idx))
+	return newAdversaryAt(c, adversaryParams{
+		KeySeed: fmt.Sprintf("sim-%d", cfg.Seed),
+		Index:   cfg.Nodes - 1,
+		Nodes:   cfg.Nodes,
+		Rounds:  cfg.Rounds,
+		Seed:    subSeed(cfg.Seed, "adversary"),
+		Strict:  cfg.NoFaults,
+		Config:  cfg.Adversary,
+	})
+}
+
+// newAdversaryAt stops the victim node of the target cluster and takes
+// over its network identity and validator key.
+func newAdversaryAt(c *chain.Cluster, p adversaryParams) (*adversary, error) {
+	idx := p.Index
+	key, err := cryptoutil.DeriveKeyPair(fmt.Sprintf("%s/node-%d", p.KeySeed, idx))
 	if err != nil {
 		return nil, err
 	}
@@ -130,14 +169,14 @@ func newAdversary(cfg Config, c *chain.Cluster) (*adversary, error) {
 		return nil, fmt.Errorf("sim: adversary join: %w", err)
 	}
 	a := &adversary{
-		cfg:                cfg,
-		acfg:               cfg.Adversary.withDefaults(),
+		p:                  p,
+		acfg:               p.Config.withDefaults(),
 		idx:                idx,
 		id:                 ep.ID(),
 		key:                key,
 		ep:                 ep,
-		rng:                rand.New(rand.NewSource(subSeed(cfg.Seed, "adversary"))),
-		strict:             cfg.NoFaults,
+		rng:                rand.New(rand.NewSource(p.Seed)),
+		strict:             p.Strict,
 		offensesByBehavior: make(map[Behavior]int),
 		expected:           make(map[string]expectedEvidence),
 		firstOffenseBlock:  -1,
@@ -183,7 +222,7 @@ func (a *adversary) refNode(c *chain.Cluster) *chain.Node {
 // advance runs one adversary round: police the honest-vs-honest
 // invariants, track quarantine latency, and — unless currently
 // quarantined — fire one seeded behavior.
-func (a *adversary) advance(ck *checker, c *chain.Cluster, round int) {
+func (a *adversary) advance(ck advSink, c *chain.Cluster, round int) {
 	a.checkHonest(ck, c)
 	if ck.failed() {
 		return
@@ -200,7 +239,7 @@ func (a *adversary) advance(ck *checker, c *chain.Cluster, round int) {
 		}
 	}
 	if a.firstOffenseBlock >= 0 && a.quarantineBlocks < 0 && quarantinedBy == len(running) {
-		a.quarantineBlocks = ck.blocks - a.firstOffenseBlock
+		a.quarantineBlocks = ck.blockCount() - a.firstOffenseBlock
 	}
 	if quarantinedBy > 0 {
 		// Muted somewhere: lay low until decay releases the quarantine
@@ -229,11 +268,11 @@ func (a *adversary) advance(ck *checker, c *chain.Cluster, round int) {
 }
 
 // noteOffense records that a scoreable offense was just emitted.
-func (a *adversary) noteOffense(ck *checker, b Behavior) {
+func (a *adversary) noteOffense(ck advSink, b Behavior) {
 	a.actions++
 	a.offensesByBehavior[b]++
 	if a.firstOffenseBlock < 0 {
-		a.firstOffenseBlock = ck.blocks
+		a.firstOffenseBlock = ck.blockCount()
 	}
 }
 
@@ -242,7 +281,7 @@ func (a *adversary) noteOffense(ck *checker, b Behavior) {
 // and, on strict runs, records the evidence every honest node now owes
 // the audit contract. Payload hashes derive from the height alone so a
 // repeat at an uncommitted height is idempotent.
-func (a *adversary) equivocate(ck *checker, ref *chain.Node) {
+func (a *adversary) equivocate(ck advSink, ref *chain.Node) {
 	head := ref.Chain().Head()
 	height := head.Header.Height + 1
 	if a.rng.Intn(2) == 0 {
@@ -304,7 +343,7 @@ func (a *adversary) expectEvidence(kind consensus.EvidenceKind, height uint64) {
 // from the stolen key across the whole ingress window (buffer
 // pressure; legal, so unscored). Forged hashes derive from (height,
 // voter) so re-sends never self-equivocate.
-func (a *adversary) forgeVotes(ck *checker, ref *chain.Node) {
+func (a *adversary) forgeVotes(ck advSink, ref *chain.Node) {
 	committed := ref.Height()
 	var sig cryptoutil.Signature
 	a.rng.Read(sig[:])
@@ -335,7 +374,7 @@ func (a *adversary) forgeVotes(ck *checker, ref *chain.Node) {
 // key schedule (the adversary knows the membership roster, as any
 // validator does).
 func (a *adversary) honestAddr(i int) cryptoutil.Address {
-	kp, err := cryptoutil.DeriveKeyPair(fmt.Sprintf("sim-%d/node-%d", a.cfg.Seed, a.honest[i]))
+	kp, err := cryptoutil.DeriveKeyPair(fmt.Sprintf("%s/node-%d", a.p.KeySeed, a.honest[i]))
 	if err != nil {
 		return cryptoutil.Address{}
 	}
@@ -343,7 +382,7 @@ func (a *adversary) honestAddr(i int) cryptoutil.Address {
 }
 
 // garbage broadcasts undecodable payloads on every wire topic.
-func (a *adversary) garbage(ck *checker) {
+func (a *adversary) garbage(ck advSink) {
 	junk := make([]byte, 16)
 	a.rng.Read(junk)
 	for _, topic := range []string{
@@ -357,7 +396,7 @@ func (a *adversary) garbage(ck *checker) {
 // syncFlood fires a request burst past the token bucket at every
 // running honest node — each one must score and eventually quarantine
 // the flooder on its own, so the burst cannot skip anyone.
-func (a *adversary) syncFlood(ck *checker, c *chain.Cluster, running []int) {
+func (a *adversary) syncFlood(ck advSink, c *chain.Cluster, running []int) {
 	for _, i := range running {
 		target := c.Node(i).ID()
 		for j := 0; j < 12; j++ {
@@ -370,10 +409,10 @@ func (a *adversary) syncFlood(ck *checker, c *chain.Cluster, running []int) {
 // checkHonest polices the honest-side invariants every round: no
 // honest node may quarantine another honest node, and every honest
 // node's consensus buffers stay bounded regardless of spam volume.
-func (a *adversary) checkHonest(ck *checker, c *chain.Cluster) {
+func (a *adversary) checkHonest(ck advSink, c *chain.Cluster) {
 	// votes + first-vote records + first-proposal records, per window
 	// height, per validator.
-	bound := adversaryVoteWindow * a.cfg.Nodes * 3
+	bound := adversaryVoteWindow * a.p.Nodes * 3
 	for _, i := range a.runningHonest(c) {
 		n := c.Node(i)
 		for _, j := range a.honest {
@@ -396,7 +435,7 @@ func (a *adversary) checkHonest(ck *checker, c *chain.Cluster) {
 // endpoint leaves the network and the honest node is restarted under
 // its old identity — it must re-sync and converge even though peers
 // still hold its ID in (decaying) quarantine.
-func (a *adversary) retire(ck *checker, c *chain.Cluster) {
+func (a *adversary) retire(ck advSink, c *chain.Cluster) {
 	if a.retired {
 		return
 	}
@@ -415,7 +454,7 @@ func (a *adversary) retire(ck *checker, c *chain.Cluster) {
 func (a *adversary) finish(ck *checker, c *chain.Cluster) {
 	a.checkHonest(ck, c)
 	if a.actions == 0 {
-		ck.violationf("adversary: no Byzantine action fired in %d rounds", a.cfg.Rounds)
+		ck.violationf("adversary: no Byzantine action fired in %d rounds", a.p.Rounds)
 		return
 	}
 	if a.strict {

@@ -90,6 +90,9 @@ func (ck *checker) violationf(format string, args ...any) {
 // stops fuzzing and reports as soon as this turns true.
 func (ck *checker) failed() bool { return len(ck.violations) > 0 }
 
+// blockCount reports committed blocks processed so far (advSink).
+func (ck *checker) blockCount() int { return ck.blocks }
+
 // checkBlock ingests one committed block (heights must arrive in
 // order) and runs every per-block invariant.
 func (ck *checker) checkBlock(c *chain.Cluster, blk *ledger.Block) {

@@ -324,6 +324,39 @@ func BenchmarkE16Sharding(b *testing.B) {
 	b.Log("\n" + experiments.TableE16Contain(contain))
 }
 
+func BenchmarkE17Elasticity(b *testing.B) {
+	var recov []experiments.E17RecoverRow
+	var reshard []experiments.E17ReshardRow
+	var failover []experiments.E17FailoverRow
+	cfg := experiments.E17Config{
+		ChainLengths:  []int{4, 8},
+		DatasetCounts: []int{8, 16},
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		var err error
+		recov, err = experiments.E17Recovery(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reshard, err = experiments.E17Reshard(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		failover, err = experiments.E17Failover(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.E17Verify(cfg, recov, reshard, failover); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.TableE17Recover(recov))
+	b.Log("\n" + experiments.TableE17Reshard(reshard))
+	b.Log("\n" + experiments.TableE17Failover(failover))
+}
+
 func BenchmarkA1Consensus(b *testing.B) {
 	var rows []experiments.A1Row
 	for i := 0; i < b.N; i++ {

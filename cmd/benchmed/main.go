@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (e1..e10,e12..e16,a1..a4), 'all', or 'sim'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1..e10,e12..e17,a1..a4), 'all', or 'sim'")
 	quick := flag.Bool("quick", false, "reduced sweep sizes for a fast pass")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	simRounds := flag.Int("sim.rounds", 2000, "fuzz/commit rounds for -run sim")
@@ -280,6 +280,31 @@ func main() {
 		fmt.Println(experiments.TableE16Contain(contain))
 		if err := experiments.E16Verify(cfg, scale, cross, contain); err != nil {
 			fail("e16", err)
+		}
+	}
+	if want("e17") {
+		cfg := experiments.E17Config{Seed: *seed}
+		if *quick {
+			cfg.ChainLengths = []int{4, 8}
+			cfg.DatasetCounts = []int{8, 16}
+		}
+		recov, err := experiments.E17Recovery(cfg)
+		if err != nil {
+			fail("e17", err)
+		}
+		reshard, err := experiments.E17Reshard(cfg)
+		if err != nil {
+			fail("e17", err)
+		}
+		failover, err := experiments.E17Failover(cfg)
+		if err != nil {
+			fail("e17", err)
+		}
+		fmt.Println(experiments.TableE17Recover(recov))
+		fmt.Println(experiments.TableE17Reshard(reshard))
+		fmt.Println(experiments.TableE17Failover(failover))
+		if err := experiments.E17Verify(cfg, recov, reshard, failover); err != nil {
+			fail("e17", err)
 		}
 	}
 	if want("a1") {

@@ -41,9 +41,17 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable storage root: each node keeps its WAL and snapshots under <data-dir>/node-i (empty = memory-only)")
 	syncEvery := flag.Int("sync-every", 1, "WAL group-commit batch: blocks per fsync (with -data-dir)")
 	snapshotEvery := flag.Int("snapshot-every", 2, "state snapshot cadence in blocks (with -data-dir; 0 = never)")
+	shards := flag.Int("shards", 0, "run a sharded deployment of N member shards plus a coordination chain (0 = single chain); with -data-dir each chain persists under <data-dir>/<chain-id>/node-i and the demo kills and recovers a whole shard")
+	committee := flag.Int("committee", 3, "gateway failover committee size per shard (with -shards)")
 	flag.Parse()
 
-	if err := run(*nodes, chain.EngineKind(*engine), uint8(*difficulty), *blocks, *txPerBlock, *dataDir, *syncEvery, *snapshotEvery); err != nil {
+	var err error
+	if *shards >= 2 {
+		err = runSharded(*shards, *nodes, *blocks, *dataDir, *committee)
+	} else {
+		err = run(*nodes, chain.EngineKind(*engine), uint8(*difficulty), *blocks, *txPerBlock, *dataDir, *syncEvery, *snapshotEvery)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "medchaind: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,144 @@
+// Sharded mode: -shards N boots N member shards plus the coordination
+// chain, routes dataset registrations by stable hashing, settles a
+// cross-shard HIE transfer through the receipt relay, and — with
+// -data-dir — persists every chain under its own subdirectory
+// (<data-dir>/shard-i/node-j, <data-dir>/coord/node-j), ending the demo
+// by power-cutting a whole shard mid-flight and recovering it from disk
+// bit-identical to the live quorum.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"medchain/internal/contract"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+	"medchain/internal/shard"
+)
+
+func runSharded(shards, nodes, blocks int, dataDir string, committee int) error {
+	cfg := shard.Config{
+		Shards:        shards,
+		NodesPerShard: nodes,
+		CoordNodes:    nodes,
+		KeySeed:       "medchaind-sharded",
+		DataDir:       dataDir,
+		CommitteeSize: committee,
+	}
+	if dataDir == "" {
+		cfg.DataDir = "" // memory-only unless asked
+	}
+	sys, err := shard.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	fmt.Printf("sharded deployment up: %d member shards x %d nodes + coordination chain, routing epoch %d\n",
+		sys.Shards(), nodes, sys.Epoch())
+	if dataDir != "" {
+		fmt.Printf("  durable: each chain under %s/<chain-id>/node-i, gateway committees of %d\n", dataDir, committee)
+	}
+
+	owner, err := cryptoutil.DeriveKeyPair("medchaind-sharded/owner")
+	if err != nil {
+		return err
+	}
+	var ids []string
+	for b := 0; b < blocks; b++ {
+		for s := 0; s < shards; s++ {
+			id := fmt.Sprintf("hospital/emr-%d-%d", b, s)
+			home := sys.ShardOf(id)
+			args, err := json.Marshal(contract.RegisterDatasetArgs{
+				ID: id, Schema: "fhir.r4", Records: 64, SiteID: shard.ShardID(home),
+			})
+			if err != nil {
+				return err
+			}
+			tx := &ledger.Transaction{Type: ledger.TxData, Method: "register_dataset", Args: args}
+			if err := shard.SubmitSigned(sys.Shard(home), owner, tx); err != nil {
+				return err
+			}
+			ids = append(ids, id)
+		}
+		for s := 0; s < shards; s++ {
+			if _, err := sys.Shard(s).Commit(); err != nil {
+				return err
+			}
+		}
+		sys.PumpRound()
+	}
+	fmt.Printf("registered %d datasets across %d shards (routed by stable hashing)\n", len(ids), shards)
+
+	// One cross-shard HIE transfer settled by the 2PC receipt relay.
+	ds := ids[0]
+	src := sys.ShardOf(ds)
+	dest := (src + 1) % shards
+	payload, _ := json.Marshal(contract.CrossTransferPayload{Dataset: ds})
+	if err := sys.SubmitPrepare(src, owner, contract.CrossPrepareArgs{
+		ID: "demo-xfer", Kind: contract.CrossTransfer,
+		DestShard: shard.ShardID(dest), Payload: payload,
+	}); err != nil {
+		return err
+	}
+	if _, err := sys.Shard(src).CommitAll(); err != nil {
+		return err
+	}
+	rounds := sys.Pump(12)
+	if n := sys.PendingTransfers(); n != 0 {
+		return fmt.Errorf("transfer still pending after %d relay rounds", rounds)
+	}
+	fmt.Printf("cross-shard transfer %s -> %s settled in %d relay rounds\n",
+		shard.ShardID(src), shard.ShardID(dest), rounds)
+
+	for i := 0; i < sys.Shards(); i++ {
+		if err := sys.Shard(i).VerifyConsistency(); err != nil {
+			return fmt.Errorf("%s inconsistent: %w", shard.ShardID(i), err)
+		}
+		if n := shard.BestNode(sys.Shard(i)); n != nil {
+			fmt.Printf("  %-8s height=%d\n", shard.ShardID(i), n.Height())
+		}
+	}
+	if n := shard.BestNode(sys.Coord()); n != nil {
+		fmt.Printf("  %-8s height=%d (anchored receipt roots)\n", "coord", n.Height())
+	}
+
+	if dataDir != "" {
+		return killAndRecoverShard(sys, dest)
+	}
+	return nil
+}
+
+// killAndRecoverShard is the sharded durability demo: power-cut every
+// node of one member shard at once, recover the whole shard from its
+// per-node stores, and prove the recovered chain bit-identical to its
+// pre-crash head.
+func killAndRecoverShard(sys *shard.System, victim int) error {
+	n := shard.BestNode(sys.Shard(victim))
+	if n == nil {
+		return fmt.Errorf("%s has no running node", shard.ShardID(victim))
+	}
+	head := n.Chain().Head()
+	wantHash, wantHeight := head.Hash(), head.Header.Height
+	fmt.Printf("\ndurability demo: power-cutting all of %s and recovering from disk\n", shard.ShardID(victim))
+	sys.StopShard(victim)
+	start := time.Now()
+	if err := sys.RecoverShard(victim); err != nil {
+		return fmt.Errorf("shard recovery: %w", err)
+	}
+	n = shard.BestNode(sys.Shard(victim))
+	got := n.Chain().Head()
+	if got.Hash() != wantHash || got.Header.Height != wantHeight {
+		return fmt.Errorf("recovered head %s@%d != pre-crash %s@%d",
+			got.Hash().Short(), got.Header.Height, wantHash.Short(), wantHeight)
+	}
+	for _, node := range sys.Shard(victim).Nodes() {
+		rec := node.LastRecovery()
+		fmt.Printf("  %-8s recovered height=%d (snapshot@%d, %d blocks replayed) in %s\n",
+			node.ID(), rec.Height, rec.SnapshotHeight, rec.ReplayedBlocks, rec.Elapsed.Round(time.Microsecond))
+	}
+	fmt.Printf("  whole-shard recovery in %s, head bit-identical at height %d ✔\n",
+		time.Since(start).Round(time.Microsecond), wantHeight)
+	return nil
+}

@@ -39,6 +39,7 @@ const (
 	kindCrossOut  // one outbound cross-shard prepare (by transfer ID)
 	kindCrossIn   // one inbound cross-shard resolution (by src/ID)
 	kindFLRound   // one federated-learning round aggregation
+	kindRouting   // the coordination chain's routing-epoch table (singleton)
 )
 
 func (k keyKind) String() string {
@@ -75,6 +76,8 @@ func (k keyKind) String() string {
 		return "xin"
 	case kindFLRound:
 		return "xfl"
+	case kindRouting:
+		return "xepoch"
 	}
 	return "?"
 }
@@ -94,7 +97,7 @@ func (k StateKey) String() string {
 	switch k.kind {
 	case kindVM:
 		return k.kind.String() + "/" + k.addr.String()
-	case kindSeq, kindRegistry, kindCrossCfg:
+	case kindSeq, kindRegistry, kindCrossCfg, kindRouting:
 		return k.kind.String()
 	default:
 		return k.kind.String() + "/" + k.id
@@ -136,6 +139,9 @@ var (
 	// KeyCrossConfig is the chain's one-time shard identity; every
 	// cross-shard method reads it and "init" writes it.
 	KeyCrossConfig = StateKey{kind: kindCrossCfg}
+	// KeyRouting is the coordination chain's routing-epoch table;
+	// begin_epoch / commit_epoch write it, routers read it off-chain.
+	KeyRouting = StateKey{kind: kindRouting}
 )
 
 // AccessSet is a transaction's declared state footprint.
@@ -318,8 +324,33 @@ func deriveCross(tx *ledger.Transaction, a *AccessSet) {
 			a.Unknown = true
 			return
 		}
-		a.read(KeyCrossConfig, KeyShardInfo(args.Shard))
-		a.write(KeyShardRoot(args.Shard, args.Height))
+		// On the coordination chain an accepted anchor renews the
+		// gateway's lease (LastAnchor), so the directory entry is a
+		// write, not just an authorization read.
+		a.read(KeyCrossConfig)
+		a.write(KeyShardRoot(args.Shard, args.Height), KeyShardInfo(args.Shard))
+	case "acquire_lease":
+		var args AcquireLeaseArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
+			return
+		}
+		a.read(KeyCrossConfig)
+		a.write(KeyShardInfo(args.Shard))
+	case "begin_epoch":
+		var args BeginEpochArgs
+		if json.Unmarshal(tx.Args, &args) != nil {
+			a.Unknown = true
+			return
+		}
+		a.read(KeyCrossConfig)
+		for _, id := range args.Shards {
+			a.read(KeyShardInfo(id))
+		}
+		a.write(KeyRouting)
+	case "commit_epoch":
+		a.read(KeyCrossConfig)
+		a.write(KeyRouting)
 	case "prepare":
 		var args CrossPrepareArgs
 		if json.Unmarshal(tx.Args, &args) != nil {

@@ -42,6 +42,9 @@ type StateExport struct {
 	CrossOut    []CrossPrepare    `json:"cross_out,omitempty"`
 	CrossIn     []CrossResolution `json:"cross_in,omitempty"`
 	FLRounds    []FLRound         `json:"fl_rounds,omitempty"`
+	// Routing is the coordination chain's routing-epoch table (nil
+	// until the first begin_epoch).
+	Routing *RoutingTable `json:"routing,omitempty"`
 	// RequestSeq is the access/run request counter.
 	RequestSeq uint64 `json:"request_seq"`
 }
@@ -100,8 +103,9 @@ func (s *State) Export() *StateExport {
 		cfg := *s.crossCfg
 		ex.CrossConfig = &cfg
 	}
+	ex.Routing = copyRoutingTable(s.routing)
 	forSortedKeys(s.shardDir, func(_ string, info *ShardInfo) {
-		ex.ShardDir = append(ex.ShardDir, *info)
+		ex.ShardDir = append(ex.ShardDir, *copyShardInfo(info))
 	})
 	forSortedKeys(s.shardRoots, func(_ string, root *ShardRoot) {
 		ex.ShardRoots = append(ex.ShardRoots, *root)
@@ -182,9 +186,9 @@ func ImportState(ex *StateExport) *State {
 		cfg := *ex.CrossConfig
 		s.crossCfg = &cfg
 	}
+	s.routing = copyRoutingTable(ex.Routing)
 	for i := range ex.ShardDir {
-		info := ex.ShardDir[i]
-		s.shardDir[info.ID] = &info
+		s.shardDir[ex.ShardDir[i].ID] = copyShardInfo(&ex.ShardDir[i])
 	}
 	for i := range ex.ShardRoots {
 		root := ex.ShardRoots[i]

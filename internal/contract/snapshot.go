@@ -91,6 +91,8 @@ func (s *State) shareInto(c *State, k StateKey) {
 		}
 	case kindCrossCfg:
 		c.crossCfg = s.crossCfg
+	case kindRouting:
+		c.routing = s.routing
 	case kindShardDir:
 		if info, ok := s.shardDir[k.id]; ok {
 			c.shardDir[k.id] = info
@@ -170,10 +172,11 @@ func (s *State) copyInto(c *State, k StateKey) {
 			cfg := *s.crossCfg
 			c.crossCfg = &cfg
 		}
+	case kindRouting:
+		c.routing = copyRoutingTable(s.routing)
 	case kindShardDir:
 		if info, ok := s.shardDir[k.id]; ok {
-			cp := *info
-			c.shardDir[k.id] = &cp
+			c.shardDir[k.id] = copyShardInfo(info)
 		}
 	case kindShardRoot:
 		if root, ok := s.shardRoots[k.id]; ok {
@@ -269,6 +272,10 @@ func (s *State) MergeSpeculative(from *State, acc AccessSet) {
 		case kindCrossCfg:
 			if from.crossCfg != nil {
 				s.crossCfg = from.crossCfg
+			}
+		case kindRouting:
+			if from.routing != nil {
+				s.routing = from.routing
 			}
 		case kindShardDir:
 			if info, ok := from.shardDir[k.id]; ok {

@@ -133,6 +133,9 @@ type State struct {
 	crossOut   map[string]*CrossPrepare
 	crossIn    map[string]*CrossResolution
 	flRounds   map[string]*FLRound
+	// routing is the coordination chain's routing-epoch table (see
+	// xshard.go begin_epoch / commit_epoch); nil until the first epoch.
+	routing *RoutingTable
 	// host provides HOST functions to VM executions; nil disables.
 	host map[string]vm.HostFunc
 	// requestSeq numbers access/run requests for event correlation.
@@ -235,9 +238,9 @@ func (s *State) Clone() *State {
 		c.crossCfg = &cfg
 	}
 	c.unsafeSkipCrossProof = s.unsafeSkipCrossProof
+	c.routing = copyRoutingTable(s.routing)
 	for id, info := range s.shardDir {
-		cp := *info
-		c.shardDir[id] = &cp
+		c.shardDir[id] = copyShardInfo(info)
 	}
 	for key, root := range s.shardRoots {
 		cp := *root
@@ -1093,8 +1096,22 @@ func (s *State) Root() cryptoutil.Digest {
 		add("xcfg", s.crossCfg.ShardID, fmt.Sprint(s.crossCfg.Shards), s.crossCfg.Coordinator.String())
 	}
 	forSortedKeys(s.shardDir, func(id string, info *ShardInfo) {
-		add("xdir", id, info.Gateway.String(), fmt.Sprint(info.At))
+		add("xdir", id, info.Gateway.String(), fmt.Sprint(info.At),
+			fmt.Sprint(info.LeaseBlocks), fmt.Sprint(info.LeaseHeight), fmt.Sprint(info.LastAnchor))
+		for _, m := range info.Committee {
+			add(m.String())
+		}
 	})
+	if s.routing != nil {
+		for _, ep := range []*RoutingEpoch{s.routing.Current, s.routing.Pending} {
+			if ep == nil {
+				add("xepoch", "nil")
+				continue
+			}
+			add("xepoch", fmt.Sprint(ep.Epoch), fmt.Sprint(ep.At))
+			add(ep.Shards...)
+		}
+	}
 	forSortedKeys(s.shardRoots, func(key string, root *ShardRoot) {
 		add("xroot", key, root.Root.String(), root.By.String(), fmt.Sprint(root.At))
 	})

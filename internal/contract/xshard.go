@@ -74,7 +74,20 @@ var (
 	// ErrCrossUnauthorized marks a protocol transaction from an address
 	// that is neither the registered gateway nor the coordinator.
 	ErrCrossUnauthorized = errors.New("contract: cross-shard sender not authorized")
+	// ErrCrossEpoch marks a routing-epoch transition out of sequence: a
+	// begin_epoch that is not current+1, a begin while another transition
+	// is pending, or a commit_epoch with no matching pending epoch.
+	ErrCrossEpoch = errors.New("contract: routing epoch out of sequence")
+	// ErrCrossLease marks a gateway lease takeover attempted before the
+	// current holder's lease expired (it still anchors within cadence).
+	ErrCrossLease = errors.New("contract: gateway lease not expired")
 )
+
+// defaultLeaseBlocks is the anchoring-lease bound when register_shard
+// does not set one: a standby committee member may take the anchoring
+// right over once the holder has neither anchored nor renewed for this
+// many coordination-chain blocks.
+const defaultLeaseBlocks = 8
 
 // CrossKind classifies a cross-shard transfer.
 type CrossKind string
@@ -131,10 +144,71 @@ type CrossShardConfig struct {
 type ShardInfo struct {
 	// ID is the shard identifier.
 	ID string `json:"id"`
-	// Gateway is the address authorized to anchor this shard's roots.
+	// Gateway is the address currently holding the anchoring lease —
+	// the only committee member allowed to anchor this shard's roots.
 	Gateway cryptoutil.Address `json:"gateway"`
+	// Committee is the k-member gateway failover committee. The lease
+	// holder is always a member; any other member may acquire_lease once
+	// the holder misses its anchor cadence. A registration without a
+	// committee gets the singleton {Gateway}.
+	Committee []cryptoutil.Address `json:"committee,omitempty"`
+	// LeaseBlocks is the anchor-cadence bound in coordination-chain
+	// blocks: the lease is expired once the holder has neither anchored
+	// nor (re)acquired for more than LeaseBlocks blocks.
+	LeaseBlocks uint64 `json:"lease_blocks,omitempty"`
+	// LeaseHeight is the coordination-chain height of the holder's last
+	// lease acquisition (registration height for the initial holder).
+	LeaseHeight uint64 `json:"lease_height,omitempty"`
+	// LastAnchor is the coordination-chain height of the holder's last
+	// accepted anchor_root.
+	LastAnchor uint64 `json:"last_anchor,omitempty"`
 	// At is the registration chain timestamp.
 	At int64 `json:"at"`
+}
+
+// leaseActivity is the holder's last proof of life in coordination
+// heights: the later of its last anchor and its lease acquisition.
+func (info *ShardInfo) leaseActivity() uint64 {
+	if info.LastAnchor > info.LeaseHeight {
+		return info.LastAnchor
+	}
+	return info.LeaseHeight
+}
+
+// LeaseExpired reports whether a standby may take the anchoring right
+// over at the given coordination-chain height.
+func (info *ShardInfo) LeaseExpired(height uint64) bool {
+	return height > info.leaseActivity()+info.LeaseBlocks
+}
+
+// InCommittee reports whether addr is a registered committee member.
+func (info *ShardInfo) InCommittee(addr cryptoutil.Address) bool {
+	for _, m := range info.Committee {
+		if m == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// RoutingEpoch is one committed routing table: an epoch number and the
+// ordered member shard list keys hash onto.
+type RoutingEpoch struct {
+	// Epoch is the monotonically increasing epoch number (first is 1).
+	Epoch uint64 `json:"epoch"`
+	// Shards is the ordered member shard ID list of this epoch.
+	Shards []string `json:"shards"`
+	// At is the chain timestamp the epoch began/committed.
+	At int64 `json:"at"`
+}
+
+// RoutingTable is the coordination chain's epoch state: the committed
+// current epoch plus, during a resharding transition, the pending next
+// epoch. Routers read both — writes follow Current, reads consult
+// Current and Pending so dataset lookups never 404 mid-migration.
+type RoutingTable struct {
+	Current *RoutingEpoch `json:"current,omitempty"`
+	Pending *RoutingEpoch `json:"pending,omitempty"`
 }
 
 // ShardRoot is an anchored per-shard block root: on the coordination
@@ -258,6 +332,34 @@ type InitCrossArgs struct {
 type RegisterShardArgs struct {
 	ID      string             `json:"id"`
 	Gateway cryptoutil.Address `json:"gateway"`
+	// Committee is the optional gateway failover committee; it must
+	// contain Gateway when set, and defaults to the singleton {Gateway}.
+	Committee []cryptoutil.Address `json:"committee,omitempty"`
+	// LeaseBlocks is the anchor-cadence lease bound (0 = default).
+	LeaseBlocks uint64 `json:"lease_blocks,omitempty"`
+}
+
+// AcquireLeaseArgs are the args of cross/"acquire_lease" (coordination
+// chain only): a standby committee member takes the shard's anchoring
+// right over once the current holder's lease expired.
+type AcquireLeaseArgs struct {
+	Shard string `json:"shard"`
+}
+
+// BeginEpochArgs are the args of cross/"begin_epoch" (coordination
+// chain only; sender must be the coordinator): open a resharding
+// transition toward a new routing table. The epoch must be exactly
+// current+1 and every shard must be registered.
+type BeginEpochArgs struct {
+	Epoch  uint64   `json:"epoch"`
+	Shards []string `json:"shards"`
+}
+
+// CommitEpochArgs are the args of cross/"commit_epoch" (coordination
+// chain only; sender must be the coordinator): finalize the pending
+// epoch once dataset migration has drained.
+type CommitEpochArgs struct {
+	Epoch uint64 `json:"epoch"`
 }
 
 // AnchorRootArgs are the args of cross/"anchor_root". On the
@@ -357,8 +459,138 @@ func (s *State) applyCross(tx *ledger.Transaction, height uint64, now int64, r *
 		if _, dup := s.shardDir[a.ID]; dup {
 			return fmt.Errorf("%w: shard %q", ErrExists, a.ID)
 		}
-		s.shardDir[a.ID] = &ShardInfo{ID: a.ID, Gateway: a.Gateway, At: now}
+		committee := append([]cryptoutil.Address(nil), a.Committee...)
+		if len(committee) == 0 {
+			committee = []cryptoutil.Address{a.Gateway}
+		}
+		seen := map[cryptoutil.Address]bool{}
+		hasGateway := false
+		for _, m := range committee {
+			if seen[m] {
+				return fmt.Errorf("%w: duplicate committee member %s", ErrBadArgs, m.Short())
+			}
+			seen[m] = true
+			if m == a.Gateway {
+				hasGateway = true
+			}
+		}
+		if !hasGateway {
+			return fmt.Errorf("%w: gateway %s not in its committee", ErrBadArgs, a.Gateway.Short())
+		}
+		lease := a.LeaseBlocks
+		if lease == 0 {
+			lease = defaultLeaseBlocks
+		}
+		s.shardDir[a.ID] = &ShardInfo{
+			ID: a.ID, Gateway: a.Gateway, Committee: committee,
+			LeaseBlocks: lease, LeaseHeight: height, At: now,
+		}
 		s.emit(r, CrossContractAddr, "ShardRegistered", s.shardDir[a.ID])
+		return nil
+
+	case "acquire_lease":
+		cfg, err := s.crossConfig()
+		if err != nil {
+			return err
+		}
+		var a AcquireLeaseArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		if cfg.ShardID != CoordShardID {
+			return fmt.Errorf("%w: acquire_lease is coordination-chain only", ErrBadArgs)
+		}
+		info, ok := s.shardDir[a.Shard]
+		if !ok {
+			return fmt.Errorf("%w: shard %q", ErrNotFound, a.Shard)
+		}
+		if !info.InCommittee(tx.From) {
+			return fmt.Errorf("%w: %s is not on the committee of %q", ErrCrossUnauthorized, tx.From.Short(), a.Shard)
+		}
+		if tx.From == info.Gateway {
+			return fmt.Errorf("%w: %s already holds the lease of %q", ErrBadArgs, tx.From.Short(), a.Shard)
+		}
+		if !info.LeaseExpired(height) {
+			return fmt.Errorf("%w: %q holder active at height %d, bound %d blocks",
+				ErrCrossLease, a.Shard, info.leaseActivity(), info.LeaseBlocks)
+		}
+		info.Gateway = tx.From
+		info.LeaseHeight = height
+		s.emit(r, CrossContractAddr, "LeaseAcquired", info)
+		return nil
+
+	case "begin_epoch":
+		cfg, err := s.crossConfig()
+		if err != nil {
+			return err
+		}
+		var a BeginEpochArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		if cfg.ShardID != CoordShardID {
+			return fmt.Errorf("%w: begin_epoch is coordination-chain only", ErrBadArgs)
+		}
+		if tx.From != cfg.Coordinator {
+			return fmt.Errorf("%w: %s is not the coordinator", ErrCrossUnauthorized, tx.From.Short())
+		}
+		if len(a.Shards) == 0 {
+			return fmt.Errorf("%w: epoch needs at least one shard", ErrBadArgs)
+		}
+		seen := map[string]bool{}
+		for _, id := range a.Shards {
+			if seen[id] {
+				return fmt.Errorf("%w: duplicate shard %q in epoch", ErrBadArgs, id)
+			}
+			seen[id] = true
+			if _, ok := s.shardDir[id]; !ok {
+				return fmt.Errorf("%w: epoch shard %q not registered", ErrNotFound, id)
+			}
+		}
+		rt := s.routing
+		if rt == nil {
+			rt = &RoutingTable{}
+			s.routing = rt
+		}
+		if rt.Pending != nil {
+			return fmt.Errorf("%w: epoch %d still pending", ErrCrossEpoch, rt.Pending.Epoch)
+		}
+		var current uint64
+		if rt.Current != nil {
+			current = rt.Current.Epoch
+		}
+		if a.Epoch != current+1 {
+			return fmt.Errorf("%w: begin %d after %d", ErrCrossEpoch, a.Epoch, current)
+		}
+		rt.Pending = &RoutingEpoch{Epoch: a.Epoch, Shards: append([]string(nil), a.Shards...), At: now}
+		s.emit(r, CrossContractAddr, "EpochBegun", rt.Pending)
+		return nil
+
+	case "commit_epoch":
+		cfg, err := s.crossConfig()
+		if err != nil {
+			return err
+		}
+		var a CommitEpochArgs
+		if err := decodeArgs(tx.Args, &a); err != nil {
+			return err
+		}
+		if cfg.ShardID != CoordShardID {
+			return fmt.Errorf("%w: commit_epoch is coordination-chain only", ErrBadArgs)
+		}
+		if tx.From != cfg.Coordinator {
+			return fmt.Errorf("%w: %s is not the coordinator", ErrCrossUnauthorized, tx.From.Short())
+		}
+		if s.routing == nil || s.routing.Pending == nil {
+			return fmt.Errorf("%w: no pending epoch to commit", ErrCrossEpoch)
+		}
+		if s.routing.Pending.Epoch != a.Epoch {
+			return fmt.Errorf("%w: commit %d, pending is %d", ErrCrossEpoch, a.Epoch, s.routing.Pending.Epoch)
+		}
+		s.routing.Current = s.routing.Pending
+		s.routing.Current.At = now
+		s.routing.Pending = nil
+		s.emit(r, CrossContractAddr, "EpochCommitted", s.routing.Current)
 		return nil
 
 	case "anchor_root":
@@ -379,9 +611,10 @@ func (s *State) applyCross(tx *ledger.Transaction, height uint64, now int64, r *
 		if a.Shard == cfg.ShardID {
 			return fmt.Errorf("%w: shard cannot anchor its own root", ErrBadArgs)
 		}
+		var leaseInfo *ShardInfo
 		if cfg.ShardID == CoordShardID {
 			// Gateways anchor their shard's roots on the coordination
-			// chain; only the registered gateway may.
+			// chain; only the current lease holder may.
 			info, ok := s.shardDir[a.Shard]
 			if !ok {
 				return fmt.Errorf("%w: shard %q", ErrNotFound, a.Shard)
@@ -389,6 +622,7 @@ func (s *State) applyCross(tx *ledger.Transaction, height uint64, now int64, r *
 			if tx.From != info.Gateway {
 				return fmt.Errorf("%w: %s is not the gateway of %q", ErrCrossUnauthorized, tx.From.Short(), a.Shard)
 			}
+			leaseInfo = info
 		} else if tx.From != cfg.Coordinator {
 			// Member shards accept relayed roots from the coordinator only.
 			return fmt.Errorf("%w: %s is not the coordinator", ErrCrossUnauthorized, tx.From.Short())
@@ -400,6 +634,11 @@ func (s *State) applyCross(tx *ledger.Transaction, height uint64, now int64, r *
 			return fmt.Errorf("%w: root %s", ErrExists, key)
 		}
 		s.shardRoots[key] = &ShardRoot{Shard: a.Shard, Height: a.Height, Root: a.Root, By: tx.From, At: now}
+		if leaseInfo != nil {
+			// An accepted anchor renews the gateway's lease: cadence is
+			// measured from the holder's last proof of life.
+			leaseInfo.LastAnchor = height
+		}
 		s.emit(r, CrossContractAddr, "RootAnchored", s.shardRoots[key])
 		return nil
 
@@ -655,9 +894,12 @@ func (s *State) applyCrossEffect(rec *CrossRecord, now int64) (string, error) {
 		if err := decodeArgs(rec.Payload, &p); err != nil {
 			return "", err
 		}
-		if _, dup := s.datasets[p.Dataset]; dup {
+		if prev, dup := s.datasets[p.Dataset]; dup && prev.MovedTo == "" {
 			return p.Dataset, fmt.Errorf("%w: dataset %q", ErrExists, p.Dataset)
 		}
+		// A tombstone (MovedTo set) is overwritten: the dataset once left
+		// this shard and a verified transfer is bringing it back — an
+		// epoch reshard routinely round-trips datasets.
 		s.datasets[p.Dataset] = &Dataset{
 			ID: p.Dataset, Owner: rec.From, Digest: p.Digest, Schema: p.Schema,
 			Records: p.Records, SiteID: p.SiteID, RegisteredAt: now,
@@ -803,9 +1045,32 @@ func (s *State) ShardDirectory() []ShardInfo {
 	defer s.mu.RUnlock()
 	out := make([]ShardInfo, 0, len(s.shardDir))
 	forSortedKeys(s.shardDir, func(_ string, info *ShardInfo) {
-		out = append(out, *info)
+		out = append(out, *copyShardInfo(info))
 	})
 	return out
+}
+
+// ShardInfoOf returns one shard's directory entry (committee, lease
+// state) on the coordination chain.
+func (s *State) ShardInfoOf(id string) (ShardInfo, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	info, ok := s.shardDir[id]
+	if !ok {
+		return ShardInfo{}, false
+	}
+	return *copyShardInfo(info), true
+}
+
+// Routing returns the coordination chain's routing-epoch table: the
+// committed current epoch and, mid-transition, the pending one.
+func (s *State) Routing() (RoutingTable, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.routing == nil {
+		return RoutingTable{}, false
+	}
+	return *copyRoutingTable(s.routing), true
 }
 
 // ShardRootAt returns the anchored root of (shard, height).
@@ -890,6 +1155,28 @@ func copyCrossPrepare(p *CrossPrepare) *CrossPrepare {
 	cp := *p
 	cp.Record.Payload = append(json.RawMessage(nil), p.Record.Payload...)
 	return &cp
+}
+
+func copyShardInfo(info *ShardInfo) *ShardInfo {
+	cp := *info
+	cp.Committee = append([]cryptoutil.Address(nil), info.Committee...)
+	return &cp
+}
+
+func copyRoutingEpoch(ep *RoutingEpoch) *RoutingEpoch {
+	if ep == nil {
+		return nil
+	}
+	cp := *ep
+	cp.Shards = append([]string(nil), ep.Shards...)
+	return &cp
+}
+
+func copyRoutingTable(rt *RoutingTable) *RoutingTable {
+	if rt == nil {
+		return nil
+	}
+	return &RoutingTable{Current: copyRoutingEpoch(rt.Current), Pending: copyRoutingEpoch(rt.Pending)}
 }
 
 // floatsString renders a float slice deterministically for the state

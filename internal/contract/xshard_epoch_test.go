@@ -1,0 +1,214 @@
+package contract
+
+import (
+	"testing"
+
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+)
+
+// registerShard registers a member shard on a coordination-chain state
+// with an optional explicit committee and lease bound.
+func registerShard(t testing.TB, coord *State, coordKey *cryptoutil.KeyPair, id string, gateway cryptoutil.Address, committee []cryptoutil.Address, lease uint64) {
+	t.Helper()
+	mustOK(t, apply(t, coord, tx(t, coordKey, ledger.TxCross, "register_shard", RegisterShardArgs{
+		ID: id, Gateway: gateway, Committee: committee, LeaseBlocks: lease,
+	})))
+}
+
+func TestRegisterShardCommitteeValidation(t *testing.T) {
+	coordKey := key(t, "epoch-coord")
+	gw := key(t, "epoch-gw0")
+	standby := key(t, "epoch-gw0.1")
+	coord := initShard(t, CoordShardID, coordKey.Address())
+
+	// Gateway missing from an explicit committee is refused.
+	r := apply(t, coord, tx(t, coordKey, ledger.TxCross, "register_shard", RegisterShardArgs{
+		ID: "shard-0", Gateway: gw.Address(),
+		Committee: []cryptoutil.Address{standby.Address()},
+	}))
+	wantErrIs(t, r, ErrBadArgs)
+
+	// Duplicate committee members are refused.
+	r = apply(t, coord, tx(t, coordKey, ledger.TxCross, "register_shard", RegisterShardArgs{
+		ID: "shard-0", Gateway: gw.Address(),
+		Committee: []cryptoutil.Address{gw.Address(), gw.Address()},
+	}))
+	wantErrIs(t, r, ErrBadArgs)
+
+	// Omitted committee defaults to {gateway} with the default lease.
+	registerShard(t, coord, coordKey, "shard-0", gw.Address(), nil, 0)
+	info, ok := coord.ShardInfoOf("shard-0")
+	if !ok {
+		t.Fatal("shard-0 not registered")
+	}
+	if len(info.Committee) != 1 || info.Committee[0] != gw.Address() {
+		t.Fatalf("default committee = %v, want {gateway}", info.Committee)
+	}
+	if info.LeaseBlocks != defaultLeaseBlocks {
+		t.Fatalf("LeaseBlocks = %d, want default %d", info.LeaseBlocks, defaultLeaseBlocks)
+	}
+}
+
+func TestAcquireLeaseExpiryAndTakeover(t *testing.T) {
+	coordKey := key(t, "lease-coord")
+	gw := key(t, "lease-gw0")
+	standby := key(t, "lease-gw0.1")
+	outsider := key(t, "lease-outsider")
+	coord := initShard(t, CoordShardID, coordKey.Address())
+	registerShard(t, coord, coordKey, "shard-0", gw.Address(),
+		[]cryptoutil.Address{gw.Address(), standby.Address()}, 4)
+
+	// Registered at height 1, lease bound 4: live through height 5.
+	grab := func(kp *cryptoutil.KeyPair, height uint64) *Receipt {
+		return applyAt(t, coord, tx(t, kp, ledger.TxCross, "acquire_lease", AcquireLeaseArgs{Shard: "shard-0"}), height)
+	}
+	wantErrIs(t, grab(standby, 5), ErrCrossLease)
+	wantErrIs(t, grab(outsider, 6), ErrCrossUnauthorized)
+	wantErrIs(t, grab(gw, 6), ErrBadArgs) // holder re-acquiring its own lease
+
+	mustOK(t, grab(standby, 6))
+	info, _ := coord.ShardInfoOf("shard-0")
+	if info.Gateway != standby.Address() {
+		t.Fatalf("gateway after takeover = %s, want standby", info.Gateway.Short())
+	}
+	if info.LeaseHeight != 6 {
+		t.Fatalf("LeaseHeight = %d, want 6", info.LeaseHeight)
+	}
+
+	// The new lease starts fresh: the old holder cannot grab it back
+	// until it expires again.
+	wantErrIs(t, grab(gw, 8), ErrCrossLease)
+	mustOK(t, grab(gw, 11))
+}
+
+func TestAnchorRootRenewsLease(t *testing.T) {
+	coordKey := key(t, "renew-coord")
+	gw := key(t, "renew-gw0")
+	standby := key(t, "renew-gw0.1")
+	coord := initShard(t, CoordShardID, coordKey.Address())
+	registerShard(t, coord, coordKey, "shard-0", gw.Address(),
+		[]cryptoutil.Address{gw.Address(), standby.Address()}, 4)
+
+	// An anchor at height 7 pushes lease activity forward, so a
+	// takeover at height 9 (expired relative to registration) fails.
+	mustOK(t, applyAt(t, coord, tx(t, gw, ledger.TxCross, "anchor_root", AnchorRootArgs{
+		Shard: "shard-0", Height: 3, Root: cryptoutil.Sum([]byte("root-3")),
+	}), 7))
+	info, _ := coord.ShardInfoOf("shard-0")
+	if info.LastAnchor != 7 {
+		t.Fatalf("LastAnchor = %d, want 7", info.LastAnchor)
+	}
+	r := applyAt(t, coord, tx(t, standby, ledger.TxCross, "acquire_lease", AcquireLeaseArgs{Shard: "shard-0"}), 9)
+	wantErrIs(t, r, ErrCrossLease)
+	mustOK(t, applyAt(t, coord, tx(t, standby, ledger.TxCross, "acquire_lease", AcquireLeaseArgs{Shard: "shard-0"}), 12))
+}
+
+func TestEpochSequencing(t *testing.T) {
+	coordKey := key(t, "seq-coord")
+	gw0, gw1, gw2 := key(t, "seq-gw0"), key(t, "seq-gw1"), key(t, "seq-gw2")
+	coord := initShard(t, CoordShardID, coordKey.Address())
+	registerShard(t, coord, coordKey, "shard-0", gw0.Address(), nil, 0)
+	registerShard(t, coord, coordKey, "shard-1", gw1.Address(), nil, 0)
+
+	begin := func(kp *cryptoutil.KeyPair, epoch uint64, shards ...string) *Receipt {
+		return apply(t, coord, tx(t, kp, ledger.TxCross, "begin_epoch", BeginEpochArgs{Epoch: epoch, Shards: shards}))
+	}
+	commit := func(kp *cryptoutil.KeyPair, epoch uint64) *Receipt {
+		return apply(t, coord, tx(t, kp, ledger.TxCross, "commit_epoch", CommitEpochArgs{Epoch: epoch}))
+	}
+
+	// No epoch yet: committing is premature, and the first begin must
+	// be epoch 1.
+	wantErrIs(t, commit(coordKey, 1), ErrCrossEpoch)
+	wantErrIs(t, begin(coordKey, 2, "shard-0", "shard-1"), ErrCrossEpoch)
+
+	// Only the coordinator may drive transitions, and every listed
+	// shard must already be registered.
+	wantErrIs(t, begin(gw0, 1, "shard-0", "shard-1"), ErrCrossUnauthorized)
+	wantErrIs(t, begin(coordKey, 1, "shard-0", "shard-9"), ErrNotFound)
+	wantErrIs(t, begin(coordKey, 1, "shard-0", "shard-0"), ErrBadArgs)
+
+	mustOK(t, begin(coordKey, 1, "shard-0", "shard-1"))
+	// A second begin while one is pending is refused, as is committing
+	// the wrong epoch number or from the wrong key.
+	wantErrIs(t, begin(coordKey, 2, "shard-0", "shard-1"), ErrCrossEpoch)
+	wantErrIs(t, commit(coordKey, 2), ErrCrossEpoch)
+	wantErrIs(t, commit(gw0, 1), ErrCrossUnauthorized)
+	mustOK(t, commit(coordKey, 1))
+
+	rt, ok := coord.Routing()
+	if !ok || rt.Current == nil || rt.Current.Epoch != 1 || rt.Pending != nil {
+		t.Fatalf("routing after commit = %+v, want current epoch 1, no pending", rt)
+	}
+
+	// The next transition grows the shard list; a stale begin replaying
+	// the old epoch number is refused.
+	registerShard(t, coord, coordKey, "shard-2", gw2.Address(), nil, 0)
+	wantErrIs(t, begin(coordKey, 1, "shard-0", "shard-1", "shard-2"), ErrCrossEpoch)
+	mustOK(t, begin(coordKey, 2, "shard-0", "shard-1", "shard-2"))
+	mustOK(t, commit(coordKey, 2))
+	rt, _ = coord.Routing()
+	if rt.Current.Epoch != 2 || len(rt.Current.Shards) != 3 {
+		t.Fatalf("epoch 2 shards = %v", rt.Current.Shards)
+	}
+}
+
+func TestEpochAndLeaseMemberChainRefused(t *testing.T) {
+	coordKey := key(t, "member-coord")
+	member := initShard(t, "shard-0", coordKey.Address())
+	for method, args := range map[string]any{
+		"acquire_lease": AcquireLeaseArgs{Shard: "shard-0"},
+		"begin_epoch":   BeginEpochArgs{Epoch: 1, Shards: []string{"shard-0"}},
+		"commit_epoch":  CommitEpochArgs{Epoch: 1},
+	} {
+		r := apply(t, member, tx(t, coordKey, ledger.TxCross, method, args))
+		wantErrIs(t, r, ErrBadArgs)
+	}
+}
+
+func TestEpochRoutingSurvivesExportImport(t *testing.T) {
+	coordKey := key(t, "exp-coord")
+	gw0, gw1 := key(t, "exp-gw0"), key(t, "exp-gw1")
+	coord := initShard(t, CoordShardID, coordKey.Address())
+	registerShard(t, coord, coordKey, "shard-0", gw0.Address(),
+		[]cryptoutil.Address{gw0.Address(), gw1.Address()}, 6)
+	registerShard(t, coord, coordKey, "shard-1", gw1.Address(), nil, 0)
+	mustOK(t, apply(t, coord, tx(t, coordKey, ledger.TxCross, "begin_epoch", BeginEpochArgs{
+		Epoch: 1, Shards: []string{"shard-0", "shard-1"},
+	})))
+	mustOK(t, apply(t, coord, tx(t, coordKey, ledger.TxCross, "commit_epoch", CommitEpochArgs{Epoch: 1})))
+	mustOK(t, apply(t, coord, tx(t, coordKey, ledger.TxCross, "begin_epoch", BeginEpochArgs{
+		Epoch: 2, Shards: []string{"shard-0"},
+	})))
+
+	imported := ImportState(coord.Export())
+	if got, want := imported.Root(), coord.Root(); got != want {
+		t.Fatalf("imported root %s != exported root %s", got.Short(), want.Short())
+	}
+	rt, ok := imported.Routing()
+	if !ok || rt.Current.Epoch != 1 || rt.Pending == nil || rt.Pending.Epoch != 2 {
+		t.Fatalf("imported routing = %+v", rt)
+	}
+	info, _ := imported.ShardInfoOf("shard-0")
+	if len(info.Committee) != 2 || info.LeaseBlocks != 6 {
+		t.Fatalf("imported shard-0 info = %+v", info)
+	}
+}
+
+func TestEpochRoutingCloneIsolation(t *testing.T) {
+	coordKey := key(t, "clone-coord")
+	gw0 := key(t, "clone-gw0")
+	coord := initShard(t, CoordShardID, coordKey.Address())
+	registerShard(t, coord, coordKey, "shard-0", gw0.Address(), nil, 0)
+	mustOK(t, apply(t, coord, tx(t, coordKey, ledger.TxCross, "begin_epoch", BeginEpochArgs{
+		Epoch: 1, Shards: []string{"shard-0"},
+	})))
+
+	clone := coord.Clone()
+	mustOK(t, apply(t, coord, tx(t, coordKey, ledger.TxCross, "commit_epoch", CommitEpochArgs{Epoch: 1})))
+	rt, _ := clone.Routing()
+	if rt.Current != nil || rt.Pending == nil {
+		t.Fatalf("clone routing mutated through original: %+v", rt)
+	}
+}

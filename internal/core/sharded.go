@@ -11,6 +11,7 @@ import (
 	"medchain/internal/cryptoutil"
 	"medchain/internal/ledger"
 	"medchain/internal/shard"
+	"medchain/internal/store"
 )
 
 // deriveAccountKey derives the deterministic key of a named account
@@ -33,6 +34,15 @@ type ShardedConfig struct {
 	// DestExpiryBlocks is the destination-height deadline window granted
 	// to cross-shard transfers at prepare time.
 	DestExpiryBlocks uint64
+	// DataDir / FS make every chain disk-backed (per-node WAL +
+	// snapshots); see shard.Config. Leave both zero for in-memory.
+	DataDir string
+	FS      store.FS
+	// CommitteeSize sizes each shard's gateway failover committee;
+	// LeaseBlocks bounds how long a silent gateway keeps the anchoring
+	// lease (defaults 1 and 8).
+	CommitteeSize int
+	LeaseBlocks   uint64
 }
 
 // ShardedPlatform is the core-level facade over the sharded multi-chain
@@ -60,6 +70,10 @@ func NewShardedPlatform(cfg ShardedConfig) (*ShardedPlatform, error) {
 		KeySeed:          cfg.KeySeed,
 		Engine:           cfg.Engine,
 		DestExpiryBlocks: cfg.DestExpiryBlocks,
+		DataDir:          cfg.DataDir,
+		FS:               cfg.FS,
+		CommitteeSize:    cfg.CommitteeSize,
+		LeaseBlocks:      cfg.LeaseBlocks,
 	})
 	if err != nil {
 		return nil, err
@@ -263,6 +277,46 @@ func (sp *ShardedPlatform) Dataset(id string) (*contract.Dataset, int, bool) {
 		}
 	}
 	return nil, 0, false
+}
+
+// StopShard crash-stops every node of one member shard (disk-backed
+// deployments only make this useful — recovery replays from the WAL).
+func (sp *ShardedPlatform) StopShard(i int) { sp.sys.StopShard(i) }
+
+// RecoverShard restarts a crash-stopped shard from its on-disk state
+// and resyncs it.
+func (sp *ShardedPlatform) RecoverShard(i int) error { return sp.sys.RecoverShard(i) }
+
+// Reshard grows the deployment by one member shard and drives the full
+// epoch transition: begin_epoch over the grown shard list, migration of
+// every reassigned dataset (signed with this platform's accounts),
+// commit_epoch. Returns the new shard's index and how many datasets
+// migrated. Datasets owned by keys the platform never acquired cannot
+// be signed for and will stall the drain — an error.
+func (sp *ShardedPlatform) Reshard(maxRounds int) (newShard, migrated int, err error) {
+	ni, err := sp.sys.AddShard()
+	if err != nil {
+		return -1, 0, err
+	}
+	if _, err := sp.sys.BeginEpoch(sp.sys.ShardIDs()); err != nil {
+		return ni, 0, err
+	}
+	byAddr := make(map[cryptoutil.Address]*cryptoutil.KeyPair)
+	sp.mu.Lock()
+	for _, a := range sp.accounts {
+		byAddr[a.key.Address()] = a.key
+	}
+	sp.mu.Unlock()
+	moved, err := sp.sys.DrainMigrations(func(m shard.Migration) *cryptoutil.KeyPair {
+		return byAddr[m.Owner]
+	}, maxRounds)
+	if err != nil {
+		return ni, moved, err
+	}
+	if err := sp.sys.CommitEpoch(); err != nil {
+		return ni, moved, err
+	}
+	return ni, moved, nil
 }
 
 // Close shuts the sharded platform down.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"medchain/internal/contract"
+	"medchain/internal/store"
 )
 
 // TestShardedPlatformFacade drives the facade end-to-end: routed
@@ -75,6 +76,67 @@ func TestShardedPlatformFacade(t *testing.T) {
 		prep, ok := sp.TransferStatus(srcShard, id)
 		if !ok || prep.Status != contract.CrossCommitted {
 			t.Fatalf("grant status = %+v ok=%v", prep, ok)
+		}
+	}
+}
+
+// TestShardedPlatformRecoverAndReshard drives the durability and
+// elasticity facade: a disk-backed deployment survives a whole-shard
+// crash, and Reshard grows it by one shard with every reassigned
+// dataset migrated to its new-epoch home.
+func TestShardedPlatformRecoverAndReshard(t *testing.T) {
+	sp, err := NewShardedPlatform(ShardedConfig{
+		Shards: 2, NodesPerShard: 3, CoordNodes: 3,
+		KeySeed: "sharded-elastic-test", FS: store.NewMemFS(),
+	})
+	if err != nil {
+		t.Fatalf("NewShardedPlatform: %v", err)
+	}
+	defer sp.Close()
+
+	owner, err := sp.Acquire("hospital-b")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	var ids []string
+	for _, suffix := range []string{"a", "b", "c", "d", "e", "f"} {
+		id := "cohort/elastic-" + suffix
+		if _, err := sp.RegisterDataset(owner, contract.RegisterDatasetArgs{
+			ID: id, Schema: "fhir.r4", Records: 7, SiteID: "site-b",
+		}); err != nil {
+			t.Fatalf("RegisterDataset %s: %v", id, err)
+		}
+		ids = append(ids, id)
+	}
+
+	// Crash shard 0 whole, recover it from disk, and keep serving.
+	sp.StopShard(0)
+	if err := sp.RecoverShard(0); err != nil {
+		t.Fatalf("RecoverShard: %v", err)
+	}
+	for _, id := range ids {
+		if _, _, ok := sp.Dataset(id); !ok {
+			t.Fatalf("dataset %s lost across shard recovery", id)
+		}
+	}
+
+	ni, moved, err := sp.Reshard(20)
+	if err != nil {
+		t.Fatalf("Reshard: %v (new shard %d, moved %d)", err, ni, moved)
+	}
+	if ni != 2 || sp.System().Epoch() != 2 {
+		t.Fatalf("new shard %d, epoch %d; want shard 2 at epoch 2", ni, sp.System().Epoch())
+	}
+	if moved == 0 {
+		t.Fatal("growing 2→3 shards migrated no datasets")
+	}
+	for _, id := range ids {
+		ds, at, ok := sp.Dataset(id)
+		if !ok || ds == nil {
+			t.Fatalf("dataset %s lost across reshard", id)
+		}
+		if want := sp.HomeShard(id); at != want {
+			t.Fatalf("dataset %s lives on shard %d, epoch-2 home is %d", id, at, want)
 		}
 	}
 }

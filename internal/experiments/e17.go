@@ -1,0 +1,594 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"medchain/internal/contract"
+	"medchain/internal/cryptoutil"
+	"medchain/internal/ledger"
+	"medchain/internal/shard"
+	"medchain/internal/store"
+)
+
+// --- E17: crash-durable elastic shards ---
+//
+// E16 measured what sharding buys and costs while every chain stayed
+// up. E17 measures the machinery that keeps the sharded deployment
+// honest when it doesn't: whole-shard crash recovery from per-node
+// stores, epoch-based resharding, and gateway failover committees.
+//
+//   - recovery: a member shard is power-cut (every node at once) and
+//     recovered from disk at increasing chain lengths — recovery must
+//     reproduce the pre-crash head bit-identically, and the snapshot
+//     cadence bounds how many WAL blocks are re-executed;
+//   - resharding: a 2-shard deployment grows to 3 through a full epoch
+//     transition (begin_epoch → migrate → commit_epoch) at increasing
+//     dataset counts — the cost is the migrated fraction and wall time,
+//     the bar is zero lost, duplicated, or misplaced datasets;
+//   - failover: the active anchoring gateway of one shard is killed
+//     with and without a standby committee — without one the shard's
+//     anchoring (and every outbound transfer) stalls forever; with one
+//     a standby takes the lease after it expires and the backlog
+//     settles, the downtime bounded in coordination-chain blocks.
+//
+// E17Verify is timing-free: head identity, replay arithmetic, dataset
+// censuses, lease membership and block-counted downtime — never
+// wall-clock. Elapsed times are reported for the tables only.
+
+// E17Config tunes the elasticity experiment.
+type E17Config struct {
+	// ChainLengths is the recovery sweep: blocks committed on the
+	// victim shard before the power cut (default 4, 8, 16).
+	ChainLengths []int
+	// NodesPerShard sizes every cluster, coordination chain included
+	// (default 3).
+	NodesPerShard int
+	// SnapshotEvery is the state-snapshot cadence of the disk-backed
+	// recovery leg (default 4): recovery replays at most the blocks
+	// since the last snapshot.
+	SnapshotEvery int
+	// DatasetCounts is the resharding sweep: datasets registered before
+	// the 2 -> 3 shard epoch transition (default 8, 16, 32).
+	DatasetCounts []int
+	// MigrateRounds bounds the migration drain (default 40).
+	MigrateRounds int
+	// CommitteeSizes is the failover sweep (default 1, 3): size 1 means
+	// no standby — the control run that shows what failover is for.
+	CommitteeSizes []int
+	// LeaseBlocks is the anchoring-lease bound in coordination-chain
+	// blocks for the failover leg (default 4).
+	LeaseBlocks uint64
+	// FailoverRounds bounds the post-kill commit/pump rounds while
+	// waiting for a standby takeover (default 16).
+	FailoverRounds int
+	// Seed namespaces deterministic keys.
+	Seed int64
+}
+
+func (c E17Config) withDefaults() E17Config {
+	if len(c.ChainLengths) == 0 {
+		c.ChainLengths = []int{4, 8, 16}
+	}
+	if c.NodesPerShard <= 0 {
+		c.NodesPerShard = 3
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 4
+	}
+	if len(c.DatasetCounts) == 0 {
+		c.DatasetCounts = []int{8, 16, 32}
+	}
+	if c.MigrateRounds <= 0 {
+		c.MigrateRounds = 40
+	}
+	if len(c.CommitteeSizes) == 0 {
+		c.CommitteeSizes = []int{1, 3}
+	}
+	if c.LeaseBlocks == 0 {
+		c.LeaseBlocks = 4
+	}
+	if c.FailoverRounds <= 0 {
+		c.FailoverRounds = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// E17RecoverRow is one chain length in the whole-shard recovery sweep.
+type E17RecoverRow struct {
+	// Blocks is the blocks committed on the victim shard post-boot;
+	// Height the resulting (and recovered) chain height.
+	Blocks int
+	Height uint64
+	// SnapshotHeight / ReplayedBlocks report node 0's recovery: the
+	// snapshot it resumed from and the WAL blocks re-executed past it.
+	SnapshotHeight uint64
+	ReplayedBlocks int
+	// HeadMatch is true when the recovered head equals the pre-crash
+	// head hash and height exactly.
+	HeadMatch bool
+	// Elapsed is the whole-shard recovery wall time (all nodes).
+	Elapsed time.Duration
+}
+
+// E17ReshardRow is one dataset count in the epoch-transition sweep.
+type E17ReshardRow struct {
+	// Datasets is the population size; Migrated how many the epoch
+	// transition moved to the new shard layout.
+	Datasets int
+	Migrated int
+	// FinalEpoch is the committed routing epoch after the transition
+	// (must be 2: bootstrap commits epoch 1).
+	FinalEpoch uint64
+	// Lost / Duplicated / Misplaced are census failures after the
+	// commit: datasets with zero live copies, more than one, or a live
+	// copy off their epoch-2 home (all must be 0).
+	Lost       int
+	Duplicated int
+	Misplaced  int
+	// Elapsed is the full transition wall time (grow + migrate +
+	// commit).
+	Elapsed time.Duration
+}
+
+// E17FailoverRow is one committee size in the gateway-kill sweep.
+type E17FailoverRow struct {
+	// Committee is the gateway committee size; LeaseBlocks the lease
+	// bound in coordination-chain blocks.
+	Committee   int
+	LeaseBlocks uint64
+	// AnchorAtKill is the victim shard's last anchored coordination
+	// height when its gateway was killed; RecoverAnchor the first
+	// anchor by the standby that took over (0 = never).
+	AnchorAtKill  uint64
+	RecoverAnchor uint64
+	// DowntimeBlocks is RecoverAnchor - AnchorAtKill: how long the
+	// shard went unanchored, in coordination-chain blocks (-1 = never
+	// recovered).
+	DowntimeBlocks int
+	// Recovered is true when a different committee member anchored
+	// after the kill; TakeoverInCommittee that the new lease holder is
+	// a registered committee member.
+	Recovered           bool
+	TakeoverInCommittee bool
+	// Pending is the cross-shard transfers still unsettled at the end:
+	// 0 with a standby, > 0 without one (the stall is the point).
+	Pending int
+}
+
+// e17Register submits one register_dataset with a fresh per-dataset
+// owner key onto shard i.
+func e17Register(sys *shard.System, i int, id string) error {
+	owner, err := cryptoutil.DeriveKeyPair("e17/owner/" + id)
+	if err != nil {
+		return err
+	}
+	args, err := json.Marshal(contract.RegisterDatasetArgs{
+		ID: id, Schema: "fhir.r4", Records: 10, SiteID: shard.ShardID(i),
+	})
+	if err != nil {
+		return err
+	}
+	return shard.SubmitSigned(sys.Shard(i), owner, &ledger.Transaction{
+		Type: ledger.TxData, Method: "register_dataset", Args: args,
+	})
+}
+
+// e17Transfer prepares one cross-shard transfer of ds from src to dest
+// and commits the prepare on src.
+func e17Transfer(sys *shard.System, src, dest int, id, ds string) error {
+	owner, err := cryptoutil.DeriveKeyPair("e17/owner/" + ds)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(contract.CrossTransferPayload{Dataset: ds})
+	if err != nil {
+		return err
+	}
+	err = sys.SubmitPrepare(src, owner, contract.CrossPrepareArgs{
+		ID: id, Kind: contract.CrossTransfer,
+		DestShard: shard.ShardID(dest), Payload: payload,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = sys.Shard(src).CommitAll()
+	return err
+}
+
+// E17Recovery power-cuts a whole member shard at increasing chain
+// lengths and recovers it from its per-node stores.
+func E17Recovery(cfg E17Config) ([]E17RecoverRow, error) {
+	cfg = cfg.withDefaults()
+	rows := make([]E17RecoverRow, 0, len(cfg.ChainLengths))
+	for _, blocks := range cfg.ChainLengths {
+		sys, err := shard.NewSystem(shard.Config{
+			Shards: 2, NodesPerShard: cfg.NodesPerShard, CoordNodes: cfg.NodesPerShard,
+			KeySeed:       fmt.Sprintf("e17-rec-%d-%d", cfg.Seed, blocks),
+			FS:            store.NewMemFS(),
+			SnapshotEvery: cfg.SnapshotEvery,
+		})
+		if err != nil {
+			return rows, fmt.Errorf("experiments: e17 recovery boot: %w", err)
+		}
+		for b := 0; b < blocks; b++ {
+			for k := 0; k < 2; k++ {
+				id := fmt.Sprintf("e17-rec-%d-%d-%02d-%d", cfg.Seed, blocks, b, k)
+				if err := e17Register(sys, 0, id); err != nil {
+					sys.Close()
+					return rows, fmt.Errorf("experiments: e17 recovery register: %w", err)
+				}
+			}
+			if _, err := sys.Shard(0).CommitAll(); err != nil {
+				sys.Close()
+				return rows, fmt.Errorf("experiments: e17 recovery commit: %w", err)
+			}
+		}
+		pre := shard.BestNode(sys.Shard(0)).Chain().Head()
+		wantHash, wantHeight := pre.Hash(), pre.Header.Height
+
+		sys.StopShard(0)
+		start := time.Now()
+		if err := sys.RecoverShard(0); err != nil {
+			sys.Close()
+			return rows, fmt.Errorf("experiments: e17 recover shard: %w", err)
+		}
+		row := E17RecoverRow{Blocks: blocks, Elapsed: time.Since(start)}
+		got := shard.BestNode(sys.Shard(0)).Chain().Head()
+		row.Height = got.Header.Height
+		row.HeadMatch = got.Hash() == wantHash && got.Header.Height == wantHeight
+		if rec := sys.Shard(0).Node(0).LastRecovery(); rec != nil {
+			row.SnapshotHeight = rec.SnapshotHeight
+			row.ReplayedBlocks = rec.ReplayedBlocks
+		}
+		rows = append(rows, row)
+		sys.Close()
+	}
+	return rows, nil
+}
+
+// E17Reshard grows a 2-shard deployment to 3 through a full epoch
+// transition at increasing dataset counts and censuses the survivors.
+func E17Reshard(cfg E17Config) ([]E17ReshardRow, error) {
+	cfg = cfg.withDefaults()
+	rows := make([]E17ReshardRow, 0, len(cfg.DatasetCounts))
+	for _, count := range cfg.DatasetCounts {
+		sys, err := shard.NewSystem(shard.Config{
+			Shards: 2, NodesPerShard: cfg.NodesPerShard, CoordNodes: cfg.NodesPerShard,
+			KeySeed: fmt.Sprintf("e17-rs-%d-%d", cfg.Seed, count),
+		})
+		if err != nil {
+			return rows, fmt.Errorf("experiments: e17 reshard boot: %w", err)
+		}
+		ids := make([]string, 0, count)
+		pendingPer := make([]int, sys.Shards())
+		for k := 0; k < count; k++ {
+			id := fmt.Sprintf("e17-rs-%d-%d-%03d", cfg.Seed, count, k)
+			home := sys.ShardOf(id)
+			if err := e17Register(sys, home, id); err != nil {
+				sys.Close()
+				return rows, fmt.Errorf("experiments: e17 reshard register: %w", err)
+			}
+			ids = append(ids, id)
+			if pendingPer[home]++; pendingPer[home] >= 8 {
+				pendingPer[home] = 0
+				if _, err := sys.Shard(home).CommitAll(); err != nil {
+					sys.Close()
+					return rows, fmt.Errorf("experiments: e17 reshard commit: %w", err)
+				}
+			}
+		}
+		for i := 0; i < sys.Shards(); i++ {
+			if _, err := sys.Shard(i).CommitAll(); err != nil {
+				sys.Close()
+				return rows, fmt.Errorf("experiments: e17 reshard commit: %w", err)
+			}
+		}
+
+		start := time.Now()
+		if _, err := sys.AddShard(); err != nil {
+			sys.Close()
+			return rows, fmt.Errorf("experiments: e17 add shard: %w", err)
+		}
+		if _, err := sys.BeginEpoch(sys.ShardIDs()); err != nil {
+			sys.Close()
+			return rows, fmt.Errorf("experiments: e17 begin epoch: %w", err)
+		}
+		moved, err := sys.DrainMigrations(func(m shard.Migration) *cryptoutil.KeyPair {
+			kp, _ := cryptoutil.DeriveKeyPair("e17/owner/" + m.Dataset)
+			return kp
+		}, cfg.MigrateRounds)
+		if err != nil {
+			sys.Close()
+			return rows, fmt.Errorf("experiments: e17 migrate: %w", err)
+		}
+		if err := sys.CommitEpoch(); err != nil {
+			sys.Close()
+			return rows, fmt.Errorf("experiments: e17 commit epoch: %w", err)
+		}
+		row := E17ReshardRow{
+			Datasets: count, Migrated: moved,
+			FinalEpoch: sys.Epoch(), Elapsed: time.Since(start),
+		}
+		for _, id := range ids {
+			live := 0
+			for i := 0; i < sys.Shards(); i++ {
+				n := shard.BestNode(sys.Shard(i))
+				if n == nil {
+					continue
+				}
+				if ds, ok := n.State().Dataset(id); ok && ds.MovedTo == "" {
+					live++
+					if i != sys.ShardOf(id) {
+						row.Misplaced++
+					}
+				}
+			}
+			switch {
+			case live == 0:
+				row.Lost++
+			case live > 1:
+				row.Duplicated++
+			}
+		}
+		rows = append(rows, row)
+		sys.Close()
+	}
+	return rows, nil
+}
+
+// E17Failover kills the active anchoring gateway of shard 0 with and
+// without standby committee members and measures the anchoring outage
+// in coordination-chain blocks.
+func E17Failover(cfg E17Config) ([]E17FailoverRow, error) {
+	cfg = cfg.withDefaults()
+	rows := make([]E17FailoverRow, 0, len(cfg.CommitteeSizes))
+	for _, committee := range cfg.CommitteeSizes {
+		sys, err := shard.NewSystem(shard.Config{
+			Shards: 2, NodesPerShard: cfg.NodesPerShard, CoordNodes: cfg.NodesPerShard,
+			KeySeed:       fmt.Sprintf("e17-fo-%d-%d", cfg.Seed, committee),
+			CommitteeSize: committee,
+			LeaseBlocks:   cfg.LeaseBlocks,
+		})
+		if err != nil {
+			return rows, fmt.Errorf("experiments: e17 failover boot: %w", err)
+		}
+		// A dataset pool on each shard feeds one transfer per direction
+		// per round — outbound traffic is what makes the outage visible.
+		pool := make([][]string, 2)
+		for s := 0; s < 2; s++ {
+			for k := 0; k < cfg.FailoverRounds+4; k++ {
+				id := fmt.Sprintf("e17-fo-%d-%d-%d-%02d", cfg.Seed, committee, s, k)
+				if err := e17Register(sys, s, id); err != nil {
+					sys.Close()
+					return rows, fmt.Errorf("experiments: e17 failover register: %w", err)
+				}
+				pool[s] = append(pool[s], id)
+			}
+			if _, err := sys.Shard(s).CommitAll(); err != nil {
+				sys.Close()
+				return rows, fmt.Errorf("experiments: e17 failover commit: %w", err)
+			}
+		}
+		next := []int{0, 0}
+		xferSeq := 0
+		transferEach := func() error {
+			for s := 0; s < 2; s++ {
+				ds := pool[s][next[s]]
+				next[s]++
+				xferSeq++
+				if err := e17Transfer(sys, s, 1-s, fmt.Sprintf("e17-fo-x-%03d", xferSeq), ds); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Warm up: one settled round-trip proves anchoring works before
+		// the kill.
+		if err := transferEach(); err != nil {
+			sys.Close()
+			return rows, fmt.Errorf("experiments: e17 failover warmup: %w", err)
+		}
+		sys.Pump(10)
+
+		row := E17FailoverRow{Committee: committee, LeaseBlocks: cfg.LeaseBlocks, DowntimeBlocks: -1}
+		coordState := shard.BestNode(sys.Coord()).State()
+		if info, ok := coordState.ShardInfoOf(shard.ShardID(0)); ok {
+			row.AnchorAtKill = info.LastAnchor
+		}
+		killed := sys.ActiveGateway(0)
+		sys.KillGateway(0)
+
+		for r := 0; r < cfg.FailoverRounds; r++ {
+			if err := transferEach(); err != nil {
+				sys.Close()
+				return rows, fmt.Errorf("experiments: e17 failover round %d: %w", r, err)
+			}
+			sys.PumpRound()
+			n := shard.BestNode(sys.Coord())
+			if n == nil {
+				continue
+			}
+			info, ok := n.State().ShardInfoOf(shard.ShardID(0))
+			if !ok {
+				continue
+			}
+			if info.Gateway != killed && info.LastAnchor > row.AnchorAtKill {
+				row.Recovered = true
+				row.RecoverAnchor = info.LastAnchor
+				row.DowntimeBlocks = int(info.LastAnchor - row.AnchorAtKill)
+				for _, m := range sys.CommitteeAddresses(0) {
+					if m == info.Gateway {
+						row.TakeoverInCommittee = true
+					}
+				}
+				break
+			}
+		}
+		// Let the backlog settle (it can't without a takeover).
+		for r := 0; r < 30 && sys.PendingTransfers() > 0; r++ {
+			for s := 0; s < 2; s++ {
+				if _, err := sys.Shard(s).CommitAll(); err != nil {
+					sys.Close()
+					return rows, fmt.Errorf("experiments: e17 failover settle: %w", err)
+				}
+			}
+			sys.PumpRound()
+		}
+		row.Pending = sys.PendingTransfers()
+		rows = append(rows, row)
+		sys.Close()
+	}
+	return rows, nil
+}
+
+// E17Verify enforces the elasticity acceptance bars without reading a
+// clock: bit-identical recovered heads with snapshot-bounded replay,
+// loss-free epoch transitions, and lease takeover if and only if a
+// standby exists.
+func E17Verify(cfg E17Config, recov []E17RecoverRow, reshard []E17ReshardRow, failover []E17FailoverRow) error {
+	cfg = cfg.withDefaults()
+	if len(recov) != len(cfg.ChainLengths) {
+		return fmt.Errorf("experiments: e17: %d recovery rows, want %d", len(recov), len(cfg.ChainLengths))
+	}
+	for _, r := range recov {
+		if !r.HeadMatch {
+			return fmt.Errorf("experiments: e17 recovery at %d blocks: head not bit-identical", r.Blocks)
+		}
+		if r.Height < uint64(r.Blocks) {
+			return fmt.Errorf("experiments: e17 recovery at %d blocks: recovered height %d too short", r.Blocks, r.Height)
+		}
+		if got, want := r.ReplayedBlocks, int(r.Height-r.SnapshotHeight); got != want {
+			return fmt.Errorf("experiments: e17 recovery at %d blocks: replayed %d, want height-snapshot = %d", r.Blocks, got, want)
+		}
+		if r.SnapshotHeight == 0 && r.Height > uint64(2*cfg.SnapshotEvery) {
+			return fmt.Errorf("experiments: e17 recovery at %d blocks: no snapshot used despite cadence %d", r.Blocks, cfg.SnapshotEvery)
+		}
+	}
+	if len(reshard) != len(cfg.DatasetCounts) {
+		return fmt.Errorf("experiments: e17: %d reshard rows, want %d", len(reshard), len(cfg.DatasetCounts))
+	}
+	for _, r := range reshard {
+		if r.FinalEpoch != 2 {
+			return fmt.Errorf("experiments: e17 reshard %d datasets: final epoch %d, want 2", r.Datasets, r.FinalEpoch)
+		}
+		if r.Lost != 0 || r.Duplicated != 0 || r.Misplaced != 0 {
+			return fmt.Errorf("experiments: e17 reshard %d datasets: lost=%d duplicated=%d misplaced=%d, want all 0",
+				r.Datasets, r.Lost, r.Duplicated, r.Misplaced)
+		}
+		if r.Migrated == 0 {
+			return fmt.Errorf("experiments: e17 reshard %d datasets: epoch transition migrated nothing", r.Datasets)
+		}
+		if r.Migrated > r.Datasets {
+			return fmt.Errorf("experiments: e17 reshard %d datasets: migrated %d > population", r.Datasets, r.Migrated)
+		}
+	}
+	if len(failover) != len(cfg.CommitteeSizes) {
+		return fmt.Errorf("experiments: e17: %d failover rows, want %d", len(failover), len(cfg.CommitteeSizes))
+	}
+	sawControl, sawFailover := false, false
+	for _, r := range failover {
+		if r.Committee <= 1 {
+			sawControl = true
+			if r.Recovered {
+				return fmt.Errorf("experiments: e17 failover committee=%d: anchoring recovered without a standby", r.Committee)
+			}
+			if r.Pending == 0 {
+				return fmt.Errorf("experiments: e17 failover committee=%d: outbound transfers settled without anchoring", r.Committee)
+			}
+			continue
+		}
+		sawFailover = true
+		if !r.Recovered {
+			return fmt.Errorf("experiments: e17 failover committee=%d: standby never took the lease", r.Committee)
+		}
+		if !r.TakeoverInCommittee {
+			return fmt.Errorf("experiments: e17 failover committee=%d: lease left the registered committee", r.Committee)
+		}
+		if r.DowntimeBlocks <= int(r.LeaseBlocks) {
+			return fmt.Errorf("experiments: e17 failover committee=%d: downtime %d blocks inside the lease bound %d — takeover before expiry",
+				r.Committee, r.DowntimeBlocks, r.LeaseBlocks)
+		}
+		if r.Pending != 0 {
+			return fmt.Errorf("experiments: e17 failover committee=%d: %d transfers never settled after takeover", r.Committee, r.Pending)
+		}
+	}
+	if !sawControl || !sawFailover {
+		return fmt.Errorf("experiments: e17 failover: sweep must include committee=1 and committee>1 (control=%v failover=%v)", sawControl, sawFailover)
+	}
+	return nil
+}
+
+// TableE17Recover renders the whole-shard recovery sweep.
+func TableE17Recover(rows []E17RecoverRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		match := "no"
+		if r.HeadMatch {
+			match = "yes"
+		}
+		out[i] = []string{
+			fmt.Sprint(r.Blocks),
+			fmt.Sprint(r.Height),
+			fmt.Sprint(r.SnapshotHeight),
+			fmt.Sprint(r.ReplayedBlocks),
+			match,
+			fmtDur(r.Elapsed),
+		}
+	}
+	return Table(
+		"E17a whole-shard crash recovery vs chain length (snapshot cadence bounds WAL replay; head must be bit-identical)",
+		[]string{"blocks", "height", "snapshot@", "replayed", "head match", "recovery"},
+		out,
+	)
+}
+
+// TableE17Reshard renders the epoch-transition sweep.
+func TableE17Reshard(rows []E17ReshardRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			fmt.Sprint(r.Datasets),
+			fmt.Sprint(r.Migrated),
+			fmt.Sprintf("%.0f%%", float64(r.Migrated)/float64(max(r.Datasets, 1))*100),
+			fmt.Sprint(r.FinalEpoch),
+			fmt.Sprint(r.Lost),
+			fmt.Sprint(r.Duplicated),
+			fmt.Sprint(r.Misplaced),
+			fmtDur(r.Elapsed),
+		}
+	}
+	return Table(
+		"E17b epoch-based resharding 2 -> 3 shards vs dataset count (zero lost/duplicated/misplaced datasets)",
+		[]string{"datasets", "migrated", "moved%", "epoch", "lost", "dup", "misplaced", "elapsed"},
+		out,
+	)
+}
+
+// TableE17Failover renders the gateway-kill sweep.
+func TableE17Failover(rows []E17FailoverRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		recovered, downtime := "no", "∞"
+		if r.Recovered {
+			recovered = "yes"
+			downtime = fmt.Sprint(r.DowntimeBlocks)
+		}
+		out[i] = []string{
+			fmt.Sprint(r.Committee),
+			fmt.Sprint(r.LeaseBlocks),
+			recovered,
+			downtime,
+			fmt.Sprint(r.Pending),
+		}
+	}
+	return Table(
+		"E17c anchoring outage after gateway kill: no standby stalls forever; a committee takes the lease after expiry",
+		[]string{"committee", "lease", "recovered", "downtime (coord blocks)", "pending"},
+		out,
+	)
+}

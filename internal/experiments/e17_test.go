@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+func TestE17Elasticity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cluster elasticity sweep")
+	}
+	cfg := E17Config{
+		ChainLengths:   []int{4, 8},
+		NodesPerShard:  3,
+		DatasetCounts:  []int{8, 16},
+		FailoverRounds: 16,
+		Seed:           7,
+	}
+	recov, err := E17Recovery(cfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	reshard, err := E17Reshard(cfg)
+	if err != nil {
+		t.Fatalf("reshard: %v", err)
+	}
+	failover, err := E17Failover(cfg)
+	if err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if err := E17Verify(cfg, recov, reshard, failover); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	t.Logf("\n%s\n%s\n%s", TableE17Recover(recov), TableE17Reshard(reshard), TableE17Failover(failover))
+}

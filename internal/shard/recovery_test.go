@@ -1,0 +1,253 @@
+package shard
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"medchain/internal/contract"
+	"medchain/internal/ledger"
+	"medchain/internal/store"
+)
+
+// newPersistentSystem boots a disk-backed (MemFS) sharded deployment:
+// every chain's every node runs the WAL + snapshot engine, so whole
+// shards can be crash-stopped and recovered.
+func newPersistentSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	if cfg.NodesPerShard == 0 {
+		cfg.NodesPerShard = 3
+	}
+	if cfg.CoordNodes == 0 {
+		cfg.CoordNodes = 3
+	}
+	if cfg.KeySeed == "" {
+		cfg.KeySeed = "shardtest/" + t.Name()
+	}
+	cfg.FS = store.NewMemFS()
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// headOf captures a cluster's best head hash and height.
+func headOf(t *testing.T, s *System, i int) (string, uint64) {
+	t.Helper()
+	n := BestNode(s.Shard(i))
+	if n == nil {
+		t.Fatalf("shard %d has no running node", i)
+	}
+	head := n.Chain().Head()
+	return head.Hash().String(), head.Header.Height
+}
+
+// TestSystemStopRecoverMid2PC kills the destination shard after the
+// transfer's prepare committed but before apply, recovers it from
+// disk, and requires the relay to finish the 2PC exactly once: the
+// recovered chain is bit-identical to its pre-crash head, the source
+// tombstones, the destination owns the dataset.
+func TestSystemStopRecoverMid2PC(t *testing.T) {
+	s := newPersistentSystem(t, Config{Shards: 2})
+	owner := mustKey(t, "owner/recover-dest")
+	registerDataset(t, s, 0, owner, "ds-crash")
+
+	payload, _ := json.Marshal(contract.CrossTransferPayload{Dataset: "ds-crash"})
+	if err := s.SubmitPrepare(0, owner, contract.CrossPrepareArgs{
+		ID: "xfer-crash", Kind: contract.CrossTransfer, DestShard: ShardID(1), Payload: payload,
+	}); err != nil {
+		t.Fatalf("SubmitPrepare: %v", err)
+	}
+	if _, err := s.Shard(0).CommitAll(); err != nil {
+		t.Fatalf("commit prepare: %v", err)
+	}
+	// One pump round: anchors land on coord, but the transfer is still
+	// pending — the crash lands mid-protocol.
+	s.PumpRound()
+	if s.PendingTransfers() == 0 {
+		t.Fatal("transfer settled before the crash could interrupt it")
+	}
+
+	wantHash, wantHeight := headOf(t, s, 1)
+	s.StopShard(1)
+	// The relay must tolerate the dark shard: rounds make no unsafe
+	// progress and record no anomalies.
+	s.Pump(3)
+	if err := s.RecoverShard(1); err != nil {
+		t.Fatalf("RecoverShard: %v", err)
+	}
+	gotHash, gotHeight := headOf(t, s, 1)
+	if gotHash != wantHash || gotHeight != wantHeight {
+		t.Fatalf("recovered head = %s@%d, want pre-crash %s@%d", gotHash, gotHeight, wantHash, wantHeight)
+	}
+	for _, n := range s.Shard(1).Nodes() {
+		rec := n.LastRecovery()
+		if rec == nil {
+			t.Fatal("disk-backed node recovered without a recovery report")
+		}
+	}
+
+	rounds := s.Pump(20)
+	if n := s.PendingTransfers(); n != 0 {
+		t.Fatalf("still %d pending after %d rounds post-recovery; anomalies=%v", n, rounds, s.Anomalies())
+	}
+	src := BestNode(s.Shard(0)).State()
+	prep, ok := src.CrossOutbound("xfer-crash")
+	if !ok || prep.Status != contract.CrossCommitted {
+		t.Fatalf("source prepare = %+v, want committed", prep)
+	}
+	if ds, _ := src.Dataset("ds-crash"); ds == nil || ds.MovedTo != ShardID(1) {
+		t.Fatalf("source dataset = %+v, want tombstone to %s", ds, ShardID(1))
+	}
+	dst := BestNode(s.Shard(1)).State()
+	if ds, ok := dst.Dataset("ds-crash"); !ok || ds.Owner != owner.Address() {
+		t.Fatalf("dest dataset = %+v, ok=%v", ds, ok)
+	}
+	res, ok := dst.CrossInbound(ShardID(0), "xfer-crash")
+	if !ok || !res.Applied {
+		t.Fatalf("dest resolution = %+v, ok=%v — transfer must apply exactly once", res, ok)
+	}
+	noAnomalies(t, s)
+	if err := s.VerifyConsistency(); err != nil {
+		t.Fatalf("consistency: %v", err)
+	}
+}
+
+// TestCoordStopRecoverMid2PC crashes the coordination chain between
+// the gateway anchor and the relay, recovers it from disk, and
+// requires the anchored roots (and therefore the transfer) to survive.
+func TestCoordStopRecoverMid2PC(t *testing.T) {
+	s := newPersistentSystem(t, Config{Shards: 2})
+	owner := mustKey(t, "owner/recover-coord")
+	registerDataset(t, s, 0, owner, "ds-coord-crash")
+
+	payload, _ := json.Marshal(contract.CrossTransferPayload{Dataset: "ds-coord-crash"})
+	if err := s.SubmitPrepare(0, owner, contract.CrossPrepareArgs{
+		ID: "xfer-coord", Kind: contract.CrossTransfer, DestShard: ShardID(1), Payload: payload,
+	}); err != nil {
+		t.Fatalf("SubmitPrepare: %v", err)
+	}
+	if _, err := s.Shard(0).CommitAll(); err != nil {
+		t.Fatalf("commit prepare: %v", err)
+	}
+	s.PumpRound() // gateway anchors on coord
+	anchored := false
+	if n := BestNode(s.Coord()); n != nil {
+		_, anchored = n.State().ShardRootAt(ShardID(0), BestNode(s.Shard(0)).Height())
+	}
+
+	s.StopCoord()
+	s.Pump(3) // relay must idle, not wedge, while coord is dark
+	if err := s.RecoverCoord(); err != nil {
+		t.Fatalf("RecoverCoord: %v", err)
+	}
+	if anchored {
+		if _, ok := BestNode(s.Coord()).State().ShardRootAt(ShardID(0), BestNode(s.Shard(0)).Height()); !ok {
+			t.Fatal("anchored root lost across coordination-chain recovery")
+		}
+	}
+
+	rounds := s.Pump(20)
+	if n := s.PendingTransfers(); n != 0 {
+		t.Fatalf("still %d pending after %d rounds; anomalies=%v", n, rounds, s.Anomalies())
+	}
+	src := BestNode(s.Shard(0)).State()
+	if prep, ok := src.CrossOutbound("xfer-coord"); !ok || prep.Status != contract.CrossCommitted {
+		t.Fatalf("source prepare = %+v, want committed", prep)
+	}
+	noAnomalies(t, s)
+	if err := s.VerifyConsistency(); err != nil {
+		t.Fatalf("consistency: %v", err)
+	}
+}
+
+// TestRelayExpireAfterDestPartition is the abort path under chaos: the
+// destination shard goes dark before the apply, comes back past the
+// transfer's dest-height expiry, and the relay must abort cleanly —
+// apply refused with ErrCrossExpired, expire recorded, and the source
+// dataset thawed with no tombstone.
+func TestRelayExpireAfterDestPartition(t *testing.T) {
+	s := newPersistentSystem(t, Config{Shards: 2, DestExpiryBlocks: 2})
+	owner := mustKey(t, "owner/expire-partition")
+	filler := mustKey(t, "filler/expire-partition")
+	registerDataset(t, s, 0, owner, "ds-expire")
+
+	destHeight := BestNode(s.Shard(1)).Height()
+	payload, _ := json.Marshal(contract.CrossTransferPayload{Dataset: "ds-expire"})
+	if err := s.SubmitPrepare(0, owner, contract.CrossPrepareArgs{
+		ID: "xfer-part", Kind: contract.CrossTransfer, DestShard: ShardID(1),
+		DestExpiry: destHeight + 2, Payload: payload,
+	}); err != nil {
+		t.Fatalf("SubmitPrepare: %v", err)
+	}
+	if _, err := s.Shard(0).CommitAll(); err != nil {
+		t.Fatalf("commit prepare: %v", err)
+	}
+
+	// Partition the destination before the relay can reach it.
+	s.StopShard(1)
+	s.Pump(3)
+	if s.PendingTransfers() != 1 {
+		t.Fatalf("pending = %d with dest dark, want 1", s.PendingTransfers())
+	}
+	if err := s.RecoverShard(1); err != nil {
+		t.Fatalf("RecoverShard: %v", err)
+	}
+	// Drive the recovered destination past the deadline with unrelated
+	// traffic.
+	for i := 0; BestNode(s.Shard(1)).Height() <= destHeight+2 && i < 6; i++ {
+		registerDataset(t, s, 1, filler, "ds-filler-"+string(rune('a'+i)))
+	}
+
+	// One pump round relays the source root onto the destination; then
+	// a direct apply must be refused on-chain with ErrCrossExpired.
+	s.PumpRound()
+	srcState := BestNode(s.Shard(0)).State()
+	prep, ok := srcState.CrossOutbound("xfer-part")
+	if !ok {
+		t.Fatal("prepare record missing on source")
+	}
+	if prep.Status == contract.CrossPending {
+		rec := prep.Record
+		if proof, _, ok := s.proveLeaf(rec.SourceShard, rec.SourceHeight, rec.Leaf()); ok {
+			args, _ := json.Marshal(contract.CrossApplyArgs{Record: rec, Proof: proof})
+			tx := &ledger.Transaction{
+				Type: ledger.TxCross, Contract: contract.CrossContractAddr,
+				Method: "apply", Args: args,
+			}
+			if err := SubmitSigned(s.Shard(1), mustKey(t, "relayer/expire-partition"), tx); err == nil {
+				_, _ = s.Shard(1).CommitAll()
+				if r, ok := BestNode(s.Shard(1)).Receipt(tx.ID()); ok {
+					if r.OK() || !strings.Contains(r.Err, contract.ErrCrossExpired.Error()) {
+						t.Fatalf("late apply receipt = ok=%v err=%q, want ErrCrossExpired", r.OK(), r.Err)
+					}
+				}
+			}
+		}
+	}
+
+	rounds := s.Pump(20)
+	if n := s.PendingTransfers(); n != 0 {
+		t.Fatalf("still %d pending after %d rounds; anomalies=%v", n, rounds, s.Anomalies())
+	}
+	prep, ok = srcState.CrossOutbound("xfer-part")
+	if !ok || prep.Status != contract.CrossAborted {
+		t.Fatalf("source prepare = %+v, want aborted", prep)
+	}
+	ds, ok := srcState.Dataset("ds-expire")
+	if !ok || ds.Frozen || ds.MovedTo != "" {
+		t.Fatalf("source dataset = %+v, want thawed with no tombstone", ds)
+	}
+	res, ok := BestNode(s.Shard(1)).State().CrossInbound(ShardID(0), "xfer-part")
+	if !ok || res.Applied || res.Reason != "expired" {
+		t.Fatalf("dest resolution = %+v, ok=%v, want expired refusal", res, ok)
+	}
+	if _, leaked := BestNode(s.Shard(1)).State().Dataset("ds-expire"); leaked {
+		t.Fatal("expired transfer leaked the dataset onto the destination")
+	}
+	if err := s.VerifyConsistency(); err != nil {
+		t.Fatalf("consistency: %v", err)
+	}
+}

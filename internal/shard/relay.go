@@ -129,11 +129,22 @@ func (s *System) PumpRound() bool {
 	sentAnchor := make(map[string]bool) // chainID+shard/height within this round
 
 	// Stage 1: gateways anchor unanchored block roots on the
-	// coordination chain.
+	// coordination chain. The anchoring right belongs to whichever
+	// committee member holds the shard's lease on the coordination
+	// chain; a dead holder leaves its shard silent until the lease
+	// expires and a live standby takes it over.
 	coordNode := BestNode(s.coord)
 	if coordNode != nil {
 		coordState := coordNode.State()
 		for i, id := range s.shardIDs {
+			gw := s.liveGatewayKey(i, coordState)
+			if gw == nil {
+				if s.maybeAcquireLease(i, coordNode) {
+					progress = true
+					submitted[s.coord] = true
+				}
+				continue
+			}
 			heights := make([]uint64, 0, len(s.leaves[id]))
 			for h := range s.leaves[id] {
 				heights = append(heights, h)
@@ -145,7 +156,7 @@ func (s *System) PumpRound() bool {
 				}
 				root := merkle.RootOf(s.leaves[id][h])
 				args := contract.AnchorRootArgs{Shard: id, Height: h, Root: root}
-				if err := s.submitCross(s.coord, s.gateways[i], "anchor_root", args); err == nil {
+				if err := s.submitCross(s.coord, gw, "anchor_root", args); err == nil {
 					progress = true
 					submitted[s.coord] = true
 				}
@@ -186,8 +197,16 @@ func (s *System) PumpRound() bool {
 					continue // resolve next round, once the root is committed
 				}
 				proof, root, ok := s.proveLeaf(rec.DestShard, res.DestHeight, res.Leaf())
-				if !ok || !s.relayVerify(rec.DestShard, res.DestHeight, root) {
-					s.anomaly("transfer %s: resolution proof unavailable or root mismatch", rec.ID)
+				if !ok {
+					s.anomaly("transfer %s: resolution proof unavailable", rec.ID)
+					continue
+				}
+				verified, decided := s.relayVerify(rec.DestShard, res.DestHeight, root)
+				if !decided {
+					continue // coordination chain unreachable: retry next round
+				}
+				if !verified {
+					s.anomaly("transfer %s: resolution root mismatch", rec.ID)
 					continue
 				}
 				args := contract.CrossResolveArgs{Resolution: res, Proof: proof}
@@ -204,8 +223,16 @@ func (s *System) PumpRound() bool {
 				continue
 			}
 			proof, root, ok := s.proveLeaf(rec.SourceShard, rec.SourceHeight, rec.Leaf())
-			if !ok || !s.relayVerify(rec.SourceShard, rec.SourceHeight, root) {
-				s.anomaly("transfer %s: prepare proof unavailable or root mismatch", rec.ID)
+			if !ok {
+				s.anomaly("transfer %s: prepare proof unavailable", rec.ID)
+				continue
+			}
+			verified, decided := s.relayVerify(rec.SourceShard, rec.SourceHeight, root)
+			if !decided {
+				continue // coordination chain unreachable: retry next round
+			}
+			if !verified {
+				s.anomaly("transfer %s: prepare root mismatch", rec.ID)
 				continue
 			}
 			method := "apply"
@@ -226,6 +253,51 @@ func (s *System) PumpRound() bool {
 		}
 	}
 	return progress
+}
+
+// liveGatewayKey returns the committee key currently entitled to
+// anchor shard i's roots — the on-chain lease holder — or nil when
+// that member's process is dead (see KillGateway).
+func (s *System) liveGatewayKey(i int, coordState *contract.State) *cryptoutil.KeyPair {
+	holder := s.committees[i][0].Address()
+	if info, ok := coordState.ShardInfoOf(s.shardIDs[i]); ok {
+		holder = info.Gateway
+	}
+	if s.deadGW[holder] {
+		return nil
+	}
+	for _, kp := range s.committees[i] {
+		if kp.Address() == holder {
+			return kp
+		}
+	}
+	return nil
+}
+
+// maybeAcquireLease lets the first live standby of shard i's committee
+// bid for the anchoring lease once the on-chain holder has been silent
+// past the lease bound. The contract re-checks expiry at execution
+// height, so a racing or premature bid fails harmlessly on-chain. The
+// skip-lease-expiry mutation knob suppresses the bid entirely — the
+// sim's anchoring-liveness invariant must notice the stall.
+func (s *System) maybeAcquireLease(i int, coordNode *chain.Node) bool {
+	if s.unsafeSkipLeaseExpiry {
+		return false
+	}
+	info, ok := coordNode.State().ShardInfoOf(s.shardIDs[i])
+	if !ok || !info.LeaseExpired(coordNode.Height()+1) {
+		return false
+	}
+	for _, kp := range s.committees[i] {
+		if kp.Address() == info.Gateway || s.deadGW[kp.Address()] {
+			continue
+		}
+		args := contract.AcquireLeaseArgs{Shard: s.shardIDs[i]}
+		if err := s.submitCross(s.coord, kp, "acquire_lease", args); err == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // relayRoot ensures target has shard's root at height: if it is already
@@ -260,18 +332,21 @@ func (s *System) relayRoot(shardID string, height uint64, target *chain.Cluster,
 
 // relayVerify is the coordinator's own proof-path check: the root the
 // relay computed from scanned leaves must equal the root anchored on
-// the coordination chain. A mismatch means a gateway anchored something
-// the blocks do not support — the relay refuses to build proofs on it.
-func (s *System) relayVerify(shardID string, height uint64, computed cryptoutil.Digest) bool {
+// the coordination chain. verified=false with decided=true means a
+// gateway anchored something the blocks do not support — the relay
+// refuses to build proofs on it. decided=false means the coordination
+// chain is unreachable (or the root not yet anchored there): not a
+// protocol violation, just a round to retry.
+func (s *System) relayVerify(shardID string, height uint64, computed cryptoutil.Digest) (verified, decided bool) {
 	coordNode := BestNode(s.coord)
 	if coordNode == nil {
-		return false
+		return false, false
 	}
 	anchored, ok := coordNode.State().ShardRootAt(shardID, height)
 	if !ok {
-		return false
+		return false, false
 	}
-	return anchored.Root == computed
+	return anchored.Root == computed, true
 }
 
 // PendingTransfers counts transfers still awaiting settlement across

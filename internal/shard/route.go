@@ -2,23 +2,55 @@ package shard
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 
 	"medchain/internal/cryptoutil"
 )
 
-// ShardOf deterministically assigns a routing key (patient ID, dataset
+// ErrBadShardCount reports a routing request against an empty or
+// negative shard set — there is no shard to assign the key to.
+var ErrBadShardCount = errors.New("shard: shard count must be positive")
+
+// RouteKey deterministically assigns a routing key (patient ID, dataset
 // ID, site name) to one of n shards by stable hashing. Every
 // participant — clients, gateways, the coordinator — derives the same
 // assignment from the key alone; the authoritative shard list itself
 // (IDs and gateway addresses) is the routing table committed on the
-// coordination chain via cross/"register_shard".
+// coordination chain via cross/"register_shard", versioned by the
+// routing-epoch table (cross/"begin_epoch" + "commit_epoch").
 //
 // The digest is domain-separated so shard routing can never collide
 // with other uses of the hash.
-func ShardOf(key string, n int) int {
-	if n <= 1 {
-		return 0
+func RouteKey(key string, n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadShardCount, n)
+	}
+	if n == 1 {
+		return 0, nil
 	}
 	d := cryptoutil.SumAll([]byte("medchain/shard-route"), []byte(key))
-	return int(binary.BigEndian.Uint64(d[:8]) % uint64(n))
+	return int(binary.BigEndian.Uint64(d[:8]) % uint64(n)), nil
+}
+
+// RouteIn routes a key into an explicit shard-ID list — one routing
+// epoch's shard set. Reassignments across epochs follow purely from
+// the list length changing, so any two routers holding the same epoch
+// agree on every key's home.
+func RouteIn(key string, shards []string) (string, error) {
+	i, err := RouteKey(key, len(shards))
+	if err != nil {
+		return "", err
+	}
+	return shards[i], nil
+}
+
+// ShardOf is RouteKey for callers that guarantee n ≥ 1; a non-positive
+// n falls back to shard 0 instead of erroring.
+func ShardOf(key string, n int) int {
+	i, err := RouteKey(key, n)
+	if err != nil {
+		return 0
+	}
+	return i
 }

@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRouteKeyBoundaries(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		wantErr bool
+	}{
+		{"zero shards", 0, true},
+		{"negative shards", -3, true},
+		{"single shard", 1, false},
+		{"two shards", 2, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			i, err := RouteKey("patient-42", tc.n)
+			if tc.wantErr {
+				if !errors.Is(err, ErrBadShardCount) {
+					t.Fatalf("RouteKey(n=%d) err = %v, want ErrBadShardCount", tc.n, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("RouteKey(n=%d): %v", tc.n, err)
+			}
+			if i < 0 || i >= tc.n {
+				t.Fatalf("RouteKey(n=%d) = %d out of range", tc.n, i)
+			}
+		})
+	}
+	// The guarded fallback: ShardOf never panics or escapes the range.
+	if got := ShardOf("patient-42", 0); got != 0 {
+		t.Fatalf("ShardOf(n=0) = %d, want 0 fallback", got)
+	}
+	if got := ShardOf("patient-42", -1); got != 0 {
+		t.Fatalf("ShardOf(n=-1) = %d, want 0 fallback", got)
+	}
+}
+
+func TestRouteInEpochLists(t *testing.T) {
+	if _, err := RouteIn("ds-1", nil); !errors.Is(err, ErrBadShardCount) {
+		t.Fatalf("RouteIn(empty) err = %v, want ErrBadShardCount", err)
+	}
+
+	two := []string{"shard-0", "shard-1"}
+	three := []string{"shard-0", "shard-1", "shard-2"}
+	moved, stayed := 0, 0
+	for _, key := range []string{
+		"patient-a", "patient-b", "ds-ehr-1", "ds-ehr-2", "site-x/genome-7",
+		"ds-1", "ds-2", "ds-3", "ds-4", "ds-5", "ds-6", "ds-7", "ds-8",
+	} {
+		h2, err := RouteIn(key, two)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h3, err := RouteIn(key, three)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same key, same epoch list → same home, always.
+		if again, _ := RouteIn(key, two); again != h2 {
+			t.Fatalf("RouteIn(%q) not stable", key)
+		}
+		// Across epochs the homes may legitimately differ — that
+		// mismatch is exactly what dual-epoch routing exists to bridge.
+		if h2 == h3 {
+			stayed++
+		} else {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("growing the epoch list reassigned no keys — resharding would be a no-op")
+	}
+	if stayed == 0 {
+		t.Fatal("growing the epoch list reassigned every key — hashing is degenerate")
+	}
+}

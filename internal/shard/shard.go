@@ -26,6 +26,7 @@ import (
 	"medchain/internal/ledger"
 	"medchain/internal/p2p"
 	"medchain/internal/parexec"
+	"medchain/internal/store"
 )
 
 // Config sizes a sharded deployment.
@@ -59,6 +60,38 @@ type Config struct {
 	// Guard overrides every chain's peer-guard tuning (nil = defaults);
 	// adversarial simulations shorten quarantine decay with it.
 	Guard *guard.Config
+
+	// DataDir makes every chain disk-backed: each chain stores under
+	// DataDir/<chainID>/node-<i> (per-node WAL + snapshots via
+	// internal/store), and a killed shard recovers from disk. Setting
+	// FS or FSFor also enables persistence (DataDir then defaults to
+	// "data" inside the injected filesystem).
+	DataDir string
+	// FS is the filesystem all nodes share (nil = the real disk when
+	// DataDir is set). Tests inject store.MemFS here.
+	FS store.FS
+	// FSFor, when set, supplies a per-chain per-node filesystem and
+	// overrides FS — the simulation harness injects fault-wrapped MemFS
+	// instances here so each node's disk fails independently.
+	FSFor func(chainID string, node int) store.FS
+	// SyncEvery batches WAL fsyncs (<=1 = every block). Sharded
+	// deployments default to 1: whole-shard crash recovery needs every
+	// committed block on disk, and group commit would trade that
+	// durability window for throughput.
+	SyncEvery int
+	// SnapshotEvery / SnapshotKeep tune state snapshots (0 = none).
+	SnapshotEvery int
+	SnapshotKeep  int
+
+	// CommitteeSize is the gateway failover committee per shard: member
+	// 0 is the initial anchoring gateway, the rest are standbys that
+	// take the lease over when the holder misses its anchor cadence
+	// (default 1 = no failover).
+	CommitteeSize int
+	// LeaseBlocks is the gateway lease bound in coordination-chain
+	// blocks: a standby may acquire the lease once the holder has
+	// neither anchored nor renewed within this many blocks (default 8).
+	LeaseBlocks uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -80,7 +113,42 @@ func (c Config) withDefaults() Config {
 	if c.DestExpiryBlocks == 0 {
 		c.DestExpiryBlocks = 50
 	}
+	if c.CommitteeSize <= 0 {
+		c.CommitteeSize = 1
+	}
+	if c.LeaseBlocks == 0 {
+		c.LeaseBlocks = 8
+	}
+	if c.persistent() {
+		if c.DataDir == "" {
+			c.DataDir = "data"
+		}
+		if c.SyncEvery <= 0 {
+			c.SyncEvery = 1
+		}
+	}
 	return c
+}
+
+// persistent reports whether the deployment is disk-backed.
+func (c Config) persistent() bool {
+	return c.DataDir != "" || c.FS != nil || c.FSFor != nil
+}
+
+// persistFor builds chain i's durable-storage config, nil when the
+// deployment is memory-only.
+func (c Config) persistFor(chainID string) *chain.PersistConfig {
+	if !c.persistent() {
+		return nil
+	}
+	p := &chain.PersistConfig{
+		Dir: store.Join(c.DataDir, chainID), FS: c.FS,
+		SyncEvery: c.SyncEvery, SnapshotEvery: c.SnapshotEvery, SnapshotKeep: c.SnapshotKeep,
+	}
+	if c.FSFor != nil {
+		p.FSFor = func(node int) store.FS { return c.FSFor(chainID, node) }
+	}
+	return p
 }
 
 // System is a running sharded deployment: the coordination chain, the
@@ -95,9 +163,25 @@ type System struct {
 	// coordination chain and relays anchored roots (and 2PC
 	// transactions) onto member shards.
 	coordKey *cryptoutil.KeyPair
-	// gateways[i] is shard i's gateway identity, the only address the
-	// coordination chain accepts shard i's roots from.
-	gateways []*cryptoutil.KeyPair
+	// committees[i] holds shard i's gateway failover committee keys:
+	// member 0 is the initial anchoring gateway, the rest are standbys.
+	// Which member currently holds the anchoring right is on-chain
+	// state (ShardInfo.Gateway on the coordination chain), not a field
+	// here — the relay re-reads it every round.
+	committees [][]*cryptoutil.KeyPair
+	// deadGW marks committee members whose process is "down": the relay
+	// never signs with a dead member's key, which is how simulations
+	// starve a lease. Keyed by address so on-chain lookups map back.
+	deadGW map[cryptoutil.Address]bool
+
+	// unsafeSkipEpochCheck makes the dataset router consult only the
+	// pending epoch during a transition (mutation knob — the sharded
+	// sim's query-liveness invariant must catch the 404s this causes).
+	unsafeSkipEpochCheck bool
+	// unsafeSkipLeaseExpiry stops standby committee members from ever
+	// acquiring an expired lease (mutation knob — the sim's
+	// anchoring-liveness invariant must catch the stalled anchors).
+	unsafeSkipLeaseExpiry bool
 
 	// leaves caches each member shard's per-block cross-record leaves
 	// (in block order), rebuilt by scanning committed blocks; proofs are
@@ -120,6 +204,7 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg:     cfg,
 		leaves:  make(map[string]map[uint64][][]byte),
 		scanned: make(map[string]uint64),
+		deadGW:  make(map[cryptoutil.Address]bool),
 	}
 	var err error
 	if s.coordKey, err = cryptoutil.DeriveKeyPair(cfg.KeySeed + "/coordinator"); err != nil {
@@ -130,38 +215,65 @@ func NewSystem(cfg Config) (*System, error) {
 		Network: cfg.Network, MaxBlockTxs: cfg.MaxBlockTxs,
 		CommitTimeout: cfg.CommitTimeout, KeySeed: cfg.KeySeed + "/coord",
 		ParallelWorkers: cfg.ParallelWorkers, ExecMode: cfg.ExecMode,
-		Guard: cfg.Guard,
+		Guard: cfg.Guard, Persist: cfg.persistFor("coord"),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("shard: coordination chain: %w", err)
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		id := ShardID(i)
-		gw, err := cryptoutil.DeriveKeyPair(fmt.Sprintf("%s/gateway-%d", cfg.KeySeed, i))
-		if err != nil {
+		if err := s.addShardCluster(i); err != nil {
 			s.Close()
 			return nil, err
 		}
-		c, err := chain.NewCluster(chain.ClusterConfig{
-			Nodes: cfg.NodesPerShard, ChainID: id, Engine: cfg.Engine,
-			Network: cfg.Network, MaxBlockTxs: cfg.MaxBlockTxs,
-			CommitTimeout: cfg.CommitTimeout, KeySeed: fmt.Sprintf("%s/%s", cfg.KeySeed, id),
-			ParallelWorkers: cfg.ParallelWorkers, ExecMode: cfg.ExecMode,
-			Guard: cfg.Guard,
-		})
-		if err != nil {
-			s.Close()
-			return nil, fmt.Errorf("shard: %s: %w", id, err)
-		}
-		s.shards = append(s.shards, c)
-		s.shardIDs = append(s.shardIDs, id)
-		s.gateways = append(s.gateways, gw)
 	}
 	if err := s.bootstrap(); err != nil {
 		s.Close()
 		return nil, err
 	}
 	return s, nil
+}
+
+// committeeKeys derives shard i's gateway committee: member 0 keeps
+// the legacy single-gateway seed, standbys extend it with a member
+// suffix.
+func committeeKeys(keySeed string, shard, size int) ([]*cryptoutil.KeyPair, error) {
+	keys := make([]*cryptoutil.KeyPair, 0, size)
+	for j := 0; j < size; j++ {
+		seed := fmt.Sprintf("%s/gateway-%d", keySeed, shard)
+		if j > 0 {
+			seed = fmt.Sprintf("%s.%d", seed, j)
+		}
+		kp, err := cryptoutil.DeriveKeyPair(seed)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, kp)
+	}
+	return keys, nil
+}
+
+// addShardCluster creates member shard i's cluster and committee keys
+// (no on-chain registration — bootstrap and AddShard do that).
+func (s *System) addShardCluster(i int) error {
+	id := ShardID(i)
+	committee, err := committeeKeys(s.cfg.KeySeed, i, s.cfg.CommitteeSize)
+	if err != nil {
+		return err
+	}
+	c, err := chain.NewCluster(chain.ClusterConfig{
+		Nodes: s.cfg.NodesPerShard, ChainID: id, Engine: s.cfg.Engine,
+		Network: s.cfg.Network, MaxBlockTxs: s.cfg.MaxBlockTxs,
+		CommitTimeout: s.cfg.CommitTimeout, KeySeed: fmt.Sprintf("%s/%s", s.cfg.KeySeed, id),
+		ParallelWorkers: s.cfg.ParallelWorkers, ExecMode: s.cfg.ExecMode,
+		Guard: s.cfg.Guard, Persist: s.cfg.persistFor(id),
+	})
+	if err != nil {
+		return fmt.Errorf("shard: %s: %w", id, err)
+	}
+	s.shards = append(s.shards, c)
+	s.shardIDs = append(s.shardIDs, id)
+	s.committees = append(s.committees, committee)
+	return nil
 }
 
 // bootstrap runs the genesis ceremony: cross/init on every chain (the
@@ -183,10 +295,18 @@ func (s *System) bootstrap() error {
 		}
 	}
 	for i := range s.shards {
-		reg := contract.RegisterShardArgs{ID: s.shardIDs[i], Gateway: s.gateways[i].Address()}
-		if err := s.submitCross(s.coord, s.coordKey, "register_shard", reg); err != nil {
-			return fmt.Errorf("shard: register %s: %w", s.shardIDs[i], err)
+		if err := s.registerShard(i); err != nil {
+			return err
 		}
+	}
+	// Commit routing epoch 1 over the full bootstrap shard set; later
+	// epochs (AddShard + BeginEpoch/CommitEpoch) reshard against it.
+	begin := contract.BeginEpochArgs{Epoch: 1, Shards: s.shardIDs}
+	if err := s.submitCross(s.coord, s.coordKey, "begin_epoch", begin); err != nil {
+		return fmt.Errorf("shard: begin epoch 1: %w", err)
+	}
+	if err := s.submitCross(s.coord, s.coordKey, "commit_epoch", contract.CommitEpochArgs{Epoch: 1}); err != nil {
+		return fmt.Errorf("shard: commit epoch 1: %w", err)
 	}
 	if _, err := s.coord.CommitAll(); err != nil {
 		return fmt.Errorf("shard: commit coord bootstrap: %w", err)
@@ -195,6 +315,23 @@ func (s *System) bootstrap() error {
 		if _, err := c.CommitAll(); err != nil {
 			return fmt.Errorf("shard: commit %s bootstrap: %w", s.shardIDs[i], err)
 		}
+	}
+	return nil
+}
+
+// registerShard submits shard i's routing-table entry (gateway,
+// failover committee, lease bound) to the coordination chain.
+func (s *System) registerShard(i int) error {
+	committee := make([]cryptoutil.Address, len(s.committees[i]))
+	for j, kp := range s.committees[i] {
+		committee[j] = kp.Address()
+	}
+	reg := contract.RegisterShardArgs{
+		ID: s.shardIDs[i], Gateway: s.committees[i][0].Address(),
+		Committee: committee, LeaseBlocks: s.cfg.LeaseBlocks,
+	}
+	if err := s.submitCross(s.coord, s.coordKey, "register_shard", reg); err != nil {
+		return fmt.Errorf("shard: register %s: %w", s.shardIDs[i], err)
 	}
 	return nil
 }
@@ -220,16 +357,141 @@ func (s *System) Config() Config { return s.cfg }
 // CoordinatorAddress returns the coordinator identity's address.
 func (s *System) CoordinatorAddress() cryptoutil.Address { return s.coordKey.Address() }
 
-// GatewayAddress returns shard i's gateway address.
-func (s *System) GatewayAddress(i int) cryptoutil.Address { return s.gateways[i].Address() }
+// GatewayAddress returns shard i's initial gateway address (committee
+// member 0). The current lease holder may differ — see ActiveGateway.
+func (s *System) GatewayAddress(i int) cryptoutil.Address { return s.committees[i][0].Address() }
 
-// ShardOf routes a key (patient ID, dataset ID, site name) to its home
-// shard by stable hashing — every router derives the same assignment
-// with no coordination.
-func (s *System) ShardOf(key string) int { return ShardOf(key, len(s.shards)) }
+// CommitteeAddresses returns shard i's gateway committee addresses in
+// member order.
+func (s *System) CommitteeAddresses(i int) []cryptoutil.Address {
+	out := make([]cryptoutil.Address, len(s.committees[i]))
+	for j, kp := range s.committees[i] {
+		out[j] = kp.Address()
+	}
+	return out
+}
 
-// Cluster returns the cluster a routing key lives on.
+// ActiveGateway returns shard i's current anchoring-lease holder as
+// recorded on the coordination chain (falls back to committee member 0
+// when the coordination chain is unreadable).
+func (s *System) ActiveGateway(i int) cryptoutil.Address {
+	if n := BestNode(s.coord); n != nil {
+		if info, ok := n.State().ShardInfoOf(s.shardIDs[i]); ok {
+			return info.Gateway
+		}
+	}
+	return s.committees[i][0].Address()
+}
+
+// KillGateway marks shard i's current lease holder dead: the relay
+// stops signing anchors with its key, and (unless the skip-lease-expiry
+// knob is on) a standby committee member acquires the lease once it
+// expires.
+func (s *System) KillGateway(i int) {
+	s.deadGW[s.ActiveGateway(i)] = true
+}
+
+// ReviveGateways clears the dead flag of every member of shard i's
+// committee.
+func (s *System) ReviveGateways(i int) {
+	for _, kp := range s.committees[i] {
+		delete(s.deadGW, kp.Address())
+	}
+}
+
+// SetUnsafeSkipEpochCheck toggles the router mutation knob: during an
+// epoch transition the dataset router consults only the pending epoch,
+// so unmigrated datasets 404. Exists to prove the sharded simulation's
+// query-liveness invariant catches the bug.
+func (s *System) SetUnsafeSkipEpochCheck(on bool) { s.unsafeSkipEpochCheck = on }
+
+// SetUnsafeSkipLeaseExpiry toggles the failover mutation knob: standby
+// committee members never acquire an expired lease, so a dead gateway
+// stalls its shard's anchoring forever. Exists to prove the sharded
+// simulation's anchoring-liveness invariant catches the bug.
+func (s *System) SetUnsafeSkipLeaseExpiry(on bool) { s.unsafeSkipLeaseExpiry = on }
+
+// CoordinatorSubmit signs one cross-contract transaction as the
+// coordinator and gossips it into the coordination chain, returning
+// the signed transaction so callers can look up its receipt — the
+// simulation's epoch probes use this to prove stale transitions are
+// refused on-chain.
+func (s *System) CoordinatorSubmit(method string, args any) (*ledger.Transaction, error) {
+	n := BestNode(s.coord)
+	if n == nil {
+		return nil, chain.ErrStopped
+	}
+	payload, err := encodeArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	tx := &ledger.Transaction{
+		Type:      ledger.TxCross,
+		Nonce:     n.PendingNonce(s.coordKey.Address()),
+		Contract:  contract.CrossContractAddr,
+		Method:    method,
+		Args:      payload,
+		Timestamp: tsFor(n),
+	}
+	if err := tx.Sign(s.coordKey); err != nil {
+		return nil, err
+	}
+	if err := s.coord.Submit(tx); err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// Cluster returns the cluster a routing key lives on under the current
+// routing epoch.
 func (s *System) Cluster(key string) *chain.Cluster { return s.shards[s.ShardOf(key)] }
+
+// StopShard crash-stops every node of member shard i (no final sync —
+// the recovery path must replay from whatever the WAL holds).
+func (s *System) StopShard(i int) {
+	for n := range s.shards[i].Nodes() {
+		s.shards[i].StopNode(n)
+	}
+}
+
+// RecoverShard restarts every node of member shard i from disk and
+// resets the relay's leaf cache for it, so proofs are rebuilt from the
+// recovered chain rather than trusted from pre-crash memory. In-flight
+// 2PC transfers resume from on-chain CrossRecord state on the next
+// pump round.
+func (s *System) RecoverShard(i int) error {
+	c := s.shards[i]
+	for n := range c.Nodes() {
+		if err := c.RestartNode(n); err != nil {
+			return fmt.Errorf("shard: recover %s node %d: %w", s.shardIDs[i], n, err)
+		}
+	}
+	c.SyncLagging()
+	id := s.shardIDs[i]
+	s.scanned[id] = 0
+	delete(s.leaves, id)
+	return nil
+}
+
+// StopCoord crash-stops every coordination-chain node.
+func (s *System) StopCoord() {
+	for n := range s.coord.Nodes() {
+		s.coord.StopNode(n)
+	}
+}
+
+// RecoverCoord restarts every coordination-chain node from disk.
+// Anchored roots, the routing table, and gateway leases are all
+// on-chain state, so the relay resumes with no cache to reset.
+func (s *System) RecoverCoord() error {
+	for n := range s.coord.Nodes() {
+		if err := s.coord.RestartNode(n); err != nil {
+			return fmt.Errorf("shard: recover coord node %d: %w", n, err)
+		}
+	}
+	s.coord.SyncLagging()
+	return nil
+}
 
 // Anomalies returns relay-side protocol surprises recorded so far.
 func (s *System) Anomalies() []string { return append([]string(nil), s.anomalies...) }

@@ -14,6 +14,7 @@ import (
 	"medchain/internal/ledger"
 	"medchain/internal/merkle"
 	"medchain/internal/shard"
+	"medchain/internal/store"
 )
 
 // ShardedConfig parameterizes one sharded simulation run: N member
@@ -58,6 +59,38 @@ type ShardedConfig struct {
 	// set must FAIL: the harness's proof probes and independent shadow
 	// audit are required to catch a chain that skips verification.
 	UnsafeSkipCrossProofVerify bool
+
+	// Persist makes every chain disk-backed (MemFS-backed WAL +
+	// snapshots, SyncEvery=1). Required by CrashEvery.
+	Persist bool
+	// CrashEvery, when > 0, crash-stops a whole chain (rotating through
+	// the member shards and the coordination chain) mid-cycle at round
+	// N·CrashEvery + CrashEvery/2 and recovers it from disk at the next
+	// cycle boundary, asserting the recovered head is bit-identical to
+	// the pre-crash head. Requires Persist; the Byzantine shard is
+	// never picked (chaos owns its node lifecycle).
+	CrashEvery int
+	// Reshard adds a member shard at Rounds/2 and drives a full epoch
+	// transition under load: begin_epoch, incremental dataset migration
+	// over the ordinary transfer path, commit_epoch, and a placement
+	// audit. The per-round query-liveness invariant runs throughout.
+	Reshard bool
+	// CommitteeSize sizes each shard's gateway failover committee
+	// (default 1 = no failover).
+	CommitteeSize int
+	// GatewayKillRound, when > 0, kills shard 0's active gateway at
+	// that round. With a committee, a standby must take the lease over
+	// and the backlog must drain; the post-run check asserts the
+	// takeover happened.
+	GatewayKillRound int
+	// UnsafeSkipEpochCheck makes the router consult only the pending
+	// epoch during a transition — the resharding mutation knob. A
+	// Reshard run with it set must FAIL the query-liveness invariant.
+	UnsafeSkipEpochCheck bool
+	// UnsafeSkipLeaseExpiry suppresses standby lease takeover — the
+	// failover mutation knob. A GatewayKillRound run with it set must
+	// FAIL (anchoring stalls, transfers never settle).
+	UnsafeSkipLeaseExpiry bool
 }
 
 func (c ShardedConfig) withDefaults() ShardedConfig {
@@ -85,6 +118,9 @@ func (c ShardedConfig) withDefaults() ShardedConfig {
 	if c.DestExpiryBlocks == 0 {
 		c.DestExpiryBlocks = 50
 	}
+	if c.CrashEvery > 0 {
+		c.Persist = true // crash/recovery cycles need a store to replay
+	}
 	return c
 }
 
@@ -99,9 +135,14 @@ type ShardedResult struct {
 	Committed int
 	Aborted   int
 	Pending   int
-	// ProbesRejected counts proof-soundness probes correctly refused on
-	// chain (forged proof, unanchored root, replayed apply).
+	// ProbesRejected counts soundness probes correctly refused on chain
+	// (forged proof, unanchored root, replayed apply, stale epochs).
 	ProbesRejected int
+	// Crashes counts whole-chain crash/recovery cycles completed;
+	// FinalEpoch is the committed routing epoch at drain (1 unless the
+	// run resharded).
+	Crashes    int
+	FinalEpoch uint64
 	// ShardHeights / CoordHeight are final chain heights.
 	ShardHeights []uint64
 	CoordHeight  uint64
@@ -155,6 +196,10 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 		KeySeed:          keySeed,
 		CommitTimeout:    cfg.CommitTimeout,
 		DestExpiryBlocks: cfg.DestExpiryBlocks,
+		CommitteeSize:    cfg.CommitteeSize,
+	}
+	if cfg.Persist {
+		scfg.FS = store.NewMemFS() // disk-backed: every node runs WAL + snapshots
 	}
 	if cfg.Adversary != nil {
 		scfg.Guard = adversaryGuardConfig()
@@ -171,6 +216,8 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 			}
 		}
 	}
+	sys.SetUnsafeSkipEpochCheck(cfg.UnsafeSkipEpochCheck)
+	sys.SetUnsafeSkipLeaseExpiry(cfg.UnsafeSkipLeaseExpiry)
 
 	ck := &shardedChecker{}
 	rng := rand.New(rand.NewSource(subSeed(cfg.Seed, "sharded-workload")))
@@ -201,6 +248,10 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 		orch = chaos.New(byzCluster, sched)
 	}
 
+	// The elastic scheduler owns the crash/recovery, resharding, and
+	// gateway-failover schedules and their invariants.
+	es := newElastic(cfg, sys, ck, byz)
+
 	// baseline heights, for the containment liveness check.
 	base := make([]uint64, cfg.Shards)
 	for i := range base {
@@ -228,12 +279,18 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 		dsSeq++
 		id := fmt.Sprintf("ds-%04d", dsSeq)
 		owner := newKey(id)
+		home := shardIdx
+		if cfg.Reshard {
+			// Reshard runs place datasets by the routing epoch, so the
+			// epoch transition has real reassignments to migrate.
+			home = sys.ShardOf(id)
+		}
 		args, _ := json.Marshal(contract.RegisterDatasetArgs{
-			ID: id, Schema: "fhir.r4", Records: 5 + rng.Intn(50), SiteID: shard.ShardID(shardIdx),
+			ID: id, Schema: "fhir.r4", Records: 5 + rng.Intn(50), SiteID: shard.ShardID(home),
 		})
 		tx := &ledger.Transaction{Type: ledger.TxData, Method: "register_dataset", Args: args}
-		if err := shard.SubmitSigned(sys.Shard(shardIdx), owner, tx); err == nil {
-			datasets = append(datasets, &dsInfo{id: id, home: shardIdx, owner: owner})
+		if err := shard.SubmitSigned(sys.Shard(home), owner, tx); err == nil {
+			datasets = append(datasets, &dsInfo{id: id, home: home, owner: owner})
 		}
 	}
 
@@ -244,8 +301,12 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 		if cfg.ShortExpiryEvery > 0 && prepSeq%cfg.ShortExpiryEvery == 0 {
 			expiry = 1 // already passed: forces the expire/abort path
 		}
+		nsh := sys.Shards() // live count: resharding adds a shard mid-run
 		switch rng.Intn(3) {
 		case 0: // HIE record transfer of an unmoved dataset
+			if sys.InTransition() {
+				return // migration owns dataset moves mid-transition
+			}
 			var candidates []*dsInfo
 			for _, d := range datasets {
 				if !d.moved {
@@ -256,7 +317,7 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 				return
 			}
 			d := candidates[rng.Intn(len(candidates))]
-			dest := rng.Intn(cfg.Shards - 1)
+			dest := rng.Intn(nsh - 1)
 			if dest >= d.home {
 				dest++
 			}
@@ -273,7 +334,7 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 				return
 			}
 			d := datasets[rng.Intn(len(datasets))]
-			src := rng.Intn(cfg.Shards - 1)
+			src := rng.Intn(nsh - 1)
 			if src >= d.home {
 				src++
 			}
@@ -289,8 +350,8 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 		default: // federated-round contribution
 			round := fmt.Sprintf("flr-%d", flSeq/4)
 			flSeq++
-			dest := (flSeq / 4) % cfg.Shards
-			src := rng.Intn(cfg.Shards - 1)
+			dest := (flSeq / 4) % nsh
+			src := rng.Intn(nsh - 1)
 			if src >= dest {
 				src++
 			}
@@ -306,6 +367,32 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 		}
 	}
 
+	// submitTransferFrom forces a transfer out of one shard — the
+	// gateway drill needs post-kill traffic whose settlement requires a
+	// fresh anchor from the killed shard's committee.
+	submitTransferFrom := func(src int) {
+		if es.down(src) || sys.InTransition() {
+			return
+		}
+		for _, d := range datasets {
+			if d.moved || d.home != src {
+				continue
+			}
+			prepSeq++
+			payload, _ := json.Marshal(contract.CrossTransferPayload{Dataset: d.id})
+			err := sys.SubmitPrepare(src, d.owner, contract.CrossPrepareArgs{
+				ID: fmt.Sprintf("xfer-%04d", prepSeq), Kind: contract.CrossTransfer,
+				DestShard: shard.ShardID((src + 1) % sys.Shards()),
+				Payload:   payload,
+			})
+			if err == nil {
+				d.moved = true
+			}
+			return
+		}
+		submitData(src) // nothing to move yet: seed a dataset for next round
+	}
+
 	for round := 0; round < cfg.Rounds && !ck.failed(); round++ {
 		if orch != nil {
 			orch.Advance(round)
@@ -319,23 +406,31 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 				break
 			}
 		}
-		for i := 0; i < cfg.Shards; i++ {
-			if rng.Intn(2) == 0 {
+		es.step(round)
+		for i := 0; i < sys.Shards(); i++ {
+			if rng.Intn(2) == 0 && !es.down(i) {
 				submitData(i)
 			}
 		}
 		for k := 0; k < 1+rng.Intn(cfg.PreparesPerRound); k++ {
 			submitPrepare()
 		}
-		for i := 0; i < cfg.Shards; i++ {
+		if es.gwKilled {
+			submitTransferFrom(es.gwShard)
+		}
+		for i := 0; i < sys.Shards(); i++ {
+			if es.down(i) {
+				continue // crash-stopped by schedule, not a containment breach
+			}
 			if _, err := sys.Shard(i).Commit(); err != nil && i != byz {
 				ck.violationf("containment: healthy %s failed to commit round %d: %v", shard.ShardID(i), round, err)
 			}
 		}
 		sys.PumpRound()
+		es.afterPump(round, datasets)
 		if round%8 == 7 {
-			for i := 0; i < cfg.Shards; i++ {
-				if i == byz {
+			for i := 0; i < sys.Shards(); i++ {
+				if i == byz || es.down(i) {
 					continue // mid-attack divergence is legal on the contained shard
 				}
 				if err := sys.Shard(i).VerifyConsistency(); err != nil {
@@ -345,8 +440,10 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 		}
 	}
 
-	// Drain: retire the adversary, heal faults, then settle every
+	// Drain: recover any crash-stopped chain, retire the adversary, heal
+	// faults, finish a still-open epoch transition, then settle every
 	// in-flight cross-shard operation.
+	es.finish()
 	if adv != nil && !ck.failed() {
 		adv.retire(ck, sys.Shard(byz))
 	}
@@ -357,8 +454,11 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 		}
 	}
 	if !ck.failed() {
+		es.finishReshard(datasets)
+	}
+	if !ck.failed() {
 		for attempt := 0; attempt < 8; attempt++ {
-			for i := 0; i < cfg.Shards; i++ {
+			for i := 0; i < sys.Shards(); i++ {
 				_, _ = sys.Shard(i).CommitAll()
 			}
 			sys.Pump(12)
@@ -367,9 +467,11 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 			}
 		}
 	}
+	es.checkGateway()
 
 	if !ck.failed() {
 		fireProofProbes(sys, ck, res)
+		fireEpochProbes(sys, ck, res)
 	}
 	if !ck.failed() {
 		auditSharded(sys, ck, res, byz)
@@ -386,7 +488,7 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 		res.QuarantineBlocks = adv.quarantineBlocks
 	}
 
-	for i := 0; i < cfg.Shards; i++ {
+	for i := 0; i < sys.Shards(); i++ {
 		if n := shard.BestNode(sys.Shard(i)); n != nil {
 			res.ShardHeights = append(res.ShardHeights, n.Height())
 		} else {
@@ -396,6 +498,8 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 	if n := shard.BestNode(sys.Coord()); n != nil {
 		res.CoordHeight = n.Height()
 	}
+	res.Crashes = es.crashes
+	res.FinalEpoch = sys.Epoch()
 	if orch != nil {
 		res.FaultLog = orch.FaultLog()
 	}
@@ -565,6 +669,7 @@ func auditSharded(sys *shard.System, ck *shardedChecker, res *ShardedResult, byz
 
 	// Atomicity: every prepare settled, mirrored, and effective exactly
 	// once.
+	movedDatasets := make(map[string]bool)
 	for i := range ids {
 		for _, prep := range states[i].CrossOutboundAll() {
 			rec := prep.Record
@@ -598,17 +703,29 @@ func auditSharded(sys *shard.System, ck *shardedChecker, res *ShardedResult, byz
 				if json.Unmarshal(rec.Payload, &p) != nil {
 					continue
 				}
+				movedDatasets[p.Dataset] = true
 				srcDS, srcOK := states[i].Dataset(p.Dataset)
 				destDS, destOK := states[di].Dataset(p.Dataset)
 				if prep.Status == contract.CrossCommitted {
-					if !srcOK || srcDS.MovedTo != rec.DestShard {
-						ck.violationf("atomicity: committed transfer %s left no tombstone on %s", rec.ID, ids[i])
+					// The destination must hold a record — live, or a
+					// tombstone if a later transfer moved the dataset on
+					// (reshard migrations routinely round-trip datasets).
+					if !destOK {
+						ck.violationf("atomicity: committed transfer %s has no dataset record on %s", rec.ID, rec.DestShard)
 					}
-					if !destOK || destDS.MovedTo != "" {
-						ck.violationf("atomicity: committed transfer %s has no live dataset on %s", rec.ID, rec.DestShard)
+					// Strict placement applies only to the dataset's final
+					// hop: dest live implies src tombstoned toward it.
+					if destOK && destDS.MovedTo == "" {
+						if !srcOK || srcDS.MovedTo != rec.DestShard {
+							ck.violationf("atomicity: committed transfer %s left no tombstone on %s", rec.ID, ids[i])
+						}
 					}
 				} else {
-					if !srcOK || srcDS.Frozen || srcDS.MovedTo != "" {
+					// Abort restores the source record; a later committed
+					// transfer may have legitimately moved it since, so
+					// only existence is owed here (frozen is caught by the
+					// global scan below, duplication by the census).
+					if !srcOK {
 						ck.violationf("atomicity: aborted transfer %s did not restore %q on %s", rec.ID, p.Dataset, ids[i])
 					}
 				}
@@ -619,6 +736,21 @@ func auditSharded(sys *shard.System, ck *shardedChecker, res *ShardedResult, byz
 			if ds, ok := states[i].Dataset(id); ok && ds.Frozen {
 				ck.violationf("atomicity: dataset %q on %s is still frozen after drain", id, ids[i])
 			}
+		}
+	}
+
+	// Census: any dataset that was ever the subject of a transfer must
+	// end with exactly one live copy system-wide — no loss, no
+	// duplication, however many hops (including round-trips) it made.
+	for id := range movedDatasets {
+		live := 0
+		for i := range ids {
+			if ds, ok := states[i].Dataset(id); ok && ds.MovedTo == "" {
+				live++
+			}
+		}
+		if live != 1 {
+			ck.violationf("atomicity: dataset %q has %d live copies after drain, want exactly 1", id, live)
 		}
 	}
 
@@ -712,8 +844,11 @@ func checkContainment(sys *shard.System, ck *shardedChecker, base []uint64, byz 
 			ck.violationf("containment: %s has no running node after drain", shard.ShardID(i))
 			continue
 		}
-		if i == byz {
-			continue // liveness bound applies to healthy shards
+		if i == byz || i >= len(base) {
+			continue // liveness bound applies to healthy original shards
+		}
+		if cfg.CrashEvery > 0 {
+			continue // crash-stopped shards legitimately lose rounds
 		}
 		grew := n.Height() - base[i]
 		if int(grew) < cfg.Rounds/2 {

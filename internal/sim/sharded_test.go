@@ -6,7 +6,11 @@ import (
 	"testing"
 )
 
-var flagByzShard = flag.Int("sim.byzshard", 0, "Byzantine shard index for the TestSimSharded soak")
+var (
+	flagByzShard = flag.Int("sim.byzshard", 0, "Byzantine shard index for the TestSimSharded soak")
+	flagCrash    = flag.Int("sim.crash", 0, "crash/recover a whole chain every N rounds in the TestSimSharded soak (0 off)")
+	flagReshard  = flag.Bool("sim.reshard", false, "drive an epoch transition mid-soak in TestSimSharded")
+)
 
 // TestSimSharded is the sharded soak entry point the nightly sim-soak
 // workflow drives: chaos plus the full adversary behavior set confined
@@ -23,17 +27,19 @@ func TestSimSharded(t *testing.T) {
 	if rounds < 12 {
 		rounds = 12
 	}
-	res, err := RunSharded(ShardedConfig{
+	cfg := ShardedConfig{
 		Seed: *flagSeed, Shards: 3, NodesPerShard: 4, Rounds: rounds,
 		Adversary: &AdversaryConfig{}, ByzantineShard: *flagByzShard,
-	})
-	if err != nil {
-		t.Fatalf("sharded sim seed=%d rounds=%d byz=%d failed: %v\nviolations: %v\nfaults: %v\nanomalies: %v",
-			*flagSeed, rounds, *flagByzShard, err, res.Violations, res.FaultLog, res.Anomalies)
+		CrashEvery: *flagCrash, Reshard: *flagReshard,
 	}
-	t.Logf("sharded sim seed=%d rounds=%d byz=%d: transfers=%d committed=%d aborted=%d probes=%d offenses=%v quarantine=%d heights=%v coord=%d faults=%d",
+	res, err := RunSharded(cfg)
+	if err != nil {
+		t.Fatalf("sharded sim seed=%d rounds=%d byz=%d crash=%d reshard=%v failed: %v\nviolations: %v\nfaults: %v\nanomalies: %v",
+			*flagSeed, rounds, *flagByzShard, *flagCrash, *flagReshard, err, res.Violations, res.FaultLog, res.Anomalies)
+	}
+	t.Logf("sharded sim seed=%d rounds=%d byz=%d: transfers=%d committed=%d aborted=%d probes=%d crashes=%d epoch=%d offenses=%v quarantine=%d heights=%v coord=%d faults=%d",
 		*flagSeed, rounds, *flagByzShard, res.Transfers, res.Committed, res.Aborted,
-		res.ProbesRejected, res.AdversaryOffenses, res.QuarantineBlocks, res.ShardHeights, res.CoordHeight, len(res.FaultLog))
+		res.ProbesRejected, res.Crashes, res.FinalEpoch, res.AdversaryOffenses, res.QuarantineBlocks, res.ShardHeights, res.CoordHeight, len(res.FaultLog))
 }
 
 // TestShardedSimGreen is the no-adversary happy path: a 2-shard system
@@ -96,6 +102,87 @@ func TestShardedSimByzantineContainment(t *testing.T) {
 		res.Transfers, res.Committed, res.Aborted, res.AdversaryOffenses, res.QuarantineBlocks, len(res.FaultLog))
 }
 
+// TestShardedSimCrashRecovery runs the disk-backed crash schedule: a
+// whole chain (rotating through the member shards and the coordination
+// chain) is power-cut mid-2PC every few rounds and recovered from its
+// WAL. Every recovery must replay to a bit-identical pre-crash head and
+// every in-flight transfer must still settle exactly once.
+func TestShardedSimCrashRecovery(t *testing.T) {
+	res, err := RunSharded(ShardedConfig{
+		Seed: 31, Shards: 3, NodesPerShard: 3, Rounds: 24, CrashEvery: 6,
+	})
+	if err != nil {
+		t.Fatalf("RunSharded: %v\nviolations: %v\nanomalies: %v", err, res.Violations, res.Anomalies)
+	}
+	if res.Crashes < 2 {
+		t.Fatalf("only %d crash/recovery cycles completed, want >= 2", res.Crashes)
+	}
+	if res.Transfers == 0 || res.Pending != 0 {
+		t.Fatalf("transfers=%d pending=%d — crashes must not strand the 2PC", res.Transfers, res.Pending)
+	}
+	t.Logf("crashes=%d transfers=%d committed=%d aborted=%d heights=%v coord=%d",
+		res.Crashes, res.Transfers, res.Committed, res.Aborted, res.ShardHeights, res.CoordHeight)
+}
+
+// TestShardedSimResharding grows the deployment mid-run and drives a
+// full epoch transition under the live workload: dual-epoch routing
+// must keep every dataset findable throughout, and after commit_epoch
+// every dataset must live exactly once at its new-epoch home.
+func TestShardedSimResharding(t *testing.T) {
+	res, err := RunSharded(ShardedConfig{
+		Seed: 41, Shards: 2, NodesPerShard: 3, Rounds: 16, Reshard: true,
+	})
+	if err != nil {
+		t.Fatalf("RunSharded: %v\nviolations: %v\nanomalies: %v", err, res.Violations, res.Anomalies)
+	}
+	if res.FinalEpoch != 2 {
+		t.Fatalf("final epoch = %d, want 2 (the mid-run transition committed)", res.FinalEpoch)
+	}
+	if res.Transfers == 0 || res.Pending != 0 {
+		t.Fatalf("transfers=%d pending=%d", res.Transfers, res.Pending)
+	}
+	t.Logf("epoch=%d transfers=%d committed=%d aborted=%d probes=%d heights=%v",
+		res.FinalEpoch, res.Transfers, res.Committed, res.Aborted, res.ProbesRejected, res.ShardHeights)
+}
+
+// TestShardedSimReshardingUnderCrashes combines the two tentpole
+// schedules: the epoch transition must complete even while whole chains
+// crash and recover around it.
+func TestShardedSimReshardingUnderCrashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("combined robustness soak")
+	}
+	res, err := RunSharded(ShardedConfig{
+		Seed: 47, Shards: 2, NodesPerShard: 3, Rounds: 24, Reshard: true, CrashEvery: 8,
+	})
+	if err != nil {
+		t.Fatalf("RunSharded: %v\nviolations: %v\nanomalies: %v", err, res.Violations, res.Anomalies)
+	}
+	if res.FinalEpoch != 2 || res.Crashes == 0 || res.Pending != 0 {
+		t.Fatalf("epoch=%d crashes=%d pending=%d — want a committed transition under crashes",
+			res.FinalEpoch, res.Crashes, res.Pending)
+	}
+}
+
+// TestShardedSimGatewayFailover kills shard 0's active gateway mid-run:
+// a standby committee member must take the anchoring lease over within
+// the lease bound, and every post-kill transfer out of that shard must
+// still settle.
+func TestShardedSimGatewayFailover(t *testing.T) {
+	res, err := RunSharded(ShardedConfig{
+		Seed: 53, Shards: 2, NodesPerShard: 3, Rounds: 24,
+		CommitteeSize: 3, GatewayKillRound: 5,
+	})
+	if err != nil {
+		t.Fatalf("RunSharded: %v\nviolations: %v\nanomalies: %v", err, res.Violations, res.Anomalies)
+	}
+	if res.Transfers == 0 || res.Pending != 0 {
+		t.Fatalf("transfers=%d pending=%d — the killed gateway stranded the relay", res.Transfers, res.Pending)
+	}
+	t.Logf("transfers=%d committed=%d aborted=%d heights=%v coord=%d",
+		res.Transfers, res.Committed, res.Aborted, res.ShardHeights, res.CoordHeight)
+}
+
 // TestShardedSimCatchesSkippedProofVerification is the mutation test
 // for the receipt relay's soundness: with on-chain Merkle verification
 // disabled (the bug a broken refactor would introduce), the harness's
@@ -119,5 +206,54 @@ func TestShardedSimCatchesSkippedProofVerification(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("no proof/shadow violation recorded; got %v", res.Violations)
+	}
+}
+
+// TestShardedSimCatchesSkippedEpochCheck is the resharding mutation
+// test: with the router consulting only the pending epoch during the
+// transition (skipping the dual-epoch check), unmigrated datasets 404
+// and the sim's query-liveness invariant MUST fail the run.
+func TestShardedSimCatchesSkippedEpochCheck(t *testing.T) {
+	res, err := RunSharded(ShardedConfig{
+		Seed: 41, Shards: 2, NodesPerShard: 3, Rounds: 16, Reshard: true,
+		UnsafeSkipEpochCheck: true,
+	})
+	if err == nil {
+		t.Fatal("run with the epoch check skipped passed — the harness is blind to a broken router")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if strings.Contains(v, "query-liveness") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no query-liveness violation recorded; got %v", res.Violations)
+	}
+}
+
+// TestShardedSimCatchesSkippedLeaseExpiry is the failover mutation
+// test: with standby takeover suppressed, a killed gateway stalls its
+// shard's anchoring forever and the sim MUST fail — either on the lease
+// that never moved or on the transfers that never settled.
+func TestShardedSimCatchesSkippedLeaseExpiry(t *testing.T) {
+	res, err := RunSharded(ShardedConfig{
+		Seed: 53, Shards: 2, NodesPerShard: 3, Rounds: 16,
+		CommitteeSize: 3, GatewayKillRound: 5,
+		UnsafeSkipLeaseExpiry: true,
+	})
+	if err == nil {
+		t.Fatal("run with lease expiry skipped passed — the harness is blind to a dead gateway")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if strings.Contains(v, "failover") || strings.Contains(v, "pending") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no failover/pending violation recorded; got %v", res.Violations)
 	}
 }
